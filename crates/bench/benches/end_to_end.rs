@@ -1,0 +1,50 @@
+//! E2 — Figure 2 end to end: broker publish → match → notification
+//! enqueue, in semantic and syntactic mode.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stopss_broker::{Broker, BrokerConfig, TransportKind};
+use stopss_core::Config;
+use stopss_workload::jobfinder_fixture;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for semantic in [true, false] {
+        let fixture = jobfinder_fixture(1_000, 200, 42);
+        let broker = Broker::new(
+            BrokerConfig {
+                udp_loss: 0.02,
+                matcher: Config { track_provenance: false, ..Config::default() },
+                ..Default::default()
+            },
+            fixture.source.clone(),
+            fixture.interner.clone(),
+        );
+        broker.set_semantic_mode(semantic);
+        let clients: Vec<_> = TransportKind::ALL
+            .iter()
+            .map(|kind| broker.register_client(format!("co-{}", kind.name()), *kind))
+            .collect();
+        for (k, sub) in fixture.subscriptions.iter().enumerate() {
+            broker.subscribe(clients[k % clients.len()], sub.predicates().to_vec()).unwrap();
+        }
+        let events = fixture.publications.clone();
+        let mut idx = 0usize;
+        let label = if semantic { "semantic" } else { "syntactic" };
+        group.bench_with_input(BenchmarkId::new("publish", label), &label, |b, _| {
+            b.iter(|| {
+                let event = &events[idx % events.len()];
+                idx += 1;
+                black_box(broker.publish(event))
+            })
+        });
+        // Broker dropped here; its Drop joins the notification worker.
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

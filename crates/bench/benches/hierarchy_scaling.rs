@@ -1,0 +1,47 @@
+//! E9 — cost of rule R1 generalization as taxonomy depth × fanout grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stopss_bench::matcher_for;
+use stopss_core::Config;
+use stopss_workload::{synthetic_fixture, SyntheticConfig, SyntheticWorkload};
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    for depth in [2usize, 4, 6] {
+        for fanout in [2usize, 4] {
+            let shape = SyntheticConfig {
+                attrs: 3,
+                depth,
+                fanout,
+                mapping_chain: 0,
+                synonyms_per_concept: 0.2,
+                seed: 31,
+            };
+            let workload = SyntheticWorkload { subscriptions: 1_000, publications: 200, ..Default::default() };
+            let fixture = synthetic_fixture(&shape, &workload);
+            let config = Config { track_provenance: false, ..Config::default() };
+            let mut matcher = matcher_for(&fixture, config);
+            let events = &fixture.publications;
+            let mut idx = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new(format!("fanout{fanout}"), depth),
+                &depth,
+                |b, _| {
+                    b.iter(|| {
+                        let event = &events[idx % events.len()];
+                        idx += 1;
+                        black_box(matcher.publish(event).len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E5 — syntactic engine comparison (the paper's substrate, refs [1], [4]).
+//!
+//! Publish latency of the four engines on the job-finder workload with all
+//! semantic stages disabled, across subscription counts.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stopss_bench::matcher_for;
+use stopss_core::{Config, StageMask};
+use stopss_matching::EngineKind;
+use stopss_workload::jobfinder_fixture;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_engines");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for subs in [1_000usize, 10_000] {
+        let fixture = jobfinder_fixture(subs, 200, 11);
+        for engine in EngineKind::ALL {
+            let config = Config {
+                engine,
+                stages: StageMask::syntactic(),
+                track_provenance: false,
+                ..Config::default()
+            };
+            let mut matcher = matcher_for(&fixture, config);
+            let events = &fixture.publications;
+            let mut idx = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), subs),
+                &subs,
+                |b, _| {
+                    b.iter(|| {
+                        let event = &events[idx % events.len()];
+                        idx += 1;
+                        black_box(matcher.publish(event).len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E4 — claim C2: "hash structures to quickly locate relevant
+//! information" keep semantic lookups flat as the ontology grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stopss_ontology::SemanticSource;
+use stopss_types::{Event, Interner, Value};
+use stopss_workload::{build_synthetic, Rng, SyntheticConfig};
+
+fn bench_ontology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ontology_scaling");
+    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    for depth in [4usize, 8] {
+        let mut interner = Interner::new();
+        let shape = SyntheticConfig {
+            attrs: 1,
+            depth,
+            fanout: 4,
+            synonyms_per_concept: 0.5,
+            mapping_chain: 4,
+            seed: 3,
+        };
+        let domain = build_synthetic(&mut interner, &shape);
+        let concepts = domain.concept_count();
+        let leaves = domain.leaves(0).to_vec();
+        let root = domain.level(0, 0)[0];
+        let aliases = domain.aliases.clone();
+        let ontology = domain.ontology.clone();
+        let _ = ontology.is_a(leaves[0], root); // warm the ancestor cache
+
+        let mut rng = Rng::new(1);
+        group.bench_with_input(BenchmarkId::new("synonym_resolve", concepts), &concepts, |b, _| {
+            b.iter(|| {
+                let term = *rng.pick(&aliases);
+                black_box(ontology.resolve_synonym(term))
+            })
+        });
+        let mut rng = Rng::new(2);
+        group.bench_with_input(BenchmarkId::new("is_a", concepts), &concepts, |b, _| {
+            b.iter(|| {
+                let leaf = *rng.pick(&leaves);
+                black_box(ontology.is_a(leaf, root))
+            })
+        });
+        let mut rng = Rng::new(3);
+        group.bench_with_input(BenchmarkId::new("ancestor_walk", concepts), &concepts, |b, _| {
+            b.iter(|| {
+                let leaf = *rng.pick(&leaves);
+                let mut count = 0u32;
+                ontology.for_each_ancestor(leaf, &mut |_, _| count += 1);
+                black_box(count)
+            })
+        });
+        let chain_start = domain.chain_start.unwrap();
+        let event = Event::new().with(chain_start, Value::Int(1));
+        group.bench_with_input(BenchmarkId::new("mapping_lookup", concepts), &concepts, |b, _| {
+            b.iter(|| {
+                let mut fired = 0u32;
+                ontology.apply_mappings(&event, &interner, 0, &mut |_, _| fired += 1);
+                black_box(fired)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ontology);
+criterion_main!(benches);

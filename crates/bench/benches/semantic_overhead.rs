@@ -1,0 +1,44 @@
+//! E1/E3 — cost of the semantic stage (Figure 1 ablation; claim C1:
+//! "very fast without affecting already good performance of the matching
+//! algorithms").
+//!
+//! Publish latency per stage combination over the job-finder workload.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stopss_bench::matcher_for;
+use stopss_core::{Config, StageMask};
+use stopss_workload::jobfinder_fixture;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semantic_overhead");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let stage_sets: [(&str, StageMask); 4] = [
+        ("syntactic", StageMask::syntactic()),
+        ("synonym", StageMask::SYNONYM),
+        ("syn+hier", StageMask::SYNONYM.with(StageMask::HIERARCHY)),
+        ("all", StageMask::all()),
+    ];
+    for subs in [1_000usize, 10_000] {
+        let fixture = jobfinder_fixture(subs, 200, 7);
+        for (label, stages) in stage_sets {
+            let config = Config { stages, track_provenance: false, ..Config::default() };
+            let mut matcher = matcher_for(&fixture, config);
+            let events = &fixture.publications;
+            let mut idx = 0usize;
+            group.bench_with_input(BenchmarkId::new(label, subs), &subs, |b, _| {
+                b.iter(|| {
+                    let event = &events[idx % events.len()];
+                    idx += 1;
+                    black_box(matcher.publish(event).len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

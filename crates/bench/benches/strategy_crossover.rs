@@ -1,0 +1,71 @@
+//! E8 — strategy ablation: paper-faithful event materialization vs the
+//! flattened closure vs subscription rewriting, plus the subscribe-time
+//! cost rewriting pays.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stopss_bench::matcher_for;
+use stopss_core::{Config, SToPSS, Strategy};
+use stopss_workload::{synthetic_fixture, SyntheticConfig, SyntheticWorkload};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_publish");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for depth in [2usize, 3] {
+        let shape = SyntheticConfig {
+            attrs: 4,
+            depth,
+            fanout: 3,
+            mapping_chain: 2,
+            seed: 23,
+            ..Default::default()
+        };
+        let workload =
+            SyntheticWorkload { subscriptions: 500, publications: 100, ..Default::default() };
+        let fixture = synthetic_fixture(&shape, &workload);
+        for strategy in Strategy::ALL {
+            let config = Config { strategy, track_provenance: false, ..Config::default() };
+            let mut matcher = matcher_for(&fixture, config);
+            let events = &fixture.publications;
+            let mut idx = 0usize;
+            group.bench_with_input(BenchmarkId::new(strategy.name(), depth), &depth, |b, _| {
+                b.iter(|| {
+                    let event = &events[idx % events.len()];
+                    idx += 1;
+                    black_box(matcher.publish(event).len())
+                })
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("strategy_subscribe");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    let shape =
+        SyntheticConfig { attrs: 4, depth: 3, fanout: 3, mapping_chain: 2, seed: 23, ..Default::default() };
+    let workload = SyntheticWorkload { subscriptions: 200, publications: 1, ..Default::default() };
+    let fixture = synthetic_fixture(&shape, &workload);
+    for strategy in Strategy::ALL {
+        let config = Config { strategy, track_provenance: false, ..Config::default() };
+        group.bench_with_input(
+            BenchmarkId::new(strategy.name(), "200subs"),
+            &strategy,
+            |b, _| {
+                b.iter(|| {
+                    let mut matcher =
+                        SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+                    for sub in &fixture.subscriptions {
+                        matcher.subscribe(sub.clone());
+                    }
+                    black_box(matcher.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E6 — claim C3: the information-loss knob trades recall for speed.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stopss_bench::matcher_for;
+use stopss_core::{Config, StageMask};
+use stopss_workload::jobfinder_fixture;
+
+fn bench_tolerance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tolerance");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let fixture = jobfinder_fixture(2_000, 200, 13);
+    let settings: [(&str, Option<u32>, StageMask); 5] = [
+        ("syntactic", None, StageMask::syntactic()),
+        ("k0", Some(0), StageMask::all()),
+        ("k1", Some(1), StageMask::all()),
+        ("k2", Some(2), StageMask::all()),
+        ("unbounded", None, StageMask::all()),
+    ];
+    for (label, bound, stages) in settings {
+        let config = Config {
+            stages,
+            max_distance: bound,
+            track_provenance: false,
+            ..Config::default()
+        };
+        let mut matcher = matcher_for(&fixture, config);
+        let events = &fixture.publications;
+        let mut idx = 0usize;
+        group.bench_with_input(BenchmarkId::new("publish", label), &label, |b, _| {
+            b.iter(|| {
+                let event = &events[idx % events.len()];
+                idx += 1;
+                black_box(matcher.publish(event).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tolerance);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Shared infrastructure for the S-ToPSS benchmark harness.
+//!
+//! The Criterion benches (one per experiment) and the `experiments`
+//! binary (which regenerates every table in `EXPERIMENTS.md`) build their
+//! fixtures and matchers through this crate so that both measure exactly
+//! the same configurations.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use stopss_core::{Config, SToPSS};
+use stopss_types::{Event, SubId, Subscription};
+use stopss_workload::Fixture;
+
+/// Builds a matcher over a fixture's ontology and loads its subscriptions.
+pub fn matcher_for(fixture: &Fixture, config: Config) -> SToPSS {
+    let mut matcher = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    for sub in &fixture.subscriptions {
+        matcher.subscribe(sub.clone());
+    }
+    matcher
+}
+
+/// Builds a matcher with one tolerance applied to every subscription.
+pub fn matcher_with_tolerance(
+    fixture: &Fixture,
+    config: Config,
+    tolerance: stopss_core::Tolerance,
+) -> SToPSS {
+    let mut matcher = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    for sub in &fixture.subscriptions {
+        matcher.subscribe_with_tolerance(sub.clone(), tolerance);
+    }
+    matcher
+}
+
+/// Result of one timed publication sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepResult {
+    /// Total matches across all publications.
+    pub matches: u64,
+    /// Mean publish latency in nanoseconds.
+    pub ns_per_event: f64,
+    /// Publications per second implied by the mean.
+    pub events_per_sec: f64,
+    /// Derived events fed to the engine during the timed pass.
+    pub derived_events: u64,
+    /// Publications whose processing hit a resource cap.
+    pub truncations: u64,
+}
+
+/// Publishes every event once (after one untimed warm-up pass over the
+/// first `warmup` events) and reports matches and mean latency.
+pub fn timed_sweep(matcher: &mut SToPSS, events: &[Event], warmup: usize) -> SweepResult {
+    for event in events.iter().take(warmup) {
+        let _ = matcher.publish(event);
+    }
+    let stats_before = *matcher.stats();
+    let start = Instant::now();
+    let mut matches = 0u64;
+    for event in events {
+        matches += matcher.publish(event).len() as u64;
+    }
+    let elapsed = start.elapsed();
+    let stats_after = *matcher.stats();
+    let ns_per_event = elapsed.as_nanos() as f64 / events.len().max(1) as f64;
+    SweepResult {
+        matches,
+        ns_per_event,
+        events_per_sec: if ns_per_event > 0.0 { 1e9 / ns_per_event } else { 0.0 },
+        derived_events: stats_after.derived_events - stats_before.derived_events,
+        truncations: stats_after.truncations - stats_before.truncations,
+    }
+}
+
+/// Match sets per event, for recall comparisons between configurations.
+pub fn match_sets(matcher: &mut SToPSS, events: &[Event]) -> Vec<Vec<SubId>> {
+    events
+        .iter()
+        .map(|event| {
+            let mut ids: Vec<SubId> = matcher.publish(event).iter().map(|m| m.sub).collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect()
+}
+
+/// Recall of `got` against reference match sets: matched pairs found /
+/// matched pairs expected. 1.0 when the reference is empty.
+pub fn recall(got: &[Vec<SubId>], reference: &[Vec<SubId>]) -> f64 {
+    let expected: usize = reference.iter().map(Vec::len).sum();
+    if expected == 0 {
+        return 1.0;
+    }
+    let mut found = 0usize;
+    for (g, r) in got.iter().zip(reference) {
+        found += r.iter().filter(|id| g.binary_search(id).is_ok()).count();
+    }
+    found as f64 / expected as f64
+}
+
+/// Total number of matched (event, subscription) pairs.
+pub fn total_matches(sets: &[Vec<SubId>]) -> usize {
+    sets.iter().map(Vec::len).sum()
+}
+
+/// A deterministic prefix of a fixture's subscriptions (for sweeps over
+/// subscription count).
+pub fn take_subscriptions(fixture: &Fixture, n: usize) -> Vec<Subscription> {
+    fixture.subscriptions.iter().take(n).cloned().collect()
+}
+
+/// Times `f` over `iters` runs and returns mean nanoseconds.
+pub fn time_mean_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stopss_workload::jobfinder_fixture;
+
+    #[test]
+    fn timed_sweep_counts_matches() {
+        let fixture = jobfinder_fixture(50, 50, 3);
+        let mut matcher = matcher_for(&fixture, Config::default().with_provenance(false));
+        let result = timed_sweep(&mut matcher, &fixture.publications, 5);
+        assert!(result.ns_per_event > 0.0);
+        assert!(result.events_per_sec > 0.0);
+        assert_eq!(result.derived_events, 50, "generalized strategy: one per event");
+        assert_eq!(result.truncations, 0);
+    }
+
+    #[test]
+    fn recall_is_one_against_self_and_less_for_subsets() {
+        let a = vec![vec![SubId(1), SubId(2)], vec![SubId(3)]];
+        let b = vec![vec![SubId(1)], vec![SubId(3)]];
+        assert_eq!(recall(&a, &a), 1.0);
+        assert!((recall(&b, &a) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(recall(&a, &b), 1.0, "supersets have full recall");
+        assert_eq!(recall(&[], &[]), 1.0);
+        assert_eq!(total_matches(&a), 3);
+    }
+
+    #[test]
+    fn match_sets_are_sorted() {
+        let fixture = jobfinder_fixture(30, 20, 5);
+        let mut matcher = matcher_for(&fixture, Config::default().with_provenance(false));
+        for set in match_sets(&mut matcher, &fixture.publications) {
+            assert!(set.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn take_subscriptions_prefix() {
+        let fixture = jobfinder_fixture(30, 1, 5);
+        let subs = take_subscriptions(&fixture, 10);
+        assert_eq!(subs.len(), 10);
+        assert_eq!(subs[0], fixture.subscriptions[0]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Client registry types.
+
+use std::fmt;
+
+use crate::transport::TransportKind;
+
+/// Identifier of a registered client (company or candidate).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u64);
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client#{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client#{}", self.0)
+    }
+}
+
+/// A registered client and its notification preferences.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClientInfo {
+    /// Display name used in notification payloads.
+    pub name: String,
+    /// Transport the client wants notifications on.
+    pub transport: TransportKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_id_renders() {
+        assert_eq!(ClientId(7).to_string(), "client#7");
+        assert_eq!(format!("{:?}", ClientId(7)), "client#7");
+    }
+
+    #[test]
+    fn client_info_holds_preferences() {
+        let info = ClientInfo { name: "acme".into(), transport: TransportKind::Sms };
+        assert_eq!(info.transport, TransportKind::Sms);
+    }
+}

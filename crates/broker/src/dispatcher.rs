@@ -1,0 +1,383 @@
+//! The broker: S-ToPSS wired to clients and the notification engine.
+//!
+//! This is the runtime of Figure 2: subscriptions and publications arrive
+//! (from the demo front-end or the workload generator), the semantic
+//! matcher decides who is interested, and the notification engine delivers
+//! over each client's preferred transport. The matcher sits behind a
+//! mutex — matching engines keep interior scratch state — while client and
+//! ownership tables take read-mostly locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use stopss_core::{Config, MatcherStats, SToPSS, StageMask, Tolerance};
+use stopss_ontology::SemanticSource;
+use stopss_types::{Event, FxHashMap, Predicate, SharedInterner, SubId, Subscription};
+
+use crate::client::{ClientId, ClientInfo};
+use crate::notify::{DeliveryStats, NotificationEngine};
+use crate::transport::{Delivery, Inbox, SmsSim, SmtpSim, TcpSim, Transport, TransportKind, UdpSim};
+
+/// Broker construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BrokerConfig {
+    /// Matcher configuration (engine, strategy, stages, …).
+    pub matcher: Config,
+    /// UDP loss probability for the simulated datagram transport.
+    pub udp_loss: f64,
+    /// SMS messages allowed per rate window.
+    pub sms_budget: u32,
+    /// Seed for transport randomness.
+    pub seed: u64,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig { matcher: Config::default(), udp_loss: 0.05, sms_budget: 64, seed: 2003 }
+    }
+}
+
+/// Broker operation errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BrokerError {
+    /// The client id is not registered.
+    UnknownClient(ClientId),
+    /// The subscription exists but belongs to someone else.
+    NotOwner {
+        /// The caller.
+        client: ClientId,
+        /// The contested subscription.
+        sub: SubId,
+    },
+}
+
+impl std::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerError::UnknownClient(c) => write!(f, "unknown client {c}"),
+            BrokerError::NotOwner { client, sub } => {
+                write!(f, "{client} does not own {sub}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+/// The publish/subscribe broker of the demonstration setup.
+pub struct Broker {
+    matcher: Mutex<SToPSS>,
+    clients: RwLock<FxHashMap<ClientId, ClientInfo>>,
+    sub_owner: RwLock<FxHashMap<SubId, ClientId>>,
+    notifier: NotificationEngine,
+    inboxes: FxHashMap<TransportKind, Inbox>,
+    interner: SharedInterner,
+    /// Stage mask used in semantic mode (restored by `set_semantic_mode`).
+    semantic_stages: StageMask,
+    semantic: RwLock<bool>,
+    next_client: AtomicU64,
+    next_sub: AtomicU64,
+}
+
+impl Broker {
+    /// Builds a broker with all four simulated transports.
+    pub fn new(
+        config: BrokerConfig,
+        source: Arc<dyn SemanticSource>,
+        interner: SharedInterner,
+    ) -> Broker {
+        let (tcp, tcp_inbox) = TcpSim::new();
+        let (udp, udp_inbox) = UdpSim::new(config.udp_loss, config.seed);
+        let (smtp, smtp_inbox) = SmtpSim::new();
+        let (sms, sms_inbox) = SmsSim::new(config.sms_budget);
+        let transports: Vec<Box<dyn Transport>> =
+            vec![Box::new(tcp), Box::new(udp), Box::new(smtp), Box::new(sms)];
+        let mut inboxes = FxHashMap::default();
+        inboxes.insert(TransportKind::Tcp, tcp_inbox);
+        inboxes.insert(TransportKind::Udp, udp_inbox);
+        inboxes.insert(TransportKind::Smtp, smtp_inbox);
+        inboxes.insert(TransportKind::Sms, sms_inbox);
+
+        Broker {
+            matcher: Mutex::new(SToPSS::new(config.matcher, source, interner.clone())),
+            clients: RwLock::new(FxHashMap::default()),
+            sub_owner: RwLock::new(FxHashMap::default()),
+            notifier: NotificationEngine::start(transports),
+            inboxes,
+            interner,
+            semantic_stages: config.matcher.stages,
+            semantic: RwLock::new(!config.matcher.stages.is_syntactic()),
+            next_client: AtomicU64::new(1),
+            next_sub: AtomicU64::new(1),
+        }
+    }
+
+    /// The shared interner for building events/subscriptions.
+    pub fn interner(&self) -> &SharedInterner {
+        &self.interner
+    }
+
+    /// Registers a client.
+    pub fn register_client(&self, name: impl Into<String>, transport: TransportKind) -> ClientId {
+        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        self.clients.write().insert(id, ClientInfo { name: name.into(), transport });
+        id
+    }
+
+    /// Number of registered clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.read().len()
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.matcher.lock().len()
+    }
+
+    /// Registers a subscription for `client` with the system tolerance.
+    pub fn subscribe(
+        &self,
+        client: ClientId,
+        predicates: Vec<Predicate>,
+    ) -> Result<SubId, BrokerError> {
+        self.subscribe_with_tolerance(client, predicates, None)
+    }
+
+    /// Registers a subscription with an optional subscriber tolerance
+    /// (the information-loss knob of §3.2).
+    pub fn subscribe_with_tolerance(
+        &self,
+        client: ClientId,
+        predicates: Vec<Predicate>,
+        tolerance: Option<Tolerance>,
+    ) -> Result<SubId, BrokerError> {
+        if !self.clients.read().contains_key(&client) {
+            return Err(BrokerError::UnknownClient(client));
+        }
+        let id = SubId(self.next_sub.fetch_add(1, Ordering::Relaxed));
+        let sub = Subscription::new(id, predicates);
+        {
+            let mut matcher = self.matcher.lock();
+            match tolerance {
+                Some(t) => matcher.subscribe_with_tolerance(sub, t),
+                None => matcher.subscribe(sub),
+            }
+        }
+        self.sub_owner.write().insert(id, client);
+        Ok(id)
+    }
+
+    /// Removes a subscription; only its owner may do so.
+    pub fn unsubscribe(&self, client: ClientId, sub: SubId) -> Result<bool, BrokerError> {
+        match self.sub_owner.read().get(&sub) {
+            Some(owner) if *owner != client => {
+                return Err(BrokerError::NotOwner { client, sub });
+            }
+            None => return Ok(false),
+            Some(_) => {}
+        }
+        self.sub_owner.write().remove(&sub);
+        Ok(self.matcher.lock().unsubscribe(sub))
+    }
+
+    /// Publishes an event: matches it and enqueues one notification per
+    /// matched subscription. Returns the number of matches.
+    pub fn publish(&self, event: &Event) -> usize {
+        let matches = self.matcher.lock().publish(event);
+        if matches.is_empty() {
+            return 0;
+        }
+        let clients = self.clients.read();
+        let owners = self.sub_owner.read();
+        let rendered = self.interner.with(|i| format!("event {}", event.display(i)));
+        for m in &matches {
+            let Some(owner) = owners.get(&m.sub) else {
+                continue;
+            };
+            let Some(info) = clients.get(owner) else {
+                continue;
+            };
+            let payload = format!("to {} [{}]: {} matched via {} — {}", info.name, owner, m.sub, m.origin, rendered);
+            self.notifier.enqueue(info.transport, Delivery { client: *owner, payload });
+        }
+        matches.len()
+    }
+
+    /// Switches between semantic and syntactic mode ("the application can
+    /// run in two different modes", §4).
+    pub fn set_semantic_mode(&self, semantic: bool) {
+        let mut flag = self.semantic.write();
+        if *flag == semantic {
+            return;
+        }
+        *flag = semantic;
+        let stages = if semantic { self.semantic_stages } else { StageMask::syntactic() };
+        self.matcher.lock().set_stages(stages);
+    }
+
+    /// True if the broker currently matches semantically.
+    pub fn is_semantic(&self) -> bool {
+        *self.semantic.read()
+    }
+
+    /// Matcher counters.
+    pub fn matcher_stats(&self) -> MatcherStats {
+        *self.matcher.lock().stats()
+    }
+
+    /// Notification counters (live snapshot).
+    pub fn delivery_stats(&self) -> DeliveryStats {
+        self.notifier.stats()
+    }
+
+    /// Receiving-end inbox of a simulated transport.
+    pub fn inbox(&self, kind: TransportKind) -> Option<Inbox> {
+        self.inboxes.get(&kind).cloned()
+    }
+
+    /// Stops the notification engine (draining the queue) and returns the
+    /// final delivery statistics.
+    pub fn shutdown(self) -> DeliveryStats {
+        self.notifier.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stopss_types::{Interner, Operator, SubscriptionBuilder};
+    use stopss_workload::JobFinderDomain;
+
+    fn jobs_broker(config: BrokerConfig) -> (Broker, SharedInterner) {
+        let mut interner = Interner::new();
+        let domain = JobFinderDomain::build(&mut interner);
+        let shared = SharedInterner::from_interner(interner);
+        let broker = Broker::new(config, Arc::new(domain.ontology), shared.clone());
+        (broker, shared)
+    }
+
+    fn recruiter_predicates(interner: &SharedInterner) -> Vec<Predicate> {
+        let mut snapshot = interner.snapshot();
+        let sub = SubscriptionBuilder::new(&mut snapshot)
+            .term_eq("university", "uoft")
+            .pred("professional experience", Operator::Ge, 4i64)
+            .build(SubId(0));
+        for (_, s) in snapshot.iter() {
+            interner.intern(s);
+        }
+        sub.predicates().to_vec()
+    }
+
+    fn candidate_event(interner: &SharedInterner) -> Event {
+        let mut snapshot = interner.snapshot();
+        let event = stopss_types::EventBuilder::new(&mut snapshot)
+            .term("school", "uoft")
+            .pair("graduation year", 1993i64)
+            .build();
+        for (_, s) in snapshot.iter() {
+            interner.intern(s);
+        }
+        event
+    }
+
+    #[test]
+    fn end_to_end_match_delivers_notification() {
+        let (broker, interner) = jobs_broker(BrokerConfig::default());
+        let company = broker.register_client("acme", TransportKind::Tcp);
+        let sub = broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
+        let matches = broker.publish(&candidate_event(&interner));
+        assert_eq!(matches, 1);
+        let stats = broker.shutdown();
+        assert_eq!(stats.get(TransportKind::Tcp).delivered, 1);
+        assert!(sub.0 > 0);
+    }
+
+    #[test]
+    fn notification_payload_names_the_match() {
+        let (broker, interner) = jobs_broker(BrokerConfig::default());
+        let company = broker.register_client("acme", TransportKind::Tcp);
+        let sub = broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
+        broker.publish(&candidate_event(&interner));
+        let inbox = broker.inbox(TransportKind::Tcp).unwrap();
+        let _ = broker.shutdown();
+        let messages = inbox.lock();
+        assert_eq!(messages.len(), 1);
+        let payload = &messages[0].payload;
+        assert!(payload.contains("acme"), "{payload}");
+        assert!(payload.contains(&sub.to_string()), "{payload}");
+        assert!(payload.contains("mapping"), "the paper flow matches via mapping: {payload}");
+        assert!(payload.contains("(school, uoft)"), "{payload}");
+    }
+
+    #[test]
+    fn syntactic_mode_suppresses_semantic_matches() {
+        let (broker, interner) = jobs_broker(BrokerConfig::default());
+        let company = broker.register_client("acme", TransportKind::Tcp);
+        broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
+        assert!(broker.is_semantic());
+        broker.set_semantic_mode(false);
+        assert!(!broker.is_semantic());
+        assert_eq!(broker.publish(&candidate_event(&interner)), 0);
+        broker.set_semantic_mode(true);
+        assert_eq!(broker.publish(&candidate_event(&interner)), 1);
+    }
+
+    #[test]
+    fn ownership_is_enforced() {
+        let (broker, interner) = jobs_broker(BrokerConfig::default());
+        let alice = broker.register_client("alice", TransportKind::Tcp);
+        let bob = broker.register_client("bob", TransportKind::Udp);
+        let sub = broker.subscribe(alice, recruiter_predicates(&interner)).unwrap();
+        assert_eq!(
+            broker.unsubscribe(bob, sub),
+            Err(BrokerError::NotOwner { client: bob, sub })
+        );
+        assert_eq!(broker.unsubscribe(alice, sub), Ok(true));
+        assert_eq!(broker.unsubscribe(alice, sub), Ok(false), "already gone");
+        assert_eq!(broker.subscription_count(), 0);
+    }
+
+    #[test]
+    fn unknown_client_cannot_subscribe() {
+        let (broker, interner) = jobs_broker(BrokerConfig::default());
+        let err = broker.subscribe(ClientId(999), recruiter_predicates(&interner)).unwrap_err();
+        assert_eq!(err, BrokerError::UnknownClient(ClientId(999)));
+    }
+
+    #[test]
+    fn notifications_route_per_client_transport() {
+        let (broker, interner) = jobs_broker(BrokerConfig { udp_loss: 0.0, ..Default::default() });
+        let tcp_client = broker.register_client("tcp-co", TransportKind::Tcp);
+        let udp_client = broker.register_client("udp-co", TransportKind::Udp);
+        let preds = recruiter_predicates(&interner);
+        broker.subscribe(tcp_client, preds.clone()).unwrap();
+        broker.subscribe(udp_client, preds).unwrap();
+        assert_eq!(broker.publish(&candidate_event(&interner)), 2);
+        let stats = broker.shutdown();
+        assert_eq!(stats.get(TransportKind::Tcp).delivered, 1);
+        assert_eq!(stats.get(TransportKind::Udp).delivered, 1);
+    }
+
+    #[test]
+    fn concurrent_publishers_are_serialized_safely() {
+        let (broker, interner) = jobs_broker(BrokerConfig::default());
+        let company = broker.register_client("acme", TransportKind::Tcp);
+        broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
+        let broker = Arc::new(broker);
+        let event = candidate_event(&interner);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let broker = broker.clone();
+                let event = event.clone();
+                std::thread::spawn(move || (0..25).map(|_| broker.publish(&event)).sum::<usize>())
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100);
+        assert_eq!(broker.matcher_stats().published, 100);
+        let broker = Arc::try_unwrap(broker).ok().expect("sole owner");
+        let stats = broker.shutdown();
+        assert_eq!(stats.get(TransportKind::Tcp).delivered, 100);
+    }
+}

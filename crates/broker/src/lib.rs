@@ -1,0 +1,36 @@
+//! # stopss-broker
+//!
+//! The demonstration runtime of the S-ToPSS paper (Figure 2): everything
+//! around the matcher that turns it into a running publish/subscribe
+//! service.
+//!
+//! * [`Broker`] — client registry, subscription ownership, publish →
+//!   notify pipeline, semantic/syntactic mode switch;
+//! * [`NotificationEngine`] — queued delivery over per-client transports;
+//! * [`transport`] — simulated TCP / UDP / SMTP / SMS with their
+//!   characteristic behaviours (loss, batching, rate limits, truncation);
+//! * [`wire`] — the length-framed binary protocol of the demo front-end;
+//! * [`DemoServer`] — the command surface standing in for the paper's web
+//!   application.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod dispatcher;
+pub mod notify;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::{ClientId, ClientInfo};
+pub use dispatcher::{Broker, BrokerConfig, BrokerError};
+pub use notify::{DeliveryStats, NotificationEngine, TransportStats};
+pub use server::{subscription_to_wire, DemoServer};
+pub use transport::{
+    Delivery, Inbox, ReceivedMessage, SmsSim, SmtpSim, TcpSim, Transport, TransportError,
+    TransportKind, UdpSim, SMS_MAX_CHARS,
+};
+pub use wire::{
+    decode_client, decode_server, encode_client, encode_server, try_read_frame, write_frame,
+    ClientMessage, ServerMessage, WireError, WirePredicate, WireValue,
+};

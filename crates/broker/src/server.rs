@@ -1,0 +1,268 @@
+//! The demo front-end.
+//!
+//! Stands in for the paper's "web-based application for client
+//! registration and subscription/publication input" (§4): a command
+//! handler over the wire protocol. The web UI was presentation; the
+//! command surface underneath — register, subscribe, publish, switch
+//! between semantic and syntactic mode — is reproduced verbatim and is
+//! what the workload generator drives.
+
+use bytes::{Bytes, BytesMut};
+use stopss_types::{Event, Predicate, Subscription};
+
+use crate::dispatcher::Broker;
+use crate::notify::DeliveryStats;
+use crate::wire::{
+    decode_client, encode_server, ClientMessage, ServerMessage, WirePredicate, WireValue,
+};
+
+/// The demo server: decodes client commands and drives the broker.
+pub struct DemoServer {
+    broker: Broker,
+}
+
+impl DemoServer {
+    /// Wraps a broker.
+    pub fn new(broker: Broker) -> Self {
+        DemoServer { broker }
+    }
+
+    /// The underlying broker (for inbox inspection and direct calls).
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// Handles one decoded command.
+    pub fn handle(&self, msg: ClientMessage) -> ServerMessage {
+        match msg {
+            ClientMessage::Register { name, transport } => {
+                let client = self.broker.register_client(name, transport);
+                ServerMessage::Registered { client }
+            }
+            ClientMessage::Subscribe { client, predicates } => {
+                let typed = self.intern_predicates(predicates);
+                match self.broker.subscribe(client, typed) {
+                    Ok(sub) => ServerMessage::Subscribed { sub },
+                    Err(e) => ServerMessage::Error { message: e.to_string() },
+                }
+            }
+            ClientMessage::Unsubscribe { client, sub } => {
+                match self.broker.unsubscribe(client, sub) {
+                    Ok(ok) => ServerMessage::Unsubscribed { ok },
+                    Err(e) => ServerMessage::Error { message: e.to_string() },
+                }
+            }
+            ClientMessage::Publish { client: _, pairs } => {
+                let event = self.intern_event(pairs);
+                let matches = self.broker.publish(&event) as u32;
+                ServerMessage::Published { matches }
+            }
+            ClientMessage::SetMode { semantic } => {
+                self.broker.set_semantic_mode(semantic);
+                ServerMessage::ModeSet { semantic }
+            }
+        }
+    }
+
+    /// Handles one encoded frame payload; malformed input becomes an
+    /// `Error` reply rather than a failure.
+    pub fn handle_frame(&self, mut frame: Bytes) -> ServerMessage {
+        match decode_client(&mut frame) {
+            Ok(msg) => self.handle(msg),
+            Err(e) => ServerMessage::Error { message: format!("bad request: {e}") },
+        }
+    }
+
+    /// Convenience: handle a frame and encode the reply.
+    pub fn handle_frame_encoded(&self, frame: Bytes) -> Bytes {
+        let reply = self.handle_frame(frame);
+        let mut buf = BytesMut::new();
+        encode_server(&reply, &mut buf);
+        buf.freeze()
+    }
+
+    /// Stops the broker, draining notifications.
+    pub fn shutdown(self) -> DeliveryStats {
+        self.broker.shutdown()
+    }
+
+    fn intern_predicates(&self, predicates: Vec<WirePredicate>) -> Vec<Predicate> {
+        let interner = self.broker.interner().clone();
+        predicates
+            .into_iter()
+            .map(|p| {
+                let attr = interner.intern(&p.attr);
+                let value = match p.value {
+                    WireValue::Int(i) => stopss_types::Value::Int(i),
+                    WireValue::Float(f) => stopss_types::Value::Float(f),
+                    WireValue::Bool(b) => stopss_types::Value::Bool(b),
+                    WireValue::Term(t) => stopss_types::Value::Sym(interner.intern(&t)),
+                };
+                Predicate::new(attr, p.op, value)
+            })
+            .collect()
+    }
+
+    fn intern_event(&self, pairs: Vec<(String, WireValue)>) -> Event {
+        let interner = self.broker.interner().clone();
+        pairs
+            .into_iter()
+            .map(|(attr, value)| {
+                let attr = interner.intern(&attr);
+                let value = match value {
+                    WireValue::Int(i) => stopss_types::Value::Int(i),
+                    WireValue::Float(f) => stopss_types::Value::Float(f),
+                    WireValue::Bool(b) => stopss_types::Value::Bool(b),
+                    WireValue::Term(t) => stopss_types::Value::Sym(interner.intern(&t)),
+                };
+                (attr, value)
+            })
+            .collect()
+    }
+}
+
+/// Renders a subscription back to wire predicates (used by tooling/tests).
+pub fn subscription_to_wire(sub: &Subscription, interner: &stopss_types::Interner) -> Vec<WirePredicate> {
+    sub.predicates()
+        .iter()
+        .map(|p| WirePredicate {
+            attr: interner.try_resolve(p.attr).unwrap_or("<?>").to_owned(),
+            op: p.op,
+            value: WireValue::from_value(&p.value, interner),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatcher::BrokerConfig;
+    use crate::transport::TransportKind;
+    use crate::wire::encode_client;
+    use std::sync::Arc;
+    use stopss_types::{Interner, Operator, SharedInterner};
+    use stopss_workload::JobFinderDomain;
+
+    fn server() -> DemoServer {
+        let mut interner = Interner::new();
+        let domain = JobFinderDomain::build(&mut interner);
+        let broker = Broker::new(
+            BrokerConfig::default(),
+            Arc::new(domain.ontology),
+            SharedInterner::from_interner(interner),
+        );
+        DemoServer::new(broker)
+    }
+
+    fn register(server: &DemoServer, name: &str) -> crate::client::ClientId {
+        match server.handle(ClientMessage::Register {
+            name: name.into(),
+            transport: TransportKind::Tcp,
+        }) {
+            ServerMessage::Registered { client } => client,
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    /// The full paper flow, §1: recruiter subscribes, candidate publishes,
+    /// the semantic mode matches and the syntactic mode does not.
+    #[test]
+    fn paper_demo_flow_over_the_wire() {
+        let server = server();
+        let company = register(&server, "acme");
+        let candidate = register(&server, "alice");
+
+        let subscribe = ClientMessage::Subscribe {
+            client: company,
+            predicates: vec![
+                WirePredicate {
+                    attr: "university".into(),
+                    op: Operator::Eq,
+                    value: WireValue::Term("uoft".into()),
+                },
+                WirePredicate {
+                    attr: "degree".into(),
+                    op: Operator::Eq,
+                    value: WireValue::Term("phd".into()),
+                },
+                WirePredicate {
+                    attr: "professional experience".into(),
+                    op: Operator::Ge,
+                    value: WireValue::Int(4),
+                },
+            ],
+        };
+        assert!(matches!(server.handle(subscribe), ServerMessage::Subscribed { .. }));
+
+        // E: (school, uoft)(degree, phd)(work experience, …)(graduation year, 1990)
+        let publish = ClientMessage::Publish {
+            client: candidate,
+            pairs: vec![
+                ("school".into(), WireValue::Term("uoft".into())),
+                ("degree".into(), WireValue::Term("phd".into())),
+                ("graduation year".into(), WireValue::Int(1990)),
+            ],
+        };
+        assert_eq!(server.handle(publish.clone()), ServerMessage::Published { matches: 1 });
+
+        // Syntactic mode: "school" is not "university" and there is no
+        // professional-experience attribute at all.
+        server.handle(ClientMessage::SetMode { semantic: false });
+        assert_eq!(server.handle(publish.clone()), ServerMessage::Published { matches: 0 });
+        server.handle(ClientMessage::SetMode { semantic: true });
+        assert_eq!(server.handle(publish), ServerMessage::Published { matches: 1 });
+    }
+
+    #[test]
+    fn frames_decode_and_errors_are_replies() {
+        let server = server();
+        let mut buf = BytesMut::new();
+        encode_client(
+            &ClientMessage::Register { name: "x".into(), transport: TransportKind::Sms },
+            &mut buf,
+        );
+        let reply = server.handle_frame(buf.freeze());
+        assert!(matches!(reply, ServerMessage::Registered { .. }));
+
+        let garbage = Bytes::from_static(&[0xDE, 0xAD]);
+        let reply = server.handle_frame(garbage);
+        assert!(matches!(reply, ServerMessage::Error { .. }));
+    }
+
+    #[test]
+    fn handle_frame_encoded_roundtrips() {
+        let server = server();
+        let mut buf = BytesMut::new();
+        encode_client(
+            &ClientMessage::Register { name: "x".into(), transport: TransportKind::Udp },
+            &mut buf,
+        );
+        let mut reply = server.handle_frame_encoded(buf.freeze());
+        let decoded = crate::wire::decode_server(&mut reply).unwrap();
+        assert!(matches!(decoded, ServerMessage::Registered { .. }));
+    }
+
+    #[test]
+    fn subscribe_for_unknown_client_is_an_error_reply() {
+        let server = server();
+        let reply = server.handle(ClientMessage::Subscribe {
+            client: crate::client::ClientId(404),
+            predicates: vec![],
+        });
+        assert!(matches!(reply, ServerMessage::Error { .. }));
+    }
+
+    #[test]
+    fn subscription_to_wire_reverses_interning() {
+        let server = server();
+        let company = register(&server, "acme");
+        let _ = company;
+        let mut interner = Interner::new();
+        let sub = stopss_types::SubscriptionBuilder::new(&mut interner)
+            .term_eq("university", "uoft")
+            .build(stopss_types::SubId(1));
+        let wire = subscription_to_wire(&sub, &interner);
+        assert_eq!(wire[0].attr, "university");
+        assert_eq!(wire[0].value, WireValue::Term("uoft".into()));
+    }
+}

@@ -1,0 +1,593 @@
+//! Wire codec for the demo protocol.
+//!
+//! The demonstration's web front-end and workload generator talk to
+//! S-ToPSS through a small binary protocol: length-framed messages with
+//! self-describing payloads (terms travel as strings; the receiving side
+//! re-interns them). Encoding uses `bytes`; decoding is total — malformed
+//! input yields a [`WireError`], never a panic.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use stopss_types::{Interner, Operator, SubId, Value};
+
+use crate::client::ClientId;
+use crate::transport::TransportKind;
+
+/// Decoding errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended mid-message.
+    UnexpectedEof,
+    /// Unknown tag byte for the given context.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A length field exceeded sane bounds.
+    BadLength(u64),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnexpectedEof => f.write_str("unexpected end of input"),
+            WireError::BadTag(t) => write!(f, "unknown tag byte {t:#x}"),
+            WireError::BadUtf8 => f.write_str("invalid utf-8 in string field"),
+            WireError::BadLength(n) => write!(f, "length field out of bounds: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Upper bound on any length field; keeps a corrupted frame from
+/// requesting gigabytes.
+const MAX_LEN: u64 = 1 << 20;
+
+/// A value as it travels on the wire (terms as strings).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireValue {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Categorical term.
+    Term(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl WireValue {
+    /// Converts a typed value for transmission.
+    pub fn from_value(value: &Value, interner: &Interner) -> WireValue {
+        match value {
+            Value::Int(i) => WireValue::Int(*i),
+            Value::Float(f) => WireValue::Float(*f),
+            Value::Bool(b) => WireValue::Bool(*b),
+            Value::Sym(s) => {
+                WireValue::Term(interner.try_resolve(*s).unwrap_or("<foreign>").to_owned())
+            }
+        }
+    }
+
+    /// Converts back to a typed value, interning terms.
+    pub fn into_value(self, interner: &mut Interner) -> Value {
+        match self {
+            WireValue::Int(i) => Value::Int(i),
+            WireValue::Float(f) => Value::Float(f),
+            WireValue::Bool(b) => Value::Bool(b),
+            WireValue::Term(t) => Value::Sym(interner.intern(&t)),
+        }
+    }
+}
+
+/// A predicate as it travels on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WirePredicate {
+    /// Attribute name.
+    pub attr: String,
+    /// Operator.
+    pub op: Operator,
+    /// Right-hand side.
+    pub value: WireValue,
+}
+
+/// Client → server messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientMessage {
+    /// Register a client with a notification transport.
+    Register {
+        /// Display name.
+        name: String,
+        /// Preferred transport.
+        transport: TransportKind,
+    },
+    /// Register a subscription.
+    Subscribe {
+        /// Owning client.
+        client: ClientId,
+        /// Conjunctive predicates.
+        predicates: Vec<WirePredicate>,
+    },
+    /// Remove a subscription.
+    Unsubscribe {
+        /// Owning client.
+        client: ClientId,
+        /// Subscription to drop.
+        sub: SubId,
+    },
+    /// Publish an event.
+    Publish {
+        /// Publishing client.
+        client: ClientId,
+        /// Attribute–value pairs.
+        pairs: Vec<(String, WireValue)>,
+    },
+    /// Switch the broker between semantic and syntactic mode (§4: "the
+    /// application can run in two different modes").
+    SetMode {
+        /// True = semantic, false = syntactic.
+        semantic: bool,
+    },
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerMessage {
+    /// Registration accepted.
+    Registered {
+        /// Assigned id.
+        client: ClientId,
+    },
+    /// Subscription accepted.
+    Subscribed {
+        /// Assigned id.
+        sub: SubId,
+    },
+    /// Unsubscribe result.
+    Unsubscribed {
+        /// Whether the subscription existed and was owned by the caller.
+        ok: bool,
+    },
+    /// Publish accepted.
+    Published {
+        /// Number of subscriptions the event matched.
+        matches: u32,
+    },
+    /// Mode switched.
+    ModeSet {
+        /// True = semantic.
+        semantic: bool,
+    },
+    /// Request failed.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::UnexpectedEof);
+    }
+    let len = buf.get_u32_le() as u64;
+    if len > MAX_LEN {
+        return Err(WireError::BadLength(len));
+    }
+    let len = len as usize;
+    if buf.remaining() < len {
+        return Err(WireError::UnexpectedEof);
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64, WireError> {
+    if buf.remaining() < 8 {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn put_value(buf: &mut BytesMut, value: &WireValue) {
+    match value {
+        WireValue::Int(i) => {
+            buf.put_u8(0);
+            buf.put_i64_le(*i);
+        }
+        WireValue::Float(f) => {
+            buf.put_u8(1);
+            buf.put_u64_le(f.to_bits());
+        }
+        WireValue::Term(t) => {
+            buf.put_u8(2);
+            put_string(buf, t);
+        }
+        WireValue::Bool(b) => {
+            buf.put_u8(3);
+            buf.put_u8(*b as u8);
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> Result<WireValue, WireError> {
+    match get_u8(buf)? {
+        0 => {
+            if buf.remaining() < 8 {
+                return Err(WireError::UnexpectedEof);
+            }
+            Ok(WireValue::Int(buf.get_i64_le()))
+        }
+        1 => Ok(WireValue::Float(f64::from_bits(get_u64(buf)?))),
+        2 => Ok(WireValue::Term(get_string(buf)?)),
+        3 => Ok(WireValue::Bool(get_u8(buf)? != 0)),
+        tag => Err(WireError::BadTag(tag)),
+    }
+}
+
+fn operator_tag(op: Operator) -> u8 {
+    Operator::ALL.iter().position(|o| *o == op).unwrap() as u8
+}
+
+fn operator_from_tag(tag: u8) -> Result<Operator, WireError> {
+    Operator::ALL.get(tag as usize).copied().ok_or(WireError::BadTag(tag))
+}
+
+fn transport_tag(kind: TransportKind) -> u8 {
+    TransportKind::ALL.iter().position(|k| *k == kind).unwrap() as u8
+}
+
+fn transport_from_tag(tag: u8) -> Result<TransportKind, WireError> {
+    TransportKind::ALL.get(tag as usize).copied().ok_or(WireError::BadTag(tag))
+}
+
+fn put_predicate(buf: &mut BytesMut, p: &WirePredicate) {
+    put_string(buf, &p.attr);
+    buf.put_u8(operator_tag(p.op));
+    put_value(buf, &p.value);
+}
+
+fn get_predicate(buf: &mut Bytes) -> Result<WirePredicate, WireError> {
+    let attr = get_string(buf)?;
+    let op = operator_from_tag(get_u8(buf)?)?;
+    let value = get_value(buf)?;
+    Ok(WirePredicate { attr, op, value })
+}
+
+fn get_count(buf: &mut Bytes) -> Result<usize, WireError> {
+    let n = get_u32(buf)? as u64;
+    if n > MAX_LEN {
+        return Err(WireError::BadLength(n));
+    }
+    Ok(n as usize)
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// Encodes a client message (payload only; see [`write_frame`]).
+pub fn encode_client(msg: &ClientMessage, buf: &mut BytesMut) {
+    match msg {
+        ClientMessage::Register { name, transport } => {
+            buf.put_u8(0);
+            put_string(buf, name);
+            buf.put_u8(transport_tag(*transport));
+        }
+        ClientMessage::Subscribe { client, predicates } => {
+            buf.put_u8(1);
+            buf.put_u64_le(client.0);
+            buf.put_u32_le(predicates.len() as u32);
+            for p in predicates {
+                put_predicate(buf, p);
+            }
+        }
+        ClientMessage::Unsubscribe { client, sub } => {
+            buf.put_u8(2);
+            buf.put_u64_le(client.0);
+            buf.put_u64_le(sub.0);
+        }
+        ClientMessage::Publish { client, pairs } => {
+            buf.put_u8(3);
+            buf.put_u64_le(client.0);
+            buf.put_u32_le(pairs.len() as u32);
+            for (attr, value) in pairs {
+                put_string(buf, attr);
+                put_value(buf, value);
+            }
+        }
+        ClientMessage::SetMode { semantic } => {
+            buf.put_u8(4);
+            buf.put_u8(*semantic as u8);
+        }
+    }
+}
+
+/// Decodes a client message.
+pub fn decode_client(buf: &mut Bytes) -> Result<ClientMessage, WireError> {
+    match get_u8(buf)? {
+        0 => {
+            let name = get_string(buf)?;
+            let transport = transport_from_tag(get_u8(buf)?)?;
+            Ok(ClientMessage::Register { name, transport })
+        }
+        1 => {
+            let client = ClientId(get_u64(buf)?);
+            let n = get_count(buf)?;
+            let mut predicates = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                predicates.push(get_predicate(buf)?);
+            }
+            Ok(ClientMessage::Subscribe { client, predicates })
+        }
+        2 => Ok(ClientMessage::Unsubscribe {
+            client: ClientId(get_u64(buf)?),
+            sub: SubId(get_u64(buf)?),
+        }),
+        3 => {
+            let client = ClientId(get_u64(buf)?);
+            let n = get_count(buf)?;
+            let mut pairs = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                let attr = get_string(buf)?;
+                let value = get_value(buf)?;
+                pairs.push((attr, value));
+            }
+            Ok(ClientMessage::Publish { client, pairs })
+        }
+        4 => Ok(ClientMessage::SetMode { semantic: get_u8(buf)? != 0 }),
+        tag => Err(WireError::BadTag(tag)),
+    }
+}
+
+/// Encodes a server message.
+pub fn encode_server(msg: &ServerMessage, buf: &mut BytesMut) {
+    match msg {
+        ServerMessage::Registered { client } => {
+            buf.put_u8(0);
+            buf.put_u64_le(client.0);
+        }
+        ServerMessage::Subscribed { sub } => {
+            buf.put_u8(1);
+            buf.put_u64_le(sub.0);
+        }
+        ServerMessage::Unsubscribed { ok } => {
+            buf.put_u8(2);
+            buf.put_u8(*ok as u8);
+        }
+        ServerMessage::Published { matches } => {
+            buf.put_u8(3);
+            buf.put_u32_le(*matches);
+        }
+        ServerMessage::ModeSet { semantic } => {
+            buf.put_u8(4);
+            buf.put_u8(*semantic as u8);
+        }
+        ServerMessage::Error { message } => {
+            buf.put_u8(5);
+            put_string(buf, message);
+        }
+    }
+}
+
+/// Decodes a server message.
+pub fn decode_server(buf: &mut Bytes) -> Result<ServerMessage, WireError> {
+    match get_u8(buf)? {
+        0 => Ok(ServerMessage::Registered { client: ClientId(get_u64(buf)?) }),
+        1 => Ok(ServerMessage::Subscribed { sub: SubId(get_u64(buf)?) }),
+        2 => Ok(ServerMessage::Unsubscribed { ok: get_u8(buf)? != 0 }),
+        3 => Ok(ServerMessage::Published { matches: get_u32(buf)? }),
+        4 => Ok(ServerMessage::ModeSet { semantic: get_u8(buf)? != 0 }),
+        5 => Ok(ServerMessage::Error { message: get_string(buf)? }),
+        tag => Err(WireError::BadTag(tag)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Appends `payload` to `stream` as one length-prefixed frame.
+pub fn write_frame(stream: &mut BytesMut, payload: &[u8]) {
+    stream.put_u32_le(payload.len() as u32);
+    stream.put_slice(payload);
+}
+
+/// Pops one complete frame off `stream`, or returns `None` if more bytes
+/// are needed. Corrupted length fields are reported as errors.
+pub fn try_read_frame(stream: &mut BytesMut) -> Result<Option<Bytes>, WireError> {
+    if stream.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([stream[0], stream[1], stream[2], stream[3]]) as u64;
+    if len > MAX_LEN {
+        return Err(WireError::BadLength(len));
+    }
+    let len = len as usize;
+    if stream.len() < 4 + len {
+        return Ok(None);
+    }
+    stream.advance(4);
+    Ok(Some(stream.split_to(len).freeze()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_client(msg: ClientMessage) {
+        let mut buf = BytesMut::new();
+        encode_client(&msg, &mut buf);
+        let mut bytes = buf.freeze();
+        let decoded = decode_client(&mut bytes).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(bytes.remaining(), 0, "nothing left over");
+    }
+
+    fn roundtrip_server(msg: ServerMessage) {
+        let mut buf = BytesMut::new();
+        encode_server(&msg, &mut buf);
+        let mut bytes = buf.freeze();
+        let decoded = decode_server(&mut bytes).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn client_messages_roundtrip() {
+        roundtrip_client(ClientMessage::Register {
+            name: "acme corp".into(),
+            transport: TransportKind::Smtp,
+        });
+        roundtrip_client(ClientMessage::Subscribe {
+            client: ClientId(7),
+            predicates: vec![
+                WirePredicate {
+                    attr: "university".into(),
+                    op: Operator::Eq,
+                    value: WireValue::Term("toronto".into()),
+                },
+                WirePredicate {
+                    attr: "professional experience".into(),
+                    op: Operator::Ge,
+                    value: WireValue::Int(4),
+                },
+            ],
+        });
+        roundtrip_client(ClientMessage::Unsubscribe { client: ClientId(7), sub: SubId(3) });
+        roundtrip_client(ClientMessage::Publish {
+            client: ClientId(8),
+            pairs: vec![
+                ("school".into(), WireValue::Term("toronto".into())),
+                ("graduation year".into(), WireValue::Int(1990)),
+                ("gpa".into(), WireValue::Float(3.9)),
+                ("available".into(), WireValue::Bool(true)),
+            ],
+        });
+        roundtrip_client(ClientMessage::SetMode { semantic: false });
+    }
+
+    #[test]
+    fn server_messages_roundtrip() {
+        roundtrip_server(ServerMessage::Registered { client: ClientId(1) });
+        roundtrip_server(ServerMessage::Subscribed { sub: SubId(9) });
+        roundtrip_server(ServerMessage::Unsubscribed { ok: true });
+        roundtrip_server(ServerMessage::Published { matches: 42 });
+        roundtrip_server(ServerMessage::ModeSet { semantic: true });
+        roundtrip_server(ServerMessage::Error { message: "no such client".into() });
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut buf = BytesMut::new();
+        encode_client(
+            &ClientMessage::Register { name: "x".into(), transport: TransportKind::Tcp },
+            &mut buf,
+        );
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut partial = full.slice(0..cut);
+            assert!(decode_client(&mut partial).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let mut bytes = Bytes::from_static(&[99]);
+        assert_eq!(decode_client(&mut bytes), Err(WireError::BadTag(99)));
+        let mut bytes = Bytes::from_static(&[99]);
+        assert_eq!(decode_server(&mut bytes), Err(WireError::BadTag(99)));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0); // Register
+        buf.put_u32_le(u32::MAX); // absurd name length
+        let mut bytes = buf.freeze();
+        assert!(matches!(decode_client(&mut bytes), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0); // Register
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        buf.put_u8(0);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_client(&mut bytes), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn framing_reassembles_partial_streams() {
+        let mut payload = BytesMut::new();
+        encode_server(&ServerMessage::Published { matches: 7 }, &mut payload);
+        let payload = payload.freeze();
+
+        let mut stream = BytesMut::new();
+        write_frame(&mut stream, &payload);
+        write_frame(&mut stream, &payload);
+
+        // Feed the stream byte by byte into a reassembly buffer.
+        let full = stream.freeze();
+        let mut rx = BytesMut::new();
+        let mut frames = Vec::new();
+        for b in full.iter() {
+            rx.put_u8(*b);
+            while let Some(frame) = try_read_frame(&mut rx).unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        for mut frame in frames {
+            assert_eq!(
+                decode_server(&mut frame).unwrap(),
+                ServerMessage::Published { matches: 7 }
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_length_is_an_error() {
+        let mut rx = BytesMut::new();
+        rx.put_u32_le(u32::MAX);
+        rx.put_slice(&[0; 16]);
+        assert!(matches!(try_read_frame(&mut rx), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn wire_value_conversions() {
+        let mut interner = Interner::new();
+        let sym = interner.intern("phd");
+        let v = Value::Sym(sym);
+        let wire = WireValue::from_value(&v, &interner);
+        assert_eq!(wire, WireValue::Term("phd".into()));
+        let back = wire.into_value(&mut interner);
+        assert_eq!(back, v);
+        assert_eq!(
+            WireValue::from_value(&Value::Float(1.5), &interner),
+            WireValue::Float(1.5)
+        );
+    }
+}

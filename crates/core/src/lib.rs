@@ -1,0 +1,43 @@
+//! # stopss-core
+//!
+//! The primary contribution of the S-ToPSS paper: a semantic layer that
+//! wraps unmodified content-based matching engines so that syntactically
+//! different but semantically related publications and subscriptions match
+//! (Petrovic, Burcea, Jacobsen — VLDB 2003).
+//!
+//! The architecture follows Figure 1 of the paper:
+//!
+//! ```text
+//! event ──▶ synonym stage ──▶ hierarchy stage ⇄ mapping stage ──▶ engine ──▶ matches
+//! sub  ───▶ synonym stage ──▶ (strategy-dependent rewrite)   ──▶ engine
+//! ```
+//!
+//! * [`semantic_closure`] — the bounded fixpoint of the hierarchy/mapping
+//!   interplay, flattened into one multi-valued event;
+//! * [`Strategy`] — three ways to drive the engine (paper-faithful event
+//!   materialization, flattened closure, subscription rewriting);
+//! * [`Tolerance`] / [`StageMask`] — the information-loss knob (§3.2);
+//! * [`SToPSS`] — the matcher: subscribe / publish / provenance;
+//! * [`oracle`] — the executable definition of semantic matching, used as
+//!   ground truth by the property tests.
+
+#![warn(missing_docs)]
+
+pub mod closure;
+pub mod config;
+pub mod matcher;
+pub mod oracle;
+pub mod provenance;
+pub mod strategy;
+pub mod tolerance;
+
+pub use closure::{
+    semantic_closure, synonym_resolve_event, synonym_resolve_subscription, ClosedEvent,
+    ClosureLimits, PairInfo,
+};
+pub use config::{Config, Limits, Strategy};
+pub use matcher::{MatcherStats, PublishResult, SToPSS};
+pub use oracle::{classify_match, semantic_match};
+pub use provenance::{Match, MatchOrigin, OriginCounts};
+pub use strategy::{expand_subscription, materialize_match, MaterializeOutcome, RewriteExpansion};
+pub use tolerance::{StageMask, Tolerance};

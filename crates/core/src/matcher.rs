@@ -1,0 +1,554 @@
+//! The S-ToPSS matcher: semantic stages wrapped around a syntactic engine.
+//!
+//! [`SToPSS`] is the system of Figure 1. Subscriptions enter through the
+//! synonym stage ("root subscription"); publications run the configured
+//! strategy (flattened closure, event materialization, or pre-expanded
+//! subscriptions) and the resulting candidates are filtered by each
+//! subscriber's information-loss tolerance and annotated with provenance.
+
+use std::sync::Arc;
+
+use stopss_matching::MatchingEngine;
+use stopss_ontology::SemanticSource;
+use stopss_types::{
+    Event, FxHashMap, FxHashSet, Interner, SharedInterner, SubId, Subscription,
+};
+
+use crate::closure::{semantic_closure, synonym_resolve_subscription};
+use crate::config::{Config, Strategy};
+use crate::oracle::{classify_match, semantic_match};
+use crate::provenance::{Match, MatchOrigin};
+use crate::strategy::{expand_subscription, materialize_match};
+use crate::tolerance::Tolerance;
+
+/// Counters accumulated across the matcher's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatcherStats {
+    /// Publications processed.
+    pub published: u64,
+    /// Derived events fed to the engine (materializing strategy counts
+    /// every derived event; the others count one per publication).
+    pub derived_events: u64,
+    /// Total pairs in closed events (flattened strategies).
+    pub closure_pairs: u64,
+    /// Publications whose semantic processing hit a resource bound.
+    pub truncations: u64,
+    /// Per-candidate tolerance verifications performed.
+    pub verifications: u64,
+    /// Candidates rejected by per-subscription tolerance.
+    pub verify_rejections: u64,
+    /// Subscriptions whose rewrite expansion was clipped by
+    /// `max_rewrites`.
+    pub rewrite_truncations: u64,
+}
+
+/// Detailed result of one publication.
+#[derive(Clone, Debug)]
+pub struct PublishResult {
+    /// The matched subscriptions with provenance.
+    pub matches: Vec<Match>,
+    /// Derived events the engine saw for this publication.
+    pub derived_events: usize,
+    /// Pairs in the closed event (0 for the materializing strategy).
+    pub closure_pairs: usize,
+    /// True if a resource bound clipped semantic processing.
+    pub truncated: bool,
+}
+
+struct SubEntry {
+    /// The subscription exactly as the subscriber registered it.
+    original: Subscription,
+    /// The tolerance the subscriber asked for (re-clamped on rebuild).
+    requested: Tolerance,
+    /// `requested` clamped to the current system configuration.
+    effective: Tolerance,
+    /// Engine subscriptions this user subscription expanded to.
+    engine_ids: Vec<SubId>,
+    /// True if candidates must be re-verified against `effective`.
+    needs_verify: bool,
+}
+
+/// The semantic publish/subscribe matcher.
+pub struct SToPSS {
+    config: Config,
+    source: Arc<dyn SemanticSource>,
+    interner: SharedInterner,
+    engine: Box<dyn MatchingEngine>,
+    subs: FxHashMap<SubId, SubEntry>,
+    engine_to_user: FxHashMap<SubId, SubId>,
+    next_engine_id: u64,
+    stats: MatcherStats,
+}
+
+impl SToPSS {
+    /// Creates a matcher over `source` using `interner` for all terms.
+    pub fn new(config: Config, source: Arc<dyn SemanticSource>, interner: SharedInterner) -> Self {
+        SToPSS {
+            engine: config.engine.build(),
+            config,
+            source,
+            interner,
+            subs: FxHashMap::default(),
+            engine_to_user: FxHashMap::default(),
+            next_engine_id: 1,
+            stats: MatcherStats::default(),
+        }
+    }
+
+    /// The interner shared with publishers/subscribers.
+    pub fn interner(&self) -> &SharedInterner {
+        &self.interner
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The semantic knowledge source.
+    pub fn source(&self) -> &Arc<dyn SemanticSource> {
+        &self.source
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &MatcherStats {
+        &self.stats
+    }
+
+    /// Number of user subscriptions.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// True if no subscriptions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// The original subscription registered under `id`.
+    pub fn subscription(&self, id: SubId) -> Option<&Subscription> {
+        self.subs.get(&id).map(|e| &e.original)
+    }
+
+    /// The effective (clamped) tolerance of subscription `id`.
+    pub fn tolerance(&self, id: SubId) -> Option<Tolerance> {
+        self.subs.get(&id).map(|e| e.effective)
+    }
+
+    /// Registers a subscription with the system-wide tolerance.
+    pub fn subscribe(&mut self, sub: Subscription) {
+        self.subscribe_with_tolerance(sub, self.config.system_tolerance());
+    }
+
+    /// Registers a subscription with a subscriber-specific tolerance
+    /// (clamped to the system configuration — a subscriber can opt out of
+    /// semantics, never into more than the system allows).
+    pub fn subscribe_with_tolerance(&mut self, sub: Subscription, tolerance: Tolerance) {
+        self.unsubscribe(sub.id());
+        let entry = self.build_entry(sub, tolerance);
+        self.subs.insert(entry.original.id(), entry);
+    }
+
+    fn build_entry(&mut self, sub: Subscription, requested: Tolerance) -> SubEntry {
+        let system = self.config.system_tolerance();
+        let effective = requested.clamp_to(&system);
+        let needs_verify = effective != system;
+
+        // Engine subscriptions live in canonical (root-term) space whenever
+        // the system runs the synonym stage.
+        let canonical = if self.config.stages.synonym() {
+            synonym_resolve_subscription(&sub, self.source.as_ref())
+        } else {
+            sub.clone()
+        };
+
+        let mut engine_ids = Vec::new();
+        match self.config.strategy {
+            Strategy::MaterializeEvents | Strategy::GeneralizedEvent => {
+                let engine_id = self.alloc_engine_id();
+                self.engine.insert(canonical.with_id(engine_id));
+                self.engine_to_user.insert(engine_id, sub.id());
+                engine_ids.push(engine_id);
+            }
+            Strategy::SubscriptionRewrite => {
+                let use_hierarchy = self.config.stages.hierarchy() && effective.stages.hierarchy();
+                let expansion = expand_subscription(
+                    &canonical,
+                    self.source.as_ref(),
+                    use_hierarchy,
+                    effective.max_distance,
+                    self.config.limits.max_rewrites,
+                );
+                if expansion.truncated {
+                    self.stats.rewrite_truncations += 1;
+                }
+                for combo in expansion.combos {
+                    let engine_id = self.alloc_engine_id();
+                    self.engine.insert(Subscription::new(engine_id, combo));
+                    self.engine_to_user.insert(engine_id, sub.id());
+                    engine_ids.push(engine_id);
+                }
+            }
+        }
+        SubEntry { original: sub, requested, effective, engine_ids, needs_verify }
+    }
+
+    fn alloc_engine_id(&mut self) -> SubId {
+        let id = SubId(self.next_engine_id);
+        self.next_engine_id += 1;
+        id
+    }
+
+    /// Removes a subscription; returns whether it existed.
+    pub fn unsubscribe(&mut self, id: SubId) -> bool {
+        let Some(entry) = self.subs.remove(&id) else {
+            return false;
+        };
+        for engine_id in entry.engine_ids {
+            self.engine.remove(engine_id);
+            self.engine_to_user.remove(&engine_id);
+        }
+        true
+    }
+
+    /// Publishes an event, returning the matched subscriptions.
+    pub fn publish(&mut self, event: &Event) -> Vec<Match> {
+        self.publish_detailed(event).matches
+    }
+
+    /// Publishes an event, returning matches plus processing counters.
+    pub fn publish_detailed(&mut self, event: &Event) -> PublishResult {
+        let interner = self.interner.clone();
+        interner.with(|i| self.publish_inner(event, i))
+    }
+
+    fn publish_inner(&mut self, event_raw: &Event, interner: &Interner) -> PublishResult {
+        self.stats.published += 1;
+        let mut result = PublishResult {
+            matches: Vec::new(),
+            derived_events: 0,
+            closure_pairs: 0,
+            truncated: false,
+        };
+        let mut candidate_engine_ids: Vec<SubId> = Vec::new();
+
+        match self.config.strategy {
+            Strategy::GeneralizedEvent => {
+                let closed = semantic_closure(
+                    event_raw,
+                    self.source.as_ref(),
+                    self.config.stages,
+                    self.config.max_distance,
+                    self.config.now_year,
+                    interner,
+                    &self.config.limits.closure,
+                );
+                result.derived_events = 1;
+                result.closure_pairs = closed.event.len();
+                result.truncated = closed.truncated;
+                self.engine.match_event(&closed.event, interner, &mut candidate_engine_ids);
+            }
+            Strategy::SubscriptionRewrite => {
+                // Hierarchy handled at subscribe time; publications only
+                // run the synonym and mapping stages.
+                let stages = self.config.stages.without(crate::tolerance::StageMask::HIERARCHY);
+                let closed = semantic_closure(
+                    event_raw,
+                    self.source.as_ref(),
+                    stages,
+                    self.config.max_distance,
+                    self.config.now_year,
+                    interner,
+                    &self.config.limits.closure,
+                );
+                result.derived_events = 1;
+                result.closure_pairs = closed.event.len();
+                result.truncated = closed.truncated;
+                self.engine.match_event(&closed.event, interner, &mut candidate_engine_ids);
+            }
+            Strategy::MaterializeEvents => {
+                let mut candidates: FxHashSet<SubId> = FxHashSet::default();
+                let outcome = materialize_match(
+                    event_raw,
+                    self.source.as_ref(),
+                    self.config.stages,
+                    self.config.max_distance,
+                    self.config.now_year,
+                    interner,
+                    &self.config.limits,
+                    self.engine.as_mut(),
+                    &mut candidates,
+                );
+                result.derived_events = outcome.derived_events;
+                result.truncated = outcome.truncated;
+                candidate_engine_ids.extend(candidates);
+            }
+        }
+        if result.truncated {
+            self.stats.truncations += 1;
+        }
+        self.stats.derived_events += result.derived_events as u64;
+        self.stats.closure_pairs += result.closure_pairs as u64;
+
+        // Engine ids → user ids, deduplicated (rewrite fans out; the
+        // materializing strategy already deduplicated engine ids).
+        let mut user_ids: Vec<SubId> = candidate_engine_ids
+            .iter()
+            .filter_map(|eid| self.engine_to_user.get(eid).copied())
+            .collect();
+        user_ids.sort_unstable();
+        user_ids.dedup();
+
+        for user_id in user_ids {
+            let entry = self.subs.get(&user_id).expect("engine ids map to live subscriptions");
+            if entry.needs_verify {
+                self.stats.verifications += 1;
+                let ok = semantic_match(
+                    &entry.original,
+                    event_raw,
+                    self.source.as_ref(),
+                    &entry.effective,
+                    self.config.now_year,
+                    interner,
+                    &self.config.limits.closure,
+                );
+                if !ok {
+                    self.stats.verify_rejections += 1;
+                    continue;
+                }
+            }
+            let origin = if self.config.track_provenance {
+                classify_match(
+                    &entry.original,
+                    event_raw,
+                    self.source.as_ref(),
+                    self.config.stages,
+                    self.config.now_year,
+                    interner,
+                    &self.config.limits.closure,
+                )
+            } else {
+                MatchOrigin::Unclassified
+            };
+            result.matches.push(Match { sub: user_id, origin });
+        }
+        result
+    }
+
+    /// Switches the enabled stages (the demo's semantic/syntactic mode
+    /// switch) and rebuilds every engine subscription accordingly.
+    pub fn set_stages(&mut self, stages: crate::tolerance::StageMask) {
+        self.config.stages = stages;
+        self.rebuild();
+    }
+
+    /// Replaces the configuration (engine, strategy, stages, …) and
+    /// rebuilds all engine state from the stored original subscriptions.
+    pub fn reconfigure(&mut self, config: Config) {
+        self.config = config;
+        self.engine = self.config.engine.build();
+        self.engine_to_user.clear();
+        self.rebuild_entries();
+    }
+
+    fn rebuild(&mut self) {
+        self.engine.clear();
+        self.engine_to_user.clear();
+        self.rebuild_entries();
+    }
+
+    fn rebuild_entries(&mut self) {
+        let old: Vec<(Subscription, Tolerance)> = self
+            .subs
+            .drain()
+            .map(|(_, e)| (e.original, e.requested))
+            .collect();
+        for (sub, requested) in old {
+            let entry = self.build_entry(sub, requested);
+            self.subs.insert(entry.original.id(), entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tolerance::StageMask;
+    use stopss_matching::EngineKind;
+    use stopss_ontology::{Expr, MappingFunction, Ontology, PatternItem, Production};
+    use stopss_types::{EventBuilder, Operator, SubscriptionBuilder};
+
+    /// Builds the paper's world against one plain interner, then shares it.
+    struct World {
+        interner: SharedInterner,
+        source: Arc<Ontology>,
+        sub: Subscription,
+        event: Event,
+        degree_sub: Subscription,
+        phd_event: Event,
+    }
+
+    fn world() -> World {
+        let mut i = Interner::new();
+        let mut o = Ontology::new("jobs");
+        let university = i.intern("university");
+        let school = i.intern("school");
+        o.synonyms.add_synonym(university, school, &i).unwrap();
+        let degree = i.intern("degree");
+        let grad = i.intern("graduate_degree");
+        let phd = i.intern("phd");
+        o.taxonomy.add_isa(grad, degree, &i).unwrap();
+        o.taxonomy.add_isa(phd, grad, &i).unwrap();
+        let gy = i.intern("graduation_year");
+        let pe = i.intern("professional_experience");
+        o.mappings
+            .register(MappingFunction::new(
+                "experience",
+                vec![PatternItem { attr: gy, guard: None }],
+                vec![Production { attr: pe, expr: Expr::sub(Expr::Now, Expr::Attr(gy)) }],
+            ))
+            .unwrap();
+
+        let sub = SubscriptionBuilder::new(&mut i)
+            .term_eq("university", "toronto")
+            .pred("professional_experience", Operator::Ge, 4i64)
+            .build(SubId(100));
+        let event = EventBuilder::new(&mut i)
+            .term("school", "toronto")
+            .pair("graduation_year", 1993i64)
+            .build();
+        let degree_sub =
+            SubscriptionBuilder::new(&mut i).term_eq("credential", "degree").build(SubId(1));
+        let phd_event = EventBuilder::new(&mut i).term("credential", "phd").build();
+
+        World {
+            interner: SharedInterner::from_interner(i),
+            source: Arc::new(o),
+            sub,
+            event,
+            degree_sub,
+            phd_event,
+        }
+    }
+
+    #[test]
+    fn paper_flow_matches_under_every_strategy() {
+        for strategy in Strategy::ALL {
+            for engine in EngineKind::ALL {
+                let w = world();
+                let config = Config::default().with_strategy(strategy).with_engine(engine);
+                let mut matcher = SToPSS::new(config, w.source, w.interner);
+                matcher.subscribe(w.sub);
+                let matches = matcher.publish(&w.event);
+                assert_eq!(
+                    matches.len(),
+                    1,
+                    "strategy {} engine {} must find the paper's match",
+                    strategy.name(),
+                    engine.name()
+                );
+                assert_eq!(matches[0].sub, SubId(100));
+                assert_eq!(matches[0].origin, MatchOrigin::Mapping);
+            }
+        }
+    }
+
+    #[test]
+    fn syntactic_mode_finds_nothing_for_the_paper_flow() {
+        let w = world();
+        let mut matcher = SToPSS::new(Config::syntactic(), w.source, w.interner);
+        matcher.subscribe(w.sub);
+        assert!(matcher.publish(&w.event).is_empty());
+    }
+
+    #[test]
+    fn per_subscription_tolerance_filters_matches() {
+        let w = world();
+        let mut matcher = SToPSS::new(Config::default(), w.source, w.interner);
+        // Same predicates, different tolerances.
+        let strict = w.sub.with_id(SubId(200));
+        matcher.subscribe(w.sub);
+        matcher.subscribe_with_tolerance(strict, Tolerance::syntactic());
+        let matches = matcher.publish(&w.event);
+        assert_eq!(matches.len(), 1, "the syntactic-tolerance subscriber must not match");
+        assert_eq!(matches[0].sub, SubId(100));
+        assert!(matcher.stats().verifications >= 1);
+        assert!(matcher.stats().verify_rejections >= 1);
+    }
+
+    #[test]
+    fn distance_bounded_tolerance() {
+        let w = world();
+        let mut matcher = SToPSS::new(Config::default(), w.source, w.interner);
+        matcher.subscribe_with_tolerance(w.degree_sub.clone(), Tolerance::bounded(1));
+        // phd is 2 levels below degree: outside a distance-1 tolerance.
+        assert!(matcher.publish(&w.phd_event).is_empty());
+        matcher.subscribe_with_tolerance(w.degree_sub, Tolerance::bounded(2));
+        let matches = matcher.publish(&w.phd_event);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].origin, MatchOrigin::Hierarchy { distance: 2 });
+    }
+
+    #[test]
+    fn unsubscribe_removes_all_engine_state() {
+        let w = world();
+        let config = Config::default().with_strategy(Strategy::SubscriptionRewrite);
+        let mut matcher = SToPSS::new(config, w.source, w.interner);
+        matcher.subscribe(w.degree_sub);
+        assert_eq!(matcher.len(), 1);
+        assert!(matcher.unsubscribe(SubId(1)));
+        assert!(!matcher.unsubscribe(SubId(1)));
+        assert!(matcher.publish(&w.phd_event).is_empty());
+        assert!(matcher.is_empty());
+    }
+
+    #[test]
+    fn mode_switch_rebuilds_subscriptions() {
+        let w = world();
+        let mut matcher = SToPSS::new(Config::default(), w.source, w.interner);
+        matcher.subscribe(w.sub);
+        assert_eq!(matcher.publish(&w.event).len(), 1);
+        matcher.set_stages(StageMask::syntactic());
+        assert!(matcher.publish(&w.event).is_empty(), "syntactic mode after switch");
+        matcher.set_stages(StageMask::all());
+        assert_eq!(matcher.publish(&w.event).len(), 1, "semantic mode restored");
+    }
+
+    #[test]
+    fn reconfigure_switches_engine_and_strategy() {
+        let w = world();
+        let mut matcher = SToPSS::new(Config::default(), w.source, w.interner);
+        matcher.subscribe(w.sub);
+        assert_eq!(matcher.publish(&w.event).len(), 1);
+        matcher.reconfigure(
+            Config::default()
+                .with_engine(EngineKind::Trie)
+                .with_strategy(Strategy::MaterializeEvents),
+        );
+        assert_eq!(matcher.publish(&w.event).len(), 1, "matches survive reconfiguration");
+        assert_eq!(matcher.len(), 1);
+    }
+
+    #[test]
+    fn provenance_can_be_disabled() {
+        let w = world();
+        let mut matcher =
+            SToPSS::new(Config::default().with_provenance(false), w.source, w.interner);
+        matcher.subscribe(w.sub);
+        let matches = matcher.publish(&w.event);
+        assert_eq!(matches[0].origin, MatchOrigin::Unclassified);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let w = world();
+        let mut matcher = SToPSS::new(Config::default(), w.source, w.interner);
+        matcher.subscribe(w.sub);
+        for _ in 0..5 {
+            matcher.publish(&w.event);
+        }
+        assert_eq!(matcher.stats().published, 5);
+        assert_eq!(matcher.stats().derived_events, 5);
+        assert!(matcher.stats().closure_pairs >= 5);
+    }
+}

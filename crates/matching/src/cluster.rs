@@ -1,0 +1,242 @@
+//! Access-predicate clustering (Fabret et al., SIGMOD'01).
+//!
+//! Each subscription that contains an equality predicate is filed under
+//! one of them — its *access predicate* — keyed by `(attribute, value)`.
+//! An event only examines the clusters keyed by its own pairs, plus a
+//! residual pool of subscriptions with no equality predicate. Inside a
+//! cluster the remaining predicates are evaluated directly: clusters are
+//! small when equality values are selective, which is the workload the
+//! optimization targets.
+//!
+//! The access predicate is chosen to keep clusters balanced: among a
+//! subscription's equality predicates we pick the one whose cluster is
+//! currently smallest (Fabret et al. use selectivity estimates; cluster
+//! size is the observable proxy).
+
+use stopss_types::{Event, FxHashMap, Interner, Operator, SubId, Subscription, Symbol, Value};
+
+use crate::engine::MatchingEngine;
+
+type ClusterKey = (Symbol, Value);
+
+/// Clustered matching engine.
+#[derive(Default, Debug)]
+pub struct ClusterEngine {
+    clusters: FxHashMap<ClusterKey, Vec<Subscription>>,
+    /// Subscriptions with no equality predicate (including universal ones).
+    residual: Vec<Subscription>,
+    /// id → cluster key (None = residual), for removal.
+    by_id: FxHashMap<SubId, Option<ClusterKey>>,
+    /// Scratch: cluster keys already probed for the current event.
+    probed: Vec<ClusterKey>,
+}
+
+impl ClusterEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of non-empty clusters (diagnostic).
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Size of the residual (non-clusterable) pool (diagnostic).
+    pub fn residual_len(&self) -> usize {
+        self.residual.len()
+    }
+
+    fn pick_access_predicate(&self, sub: &Subscription) -> Option<ClusterKey> {
+        sub.predicates()
+            .iter()
+            .filter(|p| p.op == Operator::Eq)
+            .map(|p| (p.attr, p.value))
+            .min_by_key(|key| self.clusters.get(key).map_or(0, Vec::len))
+    }
+}
+
+impl MatchingEngine for ClusterEngine {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn insert(&mut self, sub: Subscription) {
+        self.remove(sub.id());
+        match self.pick_access_predicate(&sub) {
+            Some(key) => {
+                self.by_id.insert(sub.id(), Some(key));
+                self.clusters.entry(key).or_default().push(sub);
+            }
+            None => {
+                self.by_id.insert(sub.id(), None);
+                self.residual.push(sub);
+            }
+        }
+    }
+
+    fn remove(&mut self, id: SubId) -> bool {
+        let Some(key) = self.by_id.remove(&id) else {
+            return false;
+        };
+        match key {
+            Some(key) => {
+                if let Some(cluster) = self.clusters.get_mut(&key) {
+                    if let Some(pos) = cluster.iter().position(|s| s.id() == id) {
+                        cluster.swap_remove(pos);
+                    }
+                    if cluster.is_empty() {
+                        self.clusters.remove(&key);
+                    }
+                }
+            }
+            None => {
+                if let Some(pos) = self.residual.iter().position(|s| s.id() == id) {
+                    self.residual.swap_remove(pos);
+                }
+            }
+        }
+        true
+    }
+
+    fn match_event(&mut self, event: &Event, interner: &Interner, out: &mut Vec<SubId>) {
+        // Residual pool: no access predicate filtered these, scan them all.
+        for sub in &self.residual {
+            if sub.matches(event, interner) {
+                out.push(sub.id());
+            }
+        }
+        // Visit each cluster keyed by an event pair exactly once, even if
+        // the (generalized) event repeats a pair.
+        self.probed.clear();
+        for (attr, value) in event.pairs() {
+            let key = (*attr, *value);
+            if self.probed.contains(&key) {
+                continue;
+            }
+            self.probed.push(key);
+            let Some(cluster) = self.clusters.get(&key) else {
+                continue;
+            };
+            for sub in cluster {
+                // The access predicate is satisfied by construction, but the
+                // remaining predicates (including other tests on the same
+                // attribute) still need checking.
+                if sub.matches(event, interner) {
+                    out.push(sub.id());
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    fn clear(&mut self) {
+        self.clusters.clear();
+        self.residual.clear();
+        self.by_id.clear();
+        self.probed.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::collect_matches;
+    use stopss_types::{EventBuilder, SubscriptionBuilder};
+
+    #[test]
+    fn clustered_subscriptions_match_only_via_their_key() {
+        let mut i = Interner::new();
+        let mut eng = ClusterEngine::new();
+        eng.insert(
+            SubscriptionBuilder::new(&mut i)
+                .term_eq("city", "berlin")
+                .pred("temp", Operator::Gt, 20i64)
+                .build(SubId(1)),
+        );
+        assert_eq!(eng.cluster_count(), 1);
+
+        let hit = EventBuilder::new(&mut i).term("city", "berlin").pair("temp", 25i64).build();
+        let cold = EventBuilder::new(&mut i).term("city", "berlin").pair("temp", 15i64).build();
+        let elsewhere = EventBuilder::new(&mut i).term("city", "paris").pair("temp", 25i64).build();
+        assert_eq!(collect_matches(&mut eng, &hit, &i), vec![SubId(1)]);
+        assert!(collect_matches(&mut eng, &cold, &i).is_empty());
+        assert!(collect_matches(&mut eng, &elsewhere, &i).is_empty());
+    }
+
+    #[test]
+    fn residual_pool_handles_no_equality_subscriptions() {
+        let mut i = Interner::new();
+        let mut eng = ClusterEngine::new();
+        eng.insert(SubscriptionBuilder::new(&mut i).pred("temp", Operator::Gt, 20i64).build(SubId(1)));
+        eng.insert(Subscription::new(SubId(2), vec![]));
+        assert_eq!(eng.residual_len(), 2);
+        assert_eq!(eng.cluster_count(), 0);
+
+        let e = EventBuilder::new(&mut i).pair("temp", 30i64).build();
+        assert_eq!(collect_matches(&mut eng, &e, &i), vec![SubId(1), SubId(2)]);
+        let empty = stopss_types::Event::new();
+        assert_eq!(collect_matches(&mut eng, &empty, &i), vec![SubId(2)]);
+    }
+
+    #[test]
+    fn access_predicate_balances_cluster_sizes() {
+        let mut i = Interner::new();
+        let mut eng = ClusterEngine::new();
+        // Ten subscriptions all sharing city=berlin; each also has a unique
+        // equality predicate, which should be preferred once the berlin
+        // cluster grows.
+        for k in 0..10u64 {
+            eng.insert(
+                SubscriptionBuilder::new(&mut i)
+                    .term_eq("city", "berlin")
+                    .term_eq("id", &format!("u{k}"))
+                    .build(SubId(k)),
+            );
+        }
+        let berlin_key = (i.get("city").unwrap(), Value::Sym(i.get("berlin").unwrap()));
+        let berlin_size = eng.clusters.get(&berlin_key).map_or(0, Vec::len);
+        assert!(berlin_size <= 1, "balancing keeps the hot cluster small, got {berlin_size}");
+    }
+
+    #[test]
+    fn duplicate_event_pairs_probe_cluster_once() {
+        let mut i = Interner::new();
+        let mut eng = ClusterEngine::new();
+        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("a", "x").build(SubId(1)));
+        let a = i.get("a").unwrap();
+        let x = Value::Sym(i.get("x").unwrap());
+        let e = Event::from_pairs(vec![(a, x), (a, x)]);
+        // collect_matches debug-asserts there are no duplicate emissions.
+        assert_eq!(collect_matches(&mut eng, &e, &i), vec![SubId(1)]);
+    }
+
+    #[test]
+    fn remove_cleans_clusters_and_residual() {
+        let mut i = Interner::new();
+        let mut eng = ClusterEngine::new();
+        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("a", "x").build(SubId(1)));
+        eng.insert(SubscriptionBuilder::new(&mut i).exists("b").build(SubId(2)));
+        assert!(eng.remove(SubId(1)));
+        assert!(eng.remove(SubId(2)));
+        assert!(!eng.remove(SubId(2)));
+        assert_eq!(eng.len(), 0);
+        assert_eq!(eng.cluster_count(), 0);
+        assert_eq!(eng.residual_len(), 0);
+    }
+
+    #[test]
+    fn reinsert_moves_between_pools() {
+        let mut i = Interner::new();
+        let mut eng = ClusterEngine::new();
+        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("a", "x").build(SubId(1)));
+        assert_eq!(eng.cluster_count(), 1);
+        eng.insert(SubscriptionBuilder::new(&mut i).pred("n", Operator::Lt, 5i64).build(SubId(1)));
+        assert_eq!(eng.cluster_count(), 0);
+        assert_eq!(eng.residual_len(), 1);
+        assert_eq!(eng.len(), 1);
+    }
+}

@@ -1,0 +1,401 @@
+//! The counting algorithm (Aguilera et al. PODC'99, Fabret et al.
+//! SIGMOD'01) — reference [1] and [4] of the S-ToPSS paper.
+//!
+//! Identical predicates across subscriptions are stored once in a global
+//! predicate table. Per attribute, an [`AttrIndex`] finds the predicates an
+//! event value satisfies; each satisfied predicate bumps a counter on every
+//! subscription that contains it, and a subscription matches when its
+//! counter reaches its predicate count. Counters are *epoch-stamped*
+//! (Fabret et al.): resetting between events is O(1) — stale counters are
+//! recognized by their epoch instead of being cleared.
+
+use stopss_types::{Event, FxHashMap, Interner, Predicate, SubId, Subscription, Symbol};
+
+use crate::engine::MatchingEngine;
+use crate::index::{AttrIndex, PredIdx};
+
+type SlotIdx = u32;
+
+#[derive(Debug)]
+struct PredEntry {
+    pred: Predicate,
+    /// How many live subscriptions reference this predicate.
+    refcount: u32,
+    /// Epoch of the last event that satisfied it (dedups multi-valued probes).
+    epoch: u64,
+    /// Slots of the subscriptions containing this predicate.
+    subscribers: Vec<SlotIdx>,
+}
+
+#[derive(Debug)]
+struct SubSlot {
+    id: SubId,
+    /// Distinct predicates required (0 = universal subscription).
+    required: u32,
+    /// Satisfied-predicate count, valid only when `epoch` is current.
+    count: u32,
+    epoch: u64,
+    pred_idxs: Box<[PredIdx]>,
+}
+
+/// Counting-algorithm matching engine.
+#[derive(Default, Debug)]
+pub struct CountingEngine {
+    preds: Vec<PredEntry>,
+    free_preds: Vec<PredIdx>,
+    pred_ids: FxHashMap<Predicate, PredIdx>,
+    attrs: FxHashMap<Symbol, AttrIndex>,
+    slots: Vec<SubSlot>,
+    free_slots: Vec<SlotIdx>,
+    by_id: FxHashMap<SubId, SlotIdx>,
+    /// Slots with zero predicates; they match every event.
+    universal: Vec<SlotIdx>,
+    epoch: u64,
+    live: usize,
+}
+
+impl CountingEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct predicates currently indexed (diagnostic;
+    /// predicate sharing across subscriptions is the point of the
+    /// algorithm).
+    pub fn distinct_predicates(&self) -> usize {
+        self.pred_ids.len()
+    }
+
+    fn intern_predicate(&mut self, pred: Predicate) -> PredIdx {
+        if let Some(&idx) = self.pred_ids.get(&pred) {
+            self.preds[idx as usize].refcount += 1;
+            return idx;
+        }
+        let idx = match self.free_preds.pop() {
+            Some(idx) => {
+                self.preds[idx as usize] =
+                    PredEntry { pred, refcount: 1, epoch: 0, subscribers: Vec::new() };
+                idx
+            }
+            None => {
+                let idx = self.preds.len() as PredIdx;
+                self.preds.push(PredEntry { pred, refcount: 1, epoch: 0, subscribers: Vec::new() });
+                idx
+            }
+        };
+        self.pred_ids.insert(pred, idx);
+        self.attrs.entry(pred.attr).or_default().insert(pred, idx);
+        idx
+    }
+
+    fn release_predicate(&mut self, idx: PredIdx) {
+        let entry = &mut self.preds[idx as usize];
+        entry.refcount -= 1;
+        if entry.refcount > 0 {
+            return;
+        }
+        let pred = entry.pred;
+        entry.subscribers.clear();
+        self.pred_ids.remove(&pred);
+        if let Some(ix) = self.attrs.get_mut(&pred.attr) {
+            ix.remove(&pred, idx);
+            if ix.is_empty() {
+                self.attrs.remove(&pred.attr);
+            }
+        }
+        self.free_preds.push(idx);
+    }
+
+    fn alloc_slot(&mut self, slot: SubSlot) -> SlotIdx {
+        match self.free_slots.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = slot;
+                idx
+            }
+            None => {
+                let idx = self.slots.len() as SlotIdx;
+                self.slots.push(slot);
+                idx
+            }
+        }
+    }
+}
+
+impl MatchingEngine for CountingEngine {
+    fn name(&self) -> &'static str {
+        "counting"
+    }
+
+    fn insert(&mut self, sub: Subscription) {
+        self.remove(sub.id());
+        // The counting algorithm counts *distinct* predicates: a
+        // subscription that repeats a predicate must not demand two
+        // increments that a single shared counter can never deliver.
+        let mut distinct: Vec<Predicate> = Vec::with_capacity(sub.len());
+        for p in sub.predicates() {
+            if !distinct.contains(p) {
+                distinct.push(*p);
+            }
+        }
+        let pred_idxs: Box<[PredIdx]> =
+            distinct.iter().map(|p| self.intern_predicate(*p)).collect();
+        let required = pred_idxs.len() as u32;
+        let slot_idx = self.alloc_slot(SubSlot {
+            id: sub.id(),
+            required,
+            count: 0,
+            epoch: 0,
+            pred_idxs,
+        });
+        // Borrow dance: register the slot with each predicate entry.
+        let pred_idxs = self.slots[slot_idx as usize].pred_idxs.clone();
+        for idx in pred_idxs.iter() {
+            self.preds[*idx as usize].subscribers.push(slot_idx);
+        }
+        if required == 0 {
+            self.universal.push(slot_idx);
+        }
+        self.by_id.insert(sub.id(), slot_idx);
+        self.live += 1;
+    }
+
+    fn remove(&mut self, id: SubId) -> bool {
+        let Some(slot_idx) = self.by_id.remove(&id) else {
+            return false;
+        };
+        let pred_idxs = std::mem::take(&mut self.slots[slot_idx as usize].pred_idxs);
+        for &pidx in pred_idxs.iter() {
+            let subscribers = &mut self.preds[pidx as usize].subscribers;
+            if let Some(pos) = subscribers.iter().position(|s| *s == slot_idx) {
+                subscribers.swap_remove(pos);
+            }
+            self.release_predicate(pidx);
+        }
+        if self.slots[slot_idx as usize].required == 0 {
+            if let Some(pos) = self.universal.iter().position(|s| *s == slot_idx) {
+                self.universal.swap_remove(pos);
+            }
+        }
+        self.free_slots.push(slot_idx);
+        self.live -= 1;
+        true
+    }
+
+    fn match_event(&mut self, event: &Event, interner: &Interner, out: &mut Vec<SubId>) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        // Split borrows: the index is read-only while predicate entries and
+        // subscription slots are updated.
+        let attrs = &self.attrs;
+        let preds = &mut self.preds;
+        let slots = &mut self.slots;
+        for &slot_idx in &self.universal {
+            out.push(slots[slot_idx as usize].id);
+        }
+        for (attr, value) in event.pairs() {
+            let Some(ix) = attrs.get(attr) else {
+                continue;
+            };
+            ix.probe(value, interner, &mut |pidx: PredIdx| {
+                let entry = &mut preds[pidx as usize];
+                if entry.epoch == epoch {
+                    return; // already satisfied by an earlier pair of this event
+                }
+                entry.epoch = epoch;
+                for &slot_idx in &entry.subscribers {
+                    let slot = &mut slots[slot_idx as usize];
+                    if slot.epoch != epoch {
+                        slot.epoch = epoch;
+                        slot.count = 0;
+                    }
+                    slot.count += 1;
+                    if slot.count == slot.required {
+                        out.push(slot.id);
+                    }
+                }
+            });
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn clear(&mut self) {
+        self.preds.clear();
+        self.free_preds.clear();
+        self.pred_ids.clear();
+        self.attrs.clear();
+        self.slots.clear();
+        self.free_slots.clear();
+        self.by_id.clear();
+        self.universal.clear();
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::collect_matches;
+    use stopss_types::{EventBuilder, Operator, SubscriptionBuilder, Value};
+
+    #[test]
+    fn basic_conjunction_matching() {
+        let mut i = Interner::new();
+        let mut eng = CountingEngine::new();
+        eng.insert(
+            SubscriptionBuilder::new(&mut i)
+                .term_eq("university", "toronto")
+                .pred("experience", Operator::Ge, 4i64)
+                .build(SubId(1)),
+        );
+        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("university", "toronto").build(SubId(2)));
+
+        let hit = EventBuilder::new(&mut i).term("university", "toronto").pair("experience", 5i64).build();
+        let partial = EventBuilder::new(&mut i).term("university", "toronto").pair("experience", 2i64).build();
+        assert_eq!(collect_matches(&mut eng, &hit, &i), vec![SubId(1), SubId(2)]);
+        assert_eq!(collect_matches(&mut eng, &partial, &i), vec![SubId(2)]);
+    }
+
+    #[test]
+    fn predicates_are_shared_across_subscriptions() {
+        let mut i = Interner::new();
+        let mut eng = CountingEngine::new();
+        for k in 0..10 {
+            eng.insert(SubscriptionBuilder::new(&mut i).term_eq("city", "berlin").build(SubId(k)));
+        }
+        assert_eq!(eng.distinct_predicates(), 1);
+        assert_eq!(eng.len(), 10);
+    }
+
+    #[test]
+    fn duplicate_predicates_in_one_subscription_still_match() {
+        let mut i = Interner::new();
+        let mut eng = CountingEngine::new();
+        eng.insert(
+            SubscriptionBuilder::new(&mut i)
+                .term_eq("a", "x")
+                .term_eq("a", "x")
+                .build(SubId(1)),
+        );
+        let e = EventBuilder::new(&mut i).term("a", "x").build();
+        assert_eq!(collect_matches(&mut eng, &e, &i), vec![SubId(1)]);
+    }
+
+    #[test]
+    fn multi_valued_event_satisfies_predicate_once() {
+        let mut i = Interner::new();
+        let mut eng = CountingEngine::new();
+        // Two predicates on the same attribute, satisfied by different pairs.
+        eng.insert(
+            SubscriptionBuilder::new(&mut i)
+                .pred("x", Operator::Gt, 5i64)
+                .pred("x", Operator::Lt, 3i64)
+                .build(SubId(1)),
+        );
+        let x = i.get("x").unwrap();
+        let e = stopss_types::Event::new().with(x, Value::Int(10)).with(x, Value::Int(1));
+        assert_eq!(collect_matches(&mut eng, &e, &i), vec![SubId(1)]);
+        // A pair satisfying the same predicate twice must not double-count.
+        let e2 = stopss_types::Event::new().with(x, Value::Int(10)).with(x, Value::Int(11));
+        assert!(collect_matches(&mut eng, &e2, &i).is_empty());
+    }
+
+    #[test]
+    fn universal_subscription_matches_every_event() {
+        let mut i = Interner::new();
+        let mut eng = CountingEngine::new();
+        eng.insert(Subscription::new(SubId(9), vec![]));
+        let e = EventBuilder::new(&mut i).pair("anything", 1i64).build();
+        assert_eq!(collect_matches(&mut eng, &e, &i), vec![SubId(9)]);
+        assert_eq!(collect_matches(&mut eng, &stopss_types::Event::new(), &i), vec![SubId(9)]);
+        assert!(eng.remove(SubId(9)));
+        assert!(collect_matches(&mut eng, &e, &i).is_empty());
+    }
+
+    #[test]
+    fn remove_releases_shared_predicates() {
+        let mut i = Interner::new();
+        let mut eng = CountingEngine::new();
+        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("city", "berlin").build(SubId(1)));
+        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("city", "berlin").build(SubId(2)));
+        assert_eq!(eng.distinct_predicates(), 1);
+        assert!(eng.remove(SubId(1)));
+        assert_eq!(eng.distinct_predicates(), 1, "still referenced by sub#2");
+        assert!(eng.remove(SubId(2)));
+        assert_eq!(eng.distinct_predicates(), 0);
+        let e = EventBuilder::new(&mut i).term("city", "berlin").build();
+        assert!(collect_matches(&mut eng, &e, &i).is_empty());
+    }
+
+    #[test]
+    fn slots_and_predicates_are_recycled() {
+        let mut i = Interner::new();
+        let mut eng = CountingEngine::new();
+        for round in 0..5 {
+            for k in 0..20u64 {
+                eng.insert(
+                    SubscriptionBuilder::new(&mut i)
+                        .term_eq("k", &format!("v{k}"))
+                        .build(SubId(k)),
+                );
+            }
+            assert_eq!(eng.len(), 20, "round {round}");
+            for k in 0..20u64 {
+                assert!(eng.remove(SubId(k)));
+            }
+            assert_eq!(eng.len(), 0);
+        }
+        assert!(eng.slots.len() <= 20, "slots must be reused, got {}", eng.slots.len());
+        assert!(eng.preds.len() <= 20, "pred entries must be reused");
+    }
+
+    #[test]
+    fn reinsert_same_id_replaces() {
+        let mut i = Interner::new();
+        let mut eng = CountingEngine::new();
+        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("a", "x").build(SubId(1)));
+        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("a", "y").build(SubId(1)));
+        assert_eq!(eng.len(), 1);
+        let ex = EventBuilder::new(&mut i).term("a", "x").build();
+        let ey = EventBuilder::new(&mut i).term("a", "y").build();
+        assert!(collect_matches(&mut eng, &ex, &i).is_empty());
+        assert_eq!(collect_matches(&mut eng, &ey, &i), vec![SubId(1)]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut i = Interner::new();
+        let mut eng = CountingEngine::new();
+        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("a", "x").build(SubId(1)));
+        eng.insert(Subscription::new(SubId(2), vec![]));
+        eng.clear();
+        assert!(eng.is_empty());
+        let e = EventBuilder::new(&mut i).term("a", "x").build();
+        assert!(collect_matches(&mut eng, &e, &i).is_empty());
+    }
+
+    #[test]
+    fn range_and_string_predicates_integrate() {
+        let mut i = Interner::new();
+        let mut eng = CountingEngine::new();
+        eng.insert(
+            SubscriptionBuilder::new(&mut i)
+                .pred("salary", Operator::Ge, 50_000i64)
+                .term("title", Operator::Contains, "developer")
+                .build(SubId(1)),
+        );
+        let hit = EventBuilder::new(&mut i)
+            .pair("salary", 60_000i64)
+            .term("title", "mainframe developer")
+            .build();
+        let miss = EventBuilder::new(&mut i)
+            .pair("salary", 40_000i64)
+            .term("title", "mainframe developer")
+            .build();
+        assert_eq!(collect_matches(&mut eng, &hit, &i), vec![SubId(1)]);
+        assert!(collect_matches(&mut eng, &miss, &i).is_empty());
+    }
+}

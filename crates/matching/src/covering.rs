@@ -1,0 +1,309 @@
+//! Subscription covering.
+//!
+//! A subscription *G covers* a subscription *S* when every event matching
+//! S necessarily matches G. Brokers use covering to prune forwarding
+//! tables and to answer "is this new subscription redundant?" — a classic
+//! content-based pub/sub optimization (Siena; also relevant to the
+//! rewrite strategy in `stopss-core`, whose expansions are all covered by
+//! the original subscription).
+//!
+//! The check here is *sound but not complete*: `covers` returning true is
+//! a guarantee; returning false only means covering could not be shown by
+//! per-predicate implication. (Completeness would require deciding
+//! implication from predicate *conjunctions*, e.g. that `x > 2 ∧ x < 4 ∧
+//! int-typed` implies `x = 3` — a cost no broker pays.)
+//!
+//! Soundness holds under the ∃-semantics of multi-valued events: if
+//! predicate `p` pointwise-implies `q`, any pair satisfying `p` satisfies
+//! `q`, so `q` is satisfied whenever `p` is, whichever pair did it.
+
+use std::cmp::Ordering;
+
+use stopss_types::{Interner, Operator, Predicate, Subscription, Value};
+
+/// Does every value satisfying `p` also satisfy `q`?
+///
+/// Predicates on different attributes never imply each other. The
+/// relation is reflexive and transitive.
+pub fn implies(p: &Predicate, q: &Predicate, interner: &Interner) -> bool {
+    if p.attr != q.attr {
+        return false;
+    }
+    if p == q {
+        return true;
+    }
+    match q.op {
+        // Anything on the attribute implies its existence.
+        Operator::Exists => true,
+        _ => match p.op {
+            // p pins the value: evaluate q on it.
+            Operator::Eq => q.eval(&p.value, interner),
+            // p only guarantees "present and ≠ c": nothing else follows
+            // (Exists was handled above; q == p was handled by equality).
+            Operator::Ne => q.op == Operator::Ne && q.value == p.value,
+            Operator::Lt | Operator::Le => range_implies(p, q),
+            Operator::Gt | Operator::Ge => range_implies(p, q),
+            Operator::Prefix | Operator::Suffix | Operator::Contains => {
+                string_implies(p, q, interner)
+            }
+            Operator::Exists => false, // mere existence implies nothing stronger
+        },
+    }
+}
+
+/// Upper bounds: `x < c` / `x ≤ c`; lower bounds: `x > c` / `x ≥ c`.
+fn range_implies(p: &Predicate, q: &Predicate) -> bool {
+    let Some(ord) = p.value.range_cmp(&q.value) else {
+        return false; // incomparable thresholds (or non-numeric): no claim
+    };
+    let strict_p = matches!(p.op, Operator::Lt | Operator::Gt);
+    match (p.op, q.op) {
+        // x <(=) c implies x <(=) d …
+        (Operator::Lt | Operator::Le, Operator::Lt) => {
+            // need (-∞, c) ⊆ (-∞, d) resp. (-∞, c] ⊆ (-∞, d)
+            if strict_p { ord.is_le() } else { ord == Ordering::Less }
+        }
+        (Operator::Lt | Operator::Le, Operator::Le) => ord.is_le(),
+        // … and x ≠ d for any d at or beyond the bound.
+        (Operator::Lt, Operator::Ne) => ord.is_le(),
+        (Operator::Le, Operator::Ne) => ord == Ordering::Less,
+        // Lower bounds mirror the upper bounds.
+        (Operator::Gt | Operator::Ge, Operator::Gt) => {
+            if strict_p { ord.is_ge() } else { ord == Ordering::Greater }
+        }
+        (Operator::Gt | Operator::Ge, Operator::Ge) => ord.is_ge(),
+        (Operator::Gt, Operator::Ne) => ord.is_ge(),
+        (Operator::Ge, Operator::Ne) => ord == Ordering::Greater,
+        _ => false,
+    }
+}
+
+fn string_implies(p: &Predicate, q: &Predicate, interner: &Interner) -> bool {
+    let (Value::Sym(ps), Value::Sym(qs)) = (p.value, q.value) else {
+        return false;
+    };
+    let (Some(pat_p), Some(pat_q)) = (interner.try_resolve(ps), interner.try_resolve(qs)) else {
+        return false;
+    };
+    match (p.op, q.op) {
+        // startswith(x, s) and s startswith t ⟹ startswith(x, t)
+        (Operator::Prefix, Operator::Prefix) => pat_p.starts_with(pat_q),
+        (Operator::Suffix, Operator::Suffix) => pat_p.ends_with(pat_q),
+        // any of the three guarantees x contains its own pattern.
+        (Operator::Prefix | Operator::Suffix | Operator::Contains, Operator::Contains) => {
+            pat_p.contains(pat_q)
+        }
+        _ => false,
+    }
+}
+
+/// Does `general` cover `specific` — is every event matching `specific`
+/// guaranteed to match `general`?
+///
+/// Sound, not complete: each predicate of `general` must be implied by
+/// some single predicate of `specific`.
+pub fn covers(general: &Subscription, specific: &Subscription, interner: &Interner) -> bool {
+    general
+        .predicates()
+        .iter()
+        .all(|q| specific.predicates().iter().any(|p| implies(p, q, interner)))
+}
+
+/// Partitions a set of subscriptions into the minimal *cover heads* (kept)
+/// and the subscriptions covered by one of them (prunable). Quadratic —
+/// intended for broker admission, not per-event paths.
+pub fn cover_heads<'a>(
+    subs: &'a [Subscription],
+    interner: &Interner,
+) -> (Vec<&'a Subscription>, Vec<&'a Subscription>) {
+    let mut heads: Vec<&Subscription> = Vec::new();
+    let mut pruned: Vec<&Subscription> = Vec::new();
+    'outer: for sub in subs {
+        // Covered by an existing head (or a duplicate of one)?
+        if heads.iter().any(|h| covers(h, sub, interner)) {
+            pruned.push(sub);
+            continue 'outer;
+        }
+        // This one may cover existing heads: demote them.
+        let mut k = 0;
+        while k < heads.len() {
+            if covers(sub, heads[k], interner) {
+                pruned.push(heads.swap_remove(k));
+            } else {
+                k += 1;
+            }
+        }
+        heads.push(sub);
+    }
+    (heads, pruned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stopss_types::{SubId, SubscriptionBuilder};
+
+    fn setup() -> Interner {
+        Interner::new()
+    }
+
+    fn pred(i: &mut Interner, attr: &str, op: Operator, v: impl Into<Value>) -> Predicate {
+        Predicate::new(i.intern(attr), op, v.into())
+    }
+
+    #[test]
+    fn equality_implies_everything_it_satisfies() {
+        let mut i = setup();
+        let eq5 = pred(&mut i, "x", Operator::Eq, 5i64);
+        assert!(implies(&eq5, &pred(&mut i, "x", Operator::Ge, 5i64), &i));
+        assert!(implies(&eq5, &pred(&mut i, "x", Operator::Lt, 6i64), &i));
+        assert!(implies(&eq5, &pred(&mut i, "x", Operator::Ne, 4i64), &i));
+        assert!(implies(&eq5, &Predicate::exists(i.intern("x")), &i));
+        assert!(!implies(&eq5, &pred(&mut i, "x", Operator::Gt, 5i64), &i));
+        assert!(!implies(&eq5, &pred(&mut i, "y", Operator::Ge, 0i64), &i), "different attr");
+    }
+
+    #[test]
+    fn range_implication_boundaries() {
+        let mut i = setup();
+        let lt5 = pred(&mut i, "x", Operator::Lt, 5i64);
+        let le5 = pred(&mut i, "x", Operator::Le, 5i64);
+        assert!(implies(&lt5, &pred(&mut i, "x", Operator::Lt, 5i64), &i));
+        assert!(implies(&lt5, &pred(&mut i, "x", Operator::Lt, 6i64), &i));
+        assert!(implies(&lt5, &pred(&mut i, "x", Operator::Le, 5i64), &i));
+        assert!(implies(&lt5, &pred(&mut i, "x", Operator::Ne, 5i64), &i));
+        assert!(implies(&lt5, &pred(&mut i, "x", Operator::Ne, 7i64), &i));
+        assert!(!implies(&lt5, &pred(&mut i, "x", Operator::Ne, 4i64), &i));
+        assert!(!implies(&lt5, &pred(&mut i, "x", Operator::Lt, 4i64), &i));
+
+        assert!(implies(&le5, &pred(&mut i, "x", Operator::Le, 5i64), &i));
+        assert!(!implies(&le5, &pred(&mut i, "x", Operator::Lt, 5i64), &i), "x=5 breaks it");
+        assert!(implies(&le5, &pred(&mut i, "x", Operator::Lt, 6i64), &i));
+        assert!(!implies(&le5, &pred(&mut i, "x", Operator::Ne, 5i64), &i));
+
+        let gt5 = pred(&mut i, "x", Operator::Gt, 5i64);
+        assert!(implies(&gt5, &pred(&mut i, "x", Operator::Ge, 5i64), &i));
+        assert!(implies(&gt5, &pred(&mut i, "x", Operator::Gt, 4i64), &i));
+        assert!(implies(&gt5, &pred(&mut i, "x", Operator::Ne, 3i64), &i));
+        assert!(!implies(&gt5, &pred(&mut i, "x", Operator::Gt, 6i64), &i));
+
+        // Mixed numeric types compare numerically.
+        assert!(implies(&lt5, &pred(&mut i, "x", Operator::Lt, 5.5f64), &i));
+        assert!(!implies(&lt5, &pred(&mut i, "x", Operator::Lt, 4.5f64), &i));
+    }
+
+    #[test]
+    fn string_implication() {
+        let mut i = setup();
+        let mainframe = Value::Sym(i.intern("mainframe"));
+        let mainframe_dev = Value::Sym(i.intern("mainframe dev"));
+        let p_main = pred(&mut i, "t", Operator::Prefix, mainframe);
+        let p_main_dev = pred(&mut i, "t", Operator::Prefix, mainframe_dev);
+        assert!(implies(&p_main_dev, &p_main, &i), "longer prefix implies shorter");
+        assert!(!implies(&p_main, &p_main_dev, &i));
+        let frame = Value::Sym(i.intern("frame"));
+        let c_frame = pred(&mut i, "t", Operator::Contains, frame);
+        assert!(implies(&p_main, &c_frame, &i), "prefix implies contains of its substring");
+        let dev = Value::Sym(i.intern("dev"));
+        let s_dev = pred(&mut i, "t", Operator::Suffix, dev);
+        assert!(!implies(&p_main_dev, &s_dev, &i), "prefix does not bound the suffix");
+        assert!(!implies(&s_dev, &c_frame, &i));
+        let c_dev = pred(&mut i, "t", Operator::Contains, dev);
+        assert!(implies(&s_dev, &c_dev, &i));
+    }
+
+    #[test]
+    fn ne_and_exists_are_weak() {
+        let mut i = setup();
+        let ne5 = pred(&mut i, "x", Operator::Ne, 5i64);
+        let exists = Predicate::exists(i.intern("x"));
+        assert!(implies(&ne5, &exists, &i));
+        assert!(implies(&ne5, &ne5, &i));
+        assert!(!implies(&ne5, &pred(&mut i, "x", Operator::Ne, 6i64), &i));
+        assert!(!implies(&exists, &ne5, &i));
+        assert!(implies(&exists, &exists, &i));
+    }
+
+    #[test]
+    fn covering_subscriptions() {
+        let mut i = setup();
+        let general = SubscriptionBuilder::new(&mut i)
+            .pred("salary", Operator::Ge, 50_000i64)
+            .build(SubId(1));
+        let specific = SubscriptionBuilder::new(&mut i)
+            .pred("salary", Operator::Ge, 80_000i64)
+            .term_eq("city", "berlin")
+            .build(SubId(2));
+        assert!(covers(&general, &specific, &i));
+        assert!(!covers(&specific, &general, &i));
+        // The empty subscription covers everything and is covered only by
+        // empty subscriptions.
+        let universal = Subscription::new(SubId(0), vec![]);
+        assert!(covers(&universal, &specific, &i));
+        assert!(!covers(&specific, &universal, &i));
+        assert!(covers(&universal, &universal, &i));
+    }
+
+    #[test]
+    fn cover_heads_prunes_redundant_subscriptions() {
+        let mut i = setup();
+        let broad = SubscriptionBuilder::new(&mut i)
+            .pred("salary", Operator::Ge, 40_000i64)
+            .build(SubId(1));
+        let narrow = SubscriptionBuilder::new(&mut i)
+            .pred("salary", Operator::Ge, 90_000i64)
+            .build(SubId(2));
+        let unrelated = SubscriptionBuilder::new(&mut i).exists("degree").build(SubId(3));
+        // Narrow arrives first; broad must demote it.
+        let subs = vec![narrow, broad, unrelated];
+        let (heads, pruned) = cover_heads(&subs, &i);
+        let head_ids: Vec<SubId> = heads.iter().map(|s| s.id()).collect();
+        assert_eq!(head_ids, vec![SubId(1), SubId(3)]);
+        assert_eq!(pruned.len(), 1);
+        assert_eq!(pruned[0].id(), SubId(2));
+    }
+
+    /// Soundness spot-check against actual matching on a grid of events.
+    #[test]
+    fn covering_is_sound_on_event_grid() {
+        let mut i = setup();
+        let x = i.intern("x");
+        let y = i.intern("y");
+        let candidates = vec![
+            Subscription::new(SubId(1), vec![Predicate::new(x, Operator::Ge, Value::Int(2))]),
+            Subscription::new(
+                SubId(2),
+                vec![
+                    Predicate::new(x, Operator::Ge, Value::Int(4)),
+                    Predicate::new(y, Operator::Lt, Value::Int(3)),
+                ],
+            ),
+            Subscription::new(SubId(3), vec![Predicate::new(x, Operator::Eq, Value::Int(4))]),
+            Subscription::new(SubId(4), vec![Predicate::exists(x)]),
+            Subscription::new(SubId(5), vec![Predicate::new(y, Operator::Ne, Value::Int(0))]),
+        ];
+        let mut events = Vec::new();
+        for vx in -1i64..6 {
+            for vy in -1i64..6 {
+                events.push(
+                    stopss_types::Event::new().with(x, Value::Int(vx)).with(y, Value::Int(vy)),
+                );
+            }
+        }
+        for g in &candidates {
+            for s in &candidates {
+                if covers(g, s, &i) {
+                    for e in &events {
+                        assert!(
+                            !s.matches(e, &i) || g.matches(e, &i),
+                            "{} covers {} violated on {}",
+                            g.id(),
+                            s.id(),
+                            e.display(&i)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

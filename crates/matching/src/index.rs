@@ -1,0 +1,331 @@
+//! Per-attribute predicate index used by the counting engine.
+//!
+//! For one attribute, the index answers: *given this event value, which
+//! registered predicates are satisfied?* Equality predicates are found by
+//! one hash probe; range predicates by binary search over sorted
+//! thresholds; `Exists` is a broadcast; `Ne` and the string operators are
+//! short per-attribute lists evaluated directly (they are rare in
+//! practice, and a list keeps removal trivial).
+
+use std::cmp::Ordering;
+
+use stopss_types::{FxHashMap, Interner, Operator, Predicate, Value};
+
+/// Dense index of a predicate in the engine's predicate table.
+pub(crate) type PredIdx = u32;
+
+/// Index over all predicates that test a single attribute.
+#[derive(Default, Debug)]
+pub(crate) struct AttrIndex {
+    /// `attr = c`: value → predicate indexes.
+    eq: FxHashMap<Value, Vec<PredIdx>>,
+    /// `attr != c`, evaluated per probe.
+    ne: Vec<(Predicate, PredIdx)>,
+    /// `attr exists`: satisfied by any probe.
+    exists: Vec<PredIdx>,
+    /// `attr < c` / `attr <= c`, sorted ascending by threshold.
+    upper: Vec<RangeEntry>,
+    /// `attr > c` / `attr >= c`, sorted ascending by threshold.
+    lower: Vec<RangeEntry>,
+    /// Prefix / Suffix / Contains, evaluated per probe.
+    strings: Vec<(Predicate, PredIdx)>,
+    /// Registered but never satisfiable (e.g. `< "toronto"`, `< NaN`).
+    /// Kept only so occupancy accounting stays exact.
+    inert: Vec<PredIdx>,
+}
+
+#[derive(Debug)]
+struct RangeEntry {
+    threshold: Value,
+    op: Operator,
+    idx: PredIdx,
+}
+
+/// Total numeric order for *indexable* thresholds (numeric, non-NaN).
+fn threshold_cmp(a: &Value, b: &Value) -> Ordering {
+    a.range_cmp(b).expect("only comparable numeric thresholds are indexed")
+}
+
+impl AttrIndex {
+    /// Registers a predicate under `idx`.
+    pub(crate) fn insert(&mut self, pred: Predicate, idx: PredIdx) {
+        match pred.op {
+            Operator::Eq => self.eq.entry(pred.value).or_default().push(idx),
+            Operator::Ne => self.ne.push((pred, idx)),
+            Operator::Exists => self.exists.push(idx),
+            Operator::Lt | Operator::Le | Operator::Gt | Operator::Ge => {
+                // Range predicates over non-numeric or NaN thresholds can
+                // never be satisfied (Value::range_cmp returns None).
+                let indexable = pred.value.is_numeric()
+                    && pred.value.range_cmp(&pred.value) == Some(Ordering::Equal);
+                if !indexable {
+                    self.inert.push(idx);
+                    return;
+                }
+                let entry = RangeEntry { threshold: pred.value, op: pred.op, idx };
+                let side = if pred.op == Operator::Lt || pred.op == Operator::Le {
+                    &mut self.upper
+                } else {
+                    &mut self.lower
+                };
+                let pos = side.partition_point(|e| {
+                    threshold_cmp(&e.threshold, &entry.threshold) == Ordering::Less
+                });
+                side.insert(pos, entry);
+            }
+            Operator::Prefix | Operator::Suffix | Operator::Contains => {
+                self.strings.push((pred, idx));
+            }
+        }
+    }
+
+    /// Unregisters a predicate previously inserted under `idx`.
+    pub(crate) fn remove(&mut self, pred: &Predicate, idx: PredIdx) {
+        fn drop_idx(list: &mut Vec<(Predicate, PredIdx)>, idx: PredIdx) {
+            if let Some(pos) = list.iter().position(|(_, i)| *i == idx) {
+                list.swap_remove(pos);
+            }
+        }
+        match pred.op {
+            Operator::Eq => {
+                if let Some(bucket) = self.eq.get_mut(&pred.value) {
+                    if let Some(pos) = bucket.iter().position(|i| *i == idx) {
+                        bucket.swap_remove(pos);
+                    }
+                    if bucket.is_empty() {
+                        self.eq.remove(&pred.value);
+                    }
+                }
+            }
+            Operator::Ne => drop_idx(&mut self.ne, idx),
+            Operator::Exists => {
+                if let Some(pos) = self.exists.iter().position(|i| *i == idx) {
+                    self.exists.swap_remove(pos);
+                }
+            }
+            Operator::Lt | Operator::Le | Operator::Gt | Operator::Ge => {
+                for side in [&mut self.upper, &mut self.lower] {
+                    if let Some(pos) = side.iter().position(|e| e.idx == idx) {
+                        side.remove(pos); // keep order
+                        return;
+                    }
+                }
+                if let Some(pos) = self.inert.iter().position(|i| *i == idx) {
+                    self.inert.swap_remove(pos);
+                }
+            }
+            Operator::Prefix | Operator::Suffix | Operator::Contains => {
+                drop_idx(&mut self.strings, idx);
+            }
+        }
+    }
+
+    /// True if no predicates are registered.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.eq.is_empty()
+            && self.ne.is_empty()
+            && self.exists.is_empty()
+            && self.upper.is_empty()
+            && self.lower.is_empty()
+            && self.strings.is_empty()
+            && self.inert.is_empty()
+    }
+
+    /// Calls `emit` for every registered predicate satisfied by `value`.
+    /// A predicate may be emitted at most once per probe; across multiple
+    /// probes for the same event the caller deduplicates (epoch stamps).
+    pub(crate) fn probe(
+        &self,
+        value: &Value,
+        interner: &Interner,
+        emit: &mut dyn FnMut(PredIdx),
+    ) {
+        // Exists: every probe satisfies.
+        for &idx in &self.exists {
+            emit(idx);
+        }
+        // Eq: single hash probe.
+        if let Some(bucket) = self.eq.get(value) {
+            for &idx in bucket {
+                emit(idx);
+            }
+        }
+        // Ne and strings: direct evaluation.
+        for (pred, idx) in &self.ne {
+            if pred.eval(value, interner) {
+                emit(*idx);
+            }
+        }
+        for (pred, idx) in &self.strings {
+            if pred.eval(value, interner) {
+                emit(*idx);
+            }
+        }
+        // Ranges: only numeric event values can satisfy them.
+        if !value.is_numeric() || value.range_cmp(value) != Some(Ordering::Equal) {
+            return;
+        }
+        // upper = {v < c | v <= c}, ascending by c. Everything with c > v is
+        // satisfied by both operators; c == v only by Le.
+        let start = self
+            .upper
+            .partition_point(|e| e.threshold.range_cmp(value) == Some(Ordering::Less));
+        for e in &self.upper[start..] {
+            match e.threshold.range_cmp(value) {
+                Some(Ordering::Greater) => emit(e.idx),
+                Some(Ordering::Equal) if e.op == Operator::Le => emit(e.idx),
+                _ => {}
+            }
+        }
+        // lower = {v > c | v >= c}, ascending by c. Everything with c < v is
+        // satisfied by both operators; c == v only by Ge.
+        let end = self
+            .lower
+            .partition_point(|e| e.threshold.range_cmp(value) == Some(Ordering::Less));
+        for e in &self.lower[..end] {
+            emit(e.idx);
+        }
+        for e in &self.lower[end..] {
+            match e.threshold.range_cmp(value) {
+                Some(Ordering::Equal) if e.op == Operator::Ge => emit(e.idx),
+                Some(Ordering::Equal) => {}
+                _ => break, // sorted: once c > v nothing further matches
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stopss_types::Symbol;
+
+    fn probe_all(ix: &AttrIndex, v: &Value, interner: &Interner) -> Vec<PredIdx> {
+        let mut out = Vec::new();
+        ix.probe(v, interner, &mut |i| out.push(i));
+        out.sort_unstable();
+        out
+    }
+
+    fn attr() -> Symbol {
+        Symbol::from_index(0)
+    }
+
+    #[test]
+    fn eq_probe_hits_exactly_matching_values() {
+        let i = Interner::new();
+        let mut ix = AttrIndex::default();
+        ix.insert(Predicate::new(attr(), Operator::Eq, Value::Int(3)), 0);
+        ix.insert(Predicate::new(attr(), Operator::Eq, Value::Int(4)), 1);
+        assert_eq!(probe_all(&ix, &Value::Int(3), &i), vec![0]);
+        assert_eq!(probe_all(&ix, &Value::Int(4), &i), vec![1]);
+        assert!(probe_all(&ix, &Value::Int(5), &i).is_empty());
+        assert!(probe_all(&ix, &Value::Float(3.0), &i).is_empty(), "Eq is strict");
+    }
+
+    #[test]
+    fn range_probe_respects_boundaries() {
+        let i = Interner::new();
+        let mut ix = AttrIndex::default();
+        ix.insert(Predicate::new(attr(), Operator::Lt, Value::Int(10)), 0);
+        ix.insert(Predicate::new(attr(), Operator::Le, Value::Int(10)), 1);
+        ix.insert(Predicate::new(attr(), Operator::Gt, Value::Int(10)), 2);
+        ix.insert(Predicate::new(attr(), Operator::Ge, Value::Int(10)), 3);
+
+        assert_eq!(probe_all(&ix, &Value::Int(9), &i), vec![0, 1]);
+        assert_eq!(probe_all(&ix, &Value::Int(10), &i), vec![1, 3]);
+        assert_eq!(probe_all(&ix, &Value::Int(11), &i), vec![2, 3]);
+        assert_eq!(probe_all(&ix, &Value::Float(10.5), &i), vec![2, 3]);
+    }
+
+    #[test]
+    fn range_probe_with_many_thresholds() {
+        let i = Interner::new();
+        let mut ix = AttrIndex::default();
+        // ge 0, ge 1, ..., ge 9 inserted out of order.
+        for k in [5i64, 1, 9, 0, 3, 7, 2, 8, 4, 6] {
+            ix.insert(Predicate::new(attr(), Operator::Ge, Value::Int(k)), k as PredIdx);
+        }
+        let got = probe_all(&ix, &Value::Int(4), &i);
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn non_numeric_event_values_skip_ranges() {
+        let mut interner = Interner::new();
+        let s = interner.intern("x");
+        let mut ix = AttrIndex::default();
+        ix.insert(Predicate::new(attr(), Operator::Ge, Value::Int(0)), 0);
+        assert!(probe_all(&ix, &Value::Sym(s), &interner).is_empty());
+        assert!(probe_all(&ix, &Value::Bool(true), &interner).is_empty());
+        assert!(probe_all(&ix, &Value::Float(f64::NAN), &interner).is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_range_thresholds_are_inert() {
+        let mut interner = Interner::new();
+        let s = interner.intern("toronto");
+        let mut ix = AttrIndex::default();
+        let bad_sym = Predicate::new(attr(), Operator::Lt, Value::Sym(s));
+        let bad_nan = Predicate::new(attr(), Operator::Gt, Value::Float(f64::NAN));
+        ix.insert(bad_sym, 0);
+        ix.insert(bad_nan, 1);
+        assert!(probe_all(&ix, &Value::Int(5), &interner).is_empty());
+        assert!(!ix.is_empty());
+        ix.remove(&bad_sym, 0);
+        ix.remove(&bad_nan, 1);
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn ne_exists_and_strings_probe_correctly() {
+        let mut interner = Interner::new();
+        let dev = interner.intern("mainframe developer");
+        let other = interner.intern("web developer");
+        let suffix = interner.intern("developer");
+        let mut ix = AttrIndex::default();
+        ix.insert(Predicate::new(attr(), Operator::Ne, Value::Sym(other)), 0);
+        ix.insert(Predicate::exists(attr()), 1);
+        ix.insert(Predicate::new(attr(), Operator::Suffix, Value::Sym(suffix)), 2);
+
+        assert_eq!(probe_all(&ix, &Value::Sym(dev), &interner), vec![0, 1, 2]);
+        assert_eq!(probe_all(&ix, &Value::Sym(other), &interner), vec![1, 2]);
+        assert_eq!(probe_all(&ix, &Value::Int(3), &interner), vec![0, 1]);
+    }
+
+    #[test]
+    fn remove_unindexes_each_operator_class() {
+        let mut interner = Interner::new();
+        let s = interner.intern("s");
+        let preds = [
+            Predicate::new(attr(), Operator::Eq, Value::Int(1)),
+            Predicate::new(attr(), Operator::Ne, Value::Int(1)),
+            Predicate::exists(attr()),
+            Predicate::new(attr(), Operator::Lt, Value::Int(5)),
+            Predicate::new(attr(), Operator::Ge, Value::Int(5)),
+            Predicate::new(attr(), Operator::Contains, Value::Sym(s)),
+        ];
+        let mut ix = AttrIndex::default();
+        for (k, p) in preds.iter().enumerate() {
+            ix.insert(*p, k as PredIdx);
+        }
+        assert!(!ix.is_empty());
+        for (k, p) in preds.iter().enumerate() {
+            ix.remove(p, k as PredIdx);
+        }
+        assert!(ix.is_empty());
+        assert!(probe_all(&ix, &Value::Int(1), &interner).is_empty());
+    }
+
+    #[test]
+    fn mixed_int_float_thresholds_interleave() {
+        let i = Interner::new();
+        let mut ix = AttrIndex::default();
+        ix.insert(Predicate::new(attr(), Operator::Gt, Value::Float(1.5)), 0);
+        ix.insert(Predicate::new(attr(), Operator::Gt, Value::Int(2)), 1);
+        ix.insert(Predicate::new(attr(), Operator::Gt, Value::Float(2.5)), 2);
+        assert_eq!(probe_all(&ix, &Value::Int(2), &i), vec![0]);
+        assert_eq!(probe_all(&ix, &Value::Float(2.2), &i), vec![0, 1]);
+        assert_eq!(probe_all(&ix, &Value::Int(3), &i), vec![0, 1, 2]);
+    }
+}

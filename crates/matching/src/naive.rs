@@ -1,0 +1,135 @@
+//! Linear-scan engine.
+//!
+//! Checks every live subscription against every event. Quadratic overall,
+//! but unbeatable below a few hundred subscriptions and trivially correct —
+//! it is the baseline every other engine is differential-tested against,
+//! and the "existing pub/sub systems are limited" strawman of experiment
+//! E5.
+
+use stopss_types::{Event, FxHashMap, Interner, SubId, Subscription};
+
+use crate::engine::MatchingEngine;
+
+/// Linear-scan matching engine.
+#[derive(Default, Debug)]
+pub struct NaiveEngine {
+    subs: Vec<Subscription>,
+    by_id: FxHashMap<SubId, usize>,
+}
+
+impl NaiveEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MatchingEngine for NaiveEngine {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn insert(&mut self, sub: Subscription) {
+        if let Some(&slot) = self.by_id.get(&sub.id()) {
+            self.subs[slot] = sub;
+            return;
+        }
+        self.by_id.insert(sub.id(), self.subs.len());
+        self.subs.push(sub);
+    }
+
+    fn remove(&mut self, id: SubId) -> bool {
+        let Some(slot) = self.by_id.remove(&id) else {
+            return false;
+        };
+        self.subs.swap_remove(slot);
+        if let Some(moved) = self.subs.get(slot) {
+            self.by_id.insert(moved.id(), slot);
+        }
+        true
+    }
+
+    fn match_event(&mut self, event: &Event, interner: &Interner, out: &mut Vec<SubId>) {
+        for sub in &self.subs {
+            if sub.matches(event, interner) {
+                out.push(sub.id());
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    fn clear(&mut self) {
+        self.subs.clear();
+        self.by_id.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::collect_matches;
+    use stopss_types::{EventBuilder, Operator, SubscriptionBuilder};
+
+    #[test]
+    fn insert_match_remove_roundtrip() {
+        let mut i = Interner::new();
+        let mut eng = NaiveEngine::new();
+        let s1 = SubscriptionBuilder::new(&mut i).term_eq("city", "berlin").build(SubId(1));
+        let s2 = SubscriptionBuilder::new(&mut i)
+            .pred("temp", Operator::Gt, 20i64)
+            .build(SubId(2));
+        eng.insert(s1);
+        eng.insert(s2);
+        assert_eq!(eng.len(), 2);
+
+        let e = EventBuilder::new(&mut i).term("city", "berlin").pair("temp", 25i64).build();
+        assert_eq!(collect_matches(&mut eng, &e, &i), vec![SubId(1), SubId(2)]);
+
+        assert!(eng.remove(SubId(1)));
+        assert!(!eng.remove(SubId(1)));
+        assert_eq!(collect_matches(&mut eng, &e, &i), vec![SubId(2)]);
+    }
+
+    #[test]
+    fn insert_replaces_same_id() {
+        let mut i = Interner::new();
+        let mut eng = NaiveEngine::new();
+        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("a", "x").build(SubId(1)));
+        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("a", "y").build(SubId(1)));
+        assert_eq!(eng.len(), 1);
+        let ex = EventBuilder::new(&mut i).term("a", "x").build();
+        let ey = EventBuilder::new(&mut i).term("a", "y").build();
+        assert!(collect_matches(&mut eng, &ex, &i).is_empty());
+        assert_eq!(collect_matches(&mut eng, &ey, &i), vec![SubId(1)]);
+    }
+
+    #[test]
+    fn swap_remove_keeps_index_consistent() {
+        let mut i = Interner::new();
+        let mut eng = NaiveEngine::new();
+        for k in 0..5 {
+            eng.insert(SubscriptionBuilder::new(&mut i).term_eq("k", &format!("v{k}")).build(SubId(k)));
+        }
+        assert!(eng.remove(SubId(0)));
+        assert!(eng.remove(SubId(4)));
+        assert_eq!(eng.len(), 3);
+        for k in [1u64, 2, 3] {
+            let e = EventBuilder::new(&mut i).term("k", &format!("v{k}")).build();
+            assert_eq!(collect_matches(&mut eng, &e, &i), vec![SubId(k)]);
+        }
+    }
+
+    #[test]
+    fn clear_empties_engine() {
+        let mut i = Interner::new();
+        let mut eng = NaiveEngine::new();
+        eng.insert(SubscriptionBuilder::new(&mut i).exists("x").build(SubId(1)));
+        eng.clear();
+        assert!(eng.is_empty());
+        let e = EventBuilder::new(&mut i).pair("x", 1i64).build();
+        assert!(collect_matches(&mut eng, &e, &i).is_empty());
+    }
+}

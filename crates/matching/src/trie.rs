@@ -1,0 +1,378 @@
+//! Subscription-trie engine (the "matching tree" of Aguilera et al.).
+//!
+//! Subscriptions are canonicalized (predicates sorted), then inserted as
+//! paths into a trie so that subscriptions sharing predicate *prefixes*
+//! share evaluation work. Matching is a depth-first walk: at each node the
+//! engine descends along every edge whose predicate the event satisfies,
+//! collecting subscription ids stored at the nodes it reaches.
+//!
+//! Edges are grouped per attribute, so whole edge groups are skipped when
+//! the event does not carry the attribute; within a group, equality edges
+//! are found with one hash probe and the remaining edges are evaluated
+//! directly.
+
+use std::cmp::Ordering;
+
+use stopss_types::{Event, FxHashMap, Interner, Operator, Predicate, SubId, Subscription, Symbol, Value};
+
+use crate::engine::MatchingEngine;
+
+type NodeId = u32;
+
+/// Canonical predicate order: attribute, then operator, then value (total
+/// index order). Determines which subscriptions share trie prefixes.
+fn canonical_cmp(a: &Predicate, b: &Predicate) -> Ordering {
+    a.attr
+        .cmp(&b.attr)
+        .then_with(|| a.op.cmp(&b.op))
+        .then_with(|| a.value.index_cmp(&b.value))
+}
+
+#[derive(Default, Debug)]
+struct EdgeGroup {
+    /// Equality edges: value → child.
+    eq: FxHashMap<Value, NodeId>,
+    /// All other operators: evaluated one by one.
+    other: Vec<(Predicate, NodeId)>,
+}
+
+impl EdgeGroup {
+    fn is_empty(&self) -> bool {
+        self.eq.is_empty() && self.other.is_empty()
+    }
+}
+
+#[derive(Default, Debug)]
+struct Node {
+    /// Outgoing edges grouped by the attribute their predicate tests.
+    groups: FxHashMap<Symbol, EdgeGroup>,
+    /// Subscriptions whose full predicate path ends here.
+    subs: Vec<SubId>,
+    /// Number of subscriptions in this subtree (enables pruning).
+    weight: u32,
+}
+
+/// Trie-based matching engine.
+#[derive(Debug)]
+pub struct TrieEngine {
+    nodes: Vec<Node>,
+    free: Vec<NodeId>,
+    by_id: FxHashMap<SubId, Vec<Predicate>>,
+}
+
+impl Default for TrieEngine {
+    fn default() -> Self {
+        TrieEngine { nodes: vec![Node::default()], free: Vec::new(), by_id: FxHashMap::default() }
+    }
+}
+
+impl TrieEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live trie nodes (diagnostic; prefix sharing shows up as
+    /// node count « total predicate count).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    fn canonicalize(sub: &Subscription) -> Vec<Predicate> {
+        let mut preds: Vec<Predicate> = sub.predicates().to_vec();
+        preds.sort_unstable_by(canonical_cmp);
+        preds.dedup();
+        preds
+    }
+
+    fn alloc_node(&mut self) -> NodeId {
+        match self.free.pop() {
+            Some(id) => {
+                self.nodes[id as usize] = Node::default();
+                id
+            }
+            None => {
+                let id = self.nodes.len() as NodeId;
+                self.nodes.push(Node::default());
+                id
+            }
+        }
+    }
+
+    fn child_for(&mut self, node: NodeId, pred: &Predicate) -> Option<NodeId> {
+        let group = self.nodes[node as usize].groups.get(&pred.attr)?;
+        if pred.op == Operator::Eq {
+            group.eq.get(&pred.value).copied()
+        } else {
+            group.other.iter().find(|(p, _)| p == pred).map(|(_, c)| *c)
+        }
+    }
+
+    fn insert_child(&mut self, node: NodeId, pred: Predicate, child: NodeId) {
+        let group = self.nodes[node as usize].groups.entry(pred.attr).or_default();
+        if pred.op == Operator::Eq {
+            group.eq.insert(pred.value, child);
+        } else {
+            group.other.push((pred, child));
+        }
+    }
+
+    /// Removes the edge `node --pred--> child`, pruning empty groups.
+    fn remove_child(&mut self, node: NodeId, pred: &Predicate) {
+        let node_ref = &mut self.nodes[node as usize];
+        if let Some(group) = node_ref.groups.get_mut(&pred.attr) {
+            if pred.op == Operator::Eq {
+                group.eq.remove(&pred.value);
+            } else if let Some(pos) = group.other.iter().position(|(p, _)| p == pred) {
+                group.other.swap_remove(pos);
+            }
+            if group.is_empty() {
+                node_ref.groups.remove(&pred.attr);
+            }
+        }
+    }
+
+    fn walk(&self, node: NodeId, event: &Event, interner: &Interner, out: &mut Vec<SubId>) {
+        let n = &self.nodes[node as usize];
+        out.extend_from_slice(&n.subs);
+        for (attr, group) in &n.groups {
+            // ∃-semantics over multi-valued events: try every pair. A
+            // duplicated (attr, value) pair must descend only once, or the
+            // subtree's matches would be emitted twice; skipping pairs that
+            // already occurred earlier in the event avoids an allocation
+            // (events are short, the quadratic scan is cheaper than a set).
+            let pairs = event.pairs();
+            for (k, (pair_attr, value)) in pairs.iter().enumerate() {
+                if pair_attr != attr {
+                    continue;
+                }
+                if pairs[..k].iter().any(|(a, v)| a == pair_attr && v == value) {
+                    continue;
+                }
+                if let Some(&child) = group.eq.get(value) {
+                    self.walk(child, event, interner, out);
+                }
+            }
+            for (pred, child) in &group.other {
+                if event.satisfies(pred, interner) {
+                    self.walk(*child, event, interner, out);
+                }
+            }
+        }
+    }
+}
+
+impl MatchingEngine for TrieEngine {
+    fn name(&self) -> &'static str {
+        "trie"
+    }
+
+    fn insert(&mut self, sub: Subscription) {
+        self.remove(sub.id());
+        let preds = Self::canonicalize(&sub);
+        let mut node: NodeId = 0;
+        self.nodes[0].weight += 1;
+        for pred in &preds {
+            let child = match self.child_for(node, pred) {
+                Some(c) => c,
+                None => {
+                    let c = self.alloc_node();
+                    self.insert_child(node, *pred, c);
+                    c
+                }
+            };
+            node = child;
+            self.nodes[node as usize].weight += 1;
+        }
+        self.nodes[node as usize].subs.push(sub.id());
+        self.by_id.insert(sub.id(), preds);
+    }
+
+    fn remove(&mut self, id: SubId) -> bool {
+        let Some(preds) = self.by_id.remove(&id) else {
+            return false;
+        };
+        // Walk the path, recording it so empty suffix nodes can be pruned.
+        let mut path: Vec<(NodeId, Predicate)> = Vec::with_capacity(preds.len());
+        let mut node: NodeId = 0;
+        self.nodes[0].weight -= 1;
+        for pred in &preds {
+            let child = self
+                .child_for(node, pred)
+                .expect("by_id and trie structure must stay consistent");
+            path.push((node, *pred));
+            node = child;
+            self.nodes[node as usize].weight -= 1;
+        }
+        let leaf = &mut self.nodes[node as usize];
+        if let Some(pos) = leaf.subs.iter().position(|s| *s == id) {
+            leaf.subs.swap_remove(pos);
+        }
+        // Prune now-empty nodes bottom-up.
+        let mut current = node;
+        for (parent, pred) in path.into_iter().rev() {
+            if current != 0 && self.nodes[current as usize].weight == 0 {
+                self.remove_child(parent, &pred);
+                self.free.push(current);
+                current = parent;
+            } else {
+                break;
+            }
+        }
+        true
+    }
+
+    fn match_event(&mut self, event: &Event, interner: &Interner, out: &mut Vec<SubId>) {
+        self.walk(0, event, interner, out);
+    }
+
+    fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.nodes.push(Node::default());
+        self.free.clear();
+        self.by_id.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::collect_matches;
+    use stopss_types::{EventBuilder, SubscriptionBuilder};
+
+    #[test]
+    fn basic_matching_through_shared_prefixes() {
+        let mut i = Interner::new();
+        let mut eng = TrieEngine::new();
+        eng.insert(
+            SubscriptionBuilder::new(&mut i)
+                .term_eq("city", "berlin")
+                .pred("temp", Operator::Gt, 20i64)
+                .build(SubId(1)),
+        );
+        eng.insert(
+            SubscriptionBuilder::new(&mut i)
+                .term_eq("city", "berlin")
+                .pred("temp", Operator::Lt, 5i64)
+                .build(SubId(2)),
+        );
+        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("city", "berlin").build(SubId(3)));
+
+        let warm = EventBuilder::new(&mut i).term("city", "berlin").pair("temp", 25i64).build();
+        let cold = EventBuilder::new(&mut i).term("city", "berlin").pair("temp", 2i64).build();
+        let mild = EventBuilder::new(&mut i).term("city", "berlin").pair("temp", 10i64).build();
+        assert_eq!(collect_matches(&mut eng, &warm, &i), vec![SubId(1), SubId(3)]);
+        assert_eq!(collect_matches(&mut eng, &cold, &i), vec![SubId(2), SubId(3)]);
+        assert_eq!(collect_matches(&mut eng, &mild, &i), vec![SubId(3)]);
+    }
+
+    #[test]
+    fn prefix_sharing_reduces_node_count() {
+        let mut i = Interner::new();
+        let mut eng = TrieEngine::new();
+        // 50 subscriptions share (city=berlin, kind=job); each adds one
+        // distinct third predicate.
+        for k in 0..50u64 {
+            eng.insert(
+                SubscriptionBuilder::new(&mut i)
+                    .term_eq("city", "berlin")
+                    .term_eq("kind", "job")
+                    .term_eq("skill", &format!("s{k}"))
+                    .build(SubId(k)),
+            );
+        }
+        // Root + city node + kind node + 50 leaves.
+        assert_eq!(eng.node_count(), 53);
+    }
+
+    #[test]
+    fn canonicalization_makes_predicate_order_irrelevant() {
+        let mut i = Interner::new();
+        let mut eng = TrieEngine::new();
+        eng.insert(
+            SubscriptionBuilder::new(&mut i)
+                .term_eq("b", "2")
+                .term_eq("a", "1")
+                .build(SubId(1)),
+        );
+        eng.insert(
+            SubscriptionBuilder::new(&mut i)
+                .term_eq("a", "1")
+                .term_eq("b", "2")
+                .build(SubId(2)),
+        );
+        // Same canonical path → root + 2 nodes.
+        assert_eq!(eng.node_count(), 3);
+        let e = EventBuilder::new(&mut i).term("a", "1").term("b", "2").build();
+        assert_eq!(collect_matches(&mut eng, &e, &i), vec![SubId(1), SubId(2)]);
+    }
+
+    #[test]
+    fn remove_prunes_empty_paths() {
+        let mut i = Interner::new();
+        let mut eng = TrieEngine::new();
+        eng.insert(
+            SubscriptionBuilder::new(&mut i)
+                .term_eq("a", "1")
+                .term_eq("b", "2")
+                .build(SubId(1)),
+        );
+        assert_eq!(eng.node_count(), 3);
+        assert!(eng.remove(SubId(1)));
+        assert_eq!(eng.node_count(), 1, "only the root remains");
+        assert_eq!(eng.len(), 0);
+    }
+
+    #[test]
+    fn remove_keeps_shared_prefix_for_survivors() {
+        let mut i = Interner::new();
+        let mut eng = TrieEngine::new();
+        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("a", "1").term_eq("b", "2").build(SubId(1)));
+        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("a", "1").build(SubId(2)));
+        assert!(eng.remove(SubId(1)));
+        let e = EventBuilder::new(&mut i).term("a", "1").term("b", "2").build();
+        assert_eq!(collect_matches(&mut eng, &e, &i), vec![SubId(2)]);
+    }
+
+    #[test]
+    fn empty_subscription_sits_at_root() {
+        let mut i = Interner::new();
+        let mut eng = TrieEngine::new();
+        eng.insert(Subscription::new(SubId(1), vec![]));
+        let e = EventBuilder::new(&mut i).pair("x", 1i64).build();
+        assert_eq!(collect_matches(&mut eng, &e, &i), vec![SubId(1)]);
+        assert!(eng.remove(SubId(1)));
+        assert!(collect_matches(&mut eng, &e, &i).is_empty());
+    }
+
+    #[test]
+    fn multi_valued_events_do_not_duplicate_matches() {
+        let mut i = Interner::new();
+        let mut eng = TrieEngine::new();
+        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("a", "x").build(SubId(1)));
+        let a = i.get("a").unwrap();
+        let x = Value::Sym(i.get("x").unwrap());
+        let y = Value::Sym(i.intern("y"));
+        let e = Event::from_pairs(vec![(a, x), (a, x), (a, y)]);
+        assert_eq!(collect_matches(&mut eng, &e, &i), vec![SubId(1)]);
+    }
+
+    #[test]
+    fn duplicate_predicates_collapse() {
+        let mut i = Interner::new();
+        let mut eng = TrieEngine::new();
+        eng.insert(
+            SubscriptionBuilder::new(&mut i)
+                .term_eq("a", "x")
+                .term_eq("a", "x")
+                .build(SubId(1)),
+        );
+        assert_eq!(eng.node_count(), 2);
+        let e = EventBuilder::new(&mut i).term("a", "x").build();
+        assert_eq!(collect_matches(&mut eng, &e, &i), vec![SubId(1)]);
+    }
+}

@@ -1,0 +1,83 @@
+//! `sto` — command-line tooling for S-ToPSS ontologies.
+//!
+//! ```text
+//! sto check <file.sto>         parse and report errors
+//! sto stats <file.sto>         size summary (synonyms/concepts/edges/maps)
+//! sto fmt <file.sto>           parse and re-emit canonical .sto text
+//! sto convert <file.daml>      translate DAML+OIL (RDF/XML) to .sto
+//! ```
+//!
+//! `fmt` and `convert` write to stdout; diagnostics go to stderr with
+//! line numbers. Exit code 0 on success, 1 on usage errors, 2 on parse
+//! errors.
+
+use std::process::ExitCode;
+
+use stopss_ontology::{import_damloil, parse_ontology, write_ontology, Ontology};
+use stopss_types::Interner;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, path) = match args.as_slice() {
+        [command, path] => (command.as_str(), path.as_str()),
+        _ => {
+            eprintln!("usage: sto <check|stats|fmt|convert> <file>");
+            return ExitCode::from(1);
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("sto: cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let mut interner = Interner::new();
+    let parsed: Result<Ontology, String> = match command {
+        "convert" => import_damloil(&text, &mut interner)
+            .map(|(ontology, report)| {
+                eprintln!(
+                    "imported {} classes, {} is-a edges, {} synonyms ({} elements skipped)",
+                    report.classes, report.subclass_edges, report.synonyms, report.skipped_elements
+                );
+                ontology
+            })
+            .map_err(|e| e.to_string()),
+        "check" | "stats" | "fmt" => {
+            parse_ontology(&text, &mut interner).map_err(|e| e.to_string())
+        }
+        other => {
+            eprintln!("sto: unknown command '{other}'");
+            return ExitCode::from(1);
+        }
+    };
+
+    let ontology = match parsed {
+        Ok(ontology) => ontology,
+        Err(message) => {
+            eprintln!("sto: {path}: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match command {
+        "check" => {
+            eprintln!("{path}: ok");
+        }
+        "stats" => {
+            let (aliases, concepts, edges, maps) = ontology.stats();
+            println!("domain:            {}", ontology.name());
+            println!("synonym aliases:   {aliases}");
+            println!("concepts:          {concepts}");
+            println!("is-a edges:        {edges}");
+            println!("mapping functions: {maps}");
+            println!("taxonomy roots:    {}", ontology.taxonomy.roots().len());
+        }
+        "fmt" | "convert" => {
+            print!("{}", write_ontology(&ontology, &interner));
+        }
+        _ => unreachable!(),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,430 @@
+//! DAML+OIL import — the paper's stated future work.
+//!
+//! "Our future work looks at automating translation of ontologies
+//! expressed in DAML+OIL into a more efficient representation suitable
+//! for S-ToPSS" (§2). This module implements that translation for the
+//! DAML+OIL constructs S-ToPSS can use:
+//!
+//! | DAML+OIL | S-ToPSS |
+//! |---|---|
+//! | `daml:Class rdf:ID` | concept |
+//! | `rdfs:subClassOf rdf:resource="#X"` | is-a edge |
+//! | `daml:sameClassAs` / `daml:equivalentTo` | synonym |
+//! | `rdfs:label` | synonym (alternative spelling) |
+//!
+//! DAML+OIL's carrier syntax is RDF/XML. A full RDF stack is far outside
+//! this system's needs (and the available crates), so the importer
+//! contains a small, total XML-subset reader: elements, attributes,
+//! self-closing tags, comments, and entity-free text. Anything outside
+//! the subset is reported with a line number, never panicked on.
+//! Constructs the table above does not list (restrictions, properties,
+//! cardinalities) are skipped — semantic pub/sub only consumes the
+//! taxonomy/synonym fragment, exactly as the paper describes.
+
+use stopss_types::Interner;
+
+use crate::domain::Ontology;
+use crate::error::ParseError;
+
+// ---------------------------------------------------------------------------
+// Minimal XML reader
+// ---------------------------------------------------------------------------
+
+/// One XML event in the subset grammar.
+#[derive(Debug, Clone, PartialEq)]
+enum XmlEvent {
+    /// `<name attr="v" …>`; `self_closing` for `<… />`.
+    Open { name: String, attrs: Vec<(String, String)>, self_closing: bool },
+    /// `</name>`.
+    Close { name: String },
+    /// Text between tags (whitespace-trimmed, empty chunks skipped).
+    Text(String),
+}
+
+struct XmlReader<'a> {
+    input: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> XmlReader<'a> {
+    fn new(input: &'a str) -> Self {
+        XmlReader { input, pos: 0, line: 1 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, message)
+    }
+
+    fn bump(&mut self, n: usize) {
+        let consumed = &self.input[self.pos..self.pos + n];
+        self.line += consumed.bytes().filter(|b| *b == b'\n').count();
+        self.pos += n;
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    /// Returns the next event, or `None` at end of input.
+    fn next_event(&mut self) -> Result<Option<XmlEvent>, ParseError> {
+        loop {
+            if self.pos >= self.input.len() {
+                return Ok(None);
+            }
+            let rest = self.rest();
+            if !rest.starts_with('<') {
+                // Text run, possibly trailing at end of input.
+                let text_end = rest.find('<').unwrap_or(rest.len());
+                let text = rest[..text_end].trim().to_owned();
+                self.bump(text_end);
+                if !text.is_empty() {
+                    return Ok(Some(XmlEvent::Text(text)));
+                }
+                continue;
+            }
+            if rest.starts_with("<?") {
+                let end = rest.find("?>").ok_or_else(|| self.error("unterminated <? ?>"))?;
+                self.bump(end + 2);
+                continue;
+            }
+            if rest.starts_with("<!--") {
+                let end = rest.find("-->").ok_or_else(|| self.error("unterminated comment"))?;
+                self.bump(end + 3);
+                continue;
+            }
+            if rest.starts_with("<!") {
+                let end = rest.find('>').ok_or_else(|| self.error("unterminated <! >"))?;
+                self.bump(end + 1);
+                continue;
+            }
+            if let Some(stripped) = rest.strip_prefix("</") {
+                let end = rest.find('>').ok_or_else(|| self.error("unterminated close tag"))?;
+                let name = stripped[..end - 2].trim().to_owned();
+                self.bump(end + 1);
+                return Ok(Some(XmlEvent::Close { name }));
+            }
+            // Open tag.
+            let end = rest.find('>').ok_or_else(|| self.error("unterminated tag"))?;
+            let inner = &rest[1..end];
+            let (inner, self_closing) = match inner.strip_suffix('/') {
+                Some(trimmed) => (trimmed, true),
+                None => (inner, false),
+            };
+            let event = self.parse_tag(inner, self_closing)?;
+            self.bump(end + 1);
+            return Ok(Some(event));
+        }
+    }
+
+    fn parse_tag(&self, inner: &str, self_closing: bool) -> Result<XmlEvent, ParseError> {
+        let inner = inner.trim();
+        let name_end = inner.find(char::is_whitespace).unwrap_or(inner.len());
+        let name = inner[..name_end].to_owned();
+        if name.is_empty() {
+            return Err(self.error("empty tag name"));
+        }
+        let mut attrs = Vec::new();
+        let mut rest = inner[name_end..].trim_start();
+        while !rest.is_empty() {
+            let eq = rest
+                .find('=')
+                .ok_or_else(|| self.error(format!("attribute without '=' in <{name}>")))?;
+            let key = rest[..eq].trim().to_owned();
+            let after = rest[eq + 1..].trim_start();
+            let quote = after
+                .chars()
+                .next()
+                .filter(|c| *c == '"' || *c == '\'')
+                .ok_or_else(|| self.error(format!("unquoted attribute value in <{name}>")))?;
+            let value_rest = &after[1..];
+            let close = value_rest
+                .find(quote)
+                .ok_or_else(|| self.error(format!("unterminated attribute value in <{name}>")))?;
+            attrs.push((key, unescape(&value_rest[..close])));
+            rest = value_rest[close + 1..].trim_start();
+        }
+        Ok(XmlEvent::Open { name, attrs, self_closing })
+    }
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+// ---------------------------------------------------------------------------
+// DAML+OIL translation
+// ---------------------------------------------------------------------------
+
+fn local_name(tag: &str) -> &str {
+    tag.rsplit(':').next().unwrap_or(tag)
+}
+
+fn attr<'a>(attrs: &'a [(String, String)], wanted: &str) -> Option<&'a str> {
+    attrs
+        .iter()
+        .find(|(k, _)| local_name(k) == wanted || k == wanted)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Strips the fragment marker of `rdf:resource="#concept"` / about refs.
+fn resource_name(value: &str) -> &str {
+    value.strip_prefix('#').unwrap_or_else(|| value.rsplit('#').next().unwrap_or(value))
+}
+
+/// Statistics of one import.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ImportReport {
+    /// Concepts declared (`daml:Class`).
+    pub classes: usize,
+    /// Is-a edges (`rdfs:subClassOf`).
+    pub subclass_edges: usize,
+    /// Synonyms (`daml:sameClassAs` / `equivalentTo` / `rdfs:label`).
+    pub synonyms: usize,
+    /// Elements skipped because S-ToPSS has no use for them.
+    pub skipped_elements: usize,
+}
+
+/// Translates a DAML+OIL (RDF/XML) document into an [`Ontology`].
+///
+/// The ontology's name is taken from the `rdf:RDF` element's
+/// `xml:base` (last path segment) when present, else `"daml-import"`.
+pub fn import_damloil(
+    text: &str,
+    interner: &mut Interner,
+) -> Result<(Ontology, ImportReport), ParseError> {
+    let mut reader = XmlReader::new(text);
+    let mut ontology = Ontology::new("daml-import");
+    let mut report = ImportReport::default();
+    // The class whose element we are inside (classes do not nest in the
+    // supported subset).
+    let mut current_class: Option<stopss_types::Symbol> = None;
+    // Set when entering an rdfs:label element; the following text event is
+    // the label.
+    let mut expecting_label = false;
+
+    while let Some(event) = reader.next_event()? {
+        match event {
+            XmlEvent::Open { name, attrs, self_closing } => {
+                let tag = local_name(&name).to_ascii_lowercase();
+                match tag.as_str() {
+                    "rdf" => {
+                        if let Some(base) = attr(&attrs, "base") {
+                            let base_name =
+                                base.rsplit('/').next().unwrap_or(base).trim_end_matches(".daml");
+                            if !base_name.is_empty() {
+                                ontology = rename(ontology, base_name);
+                            }
+                        }
+                    }
+                    "class" => {
+                        let id = attr(&attrs, "ID")
+                            .or_else(|| attr(&attrs, "about"))
+                            .ok_or_else(|| {
+                                ParseError::new(reader.line, "daml:Class without rdf:ID/rdf:about")
+                            })?;
+                        let sym = interner.intern(resource_name(id));
+                        ontology.taxonomy.add_concept(sym);
+                        report.classes += 1;
+                        if !self_closing {
+                            current_class = Some(sym);
+                        }
+                    }
+                    "subclassof" => {
+                        let class = current_class.ok_or_else(|| {
+                            ParseError::new(reader.line, "rdfs:subClassOf outside daml:Class")
+                        })?;
+                        if let Some(resource) = attr(&attrs, "resource") {
+                            let parent = interner.intern(resource_name(resource));
+                            ontology
+                                .taxonomy
+                                .add_isa(class, parent, interner)
+                                .map_err(|e| ParseError::new(reader.line, e.to_string()))?;
+                            report.subclass_edges += 1;
+                        }
+                    }
+                    "sameclassas" | "equivalentto" => {
+                        let class = current_class.ok_or_else(|| {
+                            ParseError::new(reader.line, format!("{name} outside daml:Class"))
+                        })?;
+                        if let Some(resource) = attr(&attrs, "resource") {
+                            let alias = interner.intern(resource_name(resource));
+                            ontology
+                                .synonyms
+                                .add_synonym(class, alias, interner)
+                                .map_err(|e| ParseError::new(reader.line, e.to_string()))?;
+                            report.synonyms += 1;
+                        }
+                    }
+                    "label" => {
+                        if current_class.is_some() && !self_closing {
+                            expecting_label = true;
+                        }
+                    }
+                    _ => {
+                        report.skipped_elements += 1;
+                    }
+                }
+            }
+            XmlEvent::Text(text) => {
+                if expecting_label {
+                    if let Some(class) = current_class {
+                        let label = interner.intern(&text);
+                        if label != class {
+                            ontology
+                                .synonyms
+                                .add_synonym(class, label, interner)
+                                .map_err(|e| ParseError::new(reader.line, e.to_string()))?;
+                            report.synonyms += 1;
+                        }
+                    }
+                    expecting_label = false;
+                }
+            }
+            XmlEvent::Close { name } => {
+                match local_name(&name).to_ascii_lowercase().as_str() {
+                    "class" => current_class = None,
+                    "label" => expecting_label = false,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok((ontology, report))
+}
+
+fn rename(o: Ontology, name: &str) -> Ontology {
+    let mut renamed = Ontology::new(name);
+    renamed.synonyms = o.synonyms;
+    renamed.taxonomy = o.taxonomy;
+    renamed.mappings = o.mappings;
+    renamed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::SemanticSource;
+
+    const SAMPLE: &str = r##"<?xml version="1.0"?>
+<rdf:RDF xml:base="http://example.org/ontologies/jobs.daml"
+         xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:daml="http://www.daml.org/2001/03/daml+oil#">
+  <!-- the degree taxonomy, as a DAML+OIL fragment -->
+  <daml:Class rdf:ID="degree"/>
+  <daml:Class rdf:ID="graduate_degree">
+    <rdfs:subClassOf rdf:resource="#degree"/>
+  </daml:Class>
+  <daml:Class rdf:ID="phd">
+    <rdfs:subClassOf rdf:resource="#graduate_degree"/>
+    <rdfs:label>doctorate</rdfs:label>
+  </daml:Class>
+  <daml:Class rdf:ID="university">
+    <daml:sameClassAs rdf:resource="#school"/>
+    <daml:equivalentTo rdf:resource="#college"/>
+  </daml:Class>
+  <daml:ObjectProperty rdf:ID="ignored_property">
+    <rdfs:domain rdf:resource="#degree"/>
+  </daml:ObjectProperty>
+</rdf:RDF>
+"##;
+
+    #[test]
+    fn imports_classes_edges_and_synonyms() {
+        let mut interner = Interner::new();
+        let (ontology, report) = import_damloil(SAMPLE, &mut interner).unwrap();
+        assert_eq!(ontology.name(), "jobs");
+        assert_eq!(report.classes, 4);
+        assert_eq!(report.subclass_edges, 2);
+        assert_eq!(report.synonyms, 3, "two sameClassAs/equivalentTo + one label");
+        assert!(report.skipped_elements > 0);
+
+        let phd = interner.get("phd").unwrap();
+        let degree = interner.get("degree").unwrap();
+        assert_eq!(ontology.distance(phd, degree), Some(2));
+        let school = interner.get("school").unwrap();
+        let university = interner.get("university").unwrap();
+        assert_eq!(ontology.resolve_synonym(school), university);
+        let doctorate = interner.get("doctorate").unwrap();
+        assert_eq!(ontology.resolve_synonym(doctorate), phd);
+    }
+
+    #[test]
+    fn imported_ontology_round_trips_through_sto() {
+        let mut interner = Interner::new();
+        let (ontology, _) = import_damloil(SAMPLE, &mut interner).unwrap();
+        let sto = crate::dsl::write_ontology(&ontology, &interner);
+        let reparsed = crate::dsl::parse_ontology(&sto, &mut interner).unwrap();
+        assert_eq!(reparsed.stats(), ontology.stats());
+        let phd = interner.get("phd").unwrap();
+        let degree = interner.get("degree").unwrap();
+        assert_eq!(reparsed.distance(phd, degree), Some(2));
+    }
+
+    #[test]
+    fn cycles_in_daml_are_rejected_with_line_numbers() {
+        let text = r##"<rdf:RDF>
+<daml:Class rdf:ID="a"><rdfs:subClassOf rdf:resource="#b"/></daml:Class>
+<daml:Class rdf:ID="b"><rdfs:subClassOf rdf:resource="#a"/></daml:Class>
+</rdf:RDF>"##;
+        let mut interner = Interner::new();
+        let err = import_damloil(text, &mut interner).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn malformed_xml_is_an_error_not_a_panic() {
+        let mut interner = Interner::new();
+        let cases = [
+            "<unclosed",
+            "<rdf:RDF><daml:Class rdf:ID=></rdf:RDF>",
+            "<rdf:RDF><daml:Class rdf:ID='a' badattr></rdf:RDF>",
+            "<rdf:RDF><rdfs:subClassOf rdf:resource='#x'/></rdf:RDF>",
+            "<a attr='unterminated>",
+            "<!-- unterminated comment",
+        ];
+        for case in cases {
+            assert!(import_damloil(case, &mut interner).is_err(), "{case:?} must fail");
+        }
+    }
+
+    #[test]
+    fn entities_and_attribute_quoting_variants() {
+        let text = r#"<rdf:RDF>
+<daml:Class rdf:ID='with&amp;entity'/>
+</rdf:RDF>"#;
+        let mut interner = Interner::new();
+        let (ontology, report) = import_damloil(text, &mut interner).unwrap();
+        assert_eq!(report.classes, 1);
+        assert!(interner.get("with&entity").is_some());
+        assert_eq!(ontology.taxonomy.len(), 1);
+    }
+
+    #[test]
+    fn rdf_about_and_full_uri_references_resolve() {
+        let text = r##"<rdf:RDF>
+<daml:Class rdf:about="http://example.org/onto#vehicle"/>
+<daml:Class rdf:ID="car">
+  <rdfs:subClassOf rdf:resource="http://example.org/onto#vehicle"/>
+</daml:Class>
+</rdf:RDF>"##;
+        let mut interner = Interner::new();
+        let (ontology, _) = import_damloil(text, &mut interner).unwrap();
+        let car = interner.get("car").unwrap();
+        let vehicle = interner.get("vehicle").unwrap();
+        assert!(ontology.is_a(car, vehicle));
+    }
+
+    #[test]
+    fn empty_document_imports_empty_ontology() {
+        let mut interner = Interner::new();
+        let (ontology, report) = import_damloil("", &mut interner).unwrap();
+        assert_eq!(report, ImportReport::default());
+        assert!(ontology.taxonomy.is_empty());
+    }
+}

@@ -1,0 +1,740 @@
+//! The `.sto` ontology text format.
+//!
+//! The paper's future work is "automating translation of ontologies
+//! expressed in DAML+OIL into a more efficient representation suitable for
+//! S-ToPSS". This module is that translation layer for a small declarative
+//! surface syntax (DAML+OIL's RDF/XML carrier is incidental; the compile
+//! step into hash/bitset runtime structures is the interesting part):
+//!
+//! ```text
+//! # job-finder domain
+//! domain jobs
+//!
+//! synonyms university = school, college
+//! synonyms "professional experience" = "work experience"
+//!
+//! concept skill
+//! isa phd -> graduate_degree -> degree
+//!
+//! map experience_from_graduation:
+//!     when graduation_year exists
+//!     emit "professional experience" = now - graduation_year
+//! end
+//! ```
+//!
+//! * terms are identifiers (`[A-Za-z_][A-Za-z0-9_\-]*`) or quoted strings;
+//! * `isa a -> b -> c` declares the chain `a is-a b`, `b is-a c`;
+//! * `when` guards use `exists = != < <= > >=`; guard right-hand sides are
+//!   constants (bare identifiers denote categorical terms);
+//! * `emit attr = expr` productions: identifiers (bare or quoted)
+//!   reference attributes, `term(x)` is a categorical constant, `now` is
+//!   the present date.
+
+use stopss_types::{Interner, Operator, Value};
+
+use crate::domain::Ontology;
+use crate::error::ParseError;
+use crate::expr::Expr;
+use crate::mapping::{Guard, MappingFunction, PatternItem, Production};
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Quoted(String),
+    Int(i64),
+    Float(f64),
+    /// Punctuation / operators: `= != < <= > >= -> ( ) , : + - * /`.
+    Punct(&'static str),
+}
+
+fn tokenize(line: &str, line_no: usize) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let bytes = line.as_bytes();
+    let mut k = 0;
+    while k < bytes.len() {
+        let c = bytes[k] as char;
+        match c {
+            ' ' | '\t' => k += 1,
+            '#' => break,
+            '"' => {
+                let start = k + 1;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'"' {
+                    end += 1;
+                }
+                if end == bytes.len() {
+                    return Err(ParseError::new(line_no, "unterminated string literal"));
+                }
+                toks.push(Tok::Quoted(line[start..end].to_owned()));
+                k = end + 1;
+            }
+            '(' | ')' | ',' | ':' | '+' | '*' | '/' => {
+                toks.push(Tok::Punct(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    ':' => ":",
+                    '+' => "+",
+                    '*' => "*",
+                    _ => "/",
+                }));
+                k += 1;
+            }
+            '-' => {
+                if bytes.get(k + 1) == Some(&b'>') {
+                    toks.push(Tok::Punct("->"));
+                    k += 2;
+                } else {
+                    toks.push(Tok::Punct("-"));
+                    k += 1;
+                }
+            }
+            '=' => {
+                toks.push(Tok::Punct("="));
+                k += 1;
+            }
+            '!' => {
+                if bytes.get(k + 1) == Some(&b'=') {
+                    toks.push(Tok::Punct("!="));
+                    k += 2;
+                } else {
+                    return Err(ParseError::new(line_no, "expected '=' after '!'"));
+                }
+            }
+            '<' | '>' => {
+                if bytes.get(k + 1) == Some(&b'=') {
+                    toks.push(Tok::Punct(if c == '<' { "<=" } else { ">=" }));
+                    k += 2;
+                } else {
+                    toks.push(Tok::Punct(if c == '<' { "<" } else { ">" }));
+                    k += 1;
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = k;
+                let mut is_float = false;
+                while k < bytes.len()
+                    && ((bytes[k] as char).is_ascii_digit() || bytes[k] == b'.' || bytes[k] == b'_')
+                {
+                    if bytes[k] == b'.' {
+                        is_float = true;
+                    }
+                    k += 1;
+                }
+                let text: String = line[start..k].chars().filter(|c| *c != '_').collect();
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| ParseError::new(line_no, format!("bad float '{text}'")))?;
+                    toks.push(Tok::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| ParseError::new(line_no, format!("bad integer '{text}'")))?;
+                    toks.push(Tok::Int(v));
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = k;
+                while k < bytes.len() {
+                    let c = bytes[k] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                        // `->` must not be swallowed by identifiers like `a-`.
+                        if c == '-' && bytes.get(k + 1) == Some(&b'>') {
+                            break;
+                        }
+                        k += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(line[start..k].to_owned()));
+            }
+            other => {
+                return Err(ParseError::new(line_no, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(toks: &'a [Tok], line: usize) -> Self {
+        Cursor { toks, pos: 0, line }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Punct(got)) if got == p => Ok(()),
+            other => Err(ParseError::new(self.line, format!("expected '{p}', found {other:?}"))),
+        }
+    }
+
+    /// A term: identifier or quoted string.
+    fn term(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(Tok::Quoted(s)) => Ok(s),
+            other => Err(ParseError::new(self.line, format!("expected a term, found {other:?}"))),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(ParseError::new(self.line, format!("trailing tokens: {:?}", &self.toks[self.pos..])))
+        }
+    }
+}
+
+fn parse_guard_op(tok: &Tok, line: usize) -> Result<Operator, ParseError> {
+    match tok {
+        Tok::Punct("=") => Ok(Operator::Eq),
+        Tok::Punct("!=") => Ok(Operator::Ne),
+        Tok::Punct("<") => Ok(Operator::Lt),
+        Tok::Punct("<=") => Ok(Operator::Le),
+        Tok::Punct(">") => Ok(Operator::Gt),
+        Tok::Punct(">=") => Ok(Operator::Ge),
+        Tok::Ident(s) if s == "prefix" => Ok(Operator::Prefix),
+        Tok::Ident(s) if s == "suffix" => Ok(Operator::Suffix),
+        Tok::Ident(s) if s == "contains" => Ok(Operator::Contains),
+        other => Err(ParseError::new(line, format!("expected comparison operator, found {other:?}"))),
+    }
+}
+
+/// Constant values in guard position: numbers, quoted strings, bare terms,
+/// booleans.
+fn parse_const(cur: &mut Cursor<'_>, interner: &mut Interner) -> Result<Value, ParseError> {
+    match cur.next() {
+        Some(Tok::Int(v)) => Ok(Value::Int(v)),
+        Some(Tok::Float(v)) => Ok(Value::Float(v)),
+        Some(Tok::Quoted(s)) => Ok(Value::Sym(interner.intern(&s))),
+        Some(Tok::Ident(s)) if s == "true" => Ok(Value::Bool(true)),
+        Some(Tok::Ident(s)) if s == "false" => Ok(Value::Bool(false)),
+        Some(Tok::Ident(s)) => Ok(Value::Sym(interner.intern(&s))),
+        Some(Tok::Punct("-")) => match cur.next() {
+            Some(Tok::Int(v)) => Ok(Value::Int(-v)),
+            Some(Tok::Float(v)) => Ok(Value::Float(-v)),
+            other => Err(ParseError::new(cur.line, format!("expected number after '-', found {other:?}"))),
+        },
+        other => Err(ParseError::new(cur.line, format!("expected a constant, found {other:?}"))),
+    }
+}
+
+/// Recursive-descent expression parser (see module docs for the grammar).
+fn parse_expr(cur: &mut Cursor<'_>, interner: &mut Interner) -> Result<Expr, ParseError> {
+    let mut lhs = parse_term(cur, interner)?;
+    while let Some(Tok::Punct(p @ ("+" | "-"))) = cur.peek() {
+        let op = *p;
+        cur.next();
+        let rhs = parse_term(cur, interner)?;
+        lhs = if op == "+" { Expr::add(lhs, rhs) } else { Expr::sub(lhs, rhs) };
+    }
+    Ok(lhs)
+}
+
+fn parse_term(cur: &mut Cursor<'_>, interner: &mut Interner) -> Result<Expr, ParseError> {
+    let mut lhs = parse_factor(cur, interner)?;
+    while let Some(Tok::Punct(p @ ("*" | "/"))) = cur.peek() {
+        let op = *p;
+        cur.next();
+        let rhs = parse_factor(cur, interner)?;
+        lhs = if op == "*" { Expr::mul(lhs, rhs) } else { Expr::div(lhs, rhs) };
+    }
+    Ok(lhs)
+}
+
+fn parse_factor(cur: &mut Cursor<'_>, interner: &mut Interner) -> Result<Expr, ParseError> {
+    match cur.next() {
+        Some(Tok::Punct("-")) => Ok(Expr::neg(parse_factor(cur, interner)?)),
+        Some(Tok::Punct("(")) => {
+            let inner = parse_expr(cur, interner)?;
+            cur.expect_punct(")")?;
+            Ok(inner)
+        }
+        Some(Tok::Int(v)) => Ok(Expr::Const(Value::Int(v))),
+        Some(Tok::Float(v)) => Ok(Expr::Const(Value::Float(v))),
+        // Quoting is name escaping: a quoted string in expression position
+        // references an attribute, exactly like a bare identifier.
+        Some(Tok::Quoted(s)) => Ok(Expr::Attr(interner.intern(&s))),
+        Some(Tok::Ident(name)) => match name.as_str() {
+            "now" => Ok(Expr::Now),
+            "true" => Ok(Expr::Const(Value::Bool(true))),
+            "false" => Ok(Expr::Const(Value::Bool(false))),
+            // Categorical constants are explicit: term(mainframe_developer).
+            "term" => {
+                cur.expect_punct("(")?;
+                let name = cur.term()?;
+                cur.expect_punct(")")?;
+                Ok(Expr::Const(Value::Sym(interner.intern(&name))))
+            }
+            "min" | "max" => {
+                cur.expect_punct("(")?;
+                let a = parse_expr(cur, interner)?;
+                cur.expect_punct(",")?;
+                let b = parse_expr(cur, interner)?;
+                cur.expect_punct(")")?;
+                Ok(if name == "min" { Expr::min(a, b) } else { Expr::max(a, b) })
+            }
+            _ => Ok(Expr::Attr(interner.intern(&name))),
+        },
+        other => Err(ParseError::new(cur.line, format!("unexpected token in expression: {other:?}"))),
+    }
+}
+
+/// In-progress `map` block.
+struct MapBlock {
+    name: String,
+    start_line: usize,
+    pattern: Vec<PatternItem>,
+    produce: Vec<Production>,
+}
+
+/// Parses `.sto` text into an [`Ontology`], interning terms into
+/// `interner`. The `domain` directive names the ontology (optional; the
+/// fallback is `"default"`).
+pub fn parse_ontology(text: &str, interner: &mut Interner) -> Result<Ontology, ParseError> {
+    let mut ontology = Ontology::new("default");
+    let mut block: Option<MapBlock> = None;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let toks = tokenize(raw_line, line_no)?;
+        if toks.is_empty() {
+            continue;
+        }
+        let mut cur = Cursor::new(&toks, line_no);
+        let head = match cur.next() {
+            Some(Tok::Ident(s)) => s,
+            other => return Err(ParseError::new(line_no, format!("expected directive, found {other:?}"))),
+        };
+
+        if let Some(current) = block.as_mut() {
+            match head.as_str() {
+                "when" => {
+                    let attr = interner.intern(&cur.term()?);
+                    match cur.peek() {
+                        Some(Tok::Ident(s)) if s == "exists" => {
+                            cur.next();
+                            current.pattern.push(PatternItem { attr, guard: None });
+                        }
+                        Some(tok) => {
+                            let op = parse_guard_op(&tok.clone(), line_no)?;
+                            cur.next();
+                            let value = parse_const(&mut cur, interner)?;
+                            current
+                                .pattern
+                                .push(PatternItem { attr, guard: Some(Guard { op, value }) });
+                        }
+                        None => {
+                            return Err(ParseError::new(line_no, "expected 'exists' or comparison"))
+                        }
+                    }
+                    cur.expect_end()?;
+                }
+                "emit" => {
+                    let attr = interner.intern(&cur.term()?);
+                    cur.expect_punct("=")?;
+                    let expr = parse_expr(&mut cur, interner)?;
+                    cur.expect_end()?;
+                    current.produce.push(Production { attr, expr });
+                }
+                "end" => {
+                    cur.expect_end()?;
+                    let done = block.take().expect("inside block");
+                    if done.pattern.is_empty() {
+                        return Err(ParseError::new(
+                            done.start_line,
+                            format!("map '{}' needs at least one 'when' clause", done.name),
+                        ));
+                    }
+                    if done.produce.is_empty() {
+                        return Err(ParseError::new(
+                            done.start_line,
+                            format!("map '{}' needs at least one 'emit' clause", done.name),
+                        ));
+                    }
+                    ontology
+                        .mappings
+                        .register(MappingFunction::new(done.name, done.pattern, done.produce))
+                        .map_err(|e| ParseError::new(line_no, e.to_string()))?;
+                }
+                other => {
+                    return Err(ParseError::new(
+                        line_no,
+                        format!("expected 'when'/'emit'/'end' inside map block, found '{other}'"),
+                    ))
+                }
+            }
+            continue;
+        }
+
+        match head.as_str() {
+            "domain" => {
+                let name = cur.term()?;
+                cur.expect_end()?;
+                ontology = rename(ontology, name);
+            }
+            "synonyms" => {
+                let root = interner.intern(&cur.term()?);
+                cur.expect_punct("=")?;
+                loop {
+                    let alias = interner.intern(&cur.term()?);
+                    ontology
+                        .synonyms
+                        .add_synonym(root, alias, interner)
+                        .map_err(|e| ParseError::new(line_no, e.to_string()))?;
+                    match cur.peek() {
+                        Some(Tok::Punct(",")) => {
+                            cur.next();
+                        }
+                        None => break,
+                        other => {
+                            return Err(ParseError::new(line_no, format!("expected ',', found {other:?}")))
+                        }
+                    }
+                }
+            }
+            "concept" => {
+                let sym = interner.intern(&cur.term()?);
+                cur.expect_end()?;
+                ontology.taxonomy.add_concept(sym);
+            }
+            "isa" => {
+                let mut prev = interner.intern(&cur.term()?);
+                cur.expect_punct("->")?;
+                loop {
+                    let parent = interner.intern(&cur.term()?);
+                    ontology
+                        .taxonomy
+                        .add_isa(prev, parent, interner)
+                        .map_err(|e| ParseError::new(line_no, e.to_string()))?;
+                    prev = parent;
+                    match cur.peek() {
+                        Some(Tok::Punct("->")) => {
+                            cur.next();
+                        }
+                        None => break,
+                        other => {
+                            return Err(ParseError::new(line_no, format!("expected '->', found {other:?}")))
+                        }
+                    }
+                }
+            }
+            "map" => {
+                let name = cur.term()?;
+                cur.expect_punct(":")?;
+                cur.expect_end()?;
+                block = Some(MapBlock { name, start_line: line_no, pattern: Vec::new(), produce: Vec::new() });
+            }
+            "end" => return Err(ParseError::new(line_no, "'end' outside of a map block")),
+            other => return Err(ParseError::new(line_no, format!("unknown directive '{other}'"))),
+        }
+    }
+
+    if let Some(unclosed) = block {
+        return Err(ParseError::new(
+            unclosed.start_line,
+            format!("map '{}' is never closed with 'end'", unclosed.name),
+        ));
+    }
+    Ok(ontology)
+}
+
+fn rename(o: Ontology, name: String) -> Ontology {
+    let mut renamed = Ontology::new(name);
+    renamed.synonyms = o.synonyms;
+    renamed.taxonomy = o.taxonomy;
+    renamed.mappings = o.mappings;
+    renamed
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn quote_term(term: &str) -> String {
+    let is_plain_ident = !term.is_empty()
+        && term.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && term.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        && !term.contains("->")
+        && !matches!(term, "now" | "true" | "false" | "min" | "max" | "exists" | "term");
+    if is_plain_ident {
+        term.to_owned()
+    } else {
+        format!("\"{term}\"")
+    }
+}
+
+/// Serializes an ontology back to `.sto` text (round-trips through
+/// [`parse_ontology`]).
+pub fn write_ontology(ontology: &Ontology, interner: &Interner) -> String {
+    use std::fmt::Write;
+
+    let name = |sym| quote_term(interner.try_resolve(sym).unwrap_or("<?>"));
+    let mut out = String::new();
+    writeln!(out, "domain {}", quote_term(ontology.name())).unwrap();
+
+    let mut groups: Vec<_> = ontology.synonyms.iter_groups().collect();
+    groups.sort_by_key(|(root, _)| *root);
+    for (root, members) in groups {
+        let aliases: Vec<String> = members.iter().map(|m| name(*m)).collect();
+        writeln!(out, "synonyms {} = {}", name(root), aliases.join(", ")).unwrap();
+    }
+
+    for concept in ontology.taxonomy.iter_concepts() {
+        if ontology.taxonomy.parents(concept).is_empty()
+            && ontology.taxonomy.children(concept).is_empty()
+        {
+            writeln!(out, "concept {}", name(concept)).unwrap();
+        }
+    }
+    for (child, parent) in ontology.taxonomy.iter_edges() {
+        writeln!(out, "isa {} -> {}", name(child), name(parent)).unwrap();
+    }
+
+    for (_, func) in ontology.mappings.iter() {
+        writeln!(out, "map {}:", quote_term(&func.name)).unwrap();
+        for item in &func.pattern {
+            match &item.guard {
+                None => writeln!(out, "    when {} exists", name(item.attr)).unwrap(),
+                Some(g) => {
+                    let value = match g.value {
+                        Value::Sym(s) => quote_term(interner.try_resolve(s).unwrap_or("<?>")),
+                        other => format!("{}", other.display(interner)),
+                    };
+                    writeln!(out, "    when {} {} {}", name(item.attr), g.op, value).unwrap();
+                }
+            }
+        }
+        for prod in &func.produce {
+            writeln!(out, "    emit {} = {}", name(prod.attr), prod.expr.display(interner)).unwrap();
+        }
+        writeln!(out, "end").unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::SemanticSource;
+    use stopss_types::EventBuilder;
+
+    const JOBS: &str = r#"
+# The paper's job-finder domain, abridged.
+domain jobs
+
+synonyms university = school, college
+synonyms "professional experience" = "work experience"
+
+concept isolated
+isa phd -> graduate_degree -> degree
+isa msc -> graduate_degree
+
+map experience_from_graduation:
+    when graduation_year exists
+    emit "professional experience" = now - graduation_year
+end
+
+map mainframe_inference:
+    when skill = cobol
+    when year >= 1960
+    when year <= 1980
+    emit title = term("mainframe developer")
+end
+"#;
+
+    #[test]
+    fn parses_the_full_surface_syntax() {
+        let mut i = Interner::new();
+        let o = parse_ontology(JOBS, &mut i).unwrap();
+        assert_eq!(o.name(), "jobs");
+        let (aliases, concepts, edges, maps) = o.stats();
+        assert_eq!(aliases, 3);
+        assert_eq!(concepts, 5, "isolated + 4 hierarchy concepts");
+        assert_eq!(edges, 3);
+        assert_eq!(maps, 2);
+
+        let school = i.get("school").unwrap();
+        let university = i.get("university").unwrap();
+        assert_eq!(o.resolve_synonym(school), university);
+        let phd = i.get("phd").unwrap();
+        let degree = i.get("degree").unwrap();
+        assert_eq!(o.distance(phd, degree), Some(2));
+    }
+
+    #[test]
+    fn parsed_mapping_functions_fire() {
+        let mut i = Interner::new();
+        let o = parse_ontology(JOBS, &mut i).unwrap();
+        let e = EventBuilder::new(&mut i)
+            .pair("graduation_year", 1993i64)
+            .term("skill", "cobol")
+            .pair("year", 1975i64)
+            .build();
+        let mut produced = Vec::new();
+        o.apply_mappings(&e, &i, 2003, &mut |name, pairs| produced.push((name.to_owned(), pairs)));
+        produced.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(produced.len(), 2);
+        assert_eq!(produced[0].0, "experience_from_graduation");
+        let exp = i.get("professional experience").unwrap();
+        assert_eq!(produced[0].1, vec![(exp, Value::Int(10))]);
+        assert_eq!(produced[1].0, "mainframe_inference");
+        let title = i.get("title").unwrap();
+        let mainframe = i.get("mainframe developer").unwrap();
+        assert_eq!(produced[1].1, vec![(title, Value::Sym(mainframe))]);
+    }
+
+    #[test]
+    fn round_trips_through_the_writer() {
+        let mut i = Interner::new();
+        let original = parse_ontology(JOBS, &mut i).unwrap();
+        let text = write_ontology(&original, &i);
+        let reparsed = parse_ontology(&text, &mut i).unwrap();
+        assert_eq!(reparsed.name(), original.name());
+        assert_eq!(reparsed.stats(), original.stats());
+        // Semantics preserved, not just counts.
+        let phd = i.get("phd").unwrap();
+        let degree = i.get("degree").unwrap();
+        assert_eq!(reparsed.distance(phd, degree), Some(2));
+        let e = EventBuilder::new(&mut i).pair("graduation_year", 2000i64).build();
+        let mut fired = 0;
+        reparsed.apply_mappings(&e, &i, 2003, &mut |_, pairs| {
+            fired += 1;
+            let exp = i.get("professional experience").unwrap();
+            assert_eq!(pairs, vec![(exp, Value::Int(3))]);
+        });
+        assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn expressions_parse_with_precedence() {
+        let mut i = Interner::new();
+        let text = r#"
+map m:
+    when a exists
+    emit out = a + b * 2 - min(a, 3) / (1 + 1)
+end
+"#;
+        let o = parse_ontology(text, &mut i).unwrap();
+        let (_, f) = o.mappings.by_name("m").unwrap();
+        let rendered = format!("{}", f.produce[0].expr.display(&i));
+        assert_eq!(rendered, "((a + (b * 2)) - (min(a, 3) / (1 + 1)))");
+    }
+
+    #[test]
+    fn error_reporting_includes_line_numbers() {
+        let mut i = Interner::new();
+        let cases: &[(&str, usize)] = &[
+            ("bogus directive", 1),
+            ("\nisa a b", 2),
+            ("synonyms a = ", 1),
+            ("map f:\n  when x exists\nemit", 3),
+            ("map f:\n  when x exists\n  emit y = )\nend", 3),
+            ("end", 1),
+            ("map f:\n  when x exists", 1),
+            ("isa a -> a", 1),
+            ("concept \"unterminated", 1),
+        ];
+        for (text, line) in cases {
+            let err = parse_ontology(text, &mut i).unwrap_err();
+            assert_eq!(err.line, *line, "wrong line for {text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn map_blocks_require_when_and_emit() {
+        let mut i = Interner::new();
+        let no_when = "map f:\n  emit y = 1\nend";
+        assert!(parse_ontology(no_when, &mut i).unwrap_err().message.contains("when"));
+        let no_emit = "map f:\n  when x exists\nend";
+        assert!(parse_ontology(no_emit, &mut i).unwrap_err().message.contains("emit"));
+    }
+
+    #[test]
+    fn quoted_terms_support_spaces_and_keywords() {
+        let mut i = Interner::new();
+        let text = "synonyms \"professional experience\" = \"work experience\", \"now\"";
+        let o = parse_ontology(text, &mut i).unwrap();
+        let pe = i.get("professional experience").unwrap();
+        let we = i.get("work experience").unwrap();
+        let now = i.get("now").unwrap();
+        assert_eq!(o.resolve_synonym(we), pe);
+        assert_eq!(o.resolve_synonym(now), pe);
+        // And the writer re-quotes them.
+        let out = write_ontology(&o, &i);
+        assert!(out.contains("\"professional experience\""));
+        assert!(out.contains("\"now\""));
+    }
+
+    #[test]
+    fn negative_constants_and_negation() {
+        let mut i = Interner::new();
+        let text = "map f:\n  when x >= -5\n  emit y = -x\nend";
+        let o = parse_ontology(text, &mut i).unwrap();
+        let (_, f) = o.mappings.by_name("f").unwrap();
+        assert_eq!(f.pattern[0].guard.unwrap().value, Value::Int(-5));
+        let e = EventBuilder::new(&mut i).pair("x", 3i64).build();
+        let produced = f.try_apply(&e, &i, 0).unwrap();
+        assert_eq!(produced[0].1, Value::Int(-3));
+    }
+
+    #[test]
+    fn guard_operators_parse() {
+        let mut i = Interner::new();
+        let text = "map f:\n  when a = 1\n  when b != x\n  when c < 1\n  when d <= 1\n  when e > 1\n  when g >= 1\n  when h contains foo\n  emit y = 1\nend";
+        let o = parse_ontology(text, &mut i).unwrap();
+        let (_, f) = o.mappings.by_name("f").unwrap();
+        let ops: Vec<Operator> = f.pattern.iter().map(|p| p.guard.unwrap().op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                Operator::Eq,
+                Operator::Ne,
+                Operator::Lt,
+                Operator::Le,
+                Operator::Gt,
+                Operator::Ge,
+                Operator::Contains
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let mut i = Interner::new();
+        let text = "\n\n# full comment\nisa a -> b # trailing comment\n\n";
+        let o = parse_ontology(text, &mut i).unwrap();
+        assert_eq!(o.taxonomy.edge_count(), 1);
+    }
+}

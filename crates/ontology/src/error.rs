@@ -1,0 +1,88 @@
+//! Error types for the ontology substrate.
+
+use std::fmt;
+
+/// Errors raised while building or mutating ontologies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OntologyError {
+    /// Adding the is-a edge would create a cycle in the concept hierarchy.
+    CycleDetected {
+        /// Human-readable names of the offending edge.
+        child: String,
+        /// The proposed parent that is already a descendant of `child`.
+        parent: String,
+    },
+    /// A term was used as a synonym of two different roots.
+    SynonymConflict {
+        /// The alias in conflict.
+        alias: String,
+        /// The root it is already attached to.
+        existing_root: String,
+        /// The root the caller tried to attach it to.
+        new_root: String,
+    },
+    /// A concept referenced before being declared (strict modes only).
+    UnknownConcept(String),
+    /// A named domain was registered twice.
+    DuplicateDomain(String),
+    /// A mapping function name was registered twice within one registry.
+    DuplicateMapping(String),
+}
+
+impl fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OntologyError::CycleDetected { child, parent } => {
+                write!(f, "is-a edge {child} -> {parent} would create a cycle")
+            }
+            OntologyError::SynonymConflict { alias, existing_root, new_root } => write!(
+                f,
+                "term '{alias}' is already a synonym of '{existing_root}', cannot attach to '{new_root}'"
+            ),
+            OntologyError::UnknownConcept(name) => write!(f, "unknown concept '{name}'"),
+            OntologyError::DuplicateDomain(name) => write!(f, "domain '{name}' already registered"),
+            OntologyError::DuplicateMapping(name) => {
+                write!(f, "mapping function '{name}' already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OntologyError {}
+
+/// Errors raised while parsing the `.sto` ontology text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Builds a parse error.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_readably() {
+        let e = OntologyError::CycleDetected { child: "a".into(), parent: "b".into() };
+        assert_eq!(e.to_string(), "is-a edge a -> b would create a cycle");
+        let p = ParseError::new(3, "unexpected token");
+        assert_eq!(p.to_string(), "line 3: unexpected token");
+    }
+}

@@ -1,0 +1,336 @@
+//! Expressions for mapping-function productions.
+//!
+//! The paper's canonical example is
+//! `professional experience = present date − graduation year` (§3.1). A
+//! production's right-hand side is a small arithmetic expression over the
+//! attributes bound by the function's pattern, constants, and `now` (the
+//! "present date", injected by the pipeline so evaluation stays
+//! deterministic).
+//!
+//! Evaluation is total-but-optional: type mismatches, missing attributes,
+//! overflow, and division by zero yield `None`, which makes the mapping
+//! function silently not fire — a malformed publication must never take
+//! the matcher down.
+
+use std::fmt;
+
+use stopss_types::{Interner, Symbol, Value};
+
+/// An arithmetic expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Const(Value),
+    /// The value bound to an attribute by the pattern (or present on the
+    /// triggering event).
+    Attr(Symbol),
+    /// The pipeline-supplied current year ("present date").
+    Now,
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Quotient (`None` on division by zero).
+    Div(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Minimum of two numbers.
+    Min(Box<Expr>, Box<Expr>),
+    /// Maximum of two numbers.
+    Max(Box<Expr>, Box<Expr>),
+}
+
+/// Evaluation environment: bound attributes plus the current year.
+pub struct Env<'a> {
+    /// The "present date" (year granularity, like the paper's example).
+    pub now_year: i64,
+    /// Attribute bindings; the mapping layer backs this with the pattern
+    /// bindings first and the raw event second.
+    pub lookup: &'a dyn Fn(Symbol) -> Option<Value>,
+}
+
+#[allow(clippy::should_implement_trait)] // constructors named after the .sto
+// surface operators; `Expr` values are AST nodes, not numbers, so the std
+// operator traits would mislead more than help.
+impl Expr {
+    /// Convenience constructors keep deeply nested expressions readable.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+    /// `a / b`.
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Div(Box::new(a), Box::new(b))
+    }
+    /// `-a`.
+    pub fn neg(a: Expr) -> Expr {
+        Expr::Neg(Box::new(a))
+    }
+    /// `min(a, b)`.
+    pub fn min(a: Expr, b: Expr) -> Expr {
+        Expr::Min(Box::new(a), Box::new(b))
+    }
+    /// `max(a, b)`.
+    pub fn max(a: Expr, b: Expr) -> Expr {
+        Expr::Max(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates the expression; `None` when it cannot produce a value.
+    pub fn eval(&self, env: &Env<'_>) -> Option<Value> {
+        match self {
+            Expr::Const(v) => Some(*v),
+            Expr::Attr(sym) => (env.lookup)(*sym),
+            Expr::Now => Some(Value::Int(env.now_year)),
+            Expr::Add(a, b) => numeric(a.eval(env)?, b.eval(env)?, i64::checked_add, |x, y| x + y),
+            Expr::Sub(a, b) => numeric(a.eval(env)?, b.eval(env)?, i64::checked_sub, |x, y| x - y),
+            Expr::Mul(a, b) => numeric(a.eval(env)?, b.eval(env)?, i64::checked_mul, |x, y| x * y),
+            Expr::Div(a, b) => {
+                let (a, b) = (a.eval(env)?, b.eval(env)?);
+                match (a, b) {
+                    (_, Value::Int(0)) => None,
+                    (Value::Int(x), Value::Int(y)) => x.checked_div(y).map(Value::Int),
+                    _ => {
+                        let (x, y) = (a.as_f64()?, b.as_f64()?);
+                        let q = x / y;
+                        q.is_finite().then_some(Value::Float(q))
+                    }
+                }
+            }
+            Expr::Neg(a) => match a.eval(env)? {
+                Value::Int(x) => x.checked_neg().map(Value::Int),
+                Value::Float(x) => Some(Value::Float(-x)),
+                _ => None,
+            },
+            Expr::Min(a, b) => fold_minmax(a.eval(env)?, b.eval(env)?, true),
+            Expr::Max(a, b) => fold_minmax(a.eval(env)?, b.eval(env)?, false),
+        }
+    }
+
+    /// Attributes referenced by the expression, in first-mention order.
+    pub fn referenced_attrs(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out
+    }
+
+    fn collect_attrs(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Expr::Const(_) | Expr::Now => {}
+            Expr::Attr(s) => {
+                if !out.contains(s) {
+                    out.push(*s);
+                }
+            }
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => {
+                a.collect_attrs(out);
+                b.collect_attrs(out);
+            }
+            Expr::Neg(a) => a.collect_attrs(out),
+        }
+    }
+
+    /// Renders the expression in the `.sto` surface syntax.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> impl fmt::Display + 'a {
+        ExprDisplay { expr: self, interner }
+    }
+}
+
+/// Int∘Int stays Int (checked); any float operand promotes to Float.
+fn numeric(
+    a: Value,
+    b: Value,
+    int_op: impl Fn(i64, i64) -> Option<i64>,
+    float_op: impl Fn(f64, f64) -> f64,
+) -> Option<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => int_op(x, y).map(Value::Int),
+        _ => {
+            let r = float_op(a.as_f64()?, b.as_f64()?);
+            r.is_finite().then_some(Value::Float(r))
+        }
+    }
+}
+
+fn fold_minmax(a: Value, b: Value, want_min: bool) -> Option<Value> {
+    let ord = a.range_cmp(&b)?;
+    let a_wins = if want_min { ord.is_le() } else { ord.is_ge() };
+    Some(if a_wins { a } else { b })
+}
+
+struct ExprDisplay<'a> {
+    expr: &'a Expr,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for ExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(e: &Expr, i: &Interner, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match e {
+                Expr::Const(Value::Sym(s)) => {
+                    write!(f, "term(\"{}\")", i.try_resolve(*s).unwrap_or("<?>"))
+                }
+                Expr::Const(v) => write!(f, "{}", v.display(i)),
+                Expr::Attr(s) => {
+                    let name = i.try_resolve(*s).unwrap_or("<?>");
+                    let plain = !name.is_empty()
+                        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                        && !name.contains("->")
+                        && !matches!(name, "now" | "true" | "false" | "min" | "max" | "exists" | "term");
+                    if plain {
+                        write!(f, "{name}")
+                    } else {
+                        write!(f, "\"{name}\"")
+                    }
+                }
+                Expr::Now => f.write_str("now"),
+                Expr::Add(a, b) => bin(a, "+", b, i, f),
+                Expr::Sub(a, b) => bin(a, "-", b, i, f),
+                Expr::Mul(a, b) => bin(a, "*", b, i, f),
+                Expr::Div(a, b) => bin(a, "/", b, i, f),
+                Expr::Neg(a) => {
+                    f.write_str("(- ")?;
+                    go(a, i, f)?;
+                    f.write_str(")")
+                }
+                Expr::Min(a, b) => func("min", a, b, i, f),
+                Expr::Max(a, b) => func("max", a, b, i, f),
+            }
+        }
+        fn bin(
+            a: &Expr,
+            op: &str,
+            b: &Expr,
+            i: &Interner,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            f.write_str("(")?;
+            go(a, i, f)?;
+            write!(f, " {op} ")?;
+            go(b, i, f)?;
+            f.write_str(")")
+        }
+        fn func(
+            name: &str,
+            a: &Expr,
+            b: &Expr,
+            i: &Interner,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            write!(f, "{name}(")?;
+            go(a, i, f)?;
+            f.write_str(", ")?;
+            go(b, i, f)?;
+            f.write_str(")")
+        }
+        go(self.expr, self.interner, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stopss_types::FxHashMap;
+
+    fn eval_with(expr: &Expr, bindings: &FxHashMap<Symbol, Value>, now: i64) -> Option<Value> {
+        let lookup = |s: Symbol| bindings.get(&s).copied();
+        expr.eval(&Env { now_year: now, lookup: &lookup })
+    }
+
+    #[test]
+    fn paper_example_experience_from_graduation_year() {
+        let mut i = Interner::new();
+        let grad = i.intern("graduation_year");
+        let expr = Expr::sub(Expr::Now, Expr::Attr(grad));
+        let mut bindings = FxHashMap::default();
+        bindings.insert(grad, Value::Int(1993));
+        // The paper's candidate graduated 10 years before the 2003 demo.
+        assert_eq!(eval_with(&expr, &bindings, 2003), Some(Value::Int(10)));
+    }
+
+    #[test]
+    fn arithmetic_and_promotion() {
+        let e = Expr::add(Expr::Const(Value::Int(2)), Expr::Const(Value::Float(0.5)));
+        assert_eq!(eval_with(&e, &FxHashMap::default(), 0), Some(Value::Float(2.5)));
+        let m = Expr::mul(Expr::Const(Value::Int(3)), Expr::Const(Value::Int(4)));
+        assert_eq!(eval_with(&m, &FxHashMap::default(), 0), Some(Value::Int(12)));
+        let n = Expr::neg(Expr::Const(Value::Int(7)));
+        assert_eq!(eval_with(&n, &FxHashMap::default(), 0), Some(Value::Int(-7)));
+    }
+
+    #[test]
+    fn division_semantics() {
+        let int_div = Expr::div(Expr::Const(Value::Int(7)), Expr::Const(Value::Int(2)));
+        assert_eq!(eval_with(&int_div, &FxHashMap::default(), 0), Some(Value::Int(3)));
+        let by_zero = Expr::div(Expr::Const(Value::Int(7)), Expr::Const(Value::Int(0)));
+        assert_eq!(eval_with(&by_zero, &FxHashMap::default(), 0), None);
+        let f_by_zero = Expr::div(Expr::Const(Value::Float(1.0)), Expr::Const(Value::Float(0.0)));
+        assert_eq!(eval_with(&f_by_zero, &FxHashMap::default(), 0), None, "infinite results are rejected");
+    }
+
+    #[test]
+    fn overflow_is_detected_not_wrapped() {
+        let e = Expr::add(Expr::Const(Value::Int(i64::MAX)), Expr::Const(Value::Int(1)));
+        assert_eq!(eval_with(&e, &FxHashMap::default(), 0), None);
+        let n = Expr::neg(Expr::Const(Value::Int(i64::MIN)));
+        assert_eq!(eval_with(&n, &FxHashMap::default(), 0), None);
+    }
+
+    #[test]
+    fn missing_attribute_and_bad_types_fail_softly() {
+        let mut i = Interner::new();
+        let x = i.intern("x");
+        let s = i.intern("some_term");
+        let e = Expr::add(Expr::Attr(x), Expr::Const(Value::Int(1)));
+        assert_eq!(eval_with(&e, &FxHashMap::default(), 0), None, "unbound attr");
+        let mut b = FxHashMap::default();
+        b.insert(x, Value::Sym(s));
+        assert_eq!(eval_with(&e, &b, 0), None, "non-numeric operand");
+    }
+
+    #[test]
+    fn min_max() {
+        let lo = Expr::min(Expr::Const(Value::Int(3)), Expr::Const(Value::Float(1.5)));
+        assert_eq!(eval_with(&lo, &FxHashMap::default(), 0), Some(Value::Float(1.5)));
+        let hi = Expr::max(Expr::Const(Value::Int(3)), Expr::Const(Value::Float(1.5)));
+        assert_eq!(eval_with(&hi, &FxHashMap::default(), 0), Some(Value::Int(3)));
+        let bad = Expr::min(Expr::Const(Value::Bool(true)), Expr::Const(Value::Int(0)));
+        assert_eq!(eval_with(&bad, &FxHashMap::default(), 0), None);
+    }
+
+    #[test]
+    fn referenced_attrs_deduplicates() {
+        let mut i = Interner::new();
+        let (x, y) = (i.intern("x"), i.intern("y"));
+        let e = Expr::add(Expr::Attr(x), Expr::mul(Expr::Attr(y), Expr::Attr(x)));
+        assert_eq!(e.referenced_attrs(), vec![x, y]);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let mut i = Interner::new();
+        let grad = i.intern("graduation_year");
+        let e = Expr::sub(Expr::Now, Expr::Attr(grad));
+        assert_eq!(format!("{}", e.display(&i)), "(now - graduation_year)");
+        let c = Expr::Const(Value::Sym(i.intern("cobol")));
+        assert_eq!(format!("{}", c.display(&i)), "term(\"cobol\")");
+        let spaced = Expr::Attr(i.intern("graduation year"));
+        assert_eq!(format!("{}", spaced.display(&i)), "\"graduation year\"");
+        let m = Expr::min(Expr::Const(Value::Int(1)), Expr::Now);
+        assert_eq!(format!("{}", m.display(&i)), "min(1, now)");
+    }
+}

@@ -1,0 +1,38 @@
+//! # stopss-ontology
+//!
+//! The ontology substrate of the S-ToPSS reproduction: the three knowledge
+//! sources the paper's semantic stages consume (§3.1), plus multi-domain
+//! support (§3.2) and a declarative text format.
+//!
+//! * [`SynonymTable`] — alias → root term resolution (stage 1);
+//! * [`Taxonomy`] — specialization/generalization concept DAG with cached
+//!   ancestor queries (stage 2);
+//! * [`MappingFunction`] / [`MappingRegistry`] — many-to-many
+//!   attribute–value correlations with a small expression language
+//!   (stage 3);
+//! * [`Ontology`] — one domain's bundle; [`DomainRegistry`] — several
+//!   domains plus inter-domain bridge functions, behind the common
+//!   [`SemanticSource`] interface;
+//! * [`dsl`] — the `.sto` text format (parser + writer);
+//! * [`damloil`] — the paper's stated future work: translating DAML+OIL
+//!   (RDF/XML) ontologies into the efficient internal representation.
+
+#![warn(missing_docs)]
+
+pub mod damloil;
+pub mod domain;
+pub mod dsl;
+pub mod error;
+pub mod expr;
+pub mod mapping;
+pub mod synonyms;
+pub mod taxonomy;
+
+pub use damloil::{import_damloil, ImportReport};
+pub use domain::{DomainId, DomainRegistry, Ontology, SemanticSource};
+pub use dsl::{parse_ontology, write_ontology};
+pub use error::{OntologyError, ParseError};
+pub use expr::{Env, Expr};
+pub use mapping::{FnId, Guard, MappingFunction, MappingRegistry, PatternItem, Production};
+pub use synonyms::SynonymTable;
+pub use taxonomy::{ConceptId, Taxonomy};

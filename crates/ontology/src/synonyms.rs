@@ -1,0 +1,234 @@
+//! Synonym tables — the first semantic stage.
+//!
+//! "The synonym step involves translating all event and subscription
+//! attributes with different names but with the same meaning, to a 'root'
+//! attribute" (§3.1). The table maps any member of a synonym group to the
+//! group's canonical *root* symbol in O(1); terms outside any group resolve
+//! to themselves. The same table serves attribute names and categorical
+//! values — both are interned symbols.
+
+use stopss_types::{FxHashMap, Interner, Symbol};
+
+use crate::error::OntologyError;
+
+/// A synonym table: alias → root, with group bookkeeping for iteration and
+/// group merging.
+#[derive(Default, Debug, Clone)]
+pub struct SynonymTable {
+    root_of: FxHashMap<Symbol, Symbol>,
+    groups: FxHashMap<Symbol, Vec<Symbol>>,
+}
+
+impl SynonymTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves a term to its root. Terms without synonyms resolve to
+    /// themselves; roots resolve to themselves.
+    #[inline]
+    pub fn resolve(&self, term: Symbol) -> Symbol {
+        self.root_of.get(&term).copied().unwrap_or(term)
+    }
+
+    /// True if `term` is an alias (resolves to something else).
+    pub fn is_alias(&self, term: Symbol) -> bool {
+        self.resolve(term) != term
+    }
+
+    /// Declares `alias` to be a synonym of `root`.
+    ///
+    /// * `root` is first resolved, so chains collapse eagerly and every
+    ///   lookup stays O(1).
+    /// * If `alias` already heads its own group, the whole group is merged
+    ///   under the resolved root.
+    /// * If `alias` already belongs to a *different* group, that is a
+    ///   conflict: silently re-pointing would change the meaning of
+    ///   existing subscriptions. (Merging the two groups explicitly is
+    ///   available via [`SynonymTable::merge_groups`].)
+    pub fn add_synonym(
+        &mut self,
+        root: Symbol,
+        alias: Symbol,
+        interner: &Interner,
+    ) -> Result<(), OntologyError> {
+        let root = self.resolve(root);
+        if alias == root {
+            return Ok(()); // attaching a term to its own root is a no-op
+        }
+        if let Some(&existing) = self.root_of.get(&alias) {
+            if existing == root {
+                return Ok(());
+            }
+            return Err(OntologyError::SynonymConflict {
+                alias: interner.try_resolve(alias).unwrap_or("<?>").to_owned(),
+                existing_root: interner.try_resolve(existing).unwrap_or("<?>").to_owned(),
+                new_root: interner.try_resolve(root).unwrap_or("<?>").to_owned(),
+            });
+        }
+        // If the alias used to head a group, fold its members in.
+        if let Some(members) = self.groups.remove(&alias) {
+            for member in members {
+                self.root_of.insert(member, root);
+                self.groups.entry(root).or_default().push(member);
+            }
+        }
+        self.root_of.insert(alias, root);
+        self.groups.entry(root).or_default().push(alias);
+        Ok(())
+    }
+
+    /// Merges the group of `a` into the group of `b` (keeping `b`'s root as
+    /// canonical). Both terms may be plain (group-less) terms.
+    pub fn merge_groups(&mut self, a: Symbol, b: Symbol) {
+        let target = self.resolve(b);
+        let source = self.resolve(a);
+        if source == target {
+            return;
+        }
+        let members = self.groups.remove(&source).unwrap_or_default();
+        for member in members.iter().chain(std::iter::once(&source)) {
+            self.root_of.insert(*member, target);
+            self.groups.entry(target).or_default().push(*member);
+        }
+    }
+
+    /// The members of the group rooted at `root` (not including the root).
+    pub fn group(&self, root: Symbol) -> &[Symbol] {
+        self.groups.get(&root).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Iterates over `(root, members)` for every group.
+    pub fn iter_groups(&self) -> impl Iterator<Item = (Symbol, &[Symbol])> {
+        self.groups.iter().map(|(root, members)| (*root, members.as_slice()))
+    }
+
+    /// Number of alias entries (terms that resolve to something else).
+    pub fn alias_count(&self) -> usize {
+        self.root_of.len()
+    }
+
+    /// True if no synonyms are declared.
+    pub fn is_empty(&self) -> bool {
+        self.root_of.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(i: &mut Interner, names: &[&str]) -> Vec<Symbol> {
+        names.iter().map(|n| i.intern(n)).collect()
+    }
+
+    #[test]
+    fn paper_example_university_school() {
+        let mut i = Interner::new();
+        let s = syms(&mut i, &["university", "school", "college"]);
+        let mut table = SynonymTable::new();
+        table.add_synonym(s[0], s[1], &i).unwrap();
+        table.add_synonym(s[0], s[2], &i).unwrap();
+        assert_eq!(table.resolve(s[1]), s[0]);
+        assert_eq!(table.resolve(s[2]), s[0]);
+        assert_eq!(table.resolve(s[0]), s[0], "roots resolve to themselves");
+        assert!(table.is_alias(s[1]));
+        assert!(!table.is_alias(s[0]));
+    }
+
+    #[test]
+    fn unknown_terms_resolve_to_themselves() {
+        let mut i = Interner::new();
+        let x = i.intern("x");
+        let table = SynonymTable::new();
+        assert_eq!(table.resolve(x), x);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn chains_collapse_to_one_hop() {
+        let mut i = Interner::new();
+        let s = syms(&mut i, &["a", "b", "c"]);
+        let mut table = SynonymTable::new();
+        table.add_synonym(s[0], s[1], &i).unwrap(); // b -> a
+        table.add_synonym(s[1], s[2], &i).unwrap(); // c -> resolve(b) = a
+        assert_eq!(table.resolve(s[2]), s[0]);
+    }
+
+    #[test]
+    fn alias_heading_a_group_is_folded_in() {
+        let mut i = Interner::new();
+        let s = syms(&mut i, &["job", "position", "role", "occupation"]);
+        let mut table = SynonymTable::new();
+        // position heads a group first...
+        table.add_synonym(s[1], s[2], &i).unwrap(); // role -> position
+        // ...then becomes an alias of job: the whole group must follow.
+        table.add_synonym(s[0], s[1], &i).unwrap(); // position -> job
+        assert_eq!(table.resolve(s[1]), s[0]);
+        assert_eq!(table.resolve(s[2]), s[0]);
+        table.add_synonym(s[0], s[3], &i).unwrap();
+        assert_eq!(table.group(s[0]).len(), 3);
+    }
+
+    #[test]
+    fn conflicting_attachment_is_rejected() {
+        let mut i = Interner::new();
+        let s = syms(&mut i, &["r1", "r2", "alias"]);
+        let mut table = SynonymTable::new();
+        table.add_synonym(s[0], s[2], &i).unwrap();
+        let err = table.add_synonym(s[1], s[2], &i).unwrap_err();
+        assert!(matches!(err, OntologyError::SynonymConflict { .. }));
+        // Idempotent re-attachment to the same root is fine.
+        table.add_synonym(s[0], s[2], &i).unwrap();
+    }
+
+    #[test]
+    fn self_attachment_is_a_noop() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let mut table = SynonymTable::new();
+        table.add_synonym(a, a, &i).unwrap();
+        assert!(table.is_empty());
+        assert_eq!(table.resolve(a), a);
+    }
+
+    #[test]
+    fn merge_groups_unifies_roots() {
+        let mut i = Interner::new();
+        let s = syms(&mut i, &["car", "auto", "vehicle", "automobile"]);
+        let mut table = SynonymTable::new();
+        table.add_synonym(s[0], s[1], &i).unwrap(); // auto -> car
+        table.add_synonym(s[2], s[3], &i).unwrap(); // automobile -> vehicle
+        table.merge_groups(s[0], s[2]); // car group joins vehicle
+        for term in &s {
+            assert_eq!(table.resolve(*term), s[2]);
+        }
+        assert_eq!(table.group(s[2]).len(), 3);
+    }
+
+    #[test]
+    fn merge_is_noop_within_same_group() {
+        let mut i = Interner::new();
+        let s = syms(&mut i, &["a", "b"]);
+        let mut table = SynonymTable::new();
+        table.add_synonym(s[0], s[1], &i).unwrap();
+        table.merge_groups(s[1], s[0]);
+        assert_eq!(table.resolve(s[1]), s[0]);
+        assert_eq!(table.alias_count(), 1);
+    }
+
+    #[test]
+    fn iter_groups_sees_every_group() {
+        let mut i = Interner::new();
+        let s = syms(&mut i, &["a", "b", "x", "y"]);
+        let mut table = SynonymTable::new();
+        table.add_synonym(s[0], s[1], &i).unwrap();
+        table.add_synonym(s[2], s[3], &i).unwrap();
+        let mut roots: Vec<Symbol> = table.iter_groups().map(|(r, _)| r).collect();
+        roots.sort_unstable();
+        let mut want = vec![s[0], s[2]];
+        want.sort_unstable();
+        assert_eq!(roots, want);
+    }
+}

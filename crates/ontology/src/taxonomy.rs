@@ -1,0 +1,475 @@
+//! Concept hierarchies — the second semantic stage's knowledge source.
+//!
+//! "Taxonomies represent a way of organizing ontological knowledge using
+//! specialization and generalization relationships between different
+//! concepts … more general terms are higher up in the hierarchy" (§3.1).
+//!
+//! The hierarchy is a multi-parent DAG over interned symbols. Cycles are
+//! rejected at edge-insertion time. Queries run against a lazily rebuilt
+//! *ancestor cache*: for every concept, the sorted list of all ancestors
+//! with their minimum distance. Taxonomies are built once and queried per
+//! publication, so an O(reachable-pairs) rebuild amortizes to zero on the
+//! hot path while `is_a` becomes a binary search and `ancestors` a slice
+//! walk.
+
+use parking_lot::RwLock;
+use stopss_types::{FxHashMap, Interner, Symbol};
+
+use crate::error::OntologyError;
+
+/// Dense index of a concept inside one taxonomy.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ConceptId(u32);
+
+impl ConceptId {
+    #[inline]
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Concept {
+    sym: Symbol,
+    parents: Vec<ConceptId>,
+    children: Vec<ConceptId>,
+}
+
+/// One concept's ancestors with minimum distances, sorted by ancestor id.
+type AncestorRow = Box<[(ConceptId, u32)]>;
+
+#[derive(Default, Debug)]
+struct AncestorCache {
+    /// Taxonomy version this cache was built for.
+    version: u64,
+    /// Per concept: `(ancestor, min_distance)` sorted by ancestor id.
+    rows: Vec<AncestorRow>,
+}
+
+/// A concept hierarchy (specialization/generalization DAG).
+#[derive(Debug, Default)]
+pub struct Taxonomy {
+    ids: FxHashMap<Symbol, ConceptId>,
+    concepts: Vec<Concept>,
+    version: u64,
+    cache: RwLock<AncestorCache>,
+}
+
+impl Clone for Taxonomy {
+    fn clone(&self) -> Self {
+        Taxonomy {
+            ids: self.ids.clone(),
+            concepts: self.concepts.clone(),
+            version: self.version,
+            cache: RwLock::new(AncestorCache::default()),
+        }
+    }
+}
+
+impl Taxonomy {
+    /// Creates an empty taxonomy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// True if no concepts exist.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// True if `sym` is a known concept.
+    pub fn contains(&self, sym: Symbol) -> bool {
+        self.ids.contains_key(&sym)
+    }
+
+    /// Declares a concept (idempotent) and returns its id.
+    pub fn add_concept(&mut self, sym: Symbol) -> ConceptId {
+        if let Some(&id) = self.ids.get(&sym) {
+            return id;
+        }
+        let id = ConceptId(u32::try_from(self.concepts.len()).expect("too many concepts"));
+        self.concepts.push(Concept { sym, parents: Vec::new(), children: Vec::new() });
+        self.ids.insert(sym, id);
+        self.version += 1;
+        id
+    }
+
+    /// Declares `child is-a parent`. Both concepts are created on demand.
+    /// Rejects self-loops and edges that would close a cycle.
+    pub fn add_isa(
+        &mut self,
+        child: Symbol,
+        parent: Symbol,
+        interner: &Interner,
+    ) -> Result<(), OntologyError> {
+        let cycle_error = |i: &Interner| OntologyError::CycleDetected {
+            child: i.try_resolve(child).unwrap_or("<?>").to_owned(),
+            parent: i.try_resolve(parent).unwrap_or("<?>").to_owned(),
+        };
+        if child == parent {
+            return Err(cycle_error(interner));
+        }
+        let child_id = self.add_concept(child);
+        let parent_id = self.add_concept(parent);
+        if self.concepts[child_id.idx()].parents.contains(&parent_id) {
+            return Ok(()); // duplicate edge, idempotent
+        }
+        // The edge child -> parent closes a cycle iff parent already
+        // reaches child going upward.
+        if self.reaches_upward(parent_id, child_id) {
+            return Err(cycle_error(interner));
+        }
+        self.concepts[child_id.idx()].parents.push(parent_id);
+        self.concepts[parent_id.idx()].children.push(child_id);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// BFS over parent edges, bypassing the cache (used for cycle checks
+    /// during construction).
+    fn reaches_upward(&self, from: ConceptId, target: ConceptId) -> bool {
+        let mut seen = vec![false; self.concepts.len()];
+        let mut queue = vec![from];
+        seen[from.idx()] = true;
+        while let Some(c) = queue.pop() {
+            if c == target {
+                return true;
+            }
+            for &p in &self.concepts[c.idx()].parents {
+                if !seen[p.idx()] {
+                    seen[p.idx()] = true;
+                    queue.push(p);
+                }
+            }
+        }
+        false
+    }
+
+    /// Rebuilds the ancestor cache if the taxonomy changed since the last
+    /// build, then runs `f` against the fresh cache.
+    fn with_cache<R>(&self, f: impl FnOnce(&AncestorCache) -> R) -> R {
+        {
+            let cache = self.cache.read();
+            if cache.version == self.version && cache.rows.len() == self.concepts.len() {
+                return f(&cache);
+            }
+        }
+        let mut cache = self.cache.write();
+        if cache.version != self.version || cache.rows.len() != self.concepts.len() {
+            *cache = self.build_cache();
+        }
+        f(&cache)
+    }
+
+    /// Computes ancestor rows bottom-up in topological order (parents
+    /// before children is not guaranteed by insertion order, so a DFS
+    /// post-order over the parent relation is used).
+    fn build_cache(&self) -> AncestorCache {
+        let n = self.concepts.len();
+        let mut rows: Vec<Option<AncestorRow>> = vec![None; n];
+        // Iterative DFS with an explicit stack; the taxonomy is acyclic by
+        // construction.
+        for start in 0..n {
+            if rows[start].is_some() {
+                continue;
+            }
+            let mut stack = vec![(ConceptId(start as u32), false)];
+            while let Some((node, expanded)) = stack.pop() {
+                if rows[node.idx()].is_some() {
+                    continue;
+                }
+                if expanded {
+                    // All parents have rows: merge {parent: 1} ∪ {anc(parent)+1}.
+                    let mut acc: FxHashMap<ConceptId, u32> = FxHashMap::default();
+                    for &p in &self.concepts[node.idx()].parents {
+                        acc.entry(p).and_modify(|d| *d = (*d).min(1)).or_insert(1);
+                        let parent_row = rows[p.idx()].as_ref().expect("post-order");
+                        for &(anc, d) in parent_row.iter() {
+                            acc.entry(anc).and_modify(|cur| *cur = (*cur).min(d + 1)).or_insert(d + 1);
+                        }
+                    }
+                    let mut row: Vec<(ConceptId, u32)> = acc.into_iter().collect();
+                    row.sort_unstable_by_key(|(c, _)| *c);
+                    rows[node.idx()] = Some(row.into_boxed_slice());
+                } else {
+                    stack.push((node, true));
+                    for &p in &self.concepts[node.idx()].parents {
+                        if rows[p.idx()].is_none() {
+                            stack.push((p, false));
+                        }
+                    }
+                }
+            }
+        }
+        AncestorCache {
+            version: self.version,
+            rows: rows.into_iter().map(|r| r.expect("all rows built")).collect(),
+        }
+    }
+
+    /// All ancestors of `sym` with their minimum distance (1 = direct
+    /// parent). Unknown concepts have no ancestors. Order is unspecified.
+    pub fn ancestors(&self, sym: Symbol) -> Vec<(Symbol, u32)> {
+        let mut out = Vec::new();
+        self.for_each_ancestor(sym, &mut |anc, d| out.push((anc, d)));
+        out
+    }
+
+    /// Visits every ancestor of `sym` with its minimum distance, without
+    /// allocating (hot path of the hierarchy stage).
+    pub fn for_each_ancestor(&self, sym: Symbol, f: &mut dyn FnMut(Symbol, u32)) {
+        let Some(&id) = self.ids.get(&sym) else {
+            return;
+        };
+        self.with_cache(|cache| {
+            for &(anc, d) in cache.rows[id.idx()].iter() {
+                f(self.concepts[anc.idx()].sym, d);
+            }
+        });
+    }
+
+    /// All descendants of `sym` with their minimum distance (BFS over
+    /// child edges; used at subscribe time by the subscription-rewrite
+    /// strategy, so it trades memory for simplicity instead of caching).
+    pub fn descendants(&self, sym: Symbol) -> Vec<(Symbol, u32)> {
+        let Some(&id) = self.ids.get(&sym) else {
+            return Vec::new();
+        };
+        let mut dist: FxHashMap<ConceptId, u32> = FxHashMap::default();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back((id, 0u32));
+        while let Some((c, d)) = queue.pop_front() {
+            for &child in &self.concepts[c.idx()].children {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(child) {
+                    e.insert(d + 1);
+                    queue.push_back((child, d + 1));
+                }
+            }
+        }
+        dist.into_iter().map(|(c, d)| (self.concepts[c.idx()].sym, d)).collect()
+    }
+
+    /// True iff `special` is a strict descendant of `general` — the
+    /// paper's rule R1 ("events that contain more specialized concepts
+    /// match subscriptions that contain more generalized terms").
+    pub fn is_a(&self, special: Symbol, general: Symbol) -> bool {
+        self.distance(special, general).is_some()
+    }
+
+    /// Minimum upward distance from `special` to `general`, if `general`
+    /// is an ancestor. `None` for unrelated concepts and for
+    /// `special == general` (distance 0 is not "more specialized").
+    pub fn distance(&self, special: Symbol, general: Symbol) -> Option<u32> {
+        let (&sid, &gid) = (self.ids.get(&special)?, self.ids.get(&general)?);
+        self.with_cache(|cache| {
+            let row = &cache.rows[sid.idx()];
+            row.binary_search_by_key(&gid, |(c, _)| *c).ok().map(|pos| row[pos].1)
+        })
+    }
+
+    /// Direct parents of `sym`.
+    pub fn parents(&self, sym: Symbol) -> Vec<Symbol> {
+        match self.ids.get(&sym) {
+            Some(&id) => self.concepts[id.idx()]
+                .parents
+                .iter()
+                .map(|p| self.concepts[p.idx()].sym)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Direct children of `sym`.
+    pub fn children(&self, sym: Symbol) -> Vec<Symbol> {
+        match self.ids.get(&sym) {
+            Some(&id) => self.concepts[id.idx()]
+                .children
+                .iter()
+                .map(|c| self.concepts[c.idx()].sym)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Concepts with no parents.
+    pub fn roots(&self) -> Vec<Symbol> {
+        self.concepts.iter().filter(|c| c.parents.is_empty()).map(|c| c.sym).collect()
+    }
+
+    /// Iterates all concepts in creation order.
+    pub fn iter_concepts(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.concepts.iter().map(|c| c.sym)
+    }
+
+    /// Iterates all is-a edges as `(child, parent)`.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (Symbol, Symbol)> + '_ {
+        self.concepts.iter().flat_map(move |c| {
+            c.parents.iter().map(move |p| (c.sym, self.concepts[p.idx()].sym))
+        })
+    }
+
+    /// Number of is-a edges.
+    pub fn edge_count(&self) -> usize {
+        self.concepts.iter().map(|c| c.parents.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_degrees() -> (Interner, Taxonomy) {
+        // degree -> graduate_degree -> {phd, msc}; degree -> undergrad
+        let mut i = Interner::new();
+        let mut t = Taxonomy::new();
+        let degree = i.intern("degree");
+        let grad = i.intern("graduate_degree");
+        let phd = i.intern("phd");
+        let msc = i.intern("msc");
+        let under = i.intern("undergraduate_degree");
+        t.add_isa(grad, degree, &i).unwrap();
+        t.add_isa(phd, grad, &i).unwrap();
+        t.add_isa(msc, grad, &i).unwrap();
+        t.add_isa(under, degree, &i).unwrap();
+        (i, t)
+    }
+
+    #[test]
+    fn is_a_follows_transitive_specialization() {
+        let (i, t) = build_degrees();
+        let phd = i.get("phd").unwrap();
+        let grad = i.get("graduate_degree").unwrap();
+        let degree = i.get("degree").unwrap();
+        let under = i.get("undergraduate_degree").unwrap();
+        assert!(t.is_a(phd, grad));
+        assert!(t.is_a(phd, degree));
+        assert!(!t.is_a(degree, phd), "rule R2: general does not match special");
+        assert!(!t.is_a(phd, under));
+        assert!(!t.is_a(phd, phd), "a concept is not *more* specialized than itself");
+    }
+
+    #[test]
+    fn distances_are_minimal_path_lengths() {
+        let (i, t) = build_degrees();
+        let phd = i.get("phd").unwrap();
+        let grad = i.get("graduate_degree").unwrap();
+        let degree = i.get("degree").unwrap();
+        assert_eq!(t.distance(phd, grad), Some(1));
+        assert_eq!(t.distance(phd, degree), Some(2));
+        assert_eq!(t.distance(grad, degree), Some(1));
+        assert_eq!(t.distance(degree, phd), None);
+    }
+
+    #[test]
+    fn multi_parent_takes_minimum_distance() {
+        let mut i = Interner::new();
+        let mut t = Taxonomy::new();
+        let (a, b, c, top) = (i.intern("a"), i.intern("b"), i.intern("c"), i.intern("top"));
+        // a -> b -> top and a -> c -> top plus a shortcut a -> top.
+        t.add_isa(a, b, &i).unwrap();
+        t.add_isa(b, top, &i).unwrap();
+        t.add_isa(a, c, &i).unwrap();
+        t.add_isa(c, top, &i).unwrap();
+        t.add_isa(a, top, &i).unwrap();
+        assert_eq!(t.distance(a, top), Some(1), "shortcut wins");
+        let ancs = t.ancestors(a);
+        assert_eq!(ancs.len(), 3);
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut i = Interner::new();
+        let mut t = Taxonomy::new();
+        let (a, b, c) = (i.intern("a"), i.intern("b"), i.intern("c"));
+        t.add_isa(a, b, &i).unwrap();
+        t.add_isa(b, c, &i).unwrap();
+        let err = t.add_isa(c, a, &i).unwrap_err();
+        assert!(matches!(err, OntologyError::CycleDetected { .. }));
+        let self_loop = t.add_isa(a, a, &i).unwrap_err();
+        assert!(matches!(self_loop, OntologyError::CycleDetected { .. }));
+        // Structure unchanged by the failed inserts.
+        assert_eq!(t.edge_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_are_idempotent() {
+        let mut i = Interner::new();
+        let mut t = Taxonomy::new();
+        let (a, b) = (i.intern("a"), i.intern("b"));
+        t.add_isa(a, b, &i).unwrap();
+        t.add_isa(a, b, &i).unwrap();
+        assert_eq!(t.edge_count(), 1);
+    }
+
+    #[test]
+    fn descendants_mirror_ancestors() {
+        let (i, t) = build_degrees();
+        let degree = i.get("degree").unwrap();
+        let mut descendants = t.descendants(degree);
+        descendants.sort_unstable_by_key(|(s, _)| *s);
+        assert_eq!(descendants.len(), 4);
+        for (sym, d) in descendants {
+            assert_eq!(t.distance(sym, degree), Some(d));
+        }
+    }
+
+    #[test]
+    fn unknown_symbols_have_empty_relations() {
+        let (mut i, t) = build_degrees();
+        let ghost = i.intern("ghost");
+        assert!(t.ancestors(ghost).is_empty());
+        assert!(t.descendants(ghost).is_empty());
+        assert!(!t.is_a(ghost, ghost));
+        assert!(t.parents(ghost).is_empty());
+        assert!(t.children(ghost).is_empty());
+    }
+
+    #[test]
+    fn cache_invalidates_on_mutation() {
+        let mut i = Interner::new();
+        let mut t = Taxonomy::new();
+        let (a, b, c) = (i.intern("a"), i.intern("b"), i.intern("c"));
+        t.add_isa(a, b, &i).unwrap();
+        assert!(t.is_a(a, b)); // builds the cache
+        t.add_isa(b, c, &i).unwrap();
+        assert!(t.is_a(a, c), "cache must observe the new edge");
+    }
+
+    #[test]
+    fn roots_and_iteration() {
+        let (i, t) = build_degrees();
+        let degree = i.get("degree").unwrap();
+        assert_eq!(t.roots(), vec![degree]);
+        assert_eq!(t.iter_concepts().count(), 5);
+        assert_eq!(t.iter_edges().count(), t.edge_count());
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let (i, t) = build_degrees();
+        let t2 = t.clone();
+        let phd = i.get("phd").unwrap();
+        let degree = i.get("degree").unwrap();
+        assert!(t2.is_a(phd, degree));
+        assert_eq!(t2.len(), t.len());
+    }
+
+    #[test]
+    fn deep_chain_has_linear_distances() {
+        let mut i = Interner::new();
+        let mut t = Taxonomy::new();
+        let syms: Vec<Symbol> = (0..50).map(|k| i.intern(&format!("c{k}"))).collect();
+        for w in syms.windows(2) {
+            t.add_isa(w[0], w[1], &i).unwrap();
+        }
+        assert_eq!(t.distance(syms[0], syms[49]), Some(49));
+        assert_eq!(t.ancestors(syms[0]).len(), 49);
+        assert_eq!(t.ancestors(syms[49]).len(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the concept hierarchy: the cached ancestor rows
+//! must agree with a straightforward BFS reference on random DAGs, and
+//! structural invariants (acyclicity, antisymmetry, triangle inequality)
+//! must hold.
+
+use proptest::prelude::*;
+
+use stopss_ontology::Taxonomy;
+use stopss_types::{FxHashMap, Interner, Symbol};
+
+const N: usize = 12;
+
+fn interner_with_concepts() -> (Interner, Vec<Symbol>) {
+    let mut interner = Interner::new();
+    let syms = (0..N).map(|k| interner.intern(&format!("c{k}"))).collect();
+    (interner, syms)
+}
+
+/// Edges `(child, parent)` with child < parent are acyclic by
+/// construction; the generator draws arbitrary pairs and orients them.
+fn arb_edges() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0usize..N, 0usize..N), 0..30).prop_map(|raw| {
+        raw.into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect()
+    })
+}
+
+/// Reference: BFS over parent edges computing minimum distances.
+fn bfs_ancestors(
+    edges: &[(usize, usize)],
+    from: usize,
+) -> FxHashMap<usize, u32> {
+    let mut parents: Vec<Vec<usize>> = vec![Vec::new(); N];
+    for &(c, p) in edges {
+        if !parents[c].contains(&p) {
+            parents[c].push(p);
+        }
+    }
+    let mut dist: FxHashMap<usize, u32> = FxHashMap::default();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back((from, 0u32));
+    while let Some((node, d)) = queue.pop_front() {
+        for &p in &parents[node] {
+            if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(p) {
+                slot.insert(d + 1);
+                queue.push_back((p, d + 1));
+            }
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn cached_ancestors_match_bfs_reference(edges in arb_edges()) {
+        let (interner, syms) = interner_with_concepts();
+        let mut taxonomy = Taxonomy::new();
+        for sym in &syms {
+            taxonomy.add_concept(*sym);
+        }
+        for &(c, p) in &edges {
+            taxonomy.add_isa(syms[c], syms[p], &interner).unwrap();
+        }
+        for start in 0..N {
+            let reference = bfs_ancestors(&edges, start);
+            let mut got: Vec<(Symbol, u32)> = taxonomy.ancestors(syms[start]);
+            got.sort_unstable_by_key(|(s, _)| *s);
+            prop_assert_eq!(got.len(), reference.len(), "ancestor set size for c{}", start);
+            for (anc, d) in got {
+                let idx = syms.iter().position(|s| *s == anc).unwrap();
+                prop_assert_eq!(reference.get(&idx), Some(&d), "distance c{} -> c{}", start, idx);
+                // Cross-check the point queries too.
+                prop_assert!(taxonomy.is_a(syms[start], anc));
+                prop_assert_eq!(taxonomy.distance(syms[start], anc), Some(d));
+            }
+        }
+    }
+
+    #[test]
+    fn is_a_is_antisymmetric_and_irreflexive(edges in arb_edges()) {
+        let (interner, syms) = interner_with_concepts();
+        let mut taxonomy = Taxonomy::new();
+        for &(c, p) in &edges {
+            taxonomy.add_isa(syms[c], syms[p], &interner).unwrap();
+        }
+        for a in 0..N {
+            prop_assert!(!taxonomy.is_a(syms[a], syms[a]));
+            for b in 0..N {
+                if taxonomy.is_a(syms[a], syms[b]) {
+                    prop_assert!(!taxonomy.is_a(syms[b], syms[a]), "c{a} <-> c{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_satisfies_triangle_inequality(edges in arb_edges()) {
+        let (interner, syms) = interner_with_concepts();
+        let mut taxonomy = Taxonomy::new();
+        for &(c, p) in &edges {
+            taxonomy.add_isa(syms[c], syms[p], &interner).unwrap();
+        }
+        for a in 0..N {
+            for b in 0..N {
+                for c in 0..N {
+                    if let (Some(ab), Some(bc)) =
+                        (taxonomy.distance(syms[a], syms[b]), taxonomy.distance(syms[b], syms[c]))
+                    {
+                        let ac = taxonomy.distance(syms[a], syms[c]);
+                        prop_assert!(
+                            ac.is_some() && ac.unwrap() <= ab + bc,
+                            "d(c{a},c{c}) = {ac:?} > {ab} + {bc}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn descendants_invert_ancestors(edges in arb_edges()) {
+        let (interner, syms) = interner_with_concepts();
+        let mut taxonomy = Taxonomy::new();
+        for &(c, p) in &edges {
+            taxonomy.add_isa(syms[c], syms[p], &interner).unwrap();
+        }
+        for (a, sym) in syms.iter().enumerate() {
+            for (desc, d) in taxonomy.descendants(*sym) {
+                prop_assert_eq!(taxonomy.distance(desc, *sym), Some(d));
+            }
+            for (anc, d) in taxonomy.ancestors(*sym) {
+                let descendants = taxonomy.descendants(anc);
+                prop_assert!(
+                    descendants.contains(&(*sym, d)),
+                    "c{a} missing from descendants of its ancestor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closing_edges_are_rejected_and_leave_structure_intact(
+        edges in arb_edges(),
+        reversals in proptest::collection::vec((0usize..N, 0usize..N), 0..10),
+    ) {
+        let (interner, syms) = interner_with_concepts();
+        let mut taxonomy = Taxonomy::new();
+        for &(c, p) in &edges {
+            taxonomy.add_isa(syms[c], syms[p], &interner).unwrap();
+        }
+        let edge_count = taxonomy.edge_count();
+        // Attempt to close cycles: add (b, a) wherever a reaches b.
+        for (a, b) in reversals {
+            if a == b || taxonomy.is_a(syms[a], syms[b]) {
+                let result = taxonomy.add_isa(syms[b], syms[a], &interner);
+                if a == b || taxonomy.is_a(syms[a], syms[b]) {
+                    prop_assert!(result.is_err(), "cycle c{b} -> c{a} accepted");
+                }
+            }
+        }
+        prop_assert_eq!(taxonomy.edge_count(), edge_count, "failed inserts must not mutate");
+    }
+}

@@ -1,0 +1,265 @@
+//! Publications (events).
+//!
+//! An event is a list of attribute–value pairs. Duplicate attributes are
+//! allowed: the semantic layer's *generalized event* strategy widens an
+//! event by adding `(attr, ancestor-of-value)` pairs in place, so a
+//! predicate is satisfied if **any** pair for its attribute satisfies it
+//! (∃-semantics). Plain syntactic events produced by publishers have
+//! distinct attributes, for which ∃-semantics coincides with the usual
+//! single-valued reading.
+
+use std::fmt;
+
+use crate::hash::fx_hash_one;
+use crate::intern::{Interner, Symbol};
+use crate::predicate::Predicate;
+use crate::value::Value;
+
+/// A publication: attribute–value pairs, in insertion order.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Event {
+    pairs: Vec<(Symbol, Value)>,
+}
+
+impl Event {
+    /// Creates an empty event.
+    pub fn new() -> Self {
+        Event::default()
+    }
+
+    /// Creates an event with room for `cap` pairs.
+    pub fn with_capacity(cap: usize) -> Self {
+        Event { pairs: Vec::with_capacity(cap) }
+    }
+
+    /// Creates an event from pairs.
+    pub fn from_pairs(pairs: Vec<(Symbol, Value)>) -> Self {
+        Event { pairs }
+    }
+
+    /// Appends a pair.
+    pub fn push(&mut self, attr: Symbol, value: impl Into<Value>) {
+        self.pairs.push((attr, value.into()));
+    }
+
+    /// Appends a pair, builder-style.
+    pub fn with(mut self, attr: Symbol, value: impl Into<Value>) -> Self {
+        self.push(attr, value);
+        self
+    }
+
+    /// Appends a pair only if the exact `(attr, value)` pair is not already
+    /// present. Returns true if the pair was added. Used by the semantic
+    /// stages to keep derived events duplicate-free.
+    pub fn push_unique(&mut self, attr: Symbol, value: Value) -> bool {
+        if self.pairs.iter().any(|(a, v)| *a == attr && *v == value) {
+            return false;
+        }
+        self.pairs.push((attr, value));
+        true
+    }
+
+    /// All pairs, in insertion order.
+    #[inline]
+    pub fn pairs(&self) -> &[(Symbol, Value)] {
+        &self.pairs
+    }
+
+    /// Values carried for `attr` (usually zero or one; more after
+    /// generalization).
+    pub fn values_for<'a>(&'a self, attr: Symbol) -> impl Iterator<Item = &'a Value> + 'a {
+        self.pairs.iter().filter(move |(a, _)| *a == attr).map(|(_, v)| v)
+    }
+
+    /// First value carried for `attr`, if any.
+    pub fn get(&self, attr: Symbol) -> Option<&Value> {
+        self.values_for(attr).next()
+    }
+
+    /// True if the event carries `attr`.
+    pub fn has_attr(&self, attr: Symbol) -> bool {
+        self.pairs.iter().any(|(a, _)| *a == attr)
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the event has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// ∃-semantics satisfaction: does any pair for the predicate's
+    /// attribute satisfy it?
+    pub fn satisfies(&self, pred: &Predicate, interner: &Interner) -> bool {
+        self.values_for(pred.attr).any(|v| pred.eval(v, interner))
+    }
+
+    /// An order-insensitive fingerprint of the pair multiset, used by the
+    /// semantic pipeline to deduplicate derived events cheaply. Pairs are
+    /// hashed individually and combined with a commutative fold so that
+    /// permuted events collide intentionally.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc: u64 = 0x9e37_79b9_7f4a_7c15 ^ (self.pairs.len() as u64);
+        for pair in &self.pairs {
+            acc = acc.wrapping_add(fx_hash_one(pair));
+        }
+        acc
+    }
+
+    /// Renders the event for humans.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> impl fmt::Display + 'a {
+        EventDisplay { event: self, interner }
+    }
+}
+
+impl FromIterator<(Symbol, Value)> for Event {
+    fn from_iter<T: IntoIterator<Item = (Symbol, Value)>>(iter: T) -> Self {
+        Event { pairs: iter.into_iter().collect() }
+    }
+}
+
+/// Convenience builder that interns attribute names and string values on
+/// the fly; intended for tests, examples, and the demo front-end rather
+/// than hot paths.
+pub struct EventBuilder<'a> {
+    interner: &'a mut Interner,
+    event: Event,
+}
+
+impl<'a> EventBuilder<'a> {
+    /// Starts building an event against `interner`.
+    pub fn new(interner: &'a mut Interner) -> Self {
+        EventBuilder { interner, event: Event::new() }
+    }
+
+    /// Adds `attr = value` where `value` is already a [`Value`].
+    pub fn pair(mut self, attr: &str, value: impl Into<Value>) -> Self {
+        let attr = self.interner.intern(attr);
+        self.event.push(attr, value);
+        self
+    }
+
+    /// Adds `attr = value` where `value` is a categorical string.
+    pub fn term(mut self, attr: &str, value: &str) -> Self {
+        let attr = self.interner.intern(attr);
+        let value = self.interner.intern(value);
+        self.event.push(attr, Value::Sym(value));
+        self
+    }
+
+    /// Finishes the event.
+    pub fn build(self) -> Event {
+        self.event
+    }
+}
+
+struct EventDisplay<'a> {
+    event: &'a Event,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for EventDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (idx, (attr, value)) in self.event.pairs.iter().enumerate() {
+            if idx > 0 {
+                f.write_str(" ")?;
+            }
+            let attr = self.interner.try_resolve(*attr).unwrap_or("<foreign-attr>");
+            write!(f, "({attr}, {})", value.display(self.interner))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Operator;
+
+    #[test]
+    fn builder_and_accessors() {
+        let mut i = Interner::new();
+        let e = EventBuilder::new(&mut i)
+            .term("school", "toronto")
+            .pair("professional experience", 5i64)
+            .build();
+        let school = i.get("school").unwrap();
+        let exp = i.get("professional experience").unwrap();
+        assert_eq!(e.len(), 2);
+        assert!(e.has_attr(school));
+        assert_eq!(e.get(exp), Some(&Value::Int(5)));
+        assert_eq!(e.get(i.intern("missing")), None);
+    }
+
+    #[test]
+    fn multi_valued_attributes_are_supported() {
+        let mut i = Interner::new();
+        let skill = i.intern("skill");
+        let java = i.intern("java");
+        let lang = i.intern("language");
+        let e = Event::new().with(skill, Value::Sym(java)).with(skill, Value::Sym(lang));
+        assert_eq!(e.values_for(skill).count(), 2);
+        assert_eq!(e.get(skill), Some(&Value::Sym(java)));
+    }
+
+    #[test]
+    fn push_unique_deduplicates_exact_pairs() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let mut e = Event::new();
+        assert!(e.push_unique(a, Value::Int(1)));
+        assert!(!e.push_unique(a, Value::Int(1)));
+        assert!(e.push_unique(a, Value::Int(2)));
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn satisfies_uses_exists_semantics_over_pairs() {
+        let mut i = Interner::new();
+        let x = i.intern("x");
+        let e = Event::new().with(x, Value::Int(1)).with(x, Value::Int(10));
+        let gt5 = Predicate::new(x, Operator::Gt, Value::Int(5));
+        let lt0 = Predicate::new(x, Operator::Lt, Value::Int(0));
+        assert!(e.satisfies(&gt5, &i));
+        assert!(!e.satisfies(&lt0, &i));
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let e1 = Event::new().with(a, Value::Int(1)).with(b, Value::Int(2));
+        let e2 = Event::new().with(b, Value::Int(2)).with(a, Value::Int(1));
+        assert_eq!(e1.fingerprint(), e2.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_different_multisets() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let e1 = Event::new().with(a, Value::Int(1));
+        let e2 = Event::new().with(a, Value::Int(2));
+        let e3 = Event::new().with(a, Value::Int(1)).with(a, Value::Int(1));
+        assert_ne!(e1.fingerprint(), e2.fingerprint());
+        assert_ne!(e1.fingerprint(), e3.fingerprint());
+    }
+
+    #[test]
+    fn display_lists_pairs_in_order() {
+        let mut i = Interner::new();
+        let e = EventBuilder::new(&mut i).term("degree", "phd").pair("year", 1990i64).build();
+        assert_eq!(format!("{}", e.display(&i)), "(degree, phd) (year, 1990)");
+    }
+
+    #[test]
+    fn from_iterator_collects_pairs() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let e: Event = vec![(a, Value::Int(1))].into_iter().collect();
+        assert_eq!(e.len(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Fast, non-cryptographic hashing for internal data structures.
+//!
+//! The matching and ontology layers hash small keys (interned `u32` symbols,
+//! short strings, predicate triples) on every publication, so hashing shows
+//! up hot in profiles. SipHash's HashDoS protection buys nothing here: all
+//! keys are produced by the system itself, never by an untrusted network
+//! peer. This module implements the FNV-free "Fx" mix used by rustc, which
+//! is the fastest option for short keys among the common alternatives.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplicative constant used by the Fx mix (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic [`Hasher`] for trusted, internally generated
+/// keys. Do not use it on attacker-controlled input.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            // chunk is exactly 8 bytes by construction.
+            let word = u64::from_le_bytes(chunk.try_into().unwrap());
+            self.add_to_hash(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+            // Disambiguate "abc" from "abc\0": fold in the length.
+            self.add_to_hash(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Hashes a single value with [`FxHasher`]; convenience for dedup keys.
+pub fn fx_hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_deterministic() {
+        assert_eq!(fx_hash_one(&42u64), fx_hash_one(&42u64));
+        assert_eq!(fx_hash_one(&"hello"), fx_hash_one(&"hello"));
+    }
+
+    #[test]
+    fn different_keys_usually_differ() {
+        assert_ne!(fx_hash_one(&1u64), fx_hash_one(&2u64));
+        assert_ne!(fx_hash_one(&"abc"), fx_hash_one(&"abd"));
+    }
+
+    #[test]
+    fn length_is_folded_into_short_strings() {
+        // "abc" must not collide with "abc\0" through zero padding.
+        assert_ne!(fx_hash_one(&b"abc".as_slice()), fx_hash_one(&b"abc\0".as_slice()));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(7, "seven");
+        assert_eq!(map.get(&7), Some(&"seven"));
+
+        let mut set: FxHashSet<&str> = FxHashSet::default();
+        set.insert("x");
+        assert!(set.contains("x"));
+    }
+
+    #[test]
+    fn long_inputs_hash_all_bytes() {
+        let a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        b[63] = 1;
+        assert_ne!(fx_hash_one(&a), fx_hash_one(&b));
+    }
+}

@@ -1,0 +1,263 @@
+//! String interning.
+//!
+//! Attribute names and categorical values flow through every layer of the
+//! system (synonym tables, taxonomies, predicate indexes), so they are
+//! interned once into dense [`Symbol`] handles and compared / hashed as
+//! `u32` afterwards. The interner is append-only: symbols are never
+//! invalidated, which lets long-lived indexes store raw `Symbol`s.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::hash::FxHashMap;
+
+/// A handle to an interned string. Cheap to copy, hash and compare.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; mixing symbols from different interners is a logic error (the
+/// types cannot catch it, but `debug_assert`s in higher layers do).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Returns the raw index of this symbol in its interner.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a symbol from a raw index. Intended for codecs and
+    /// dense side-tables; the caller must guarantee the index came from
+    /// [`Symbol::index`] on the same interner.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Symbol(u32::try_from(index).expect("interner overflow: more than u32::MAX symbols"))
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+#[derive(Default, Debug, Clone)]
+pub struct Interner {
+    map: FxHashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner with capacity for `cap` distinct strings.
+    pub fn with_capacity(cap: usize) -> Self {
+        Interner {
+            map: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+            strings: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Interns `s`, returning its symbol. Repeated calls with the same
+    /// string return the same symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol::from_index(self.strings.len());
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a previously interned string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this interner.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Resolves a symbol, returning `None` for foreign symbols instead of
+    /// panicking.
+    pub fn try_resolve(&self, sym: Symbol) -> Option<&str> {
+        self.strings.get(sym.index()).map(|s| &**s)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(symbol, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol::from_index(i), &**s))
+    }
+}
+
+/// A cheaply clonable, thread-safe interner handle.
+///
+/// The broker and the workload generator intern from multiple threads; the
+/// matching hot path only *resolves*, which takes the read lock.
+#[derive(Clone, Default, Debug)]
+pub struct SharedInterner {
+    inner: Arc<RwLock<Interner>>,
+}
+
+impl SharedInterner {
+    /// Creates an empty shared interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing interner.
+    pub fn from_interner(interner: Interner) -> Self {
+        SharedInterner {
+            inner: Arc::new(RwLock::new(interner)),
+        }
+    }
+
+    /// Interns a string (write lock).
+    pub fn intern(&self, s: &str) -> Symbol {
+        // Fast path: already interned (read lock only).
+        if let Some(sym) = self.inner.read().get(s) {
+            return sym;
+        }
+        self.inner.write().intern(s)
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.inner.read().get(s)
+    }
+
+    /// Resolves a symbol to an owned string.
+    pub fn resolve(&self, sym: Symbol) -> String {
+        self.inner.read().resolve(sym).to_owned()
+    }
+
+    /// Runs `f` with the underlying interner borrowed for reading. Use this
+    /// on hot paths to avoid the owned-`String` allocation of
+    /// [`SharedInterner::resolve`].
+    pub fn with<R>(&self, f: impl FnOnce(&Interner) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Returns a deep copy of the current interner contents.
+    pub fn snapshot(&self) -> Interner {
+        self.inner.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("university");
+        let b = i.intern("university");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("school");
+        let b = i.intern("university");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "school");
+        assert_eq!(i.resolve(b), "university");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn try_resolve_handles_foreign_symbols() {
+        let i = Interner::new();
+        assert_eq!(i.try_resolve(Symbol::from_index(3)), None);
+    }
+
+    #[test]
+    fn iteration_preserves_interning_order() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let got: Vec<_> = i.iter().collect();
+        assert_eq!(got, vec![(a, "a"), (b, "b")]);
+    }
+
+    #[test]
+    fn shared_interner_roundtrip() {
+        let shared = SharedInterner::new();
+        let sym = shared.intern("degree");
+        assert_eq!(shared.resolve(sym), "degree");
+        assert_eq!(shared.intern("degree"), sym);
+        assert_eq!(shared.len(), 1);
+        shared.with(|i| assert_eq!(i.resolve(sym), "degree"));
+    }
+
+    #[test]
+    fn shared_interner_is_actually_shared() {
+        let a = SharedInterner::new();
+        let b = a.clone();
+        let sym = a.intern("phd");
+        assert_eq!(b.get("phd"), Some(sym));
+    }
+
+    #[test]
+    fn shared_interner_concurrent_interning_is_consistent() {
+        let shared = SharedInterner::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = shared.clone();
+                std::thread::spawn(move || (0..100).map(|k| s.intern(&format!("w{k}"))).collect::<Vec<_>>())
+            })
+            .collect();
+        let results: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in &results[1..] {
+            assert_eq!(w, &results[0]);
+        }
+        assert_eq!(shared.len(), 100);
+    }
+}

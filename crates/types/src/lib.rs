@@ -1,0 +1,39 @@
+//! # stopss-types
+//!
+//! Shared data model for the S-ToPSS reproduction (Petrovic, Burcea,
+//! Jacobsen — *S-ToPSS: Semantic Toronto Publish/Subscribe System*, VLDB
+//! 2003).
+//!
+//! Everything above this crate — the syntactic matching engines, the
+//! ontology substrate, the semantic pipeline, the broker — agrees on the
+//! vocabulary defined here:
+//!
+//! * [`Symbol`] / [`Interner`]: interned strings for attribute names and
+//!   categorical values;
+//! * [`Value`]: typed attribute values with strict (hashable) equality and
+//!   separate numeric range comparison;
+//! * [`Predicate`] / [`Operator`]: single attribute tests;
+//! * [`Subscription`]: conjunctions of predicates;
+//! * [`Event`]: attribute–value pair lists (multi-valued to support the
+//!   generalized-event strategy).
+//!
+//! The ground-truth *syntactic* matching relation is
+//! [`Subscription::matches`]; every engine in `stopss-matching` and every
+//! strategy in `stopss-core` is tested against it (and against the semantic
+//! oracle built on top of it).
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod hash;
+pub mod intern;
+pub mod predicate;
+pub mod subscription;
+pub mod value;
+
+pub use event::{Event, EventBuilder};
+pub use hash::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use intern::{Interner, SharedInterner, Symbol};
+pub use predicate::{Operator, Predicate};
+pub use subscription::{distinct_attrs, SubId, Subscription, SubscriptionBuilder};
+pub use value::Value;

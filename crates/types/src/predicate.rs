@@ -1,0 +1,277 @@
+//! Subscription predicates.
+//!
+//! A predicate is a single test `attribute ⊙ value`. Subscriptions are
+//! conjunctions of predicates (the model of Aguilera et al. and Fabret et
+//! al., which the S-ToPSS paper builds on).
+
+use std::fmt;
+
+use crate::intern::{Interner, Symbol};
+use crate::value::Value;
+
+/// Comparison operator of a predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Operator {
+    /// Strict equality (same variant, same payload).
+    Eq,
+    /// Attribute present with a different value.
+    Ne,
+    /// Numeric less-than.
+    Lt,
+    /// Numeric less-or-equal.
+    Le,
+    /// Numeric greater-than.
+    Gt,
+    /// Numeric greater-or-equal.
+    Ge,
+    /// Attribute present with any value (the predicate's value is ignored).
+    Exists,
+    /// String value starts with the given string.
+    Prefix,
+    /// String value ends with the given string.
+    Suffix,
+    /// String value contains the given string.
+    Contains,
+}
+
+impl Operator {
+    /// All operators, for generators and exhaustive tests.
+    pub const ALL: [Operator; 10] = [
+        Operator::Eq,
+        Operator::Ne,
+        Operator::Lt,
+        Operator::Le,
+        Operator::Gt,
+        Operator::Ge,
+        Operator::Exists,
+        Operator::Prefix,
+        Operator::Suffix,
+        Operator::Contains,
+    ];
+
+    /// True for the numeric range operators `< <= > >=`.
+    #[inline]
+    pub fn is_range(self) -> bool {
+        matches!(self, Operator::Lt | Operator::Le | Operator::Gt | Operator::Ge)
+    }
+
+    /// True for the operators that inspect the string content of symbols.
+    #[inline]
+    pub fn is_string(self) -> bool {
+        matches!(self, Operator::Prefix | Operator::Suffix | Operator::Contains)
+    }
+
+    /// Symbolic rendering (`=`, `!=`, `<`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Operator::Eq => "=",
+            Operator::Ne => "!=",
+            Operator::Lt => "<",
+            Operator::Le => "<=",
+            Operator::Gt => ">",
+            Operator::Ge => ">=",
+            Operator::Exists => "exists",
+            Operator::Prefix => "prefix",
+            Operator::Suffix => "suffix",
+            Operator::Contains => "contains",
+        }
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A single test over one attribute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    /// Attribute the test applies to.
+    pub attr: Symbol,
+    /// Comparison operator.
+    pub op: Operator,
+    /// Right-hand side. Ignored for `Exists`.
+    pub value: Value,
+}
+
+impl Predicate {
+    /// Builds a predicate.
+    pub fn new(attr: Symbol, op: Operator, value: Value) -> Self {
+        Predicate { attr, op, value }
+    }
+
+    /// Shorthand for an equality predicate.
+    pub fn eq(attr: Symbol, value: impl Into<Value>) -> Self {
+        Predicate::new(attr, Operator::Eq, value.into())
+    }
+
+    /// Shorthand for an existence predicate.
+    pub fn exists(attr: Symbol) -> Self {
+        Predicate::new(attr, Operator::Exists, Value::Bool(true))
+    }
+
+    /// Evaluates this predicate against a candidate value for its
+    /// attribute. String operators need the `interner` to look at symbol
+    /// contents; all other operators ignore it.
+    ///
+    /// Cross-type comparisons are unsatisfied rather than errors (see
+    /// [`Value::range_cmp`]); `Ne` requires the attribute to be present
+    /// (the caller only invokes `eval` for present attributes) and the
+    /// value to differ under strict equality.
+    pub fn eval(&self, candidate: &Value, interner: &Interner) -> bool {
+        match self.op {
+            Operator::Eq => candidate == &self.value,
+            Operator::Ne => candidate != &self.value,
+            Operator::Exists => true,
+            Operator::Lt => matches!(candidate.range_cmp(&self.value), Some(std::cmp::Ordering::Less)),
+            Operator::Le => matches!(
+                candidate.range_cmp(&self.value),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            ),
+            Operator::Gt => matches!(candidate.range_cmp(&self.value), Some(std::cmp::Ordering::Greater)),
+            Operator::Ge => matches!(
+                candidate.range_cmp(&self.value),
+                Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+            ),
+            Operator::Prefix | Operator::Suffix | Operator::Contains => {
+                let (Value::Sym(have), Value::Sym(want)) = (candidate, &self.value) else {
+                    return false;
+                };
+                let (Some(have), Some(want)) = (interner.try_resolve(*have), interner.try_resolve(*want)) else {
+                    return false;
+                };
+                match self.op {
+                    Operator::Prefix => have.starts_with(want),
+                    Operator::Suffix => have.ends_with(want),
+                    Operator::Contains => have.contains(want),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Renders the predicate for humans.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> impl fmt::Display + 'a {
+        PredicateDisplay { pred: self, interner }
+    }
+}
+
+struct PredicateDisplay<'a> {
+    pred: &'a Predicate,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for PredicateDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let attr = self
+            .interner
+            .try_resolve(self.pred.attr)
+            .unwrap_or("<foreign-attr>");
+        if self.pred.op == Operator::Exists {
+            write!(f, "{attr} exists")
+        } else {
+            write!(f, "{attr} {} {}", self.pred.op, self.pred.value.display(self.interner))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Interner, Symbol) {
+        let mut i = Interner::new();
+        let attr = i.intern("experience");
+        (i, attr)
+    }
+
+    #[test]
+    fn eq_and_ne_are_strict() {
+        let (i, attr) = setup();
+        let p = Predicate::eq(attr, 4i64);
+        assert!(p.eval(&Value::Int(4), &i));
+        assert!(!p.eval(&Value::Float(4.0), &i));
+
+        let n = Predicate::new(attr, Operator::Ne, Value::Int(4));
+        assert!(!n.eval(&Value::Int(4), &i));
+        assert!(n.eval(&Value::Int(5), &i));
+        // Different type counts as "different value".
+        assert!(n.eval(&Value::Float(4.0), &i));
+    }
+
+    #[test]
+    fn range_operators_cover_boundaries() {
+        let (i, attr) = setup();
+        let ge = Predicate::new(attr, Operator::Ge, Value::Int(4));
+        assert!(ge.eval(&Value::Int(4), &i));
+        assert!(ge.eval(&Value::Int(5), &i));
+        assert!(ge.eval(&Value::Float(4.5), &i));
+        assert!(!ge.eval(&Value::Int(3), &i));
+
+        let lt = Predicate::new(attr, Operator::Lt, Value::Float(2.5));
+        assert!(lt.eval(&Value::Int(2), &i));
+        assert!(!lt.eval(&Value::Float(2.5), &i));
+    }
+
+    #[test]
+    fn range_on_non_numeric_is_unsatisfied() {
+        let (mut i, attr) = setup();
+        let s = i.intern("toronto");
+        let gt = Predicate::new(attr, Operator::Gt, Value::Int(0));
+        assert!(!gt.eval(&Value::Sym(s), &i));
+        assert!(!gt.eval(&Value::Bool(true), &i));
+    }
+
+    #[test]
+    fn exists_matches_anything() {
+        let (mut i, attr) = setup();
+        let p = Predicate::exists(attr);
+        let s = i.intern("x");
+        assert!(p.eval(&Value::Int(0), &i));
+        assert!(p.eval(&Value::Sym(s), &i));
+        assert!(p.eval(&Value::Bool(false), &i));
+    }
+
+    #[test]
+    fn string_operators_resolve_symbols() {
+        let (mut i, attr) = setup();
+        let dev = i.intern("mainframe developer");
+        let mainframe = i.intern("mainframe");
+        let developer = i.intern("developer");
+        let frame = i.intern("frame");
+
+        assert!(Predicate::new(attr, Operator::Prefix, Value::Sym(mainframe)).eval(&Value::Sym(dev), &i));
+        assert!(Predicate::new(attr, Operator::Suffix, Value::Sym(developer)).eval(&Value::Sym(dev), &i));
+        assert!(Predicate::new(attr, Operator::Contains, Value::Sym(frame)).eval(&Value::Sym(dev), &i));
+        assert!(!Predicate::new(attr, Operator::Prefix, Value::Sym(developer)).eval(&Value::Sym(dev), &i));
+    }
+
+    #[test]
+    fn string_operators_reject_non_symbols() {
+        let (mut i, attr) = setup();
+        let x = i.intern("x");
+        let p = Predicate::new(attr, Operator::Contains, Value::Sym(x));
+        assert!(!p.eval(&Value::Int(3), &i));
+        let q = Predicate::new(attr, Operator::Contains, Value::Int(3));
+        assert!(!q.eval(&Value::Sym(x), &i));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (mut i, attr) = setup();
+        let p = Predicate::new(attr, Operator::Ge, Value::Int(4));
+        assert_eq!(format!("{}", p.display(&i)), "experience >= 4");
+        let e = Predicate::exists(i.intern("degree"));
+        assert_eq!(format!("{}", e.display(&i)), "degree exists");
+    }
+
+    #[test]
+    fn operator_classification() {
+        assert!(Operator::Lt.is_range());
+        assert!(!Operator::Eq.is_range());
+        assert!(Operator::Prefix.is_string());
+        assert!(!Operator::Ge.is_string());
+        assert_eq!(Operator::ALL.len(), 10);
+    }
+}

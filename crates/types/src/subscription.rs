@@ -1,0 +1,265 @@
+//! Subscriptions.
+//!
+//! A subscription is a conjunction of [`Predicate`]s plus a stable
+//! identifier. Matching engines key their internal state on [`SubId`], and
+//! the broker maps `SubId`s back to clients.
+
+use std::fmt;
+
+use crate::event::Event;
+use crate::intern::{Interner, Symbol};
+use crate::predicate::{Operator, Predicate};
+use crate::value::Value;
+
+/// Identifier of a subscription, unique within one matcher instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubId(pub u64);
+
+impl fmt::Debug for SubId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub#{}", self.0)
+    }
+}
+
+impl fmt::Display for SubId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub#{}", self.0)
+    }
+}
+
+/// A conjunctive subscription.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Subscription {
+    id: SubId,
+    predicates: Vec<Predicate>,
+}
+
+impl Subscription {
+    /// Creates a subscription from predicates.
+    pub fn new(id: SubId, predicates: Vec<Predicate>) -> Self {
+        Subscription { id, predicates }
+    }
+
+    /// The subscription's identifier.
+    #[inline]
+    pub fn id(&self) -> SubId {
+        self.id
+    }
+
+    /// The conjunction of predicates.
+    #[inline]
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// True for the empty conjunction, which matches every event.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// Returns a copy with a different id (used by subscription-rewrite
+    /// strategies that fan one user subscription out into several engine
+    /// subscriptions).
+    pub fn with_id(&self, id: SubId) -> Self {
+        Subscription { id, predicates: self.predicates.clone() }
+    }
+
+    /// Returns a copy with the predicate list replaced.
+    pub fn with_predicates(&self, predicates: Vec<Predicate>) -> Self {
+        Subscription { id: self.id, predicates }
+    }
+
+    /// Syntactic (purely structural) matching: every predicate satisfied
+    /// under ∃-semantics. This is the ground-truth definition every
+    /// matching engine must agree with.
+    pub fn matches(&self, event: &Event, interner: &Interner) -> bool {
+        self.predicates.iter().all(|p| event.satisfies(p, interner))
+    }
+
+    /// Renders the subscription for humans.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> impl fmt::Display + 'a {
+        SubscriptionDisplay { sub: self, interner }
+    }
+}
+
+/// Convenience builder that interns attribute names and string values,
+/// mirroring [`crate::event::EventBuilder`].
+pub struct SubscriptionBuilder<'a> {
+    interner: &'a mut Interner,
+    predicates: Vec<Predicate>,
+}
+
+impl<'a> SubscriptionBuilder<'a> {
+    /// Starts building against `interner`.
+    pub fn new(interner: &'a mut Interner) -> Self {
+        SubscriptionBuilder { interner, predicates: Vec::new() }
+    }
+
+    /// Adds `attr ⊙ value` with a [`Value`] right-hand side.
+    pub fn pred(mut self, attr: &str, op: Operator, value: impl Into<Value>) -> Self {
+        let attr = self.interner.intern(attr);
+        self.predicates.push(Predicate::new(attr, op, value.into()));
+        self
+    }
+
+    /// Adds `attr ⊙ term` with a categorical right-hand side.
+    pub fn term(mut self, attr: &str, op: Operator, term: &str) -> Self {
+        let attr = self.interner.intern(attr);
+        let term = self.interner.intern(term);
+        self.predicates.push(Predicate::new(attr, op, Value::Sym(term)));
+        self
+    }
+
+    /// Adds `attr = term` (the common case in the paper's examples).
+    pub fn term_eq(self, attr: &str, term: &str) -> Self {
+        self.term(attr, Operator::Eq, term)
+    }
+
+    /// Adds `attr exists`.
+    pub fn exists(mut self, attr: &str) -> Self {
+        let attr = self.interner.intern(attr);
+        self.predicates.push(Predicate::exists(attr));
+        self
+    }
+
+    /// Finishes the subscription.
+    pub fn build(self, id: SubId) -> Subscription {
+        Subscription::new(id, self.predicates)
+    }
+}
+
+struct SubscriptionDisplay<'a> {
+    sub: &'a Subscription,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for SubscriptionDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sub.predicates.is_empty() {
+            return write!(f, "{}: (true)", self.sub.id);
+        }
+        write!(f, "{}: ", self.sub.id)?;
+        for (idx, p) in self.sub.predicates.iter().enumerate() {
+            if idx > 0 {
+                f.write_str(" AND ")?;
+            }
+            write!(f, "({})", p.display(self.interner))?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterates over the attributes referenced by a subscription without
+/// duplicates (small-N: subscriptions typically have < 10 predicates, so a
+/// linear scan beats a hash set).
+pub fn distinct_attrs(sub: &Subscription) -> Vec<Symbol> {
+    let mut attrs: Vec<Symbol> = Vec::with_capacity(sub.len());
+    for p in sub.predicates() {
+        if !attrs.contains(&p.attr) {
+            attrs.push(p.attr);
+        }
+    }
+    attrs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventBuilder;
+
+    /// The paper's Section 1 example: the recruiter subscription must
+    /// match a suitable candidate event *after* semantic processing; here
+    /// we check the purely syntactic part of the definition.
+    #[test]
+    fn syntactic_matching_is_conjunctive() {
+        let mut i = Interner::new();
+        let sub = SubscriptionBuilder::new(&mut i)
+            .term_eq("university", "toronto")
+            .pred("professional experience", Operator::Ge, 4i64)
+            .build(SubId(1));
+
+        let matching = EventBuilder::new(&mut i)
+            .term("university", "toronto")
+            .pair("professional experience", 5i64)
+            .build();
+        let wrong_value = EventBuilder::new(&mut i)
+            .term("university", "waterloo")
+            .pair("professional experience", 5i64)
+            .build();
+        let missing_attr = EventBuilder::new(&mut i).term("university", "toronto").build();
+
+        assert!(sub.matches(&matching, &i));
+        assert!(!sub.matches(&wrong_value, &i));
+        assert!(!sub.matches(&missing_attr, &i));
+    }
+
+    #[test]
+    fn empty_subscription_matches_everything() {
+        let mut i = Interner::new();
+        let sub = Subscription::new(SubId(0), vec![]);
+        assert!(sub.is_empty());
+        let e = EventBuilder::new(&mut i).pair("x", 1i64).build();
+        assert!(sub.matches(&e, &i));
+        assert!(sub.matches(&Event::new(), &i));
+    }
+
+    #[test]
+    fn with_id_and_with_predicates_rebuild() {
+        let mut i = Interner::new();
+        let sub = SubscriptionBuilder::new(&mut i).exists("degree").build(SubId(7));
+        let renamed = sub.with_id(SubId(9));
+        assert_eq!(renamed.id(), SubId(9));
+        assert_eq!(renamed.predicates(), sub.predicates());
+
+        let stripped = sub.with_predicates(vec![]);
+        assert_eq!(stripped.id(), SubId(7));
+        assert!(stripped.is_empty());
+    }
+
+    #[test]
+    fn duplicate_attr_predicates_form_ranges() {
+        let mut i = Interner::new();
+        let sub = SubscriptionBuilder::new(&mut i)
+            .pred("x", Operator::Ge, 2i64)
+            .pred("x", Operator::Lt, 10i64)
+            .build(SubId(1));
+        let inside = EventBuilder::new(&mut i).pair("x", 5i64).build();
+        let outside = EventBuilder::new(&mut i).pair("x", 12i64).build();
+        assert!(sub.matches(&inside, &i));
+        assert!(!sub.matches(&outside, &i));
+    }
+
+    #[test]
+    fn distinct_attrs_deduplicates_in_order() {
+        let mut i = Interner::new();
+        let sub = SubscriptionBuilder::new(&mut i)
+            .pred("x", Operator::Ge, 2i64)
+            .pred("y", Operator::Lt, 10i64)
+            .pred("x", Operator::Lt, 10i64)
+            .build(SubId(1));
+        let attrs = distinct_attrs(&sub);
+        let x = i.get("x").unwrap();
+        let y = i.get("y").unwrap();
+        assert_eq!(attrs, vec![x, y]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut i = Interner::new();
+        let sub = SubscriptionBuilder::new(&mut i)
+            .term_eq("university", "toronto")
+            .pred("professional experience", Operator::Ge, 4i64)
+            .build(SubId(3));
+        assert_eq!(
+            format!("{}", sub.display(&i)),
+            "sub#3: (university = toronto) AND (professional experience >= 4)"
+        );
+        let empty = Subscription::new(SubId(0), vec![]);
+        assert_eq!(format!("{}", empty.display(&i)), "sub#0: (true)");
+    }
+}

@@ -1,0 +1,294 @@
+//! Attribute values.
+//!
+//! Values in publications and subscription predicates are integers, floats,
+//! booleans, or categorical terms. Categorical terms are interned
+//! [`Symbol`]s — they are exactly the things the ontology layer relates
+//! through synonym tables and concept hierarchies.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::intern::{Interner, Symbol};
+
+/// A publication / predicate value.
+#[derive(Clone, Copy, Debug)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Interned categorical term (string).
+    Sym(Symbol),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl Value {
+    /// Discriminant rank used to build the cross-type total order.
+    #[inline]
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::Float(_) => 1,
+            Value::Sym(_) => 2,
+            Value::Bool(_) => 3,
+        }
+    }
+
+    /// True for `Int` and `Float`.
+    #[inline]
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    /// Numeric view of the value, if it is numeric.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The symbol inside a `Sym` value.
+    #[inline]
+    pub fn as_symbol(&self) -> Option<Symbol> {
+        match self {
+            Value::Sym(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// The integer inside an `Int` value.
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The bool inside a `Bool` value.
+    #[inline]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Ordering used by *range predicates* (`<`, `<=`, `>`, `>=`).
+    ///
+    /// `Int` and `Float` compare numerically with each other; every other
+    /// cross-type pair is incomparable (`None`), which makes the range
+    /// predicate unsatisfied — matching silently across types would hide
+    /// schema errors. `Sym`/`Sym` and `Bool`/`Bool` are also incomparable:
+    /// symbols have no meaningful runtime order (their `u32` order is
+    /// interning order), and ordering booleans is not useful.
+    pub fn range_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            _ => None,
+        }
+    }
+
+    /// A total order over all values, used only by ordered index
+    /// structures (never by predicate semantics): type rank major, then
+    /// in-type order, with floats ordered by `total_cmp`.
+    pub fn index_cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Sym(a), Value::Sym(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+
+    /// Renders the value for humans, resolving symbols via `interner`.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> impl fmt::Display + 'a {
+        ValueDisplay { value: self, interner }
+    }
+}
+
+/// Strict, hash-compatible equality: same variant, same payload. Floats
+/// compare by bit pattern so `Value` can be a hash-map key (equality
+/// predicate indexes rely on this).
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u8(self.type_rank());
+        match self {
+            Value::Int(i) => state.write_i64(*i),
+            Value::Float(f) => state.write_u64(f.to_bits()),
+            Value::Sym(s) => s.hash(state),
+            Value::Bool(b) => state.write_u8(*b as u8),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(v: Symbol) -> Self {
+        Value::Sym(v)
+    }
+}
+
+struct ValueDisplay<'a> {
+    value: &'a Value,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for ValueDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.value {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Sym(s) => match self.interner.try_resolve(*s) {
+                Some(text) => write!(f, "{text}"),
+                None => write!(f, "{s:?}"),
+            },
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: &mut Interner, s: &str) -> Value {
+        Value::Sym(i.intern(s))
+    }
+
+    #[test]
+    fn strict_equality_is_variant_sensitive() {
+        assert_eq!(Value::Int(1), Value::Int(1));
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_ne!(Value::Bool(true), Value::Int(1));
+    }
+
+    #[test]
+    fn float_equality_uses_bits_so_eq_is_reflexive() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan, nan);
+        assert_ne!(Value::Float(0.0), Value::Float(-0.0));
+    }
+
+    #[test]
+    fn range_cmp_is_numeric_and_cross_type_for_numbers() {
+        assert_eq!(Value::Int(1).range_cmp(&Value::Float(1.5)), Some(Ordering::Less));
+        assert_eq!(Value::Float(2.0).range_cmp(&Value::Int(2)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(3).range_cmp(&Value::Int(2)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn range_cmp_rejects_non_numeric_pairs() {
+        let mut i = Interner::new();
+        let a = sym(&mut i, "a");
+        assert_eq!(a.range_cmp(&a), None);
+        assert_eq!(Value::Bool(true).range_cmp(&Value::Bool(false)), None);
+        assert_eq!(Value::Int(1).range_cmp(&a), None);
+        assert_eq!(Value::Float(f64::NAN).range_cmp(&Value::Float(1.0)), None);
+    }
+
+    #[test]
+    fn index_cmp_is_total_and_consistent() {
+        let mut i = Interner::new();
+        let vals = [
+            Value::Int(-5),
+            Value::Int(7),
+            Value::Float(f64::NAN),
+            Value::Float(0.5),
+            sym(&mut i, "x"),
+            sym(&mut i, "y"),
+            Value::Bool(false),
+            Value::Bool(true),
+        ];
+        for a in &vals {
+            assert_eq!(a.index_cmp(a), Ordering::Equal);
+            for b in &vals {
+                assert_eq!(a.index_cmp(b), b.index_cmp(a).reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn hash_agrees_with_eq() {
+        use crate::hash::fx_hash_one;
+        assert_eq!(fx_hash_one(&Value::Int(9)), fx_hash_one(&Value::Int(9)));
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(fx_hash_one(&nan), fx_hash_one(&nan));
+    }
+
+    #[test]
+    fn accessors() {
+        let mut i = Interner::new();
+        let s = i.intern("toronto");
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Sym(s).as_symbol(), Some(s));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert!(Value::Sym(s).as_f64().is_none());
+        assert!(!Value::Sym(s).is_numeric());
+        assert!(Value::Int(0).is_numeric());
+    }
+
+    #[test]
+    fn display_resolves_symbols() {
+        let mut i = Interner::new();
+        let v = sym(&mut i, "phd");
+        assert_eq!(format!("{}", v.display(&i)), "phd");
+        assert_eq!(format!("{}", Value::Int(3).display(&i)), "3");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+    }
+}

@@ -1,0 +1,296 @@
+//! Random subscription/publication generators.
+//!
+//! Reproduces the demo's workload generator: "a workload generator that
+//! simulates many concurrent clients and companies sending their
+//! subscriptions and publications … creates publications and subscriptions
+//! at random" (§4). Publications model candidate resumes (specialized leaf
+//! terms, alias spellings, raw facts like graduation year); subscriptions
+//! model recruiter queries (general terms, range constraints). All
+//! randomness flows from one seed.
+
+use stopss_types::{Event, Operator, Predicate, SubId, Subscription, Value};
+
+use crate::jobfinder::JobFinderDomain;
+use crate::rng::Rng;
+use crate::zipf::Zipf;
+
+/// Knobs for the job-finder workload.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Number of subscriptions.
+    pub subscriptions: usize,
+    /// Number of publications.
+    pub publications: usize,
+    /// RNG seed; equal seeds give identical workloads.
+    pub seed: u64,
+    /// Predicates per subscription (inclusive range).
+    pub preds_per_sub: (usize, usize),
+    /// Zipf skew over value choices (0 = uniform).
+    pub zipf_skew: f64,
+    /// Probability a subscription uses a *general* (non-leaf) term, which
+    /// only the hierarchy stage can match against leaf publications.
+    pub general_term_bias: f64,
+    /// Probability a publication spells an attribute with a synonym alias
+    /// (e.g. `school` instead of `university`).
+    pub alias_bias: f64,
+    /// Probability a publication reports `graduation year` instead of
+    /// `professional experience` (requiring the mapping stage).
+    pub mapping_bias: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            subscriptions: 1_000,
+            publications: 1_000,
+            seed: 2003,
+            preds_per_sub: (1, 4),
+            zipf_skew: 0.8,
+            general_term_bias: 0.5,
+            alias_bias: 0.5,
+            mapping_bias: 0.4,
+        }
+    }
+}
+
+/// A generated workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Recruiter subscriptions, ids `0..n`.
+    pub subscriptions: Vec<Subscription>,
+    /// Candidate publications.
+    pub publications: Vec<Event>,
+}
+
+/// Generates a job-finder workload. Deterministic in `config.seed`.
+pub fn generate_jobfinder(domain: &JobFinderDomain, config: &WorkloadConfig) -> Workload {
+    let mut rng = Rng::new(config.seed);
+    let mut sub_rng = rng.fork(1);
+    let mut pub_rng = rng.fork(2);
+    let subscriptions = (0..config.subscriptions)
+        .map(|k| generate_subscription(domain, config, &mut sub_rng, SubId(k as u64)))
+        .collect();
+    let publications =
+        (0..config.publications).map(|_| generate_publication(domain, config, &mut pub_rng)).collect();
+    Workload { subscriptions, publications }
+}
+
+fn zipf_pick(rng: &mut Rng, zipf: &Zipf, items: &[stopss_types::Symbol]) -> stopss_types::Symbol {
+    debug_assert_eq!(zipf.len(), items.len());
+    items[zipf.sample(rng)]
+}
+
+/// One recruiter subscription: 1..=N predicates drawn from the domain's
+/// query templates.
+fn generate_subscription(
+    domain: &JobFinderDomain,
+    config: &WorkloadConfig,
+    rng: &mut Rng,
+    id: SubId,
+) -> Subscription {
+    let (lo, hi) = config.preds_per_sub;
+    let n_preds = lo + rng.index(hi - lo + 1);
+    // Templates are shuffled so a subscription never repeats an attribute.
+    let mut templates: Vec<usize> = (0..7).collect();
+    rng.shuffle(&mut templates);
+    let zipf_uni = Zipf::new(domain.universities.len(), config.zipf_skew);
+    let mut preds = Vec::with_capacity(n_preds);
+    for template in templates.into_iter().take(n_preds) {
+        let pred = match template {
+            0 => Predicate::eq(domain.attr_university, zipf_pick(rng, &zipf_uni, &domain.universities)),
+            1 => {
+                let pool = if rng.chance(config.general_term_bias) {
+                    &domain.degree_generals
+                } else {
+                    &domain.degree_leaves
+                };
+                Predicate::eq(domain.attr_degree, *rng.pick(pool))
+            }
+            2 => {
+                let pool = if rng.chance(config.general_term_bias) {
+                    &domain.skill_generals
+                } else {
+                    &domain.skill_leaves
+                };
+                Predicate::eq(domain.attr_skill, *rng.pick(pool))
+            }
+            3 => Predicate::new(
+                domain.attr_experience,
+                Operator::Ge,
+                Value::Int(rng.range_i64(1, 11)),
+            ),
+            4 => {
+                // Half the salary constraints are written against the
+                // generalized attribute `compensation`.
+                let attr = if rng.chance(0.5) { domain.attr_compensation } else { domain.attr_salary };
+                Predicate::new(attr, Operator::Ge, Value::Int(rng.range_i64(3, 16) * 10_000))
+            }
+            5 => {
+                let pool = if rng.chance(config.general_term_bias) {
+                    &domain.city_generals
+                } else {
+                    &domain.city_leaves
+                };
+                Predicate::eq(domain.attr_city, *rng.pick(pool))
+            }
+            _ => {
+                let pool = if rng.chance(config.general_term_bias) {
+                    &domain.position_generals
+                } else {
+                    &domain.position_leaves
+                };
+                Predicate::eq(domain.attr_position, *rng.pick(pool))
+            }
+        };
+        preds.push(pred);
+    }
+    Subscription::new(id, preds)
+}
+
+/// One candidate resume: specialized leaf terms, alias spellings, raw
+/// facts that only mapping functions can relate to recruiter queries.
+fn generate_publication(domain: &JobFinderDomain, config: &WorkloadConfig, rng: &mut Rng) -> Event {
+    let zipf_uni = Zipf::new(domain.universities.len(), config.zipf_skew);
+    let mut event = Event::with_capacity(8);
+
+    let uni_attr =
+        if rng.chance(config.alias_bias) { domain.attr_school } else { domain.attr_university };
+    event.push(uni_attr, Value::Sym(zipf_pick(rng, &zipf_uni, &domain.universities)));
+    event.push(domain.attr_degree, Value::Sym(*rng.pick(&domain.degree_leaves)));
+
+    let n_skills = 1 + rng.index(3);
+    for _ in 0..n_skills {
+        let skill = *rng.pick(&domain.skill_leaves);
+        event.push_unique(domain.attr_skill, Value::Sym(skill));
+    }
+    event.push(domain.attr_city, Value::Sym(*rng.pick(&domain.city_leaves)));
+    event.push(domain.attr_position, Value::Sym(*rng.pick(&domain.position_leaves)));
+
+    if rng.chance(config.mapping_bias) {
+        event.push(domain.attr_graduation_year, Value::Int(rng.range_i64(1970, 2003)));
+    } else {
+        event.push(domain.attr_experience, Value::Int(rng.range_i64(0, 25)));
+    }
+    if rng.chance(0.3) {
+        event.push(domain.attr_monthly_salary, Value::Int(rng.range_i64(3, 15) * 1_000));
+    } else {
+        event.push(domain.attr_salary, Value::Int(rng.range_i64(3, 18) * 10_000));
+    }
+    // Some candidates report when they started programming — the trigger
+    // for the paper's mainframe inference.
+    if rng.chance(0.25) {
+        event.push(domain.attr_first_year, Value::Int(rng.range_i64(1960, 2000)));
+    }
+    event
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stopss_types::Interner;
+
+    fn domain() -> (Interner, JobFinderDomain) {
+        let mut i = Interner::new();
+        let d = JobFinderDomain::build(&mut i);
+        (i, d)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, d) = domain();
+        let config = WorkloadConfig { subscriptions: 50, publications: 50, ..Default::default() };
+        let w1 = generate_jobfinder(&d, &config);
+        let w2 = generate_jobfinder(&d, &config);
+        assert_eq!(w1.subscriptions, w2.subscriptions);
+        assert_eq!(w1.publications, w2.publications);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (_, d) = domain();
+        let base = WorkloadConfig { subscriptions: 50, publications: 50, ..Default::default() };
+        let w1 = generate_jobfinder(&d, &base);
+        let w2 = generate_jobfinder(&d, &WorkloadConfig { seed: 7, ..base });
+        assert_ne!(w1.subscriptions, w2.subscriptions);
+    }
+
+    #[test]
+    fn subscriptions_respect_predicate_bounds() {
+        let (_, d) = domain();
+        let config = WorkloadConfig {
+            subscriptions: 200,
+            publications: 0,
+            preds_per_sub: (2, 3),
+            ..Default::default()
+        };
+        let w = generate_jobfinder(&d, &config);
+        for sub in &w.subscriptions {
+            assert!((2..=3).contains(&sub.len()), "got {}", sub.len());
+            // No repeated attributes within one subscription.
+            let attrs = stopss_types::distinct_attrs(sub);
+            assert_eq!(attrs.len(), sub.len());
+        }
+    }
+
+    #[test]
+    fn publications_look_like_resumes() {
+        let (_, d) = domain();
+        let config = WorkloadConfig { subscriptions: 0, publications: 100, ..Default::default() };
+        let w = generate_jobfinder(&d, &config);
+        for event in &w.publications {
+            assert!(event.len() >= 6, "resumes carry several facts: {}", event.len());
+            assert!(event.has_attr(d.attr_degree));
+            assert!(event.has_attr(d.attr_school) || event.has_attr(d.attr_university));
+        }
+    }
+
+    #[test]
+    fn biases_shift_the_mix() {
+        let (_, d) = domain();
+        let no_alias = WorkloadConfig {
+            subscriptions: 0,
+            publications: 200,
+            alias_bias: 0.0,
+            mapping_bias: 0.0,
+            ..Default::default()
+        };
+        let w = generate_jobfinder(&d, &no_alias);
+        assert!(w.publications.iter().all(|e| e.has_attr(d.attr_university)));
+        assert!(w.publications.iter().all(|e| e.has_attr(d.attr_experience)));
+
+        let all_alias = WorkloadConfig {
+            subscriptions: 0,
+            publications: 200,
+            alias_bias: 1.0,
+            mapping_bias: 1.0,
+            ..Default::default()
+        };
+        let w = generate_jobfinder(&d, &all_alias);
+        assert!(w.publications.iter().all(|e| e.has_attr(d.attr_school)));
+        assert!(w.publications.iter().all(|e| e.has_attr(d.attr_graduation_year)));
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_universities() {
+        let (_, d) = domain();
+        let config = WorkloadConfig {
+            subscriptions: 0,
+            publications: 2_000,
+            zipf_skew: 1.2,
+            alias_bias: 0.0,
+            ..Default::default()
+        };
+        let w = generate_jobfinder(&d, &config);
+        let mut counts = vec![0usize; d.universities.len()];
+        for e in &w.publications {
+            if let Some(Value::Sym(u)) = e.get(d.attr_university) {
+                if let Some(pos) = d.universities.iter().position(|x| x == u) {
+                    counts[pos] += 1;
+                }
+            }
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max > min * 3, "skew should concentrate: max {max} min {min}");
+    }
+}

@@ -1,0 +1,319 @@
+//! The paper's demonstration domain: the job-finder application (§4).
+//!
+//! "Companies send subscriptions that specify qualifications they are
+//! looking for from prospective candidates. On the other hand, candidates
+//! send their qualifications as a publication."
+//!
+//! The domain knowledge is written in the `.sto` ontology format and
+//! compiled through `stopss_ontology::parse_ontology` — the same path an
+//! operator would use — and covers all three semantic stages:
+//! synonym groups (university/school/college), concept hierarchies over
+//! degrees, skills, locations and positions, and the paper's two flagship
+//! mapping functions (professional experience from graduation year, and
+//! the §1 "mainframe developer ⇠ COBOL + 1960-1980" inference).
+
+use stopss_ontology::{parse_ontology, Ontology};
+use stopss_types::{Interner, Symbol};
+
+/// The job-finder ontology in `.sto` source form.
+pub const JOBFINDER_STO: &str = r#"
+domain jobs
+
+# ------------------------------------------------------------------ synonyms
+synonyms university = school, college, institution
+synonyms "professional experience" = "work experience", experience
+synonyms position = job, role, occupation
+synonyms salary = pay, wage
+synonyms skill = expertise, competency
+synonyms degree = qualification
+
+# ------------------------------------------------------------------ degrees
+isa doctoral_degree -> graduate_degree -> degree
+isa phd -> doctoral_degree
+isa masters_degree -> graduate_degree
+isa msc -> masters_degree
+isa mba -> masters_degree
+isa meng -> masters_degree
+isa undergraduate_degree -> degree
+isa bsc -> undergraduate_degree
+isa ba -> undergraduate_degree
+isa beng -> undergraduate_degree
+isa diploma -> degree
+
+# ------------------------------------------------------------------- skills
+isa programming -> skill
+isa systems_programming -> programming
+isa c -> systems_programming
+isa cpp -> systems_programming
+isa rust -> systems_programming
+isa assembly -> systems_programming
+isa web_programming -> programming
+isa javascript -> web_programming
+isa typescript -> web_programming
+isa php -> web_programming
+isa jvm_programming -> programming
+isa java -> jvm_programming
+isa scala -> jvm_programming
+isa kotlin -> jvm_programming
+isa legacy_programming -> programming
+isa cobol -> legacy_programming
+isa fortran -> legacy_programming
+isa pl1 -> legacy_programming
+isa databases -> skill
+isa sql -> databases
+isa nosql -> databases
+isa query_optimization -> databases
+isa networking -> skill
+isa tcpip -> networking
+isa routing -> networking
+isa management -> skill
+isa project_management -> management
+isa people_management -> management
+
+# ---------------------------------------------------------------- locations
+isa canada -> location
+isa toronto -> canada
+isa montreal -> canada
+isa vancouver -> canada
+isa waterloo -> canada
+isa germany -> location
+isa berlin -> germany
+isa munich -> germany
+isa usa -> location
+isa new_york -> usa
+isa seattle -> usa
+isa austin -> usa
+
+# ---------------------------------------------------------------- positions
+isa engineer -> position
+isa software_engineer -> engineer
+isa backend_engineer -> software_engineer
+isa frontend_engineer -> software_engineer
+isa hardware_engineer -> engineer
+isa developer -> position
+isa mainframe_developer -> developer
+isa web_developer -> developer
+isa manager -> position
+isa engineering_manager -> manager
+isa product_manager -> manager
+
+# --------------------------------------------------- attribute relationships
+isa salary -> compensation
+isa bonus -> compensation
+
+# --------------------------------------------------------- mapping functions
+map experience_from_graduation:
+    when "graduation year" exists
+    emit "professional experience" = now - "graduation year"
+end
+
+map mainframe_inference:
+    when skill = cobol
+    when "first programming year" >= 1960
+    when "first programming year" <= 1980
+    emit position = term(mainframe_developer)
+end
+
+map annualize_salary:
+    when monthly_salary exists
+    emit salary = monthly_salary * 12
+end
+
+map seniority_from_experience:
+    when "professional experience" >= 8
+    emit level = term(senior)
+end
+"#;
+
+/// The compiled job-finder domain with symbol handles for generators.
+#[derive(Debug, Clone)]
+pub struct JobFinderDomain {
+    /// The compiled ontology.
+    pub ontology: Ontology,
+    /// Root attribute `university` (aliases: school, college, institution).
+    pub attr_university: Symbol,
+    /// Alias attribute `school` — publishers in the demo use it.
+    pub attr_school: Symbol,
+    /// Attribute `degree`.
+    pub attr_degree: Symbol,
+    /// Attribute `skill`.
+    pub attr_skill: Symbol,
+    /// Root attribute `professional experience`.
+    pub attr_experience: Symbol,
+    /// Attribute `graduation year` (mapping trigger).
+    pub attr_graduation_year: Symbol,
+    /// Attribute `salary`.
+    pub attr_salary: Symbol,
+    /// Generalized attribute `compensation` (salary is-a compensation).
+    pub attr_compensation: Symbol,
+    /// Attribute `monthly_salary` (mapping trigger).
+    pub attr_monthly_salary: Symbol,
+    /// Attribute `city`.
+    pub attr_city: Symbol,
+    /// Attribute `position`.
+    pub attr_position: Symbol,
+    /// Attribute `first programming year` (mainframe inference trigger).
+    pub attr_first_year: Symbol,
+    /// Attribute `level` (produced by the seniority mapping).
+    pub attr_level: Symbol,
+    /// Flat value pool: universities (no taxonomy; matched via synonyms).
+    pub universities: Vec<Symbol>,
+    /// Leaf degree terms (what candidates publish).
+    pub degree_leaves: Vec<Symbol>,
+    /// Non-leaf degree terms (what recruiters subscribe with).
+    pub degree_generals: Vec<Symbol>,
+    /// Leaf skill terms.
+    pub skill_leaves: Vec<Symbol>,
+    /// Non-leaf skill terms.
+    pub skill_generals: Vec<Symbol>,
+    /// Leaf city terms.
+    pub city_leaves: Vec<Symbol>,
+    /// Non-leaf location terms.
+    pub city_generals: Vec<Symbol>,
+    /// Leaf position terms.
+    pub position_leaves: Vec<Symbol>,
+    /// Non-leaf position terms.
+    pub position_generals: Vec<Symbol>,
+}
+
+impl JobFinderDomain {
+    /// Compiles the domain into `interner`.
+    pub fn build(interner: &mut Interner) -> Self {
+        let ontology =
+            parse_ontology(JOBFINDER_STO, interner).expect("embedded ontology must parse");
+        // University names are flat publisher vocabulary, interned here.
+        let universities = ["uoft", "waterloo_u", "mit", "stanford", "cmu", "tu_berlin", "eth"]
+            .iter()
+            .map(|u| interner.intern(u))
+            .collect();
+
+        let sym = |i: &Interner, name: &str| {
+            i.get(name).unwrap_or_else(|| panic!("ontology must define '{name}'"))
+        };
+        let subtree = |o: &Ontology, i: &Interner, root: &str| -> (Vec<Symbol>, Vec<Symbol>) {
+            let root = sym(i, root);
+            let mut leaves = Vec::new();
+            let mut generals = vec![root];
+            for (concept, _) in o.taxonomy.descendants(root) {
+                if o.taxonomy.children(concept).is_empty() {
+                    leaves.push(concept);
+                } else {
+                    generals.push(concept);
+                }
+            }
+            leaves.sort_unstable();
+            generals.sort_unstable();
+            (leaves, generals)
+        };
+
+        let (degree_leaves, degree_generals) = subtree(&ontology, interner, "degree");
+        let (skill_leaves, skill_generals) = subtree(&ontology, interner, "skill");
+        let (city_leaves, city_generals) = subtree(&ontology, interner, "location");
+        let (position_leaves, position_generals) = subtree(&ontology, interner, "position");
+
+        let attr_city = interner.intern("city");
+        JobFinderDomain {
+            attr_university: sym(interner, "university"),
+            attr_school: sym(interner, "school"),
+            attr_degree: sym(interner, "degree"),
+            attr_skill: sym(interner, "skill"),
+            attr_experience: sym(interner, "professional experience"),
+            attr_graduation_year: sym(interner, "graduation year"),
+            attr_salary: sym(interner, "salary"),
+            attr_compensation: sym(interner, "compensation"),
+            attr_monthly_salary: sym(interner, "monthly_salary"),
+            attr_city,
+            attr_position: sym(interner, "position"),
+            attr_first_year: sym(interner, "first programming year"),
+            attr_level: sym(interner, "level"),
+            universities,
+            degree_leaves,
+            degree_generals,
+            skill_leaves,
+            skill_generals,
+            city_leaves,
+            city_generals,
+            position_leaves,
+            position_generals,
+            ontology,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stopss_ontology::SemanticSource;
+
+    #[test]
+    fn domain_compiles_with_expected_shape() {
+        let mut i = Interner::new();
+        let d = JobFinderDomain::build(&mut i);
+        let (aliases, concepts, edges, maps) = d.ontology.stats();
+        assert!(aliases >= 12, "synonym aliases: {aliases}");
+        assert!(concepts >= 60, "concepts: {concepts}");
+        assert!(edges >= 60, "edges: {edges}");
+        assert_eq!(maps, 4);
+        assert_eq!(d.universities.len(), 7);
+        assert!(d.degree_leaves.len() >= 7);
+        assert!(d.skill_leaves.len() >= 15);
+    }
+
+    #[test]
+    fn key_relations_hold() {
+        let mut i = Interner::new();
+        let d = JobFinderDomain::build(&mut i);
+        let o = &d.ontology;
+        // Synonyms.
+        assert_eq!(o.resolve_synonym(d.attr_school), d.attr_university);
+        let experience = i.get("experience").unwrap();
+        assert_eq!(o.resolve_synonym(experience), d.attr_experience);
+        // Hierarchy (values).
+        let phd = i.get("phd").unwrap();
+        let degree = i.get("degree").unwrap();
+        assert_eq!(o.distance(phd, degree), Some(3));
+        let cobol = i.get("cobol").unwrap();
+        let skill = i.get("skill").unwrap();
+        assert!(o.is_a(cobol, skill));
+        // Hierarchy (attributes).
+        assert!(o.is_a(d.attr_salary, d.attr_compensation));
+        // Leaves never have children.
+        for leaf in &d.skill_leaves {
+            assert!(o.taxonomy.children(*leaf).is_empty());
+        }
+        for general in &d.skill_generals {
+            assert!(!o.taxonomy.children(*general).is_empty());
+        }
+    }
+
+    #[test]
+    fn mainframe_inference_matches_paper_intro() {
+        use stopss_types::{EventBuilder, Value};
+        let mut i = Interner::new();
+        let d = JobFinderDomain::build(&mut i);
+        let event = EventBuilder::new(&mut i)
+            .term("skill", "cobol")
+            .pair("first programming year", 1972i64)
+            .build();
+        let mut produced = Vec::new();
+        d.ontology.apply_mappings(&event, &i, 2003, &mut |name, pairs| {
+            produced.push((name.to_owned(), pairs));
+        });
+        let mainframe = i.get("mainframe_developer").unwrap();
+        assert!(
+            produced.iter().any(|(name, pairs)| name == "mainframe_inference"
+                && pairs.contains(&(d.attr_position, Value::Sym(mainframe)))),
+            "COBOL + 1960-1980 must yield a mainframe developer: {produced:?}"
+        );
+    }
+
+    #[test]
+    fn domain_is_deterministic_across_builds() {
+        let mut i1 = Interner::new();
+        let d1 = JobFinderDomain::build(&mut i1);
+        let mut i2 = Interner::new();
+        let d2 = JobFinderDomain::build(&mut i2);
+        assert_eq!(d1.ontology.stats(), d2.ontology.stats());
+        assert_eq!(d1.skill_leaves, d2.skill_leaves);
+    }
+}

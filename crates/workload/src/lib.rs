@@ -1,0 +1,36 @@
+//! # stopss-workload
+//!
+//! Workload generation and experiment fixtures for the S-ToPSS
+//! reproduction — the "workload generator" box of the paper's Figure 2,
+//! plus the synthetic domains the scaling experiments sweep.
+//!
+//! * [`rng`] / [`zipf`] — deterministic randomness (hand-rolled PCG32 so
+//!   experiment streams never change underneath us);
+//! * [`jobfinder`] — the paper's demo domain, compiled from `.sto` text;
+//! * [`generator`] — recruiter-subscription / resume-publication
+//!   generators;
+//! * [`taxonomy_gen`] — parameterized synthetic ontologies (depth ×
+//!   fanout sweeps);
+//! * [`scenario`] — ready-made fixtures for every experiment;
+//! * [`report`] — text/markdown/CSV result tables.
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod jobfinder;
+pub mod report;
+pub mod rng;
+pub mod scenario;
+pub mod taxonomy_gen;
+pub mod zipf;
+
+pub use generator::{generate_jobfinder, Workload, WorkloadConfig};
+pub use jobfinder::{JobFinderDomain, JOBFINDER_STO};
+pub use report::{fmt_f64, fmt_nanos, fmt_ratio, Table};
+pub use rng::{Rng, SplitMix64};
+pub use scenario::{
+    chain_subscription, jobfinder_fixture, jobfinder_fixture_with, synthetic_fixture, Fixture,
+    SyntheticWorkload,
+};
+pub use taxonomy_gen::{build_synthetic, SyntheticConfig, SyntheticDomain};
+pub use zipf::Zipf;

@@ -1,0 +1,189 @@
+//! Result tables.
+//!
+//! The experiments binary regenerates every table in `EXPERIMENTS.md`;
+//! this module renders them as aligned text (for the terminal), GitHub
+//! markdown (for the document), and CSV (for downstream plotting) without
+//! pulling in a serialization framework.
+
+use std::fmt::Write as _;
+
+/// A simple rectangular results table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    /// Table caption (experiment id and description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in '{}'", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "**{}**", self.title).unwrap();
+        writeln!(out).unwrap();
+        writeln!(out, "| {} |", self.headers.join(" | ")).unwrap();
+        writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"))
+            .unwrap();
+        for row in &self.rows {
+            writeln!(out, "| {} |", row.join(" | ")).unwrap();
+        }
+        out
+    }
+
+    /// Renders as CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        writeln!(out, "{}", self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","))
+            .unwrap();
+        for row in &self.rows {
+            writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","))
+                .unwrap();
+        }
+        out
+    }
+
+    /// Renders as column-aligned text for terminals.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (k, cell) in row.iter().enumerate() {
+                widths[k] = widths[k].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "== {} ==", self.title).unwrap();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(k, c)| format!("{:<width$}", c, width = widths[k]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(out, "{}", fmt_row(&self.headers, &widths)).unwrap();
+        writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))
+            .unwrap();
+        for row in &self.rows {
+            writeln!(out, "{}", fmt_row(row, &widths)).unwrap();
+        }
+        out
+    }
+}
+
+/// Formats a float with sensible precision for reports.
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_owned()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Formats a ratio as `12.3x`.
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{}x", fmt_f64(x))
+}
+
+/// Formats nanoseconds human-readably.
+pub fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("E0 sample", &["mode", "matches"]);
+        t.push_row(vec!["syntactic".into(), "10".into()]);
+        t.push_row(vec!["semantic".into(), "25".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_has_header_separator_and_rows() {
+        let md = sample().to_markdown();
+        assert!(md.contains("**E0 sample**"));
+        assert!(md.contains("| mode | matches |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| semantic | 25 |"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1,2".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,2\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn text_is_aligned() {
+        let text = sample().to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].starts_with("mode"));
+        assert!(lines[3].starts_with("syntactic"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1234.5), "1234");
+        assert_eq!(fmt_f64(1234.6), "1235");
+        assert_eq!(fmt_f64(3.25159), "3.25");
+        assert_eq!(fmt_f64(0.01234), "0.0123");
+        assert_eq!(fmt_ratio(2.5), "2.50x");
+        assert_eq!(fmt_nanos(512.0), "512ns");
+        assert_eq!(fmt_nanos(2_500.0), "2.50us");
+        assert_eq!(fmt_nanos(3_000_000.0), "3.00ms");
+        assert_eq!(fmt_nanos(1_500_000_000.0), "1.50s");
+    }
+}

@@ -1,0 +1,219 @@
+//! Synthetic ontology generation for scaling experiments.
+//!
+//! The job-finder domain is realistic but fixed-size; experiments E4, E8
+//! and E9 sweep ontology *shape* — taxonomy depth and fanout, synonym
+//! density, mapping chain length — which requires generated ontologies of
+//! parameterized size.
+
+use stopss_ontology::{Expr, Guard, MappingFunction, Ontology, PatternItem, Production};
+use stopss_types::{Interner, Operator, Symbol, Value};
+
+use crate::rng::Rng;
+
+/// Shape parameters for a synthetic ontology.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticConfig {
+    /// Number of distinct attributes, each with its own value taxonomy.
+    pub attrs: usize,
+    /// Depth of every value taxonomy (root = level 0; leaves = level
+    /// `depth`).
+    pub depth: usize,
+    /// Children per internal node.
+    pub fanout: usize,
+    /// Synonym aliases generated per concept (fractional: 0.5 = every
+    /// other concept gets one alias).
+    pub synonyms_per_concept: f64,
+    /// Length of the mapping-function chain (0 = no mapping functions).
+    pub mapping_chain: usize,
+    /// RNG seed for alias placement.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            attrs: 4,
+            depth: 3,
+            fanout: 3,
+            synonyms_per_concept: 0.25,
+            mapping_chain: 2,
+            seed: 1,
+        }
+    }
+}
+
+/// A generated ontology plus the handles generators need.
+#[derive(Clone, Debug)]
+pub struct SyntheticDomain {
+    /// The ontology.
+    pub ontology: Ontology,
+    /// The attribute symbols (`attr0..`).
+    pub attrs: Vec<Symbol>,
+    /// Value concepts per attribute per level: `levels[attr][level]` holds
+    /// the concepts at that depth (level 0 = the root).
+    pub levels: Vec<Vec<Vec<Symbol>>>,
+    /// Alias symbols, each resolving to some concept.
+    pub aliases: Vec<Symbol>,
+    /// Mapping chain trigger attribute (`chain0`), if any.
+    pub chain_start: Option<Symbol>,
+    /// Final attribute of the mapping chain.
+    pub chain_end: Option<Symbol>,
+}
+
+impl SyntheticDomain {
+    /// Leaf concepts of one attribute's taxonomy.
+    pub fn leaves(&self, attr_idx: usize) -> &[Symbol] {
+        self.levels[attr_idx].last().map_or(&[], |v| v.as_slice())
+    }
+
+    /// Concepts at a given generality level (0 = most general).
+    pub fn level(&self, attr_idx: usize, level: usize) -> &[Symbol] {
+        self.levels[attr_idx].get(level).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Total number of value concepts.
+    pub fn concept_count(&self) -> usize {
+        self.levels.iter().flatten().map(Vec::len).sum()
+    }
+}
+
+/// Builds a synthetic domain: `attrs` complete `fanout`-ary value trees of
+/// the given depth, plus aliases and a mapping chain
+/// `chain0 → chain1 → … → chainN` (each link copies the value forward,
+/// exercising the fixpoint).
+pub fn build_synthetic(interner: &mut Interner, config: &SyntheticConfig) -> SyntheticDomain {
+    assert!(config.fanout >= 1, "fanout must be at least 1");
+    let mut rng = Rng::new(config.seed);
+    let mut ontology = Ontology::new("synthetic");
+    let mut attrs = Vec::with_capacity(config.attrs);
+    let mut levels: Vec<Vec<Vec<Symbol>>> = Vec::with_capacity(config.attrs);
+    let mut aliases = Vec::new();
+
+    for a in 0..config.attrs {
+        let attr = interner.intern(&format!("attr{a}"));
+        attrs.push(attr);
+        let root = interner.intern(&format!("v{a}_0_0"));
+        ontology.taxonomy.add_concept(root);
+        let mut attr_levels: Vec<Vec<Symbol>> = vec![vec![root]];
+        for d in 1..=config.depth {
+            let parent_level = attr_levels[d - 1].clone();
+            let mut level = Vec::with_capacity(parent_level.len() * config.fanout);
+            for (p_idx, parent) in parent_level.iter().enumerate() {
+                for c in 0..config.fanout {
+                    let child =
+                        interner.intern(&format!("v{a}_{d}_{}", p_idx * config.fanout + c));
+                    ontology.taxonomy.add_isa(child, *parent, interner).unwrap();
+                    level.push(child);
+                }
+            }
+            attr_levels.push(level);
+        }
+        // Aliases sprinkled over all concepts of this attribute.
+        let all: Vec<Symbol> = attr_levels.iter().flatten().copied().collect();
+        let n_aliases = (all.len() as f64 * config.synonyms_per_concept) as usize;
+        for k in 0..n_aliases {
+            let target = *rng.pick(&all);
+            let alias = interner.intern(&format!("alias{a}_{k}"));
+            ontology.synonyms.add_synonym(target, alias, interner).unwrap();
+            aliases.push(alias);
+        }
+        levels.push(attr_levels);
+    }
+
+    let (mut chain_start, mut chain_end) = (None, None);
+    if config.mapping_chain > 0 {
+        let chain: Vec<Symbol> =
+            (0..=config.mapping_chain).map(|k| interner.intern(&format!("chain{k}"))).collect();
+        for (k, window) in chain.windows(2).enumerate() {
+            ontology
+                .mappings
+                .register(MappingFunction::new(
+                    format!("link{k}"),
+                    vec![PatternItem {
+                        attr: window[0],
+                        guard: Some(Guard { op: Operator::Ge, value: Value::Int(0) }),
+                    }],
+                    vec![Production {
+                        attr: window[1],
+                        expr: Expr::add(Expr::Attr(window[0]), Expr::Const(Value::Int(1))),
+                    }],
+                ))
+                .unwrap();
+        }
+        chain_start = Some(chain[0]);
+        chain_end = Some(*chain.last().unwrap());
+    }
+
+    SyntheticDomain { ontology, attrs, levels, aliases, chain_start, chain_end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stopss_ontology::SemanticSource;
+
+    #[test]
+    fn tree_shape_matches_parameters() {
+        let mut i = Interner::new();
+        let config = SyntheticConfig { attrs: 2, depth: 3, fanout: 2, ..Default::default() };
+        let d = build_synthetic(&mut i, &config);
+        assert_eq!(d.attrs.len(), 2);
+        for a in 0..2 {
+            assert_eq!(d.level(a, 0).len(), 1);
+            assert_eq!(d.level(a, 1).len(), 2);
+            assert_eq!(d.level(a, 2).len(), 4);
+            assert_eq!(d.leaves(a).len(), 8);
+        }
+        // 1 + 2 + 4 + 8 per attribute.
+        assert_eq!(d.concept_count(), 2 * 15);
+    }
+
+    #[test]
+    fn leaves_reach_root_in_depth_steps() {
+        let mut i = Interner::new();
+        let config = SyntheticConfig { attrs: 1, depth: 4, fanout: 3, ..Default::default() };
+        let d = build_synthetic(&mut i, &config);
+        let root = d.level(0, 0)[0];
+        for leaf in d.leaves(0) {
+            assert_eq!(d.ontology.distance(*leaf, root), Some(4));
+        }
+    }
+
+    #[test]
+    fn aliases_resolve_into_the_taxonomy() {
+        let mut i = Interner::new();
+        let config =
+            SyntheticConfig { attrs: 2, depth: 2, fanout: 3, synonyms_per_concept: 1.0, ..Default::default() };
+        let d = build_synthetic(&mut i, &config);
+        assert!(!d.aliases.is_empty());
+        for alias in &d.aliases {
+            let root = d.ontology.resolve_synonym(*alias);
+            assert_ne!(root, *alias, "aliases must resolve to a concept");
+            assert!(d.ontology.taxonomy.contains(root));
+        }
+    }
+
+    #[test]
+    fn mapping_chain_links_fire_in_sequence() {
+        use stopss_types::Event;
+        let mut i = Interner::new();
+        let config = SyntheticConfig { mapping_chain: 3, ..Default::default() };
+        let d = build_synthetic(&mut i, &config);
+        let start = d.chain_start.unwrap();
+        let event = Event::new().with(start, Value::Int(0));
+        let mut fired = Vec::new();
+        d.ontology.apply_mappings(&event, &i, 0, &mut |name, _| fired.push(name.to_owned()));
+        assert_eq!(fired, vec!["link0".to_owned()], "only the first link fires directly");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut i1 = Interner::new();
+        let mut i2 = Interner::new();
+        let config = SyntheticConfig::default();
+        let d1 = build_synthetic(&mut i1, &config);
+        let d2 = build_synthetic(&mut i2, &config);
+        assert_eq!(d1.aliases, d2.aliases);
+        assert_eq!(d1.concept_count(), d2.concept_count());
+    }
+}

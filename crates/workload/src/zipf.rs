@@ -1,0 +1,114 @@
+//! Zipf-distributed sampling.
+//!
+//! Subscription popularity in pub/sub workloads is heavily skewed — a few
+//! attributes/terms are referenced constantly, most rarely (the workload
+//! model of Fabret et al.). This sampler draws ranks `0..n` with
+//! probability ∝ 1/(rank+1)^s via an O(n) precomputed cumulative table and
+//! O(log n) binary-search draws.
+
+use crate::rng::Rng;
+
+/// A Zipf(n, s) sampler over ranks `0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s` (`s = 0` is
+    /// uniform; `s ≈ 1` is classic Zipf).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "negative skew is not meaningful");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalize so the final entry is exactly 1.0.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if there is exactly one rank (degenerate sampler).
+    pub fn is_empty(&self) -> bool {
+        false // constructor guarantees n > 0
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.next_f64();
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(zipf: &Zipf, draws: usize, seed: u64) -> Vec<usize> {
+        let mut rng = Rng::new(seed);
+        let mut counts = vec![0usize; zipf.len()];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn skewed_distribution_is_monotone() {
+        let zipf = Zipf::new(10, 1.0);
+        let counts = histogram(&zipf, 100_000, 42);
+        // Rank 0 dominates and the tail decays (allow sampling noise by
+        // comparing rank 0 vs rank 9 with a wide margin).
+        assert!(counts[0] > counts[9] * 5, "head {} tail {}", counts[0], counts[9]);
+        // Head frequency ≈ 1/H_10 ≈ 0.341.
+        let head = counts[0] as f64 / 100_000.0;
+        assert!((0.31..0.38).contains(&head), "head frequency {head}");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let zipf = Zipf::new(8, 0.0);
+        let counts = histogram(&zipf, 80_000, 7);
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "uniform bucket {c}");
+        }
+    }
+
+    #[test]
+    fn single_rank_always_samples_zero() {
+        let zipf = Zipf::new(1, 1.2);
+        let mut rng = Rng::new(1);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn samples_cover_every_rank_eventually() {
+        let zipf = Zipf::new(20, 1.0);
+        let counts = histogram(&zipf, 200_000, 3);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panic() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The full demonstration of §4: the job-finder application.
+//!
+//! Reproduces Figure 2: a workload generator simulates companies and
+//! candidates, S-ToPSS matches semantically, and the notification engine
+//! delivers over four transports (TCP / UDP / SMTP / SMS). The demo runs
+//! the same workload twice — semantic mode, then syntactic mode — because
+//! "the real power of this scheme is only apparent by witnessing how
+//! seamlessly unrelated objects end up matching."
+//!
+//! Run with: `cargo run --release --example job_finder`
+
+use std::sync::Arc;
+
+use s_topss::broker::{Broker, BrokerConfig, TransportKind};
+use s_topss::core::OriginCounts;
+use s_topss::prelude::*;
+use s_topss::workload::{generate_jobfinder, JobFinderDomain, WorkloadConfig};
+
+const COMPANIES: usize = 40;
+const SUBSCRIPTIONS: usize = 400;
+const PUBLICATIONS: usize = 2_000;
+
+fn main() {
+    // Build the domain and a deterministic workload.
+    let mut interner = Interner::new();
+    let domain = JobFinderDomain::build(&mut interner);
+    let workload = generate_jobfinder(
+        &domain,
+        &WorkloadConfig {
+            subscriptions: SUBSCRIPTIONS,
+            publications: PUBLICATIONS,
+            seed: 2003,
+            ..Default::default()
+        },
+    );
+    let shared = SharedInterner::from_interner(interner);
+
+    println!("S-ToPSS job-finder demonstration");
+    let (aliases, concepts, edges, maps) = domain.ontology.stats();
+    println!(
+        "ontology: {concepts} concepts, {edges} is-a edges, {aliases} synonyms, {maps} mapping functions"
+    );
+    println!("workload: {SUBSCRIPTIONS} subscriptions from {COMPANIES} companies, {PUBLICATIONS} resumes\n");
+
+    for semantic in [true, false] {
+        let broker = Broker::new(
+            BrokerConfig { udp_loss: 0.02, ..Default::default() },
+            Arc::new(domain.ontology.clone()),
+            shared.clone(),
+        );
+        broker.set_semantic_mode(semantic);
+
+        // Companies register round-robin over the four transports and
+        // split the subscription pool.
+        let mut companies = Vec::with_capacity(COMPANIES);
+        for k in 0..COMPANIES {
+            let transport = TransportKind::ALL[k % TransportKind::ALL.len()];
+            companies.push(broker.register_client(format!("company{k}"), transport));
+        }
+        for (k, sub) in workload.subscriptions.iter().enumerate() {
+            broker
+                .subscribe(companies[k % COMPANIES], sub.predicates().to_vec())
+                .expect("registered company");
+        }
+
+        // Candidates publish their resumes.
+        let started = std::time::Instant::now();
+        let mut origin_counts = OriginCounts::default();
+        let mut total_matches = 0usize;
+        for event in &workload.publications {
+            total_matches += broker.publish(event);
+        }
+        let elapsed = started.elapsed();
+
+        // Re-run matching once (without delivery) to attribute origins.
+        if semantic {
+            let mut matcher = SToPSS::new(
+                Config::default(),
+                Arc::new(domain.ontology.clone()),
+                shared.clone(),
+            );
+            for sub in &workload.subscriptions {
+                matcher.subscribe(sub.clone());
+            }
+            for event in &workload.publications {
+                for m in matcher.publish(event) {
+                    origin_counts.record(m.origin);
+                }
+            }
+        }
+
+        let mode = if semantic { "SEMANTIC" } else { "SYNTACTIC" };
+        println!("--- {mode} mode ---");
+        println!(
+            "matches: {total_matches} across {} publications ({:.0} pubs/sec)",
+            workload.publications.len(),
+            workload.publications.len() as f64 / elapsed.as_secs_f64()
+        );
+        if semantic {
+            println!(
+                "match origins: {} syntactic, {} synonym, {} hierarchy, {} mapping",
+                origin_counts.syntactic,
+                origin_counts.synonym,
+                origin_counts.hierarchy,
+                origin_counts.mapping
+            );
+        }
+
+        let stats = broker.shutdown();
+        for kind in TransportKind::ALL {
+            let t = stats.get(kind);
+            if t.attempted > 0 {
+                println!(
+                    "  {:<4} attempted {:>6}  delivered {:>6}  lost {:>4}  retried {:>4}  rate-dropped {:>3}",
+                    kind.name(),
+                    t.attempted,
+                    t.delivered,
+                    t.lost,
+                    t.retried,
+                    t.rate_dropped
+                );
+            }
+        }
+        println!();
+    }
+    println!("The semantic mode finds strictly more matches from the same inputs —");
+    println!("synonyms, generalization and mapping functions each contribute (see origins).");
+}

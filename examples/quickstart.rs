@@ -1,0 +1,88 @@
+//! Quickstart: the paper's §1/§3.1 worked example, end to end.
+//!
+//! A recruiter subscribes to
+//! `(university = toronto) ∧ (degree = phd) ∧ (professional experience ≥ 4)`
+//! and a candidate publishes a resume that *syntactically* shares almost
+//! nothing with it — the semantic stages bridge the gap.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use s_topss::prelude::*;
+
+fn main() {
+    // ---------------------------------------------------------------- 1.
+    // Domain knowledge, written in the `.sto` ontology language.
+    let mut interner = Interner::new();
+    let ontology = parse_ontology(
+        r#"
+domain jobs
+synonyms university = school, college
+isa phd -> graduate_degree -> degree
+
+map experience_from_graduation:
+    when "graduation year" exists
+    emit "professional experience" = now - "graduation year"
+end
+"#,
+        &mut interner,
+    )
+    .expect("ontology parses");
+
+    // ---------------------------------------------------------------- 2.
+    // The recruiter's subscription (the paper's S).
+    let subscription = SubscriptionBuilder::new(&mut interner)
+        .term_eq("university", "toronto")
+        .term_eq("degree", "phd")
+        .pred("professional experience", Operator::Ge, 4i64)
+        .build(SubId(1));
+
+    // The candidate's publication (the paper's E): different spelling
+    // ("school"), no explicit experience — just a graduation year.
+    let resume = EventBuilder::new(&mut interner)
+        .term("school", "toronto")
+        .term("degree", "phd")
+        .pair("graduation year", 1990i64)
+        .build();
+
+    println!("S: {}", subscription.display(&interner));
+    println!("E: {}", resume.display(&interner));
+    println!();
+
+    // ---------------------------------------------------------------- 3.
+    // Syntactic matching — what every pre-S-ToPSS system would do.
+    println!(
+        "plain content-based match: {}",
+        if subscription.matches(&resume, &interner) { "MATCH" } else { "no match" }
+    );
+
+    // ---------------------------------------------------------------- 4.
+    // Semantic matching with S-ToPSS.
+    let shared = SharedInterner::from_interner(interner);
+    let mut matcher = SToPSS::new(Config::default(), Arc::new(ontology), shared.clone());
+    matcher.subscribe(subscription);
+
+    let matches = matcher.publish(&resume);
+    for m in &matches {
+        println!("semantic match: {} via {}", m.sub, m.origin);
+    }
+    assert_eq!(matches.len(), 1, "the semantic stage must find the match");
+
+    // ---------------------------------------------------------------- 5.
+    // The information-loss knob: a subscriber who opts out of the mapping
+    // stage never sees this match (the experience attribute only exists
+    // after the mapping function runs).
+    let strict = Tolerance {
+        stages: StageMask::SYNONYM.with(StageMask::HIERARCHY),
+        max_distance: None,
+    };
+    let strict_sub = matcher.subscription(SubId(1)).unwrap().with_id(SubId(2));
+    matcher.subscribe_with_tolerance(strict_sub, strict);
+    let matches = matcher.publish(&resume);
+    println!(
+        "with a no-mapping tolerance, sub#2 matches: {}",
+        matches.iter().any(|m| m.sub == SubId(2))
+    );
+    assert_eq!(matches.len(), 1, "only the full-tolerance subscriber matches");
+}

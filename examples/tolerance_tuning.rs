@@ -1,0 +1,89 @@
+//! The information-loss knob (§3.2).
+//!
+//! "One may restrict the level of a match generality, where the user is
+//! interested only in more general events (e.g., a company recruiter
+//! looking to fill an entry-level position would want to receive resumes
+//! from candidates who had some experience with Java, but not from those
+//! who are Java experts)."
+//!
+//! This example sweeps the generalization-distance bound and the stage
+//! mask for one subscription against a fixed stream of publications and
+//! prints the recall/cost trade-off.
+//!
+//! Run with: `cargo run --example tolerance_tuning`
+
+use std::sync::Arc;
+
+use s_topss::prelude::*;
+
+fn main() {
+    let mut interner = Interner::new();
+    let domain = JobFinderDomain::build(&mut interner);
+
+    // The recruiter wants anyone with a *programming* skill — a general
+    // term sitting two levels above the leaves (java, rust, cobol, …).
+    let programming_sub = SubscriptionBuilder::new(&mut interner)
+        .term_eq("skill", "programming")
+        .build(SubId(1));
+
+    // Candidates with skills at different depths below "programming".
+    let candidates = vec![
+        ("direct: programming", EventBuilder::new(&mut interner).term("skill", "programming").build()),
+        ("1 level: jvm_programming", EventBuilder::new(&mut interner).term("skill", "jvm_programming").build()),
+        ("2 levels: java", EventBuilder::new(&mut interner).term("skill", "java").build()),
+        ("2 levels: cobol", EventBuilder::new(&mut interner).term("skill", "cobol").build()),
+        ("other: sql", EventBuilder::new(&mut interner).term("skill", "sql").build()),
+    ];
+
+    let shared = SharedInterner::from_interner(interner);
+    let source = Arc::new(domain.ontology);
+
+    println!("subscription: (skill = programming)\n");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10}",
+        "candidate / max distance", "k=0", "k=1", "k=2", "unbounded"
+    );
+    for (label, event) in &candidates {
+        let mut row = format!("{label:<28}");
+        for bound in [Some(0u32), Some(1), Some(2), None] {
+            let mut matcher = SToPSS::new(Config::default(), source.clone(), shared.clone());
+            matcher.subscribe_with_tolerance(
+                programming_sub.clone(),
+                Tolerance { stages: StageMask::all(), max_distance: bound },
+            );
+            let hit = !matcher.publish(event).is_empty();
+            row.push_str(&format!(" {:>10}", if hit { "match" } else { "-" }));
+        }
+        println!("{row}");
+    }
+
+    // Cost side: the tighter the bound, the less closure work per event.
+    println!("\nclosure cost per publication (pairs derived, java candidate):");
+    let shared2 = shared.clone();
+    for bound in [Some(0u32), Some(1), Some(2), None] {
+        let config = Config { max_distance: bound, ..Config::default() };
+        let mut matcher = SToPSS::new(config, source.clone(), shared2.clone());
+        matcher.subscribe(programming_sub.clone());
+        let result = matcher.publish_detailed(&candidates[2].1);
+        println!(
+            "  max_distance {:<9} -> {} closure pairs",
+            match bound {
+                Some(k) => format!("{k}"),
+                None => "unbounded".to_owned(),
+            },
+            result.closure_pairs
+        );
+    }
+
+    println!("\nStage opt-out: the same subscription with hierarchy disabled sees");
+    println!("only the exact term:");
+    let mut matcher = SToPSS::new(Config::default(), source.clone(), shared.clone());
+    matcher.subscribe_with_tolerance(
+        programming_sub.clone(),
+        Tolerance { stages: StageMask::SYNONYM, max_distance: None },
+    );
+    for (label, event) in &candidates {
+        let hit = !matcher.publish(event).is_empty();
+        println!("  {label:<28} {}", if hit { "match" } else { "-" });
+    }
+}

@@ -1,0 +1,184 @@
+//! Figure 2 end to end: workload generator → demo server (wire protocol)
+//! → S-ToPSS → notification engine → simulated transports.
+
+use std::sync::Arc;
+
+use s_topss::broker::{
+    encode_client, subscription_to_wire, Broker, BrokerConfig, ClientMessage, DemoServer,
+    ServerMessage, TransportKind, WireValue,
+};
+use s_topss::prelude::*;
+use s_topss::workload::{generate_jobfinder, JobFinderDomain, WorkloadConfig};
+
+fn build_server(udp_loss: f64) -> (DemoServer, Interner, JobFinderDomain) {
+    let mut interner = Interner::new();
+    let domain = JobFinderDomain::build(&mut interner);
+    let broker = Broker::new(
+        BrokerConfig { udp_loss, ..Default::default() },
+        Arc::new(domain.ontology.clone()),
+        SharedInterner::from_interner(interner.clone()),
+    );
+    (DemoServer::new(broker), interner, domain)
+}
+
+/// Drives a full generated workload through the wire protocol and checks
+/// conservation: every match becomes exactly one delivery attempt, and
+/// every attempt is accounted for as delivered, lost, or rate-dropped.
+#[test]
+fn generated_workload_flows_end_to_end() {
+    let (server, interner, domain) = build_server(0.1);
+    let workload = generate_jobfinder(
+        &domain,
+        &WorkloadConfig { subscriptions: 150, publications: 300, seed: 7, ..Default::default() },
+    );
+
+    // Register one company per transport kind, round-robin subscriptions.
+    let mut companies = Vec::new();
+    for (k, kind) in TransportKind::ALL.iter().enumerate() {
+        match server.handle(ClientMessage::Register { name: format!("co{k}"), transport: *kind }) {
+            ServerMessage::Registered { client } => companies.push(client),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    for (k, sub) in workload.subscriptions.iter().enumerate() {
+        let reply = server.handle(ClientMessage::Subscribe {
+            client: companies[k % companies.len()],
+            predicates: subscription_to_wire(sub, &interner),
+        });
+        assert!(matches!(reply, ServerMessage::Subscribed { .. }));
+    }
+    assert_eq!(server.broker().subscription_count(), 150);
+
+    // Publish through encoded frames, as the web front-end would.
+    let publisher = match server
+        .handle(ClientMessage::Register { name: "candidates".into(), transport: TransportKind::Tcp })
+    {
+        ServerMessage::Registered { client } => client,
+        other => panic!("unexpected: {other:?}"),
+    };
+    let mut total_matches = 0u64;
+    for event in &workload.publications {
+        let pairs = event
+            .pairs()
+            .iter()
+            .map(|(attr, value)| {
+                (
+                    interner.resolve(*attr).to_owned(),
+                    WireValue::from_value(value, &interner),
+                )
+            })
+            .collect();
+        let mut buf = bytes::BytesMut::new();
+        encode_client(&ClientMessage::Publish { client: publisher, pairs }, &mut buf);
+        match server.handle_frame(buf.freeze()) {
+            ServerMessage::Published { matches } => total_matches += matches as u64,
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    assert!(total_matches > 0, "a realistic workload must produce matches");
+
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.total_attempted(),
+        total_matches,
+        "every match yields exactly one delivery attempt"
+    );
+    for kind in TransportKind::ALL {
+        let t = stats.get(kind);
+        assert_eq!(
+            t.attempted,
+            t.delivered + t.lost + t.rate_dropped,
+            "{}: attempts must be fully accounted",
+            kind.name()
+        );
+    }
+    let udp = stats.get(TransportKind::Udp);
+    assert!(udp.lost > 0, "10% UDP loss must show up on a workload this size");
+    let tcp = stats.get(TransportKind::Tcp);
+    assert_eq!(tcp.lost, 0, "TCP never loses");
+}
+
+/// The demo's semantic/syntactic switch: identical inputs, strictly more
+/// matches in semantic mode, and the delta is attributable to semantics.
+#[test]
+fn semantic_mode_dominates_syntactic_mode() {
+    let (server, interner, domain) = build_server(0.0);
+    let workload = generate_jobfinder(
+        &domain,
+        &WorkloadConfig { subscriptions: 100, publications: 150, seed: 21, ..Default::default() },
+    );
+
+    let company = match server
+        .handle(ClientMessage::Register { name: "co".into(), transport: TransportKind::Tcp })
+    {
+        ServerMessage::Registered { client } => client,
+        other => panic!("unexpected: {other:?}"),
+    };
+    for sub in &workload.subscriptions {
+        server.handle(ClientMessage::Subscribe {
+            client: company,
+            predicates: subscription_to_wire(sub, &interner),
+        });
+    }
+
+    let run = |semantic: bool| -> u64 {
+        server.handle(ClientMessage::SetMode { semantic });
+        let mut total = 0u64;
+        for event in &workload.publications {
+            let pairs = event
+                .pairs()
+                .iter()
+                .map(|(attr, value)| {
+                    (interner.resolve(*attr).to_owned(), WireValue::from_value(value, &interner))
+                })
+                .collect();
+            match server.handle(ClientMessage::Publish { client: company, pairs }) {
+                ServerMessage::Published { matches } => total += matches as u64,
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        total
+    };
+
+    let semantic = run(true);
+    let syntactic = run(false);
+    let semantic_again = run(true);
+    assert!(
+        semantic > syntactic,
+        "semantic ({semantic}) must exceed syntactic ({syntactic})"
+    );
+    assert_eq!(semantic, semantic_again, "mode switching is lossless and repeatable");
+    server.shutdown();
+}
+
+/// Per-client tolerances flow through the broker API.
+#[test]
+fn broker_tolerances_differentiate_subscribers() {
+    let mut interner = Interner::new();
+    let domain = JobFinderDomain::build(&mut interner);
+    let skill = interner.get("skill").unwrap();
+    let programming = interner.get("programming").unwrap();
+    let rust_term = interner.get("rust").unwrap();
+
+    let broker = Broker::new(
+        BrokerConfig::default(),
+        Arc::new(domain.ontology),
+        SharedInterner::from_interner(interner),
+    );
+    let eager = broker.register_client("eager", TransportKind::Tcp);
+    let strict = broker.register_client("strict", TransportKind::Tcp);
+    let preds = vec![Predicate::eq(skill, programming)];
+    broker.subscribe(eager, preds.clone()).unwrap();
+    broker
+        .subscribe_with_tolerance(strict, preds, Some(Tolerance::bounded(1)))
+        .unwrap();
+
+    // rust is two levels below programming: only the eager client matches.
+    let event = Event::new().with(skill, Value::Sym(rust_term));
+    assert_eq!(broker.publish(&event), 1);
+    let inbox = broker.inbox(TransportKind::Tcp).unwrap();
+    let stats = broker.shutdown();
+    assert_eq!(stats.get(TransportKind::Tcp).delivered, 1);
+    let messages = inbox.lock();
+    assert!(messages[0].payload.contains("eager"), "{}", messages[0].payload);
+}

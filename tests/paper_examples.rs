@@ -1,0 +1,258 @@
+//! Every worked example in the S-ToPSS paper, as executable assertions.
+//!
+//! Section references are to: Petrovic, Burcea, Jacobsen — "S-ToPSS:
+//! Semantic Toronto Publish/Subscribe System", VLDB 2003.
+
+use std::sync::Arc;
+
+use s_topss::prelude::*;
+use s_topss::workload::JOBFINDER_STO;
+
+fn jobs_world() -> (Interner, Ontology) {
+    let mut interner = Interner::new();
+    let ontology = parse_ontology(JOBFINDER_STO, &mut interner).unwrap();
+    (interner, ontology)
+}
+
+/// §1: S: (university = Toronto) ∧ (degree = PhD) ∧ (professional
+/// experience ≥ 4) must match E: (school, Toronto)(degree, PhD)
+/// (work experience, true)(graduation year, 1990).
+#[test]
+fn section_1_job_finder_example() {
+    let (mut interner, ontology) = jobs_world();
+    let sub = SubscriptionBuilder::new(&mut interner)
+        .term_eq("university", "toronto")
+        .term_eq("degree", "phd")
+        .pred("professional experience", Operator::Ge, 4i64)
+        .build(SubId(1));
+    let event = EventBuilder::new(&mut interner)
+        .term("school", "toronto")
+        .term("degree", "phd")
+        .pair("work experience", true)
+        .pair("graduation year", 1990i64)
+        .build();
+
+    assert!(!sub.matches(&event, &interner), "no current pub/sub system matches this");
+
+    let mut matcher = SToPSS::new(
+        Config::default(),
+        Arc::new(ontology),
+        SharedInterner::from_interner(interner),
+    );
+    matcher.subscribe(sub);
+    let matches = matcher.publish(&event);
+    assert_eq!(matches.len(), 1, "S-ToPSS must match the paper's flagship example");
+    assert_eq!(matches[0].origin, MatchOrigin::Mapping);
+}
+
+/// §1: "if someone is interested in a 'car', the system will not return
+/// notifications about 'vehicles' or 'automobiles'" — S-ToPSS fixes the
+/// synonym half ('automobile') via the synonym stage and keeps the
+/// 'vehicle' half correct under rule R2 (a general event must not match a
+/// specific interest).
+#[test]
+fn section_1_car_vehicle_automobile() {
+    let mut interner = Interner::new();
+    let mut ontology = Ontology::new("motors");
+    let car = interner.intern("car");
+    let automobile = interner.intern("automobile");
+    let vehicle = interner.intern("vehicle");
+    ontology.synonyms.add_synonym(car, automobile, &interner).unwrap();
+    ontology.taxonomy.add_isa(car, vehicle, &interner).unwrap();
+
+    let sub = SubscriptionBuilder::new(&mut interner).term_eq("item", "car").build(SubId(1));
+    let sub_general =
+        SubscriptionBuilder::new(&mut interner).term_eq("item", "vehicle").build(SubId(2));
+    let automobile_event =
+        EventBuilder::new(&mut interner).term("item", "automobile").build();
+    let vehicle_event = EventBuilder::new(&mut interner).term("item", "vehicle").build();
+    let car_event = EventBuilder::new(&mut interner).term("item", "car").build();
+
+    let mut matcher = SToPSS::new(
+        Config::default(),
+        Arc::new(ontology),
+        SharedInterner::from_interner(interner),
+    );
+    matcher.subscribe(sub);
+    matcher.subscribe(sub_general);
+
+    let matches = matcher.publish(&automobile_event);
+    assert!(
+        matches.iter().any(|m| m.sub == SubId(1) && m.origin == MatchOrigin::Synonym),
+        "automobile is a synonym of car: {matches:?}"
+    );
+
+    let matches = matcher.publish(&vehicle_event);
+    assert!(
+        !matches.iter().any(|m| m.sub == SubId(1)),
+        "rule R2: a 'vehicle' event is more general than the 'car' interest"
+    );
+    assert!(matches.iter().any(|m| m.sub == SubId(2)));
+
+    let matches = matcher.publish(&car_event);
+    assert!(
+        matches.iter().any(|m| m.sub == SubId(2) && matches!(m.origin, MatchOrigin::Hierarchy { distance: 1 })),
+        "rule R1: a 'car' event matches the general 'vehicle' interest: {matches:?}"
+    );
+}
+
+/// §1: "if a company recruiter is interested in a 'mainframe developer',
+/// the matching engine should return … any resumes that mention 'COBOL
+/// programming' and years '1960-1980'."
+#[test]
+fn section_1_mainframe_developer_inference() {
+    let (mut interner, ontology) = jobs_world();
+    let sub = SubscriptionBuilder::new(&mut interner)
+        .term_eq("position", "mainframe_developer")
+        .build(SubId(1));
+    let cobol_resume = EventBuilder::new(&mut interner)
+        .term("skill", "cobol")
+        .pair("first programming year", 1972i64)
+        .build();
+    let young_cobol_resume = EventBuilder::new(&mut interner)
+        .term("skill", "cobol")
+        .pair("first programming year", 1999i64)
+        .build();
+
+    let mut matcher = SToPSS::new(
+        Config::default(),
+        Arc::new(ontology),
+        SharedInterner::from_interner(interner),
+    );
+    matcher.subscribe(sub);
+
+    let matches = matcher.publish(&cobol_resume);
+    assert_eq!(matches.len(), 1);
+    assert_eq!(matches[0].origin, MatchOrigin::Mapping);
+
+    assert!(
+        matcher.publish(&young_cobol_resume).is_empty(),
+        "COBOL outside 1960-1980 is not mainframe-era evidence"
+    );
+}
+
+/// §3.1, synonym stage: S: (university = Toronto) ∧ (professional
+/// experience ≥ 4) matches E: (school, Toronto)(professional experience, 5).
+#[test]
+fn section_3_1_synonym_stage() {
+    let (mut interner, ontology) = jobs_world();
+    let sub = SubscriptionBuilder::new(&mut interner)
+        .term_eq("university", "toronto")
+        .pred("professional experience", Operator::Ge, 4i64)
+        .build(SubId(1));
+    let event = EventBuilder::new(&mut interner)
+        .term("school", "toronto")
+        .pair("professional experience", 5i64)
+        .build();
+
+    let mut matcher = SToPSS::new(
+        Config::default(),
+        Arc::new(ontology),
+        SharedInterner::from_interner(interner),
+    );
+    matcher.subscribe(sub);
+    let matches = matcher.publish(&event);
+    assert_eq!(matches.len(), 1);
+    assert_eq!(matches[0].origin, MatchOrigin::Synonym);
+}
+
+/// §3.1, mapping stage: E carries (graduation year, 1993) and two jobs;
+/// professional experience = present date − graduation year = 10 ≥ 4.
+#[test]
+fn section_3_1_mapping_stage() {
+    let (mut interner, ontology) = jobs_world();
+    let sub = SubscriptionBuilder::new(&mut interner)
+        .term_eq("university", "toronto")
+        .pred("professional experience", Operator::Ge, 4i64)
+        .build(SubId(1));
+    let event = EventBuilder::new(&mut interner)
+        .term("school", "toronto")
+        .pair("graduation year", 1993i64)
+        .term("job1", "ibm")
+        .term("period1", "1994-1997")
+        .term("job2", "microsoft")
+        .term("period2", "1999-present")
+        .build();
+
+    // The paper evaluates "present date − graduation year" at demo time
+    // (2003): 10 years of experience.
+    let config = Config { now_year: 2003, ..Config::default() };
+    let mut matcher =
+        SToPSS::new(config, Arc::new(ontology), SharedInterner::from_interner(interner));
+    matcher.subscribe(sub);
+    let matches = matcher.publish(&event);
+    assert_eq!(matches.len(), 1);
+    assert_eq!(matches[0].origin, MatchOrigin::Mapping);
+}
+
+/// §3.2, entry-level recruiter: bounded generality — "some experience
+/// with Java, but not … Java experts". With the skill taxonomy
+/// `java -> jvm_programming -> programming`, a subscriber for
+/// `jvm_programming` with distance 1 accepts java candidates but a
+/// subscriber for the *top-level* `skill` with distance 1 does not see
+/// leaf publications.
+#[test]
+fn section_3_2_bounded_generality() {
+    let (mut interner, ontology) = jobs_world();
+    let jvm_sub = SubscriptionBuilder::new(&mut interner)
+        .term_eq("skill", "jvm_programming")
+        .build(SubId(1));
+    let top_sub = SubscriptionBuilder::new(&mut interner).term_eq("skill", "skill").build(SubId(2));
+    let java_resume = EventBuilder::new(&mut interner).term("skill", "java").build();
+
+    let mut matcher = SToPSS::new(
+        Config::default(),
+        Arc::new(ontology),
+        SharedInterner::from_interner(interner),
+    );
+    matcher.subscribe_with_tolerance(jvm_sub, Tolerance::bounded(1));
+    matcher.subscribe_with_tolerance(top_sub, Tolerance::bounded(1));
+
+    let matches = matcher.publish(&java_resume);
+    assert!(matches.iter().any(|m| m.sub == SubId(1)), "java is one level below jvm_programming");
+    assert!(
+        !matches.iter().any(|m| m.sub == SubId(2)),
+        "java is three levels below 'skill'; a distance-1 tolerance excludes it"
+    );
+}
+
+/// §3.2: "the inclusion of any of the three stages improves semantic
+/// matching" — each stage alone adds matches the others cannot.
+#[test]
+fn section_3_2_stages_are_independent() {
+    let (mut interner, ontology) = jobs_world();
+    let synonym_sub =
+        SubscriptionBuilder::new(&mut interner).term_eq("university", "uoft").build(SubId(1));
+    let hierarchy_sub =
+        SubscriptionBuilder::new(&mut interner).term_eq("skill", "programming").build(SubId(2));
+    let mapping_sub = SubscriptionBuilder::new(&mut interner)
+        .pred("professional experience", Operator::Ge, 4i64)
+        .build(SubId(3));
+
+    let synonym_event = EventBuilder::new(&mut interner).term("school", "uoft").build();
+    let hierarchy_event = EventBuilder::new(&mut interner).term("skill", "rust").build();
+    let mapping_event =
+        EventBuilder::new(&mut interner).pair("graduation year", 1990i64).build();
+
+    let shared = SharedInterner::from_interner(interner);
+    let source = Arc::new(ontology);
+    let run = |stages: StageMask| -> Vec<(u64, bool)> {
+        let config = Config { stages, ..Config::default() };
+        let mut matcher = SToPSS::new(config, source.clone(), shared.clone());
+        matcher.subscribe(synonym_sub.clone());
+        matcher.subscribe(hierarchy_sub.clone());
+        matcher.subscribe(mapping_sub.clone());
+        [(1u64, &synonym_event), (2, &hierarchy_event), (3, &mapping_event)]
+            .into_iter()
+            .map(|(id, event)| {
+                (id, matcher.publish(event).iter().any(|m| m.sub == SubId(id)))
+            })
+            .collect()
+    };
+
+    assert_eq!(run(StageMask::syntactic()), vec![(1, false), (2, false), (3, false)]);
+    assert_eq!(run(StageMask::SYNONYM), vec![(1, true), (2, false), (3, false)]);
+    assert_eq!(run(StageMask::HIERARCHY), vec![(1, false), (2, true), (3, false)]);
+    assert_eq!(run(StageMask::MAPPING), vec![(1, false), (2, false), (3, true)]);
+    assert_eq!(run(StageMask::all()), vec![(1, true), (2, true), (3, true)]);
+}

@@ -1,0 +1,143 @@
+//! Cross-crate property test: the *realistic* generated workload (not the
+//! synthetic vocabulary of the core crate's tests) must agree with the
+//! reference semantics for every engine, and the `.sto` round-trip of the
+//! job-finder ontology must preserve match sets exactly.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use s_topss::core::{semantic_match, ClosureLimits};
+use s_topss::prelude::*;
+use s_topss::workload::{generate_jobfinder, JobFinderDomain, WorkloadConfig};
+
+fn fixture(seed: u64, subs: usize, pubs: usize) -> (Interner, JobFinderDomain, Vec<Subscription>, Vec<Event>) {
+    let mut interner = Interner::new();
+    let domain = JobFinderDomain::build(&mut interner);
+    let w = generate_jobfinder(
+        &domain,
+        &WorkloadConfig { subscriptions: subs, publications: pubs, seed, ..Default::default() },
+    );
+    (interner, domain, w.subscriptions, w.publications)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Realistic workloads: matcher == oracle for every engine.
+    #[test]
+    fn jobfinder_matcher_agrees_with_oracle(seed in 0u64..1_000) {
+        let (interner, domain, subs, events) = fixture(seed, 40, 30);
+        let source = Arc::new(domain.ontology);
+        let limits = ClosureLimits::default();
+        let tolerance = Tolerance::full();
+
+        for engine in EngineKind::ALL {
+            let config = Config {
+                engine,
+                track_provenance: false,
+                ..Config::default()
+            };
+            let mut matcher =
+                SToPSS::new(config, source.clone(), SharedInterner::from_interner(interner.clone()));
+            for sub in &subs {
+                matcher.subscribe(sub.clone());
+            }
+            for event in &events {
+                let mut got: Vec<SubId> =
+                    matcher.publish(event).iter().map(|m| m.sub).collect();
+                got.sort_unstable();
+                let mut want: Vec<SubId> = subs
+                    .iter()
+                    .filter(|s| {
+                        semantic_match(s, event, source.as_ref(), &tolerance, 2003, &interner, &limits)
+                    })
+                    .map(|s| s.id())
+                    .collect();
+                want.sort_unstable();
+                prop_assert_eq!(&got, &want, "engine {} diverged on seed {}", engine.name(), seed);
+            }
+        }
+    }
+
+    /// The `.sto` writer/parser round-trip preserves semantics, validated
+    /// by match-set equality on generated workloads.
+    #[test]
+    fn sto_round_trip_preserves_match_sets(seed in 0u64..1_000) {
+        let (mut interner, domain, subs, events) = fixture(seed, 30, 20);
+        let text = s_topss::ontology::write_ontology(&domain.ontology, &interner);
+        let reparsed = s_topss::ontology::parse_ontology(&text, &mut interner).unwrap();
+
+        let run = |ontology: Ontology| -> Vec<Vec<SubId>> {
+            let mut matcher = SToPSS::new(
+                Config::default().with_provenance(false),
+                Arc::new(ontology),
+                SharedInterner::from_interner(interner.clone()),
+            );
+            for sub in &subs {
+                matcher.subscribe(sub.clone());
+            }
+            events
+                .iter()
+                .map(|e| {
+                    let mut ids: Vec<SubId> =
+                        matcher.publish(e).iter().map(|m| m.sub).collect();
+                    ids.sort_unstable();
+                    ids
+                })
+                .collect()
+        };
+        let original = run(domain.ontology);
+        let roundtripped = run(reparsed);
+        prop_assert_eq!(original, roundtripped);
+    }
+
+    /// Tolerance monotonicity on real workloads: widening the distance
+    /// bound or enabling more stages never removes a match.
+    #[test]
+    fn tolerance_is_monotone(seed in 0u64..1_000) {
+        let (interner, domain, subs, events) = fixture(seed, 25, 15);
+        let source = Arc::new(domain.ontology);
+
+        let masks = [
+            StageMask::syntactic(),
+            StageMask::SYNONYM,
+            StageMask::SYNONYM.with(StageMask::HIERARCHY),
+            StageMask::all(),
+        ];
+        let mut previous: Option<Vec<usize>> = None;
+        for mask in masks {
+            let config = Config { stages: mask, track_provenance: false, ..Config::default() };
+            let mut matcher =
+                SToPSS::new(config, source.clone(), SharedInterner::from_interner(interner.clone()));
+            for sub in &subs {
+                matcher.subscribe(sub.clone());
+            }
+            let counts: Vec<usize> = events.iter().map(|e| matcher.publish(e).len()).collect();
+            if let Some(prev) = &previous {
+                for (p, c) in prev.iter().zip(&counts) {
+                    prop_assert!(c >= p, "stage widening lost matches: {prev:?} vs {counts:?}");
+                }
+            }
+            previous = Some(counts);
+        }
+
+        // Distance bound monotonicity.
+        let mut prev_total = 0usize;
+        for bound in [Some(0u32), Some(1), Some(2), Some(4), None] {
+            let config = Config {
+                max_distance: bound,
+                track_provenance: false,
+                ..Config::default()
+            };
+            let mut matcher =
+                SToPSS::new(config, source.clone(), SharedInterner::from_interner(interner.clone()));
+            for sub in &subs {
+                matcher.subscribe(sub.clone());
+            }
+            let total: usize = events.iter().map(|e| matcher.publish(e).len()).sum();
+            prop_assert!(total >= prev_total, "wider bound lost matches");
+            prev_total = total;
+        }
+    }
+}
