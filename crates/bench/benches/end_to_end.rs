@@ -11,7 +11,10 @@ use stopss_workload::jobfinder_fixture;
 
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for semantic in [true, false] {
         let fixture = jobfinder_fixture(1_000, 200, 42);
         let broker = Broker::new(

@@ -10,7 +10,10 @@ use stopss_workload::{synthetic_fixture, SyntheticConfig, SyntheticWorkload};
 
 fn bench_hierarchy(c: &mut Criterion) {
     let mut group = c.benchmark_group("hierarchy_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for depth in [2usize, 4, 6] {
         for fanout in [2usize, 4] {
             let shape = SyntheticConfig {
@@ -21,7 +24,8 @@ fn bench_hierarchy(c: &mut Criterion) {
                 synonyms_per_concept: 0.2,
                 seed: 31,
             };
-            let workload = SyntheticWorkload { subscriptions: 1_000, publications: 200, ..Default::default() };
+            let workload =
+                SyntheticWorkload { subscriptions: 1_000, publications: 200, ..Default::default() };
             let fixture = synthetic_fixture(&shape, &workload);
             let config = Config { track_provenance: false, ..Config::default() };
             let mut matcher = matcher_for(&fixture, config);

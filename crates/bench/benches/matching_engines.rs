@@ -14,7 +14,10 @@ use stopss_workload::jobfinder_fixture;
 
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching_engines");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for subs in [1_000usize, 10_000] {
         let fixture = jobfinder_fixture(subs, 200, 11);
         for engine in EngineKind::ALL {
@@ -27,17 +30,13 @@ fn bench_engines(c: &mut Criterion) {
             let mut matcher = matcher_for(&fixture, config);
             let events = &fixture.publications;
             let mut idx = 0usize;
-            group.bench_with_input(
-                BenchmarkId::new(engine.name(), subs),
-                &subs,
-                |b, _| {
-                    b.iter(|| {
-                        let event = &events[idx % events.len()];
-                        idx += 1;
-                        black_box(matcher.publish(event).len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(engine.name(), subs), &subs, |b, _| {
+                b.iter(|| {
+                    let event = &events[idx % events.len()];
+                    idx += 1;
+                    black_box(matcher.publish(event).len())
+                })
+            });
         }
     }
     group.finish();

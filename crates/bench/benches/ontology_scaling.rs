@@ -11,7 +11,10 @@ use stopss_workload::{build_synthetic, Rng, SyntheticConfig};
 
 fn bench_ontology(c: &mut Criterion) {
     let mut group = c.benchmark_group("ontology_scaling");
-    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     for depth in [4usize, 8] {
         let mut interner = Interner::new();
         let shape = SyntheticConfig {

@@ -14,7 +14,10 @@ use stopss_workload::jobfinder_fixture;
 
 fn bench_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("semantic_overhead");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let stage_sets: [(&str, StageMask); 4] = [
         ("syntactic", StageMask::syntactic()),
         ("synonym", StageMask::SYNONYM),

@@ -12,7 +12,10 @@ use stopss_workload::{synthetic_fixture, SyntheticConfig, SyntheticWorkload};
 
 fn bench_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("strategy_publish");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for depth in [2usize, 3] {
         let shape = SyntheticConfig {
             attrs: 4,
@@ -42,27 +45,32 @@ fn bench_strategies(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("strategy_subscribe");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
-    let shape =
-        SyntheticConfig { attrs: 4, depth: 3, fanout: 3, mapping_chain: 2, seed: 23, ..Default::default() };
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+    let shape = SyntheticConfig {
+        attrs: 4,
+        depth: 3,
+        fanout: 3,
+        mapping_chain: 2,
+        seed: 23,
+        ..Default::default()
+    };
     let workload = SyntheticWorkload { subscriptions: 200, publications: 1, ..Default::default() };
     let fixture = synthetic_fixture(&shape, &workload);
     for strategy in Strategy::ALL {
         let config = Config { strategy, track_provenance: false, ..Config::default() };
-        group.bench_with_input(
-            BenchmarkId::new(strategy.name(), "200subs"),
-            &strategy,
-            |b, _| {
-                b.iter(|| {
-                    let mut matcher =
-                        SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
-                    for sub in &fixture.subscriptions {
-                        matcher.subscribe(sub.clone());
-                    }
-                    black_box(matcher.len())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(strategy.name(), "200subs"), &strategy, |b, _| {
+            b.iter(|| {
+                let mut matcher =
+                    SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+                for sub in &fixture.subscriptions {
+                    matcher.subscribe(sub.clone());
+                }
+                black_box(matcher.len())
+            })
+        });
     }
     group.finish();
 }

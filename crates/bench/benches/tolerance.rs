@@ -10,7 +10,10 @@ use stopss_workload::jobfinder_fixture;
 
 fn bench_tolerance(c: &mut Criterion) {
     let mut group = c.benchmark_group("tolerance");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let fixture = jobfinder_fixture(2_000, 200, 13);
     let settings: [(&str, Option<u32>, StageMask); 5] = [
         ("syntactic", None, StageMask::syntactic()),
@@ -20,12 +23,8 @@ fn bench_tolerance(c: &mut Criterion) {
         ("unbounded", None, StageMask::all()),
     ];
     for (label, bound, stages) in settings {
-        let config = Config {
-            stages,
-            max_distance: bound,
-            track_provenance: false,
-            ..Config::default()
-        };
+        let config =
+            Config { stages, max_distance: bound, track_provenance: false, ..Config::default() };
         let mut matcher = matcher_for(&fixture, config);
         let events = &fixture.publications;
         let mut idx = 0usize;

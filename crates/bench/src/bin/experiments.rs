@@ -15,9 +15,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use stopss_bench::{
-    match_sets, matcher_for, recall, timed_sweep, total_matches,
-};
+use stopss_bench::{match_sets, matcher_for, recall, timed_sweep, total_matches};
 use stopss_broker::{Broker, BrokerConfig, TransportKind};
 use stopss_core::{Config, OriginCounts, StageMask, Strategy, Tolerance};
 use stopss_matching::EngineKind;
@@ -51,8 +49,15 @@ fn main() {
         args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     if selected.is_empty() || selected.contains(&"all") {
         selected = vec![
-            "fig1", "fig2", "overhead", "ontology", "engines", "tolerance", "multidomain",
-            "strategy", "hierarchy",
+            "fig1",
+            "fig2",
+            "overhead",
+            "ontology",
+            "engines",
+            "tolerance",
+            "multidomain",
+            "strategy",
+            "hierarchy",
         ];
     }
     let s = scale(quick);

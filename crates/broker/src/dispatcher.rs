@@ -17,7 +17,9 @@ use stopss_types::{Event, FxHashMap, Predicate, SharedInterner, SubId, Subscript
 
 use crate::client::{ClientId, ClientInfo};
 use crate::notify::{DeliveryStats, NotificationEngine};
-use crate::transport::{Delivery, Inbox, SmsSim, SmtpSim, TcpSim, Transport, TransportKind, UdpSim};
+use crate::transport::{
+    Delivery, Inbox, SmsSim, SmtpSim, TcpSim, Transport, TransportKind, UdpSim,
+};
 
 /// Broker construction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -198,7 +200,10 @@ impl Broker {
             let Some(info) = clients.get(owner) else {
                 continue;
             };
-            let payload = format!("to {} [{}]: {} matched via {} — {}", info.name, owner, m.sub, m.origin, rendered);
+            let payload = format!(
+                "to {} [{}]: {} matched via {} — {}",
+                info.name, owner, m.sub, m.origin, rendered
+            );
             self.notifier.enqueue(info.transport, Delivery { client: *owner, payload });
         }
         matches.len()
@@ -329,10 +334,7 @@ mod tests {
         let alice = broker.register_client("alice", TransportKind::Tcp);
         let bob = broker.register_client("bob", TransportKind::Udp);
         let sub = broker.subscribe(alice, recruiter_predicates(&interner)).unwrap();
-        assert_eq!(
-            broker.unsubscribe(bob, sub),
-            Err(BrokerError::NotOwner { client: bob, sub })
-        );
+        assert_eq!(broker.unsubscribe(bob, sub), Err(BrokerError::NotOwner { client: bob, sub }));
         assert_eq!(broker.unsubscribe(alice, sub), Ok(true));
         assert_eq!(broker.unsubscribe(alice, sub), Ok(false), "already gone");
         assert_eq!(broker.subscription_count(), 0);

@@ -5,9 +5,10 @@
 //!
 //! Deliveries flow through a crossbeam channel to one worker thread that
 //! owns the transports. Rate-limited failures are retried after a window
-//! tick; lost datagrams are counted and abandoned (fire-and-forget
-//! semantics). Batching transports are flushed whenever the queue drains
-//! and at shutdown.
+//! tick (windows open only on the retry path, keeping retry counts
+//! deterministic); lost datagrams are counted and abandoned
+//! (fire-and-forget semantics). Batching transports are flushed whenever
+//! the queue drains and at shutdown.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -53,11 +54,7 @@ pub struct DeliveryStats {
 impl DeliveryStats {
     /// Stats for one transport kind.
     pub fn get(&self, kind: TransportKind) -> TransportStats {
-        self.per_transport
-            .iter()
-            .find(|(k, _)| *k == kind)
-            .map(|(_, s)| *s)
-            .unwrap_or_default()
+        self.per_transport.iter().find(|(k, _)| *k == kind).map(|(_, s)| *s).unwrap_or_default()
     }
 
     /// Total deliveries attempted.
@@ -168,7 +165,10 @@ fn worker_loop(
     while let Ok((kind, delivery)) = receiver.recv() {
         process_one(kind, &delivery, &mut by_kind, &counters);
         // Opportunistically drain without blocking, then flush batchers so
-        // SMTP mail leaves whenever the system goes quiet.
+        // SMTP mail leaves whenever the system goes quiet. Rate windows are
+        // NOT reopened here: ticks happen only on the retry path inside
+        // `process_one`, so retry accounting does not depend on how the
+        // queue happened to batch under scheduler timing.
         loop {
             match receiver.try_recv() {
                 Ok((kind, delivery)) => process_one(kind, &delivery, &mut by_kind, &counters),
@@ -178,7 +178,6 @@ fn worker_loop(
         }
         for t in by_kind.values_mut() {
             t.flush();
-            t.tick();
         }
     }
     for t in by_kind.values_mut() {
@@ -231,7 +230,13 @@ mod tests {
         Delivery { client: ClientId(client), payload: payload.to_owned() }
     }
 
-    fn engine_with_all() -> (NotificationEngine, crate::transport::Inbox, crate::transport::Inbox, crate::transport::Inbox, crate::transport::Inbox) {
+    fn engine_with_all() -> (
+        NotificationEngine,
+        crate::transport::Inbox,
+        crate::transport::Inbox,
+        crate::transport::Inbox,
+        crate::transport::Inbox,
+    ) {
         let (tcp, tcp_inbox) = TcpSim::new();
         let (udp, udp_inbox) = UdpSim::new(0.5, 7);
         let (smtp, smtp_inbox) = SmtpSim::new();

@@ -122,7 +122,10 @@ impl DemoServer {
 }
 
 /// Renders a subscription back to wire predicates (used by tooling/tests).
-pub fn subscription_to_wire(sub: &Subscription, interner: &stopss_types::Interner) -> Vec<WirePredicate> {
+pub fn subscription_to_wire(
+    sub: &Subscription,
+    interner: &stopss_types::Interner,
+) -> Vec<WirePredicate> {
     sub.predicates()
         .iter()
         .map(|p| WirePredicate {
@@ -155,10 +158,9 @@ mod tests {
     }
 
     fn register(server: &DemoServer, name: &str) -> crate::client::ClientId {
-        match server.handle(ClientMessage::Register {
-            name: name.into(),
-            transport: TransportKind::Tcp,
-        }) {
+        match server
+            .handle(ClientMessage::Register { name: name.into(), transport: TransportKind::Tcp })
+        {
             ServerMessage::Registered { client } => client,
             other => panic!("unexpected reply: {other:?}"),
         }

@@ -20,50 +20,10 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::client::ClientId;
-use stopss_workload_shim::Rng;
-
-// The broker must not depend on the workload crate (it sits below it in
-// the experiment stack), so it carries its own tiny deterministic RNG —
-// same PCG32 construction as `stopss-workload::rng`.
-mod stopss_workload_shim {
-    /// Deterministic PCG32 (see `stopss-workload::rng` for the reference
-    /// implementation and tests).
-    #[derive(Clone, Debug)]
-    pub struct Rng {
-        state: u64,
-        inc: u64,
-    }
-
-    impl Rng {
-        pub fn new(seed: u64) -> Self {
-            let mut sm = seed;
-            let mut next = move || {
-                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                let mut z = sm;
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                z ^ (z >> 31)
-            };
-            let state = next();
-            let inc = next() | 1;
-            let mut rng = Rng { state: state.wrapping_add(inc), inc };
-            rng.next_u32();
-            rng
-        }
-
-        pub fn next_u32(&mut self) -> u32 {
-            let old = self.state;
-            self.state = old.wrapping_mul(6364136223846793005).wrapping_add(self.inc);
-            let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
-            let rot = (old >> 59) as u32;
-            xorshifted.rotate_right(rot)
-        }
-
-        pub fn chance(&mut self, p: f64) -> bool {
-            (self.next_u32() as f64 / u32::MAX as f64) < p
-        }
-    }
-}
+// The broker sits below the workload crate in the experiment stack, so it
+// takes the deterministic PCG32 from the shared bottom layer —
+// `stopss_workload::rng` re-exports this same implementation.
+use stopss_types::rng::Rng;
 
 /// The transport families of the demo setup.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -132,8 +92,8 @@ pub trait Transport: Send {
     /// Attempts one delivery.
     fn deliver(&mut self, delivery: &Delivery) -> Result<(), TransportError>;
 
-    /// Called by the engine between retry attempts and periodically while
-    /// idle; rate-limited transports refill their budget here.
+    /// Called by the engine between retry attempts; rate-limited
+    /// transports refill their budget here.
     fn tick(&mut self) {}
 
     /// Flushes any buffered messages (batching transports).

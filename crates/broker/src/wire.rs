@@ -561,10 +561,7 @@ mod tests {
         }
         assert_eq!(frames.len(), 2);
         for mut frame in frames {
-            assert_eq!(
-                decode_server(&mut frame).unwrap(),
-                ServerMessage::Published { matches: 7 }
-            );
+            assert_eq!(decode_server(&mut frame).unwrap(), ServerMessage::Published { matches: 7 });
         }
     }
 
@@ -585,9 +582,6 @@ mod tests {
         assert_eq!(wire, WireValue::Term("phd".into()));
         let back = wire.into_value(&mut interner);
         assert_eq!(back, v);
-        assert_eq!(
-            WireValue::from_value(&Value::Float(1.5), &interner),
-            WireValue::Float(1.5)
-        );
+        assert_eq!(WireValue::from_value(&Value::Float(1.5), &interner), WireValue::Float(1.5));
     }
 }

@@ -5,11 +5,11 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use proptest::prelude::*;
 
+use stopss_broker::ClientId;
 use stopss_broker::{
     decode_client, decode_server, encode_client, encode_server, try_read_frame, write_frame,
     ClientMessage, ServerMessage, TransportKind, WirePredicate, WireValue,
 };
-use stopss_broker::ClientId;
 use stopss_types::{Operator, SubId};
 
 fn arb_wire_value() -> impl Strategy<Value = WireValue> {
@@ -30,23 +30,22 @@ fn arb_transport() -> impl Strategy<Value = TransportKind> {
 }
 
 fn arb_predicate() -> impl Strategy<Value = WirePredicate> {
-    ("[a-z ]{1,10}", arb_operator(), arb_wire_value())
-        .prop_map(|(attr, op, value)| WirePredicate { attr, op, value })
+    ("[a-z ]{1,10}", arb_operator(), arb_wire_value()).prop_map(|(attr, op, value)| WirePredicate {
+        attr,
+        op,
+        value,
+    })
 }
 
 fn arb_client_message() -> impl Strategy<Value = ClientMessage> {
     prop_oneof![
         ("[a-zA-Z0-9 ]{0,20}", arb_transport())
             .prop_map(|(name, transport)| ClientMessage::Register { name, transport }),
-        (any::<u64>(), proptest::collection::vec(arb_predicate(), 0..6))
-            .prop_map(|(c, predicates)| ClientMessage::Subscribe {
-                client: ClientId(c),
-                predicates
-            }),
-        (any::<u64>(), any::<u64>()).prop_map(|(c, s)| ClientMessage::Unsubscribe {
-            client: ClientId(c),
-            sub: SubId(s)
-        }),
+        (any::<u64>(), proptest::collection::vec(arb_predicate(), 0..6)).prop_map(
+            |(c, predicates)| ClientMessage::Subscribe { client: ClientId(c), predicates }
+        ),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(c, s)| ClientMessage::Unsubscribe { client: ClientId(c), sub: SubId(s) }),
         (any::<u64>(), proptest::collection::vec(("[a-z ]{1,10}", arb_wire_value()), 0..8))
             .prop_map(|(c, pairs)| ClientMessage::Publish { client: ClientId(c), pairs }),
         any::<bool>().prop_map(|semantic| ClientMessage::SetMode { semantic }),

@@ -98,7 +98,10 @@ pub fn synonym_resolve_event(event: &Event, source: &dyn SemanticSource) -> Even
 /// they denote categorical terms. String-operator patterns (`Prefix`,
 /// `Suffix`, `Contains`) are fragments, not terms — rewriting `"teach"`
 /// because some ontology maps `teach → instruct` would corrupt them.
-pub fn synonym_resolve_subscription(sub: &Subscription, source: &dyn SemanticSource) -> Subscription {
+pub fn synonym_resolve_subscription(
+    sub: &Subscription,
+    source: &dyn SemanticSource,
+) -> Subscription {
     let predicates = sub
         .predicates()
         .iter()
@@ -131,14 +134,13 @@ pub fn semantic_closure(
     interner: &Interner,
     limits: &ClosureLimits,
 ) -> ClosedEvent {
-    let base = if stages.synonym() {
-        synonym_resolve_event(event, source)
-    } else {
-        event.clone()
-    };
+    let base = if stages.synonym() { synonym_resolve_event(event, source) } else { event.clone() };
     let base_pairs = base.len();
     let mut closed = ClosedEvent {
-        info: vec![PairInfo { distance: 0, via_mapping: false, hierarchy_derived: false }; base_pairs],
+        info: vec![
+            PairInfo { distance: 0, via_mapping: false, hierarchy_derived: false };
+            base_pairs
+        ],
         event: base,
         base_pairs,
         rounds: 0,
@@ -158,7 +160,14 @@ pub fn semantic_closure(
         let len_before = closed.event.len();
 
         if stages.hierarchy() && max_distance != Some(0) {
-            expand_hierarchy(&mut closed, source, max_distance, &mut hierarchy_cursor, len_before, limits);
+            expand_hierarchy(
+                &mut closed,
+                source,
+                max_distance,
+                &mut hierarchy_cursor,
+                len_before,
+                limits,
+            );
         }
         if stages.mapping() && closed.event.len() < limits.max_pairs {
             apply_mappings(&mut closed, source, stages, now_year, interner, limits);
@@ -271,7 +280,11 @@ fn apply_mappings(
                 (attr, value)
             };
             if closed.event.push_unique(attr, value) {
-                closed.info.push(PairInfo { distance: 0, via_mapping: true, hierarchy_derived: false });
+                closed.info.push(PairInfo {
+                    distance: 0,
+                    via_mapping: true,
+                    hierarchy_derived: false,
+                });
                 fired = true;
             }
         }
@@ -325,15 +338,8 @@ mod tests {
         let mut i = Interner::new();
         let o = jobs_ontology(&mut i);
         let e = EventBuilder::new(&mut i).term("credential", "phd").build();
-        let closed = semantic_closure(
-            &e,
-            &o,
-            StageMask::all(),
-            None,
-            2003,
-            &i,
-            &ClosureLimits::default(),
-        );
+        let closed =
+            semantic_closure(&e, &o, StageMask::all(), None, 2003, &i, &ClosureLimits::default());
         let credential = i.get("credential").unwrap();
         let grad = Value::Sym(i.get("graduate_degree").unwrap());
         let degree = Value::Sym(i.get("degree").unwrap());
@@ -379,15 +385,8 @@ mod tests {
         let mut i = Interner::new();
         let o = jobs_ontology(&mut i);
         let e = EventBuilder::new(&mut i).pair("graduation_year", 1993i64).build();
-        let closed = semantic_closure(
-            &e,
-            &o,
-            StageMask::all(),
-            None,
-            2003,
-            &i,
-            &ClosureLimits::default(),
-        );
+        let closed =
+            semantic_closure(&e, &o, StageMask::all(), None, 2003, &i, &ClosureLimits::default());
         let pe = i.get("professional_experience").unwrap();
         assert_eq!(closed.event.get(pe), Some(&Value::Int(10)));
         assert_eq!(closed.mappings_fired, vec!["experience".to_owned()]);
@@ -413,7 +412,10 @@ mod tests {
                 "coder_label",
                 vec![PatternItem {
                     attr: skill,
-                    guard: Some(stopss_ontology::Guard { op: Operator::Eq, value: Value::Sym(lang) }),
+                    guard: Some(stopss_ontology::Guard {
+                        op: Operator::Eq,
+                        value: Value::Sym(lang),
+                    }),
                 }],
                 vec![Production { attr: label, expr: Expr::Const(Value::Sym(coder)) }],
             ))

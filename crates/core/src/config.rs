@@ -60,11 +60,7 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits {
-            closure: ClosureLimits::default(),
-            max_derived_events: 256,
-            max_rewrites: 1024,
-        }
+        Limits { closure: ClosureLimits::default(), max_derived_events: 256, max_rewrites: 1024 }
     }
 }
 

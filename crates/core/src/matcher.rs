@@ -10,9 +10,7 @@ use std::sync::Arc;
 
 use stopss_matching::MatchingEngine;
 use stopss_ontology::SemanticSource;
-use stopss_types::{
-    Event, FxHashMap, FxHashSet, Interner, SharedInterner, SubId, Subscription,
-};
+use stopss_types::{Event, FxHashMap, FxHashSet, Interner, SharedInterner, SubId, Subscription};
 
 use crate::closure::{semantic_closure, synonym_resolve_subscription};
 use crate::config::{Config, Strategy};
@@ -358,11 +356,8 @@ impl SToPSS {
     }
 
     fn rebuild_entries(&mut self) {
-        let old: Vec<(Subscription, Tolerance)> = self
-            .subs
-            .drain()
-            .map(|(_, e)| (e.original, e.requested))
-            .collect();
+        let old: Vec<(Subscription, Tolerance)> =
+            self.subs.drain().map(|(_, e)| (e.original, e.requested)).collect();
         for (sub, requested) in old {
             let entry = self.build_entry(sub, requested);
             self.subs.insert(entry.original.id(), entry);

@@ -157,7 +157,15 @@ mod tests {
             !sub.matches(&e, &i),
             "syntactically 'school' does not match 'university' — the paper's point"
         );
-        assert!(semantic_match(&sub, &e, &o, &Tolerance::full(), 2003, &i, &ClosureLimits::default()));
+        assert!(semantic_match(
+            &sub,
+            &e,
+            &o,
+            &Tolerance::full(),
+            2003,
+            &i,
+            &ClosureLimits::default()
+        ));
         assert_eq!(
             classify_match(&sub, &e, &o, StageMask::all(), 2003, &i, &ClosureLimits::default()),
             MatchOrigin::Synonym
@@ -180,16 +188,22 @@ mod tests {
             .term("job1", "ibm")
             .term("job2", "microsoft")
             .build();
-        assert!(semantic_match(&sub, &e, &o, &Tolerance::full(), 2003, &i, &ClosureLimits::default()));
+        assert!(semantic_match(
+            &sub,
+            &e,
+            &o,
+            &Tolerance::full(),
+            2003,
+            &i,
+            &ClosureLimits::default()
+        ));
         assert_eq!(
             classify_match(&sub, &e, &o, StageMask::all(), 2003, &i, &ClosureLimits::default()),
             MatchOrigin::Mapping
         );
         // Without the mapping stage there is no match.
-        let no_mapping = Tolerance {
-            stages: StageMask::all().without(StageMask::MAPPING),
-            max_distance: None,
-        };
+        let no_mapping =
+            Tolerance { stages: StageMask::all().without(StageMask::MAPPING), max_distance: None };
         assert!(!semantic_match(&sub, &e, &o, &no_mapping, 2003, &i, &ClosureLimits::default()));
     }
 
@@ -201,7 +215,8 @@ mod tests {
         let car = i.intern("car");
         o.taxonomy.add_isa(car, vehicle, &i).unwrap();
         let sub_special = SubscriptionBuilder::new(&mut i).term_eq("item", "car").build(SubId(1));
-        let sub_general = SubscriptionBuilder::new(&mut i).term_eq("item", "vehicle").build(SubId(2));
+        let sub_general =
+            SubscriptionBuilder::new(&mut i).term_eq("item", "vehicle").build(SubId(2));
         let event_general = EventBuilder::new(&mut i).term("item", "vehicle").build();
         let event_special = EventBuilder::new(&mut i).term("item", "car").build();
         let t = Tolerance::full();

@@ -53,11 +53,8 @@ pub fn materialize_match(
     candidates: &mut FxHashSet<SubId>,
 ) -> MaterializeOutcome {
     let admits = |d: u32| max_distance.is_none_or(|k| d <= k);
-    let root = if stages.synonym() {
-        synonym_resolve_event(event_raw, source)
-    } else {
-        event_raw.clone()
-    };
+    let root =
+        if stages.synonym() { synonym_resolve_event(event_raw, source) } else { event_raw.clone() };
 
     let mut outcome = MaterializeOutcome { derived_events: 1, truncated: false };
     let mut seen: FxHashSet<u64> = FxHashSet::default();
@@ -262,8 +259,11 @@ mod tests {
         let mut i = Interner::new();
         let o = degrees(&mut i);
         let mut engine = NaiveEngine::new();
-        engine.insert(SubscriptionBuilder::new(&mut i).term_eq("credential", "degree").build(SubId(1)));
-        engine.insert(SubscriptionBuilder::new(&mut i).term_eq("credential", "phd").build(SubId(2)));
+        engine.insert(
+            SubscriptionBuilder::new(&mut i).term_eq("credential", "degree").build(SubId(1)),
+        );
+        engine
+            .insert(SubscriptionBuilder::new(&mut i).term_eq("credential", "phd").build(SubId(2)));
         let e = EventBuilder::new(&mut i).term("credential", "phd").build();
         let mut candidates = FxHashSet::default();
         let outcome = materialize_match(
@@ -330,7 +330,10 @@ mod tests {
                 "coder",
                 vec![PatternItem {
                     attr: skill,
-                    guard: Some(stopss_ontology::Guard { op: Operator::Eq, value: Value::Sym(lang) }),
+                    guard: Some(stopss_ontology::Guard {
+                        op: Operator::Eq,
+                        value: Value::Sym(lang),
+                    }),
                 }],
                 vec![Production { attr: label, expr: Expr::Const(Value::Sym(coder)) }],
             ))

@@ -238,7 +238,8 @@ mod tests {
         let system = Tolerance { stages: StageMask::all(), max_distance: Some(3) };
         let wide = Tolerance::full().clamp_to(&system);
         assert_eq!(wide.max_distance, Some(3));
-        let narrow = Tolerance { stages: StageMask::SYNONYM, max_distance: Some(5) }.clamp_to(&system);
+        let narrow =
+            Tolerance { stages: StageMask::SYNONYM, max_distance: Some(5) }.clamp_to(&system);
         assert_eq!(narrow.stages, StageMask::SYNONYM);
         assert_eq!(narrow.max_distance, Some(3));
         let tight = Tolerance { stages: StageMask::all(), max_distance: Some(1) }.clamp_to(&system);

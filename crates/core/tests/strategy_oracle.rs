@@ -25,7 +25,7 @@ use stopss_core::{semantic_match, Config, Limits, SToPSS, Strategy as MatchStrat
 use stopss_matching::EngineKind;
 use stopss_ontology::{Expr, Guard, MappingFunction, Ontology, PatternItem, Production};
 use stopss_types::{
-    Event, Interner, Operator, Predicate, SubId, Subscription, SharedInterner, Symbol, Value,
+    Event, Interner, Operator, Predicate, SharedInterner, SubId, Subscription, Symbol, Value,
 };
 
 /// Fixed vocabulary layout (interned in this order):
@@ -173,10 +173,14 @@ fn arb_spec() -> impl Strategy<Value = OntologySpec> {
 
 fn arb_mapping_spec() -> impl Strategy<Value = MappingSpec> {
     prop_oneof![
-        (0usize..M, proptest::option::of(-3i64..3), 0usize..O, -2i64..3)
-            .prop_map(|(trigger, guard, out, add)| MappingSpec::Numeric { trigger, guard, out, add }),
-        (0usize..M, 2usize..A, 0usize..T)
-            .prop_map(|(trigger, out, term)| MappingSpec::Term { trigger, out, term }),
+        (0usize..M, proptest::option::of(-3i64..3), 0usize..O, -2i64..3).prop_map(
+            |(trigger, guard, out, add)| MappingSpec::Numeric { trigger, guard, out, add }
+        ),
+        (0usize..M, 2usize..A, 0usize..T).prop_map(|(trigger, out, term)| MappingSpec::Term {
+            trigger,
+            out,
+            term
+        }),
     ]
 }
 

@@ -171,7 +171,9 @@ mod tests {
     fn residual_pool_handles_no_equality_subscriptions() {
         let mut i = Interner::new();
         let mut eng = ClusterEngine::new();
-        eng.insert(SubscriptionBuilder::new(&mut i).pred("temp", Operator::Gt, 20i64).build(SubId(1)));
+        eng.insert(
+            SubscriptionBuilder::new(&mut i).pred("temp", Operator::Gt, 20i64).build(SubId(1)),
+        );
         eng.insert(Subscription::new(SubId(2), vec![]));
         assert_eq!(eng.residual_len(), 2);
         assert_eq!(eng.cluster_count(), 0);

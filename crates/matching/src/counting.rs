@@ -141,13 +141,8 @@ impl MatchingEngine for CountingEngine {
         let pred_idxs: Box<[PredIdx]> =
             distinct.iter().map(|p| self.intern_predicate(*p)).collect();
         let required = pred_idxs.len() as u32;
-        let slot_idx = self.alloc_slot(SubSlot {
-            id: sub.id(),
-            required,
-            count: 0,
-            epoch: 0,
-            pred_idxs,
-        });
+        let slot_idx =
+            self.alloc_slot(SubSlot { id: sub.id(), required, count: 0, epoch: 0, pred_idxs });
         // Borrow dance: register the slot with each predicate entry.
         let pred_idxs = self.slots[slot_idx as usize].pred_idxs.clone();
         for idx in pred_idxs.iter() {
@@ -251,10 +246,18 @@ mod tests {
                 .pred("experience", Operator::Ge, 4i64)
                 .build(SubId(1)),
         );
-        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("university", "toronto").build(SubId(2)));
+        eng.insert(
+            SubscriptionBuilder::new(&mut i).term_eq("university", "toronto").build(SubId(2)),
+        );
 
-        let hit = EventBuilder::new(&mut i).term("university", "toronto").pair("experience", 5i64).build();
-        let partial = EventBuilder::new(&mut i).term("university", "toronto").pair("experience", 2i64).build();
+        let hit = EventBuilder::new(&mut i)
+            .term("university", "toronto")
+            .pair("experience", 5i64)
+            .build();
+        let partial = EventBuilder::new(&mut i)
+            .term("university", "toronto")
+            .pair("experience", 2i64)
+            .build();
         assert_eq!(collect_matches(&mut eng, &hit, &i), vec![SubId(1), SubId(2)]);
         assert_eq!(collect_matches(&mut eng, &partial, &i), vec![SubId(2)]);
     }
@@ -275,10 +278,7 @@ mod tests {
         let mut i = Interner::new();
         let mut eng = CountingEngine::new();
         eng.insert(
-            SubscriptionBuilder::new(&mut i)
-                .term_eq("a", "x")
-                .term_eq("a", "x")
-                .build(SubId(1)),
+            SubscriptionBuilder::new(&mut i).term_eq("a", "x").term_eq("a", "x").build(SubId(1)),
         );
         let e = EventBuilder::new(&mut i).term("a", "x").build();
         assert_eq!(collect_matches(&mut eng, &e, &i), vec![SubId(1)]);
@@ -337,9 +337,7 @@ mod tests {
         for round in 0..5 {
             for k in 0..20u64 {
                 eng.insert(
-                    SubscriptionBuilder::new(&mut i)
-                        .term_eq("k", &format!("v{k}"))
-                        .build(SubId(k)),
+                    SubscriptionBuilder::new(&mut i).term_eq("k", &format!("v{k}")).build(SubId(k)),
                 );
             }
             assert_eq!(eng.len(), 20, "round {round}");

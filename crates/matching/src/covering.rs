@@ -61,7 +61,11 @@ fn range_implies(p: &Predicate, q: &Predicate) -> bool {
         // x <(=) c implies x <(=) d …
         (Operator::Lt | Operator::Le, Operator::Lt) => {
             // need (-∞, c) ⊆ (-∞, d) resp. (-∞, c] ⊆ (-∞, d)
-            if strict_p { ord.is_le() } else { ord == Ordering::Less }
+            if strict_p {
+                ord.is_le()
+            } else {
+                ord == Ordering::Less
+            }
         }
         (Operator::Lt | Operator::Le, Operator::Le) => ord.is_le(),
         // … and x ≠ d for any d at or beyond the bound.
@@ -69,7 +73,11 @@ fn range_implies(p: &Predicate, q: &Predicate) -> bool {
         (Operator::Le, Operator::Ne) => ord == Ordering::Less,
         // Lower bounds mirror the upper bounds.
         (Operator::Gt | Operator::Ge, Operator::Gt) => {
-            if strict_p { ord.is_ge() } else { ord == Ordering::Greater }
+            if strict_p {
+                ord.is_ge()
+            } else {
+                ord == Ordering::Greater
+            }
         }
         (Operator::Gt | Operator::Ge, Operator::Ge) => ord.is_ge(),
         (Operator::Gt, Operator::Ne) => ord.is_ge(),

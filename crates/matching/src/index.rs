@@ -134,12 +134,7 @@ impl AttrIndex {
     /// Calls `emit` for every registered predicate satisfied by `value`.
     /// A predicate may be emitted at most once per probe; across multiple
     /// probes for the same event the caller deduplicates (epoch stamps).
-    pub(crate) fn probe(
-        &self,
-        value: &Value,
-        interner: &Interner,
-        emit: &mut dyn FnMut(PredIdx),
-    ) {
+    pub(crate) fn probe(&self, value: &Value, interner: &Interner, emit: &mut dyn FnMut(PredIdx)) {
         // Exists: every probe satisfies.
         for &idx in &self.exists {
             emit(idx);
@@ -167,9 +162,8 @@ impl AttrIndex {
         }
         // upper = {v < c | v <= c}, ascending by c. Everything with c > v is
         // satisfied by both operators; c == v only by Le.
-        let start = self
-            .upper
-            .partition_point(|e| e.threshold.range_cmp(value) == Some(Ordering::Less));
+        let start =
+            self.upper.partition_point(|e| e.threshold.range_cmp(value) == Some(Ordering::Less));
         for e in &self.upper[start..] {
             match e.threshold.range_cmp(value) {
                 Some(Ordering::Greater) => emit(e.idx),
@@ -179,9 +173,8 @@ impl AttrIndex {
         }
         // lower = {v > c | v >= c}, ascending by c. Everything with c < v is
         // satisfied by both operators; c == v only by Ge.
-        let end = self
-            .lower
-            .partition_point(|e| e.threshold.range_cmp(value) == Some(Ordering::Less));
+        let end =
+            self.lower.partition_point(|e| e.threshold.range_cmp(value) == Some(Ordering::Less));
         for e in &self.lower[..end] {
             emit(e.idx);
         }

@@ -32,8 +32,8 @@ pub mod naive;
 pub mod trie;
 
 pub use cluster::ClusterEngine;
-pub use covering::{cover_heads, covers, implies};
 pub use counting::CountingEngine;
+pub use covering::{cover_heads, covers, implies};
 pub use engine::{collect_matches, MatchingEngine};
 pub use naive::NaiveEngine;
 pub use trie::TrieEngine;

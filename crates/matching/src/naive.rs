@@ -78,9 +78,7 @@ mod tests {
         let mut i = Interner::new();
         let mut eng = NaiveEngine::new();
         let s1 = SubscriptionBuilder::new(&mut i).term_eq("city", "berlin").build(SubId(1));
-        let s2 = SubscriptionBuilder::new(&mut i)
-            .pred("temp", Operator::Gt, 20i64)
-            .build(SubId(2));
+        let s2 = SubscriptionBuilder::new(&mut i).pred("temp", Operator::Gt, 20i64).build(SubId(2));
         eng.insert(s1);
         eng.insert(s2);
         assert_eq!(eng.len(), 2);
@@ -111,7 +109,9 @@ mod tests {
         let mut i = Interner::new();
         let mut eng = NaiveEngine::new();
         for k in 0..5 {
-            eng.insert(SubscriptionBuilder::new(&mut i).term_eq("k", &format!("v{k}")).build(SubId(k)));
+            eng.insert(
+                SubscriptionBuilder::new(&mut i).term_eq("k", &format!("v{k}")).build(SubId(k)),
+            );
         }
         assert!(eng.remove(SubId(0)));
         assert!(eng.remove(SubId(4)));

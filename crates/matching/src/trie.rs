@@ -13,7 +13,9 @@
 
 use std::cmp::Ordering;
 
-use stopss_types::{Event, FxHashMap, Interner, Operator, Predicate, SubId, Subscription, Symbol, Value};
+use stopss_types::{
+    Event, FxHashMap, Interner, Operator, Predicate, SubId, Subscription, Symbol, Value,
+};
 
 use crate::engine::MatchingEngine;
 
@@ -22,10 +24,7 @@ type NodeId = u32;
 /// Canonical predicate order: attribute, then operator, then value (total
 /// index order). Determines which subscriptions share trie prefixes.
 fn canonical_cmp(a: &Predicate, b: &Predicate) -> Ordering {
-    a.attr
-        .cmp(&b.attr)
-        .then_with(|| a.op.cmp(&b.op))
-        .then_with(|| a.value.index_cmp(&b.value))
+    a.attr.cmp(&b.attr).then_with(|| a.op.cmp(&b.op)).then_with(|| a.value.index_cmp(&b.value))
 }
 
 #[derive(Default, Debug)]
@@ -197,9 +196,8 @@ impl MatchingEngine for TrieEngine {
         let mut node: NodeId = 0;
         self.nodes[0].weight -= 1;
         for pred in &preds {
-            let child = self
-                .child_for(node, pred)
-                .expect("by_id and trie structure must stay consistent");
+            let child =
+                self.child_for(node, pred).expect("by_id and trie structure must stay consistent");
             path.push((node, *pred));
             node = child;
             self.nodes[node as usize].weight -= 1;
@@ -294,16 +292,10 @@ mod tests {
         let mut i = Interner::new();
         let mut eng = TrieEngine::new();
         eng.insert(
-            SubscriptionBuilder::new(&mut i)
-                .term_eq("b", "2")
-                .term_eq("a", "1")
-                .build(SubId(1)),
+            SubscriptionBuilder::new(&mut i).term_eq("b", "2").term_eq("a", "1").build(SubId(1)),
         );
         eng.insert(
-            SubscriptionBuilder::new(&mut i)
-                .term_eq("a", "1")
-                .term_eq("b", "2")
-                .build(SubId(2)),
+            SubscriptionBuilder::new(&mut i).term_eq("a", "1").term_eq("b", "2").build(SubId(2)),
         );
         // Same canonical path → root + 2 nodes.
         assert_eq!(eng.node_count(), 3);
@@ -316,10 +308,7 @@ mod tests {
         let mut i = Interner::new();
         let mut eng = TrieEngine::new();
         eng.insert(
-            SubscriptionBuilder::new(&mut i)
-                .term_eq("a", "1")
-                .term_eq("b", "2")
-                .build(SubId(1)),
+            SubscriptionBuilder::new(&mut i).term_eq("a", "1").term_eq("b", "2").build(SubId(1)),
         );
         assert_eq!(eng.node_count(), 3);
         assert!(eng.remove(SubId(1)));
@@ -331,7 +320,9 @@ mod tests {
     fn remove_keeps_shared_prefix_for_survivors() {
         let mut i = Interner::new();
         let mut eng = TrieEngine::new();
-        eng.insert(SubscriptionBuilder::new(&mut i).term_eq("a", "1").term_eq("b", "2").build(SubId(1)));
+        eng.insert(
+            SubscriptionBuilder::new(&mut i).term_eq("a", "1").term_eq("b", "2").build(SubId(1)),
+        );
         eng.insert(SubscriptionBuilder::new(&mut i).term_eq("a", "1").build(SubId(2)));
         assert!(eng.remove(SubId(1)));
         let e = EventBuilder::new(&mut i).term("a", "1").term("b", "2").build();
@@ -366,10 +357,7 @@ mod tests {
         let mut i = Interner::new();
         let mut eng = TrieEngine::new();
         eng.insert(
-            SubscriptionBuilder::new(&mut i)
-                .term_eq("a", "x")
-                .term_eq("a", "x")
-                .build(SubId(1)),
+            SubscriptionBuilder::new(&mut i).term_eq("a", "x").term_eq("a", "x").build(SubId(1)),
         );
         assert_eq!(eng.node_count(), 2);
         let e = EventBuilder::new(&mut i).term("a", "x").build();

@@ -6,9 +6,7 @@
 use proptest::prelude::*;
 
 use stopss_matching::{collect_matches, EngineKind};
-use stopss_types::{
-    Event, Interner, Operator, Predicate, SubId, Subscription, Symbol, Value,
-};
+use stopss_types::{Event, Interner, Operator, Predicate, SubId, Subscription, Symbol, Value};
 
 /// Fixed, small vocabularies keep collision probability high enough that
 /// matches actually happen.

@@ -165,10 +165,7 @@ fn local_name(tag: &str) -> &str {
 }
 
 fn attr<'a>(attrs: &'a [(String, String)], wanted: &str) -> Option<&'a str> {
-    attrs
-        .iter()
-        .find(|(k, _)| local_name(k) == wanted || k == wanted)
-        .map(|(_, v)| v.as_str())
+    attrs.iter().find(|(k, _)| local_name(k) == wanted || k == wanted).map(|(_, v)| v.as_str())
 }
 
 /// Strips the fragment marker of `rdf:resource="#concept"` / about refs.
@@ -222,11 +219,9 @@ pub fn import_damloil(
                         }
                     }
                     "class" => {
-                        let id = attr(&attrs, "ID")
-                            .or_else(|| attr(&attrs, "about"))
-                            .ok_or_else(|| {
-                                ParseError::new(reader.line, "daml:Class without rdf:ID/rdf:about")
-                            })?;
+                        let id = attr(&attrs, "ID").or_else(|| attr(&attrs, "about")).ok_or_else(
+                            || ParseError::new(reader.line, "daml:Class without rdf:ID/rdf:about"),
+                        )?;
                         let sym = interner.intern(resource_name(id));
                         ontology.taxonomy.add_concept(sym);
                         report.classes += 1;
@@ -285,13 +280,11 @@ pub fn import_damloil(
                     expecting_label = false;
                 }
             }
-            XmlEvent::Close { name } => {
-                match local_name(&name).to_ascii_lowercase().as_str() {
-                    "class" => current_class = None,
-                    "label" => expecting_label = false,
-                    _ => {}
-                }
-            }
+            XmlEvent::Close { name } => match local_name(&name).to_ascii_lowercase().as_str() {
+                "class" => current_class = None,
+                "label" => expecting_label = false,
+                _ => {}
+            },
         }
     }
     Ok((ontology, report))

@@ -115,9 +115,8 @@ impl SemanticSource for Ontology {
         now_year: i64,
         sink: &mut NamedMappingSink<'_>,
     ) {
-        self.mappings.apply_all(event, interner, now_year, &mut |_, func, pairs| {
-            sink(&func.name, pairs)
-        });
+        self.mappings
+            .apply_all(event, interner, now_year, &mut |_, func, pairs| sink(&func.name, pairs));
     }
 }
 
@@ -239,9 +238,8 @@ impl SemanticSource for DomainRegistry {
         for domain in &self.domains {
             domain.apply_mappings(event, interner, now_year, sink);
         }
-        self.bridges.apply_all(event, interner, now_year, &mut |_, func, pairs| {
-            sink(&func.name, pairs)
-        });
+        self.bridges
+            .apply_all(event, interner, now_year, &mut |_, func, pairs| sink(&func.name, pairs));
     }
 }
 

@@ -211,7 +211,10 @@ impl<'a> Cursor<'a> {
         if self.at_end() {
             Ok(())
         } else {
-            Err(ParseError::new(self.line, format!("trailing tokens: {:?}", &self.toks[self.pos..])))
+            Err(ParseError::new(
+                self.line,
+                format!("trailing tokens: {:?}", &self.toks[self.pos..]),
+            ))
         }
     }
 }
@@ -227,7 +230,9 @@ fn parse_guard_op(tok: &Tok, line: usize) -> Result<Operator, ParseError> {
         Tok::Ident(s) if s == "prefix" => Ok(Operator::Prefix),
         Tok::Ident(s) if s == "suffix" => Ok(Operator::Suffix),
         Tok::Ident(s) if s == "contains" => Ok(Operator::Contains),
-        other => Err(ParseError::new(line, format!("expected comparison operator, found {other:?}"))),
+        other => {
+            Err(ParseError::new(line, format!("expected comparison operator, found {other:?}")))
+        }
     }
 }
 
@@ -244,7 +249,10 @@ fn parse_const(cur: &mut Cursor<'_>, interner: &mut Interner) -> Result<Value, P
         Some(Tok::Punct("-")) => match cur.next() {
             Some(Tok::Int(v)) => Ok(Value::Int(-v)),
             Some(Tok::Float(v)) => Ok(Value::Float(-v)),
-            other => Err(ParseError::new(cur.line, format!("expected number after '-', found {other:?}"))),
+            other => Err(ParseError::new(
+                cur.line,
+                format!("expected number after '-', found {other:?}"),
+            )),
         },
         other => Err(ParseError::new(cur.line, format!("expected a constant, found {other:?}"))),
     }
@@ -307,7 +315,9 @@ fn parse_factor(cur: &mut Cursor<'_>, interner: &mut Interner) -> Result<Expr, P
             }
             _ => Ok(Expr::Attr(interner.intern(&name))),
         },
-        other => Err(ParseError::new(cur.line, format!("unexpected token in expression: {other:?}"))),
+        other => {
+            Err(ParseError::new(cur.line, format!("unexpected token in expression: {other:?}")))
+        }
     }
 }
 
@@ -335,7 +345,12 @@ pub fn parse_ontology(text: &str, interner: &mut Interner) -> Result<Ontology, P
         let mut cur = Cursor::new(&toks, line_no);
         let head = match cur.next() {
             Some(Tok::Ident(s)) => s,
-            other => return Err(ParseError::new(line_no, format!("expected directive, found {other:?}"))),
+            other => {
+                return Err(ParseError::new(
+                    line_no,
+                    format!("expected directive, found {other:?}"),
+                ))
+            }
         };
 
         if let Some(current) = block.as_mut() {
@@ -419,7 +434,10 @@ pub fn parse_ontology(text: &str, interner: &mut Interner) -> Result<Ontology, P
                         }
                         None => break,
                         other => {
-                            return Err(ParseError::new(line_no, format!("expected ',', found {other:?}")))
+                            return Err(ParseError::new(
+                                line_no,
+                                format!("expected ',', found {other:?}"),
+                            ))
                         }
                     }
                 }
@@ -445,7 +463,10 @@ pub fn parse_ontology(text: &str, interner: &mut Interner) -> Result<Ontology, P
                         }
                         None => break,
                         other => {
-                            return Err(ParseError::new(line_no, format!("expected '->', found {other:?}")))
+                            return Err(ParseError::new(
+                                line_no,
+                                format!("expected '->', found {other:?}"),
+                            ))
                         }
                     }
                 }
@@ -454,7 +475,12 @@ pub fn parse_ontology(text: &str, interner: &mut Interner) -> Result<Ontology, P
                 let name = cur.term()?;
                 cur.expect_punct(":")?;
                 cur.expect_end()?;
-                block = Some(MapBlock { name, start_line: line_no, pattern: Vec::new(), produce: Vec::new() });
+                block = Some(MapBlock {
+                    name,
+                    start_line: line_no,
+                    pattern: Vec::new(),
+                    produce: Vec::new(),
+                });
             }
             "end" => return Err(ParseError::new(line_no, "'end' outside of a map block")),
             other => return Err(ParseError::new(line_no, format!("unknown directive '{other}'"))),
@@ -537,7 +563,8 @@ pub fn write_ontology(ontology: &Ontology, interner: &Interner) -> String {
             }
         }
         for prod in &func.produce {
-            writeln!(out, "    emit {} = {}", name(prod.attr), prod.expr.display(interner)).unwrap();
+            writeln!(out, "    emit {} = {}", name(prod.attr), prod.expr.display(interner))
+                .unwrap();
         }
         writeln!(out, "end").unwrap();
     }

@@ -51,9 +51,10 @@ pub struct Env<'a> {
     pub lookup: &'a dyn Fn(Symbol) -> Option<Value>,
 }
 
-#[allow(clippy::should_implement_trait)] // constructors named after the .sto
-// surface operators; `Expr` values are AST nodes, not numbers, so the std
-// operator traits would mislead more than help.
+// Constructors named after the .sto surface operators; `Expr` values are
+// AST nodes, not numbers, so the std operator traits would mislead more
+// than help.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Convenience constructors keep deeply nested expressions readable.
     pub fn add(a: Expr, b: Expr) -> Expr {
@@ -190,7 +191,10 @@ impl fmt::Display for ExprDisplay<'_> {
                         && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
                         && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
                         && !name.contains("->")
-                        && !matches!(name, "now" | "true" | "false" | "min" | "max" | "exists" | "term");
+                        && !matches!(
+                            name,
+                            "now" | "true" | "false" | "min" | "max" | "exists" | "term"
+                        );
                     if plain {
                         write!(f, "{name}")
                     } else {
@@ -279,7 +283,11 @@ mod tests {
         let by_zero = Expr::div(Expr::Const(Value::Int(7)), Expr::Const(Value::Int(0)));
         assert_eq!(eval_with(&by_zero, &FxHashMap::default(), 0), None);
         let f_by_zero = Expr::div(Expr::Const(Value::Float(1.0)), Expr::Const(Value::Float(0.0)));
-        assert_eq!(eval_with(&f_by_zero, &FxHashMap::default(), 0), None, "infinite results are rejected");
+        assert_eq!(
+            eval_with(&f_by_zero, &FxHashMap::default(), 0),
+            None,
+            "infinite results are rejected"
+        );
     }
 
     #[test]

@@ -71,7 +71,11 @@ impl MappingFunction {
     /// Builds a function. Patterns should be non-empty; a pattern-less
     /// function would fire on every event, which the registry cannot index
     /// (and the paper's functions are always triggered by attributes).
-    pub fn new(name: impl Into<String>, pattern: Vec<PatternItem>, produce: Vec<Production>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        pattern: Vec<PatternItem>,
+        produce: Vec<Production>,
+    ) -> Self {
         MappingFunction { name: name.into(), pattern, produce }
     }
 
@@ -259,8 +263,14 @@ mod tests {
         let f = MappingFunction::new(
             "era_from_year",
             vec![
-                PatternItem { attr: year, guard: Some(Guard { op: Operator::Ge, value: Value::Int(1960) }) },
-                PatternItem { attr: year, guard: Some(Guard { op: Operator::Le, value: Value::Int(1980) }) },
+                PatternItem {
+                    attr: year,
+                    guard: Some(Guard { op: Operator::Ge, value: Value::Int(1960) }),
+                },
+                PatternItem {
+                    attr: year,
+                    guard: Some(Guard { op: Operator::Le, value: Value::Int(1980) }),
+                },
             ],
             vec![Production { attr: era, expr: Expr::Const(Value::Sym(mainframe)) }],
         );
@@ -277,7 +287,10 @@ mod tests {
         let y = i.intern("y");
         let f = MappingFunction::new(
             "pick",
-            vec![PatternItem { attr: x, guard: Some(Guard { op: Operator::Gt, value: Value::Int(5) }) }],
+            vec![PatternItem {
+                attr: x,
+                guard: Some(Guard { op: Operator::Gt, value: Value::Int(5) }),
+            }],
             vec![Production { attr: y, expr: Expr::Attr(x) }],
         );
         let e = Event::new().with(x, Value::Int(1)).with(x, Value::Int(7)).with(x, Value::Int(9));
@@ -292,7 +305,10 @@ mod tests {
         let f = MappingFunction::new(
             "div",
             vec![PatternItem { attr: x, guard: None }],
-            vec![Production { attr: out, expr: Expr::div(Expr::Const(Value::Int(1)), Expr::Attr(x)) }],
+            vec![Production {
+                attr: out,
+                expr: Expr::div(Expr::Const(Value::Int(1)), Expr::Attr(x)),
+            }],
         );
         let zero = Event::new().with(x, Value::Int(0));
         assert!(f.try_apply(&zero, &i, 0).is_none());
@@ -361,7 +377,10 @@ mod tests {
             reg.register(MappingFunction::new(
                 format!("f{k}"),
                 vec![PatternItem { attr: x, guard: None }],
-                vec![Production { attr: out, expr: Expr::mul(Expr::Attr(x), Expr::Const(Value::Int(k))) }],
+                vec![Production {
+                    attr: out,
+                    expr: Expr::mul(Expr::Attr(x), Expr::Const(Value::Int(k))),
+                }],
             ))
             .unwrap();
         }

@@ -161,10 +161,11 @@ mod tests {
         let mut i = Interner::new();
         let s = syms(&mut i, &["job", "position", "role", "occupation"]);
         let mut table = SynonymTable::new();
-        // position heads a group first...
-        table.add_synonym(s[1], s[2], &i).unwrap(); // role -> position
-        // ...then becomes an alias of job: the whole group must follow.
-        table.add_synonym(s[0], s[1], &i).unwrap(); // position -> job
+        // position heads a group first (role -> position)...
+        table.add_synonym(s[1], s[2], &i).unwrap();
+        // ...then becomes an alias of job (position -> job): the whole
+        // group must follow.
+        table.add_synonym(s[0], s[1], &i).unwrap();
         assert_eq!(table.resolve(s[1]), s[0]);
         assert_eq!(table.resolve(s[2]), s[0]);
         table.add_synonym(s[0], s[3], &i).unwrap();

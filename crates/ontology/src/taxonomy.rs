@@ -190,7 +190,9 @@ impl Taxonomy {
                         acc.entry(p).and_modify(|d| *d = (*d).min(1)).or_insert(1);
                         let parent_row = rows[p.idx()].as_ref().expect("post-order");
                         for &(anc, d) in parent_row.iter() {
-                            acc.entry(anc).and_modify(|cur| *cur = (*cur).min(d + 1)).or_insert(d + 1);
+                            acc.entry(anc)
+                                .and_modify(|cur| *cur = (*cur).min(d + 1))
+                                .or_insert(d + 1);
                         }
                     }
                     let mut row: Vec<(ConceptId, u32)> = acc.into_iter().collect();
@@ -275,11 +277,9 @@ impl Taxonomy {
     /// Direct parents of `sym`.
     pub fn parents(&self, sym: Symbol) -> Vec<Symbol> {
         match self.ids.get(&sym) {
-            Some(&id) => self.concepts[id.idx()]
-                .parents
-                .iter()
-                .map(|p| self.concepts[p.idx()].sym)
-                .collect(),
+            Some(&id) => {
+                self.concepts[id.idx()].parents.iter().map(|p| self.concepts[p.idx()].sym).collect()
+            }
             None => Vec::new(),
         }
     }
@@ -308,9 +308,9 @@ impl Taxonomy {
 
     /// Iterates all is-a edges as `(child, parent)`.
     pub fn iter_edges(&self) -> impl Iterator<Item = (Symbol, Symbol)> + '_ {
-        self.concepts.iter().flat_map(move |c| {
-            c.parents.iter().map(move |p| (c.sym, self.concepts[p.idx()].sym))
-        })
+        self.concepts
+            .iter()
+            .flat_map(move |c| c.parents.iter().map(move |p| (c.sym, self.concepts[p.idx()].sym)))
     }
 
     /// Number of is-a edges.

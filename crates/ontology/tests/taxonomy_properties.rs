@@ -28,10 +28,7 @@ fn arb_edges() -> impl Strategy<Value = Vec<(usize, usize)>> {
 }
 
 /// Reference: BFS over parent edges computing minimum distances.
-fn bfs_ancestors(
-    edges: &[(usize, usize)],
-    from: usize,
-) -> FxHashMap<usize, u32> {
+fn bfs_ancestors(edges: &[(usize, usize)], from: usize) -> FxHashMap<usize, u32> {
     let mut parents: Vec<Vec<usize>> = vec![Vec::new(); N];
     for &(c, p) in edges {
         if !parents[c].contains(&p) {

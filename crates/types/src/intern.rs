@@ -109,10 +109,7 @@ impl Interner {
 
     /// Iterates over `(symbol, string)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
-        self.strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (Symbol::from_index(i), &**s))
+        self.strings.iter().enumerate().map(|(i, s)| (Symbol::from_index(i), &**s))
     }
 }
 
@@ -133,9 +130,7 @@ impl SharedInterner {
 
     /// Wraps an existing interner.
     pub fn from_interner(interner: Interner) -> Self {
-        SharedInterner {
-            inner: Arc::new(RwLock::new(interner)),
-        }
+        SharedInterner { inner: Arc::new(RwLock::new(interner)) }
     }
 
     /// Interns a string (write lock).
@@ -251,7 +246,9 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let s = shared.clone();
-                std::thread::spawn(move || (0..100).map(|k| s.intern(&format!("w{k}"))).collect::<Vec<_>>())
+                std::thread::spawn(move || {
+                    (0..100).map(|k| s.intern(&format!("w{k}"))).collect::<Vec<_>>()
+                })
             })
             .collect();
         let results: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();

@@ -28,6 +28,7 @@ pub mod event;
 pub mod hash;
 pub mod intern;
 pub mod predicate;
+pub mod rng;
 pub mod subscription;
 pub mod value;
 

@@ -124,12 +124,16 @@ impl Predicate {
             Operator::Eq => candidate == &self.value,
             Operator::Ne => candidate != &self.value,
             Operator::Exists => true,
-            Operator::Lt => matches!(candidate.range_cmp(&self.value), Some(std::cmp::Ordering::Less)),
+            Operator::Lt => {
+                matches!(candidate.range_cmp(&self.value), Some(std::cmp::Ordering::Less))
+            }
             Operator::Le => matches!(
                 candidate.range_cmp(&self.value),
                 Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
             ),
-            Operator::Gt => matches!(candidate.range_cmp(&self.value), Some(std::cmp::Ordering::Greater)),
+            Operator::Gt => {
+                matches!(candidate.range_cmp(&self.value), Some(std::cmp::Ordering::Greater))
+            }
             Operator::Ge => matches!(
                 candidate.range_cmp(&self.value),
                 Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
@@ -138,7 +142,9 @@ impl Predicate {
                 let (Value::Sym(have), Value::Sym(want)) = (candidate, &self.value) else {
                     return false;
                 };
-                let (Some(have), Some(want)) = (interner.try_resolve(*have), interner.try_resolve(*want)) else {
+                let (Some(have), Some(want)) =
+                    (interner.try_resolve(*have), interner.try_resolve(*want))
+                else {
                     return false;
                 };
                 match self.op {
@@ -164,10 +170,7 @@ struct PredicateDisplay<'a> {
 
 impl fmt::Display for PredicateDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let attr = self
-            .interner
-            .try_resolve(self.pred.attr)
-            .unwrap_or("<foreign-attr>");
+        let attr = self.interner.try_resolve(self.pred.attr).unwrap_or("<foreign-attr>");
         if self.pred.op == Operator::Exists {
             write!(f, "{attr} exists")
         } else {
@@ -241,10 +244,15 @@ mod tests {
         let developer = i.intern("developer");
         let frame = i.intern("frame");
 
-        assert!(Predicate::new(attr, Operator::Prefix, Value::Sym(mainframe)).eval(&Value::Sym(dev), &i));
-        assert!(Predicate::new(attr, Operator::Suffix, Value::Sym(developer)).eval(&Value::Sym(dev), &i));
-        assert!(Predicate::new(attr, Operator::Contains, Value::Sym(frame)).eval(&Value::Sym(dev), &i));
-        assert!(!Predicate::new(attr, Operator::Prefix, Value::Sym(developer)).eval(&Value::Sym(dev), &i));
+        assert!(Predicate::new(attr, Operator::Prefix, Value::Sym(mainframe))
+            .eval(&Value::Sym(dev), &i));
+        assert!(Predicate::new(attr, Operator::Suffix, Value::Sym(developer))
+            .eval(&Value::Sym(dev), &i));
+        assert!(
+            Predicate::new(attr, Operator::Contains, Value::Sym(frame)).eval(&Value::Sym(dev), &i)
+        );
+        assert!(!Predicate::new(attr, Operator::Prefix, Value::Sym(developer))
+            .eval(&Value::Sym(dev), &i));
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Deterministic pseudo-random numbers, shared by every layer.
+//!
+//! Experiments must be reproducible bit-for-bit across machines and crate
+//! upgrades, so the generator is implemented here rather than taken from a
+//! crate whose stream might change between versions: PCG-XSH-RR 64/32
+//! (O'Neill 2014) seeded through SplitMix64. Not cryptographic; not meant
+//! to be.
+//!
+//! This is the single RNG implementation in the workspace: the workload
+//! generators re-export it as `stopss_workload::rng`, and the broker's
+//! simulated transports (seeded UDP loss) draw from it directly — there
+//! is exactly one stream definition under test.
+
+/// SplitMix64 — used to expand one `u64` seed into stream-independent
+/// initial states.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// PCG-XSH-RR 64/32: 64-bit state, 32-bit output, excellent statistical
+/// quality for its size and trivially seedable.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Rng {
+    /// Creates a deterministic generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let init_state = sm.next_u64();
+        let init_inc = sm.next_u64() | 1; // increment must be odd
+        let mut rng = Rng { state: 0, inc: init_inc };
+        rng.state = init_state.wrapping_add(init_inc);
+        rng.next_u32();
+        rng
+    }
+
+    /// Derives an independent stream (for per-client generators).
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        Rng::new(self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, n)`. `n` must be nonzero.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        // Lemire's multiply-shift; the slight modulo bias of the naive
+        // approach would be harmless here, but this is just as cheap.
+        ((self.next_u32() as u64 * n as u64) >> 32) as usize
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniformly picks an element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for k in (1..items.len()).rev() {
+            items.swap(k, self.index(k + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn golden_values_pin_the_stream() {
+        // Regression pin against hard-coded literals: if these change,
+        // every experiment's workload (and the broker's seeded UDP loss
+        // pattern) silently changes too.
+        let mut rng = Rng::new(2003);
+        let got: Vec<u32> = (0..4).map(|_| rng.next_u32()).collect();
+        assert_eq!(got, [300040452, 1343330199, 2050292906, 2342400987]);
+        let mut rng = Rng::new(42);
+        let got64: Vec<u64> = (0..2).map(|_| rng.next_u64()).collect();
+        assert_eq!(got64, [18426880419652318212, 15651267610458985608]);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn index_is_in_bounds_and_covers() {
+        let mut rng = Rng::new(11);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.index(10)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all buckets hit in 1000 draws");
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = Rng::new(3);
+        for _ in 0..1_000 {
+            let v = rng.range_i64(-5, 5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut rng = Rng::new(99);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = Rng::new(5);
+        let mut v: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "20 elements almost surely move");
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut root = Rng::new(1);
+        let mut s1 = root.fork(1);
+        let mut s2 = root.fork(2);
+        let same = (0..64).filter(|_| s1.next_u64() == s2.next_u64()).count();
+        assert!(same < 2);
+    }
+}

@@ -70,8 +70,9 @@ pub fn generate_jobfinder(domain: &JobFinderDomain, config: &WorkloadConfig) -> 
     let subscriptions = (0..config.subscriptions)
         .map(|k| generate_subscription(domain, config, &mut sub_rng, SubId(k as u64)))
         .collect();
-    let publications =
-        (0..config.publications).map(|_| generate_publication(domain, config, &mut pub_rng)).collect();
+    let publications = (0..config.publications)
+        .map(|_| generate_publication(domain, config, &mut pub_rng))
+        .collect();
     Workload { subscriptions, publications }
 }
 
@@ -97,7 +98,10 @@ fn generate_subscription(
     let mut preds = Vec::with_capacity(n_preds);
     for template in templates.into_iter().take(n_preds) {
         let pred = match template {
-            0 => Predicate::eq(domain.attr_university, zipf_pick(rng, &zipf_uni, &domain.universities)),
+            0 => Predicate::eq(
+                domain.attr_university,
+                zipf_pick(rng, &zipf_uni, &domain.universities),
+            ),
             1 => {
                 let pool = if rng.chance(config.general_term_bias) {
                     &domain.degree_generals
@@ -122,7 +126,8 @@ fn generate_subscription(
             4 => {
                 // Half the salary constraints are written against the
                 // generalized attribute `compensation`.
-                let attr = if rng.chance(0.5) { domain.attr_compensation } else { domain.attr_salary };
+                let attr =
+                    if rng.chance(0.5) { domain.attr_compensation } else { domain.attr_salary };
                 Predicate::new(attr, Operator::Ge, Value::Int(rng.range_i64(3, 16) * 10_000))
             }
             5 => {

@@ -8,7 +8,9 @@
 use std::sync::Arc;
 
 use stopss_ontology::Ontology;
-use stopss_types::{Event, Interner, Operator, Predicate, SharedInterner, SubId, Subscription, Value};
+use stopss_types::{
+    Event, Interner, Operator, Predicate, SharedInterner, SubId, Subscription, Value,
+};
 
 use crate::generator::{generate_jobfinder, WorkloadConfig};
 use crate::jobfinder::JobFinderDomain;
@@ -157,9 +159,9 @@ fn synthetic_publication(
 /// A subscription matching events whose chain-end attribute exists — used
 /// to measure mapping-chain depth effects.
 pub fn chain_subscription(domain: &SyntheticDomain, id: SubId) -> Option<Subscription> {
-    domain
-        .chain_end
-        .map(|end| Subscription::new(id, vec![Predicate::new(end, Operator::Exists, Value::Bool(true))]))
+    domain.chain_end.map(|end| {
+        Subscription::new(id, vec![Predicate::new(end, Operator::Exists, Value::Bool(true))])
+    })
 }
 
 #[cfg(test)]
@@ -237,11 +239,8 @@ mod tests {
         let sub = chain_subscription(&domain, SubId(1)).unwrap();
         let start = domain.chain_start.unwrap();
         let source = Arc::new(domain.ontology.clone());
-        let mut matcher = SToPSS::new(
-            Config::default(),
-            source,
-            SharedInterner::from_interner(interner),
-        );
+        let mut matcher =
+            SToPSS::new(Config::default(), source, SharedInterner::from_interner(interner));
         matcher.subscribe(sub);
         let event = Event::new().with(start, Value::Int(5));
         let matches = matcher.publish(&event);

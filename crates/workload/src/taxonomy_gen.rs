@@ -100,8 +100,7 @@ pub fn build_synthetic(interner: &mut Interner, config: &SyntheticConfig) -> Syn
             let mut level = Vec::with_capacity(parent_level.len() * config.fanout);
             for (p_idx, parent) in parent_level.iter().enumerate() {
                 for c in 0..config.fanout {
-                    let child =
-                        interner.intern(&format!("v{a}_{d}_{}", p_idx * config.fanout + c));
+                    let child = interner.intern(&format!("v{a}_{d}_{}", p_idx * config.fanout + c));
                     ontology.taxonomy.add_isa(child, *parent, interner).unwrap();
                     level.push(child);
                 }
@@ -182,8 +181,13 @@ mod tests {
     #[test]
     fn aliases_resolve_into_the_taxonomy() {
         let mut i = Interner::new();
-        let config =
-            SyntheticConfig { attrs: 2, depth: 2, fanout: 3, synonyms_per_concept: 1.0, ..Default::default() };
+        let config = SyntheticConfig {
+            attrs: 2,
+            depth: 2,
+            fanout: 3,
+            synonyms_per_concept: 1.0,
+            ..Default::default()
+        };
         let d = build_synthetic(&mut i, &config);
         assert!(!d.aliases.is_empty());
         for alias in &d.aliases {

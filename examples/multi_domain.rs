@@ -79,9 +79,8 @@ isa luxury_sedan -> sedan
         .pred("vehicle budget", Operator::Ge, 40_000i64)
         .build(SubId(2));
     // A vehicle-domain subscriber using a general term.
-    let fleet_buyer = SubscriptionBuilder::new(&mut interner)
-        .term_eq("listing", "vehicle")
-        .build(SubId(3));
+    let fleet_buyer =
+        SubscriptionBuilder::new(&mut interner).term_eq("listing", "vehicle").build(SubId(3));
 
     // Publications: one resume, one car listing.
     let resume = EventBuilder::new(&mut interner)
@@ -94,11 +93,8 @@ isa luxury_sedan -> sedan
     let resume_text = format!("{}", resume.display(&interner));
     let listing_text = format!("{}", listing.display(&interner));
 
-    let mut matcher = SToPSS::new(
-        Config::default(),
-        Arc::new(registry),
-        SharedInterner::from_interner(interner),
-    );
+    let mut matcher =
+        SToPSS::new(Config::default(), Arc::new(registry), SharedInterner::from_interner(interner));
     matcher.subscribe(recruiter);
     matcher.subscribe(dealer);
     matcher.subscribe(fleet_buyer);

@@ -73,10 +73,8 @@ end
     // The information-loss knob: a subscriber who opts out of the mapping
     // stage never sees this match (the experience attribute only exists
     // after the mapping function runs).
-    let strict = Tolerance {
-        stages: StageMask::SYNONYM.with(StageMask::HIERARCHY),
-        max_distance: None,
-    };
+    let strict =
+        Tolerance { stages: StageMask::SYNONYM.with(StageMask::HIERARCHY), max_distance: None };
     let strict_sub = matcher.subscription(SubId(1)).unwrap().with_id(SubId(2));
     matcher.subscribe_with_tolerance(strict_sub, strict);
     let matches = matcher.publish(&resume);

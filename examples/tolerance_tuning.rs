@@ -22,14 +22,19 @@ fn main() {
 
     // The recruiter wants anyone with a *programming* skill — a general
     // term sitting two levels above the leaves (java, rust, cobol, …).
-    let programming_sub = SubscriptionBuilder::new(&mut interner)
-        .term_eq("skill", "programming")
-        .build(SubId(1));
+    let programming_sub =
+        SubscriptionBuilder::new(&mut interner).term_eq("skill", "programming").build(SubId(1));
 
     // Candidates with skills at different depths below "programming".
     let candidates = vec![
-        ("direct: programming", EventBuilder::new(&mut interner).term("skill", "programming").build()),
-        ("1 level: jvm_programming", EventBuilder::new(&mut interner).term("skill", "jvm_programming").build()),
+        (
+            "direct: programming",
+            EventBuilder::new(&mut interner).term("skill", "programming").build(),
+        ),
+        (
+            "1 level: jvm_programming",
+            EventBuilder::new(&mut interner).term("skill", "jvm_programming").build(),
+        ),
         ("2 levels: java", EventBuilder::new(&mut interner).term("skill", "java").build()),
         ("2 levels: cobol", EventBuilder::new(&mut interner).term("skill", "cobol").build()),
         ("other: sql", EventBuilder::new(&mut interner).term("skill", "sql").build()),

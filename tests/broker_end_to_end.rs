@@ -50,9 +50,10 @@ fn generated_workload_flows_end_to_end() {
     assert_eq!(server.broker().subscription_count(), 150);
 
     // Publish through encoded frames, as the web front-end would.
-    let publisher = match server
-        .handle(ClientMessage::Register { name: "candidates".into(), transport: TransportKind::Tcp })
-    {
+    let publisher = match server.handle(ClientMessage::Register {
+        name: "candidates".into(),
+        transport: TransportKind::Tcp,
+    }) {
         ServerMessage::Registered { client } => client,
         other => panic!("unexpected: {other:?}"),
     };
@@ -62,10 +63,7 @@ fn generated_workload_flows_end_to_end() {
             .pairs()
             .iter()
             .map(|(attr, value)| {
-                (
-                    interner.resolve(*attr).to_owned(),
-                    WireValue::from_value(value, &interner),
-                )
+                (interner.resolve(*attr).to_owned(), WireValue::from_value(value, &interner))
             })
             .collect();
         let mut buf = bytes::BytesMut::new();
@@ -143,10 +141,7 @@ fn semantic_mode_dominates_syntactic_mode() {
     let semantic = run(true);
     let syntactic = run(false);
     let semantic_again = run(true);
-    assert!(
-        semantic > syntactic,
-        "semantic ({semantic}) must exceed syntactic ({syntactic})"
-    );
+    assert!(semantic > syntactic, "semantic ({semantic}) must exceed syntactic ({syntactic})");
     assert_eq!(semantic, semantic_again, "mode switching is lossless and repeatable");
     server.shutdown();
 }
@@ -169,9 +164,7 @@ fn broker_tolerances_differentiate_subscribers() {
     let strict = broker.register_client("strict", TransportKind::Tcp);
     let preds = vec![Predicate::eq(skill, programming)];
     broker.subscribe(eager, preds.clone()).unwrap();
-    broker
-        .subscribe_with_tolerance(strict, preds, Some(Tolerance::bounded(1)))
-        .unwrap();
+    broker.subscribe_with_tolerance(strict, preds, Some(Tolerance::bounded(1))).unwrap();
 
     // rust is two levels below programming: only the eager client matches.
     let event = Event::new().with(skill, Value::Sym(rust_term));

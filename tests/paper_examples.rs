@@ -34,11 +34,8 @@ fn section_1_job_finder_example() {
 
     assert!(!sub.matches(&event, &interner), "no current pub/sub system matches this");
 
-    let mut matcher = SToPSS::new(
-        Config::default(),
-        Arc::new(ontology),
-        SharedInterner::from_interner(interner),
-    );
+    let mut matcher =
+        SToPSS::new(Config::default(), Arc::new(ontology), SharedInterner::from_interner(interner));
     matcher.subscribe(sub);
     let matches = matcher.publish(&event);
     assert_eq!(matches.len(), 1, "S-ToPSS must match the paper's flagship example");
@@ -63,16 +60,12 @@ fn section_1_car_vehicle_automobile() {
     let sub = SubscriptionBuilder::new(&mut interner).term_eq("item", "car").build(SubId(1));
     let sub_general =
         SubscriptionBuilder::new(&mut interner).term_eq("item", "vehicle").build(SubId(2));
-    let automobile_event =
-        EventBuilder::new(&mut interner).term("item", "automobile").build();
+    let automobile_event = EventBuilder::new(&mut interner).term("item", "automobile").build();
     let vehicle_event = EventBuilder::new(&mut interner).term("item", "vehicle").build();
     let car_event = EventBuilder::new(&mut interner).term("item", "car").build();
 
-    let mut matcher = SToPSS::new(
-        Config::default(),
-        Arc::new(ontology),
-        SharedInterner::from_interner(interner),
-    );
+    let mut matcher =
+        SToPSS::new(Config::default(), Arc::new(ontology), SharedInterner::from_interner(interner));
     matcher.subscribe(sub);
     matcher.subscribe(sub_general);
 
@@ -91,7 +84,9 @@ fn section_1_car_vehicle_automobile() {
 
     let matches = matcher.publish(&car_event);
     assert!(
-        matches.iter().any(|m| m.sub == SubId(2) && matches!(m.origin, MatchOrigin::Hierarchy { distance: 1 })),
+        matches.iter().any(
+            |m| m.sub == SubId(2) && matches!(m.origin, MatchOrigin::Hierarchy { distance: 1 })
+        ),
         "rule R1: a 'car' event matches the general 'vehicle' interest: {matches:?}"
     );
 }
@@ -114,11 +109,8 @@ fn section_1_mainframe_developer_inference() {
         .pair("first programming year", 1999i64)
         .build();
 
-    let mut matcher = SToPSS::new(
-        Config::default(),
-        Arc::new(ontology),
-        SharedInterner::from_interner(interner),
-    );
+    let mut matcher =
+        SToPSS::new(Config::default(), Arc::new(ontology), SharedInterner::from_interner(interner));
     matcher.subscribe(sub);
 
     let matches = matcher.publish(&cobol_resume);
@@ -145,11 +137,8 @@ fn section_3_1_synonym_stage() {
         .pair("professional experience", 5i64)
         .build();
 
-    let mut matcher = SToPSS::new(
-        Config::default(),
-        Arc::new(ontology),
-        SharedInterner::from_interner(interner),
-    );
+    let mut matcher =
+        SToPSS::new(Config::default(), Arc::new(ontology), SharedInterner::from_interner(interner));
     matcher.subscribe(sub);
     let matches = matcher.publish(&event);
     assert_eq!(matches.len(), 1);
@@ -194,17 +183,13 @@ fn section_3_1_mapping_stage() {
 #[test]
 fn section_3_2_bounded_generality() {
     let (mut interner, ontology) = jobs_world();
-    let jvm_sub = SubscriptionBuilder::new(&mut interner)
-        .term_eq("skill", "jvm_programming")
-        .build(SubId(1));
+    let jvm_sub =
+        SubscriptionBuilder::new(&mut interner).term_eq("skill", "jvm_programming").build(SubId(1));
     let top_sub = SubscriptionBuilder::new(&mut interner).term_eq("skill", "skill").build(SubId(2));
     let java_resume = EventBuilder::new(&mut interner).term("skill", "java").build();
 
-    let mut matcher = SToPSS::new(
-        Config::default(),
-        Arc::new(ontology),
-        SharedInterner::from_interner(interner),
-    );
+    let mut matcher =
+        SToPSS::new(Config::default(), Arc::new(ontology), SharedInterner::from_interner(interner));
     matcher.subscribe_with_tolerance(jvm_sub, Tolerance::bounded(1));
     matcher.subscribe_with_tolerance(top_sub, Tolerance::bounded(1));
 
@@ -231,8 +216,7 @@ fn section_3_2_stages_are_independent() {
 
     let synonym_event = EventBuilder::new(&mut interner).term("school", "uoft").build();
     let hierarchy_event = EventBuilder::new(&mut interner).term("skill", "rust").build();
-    let mapping_event =
-        EventBuilder::new(&mut interner).pair("graduation year", 1990i64).build();
+    let mapping_event = EventBuilder::new(&mut interner).pair("graduation year", 1990i64).build();
 
     let shared = SharedInterner::from_interner(interner);
     let source = Arc::new(ontology);
@@ -244,9 +228,7 @@ fn section_3_2_stages_are_independent() {
         matcher.subscribe(mapping_sub.clone());
         [(1u64, &synonym_event), (2, &hierarchy_event), (3, &mapping_event)]
             .into_iter()
-            .map(|(id, event)| {
-                (id, matcher.publish(event).iter().any(|m| m.sub == SubId(id)))
-            })
+            .map(|(id, event)| (id, matcher.publish(event).iter().any(|m| m.sub == SubId(id))))
             .collect()
     };
 

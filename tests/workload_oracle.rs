@@ -11,7 +11,11 @@ use s_topss::core::{semantic_match, ClosureLimits};
 use s_topss::prelude::*;
 use s_topss::workload::{generate_jobfinder, JobFinderDomain, WorkloadConfig};
 
-fn fixture(seed: u64, subs: usize, pubs: usize) -> (Interner, JobFinderDomain, Vec<Subscription>, Vec<Event>) {
+fn fixture(
+    seed: u64,
+    subs: usize,
+    pubs: usize,
+) -> (Interner, JobFinderDomain, Vec<Subscription>, Vec<Event>) {
     let mut interner = Interner::new();
     let domain = JobFinderDomain::build(&mut interner);
     let w = generate_jobfinder(

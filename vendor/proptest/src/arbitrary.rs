@@ -1,0 +1,102 @@
+//! `any::<T>()` and the [`Arbitrary`] trait.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Raw bit patterns cover normals, subnormals, zeros, infinities
+        // and NaNs — consumers that need comparability use `to_bits`.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated text debuggable.
+        (0x20u8 + rng.index(0x5F) as u8) as char
+    }
+}
+
+impl Arbitrary for () {
+    fn arbitrary(_rng: &mut TestRng) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_cover_sign_and_magnitude() {
+        let mut rng = TestRng::from_seed(5);
+        let mut saw_negative = false;
+        let mut saw_large = false;
+        for _ in 0..1_000 {
+            let v = i64::arbitrary(&mut rng);
+            saw_negative |= v < 0;
+            saw_large |= v.unsigned_abs() > u32::MAX as u64;
+        }
+        assert!(saw_negative && saw_large);
+    }
+
+    #[test]
+    fn bools_hit_both_sides() {
+        let mut rng = TestRng::from_seed(6);
+        let trues = (0..1_000).filter(|_| bool::arbitrary(&mut rng)).count();
+        assert!((300..700).contains(&trues));
+    }
+}

@@ -1,0 +1,72 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A half-open length range `[lo, hi)`, like proptest's `SizeRange`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+/// Generates `Vec`s of an element strategy with lengths in a range.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.hi - self.size.lo;
+        let len = self.size.lo + if span > 1 { rng.index(span) } else { 0 };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_both_forms() {
+        let mut rng = TestRng::from_seed(2);
+        let ranged = vec(0u8..10, 2..5);
+        let exact = vec(0u8..10, 7usize);
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            let v = ranged.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            seen[v.len() - 2] = true;
+            assert_eq!(exact.generate(&mut rng).len(), 7);
+        }
+        assert!(seen.iter().all(|s| *s), "all lengths in [2,5) hit");
+    }
+}

@@ -1,0 +1,206 @@
+//! String generation from simple regex patterns.
+//!
+//! Real proptest compiles full regexes; this offline subset supports the
+//! shapes the workspace's suites use — character classes (`[a-z ]`,
+//! `[ -~]`, negation), literals, `.`, the escapes `\d`/`\w`/`\s`, and
+//! the quantifiers `{m,n}` / `{m,}` / `{m}` / `*` / `+` / `?`.
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Clone, Debug)]
+enum Element {
+    /// Inclusive character ranges to draw from.
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    element: Element,
+    min: u32,
+    max: u32,
+}
+
+/// Draws one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = piece.min + rng.index((piece.max - piece.min + 1) as usize) as u32;
+        for _ in 0..count {
+            match &piece.element {
+                Element::Literal(c) => out.push(*c),
+                Element::Class(ranges) => out.push(pick_from_class(ranges, rng)),
+            }
+        }
+    }
+    out
+}
+
+fn pick_from_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+    debug_assert!(total > 0, "empty character class");
+    let mut pick = rng.index(total as usize) as u32;
+    for (lo, hi) in ranges {
+        let span = *hi as u32 - *lo as u32 + 1;
+        if pick < span {
+            return char::from_u32(*lo as u32 + pick).unwrap_or(*lo);
+        }
+        pick -= span;
+    }
+    ranges[0].0
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut k = 0;
+    while k < chars.len() {
+        let element = match chars[k] {
+            '[' => {
+                let (class, next) = parse_class(&chars, k + 1);
+                k = next;
+                class
+            }
+            '\\' if k + 1 < chars.len() => {
+                k += 2;
+                escape_element(chars[k - 1])
+            }
+            '.' => {
+                k += 1;
+                Element::Class(vec![(' ', '~')])
+            }
+            c => {
+                k += 1;
+                Element::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, k);
+        k = next;
+        pieces.push(Piece { element, min, max });
+    }
+    pieces
+}
+
+fn escape_element(c: char) -> Element {
+    match c {
+        'd' => Element::Class(vec![('0', '9')]),
+        'w' => Element::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+        's' => Element::Class(vec![(' ', ' '), ('\t', '\t')]),
+        other => Element::Literal(other),
+    }
+}
+
+fn parse_class(chars: &[char], mut k: usize) -> (Element, usize) {
+    let negated = chars.get(k) == Some(&'^');
+    if negated {
+        k += 1;
+    }
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    while k < chars.len() && chars[k] != ']' {
+        let lo = if chars[k] == '\\' && k + 1 < chars.len() {
+            k += 2;
+            chars[k - 1]
+        } else {
+            k += 1;
+            chars[k - 1]
+        };
+        if k + 1 < chars.len() && chars[k] == '-' && chars[k + 1] != ']' {
+            let hi = chars[k + 1];
+            k += 2;
+            ranges.push((lo.min(hi), lo.max(hi)));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    let k = (k + 1).min(chars.len()); // consume ']'
+    if negated {
+        let mut kept = Vec::new();
+        for c in 0x20u32..0x7F {
+            let c = char::from_u32(c).unwrap();
+            if !ranges.iter().any(|(lo, hi)| (*lo..=*hi).contains(&c)) {
+                kept.push((c, c));
+            }
+        }
+        (Element::Class(kept), k)
+    } else {
+        (Element::Class(ranges), k)
+    }
+}
+
+fn parse_quantifier(chars: &[char], k: usize) -> (u32, u32, usize) {
+    match chars.get(k) {
+        Some('*') => (0, UNBOUNDED_CAP, k + 1),
+        Some('+') => (1, UNBOUNDED_CAP, k + 1),
+        Some('?') => (0, 1, k + 1),
+        Some('{') => {
+            let close = chars[k..].iter().position(|c| *c == '}').map(|p| k + p);
+            let Some(close) = close else { return (1, 1, k) };
+            let body: String = chars[k + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((m, "")) => {
+                    let m = m.trim().parse().unwrap_or(0);
+                    (m, m + UNBOUNDED_CAP)
+                }
+                Some((m, n)) => (m.trim().parse().unwrap_or(0), n.trim().parse().unwrap_or(0)),
+                None => {
+                    let m = body.trim().parse().unwrap_or(1);
+                    (m, m)
+                }
+            };
+            (min, max.max(min), close + 1)
+        }
+        _ => (1, 1, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_match(pattern: &str, check: impl Fn(&str) -> bool) {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..500 {
+            let s = generate_matching(pattern, &mut rng);
+            assert!(check(&s), "pattern {pattern:?} produced {s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        all_match("[a-z ]{0,12}", |s| {
+            s.chars().count() <= 12 && s.chars().all(|c| c.is_ascii_lowercase() || c == ' ')
+        });
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        all_match("[ -~]{0,40}", |s| {
+            s.chars().count() <= 40 && s.chars().all(|c| (' '..='~').contains(&c))
+        });
+    }
+
+    #[test]
+    fn mixed_classes_and_minimums() {
+        all_match("[a-zA-Z0-9 ]{1,10}", |s| {
+            let n = s.chars().count();
+            (1..=10).contains(&n) && s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' ')
+        });
+    }
+
+    #[test]
+    fn literals_escapes_and_quantifiers() {
+        all_match("ab?c{2}\\d+", |s| {
+            s.starts_with('a')
+                && s.contains("cc")
+                && s.chars().last().is_some_and(|c| c.is_ascii_digit())
+        });
+    }
+
+    #[test]
+    fn negated_class_excludes_members() {
+        all_match("[^a-z]{1,5}", |s| s.chars().all(|c| !c.is_ascii_lowercase()));
+    }
+}
