@@ -1,0 +1,53 @@
+//! E10 — sharded-matcher scaling: shard counts × engines.
+//!
+//! Batched publish latency of `ShardedSToPSS` on the job-finder workload
+//! as the shard count grows, for each syntactic engine. Shard count 1 is
+//! the single-engine baseline (same code path, no fan-out win), so the
+//! sweep exposes both the parallel speedup and the per-shard closure
+//! overhead the sharded design pays for exact equivalence.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stopss_bench::sharded_matcher_for;
+use stopss_core::Config;
+use stopss_matching::EngineKind;
+use stopss_workload::jobfinder_fixture;
+
+const BATCH: usize = 64;
+
+fn bench_sharding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharding_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let fixture = jobfinder_fixture(4_000, 256, 17);
+    for engine in EngineKind::ALL {
+        for shards in [1usize, 2, 4, 8] {
+            let config =
+                Config::default().with_engine(engine).with_provenance(false).with_shards(shards);
+            let mut matcher = sharded_matcher_for(&fixture, config);
+            let events = &fixture.publications;
+            let mut idx = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), format!("shards={shards}")),
+                &shards,
+                |b, _| {
+                    b.iter(|| {
+                        let start = (idx * BATCH) % events.len();
+                        let end = (start + BATCH).min(events.len());
+                        idx += 1;
+                        let sets = matcher.publish_batch(&events[start..end]);
+                        black_box(sets.iter().map(Vec::len).sum::<usize>())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharding);
+criterion_main!(benches);

@@ -9,17 +9,13 @@
 
 use std::time::Instant;
 
-use stopss_core::{Config, SToPSS};
+use stopss_core::{Config, SToPSS, ShardedSToPSS};
 use stopss_types::{Event, SubId, Subscription};
 use stopss_workload::Fixture;
 
 /// Builds a matcher over a fixture's ontology and loads its subscriptions.
 pub fn matcher_for(fixture: &Fixture, config: Config) -> SToPSS {
-    let mut matcher = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
-    for sub in &fixture.subscriptions {
-        matcher.subscribe(sub.clone());
-    }
-    matcher
+    fixture.matcher(config)
 }
 
 /// Builds a matcher with one tolerance applied to every subscription.
@@ -64,6 +60,44 @@ pub fn timed_sweep(matcher: &mut SToPSS, events: &[Event], warmup: usize) -> Swe
     }
     let elapsed = start.elapsed();
     let stats_after = *matcher.stats();
+    let ns_per_event = elapsed.as_nanos() as f64 / events.len().max(1) as f64;
+    SweepResult {
+        matches,
+        ns_per_event,
+        events_per_sec: if ns_per_event > 0.0 { 1e9 / ns_per_event } else { 0.0 },
+        derived_events: stats_after.derived_events - stats_before.derived_events,
+        truncations: stats_after.truncations - stats_before.truncations,
+    }
+}
+
+/// Builds a sharded matcher (shard count from `config.shards`) over a
+/// fixture's ontology and loads its subscriptions.
+pub fn sharded_matcher_for(fixture: &Fixture, config: Config) -> ShardedSToPSS {
+    fixture.sharded_matcher(config)
+}
+
+/// Publishes every event through `publish_batch` in batches of
+/// `batch_size` (after one untimed warm-up pass over the first `warmup`
+/// events) and reports matches and mean per-event latency — the sharded
+/// counterpart of [`timed_sweep`].
+pub fn timed_batch_sweep(
+    matcher: &mut ShardedSToPSS,
+    events: &[Event],
+    batch_size: usize,
+    warmup: usize,
+) -> SweepResult {
+    let warm = &events[..warmup.min(events.len())];
+    if !warm.is_empty() {
+        let _ = matcher.publish_batch(warm);
+    }
+    let stats_before = matcher.stats();
+    let start = Instant::now();
+    let mut matches = 0u64;
+    for batch in events.chunks(batch_size.max(1)) {
+        matches += matcher.publish_batch(batch).iter().map(|m| m.len() as u64).sum::<u64>();
+    }
+    let elapsed = start.elapsed();
+    let stats_after = matcher.stats();
     let ns_per_event = elapsed.as_nanos() as f64 / events.len().max(1) as f64;
     SweepResult {
         matches,
@@ -134,6 +168,20 @@ mod tests {
         assert!(result.events_per_sec > 0.0);
         assert_eq!(result.derived_events, 50, "generalized strategy: one per event");
         assert_eq!(result.truncations, 0);
+    }
+
+    #[test]
+    fn timed_batch_sweep_agrees_with_sequential_sweep() {
+        let fixture = jobfinder_fixture(50, 50, 3);
+        let config = Config::default().with_provenance(false).with_shards(4);
+        let mut single = matcher_for(&fixture, config);
+        let sequential = timed_sweep(&mut single, &fixture.publications, 5);
+        let mut sharded = sharded_matcher_for(&fixture, config);
+        let batched = timed_batch_sweep(&mut sharded, &fixture.publications, 8, 5);
+        assert_eq!(batched.matches, sequential.matches);
+        assert_eq!(batched.derived_events, sequential.derived_events);
+        assert_eq!(batched.truncations, sequential.truncations);
+        assert!(batched.ns_per_event > 0.0);
     }
 
     #[test]

@@ -6,12 +6,18 @@
 //! over each client's preferred transport. The matcher sits behind a
 //! mutex — matching engines keep interior scratch state — while client and
 //! ownership tables take read-mostly locks.
+//!
+//! When [`BrokerConfig::matcher`] asks for more than one shard, the broker
+//! runs over [`stopss_core::ShardedSToPSS`] instead of the single-threaded
+//! matcher: publications (and especially [`Broker::publish_batch`]) then
+//! fan out across per-shard engines on a worker pool, with byte-identical
+//! match sets and notifications.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use stopss_core::{Config, MatcherStats, SToPSS, StageMask, Tolerance};
+use stopss_core::{Config, Match, MatcherStats, SToPSS, ShardedSToPSS, StageMask, Tolerance};
 use stopss_ontology::SemanticSource;
 use stopss_types::{Event, FxHashMap, Predicate, SharedInterner, SubId, Subscription};
 
@@ -67,9 +73,80 @@ impl std::fmt::Display for BrokerError {
 
 impl std::error::Error for BrokerError {}
 
+/// The matcher the broker runs over: single-threaded or sharded,
+/// selected by [`Config::shards`]. Both produce identical match sets;
+/// the enum keeps the broker's lock-around-the-matcher structure intact.
+enum MatcherBackend {
+    /// One monolithic engine (the seed architecture).
+    Single(SToPSS),
+    /// Hash-sharded engines with a scoped-thread worker pool.
+    Sharded(ShardedSToPSS),
+}
+
+impl MatcherBackend {
+    fn build(config: Config, source: Arc<dyn SemanticSource>, interner: SharedInterner) -> Self {
+        if config.effective_shards() > 1 {
+            MatcherBackend::Sharded(ShardedSToPSS::new(config, source, interner))
+        } else {
+            MatcherBackend::Single(SToPSS::new(config, source, interner))
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            MatcherBackend::Single(m) => m.len(),
+            MatcherBackend::Sharded(m) => m.len(),
+        }
+    }
+
+    fn stats(&self) -> MatcherStats {
+        match self {
+            MatcherBackend::Single(m) => *m.stats(),
+            MatcherBackend::Sharded(m) => m.stats(),
+        }
+    }
+
+    fn subscribe_with(&mut self, sub: Subscription, tolerance: Option<Tolerance>) {
+        match (self, tolerance) {
+            (MatcherBackend::Single(m), Some(t)) => m.subscribe_with_tolerance(sub, t),
+            (MatcherBackend::Single(m), None) => m.subscribe(sub),
+            (MatcherBackend::Sharded(m), Some(t)) => m.subscribe_with_tolerance(sub, t),
+            (MatcherBackend::Sharded(m), None) => m.subscribe(sub),
+        }
+    }
+
+    fn unsubscribe(&mut self, id: SubId) -> bool {
+        match self {
+            MatcherBackend::Single(m) => m.unsubscribe(id),
+            MatcherBackend::Sharded(m) => m.unsubscribe(id),
+        }
+    }
+
+    fn publish(&mut self, event: &Event) -> Vec<Match> {
+        match self {
+            MatcherBackend::Single(m) => m.publish(event),
+            MatcherBackend::Sharded(m) => m.publish(event),
+        }
+    }
+
+    fn publish_batch(&mut self, events: &[Event]) -> Vec<Vec<Match>> {
+        match self {
+            MatcherBackend::Single(m) => m.publish_batch(events),
+            MatcherBackend::Sharded(m) => m.publish_batch(events),
+        }
+    }
+
+    fn set_stages(&mut self, stages: StageMask) {
+        match self {
+            MatcherBackend::Single(m) => m.set_stages(stages),
+            MatcherBackend::Sharded(m) => m.set_stages(stages),
+        }
+    }
+}
+
 /// The publish/subscribe broker of the demonstration setup.
 pub struct Broker {
-    matcher: Mutex<SToPSS>,
+    matcher: Mutex<MatcherBackend>,
     clients: RwLock<FxHashMap<ClientId, ClientInfo>>,
     sub_owner: RwLock<FxHashMap<SubId, ClientId>>,
     notifier: NotificationEngine,
@@ -102,7 +179,7 @@ impl Broker {
         inboxes.insert(TransportKind::Sms, sms_inbox);
 
         Broker {
-            matcher: Mutex::new(SToPSS::new(config.matcher, source, interner.clone())),
+            matcher: Mutex::new(MatcherBackend::build(config.matcher, source, interner.clone())),
             clients: RwLock::new(FxHashMap::default()),
             sub_owner: RwLock::new(FxHashMap::default()),
             notifier: NotificationEngine::start(transports),
@@ -159,13 +236,7 @@ impl Broker {
         }
         let id = SubId(self.next_sub.fetch_add(1, Ordering::Relaxed));
         let sub = Subscription::new(id, predicates);
-        {
-            let mut matcher = self.matcher.lock();
-            match tolerance {
-                Some(t) => matcher.subscribe_with_tolerance(sub, t),
-                None => matcher.subscribe(sub),
-            }
-        }
+        self.matcher.lock().subscribe_with(sub, tolerance);
         self.sub_owner.write().insert(id, client);
         Ok(id)
     }
@@ -187,13 +258,32 @@ impl Broker {
     /// matched subscription. Returns the number of matches.
     pub fn publish(&self, event: &Event) -> usize {
         let matches = self.matcher.lock().publish(event);
+        self.notify_matches(event, &matches);
+        matches.len()
+    }
+
+    /// Publishes a batch of events in one matcher pass (the sharded
+    /// backend fans the whole batch out across its worker pool), enqueuing
+    /// notifications exactly as [`Broker::publish`] would per event.
+    /// Returns the total number of matches across the batch.
+    pub fn publish_batch(&self, events: &[Event]) -> usize {
+        let match_sets = self.matcher.lock().publish_batch(events);
+        let mut total = 0;
+        for (event, matches) in events.iter().zip(&match_sets) {
+            self.notify_matches(event, matches);
+            total += matches.len();
+        }
+        total
+    }
+
+    fn notify_matches(&self, event: &Event, matches: &[Match]) {
         if matches.is_empty() {
-            return 0;
+            return;
         }
         let clients = self.clients.read();
         let owners = self.sub_owner.read();
         let rendered = self.interner.with(|i| format!("event {}", event.display(i)));
-        for m in &matches {
+        for m in matches {
             let Some(owner) = owners.get(&m.sub) else {
                 continue;
             };
@@ -206,7 +296,11 @@ impl Broker {
             );
             self.notifier.enqueue(info.transport, Delivery { client: *owner, payload });
         }
-        matches.len()
+    }
+
+    /// True if the broker runs over the sharded matcher backend.
+    pub fn is_sharded(&self) -> bool {
+        matches!(&*self.matcher.lock(), MatcherBackend::Sharded(_))
     }
 
     /// Switches between semantic and syntactic mode ("the application can
@@ -226,9 +320,9 @@ impl Broker {
         *self.semantic.read()
     }
 
-    /// Matcher counters.
+    /// Matcher counters (aggregated across shards for the sharded backend).
     pub fn matcher_stats(&self) -> MatcherStats {
-        *self.matcher.lock().stats()
+        self.matcher.lock().stats()
     }
 
     /// Notification counters (live snapshot).
@@ -359,6 +453,57 @@ mod tests {
         let stats = broker.shutdown();
         assert_eq!(stats.get(TransportKind::Tcp).delivered, 1);
         assert_eq!(stats.get(TransportKind::Udp).delivered, 1);
+    }
+
+    #[test]
+    fn sharded_broker_matches_and_delivers_like_single() {
+        let sharded_config =
+            BrokerConfig { matcher: Config::default().with_shards(4), ..BrokerConfig::default() };
+        let (broker, interner) = jobs_broker(sharded_config);
+        assert!(broker.is_sharded());
+        let company = broker.register_client("acme", TransportKind::Tcp);
+        broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
+        assert_eq!(broker.publish(&candidate_event(&interner)), 1);
+        assert_eq!(broker.matcher_stats().published, 1);
+        let stats = broker.shutdown();
+        assert_eq!(stats.get(TransportKind::Tcp).delivered, 1);
+
+        let (single, _) = jobs_broker(BrokerConfig::default());
+        assert!(!single.is_sharded());
+        let _ = single.shutdown();
+    }
+
+    #[test]
+    fn publish_batch_notifies_per_event() {
+        for shards in [1usize, 4] {
+            let config = BrokerConfig {
+                matcher: Config::default().with_shards(shards),
+                ..BrokerConfig::default()
+            };
+            let (broker, interner) = jobs_broker(config);
+            let company = broker.register_client("acme", TransportKind::Tcp);
+            broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
+            let events = vec![candidate_event(&interner); 3];
+            assert_eq!(broker.publish_batch(&events), 3, "shards={shards}");
+            assert_eq!(broker.matcher_stats().published, 3, "shards={shards}");
+            let stats = broker.shutdown();
+            assert_eq!(stats.get(TransportKind::Tcp).delivered, 3, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_broker_honors_mode_switch_and_ownership() {
+        let config =
+            BrokerConfig { matcher: Config::default().with_shards(8), ..BrokerConfig::default() };
+        let (broker, interner) = jobs_broker(config);
+        let alice = broker.register_client("alice", TransportKind::Tcp);
+        let sub = broker.subscribe(alice, recruiter_predicates(&interner)).unwrap();
+        broker.set_semantic_mode(false);
+        assert_eq!(broker.publish(&candidate_event(&interner)), 0);
+        broker.set_semantic_mode(true);
+        assert_eq!(broker.publish(&candidate_event(&interner)), 1);
+        assert_eq!(broker.unsubscribe(alice, sub), Ok(true));
+        assert_eq!(broker.subscription_count(), 0);
     }
 
     #[test]

@@ -84,6 +84,17 @@ pub struct Config {
     /// Classify each match's [`crate::MatchOrigin`] (costs extra oracle
     /// checks per match; disable for throughput benchmarks).
     pub track_provenance: bool,
+    /// Number of subscription shards for [`crate::ShardedSToPSS`]
+    /// (subscriptions are partitioned by a hash of their [`stopss_types::SubId`];
+    /// each shard owns an independent engine). Ignored by the
+    /// single-threaded [`crate::SToPSS`]. Values below 1 mean 1.
+    pub shards: usize,
+    /// Worker threads the sharded matcher fans publications out on.
+    /// `0` means auto: one worker per shard for batched publishes, while
+    /// single-event publishes stay sequential (a thread spawn costs more
+    /// than typical per-event matching). Setting it explicitly forces the
+    /// pool even for single events; values above `shards` are clamped.
+    pub parallelism: usize,
 }
 
 impl Default for Config {
@@ -96,6 +107,8 @@ impl Default for Config {
             now_year: 2003,
             limits: Limits::default(),
             track_provenance: true,
+            shards: 1,
+            parallelism: 0,
         }
     }
 }
@@ -143,6 +156,37 @@ impl Config {
         self.track_provenance = on;
         self
     }
+
+    /// Returns a copy with a different shard count (see [`Config::shards`]).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Returns a copy with a different worker count (see
+    /// [`Config::parallelism`]).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The shard count [`crate::ShardedSToPSS`] will actually use.
+    pub fn effective_shards(&self) -> usize {
+        self.shards.max(1)
+    }
+
+    /// The worker count the sharded matcher will actually use: one per
+    /// shard when `parallelism` is 0, otherwise clamped to the shard count.
+    pub fn effective_parallelism(&self) -> usize {
+        let shards = self.effective_shards();
+        if self.parallelism == 0 {
+            shards
+        } else {
+            self.parallelism.min(shards)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -183,5 +227,20 @@ mod tests {
         for s in Strategy::ALL {
             assert!(!s.name().is_empty());
         }
+    }
+
+    #[test]
+    fn sharding_knobs_resolve() {
+        let c = Config::default();
+        assert_eq!(c.effective_shards(), 1);
+        assert_eq!(c.effective_parallelism(), 1);
+        let c = Config::default().with_shards(8);
+        assert_eq!(c.effective_shards(), 8);
+        assert_eq!(c.effective_parallelism(), 8, "0 workers means one per shard");
+        let c = c.with_parallelism(3);
+        assert_eq!(c.effective_parallelism(), 3);
+        let c = c.with_parallelism(100);
+        assert_eq!(c.effective_parallelism(), 8, "workers clamp to shards");
+        assert_eq!(Config::default().with_shards(0).effective_shards(), 1);
     }
 }

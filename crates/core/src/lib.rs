@@ -18,6 +18,10 @@
 //!   materialization, flattened closure, subscription rewriting);
 //! * [`Tolerance`] / [`StageMask`] — the information-loss knob (§3.2);
 //! * [`SToPSS`] — the matcher: subscribe / publish / provenance;
+//! * [`ShardedSToPSS`] — the same matcher partitioned across N
+//!   hash-sharded engines with a scoped-thread worker pool and a batched
+//!   [`ShardedSToPSS::publish_batch`] API; results are byte-identical to
+//!   [`SToPSS`] (see `sharded` module docs for the argument);
 //! * [`oracle`] — the executable definition of semantic matching, used as
 //!   ground truth by the property tests.
 
@@ -28,6 +32,7 @@ pub mod config;
 pub mod matcher;
 pub mod oracle;
 pub mod provenance;
+pub mod sharded;
 pub mod strategy;
 pub mod tolerance;
 
@@ -39,5 +44,6 @@ pub use config::{Config, Limits, Strategy};
 pub use matcher::{MatcherStats, PublishResult, SToPSS};
 pub use oracle::{classify_match, semantic_match};
 pub use provenance::{Match, MatchOrigin, OriginCounts};
+pub use sharded::{shard_of, ShardedSToPSS};
 pub use strategy::{expand_subscription, materialize_match, MaterializeOutcome, RewriteExpansion};
 pub use tolerance::{StageMask, Tolerance};

@@ -133,6 +133,22 @@ impl SToPSS {
         self.subs.get(&id).map(|e| e.effective)
     }
 
+    /// The tolerance subscription `id` originally asked for (before
+    /// clamping to the system configuration).
+    pub fn requested_tolerance(&self, id: SubId) -> Option<Tolerance> {
+        self.subs.get(&id).map(|e| e.requested)
+    }
+
+    /// Clones out every registered subscription with its *requested*
+    /// tolerance, sorted by id. Used by the sharded matcher to
+    /// redistribute subscriptions when the shard count changes.
+    pub fn subscriptions_with_tolerances(&self) -> Vec<(Subscription, Tolerance)> {
+        let mut out: Vec<(Subscription, Tolerance)> =
+            self.subs.values().map(|e| (e.original.clone(), e.requested)).collect();
+        out.sort_unstable_by_key(|(sub, _)| sub.id());
+        out
+    }
+
     /// Registers a subscription with the system-wide tolerance.
     pub fn subscribe(&mut self, sub: Subscription) {
         self.subscribe_with_tolerance(sub, self.config.system_tolerance());
@@ -218,6 +234,13 @@ impl SToPSS {
     pub fn publish_detailed(&mut self, event: &Event) -> PublishResult {
         let interner = self.interner.clone();
         interner.with(|i| self.publish_inner(event, i))
+    }
+
+    /// Publishes a batch of events sequentially, returning the match set
+    /// of each. Mirrors [`crate::ShardedSToPSS::publish_batch`] so callers
+    /// can swap matchers without changing call sites.
+    pub fn publish_batch(&mut self, events: &[Event]) -> Vec<Vec<Match>> {
+        events.iter().map(|e| self.publish(e)).collect()
     }
 
     fn publish_inner(&mut self, event_raw: &Event, interner: &Interner) -> PublishResult {

@@ -1,0 +1,484 @@
+//! Sharded concurrent matching.
+//!
+//! [`ShardedSToPSS`] partitions subscriptions across N shards by a hash of
+//! their [`SubId`]; each shard owns a complete [`SToPSS`] (semantic stages
+//! plus an independent [`stopss_matching::MatchingEngine`]). A publication
+//! is fanned out to every shard on a crossbeam scoped-thread worker pool
+//! and the per-shard match sets are merged deterministically (sorted by
+//! `SubId`), so the result — matches, provenance, ordering, and aggregated
+//! [`MatcherStats`] — is byte-identical to the single-threaded matcher.
+//! The S-ToPSS paper treats the syntactic engine as a black box precisely
+//! so the semantic layer can scale this way: shards never communicate
+//! during matching, and throughput scales with cores instead of being
+//! serialized behind one monolithic engine.
+//!
+//! # Stats aggregation
+//!
+//! Event-side work (closure computation, event materialization) is
+//! replicated per shard, but its counters are *identical* across shards —
+//! derivation depends only on the ontology and the event, never on which
+//! subscriptions a shard holds. Aggregation therefore takes event-side
+//! counters (`published`, `derived_events`, `closure_pairs`,
+//! `truncations`) from a single shard and sums the subscription-side
+//! counters (`verifications`, `verify_rejections`, `rewrite_truncations`),
+//! reproducing the single-threaded numbers exactly. The differential suite
+//! in `tests/sharded_differential.rs` pins this equivalence across every
+//! engine × strategy × stage-mask combination.
+
+use std::sync::Arc;
+
+use stopss_ontology::SemanticSource;
+use stopss_types::{fx_hash_one, Event, SharedInterner, SubId, Subscription};
+
+use crate::config::Config;
+use crate::matcher::{MatcherStats, PublishResult, SToPSS};
+use crate::provenance::Match;
+use crate::tolerance::Tolerance;
+
+/// The shard a subscription id is routed to, out of `shards`.
+///
+/// Stable across processes and platforms (Fx mix over the raw id), so
+/// fixtures, golden tests and replicated brokers agree on placement.
+pub fn shard_of(id: SubId, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    (fx_hash_one(&id.0) % shards as u64) as usize
+}
+
+/// A sharded, concurrent semantic matcher with the same observable
+/// behaviour as [`SToPSS`].
+///
+/// Subscriptions are partitioned by [`shard_of`]; publications fan out to
+/// all shards in parallel (scoped worker threads, at most
+/// [`Config::effective_parallelism`] of them) and merge into one ordered
+/// match set. See the module docs for the equivalence argument.
+pub struct ShardedSToPSS {
+    config: Config,
+    source: Arc<dyn SemanticSource>,
+    interner: SharedInterner,
+    shards: Vec<SToPSS>,
+    /// Lifetime stats accumulated before the last reshard (shard vectors
+    /// are rebuilt from scratch when the shard count changes, but stats
+    /// must survive reconfiguration exactly as they do on [`SToPSS`]).
+    carried: MatcherStats,
+}
+
+impl ShardedSToPSS {
+    /// Creates a matcher with `config.effective_shards()` shards over
+    /// `source`, using `interner` for all terms.
+    pub fn new(config: Config, source: Arc<dyn SemanticSource>, interner: SharedInterner) -> Self {
+        let shards = (0..config.effective_shards())
+            .map(|_| SToPSS::new(config, source.clone(), interner.clone()))
+            .collect();
+        ShardedSToPSS { config, source, interner, shards, carried: MatcherStats::default() }
+    }
+
+    /// The interner shared with publishers/subscribers.
+    pub fn interner(&self) -> &SharedInterner {
+        &self.interner
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The semantic knowledge source.
+    pub fn source(&self) -> &Arc<dyn SemanticSource> {
+        &self.source
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard subscription `id` is (or would be) routed to.
+    pub fn shard_for(&self, id: SubId) -> usize {
+        shard_of(id, self.shards.len())
+    }
+
+    /// Aggregated lifetime statistics, identical to what a single
+    /// [`SToPSS`] over the same inputs would report (see module docs).
+    pub fn stats(&self) -> MatcherStats {
+        let event_side = *self.shards[0].stats();
+        let mut agg = self.carried;
+        agg.published += event_side.published;
+        agg.derived_events += event_side.derived_events;
+        agg.closure_pairs += event_side.closure_pairs;
+        agg.truncations += event_side.truncations;
+        for shard in &self.shards {
+            let s = shard.stats();
+            agg.verifications += s.verifications;
+            agg.verify_rejections += s.verify_rejections;
+            agg.rewrite_truncations += s.rewrite_truncations;
+        }
+        agg
+    }
+
+    /// Number of user subscriptions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(SToPSS::len).sum()
+    }
+
+    /// True if no subscriptions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(SToPSS::is_empty)
+    }
+
+    /// The original subscription registered under `id`.
+    pub fn subscription(&self, id: SubId) -> Option<&Subscription> {
+        self.shards[self.shard_for(id)].subscription(id)
+    }
+
+    /// The effective (clamped) tolerance of subscription `id`.
+    pub fn tolerance(&self, id: SubId) -> Option<Tolerance> {
+        self.shards[self.shard_for(id)].tolerance(id)
+    }
+
+    /// Registers a subscription with the system-wide tolerance.
+    pub fn subscribe(&mut self, sub: Subscription) {
+        let shard = self.shard_for(sub.id());
+        self.shards[shard].subscribe(sub);
+    }
+
+    /// Registers a subscription with a subscriber-specific tolerance.
+    pub fn subscribe_with_tolerance(&mut self, sub: Subscription, tolerance: Tolerance) {
+        let shard = self.shard_for(sub.id());
+        self.shards[shard].subscribe_with_tolerance(sub, tolerance);
+    }
+
+    /// Removes a subscription; returns whether it existed.
+    pub fn unsubscribe(&mut self, id: SubId) -> bool {
+        let shard = self.shard_for(id);
+        self.shards[shard].unsubscribe(id)
+    }
+
+    /// Publishes one event, returning the matched subscriptions ordered by
+    /// `SubId` — the same order the single-threaded matcher produces.
+    pub fn publish(&mut self, event: &Event) -> Vec<Match> {
+        self.publish_detailed(event).matches
+    }
+
+    /// Publishes one event, returning matches plus processing counters.
+    pub fn publish_detailed(&mut self, event: &Event) -> PublishResult {
+        self.publish_batch_detailed(std::slice::from_ref(event))
+            .pop()
+            .expect("one event in, one result out")
+    }
+
+    /// Publishes a batch of events, fanning each out to every shard on the
+    /// worker pool, and returns the match set of each event in order.
+    pub fn publish_batch(&mut self, events: &[Event]) -> Vec<Vec<Match>> {
+        self.publish_batch_detailed(events).into_iter().map(|r| r.matches).collect()
+    }
+
+    /// Publishes a batch of events, returning the detailed result of each.
+    ///
+    /// The batch is the unit of fan-out: every worker thread walks the
+    /// whole batch against its shards, so one scope (and one round of
+    /// thread spawns) amortizes over `events.len()` publications.
+    pub fn publish_batch_detailed(&mut self, events: &[Event]) -> Vec<PublishResult> {
+        if events.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.config.effective_parallelism();
+        // Scoped workers are real OS threads, so spawning must be
+        // amortized: batches always fan out; a single event (the broker's
+        // per-publish path) fans out only when the caller asked for a
+        // worker pool explicitly (`parallelism > 0`, e.g. semantics-heavy
+        // ontologies where per-shard closure work dwarfs a thread spawn)
+        // and otherwise matches sequentially.
+        let fan_out = workers > 1
+            && self.shards.len() > 1
+            && (events.len() > 1 || self.config.parallelism > 0);
+        // per_shard[s][k] = shard s's result for event k.
+        let per_shard: Vec<Vec<PublishResult>> = if !fan_out {
+            self.shards.iter_mut().map(|shard| run_shard(shard, events)).collect()
+        } else {
+            let chunk = self.shards.len().div_ceil(workers);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .chunks_mut(chunk)
+                    .map(|chunk_shards| {
+                        scope.spawn(move |_| {
+                            chunk_shards
+                                .iter_mut()
+                                .map(|shard| run_shard(shard, events))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                // Handles joined in spawn order, so shard order is preserved.
+                handles.into_iter().flat_map(|h| h.join().expect("shard worker panicked")).collect()
+            })
+            .expect("shard scope panicked")
+        };
+        merge_results(events.len(), per_shard)
+    }
+
+    /// Switches the enabled stages on every shard and rebuilds their
+    /// engine subscriptions.
+    pub fn set_stages(&mut self, stages: crate::tolerance::StageMask) {
+        self.config.stages = stages;
+        for shard in &mut self.shards {
+            shard.set_stages(stages);
+        }
+    }
+
+    /// Replaces the configuration (engine, strategy, shard count, …). If
+    /// the shard count changes, subscriptions are redistributed; either
+    /// way every shard rebuilds its engine state.
+    pub fn reconfigure(&mut self, config: Config) {
+        if config.effective_shards() == self.shards.len() {
+            self.config = config;
+            for shard in &mut self.shards {
+                shard.reconfigure(config);
+            }
+            return;
+        }
+        let mut all: Vec<(Subscription, Tolerance)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            all.extend(shard.subscriptions_with_tolerances());
+        }
+        all.sort_unstable_by_key(|(sub, _)| sub.id());
+        let carried = self.stats();
+        *self = ShardedSToPSS::new(config, self.source.clone(), self.interner.clone());
+        self.carried = carried;
+        for (sub, tolerance) in all {
+            self.subscribe_with_tolerance(sub, tolerance);
+        }
+    }
+}
+
+/// Runs the whole batch through one shard sequentially.
+fn run_shard(shard: &mut SToPSS, events: &[Event]) -> Vec<PublishResult> {
+    events.iter().map(|event| shard.publish_detailed(event)).collect()
+}
+
+/// Merges per-shard results into one result per event: matches are
+/// concatenated and sorted by `SubId` (shards partition ids, so there are
+/// no duplicates); event-side counters come from shard 0, where every
+/// shard reports the same value (derivation is engine-independent).
+fn merge_results(events: usize, per_shard: Vec<Vec<PublishResult>>) -> Vec<PublishResult> {
+    let mut merged: Vec<PublishResult> = Vec::with_capacity(events);
+    for k in 0..events {
+        let first = &per_shard[0][k];
+        let mut result = PublishResult {
+            matches: Vec::new(),
+            derived_events: first.derived_events,
+            closure_pairs: first.closure_pairs,
+            truncated: first.truncated,
+        };
+        for shard_results in &per_shard {
+            let r = &shard_results[k];
+            debug_assert_eq!(
+                (r.derived_events, r.closure_pairs, r.truncated),
+                (first.derived_events, first.closure_pairs, first.truncated),
+                "event-side counters must not depend on shard contents"
+            );
+            result.matches.extend_from_slice(&r.matches);
+        }
+        result.matches.sort_unstable_by_key(|m| m.sub);
+        merged.push(result);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Strategy;
+    use crate::provenance::MatchOrigin;
+    use crate::tolerance::StageMask;
+    use stopss_matching::EngineKind;
+    use stopss_ontology::Ontology;
+    use stopss_types::{EventBuilder, Interner, SubscriptionBuilder};
+
+    struct World {
+        interner: SharedInterner,
+        source: Arc<Ontology>,
+        subs: Vec<Subscription>,
+        events: Vec<Event>,
+    }
+
+    /// A taxonomy world with enough subscriptions that every shard count
+    /// in the tests gets a non-empty partition.
+    fn world() -> World {
+        let mut i = Interner::new();
+        let mut o = Ontology::new("jobs");
+        let degree = i.intern("degree");
+        let grad = i.intern("graduate_degree");
+        let phd = i.intern("phd");
+        o.taxonomy.add_isa(grad, degree, &i).unwrap();
+        o.taxonomy.add_isa(phd, grad, &i).unwrap();
+
+        let mut subs = Vec::new();
+        for k in 0..16u64 {
+            let term = ["degree", "graduate_degree", "phd"][k as usize % 3];
+            subs.push(
+                SubscriptionBuilder::new(&mut i).term_eq("credential", term).build(SubId(k + 1)),
+            );
+        }
+        let events = vec![
+            EventBuilder::new(&mut i).term("credential", "phd").build(),
+            EventBuilder::new(&mut i).term("credential", "degree").build(),
+            EventBuilder::new(&mut i).term("credential", "other").build(),
+        ];
+        World { interner: SharedInterner::from_interner(i), source: Arc::new(o), subs, events }
+    }
+
+    fn matchers(w: &World, shards: usize) -> (SToPSS, ShardedSToPSS) {
+        let config = Config::default().with_shards(shards);
+        let mut single = SToPSS::new(config, w.source.clone(), w.interner.clone());
+        let mut sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+        for sub in &w.subs {
+            single.subscribe(sub.clone());
+            sharded.subscribe(sub.clone());
+        }
+        (single, sharded)
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_total() {
+        for shards in [1usize, 2, 3, 8] {
+            for id in 0..100u64 {
+                let s = shard_of(SubId(id), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(SubId(id), shards), "routing must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_equal_single_threaded() {
+        let w = world();
+        for shards in [1usize, 2, 5, 8] {
+            let (mut single, mut sharded) = matchers(&w, shards);
+            assert_eq!(sharded.shard_count(), shards);
+            assert_eq!(sharded.len(), single.len());
+            for event in &w.events {
+                let want = single.publish(event);
+                let got = sharded.publish(event);
+                assert_eq!(got, want, "shards={shards} diverged");
+            }
+            assert_eq!(sharded.stats(), *single.stats(), "shards={shards} stats diverged");
+        }
+    }
+
+    #[test]
+    fn batch_equals_per_event_publish() {
+        let w = world();
+        let (mut single, mut sharded) = matchers(&w, 4);
+        let batched = sharded.publish_batch(&w.events);
+        let sequential: Vec<Vec<Match>> = w.events.iter().map(|e| single.publish(e)).collect();
+        assert_eq!(batched, sequential);
+        assert_eq!(sharded.publish_batch(&[]), Vec::<Vec<Match>>::new());
+    }
+
+    #[test]
+    fn parallelism_cap_does_not_change_results() {
+        let w = world();
+        for parallelism in [1usize, 2, 3] {
+            let config = Config::default().with_shards(8).with_parallelism(parallelism);
+            let mut sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+            let mut single = SToPSS::new(config, w.source.clone(), w.interner.clone());
+            for sub in &w.subs {
+                sharded.subscribe(sub.clone());
+                single.subscribe(sub.clone());
+            }
+            assert_eq!(sharded.publish_batch(&w.events), single.publish_batch(&w.events));
+            // Explicit parallelism also fans out single-event publishes;
+            // results must not change.
+            assert_eq!(sharded.publish(&w.events[0]), single.publish(&w.events[0]));
+        }
+    }
+
+    #[test]
+    fn stats_survive_resharding() {
+        let w = world();
+        let (mut single, mut sharded) = matchers(&w, 2);
+        for event in &w.events {
+            single.publish(event);
+            sharded.publish(event);
+        }
+        let before = sharded.stats();
+        assert_eq!(before, *single.stats());
+        assert!(before.published > 0);
+        sharded.reconfigure(Config::default().with_shards(5));
+        single.reconfigure(Config::default());
+        let after = sharded.stats();
+        assert_eq!(after.published, before.published, "reshard must not zero lifetime stats");
+        assert_eq!(after, *single.stats(), "stats must track the single-threaded matcher");
+        // New publishes keep accumulating on top of the carried baseline.
+        sharded.publish(&w.events[0]);
+        single.publish(&w.events[0]);
+        assert_eq!(sharded.stats(), *single.stats());
+    }
+
+    #[test]
+    fn subscription_lookup_and_unsubscribe_route_by_hash() {
+        let w = world();
+        let (_, mut sharded) = matchers(&w, 8);
+        let id = w.subs[0].id();
+        assert_eq!(sharded.subscription(id), Some(&w.subs[0]));
+        assert!(sharded.tolerance(id).is_some());
+        assert!(sharded.unsubscribe(id));
+        assert!(!sharded.unsubscribe(id));
+        assert_eq!(sharded.subscription(id), None);
+        assert_eq!(sharded.len(), w.subs.len() - 1);
+        assert!(!sharded.is_empty());
+    }
+
+    #[test]
+    fn set_stages_switches_all_shards() {
+        let w = world();
+        let (_, mut sharded) = matchers(&w, 4);
+        let semantic = sharded.publish(&w.events[0]).len();
+        sharded.set_stages(StageMask::syntactic());
+        let syntactic = sharded.publish(&w.events[0]).len();
+        assert!(syntactic < semantic, "hierarchy matches must vanish in syntactic mode");
+        sharded.set_stages(StageMask::all());
+        assert_eq!(sharded.publish(&w.events[0]).len(), semantic);
+    }
+
+    #[test]
+    fn reconfigure_can_reshard() {
+        let w = world();
+        let (mut single, mut sharded) = matchers(&w, 2);
+        let want: Vec<Vec<Match>> = w.events.iter().map(|e| single.publish(e)).collect();
+        sharded.reconfigure(
+            Config::default()
+                .with_shards(7)
+                .with_engine(EngineKind::Trie)
+                .with_strategy(Strategy::SubscriptionRewrite),
+        );
+        assert_eq!(sharded.shard_count(), 7);
+        assert_eq!(sharded.len(), w.subs.len());
+        let got = sharded.publish_batch(&w.events);
+        for (g, s) in got.iter().zip(&want) {
+            assert_eq!(g, s, "match sets must survive resharding + engine swap");
+        }
+        // Same shard count: reconfigure in place.
+        sharded.reconfigure(Config::default().with_shards(7));
+        assert_eq!(sharded.len(), w.subs.len());
+    }
+
+    #[test]
+    fn per_subscription_tolerance_respected_across_shards() {
+        let w = world();
+        let config = Config::default().with_shards(8);
+        let mut sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+        for sub in &w.subs {
+            sharded.subscribe_with_tolerance(sub.clone(), Tolerance::syntactic());
+        }
+        let matches = sharded.publish(&w.events[0]);
+        assert!(
+            matches.iter().all(|m| m.origin == MatchOrigin::Syntactic),
+            "syntactic tolerance must filter semantic matches on every shard"
+        );
+        let stats = sharded.stats();
+        assert!(stats.verifications >= stats.verify_rejections);
+        assert!(stats.verify_rejections > 0);
+    }
+}

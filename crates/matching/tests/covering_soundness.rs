@@ -1,0 +1,154 @@
+//! Covering-relation soundness against a real engine.
+//!
+//! `covers(g, s)` is the broker's license to prune subscription `s` while
+//! `g` is registered — it must therefore never prune a real match: every
+//! generated event matched by `s` under [`NaiveEngine`] (the correctness
+//! baseline engine) must also be matched by `g`. This complements the
+//! `covering_is_sound` property in `engine_equivalence.rs`, which checks
+//! the same implication against `Subscription::matches` directly; going
+//! through the engine additionally pins down that pruning composes with
+//! how engines actually report matches (insert/remove/match_event), and
+//! that `cover_heads` keeps a set of heads that preserves event coverage.
+
+use proptest::prelude::*;
+
+use stopss_matching::{collect_matches, cover_heads, covers, MatchingEngine, NaiveEngine};
+use stopss_types::{Event, Interner, Operator, Predicate, SubId, Subscription, Symbol, Value};
+
+const ATTRS: usize = 5;
+const TERMS: usize = 6;
+
+fn fixture_interner() -> Interner {
+    let mut interner = Interner::new();
+    for a in 0..ATTRS {
+        interner.intern(&format!("attr{a}"));
+    }
+    for t in 0..TERMS {
+        interner.intern(&format!("term{t}"));
+    }
+    interner
+}
+
+fn attr_sym(i: usize) -> Symbol {
+    Symbol::from_index(i % ATTRS)
+}
+
+fn term_sym(i: usize) -> Symbol {
+    Symbol::from_index(ATTRS + (i % TERMS))
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-4i64..4).prop_map(Value::Int),
+        (-4i64..4).prop_map(|i| Value::Float(i as f64 / 2.0)),
+        (0usize..TERMS).prop_map(|t| Value::Sym(term_sym(t))),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn arb_operator() -> impl Strategy<Value = Operator> {
+    prop_oneof![
+        Just(Operator::Eq),
+        Just(Operator::Ne),
+        Just(Operator::Lt),
+        Just(Operator::Le),
+        Just(Operator::Gt),
+        Just(Operator::Ge),
+        Just(Operator::Exists),
+        Just(Operator::Prefix),
+        Just(Operator::Suffix),
+        Just(Operator::Contains),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    (0usize..ATTRS, arb_operator(), arb_value())
+        .prop_map(|(a, op, value)| Predicate::new(attr_sym(a), op, value))
+}
+
+fn arb_subscriptions() -> impl Strategy<Value = Vec<Subscription>> {
+    proptest::collection::vec(proptest::collection::vec(arb_predicate(), 0..4), 2..16).prop_map(
+        |pred_lists| {
+            pred_lists
+                .into_iter()
+                .enumerate()
+                .map(|(k, preds)| Subscription::new(SubId(k as u64 + 1), preds))
+                .collect()
+        },
+    )
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    proptest::collection::vec((0usize..ATTRS, arb_value()), 0..6)
+        .prop_map(|pairs| pairs.into_iter().map(|(a, v)| (attr_sym(a), v)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Whenever `covers(g, s)` holds, every event the naive engine
+    /// reports as matching `s` is also reported as matching `g`:
+    /// covering never prunes a real match.
+    #[test]
+    fn covering_never_prunes_engine_matches(
+        subs in arb_subscriptions(),
+        events in proptest::collection::vec(arb_event(), 1..12),
+    ) {
+        let interner = fixture_interner();
+        let mut engine = NaiveEngine::new();
+        for s in &subs {
+            engine.insert(s.clone());
+        }
+        for event in &events {
+            let matched = collect_matches(&mut engine, event, &interner);
+            for g in &subs {
+                for s in &subs {
+                    if covers(g, s, &interner) && matched.binary_search(&s.id()).is_ok() {
+                        prop_assert!(
+                            matched.binary_search(&g.id()).is_ok(),
+                            "covers({}, {}) pruned a real match on {}",
+                            g.id(), s.id(), event.display(&interner)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// `cover_heads` pruning preserves coverage: an engine holding only
+    /// the heads matches an event if and only if the engine holding all
+    /// subscriptions matched it (coverage as "some subscriber fires", the
+    /// property a forwarding broker relies on).
+    #[test]
+    fn cover_heads_preserve_event_coverage(
+        subs in arb_subscriptions(),
+        events in proptest::collection::vec(arb_event(), 1..12),
+    ) {
+        let interner = fixture_interner();
+        let (heads, pruned) = cover_heads(&subs, &interner);
+        prop_assert_eq!(heads.len() + pruned.len(), subs.len());
+
+        let mut full = NaiveEngine::new();
+        for s in &subs {
+            full.insert(s.clone());
+        }
+        let mut pruned_engine = NaiveEngine::new();
+        for h in &heads {
+            pruned_engine.insert((*h).clone());
+        }
+        for event in &events {
+            let all = collect_matches(&mut full, event, &interner);
+            let only_heads = collect_matches(&mut pruned_engine, event, &interner);
+            prop_assert_eq!(
+                !all.is_empty(),
+                !only_heads.is_empty(),
+                "pruning to cover heads changed whether {} is delivered",
+                event.display(&interner)
+            );
+            // Every head match is a real match.
+            for id in &only_heads {
+                prop_assert!(all.binary_search(id).is_ok());
+            }
+        }
+    }
+}

@@ -7,6 +7,7 @@
 
 use std::sync::Arc;
 
+use stopss_core::{Config, Match, SToPSS, ShardedSToPSS};
 use stopss_ontology::Ontology;
 use stopss_types::{
     Event, Interner, Operator, Predicate, SharedInterner, SubId, Subscription, Value,
@@ -27,6 +28,47 @@ pub struct Fixture {
     pub subscriptions: Vec<Subscription>,
     /// Publications to feed.
     pub publications: Vec<Event>,
+}
+
+impl Fixture {
+    /// The fixture's publications in contiguous batches of `batch_size`
+    /// (the last batch may be shorter; a size of 0 means 1). The unit the
+    /// sharded matcher's `publish_batch` fans out per worker round.
+    pub fn publication_batches(&self, batch_size: usize) -> std::slice::Chunks<'_, Event> {
+        self.publications.chunks(batch_size.max(1))
+    }
+
+    /// Builds a single-threaded matcher over this fixture's ontology with
+    /// every subscription registered.
+    pub fn matcher(&self, config: Config) -> SToPSS {
+        let mut matcher = SToPSS::new(config, self.source.clone(), self.interner.clone());
+        for sub in &self.subscriptions {
+            matcher.subscribe(sub.clone());
+        }
+        matcher
+    }
+
+    /// Builds a sharded matcher (shard count from `config.shards`) over
+    /// this fixture's ontology with every subscription registered.
+    pub fn sharded_matcher(&self, config: Config) -> ShardedSToPSS {
+        let mut matcher = ShardedSToPSS::new(config, self.source.clone(), self.interner.clone());
+        for sub in &self.subscriptions {
+            matcher.subscribe(sub.clone());
+        }
+        matcher
+    }
+
+    /// Feeds every publication through `matcher.publish_batch` in batches
+    /// of `batch_size`, returning the match set of each publication in
+    /// publication order — the batch-feed entry point for benches and the
+    /// differential suites.
+    pub fn feed_batches(&self, matcher: &mut ShardedSToPSS, batch_size: usize) -> Vec<Vec<Match>> {
+        let mut out = Vec::with_capacity(self.publications.len());
+        for batch in self.publication_batches(batch_size) {
+            out.extend(matcher.publish_batch(batch));
+        }
+        out
+    }
 }
 
 /// Builds the job-finder fixture used by experiments E1–E3 and E6.
@@ -167,6 +209,19 @@ pub fn chain_subscription(domain: &SyntheticDomain, id: SubId) -> Option<Subscri
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_feed_equals_per_event_publish() {
+        let f = jobfinder_fixture(80, 40, 13);
+        let config = Config::default().with_shards(4);
+        let mut single = f.matcher(config);
+        let mut sharded = f.sharded_matcher(config);
+        let want: Vec<Vec<Match>> = f.publications.iter().map(|e| single.publish(e)).collect();
+        let got = f.feed_batches(&mut sharded, 7);
+        assert_eq!(got, want);
+        assert_eq!(f.publication_batches(7).count(), 40usize.div_ceil(7));
+        assert_eq!(f.publication_batches(0).count(), 40, "batch size 0 clamps to 1");
+    }
 
     #[test]
     fn jobfinder_fixture_is_complete_and_deterministic() {

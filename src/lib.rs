@@ -15,7 +15,9 @@
 //! * [`ontology`] — synonyms, concept hierarchies, mapping functions,
 //!   multi-domain registry, the `.sto` text format;
 //! * [`core`] — the semantic stages, strategies, tolerances and the
-//!   [`core::SToPSS`] matcher;
+//!   [`core::SToPSS`] matcher, plus the hash-sharded concurrent
+//!   [`core::ShardedSToPSS`] (set [`core::Config::shards`] and use
+//!   `publish_batch` to fan publications across per-shard engines);
 //! * [`broker`] — the Figure 2 runtime: dispatcher, notification engine,
 //!   simulated transports, wire protocol;
 //! * [`workload`] — deterministic workload generation and experiment
@@ -62,7 +64,8 @@ pub use stopss_workload as workload;
 pub mod prelude {
     pub use stopss_broker::{Broker, BrokerConfig, DemoServer, TransportKind};
     pub use stopss_core::{
-        semantic_match, Config, Match, MatchOrigin, SToPSS, StageMask, Strategy, Tolerance,
+        semantic_match, Config, Match, MatchOrigin, MatcherStats, SToPSS, ShardedSToPSS, StageMask,
+        Strategy, Tolerance,
     };
     pub use stopss_matching::{EngineKind, MatchingEngine};
     pub use stopss_ontology::{

@@ -1,0 +1,218 @@
+//! Differential suite: the sharded matcher is observably identical to the
+//! single-threaded matcher.
+//!
+//! `ShardedSToPSS` promises byte-identical results — match sets,
+//! provenance, ordering, and aggregated `MatcherStats` — for every shard
+//! count, because shards partition subscriptions and replicate the
+//! engine-independent event-side work (see `stopss_core::sharded` module
+//! docs). This suite pins that promise on generated workloads (the
+//! realistic job-finder domain and a synthetic taxonomy domain), swept
+//! across every syntactic engine × every strategy × representative stage
+//! masks × shard counts {1, 2, 8}, with per-subscription tolerances in
+//! the mix, plus determinism regressions (repeat publication, batch vs
+//! per-event feeding, and one golden match-set).
+
+use s_topss::core::{Config, Match, SToPSS, ShardedSToPSS, StageMask, Strategy, Tolerance};
+use s_topss::matching::EngineKind;
+use s_topss::workload::{
+    jobfinder_fixture, synthetic_fixture, Fixture, SyntheticConfig, SyntheticWorkload,
+};
+
+/// Stage masks exercising every stage alone and in combination with the
+/// stage-interleaving cases (hierarchy ⇄ mapping) that stress the closure.
+fn representative_masks() -> [StageMask; 5] {
+    [
+        StageMask::syntactic(),
+        StageMask::SYNONYM,
+        StageMask::SYNONYM.with(StageMask::HIERARCHY),
+        StageMask::HIERARCHY.with(StageMask::MAPPING),
+        StageMask::all(),
+    ]
+}
+
+/// Tolerances assigned round-robin so shards hold a mix of verify-needing
+/// and default-tolerance subscriptions.
+fn tolerance_for(k: usize) -> Option<Tolerance> {
+    match k % 5 {
+        3 => Some(Tolerance::bounded(1)),
+        4 => Some(Tolerance::syntactic()),
+        _ => None,
+    }
+}
+
+fn subscribe_single(fixture: &Fixture, matcher: &mut SToPSS) {
+    for (k, sub) in fixture.subscriptions.iter().enumerate() {
+        match tolerance_for(k) {
+            Some(t) => matcher.subscribe_with_tolerance(sub.clone(), t),
+            None => matcher.subscribe(sub.clone()),
+        }
+    }
+}
+
+fn subscribe_sharded(fixture: &Fixture, matcher: &mut ShardedSToPSS) {
+    for (k, sub) in fixture.subscriptions.iter().enumerate() {
+        match tolerance_for(k) {
+            Some(t) => matcher.subscribe_with_tolerance(sub.clone(), t),
+            None => matcher.subscribe(sub.clone()),
+        }
+    }
+}
+
+/// Publishes the whole fixture through both matchers and asserts exact
+/// agreement on matches + provenance per event and on aggregated stats.
+fn assert_differential(fixture: &Fixture, config: Config, label: &str) {
+    let mut single = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    let mut sharded = ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    subscribe_single(fixture, &mut single);
+    subscribe_sharded(fixture, &mut sharded);
+    assert_eq!(single.len(), sharded.len(), "{label}: subscription counts");
+    for (k, event) in fixture.publications.iter().enumerate() {
+        let want = single.publish(event);
+        let got = sharded.publish(event);
+        assert_eq!(got, want, "{label}: event #{k} diverged");
+    }
+    assert_eq!(sharded.stats(), *single.stats(), "{label}: aggregated stats diverged");
+}
+
+/// Sweeps engines × strategies × masks × shard counts. The
+/// single-threaded reference is computed once per configuration and
+/// reused against every shard count.
+fn sweep(fixture: &Fixture, masks: &[StageMask], shard_counts: &[usize]) {
+    for engine in EngineKind::ALL {
+        for strategy in Strategy::ALL {
+            for &stages in masks {
+                let config = Config::default()
+                    .with_engine(engine)
+                    .with_strategy(strategy)
+                    .with_stages(stages);
+                let mut single =
+                    SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+                subscribe_single(fixture, &mut single);
+                let want: Vec<Vec<Match>> =
+                    fixture.publications.iter().map(|e| single.publish(e)).collect();
+                for &shards in shard_counts {
+                    let label = format!(
+                        "engine={} strategy={} stages={:?} shards={}",
+                        engine.name(),
+                        strategy.name(),
+                        stages,
+                        shards
+                    );
+                    let mut sharded = ShardedSToPSS::new(
+                        config.with_shards(shards),
+                        fixture.source.clone(),
+                        fixture.interner.clone(),
+                    );
+                    subscribe_sharded(fixture, &mut sharded);
+                    let got = sharded.publish_batch(&fixture.publications);
+                    assert_eq!(got, want, "{label}: match sets diverged");
+                    assert_eq!(
+                        sharded.stats(),
+                        *single.stats(),
+                        "{label}: aggregated stats diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn jobfinder_sharded_equals_single_across_engines_strategies_masks() {
+    let fixture = jobfinder_fixture(100, 24, 42);
+    sweep(&fixture, &representative_masks(), &[1, 2, 8]);
+}
+
+#[test]
+fn synthetic_sharded_equals_single_across_engines_strategies_masks() {
+    let shape = SyntheticConfig { attrs: 3, depth: 3, fanout: 2, ..Default::default() };
+    let workload = SyntheticWorkload {
+        subscriptions: 80,
+        publications: 16,
+        general_term_bias: 0.7,
+        seed: 7,
+        ..Default::default()
+    };
+    let fixture = synthetic_fixture(&shape, &workload);
+    sweep(&fixture, &representative_masks(), &[1, 2, 8]);
+}
+
+#[test]
+fn constrained_parallelism_is_equivalent_too() {
+    let fixture = jobfinder_fixture(80, 20, 11);
+    for parallelism in [1usize, 2, 5] {
+        let config = Config::default().with_shards(8).with_parallelism(parallelism);
+        assert_differential(&fixture, config, &format!("parallelism={parallelism}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism regressions.
+
+#[test]
+fn same_fixture_published_twice_yields_identical_ordered_results() {
+    let fixture = jobfinder_fixture(120, 30, 9);
+    let config = Config::default().with_shards(8);
+    let run = || {
+        let mut matcher = fixture.sharded_matcher(config);
+        let sets: Vec<Vec<Match>> =
+            fixture.publications.iter().map(|e| matcher.publish(e)).collect();
+        (sets, matcher.stats())
+    };
+    let (first, first_stats) = run();
+    let (second, second_stats) = run();
+    assert_eq!(first, second, "thread scheduling must not leak into results");
+    assert_eq!(first_stats, second_stats);
+}
+
+#[test]
+fn publish_batch_equals_per_event_publish() {
+    let fixture = jobfinder_fixture(120, 30, 9);
+    let config = Config::default().with_shards(8);
+    let mut per_event = fixture.sharded_matcher(config);
+    let sequential: Vec<Vec<Match>> =
+        fixture.publications.iter().map(|e| per_event.publish(e)).collect();
+    for batch_size in [1usize, 7, 30] {
+        let mut batched = fixture.sharded_matcher(config);
+        let got = fixture.feed_batches(&mut batched, batch_size);
+        assert_eq!(got, sequential, "batch_size={batch_size}");
+        assert_eq!(batched.stats(), per_event.stats(), "batch_size={batch_size} stats");
+    }
+}
+
+/// One pinned golden match-set: catches accidental nondeterminism (or a
+/// silent semantics change) that the self-comparing tests above could
+/// miss if both runs drifted together.
+#[test]
+fn golden_match_set_is_pinned() {
+    let fixture = jobfinder_fixture(40, 10, 2003);
+    let mut matcher = fixture.sharded_matcher(Config::default().with_shards(8));
+    let got: Vec<Vec<u64>> = fixture
+        .publications
+        .iter()
+        .map(|e| matcher.publish(e).iter().map(|m| m.sub.0).collect())
+        .collect();
+    let want: Vec<Vec<u64>> = vec![
+        // Golden, recorded from the verified single-threaded behaviour of
+        // the seed (jobfinder fixture: 40 subs, 10 pubs, seed 2003).
+        vec![24, 35],
+        vec![14, 24, 35],
+        vec![16, 24, 29, 35, 37],
+        vec![24, 26],
+        vec![24, 33],
+        vec![1, 18, 22, 24, 25, 33, 35, 39],
+        vec![24, 26],
+        vec![24, 34],
+        vec![1, 6, 18, 24, 26, 33],
+        vec![1, 6, 18, 22, 24, 25, 33, 39],
+    ];
+    assert_eq!(got, want, "golden match-set drifted");
+    // The golden set must also be what the single-threaded matcher says.
+    let mut single = fixture.matcher(Config::default());
+    let single_ids: Vec<Vec<u64>> = fixture
+        .publications
+        .iter()
+        .map(|e| single.publish(e).iter().map(|m| m.sub.0).collect())
+        .collect();
+    assert_eq!(got, single_ids);
+}

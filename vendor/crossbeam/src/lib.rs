@@ -1,10 +1,14 @@
 //! Offline, API-compatible subset of the `crossbeam` crate.
 //!
-//! Only [`channel`] is provided (the slice this workspace uses), backed
-//! by `std::sync::mpsc`. Semantics relevant to the broker's notification
-//! engine are preserved: unbounded FIFO delivery, `recv` blocking until
-//! the channel is closed and drained, and `try_recv` distinguishing
-//! "empty" from "disconnected".
+//! Two slices are provided (the ones this workspace uses):
+//!
+//! * [`channel`] — unbounded MPMC-style channels backed by
+//!   `std::sync::mpsc`. Semantics relevant to the broker's notification
+//!   engine are preserved: unbounded FIFO delivery, `recv` blocking until
+//!   the channel is closed and drained, and `try_recv` distinguishing
+//!   "empty" from "disconnected".
+//! * [`thread`] — `crossbeam_utils`-style scoped threads backed by
+//!   `std::thread::scope`, used by the sharded matcher's worker pool.
 
 pub mod channel {
     //! Multi-producer channels mirroring `crossbeam_channel`'s API.
@@ -106,6 +110,120 @@ pub mod channel {
             }
             drop(tx);
             assert_eq!(worker.join().unwrap().len(), 100);
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads mirroring `crossbeam::thread`'s API.
+    //!
+    //! Spawned closures receive a `&Scope` (so workers can spawn more
+    //! workers) and borrow non-`'static` data from the caller's stack.
+    //! [`scope`] joins every unjoined thread before returning, exactly
+    //! like the real crate; a panic in an unjoined child surfaces as the
+    //! `Err` variant instead of unwinding through the caller.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A panic payload from a joined or collected thread.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// Handle for spawning scoped threads; passed to [`scope`]'s closure
+    /// and to every spawned closure.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Owned handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload if it panicked).
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope so it
+        /// can spawn siblings, mirroring `crossbeam::thread::Scope::spawn`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the caller's
+    /// stack. All threads spawned inside are joined before `scope`
+    /// returns. Returns `Err` if the closure or any unjoined child thread
+    /// panicked (the real crate only reports unjoined children; folding
+    /// the closure's own panic in keeps the stub panic-safe).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let data = [1u64, 2, 3, 4];
+            let total = scope(|s| {
+                let handles: Vec<_> =
+                    data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<u64>())).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn workers_can_spawn_siblings() {
+            let n = scope(|s| {
+                let h = s.spawn(|s2| {
+                    let inner = s2.spawn(|_| 21u32);
+                    inner.join().unwrap() * 2
+                });
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 42);
+        }
+
+        #[test]
+        fn mutable_chunks_are_disjointly_borrowed() {
+            let mut cells = [0u64; 8];
+            scope(|s| {
+                for chunk in cells.chunks_mut(3) {
+                    s.spawn(move |_| {
+                        for c in chunk {
+                            *c += 7;
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            assert!(cells.iter().all(|&c| c == 7));
+        }
+
+        #[test]
+        fn panics_surface_as_err_not_unwind() {
+            let result = scope(|s| {
+                s.spawn(|_| panic!("worker died"));
+            });
+            assert!(result.is_err());
         }
     }
 }
