@@ -3,14 +3,33 @@
 //! algorithms").
 //!
 //! Publish latency per stage combination over the job-finder workload.
+//! Besides the criterion-stub report, the bench emits the
+//! machine-readable perf trajectory `BENCH_semantic.json` at the repo
+//! root; CI regenerates it and the file is committed so `git log` shows
+//! the trajectory PR-over-PR.
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
-use stopss_bench::matcher_for;
+use stopss_bench::{
+    matcher_for, render_bench_json, sweep_json_fields, timed_sweep, JsonRow, JsonValue,
+};
 use stopss_core::{Config, StageMask};
 use stopss_workload::jobfinder_fixture;
+
+const SUBSCRIPTION_COUNTS: [usize; 2] = [1_000, 10_000];
+const PUBLICATIONS: usize = 200;
+const WARMUP: usize = 25;
+
+fn stage_sets() -> [(&'static str, StageMask); 4] {
+    [
+        ("syntactic", StageMask::syntactic()),
+        ("synonym", StageMask::SYNONYM),
+        ("syn+hier", StageMask::SYNONYM.with(StageMask::HIERARCHY)),
+        ("all", StageMask::all()),
+    ]
+}
 
 fn bench_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("semantic_overhead");
@@ -18,15 +37,9 @@ fn bench_overhead(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(300));
-    let stage_sets: [(&str, StageMask); 4] = [
-        ("syntactic", StageMask::syntactic()),
-        ("synonym", StageMask::SYNONYM),
-        ("syn+hier", StageMask::SYNONYM.with(StageMask::HIERARCHY)),
-        ("all", StageMask::all()),
-    ];
-    for subs in [1_000usize, 10_000] {
-        let fixture = jobfinder_fixture(subs, 200, 7);
-        for (label, stages) in stage_sets {
+    for subs in SUBSCRIPTION_COUNTS {
+        let fixture = jobfinder_fixture(subs, PUBLICATIONS, 7);
+        for (label, stages) in stage_sets() {
             let config = Config { stages, track_provenance: false, ..Config::default() };
             let mut matcher = matcher_for(&fixture, config);
             let events = &fixture.publications;
@@ -43,5 +56,44 @@ fn bench_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full-pass timed sweeps for the committed perf trajectory.
+fn trajectory_rows() -> Vec<JsonRow> {
+    let mut rows = Vec::new();
+    for subs in SUBSCRIPTION_COUNTS {
+        let fixture = jobfinder_fixture(subs, PUBLICATIONS, 7);
+        for (label, stages) in stage_sets() {
+            let config = Config { stages, track_provenance: false, ..Config::default() };
+            let mut matcher = matcher_for(&fixture, config);
+            let result = timed_sweep(&mut matcher, &fixture.publications, WARMUP);
+            let mut row: JsonRow = vec![
+                ("stages", JsonValue::Str(label.to_owned())),
+                ("subscriptions", JsonValue::UInt(subs as u64)),
+            ];
+            row.extend(sweep_json_fields(&result));
+            rows.push(row);
+        }
+    }
+    rows
+}
+
 criterion_group!(benches, bench_overhead);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // Opt-in like sharding_scaling's trajectory: plain `cargo bench`
+    // stays a fast smoke run.
+    if std::env::var_os("BENCH_TRAJECTORY").is_none() {
+        return;
+    }
+    let json = render_bench_json(
+        "semantic_overhead",
+        &[
+            ("workload", JsonValue::Str("jobfinder".to_owned())),
+            ("publications", JsonValue::UInt(PUBLICATIONS as u64)),
+        ],
+        &trajectory_rows(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_semantic.json");
+    std::fs::write(path, json).expect("write BENCH_semantic.json");
+    println!("wrote {path}");
+}

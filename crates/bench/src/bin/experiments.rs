@@ -6,10 +6,19 @@
 //! one of them into a measured table. See `DESIGN.md` §4 for the index.
 //!
 //! Usage:
-//!   experiments [--quick] [exp ...]
+//!   experiments [--quick] [--check] [exp ...]
 //! where `exp` ∈ {fig1, fig2, overhead, ontology, engines, tolerance,
 //! multidomain, strategy, hierarchy, all} (default: all).
-//! Tables are printed and written to `results/<exp>.md` / `.csv`.
+//! Tables are printed and written to `results/<exp>.md` / `.csv`
+//! (`results/quick/<exp>.*` with `--quick`, so the fast sweep has its own
+//! committed goldens at its own scale).
+//!
+//! `--check` is the CI freshness gate: instead of writing, regenerated
+//! tables are compared against the committed CSVs with *timing columns
+//! masked* (latency/rate cells vary run to run; match counts, recall,
+//! delivery conservation and derivation counters are deterministic), and
+//! the process exits non-zero on any drift — guarding the oracle tables
+//! against silent decay.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -45,6 +54,7 @@ fn scale(quick: bool) -> Scale {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
     let mut selected: Vec<&str> =
         args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     if selected.is_empty() || selected.contains(&"all") {
@@ -61,9 +71,13 @@ fn main() {
         ];
     }
     let s = scale(quick);
-    std::fs::create_dir_all("results").ok();
+    let dir = if quick { "results/quick" } else { "results" };
+    if !check {
+        std::fs::create_dir_all(dir).ok();
+    }
 
     let started = Instant::now();
+    let mut drifted: Vec<String> = Vec::new();
     for exp in selected {
         let tables = match exp {
             "fig1" => exp_fig1(&s),
@@ -87,10 +101,147 @@ fn main() {
             writeln!(md, "{}", table.to_markdown()).unwrap();
             writeln!(csv, "# {}\n{}", table.title, table.to_csv()).unwrap();
         }
-        std::fs::write(format!("results/{exp}.md"), md).ok();
-        std::fs::write(format!("results/{exp}.csv"), csv).ok();
+        if check {
+            let path = format!("{dir}/{exp}.csv");
+            match std::fs::read_to_string(&path) {
+                Ok(committed) => {
+                    if let Err(diff) = compare_masked(&committed, &csv) {
+                        eprintln!("freshness: {path} drifted\n{diff}");
+                        drifted.push(path);
+                    }
+                }
+                Err(err) => {
+                    eprintln!("freshness: cannot read {path}: {err}");
+                    drifted.push(path);
+                }
+            }
+        } else {
+            std::fs::write(format!("{dir}/{exp}.md"), md).ok();
+            std::fs::write(format!("{dir}/{exp}.csv"), csv).ok();
+        }
     }
     eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
+    if check {
+        if drifted.is_empty() {
+            eprintln!("freshness check passed: regenerated tables match the committed ones");
+        } else {
+            eprintln!(
+                "freshness check FAILED: {} table file(s) drifted: {}",
+                drifted.len(),
+                drifted.join(", ")
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Freshness gate: committed-vs-regenerated comparison with timing masked.
+
+/// True if a column holds wall-clock-dependent values (latencies, rates,
+/// ratios of latencies): masked out of the freshness comparison. Count
+/// columns (matches, recall, deliveries, derivation counters) stay.
+fn is_timing_column(header: &str) -> bool {
+    const TIMING: [&str; 9] = [
+        "publish", // "mean publish"
+        "pubs/sec",
+        "time",     // "closure time", "engine time", "subscribe time"
+        "overhead", // "overhead vs syntactic"
+        "closure share",
+        "speedup", // "speedup vs naive"
+        "resolve", // E4 "synonym resolve"
+        "check",   // E4 "is_a check"
+        "walk",    // E4 "ancestor walk" (+ "mapping candidates" below)
+    ];
+    let h = header.to_ascii_lowercase();
+    TIMING.iter().any(|p| h.contains(p)) || h.contains("candidates")
+}
+
+/// Splits one CSV line into cells, honoring `"…"` quoting with `""`
+/// escapes (the inverse of `Table::to_csv`).
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cell = String::new();
+    let mut quoted = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cell.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            '"' => quoted = true,
+            ',' if !quoted => cells.push(std::mem::take(&mut cell)),
+            c => cell.push(c),
+        }
+    }
+    cells.push(cell);
+    cells
+}
+
+/// Renders a results CSV with every timing cell replaced by `~`, so two
+/// runs of the same deterministic experiment normalize identically.
+fn mask_timing_cells(text: &str) -> String {
+    let mut out = String::new();
+    let mut mask: Vec<bool> = Vec::new();
+    let mut expect_header = false;
+    for line in text.lines() {
+        if let Some(title) = line.strip_prefix("# ") {
+            writeln!(out, "# {title}").unwrap();
+            expect_header = true;
+            continue;
+        }
+        let cells = split_csv_line(line);
+        if expect_header {
+            mask = cells.iter().map(|h| is_timing_column(h)).collect();
+            expect_header = false;
+            writeln!(out, "{}", cells.join("|")).unwrap();
+            continue;
+        }
+        let masked: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(
+                |(k, c)| {
+                    if mask.get(k).copied().unwrap_or(false) {
+                        "~".to_owned()
+                    } else {
+                        c.clone()
+                    }
+                },
+            )
+            .collect();
+        writeln!(out, "{}", masked.join("|")).unwrap();
+    }
+    out
+}
+
+/// Compares two results CSVs modulo timing columns; `Err` carries the
+/// first differing line pair.
+fn compare_masked(committed: &str, fresh: &str) -> Result<(), String> {
+    let committed = mask_timing_cells(committed);
+    let fresh = mask_timing_cells(fresh);
+    if committed == fresh {
+        return Ok(());
+    }
+    let mut c_lines = committed.lines();
+    let mut f_lines = fresh.lines();
+    loop {
+        match (c_lines.next(), f_lines.next()) {
+            (Some(c), Some(f)) if c == f => continue,
+            (c, f) => {
+                return Err(format!(
+                    "  committed: {}\n  fresh:     {}",
+                    c.unwrap_or("<eof>"),
+                    f.unwrap_or("<eof>")
+                ));
+            }
+        }
+    }
 }
 
 /// E1 / Figure 1 — stage ablation: every combination of the three

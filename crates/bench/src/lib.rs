@@ -7,9 +7,10 @@
 
 #![warn(missing_docs)]
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
-use stopss_core::{Config, SToPSS, ShardedSToPSS};
+use stopss_core::{shard_of, Config, Match, SToPSS, ShardedSToPSS};
 use stopss_types::{Event, SubId, Subscription};
 use stopss_workload::Fixture;
 
@@ -108,6 +109,212 @@ pub fn timed_batch_sweep(
     }
 }
 
+/// The PR-2 replicated sharding design, kept as a reference baseline: N
+/// complete [`SToPSS`] instances partitioned by [`shard_of`], each
+/// recomputing the *full* semantic pass (closure / materialization) for
+/// every publication, fanned out on scoped worker threads.
+///
+/// The production [`ShardedSToPSS`] hoists the event-side pass into a
+/// shared front-end; this harness preserves the replicated architecture
+/// so the `sharding_scaling` bench can report the hoisted-vs-replicated
+/// comparison axis honestly, and so differential tests can pin that both
+/// designs produce identical match sets.
+pub struct ReplicatedSharded {
+    shards: Vec<SToPSS>,
+    workers: usize,
+}
+
+impl ReplicatedSharded {
+    /// Builds the replicated harness over a fixture: subscriptions are
+    /// partitioned across `config.effective_shards()` full matchers.
+    pub fn new(fixture: &Fixture, config: Config) -> Self {
+        let shards_n = config.effective_shards();
+        let mut shards: Vec<SToPSS> = (0..shards_n)
+            .map(|_| SToPSS::new(config, fixture.source.clone(), fixture.interner.clone()))
+            .collect();
+        for sub in &fixture.subscriptions {
+            shards[shard_of(sub.id(), shards_n)].subscribe(sub.clone());
+        }
+        ReplicatedSharded { shards, workers: config.effective_parallelism() }
+    }
+
+    /// Publishes a batch the PR-2 way: every shard runs the complete
+    /// publication pipeline (semantic pass *and* matching) for every
+    /// event; per-shard match sets merge sorted by `SubId`.
+    pub fn publish_batch(&mut self, events: &[Event]) -> Vec<Vec<Match>> {
+        if events.is_empty() {
+            return Vec::new();
+        }
+        let per_shard: Vec<Vec<Vec<Match>>> = if self.workers <= 1 || self.shards.len() <= 1 {
+            self.shards.iter_mut().map(|s| s.publish_batch(events)).collect()
+        } else {
+            let chunk = self.shards.len().div_ceil(self.workers);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .chunks_mut(chunk)
+                    .map(|chunk_shards| {
+                        scope.spawn(move |_| {
+                            chunk_shards
+                                .iter_mut()
+                                .map(|s| s.publish_batch(events))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("shard worker panicked")).collect()
+            })
+            .expect("shard scope panicked")
+        };
+        let mut merged: Vec<Vec<Match>> = Vec::with_capacity(events.len());
+        for k in 0..events.len() {
+            let mut matches: Vec<Match> = Vec::new();
+            for shard_sets in &per_shard {
+                matches.extend_from_slice(&shard_sets[k]);
+            }
+            matches.sort_unstable_by_key(|m| m.sub);
+            merged.push(matches);
+        }
+        merged
+    }
+
+    /// Derived events fed to engines across all shards (each shard
+    /// replicates the event-side pass, so this is `shards ×` the hoisted
+    /// figure).
+    pub fn total_derived_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats().derived_events).sum()
+    }
+
+    /// Publications whose semantic pass hit a resource bound, summed
+    /// across the replicated shards.
+    pub fn total_truncations(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats().truncations).sum()
+    }
+}
+
+/// Publishes every event through the replicated baseline in batches of
+/// `batch_size` (after one untimed warm-up pass over the first `warmup`
+/// events) — the comparison counterpart of [`timed_batch_sweep`].
+pub fn timed_replicated_batch_sweep(
+    matcher: &mut ReplicatedSharded,
+    events: &[Event],
+    batch_size: usize,
+    warmup: usize,
+) -> SweepResult {
+    let warm = &events[..warmup.min(events.len())];
+    if !warm.is_empty() {
+        let _ = matcher.publish_batch(warm);
+    }
+    let derived_before = matcher.total_derived_events();
+    let truncations_before = matcher.total_truncations();
+    let start = Instant::now();
+    let mut matches = 0u64;
+    for batch in events.chunks(batch_size.max(1)) {
+        matches += matcher.publish_batch(batch).iter().map(|m| m.len() as u64).sum::<u64>();
+    }
+    let elapsed = start.elapsed();
+    let ns_per_event = elapsed.as_nanos() as f64 / events.len().max(1) as f64;
+    SweepResult {
+        matches,
+        ns_per_event,
+        events_per_sec: if ns_per_event > 0.0 { 1e9 / ns_per_event } else { 0.0 },
+        derived_events: matcher.total_derived_events() - derived_before,
+        truncations: matcher.total_truncations() - truncations_before,
+    }
+}
+
+/// A scalar value in the perf-trajectory JSON reports.
+#[derive(Clone, Debug)]
+pub enum JsonValue {
+    /// A string (quoted and escaped).
+    Str(String),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float (emitted with one decimal, enough for nanosecond means).
+    Float(f64),
+}
+
+impl JsonValue {
+    fn render(&self, out: &mut String) {
+        match self {
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f:.1}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+    }
+}
+
+/// One measurement row of a perf-trajectory report: ordered
+/// `(field, value)` pairs.
+pub type JsonRow = Vec<(&'static str, JsonValue)>;
+
+/// The [`SweepResult`] counters as JSON fields, appended to a row's
+/// identifying fields by the bench emitters.
+pub fn sweep_json_fields(result: &SweepResult) -> JsonRow {
+    vec![
+        ("matches", JsonValue::UInt(result.matches)),
+        ("ns_per_event", JsonValue::Float(result.ns_per_event)),
+        ("events_per_sec", JsonValue::Float(result.events_per_sec)),
+        ("derived_events", JsonValue::UInt(result.derived_events)),
+        ("truncations", JsonValue::UInt(result.truncations)),
+    ]
+}
+
+/// Renders a perf-trajectory report: a top-level object with the bench
+/// name, free-form context fields, and a `rows` array. Hand-rolled so the
+/// offline workspace needs no serde; committed at the repo root as
+/// `BENCH_<name>.json` so `git log` shows the trajectory PR-over-PR.
+pub fn render_bench_json(bench: &str, context: &[(&str, JsonValue)], rows: &[JsonRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = write!(out, "  \"bench\": ");
+    JsonValue::Str(bench.to_owned()).render(&mut out);
+    for (name, value) in context {
+        let _ = write!(out, ",\n  \"{name}\": ");
+        value.render(&mut out);
+    }
+    out.push_str(",\n  \"rows\": [\n");
+    for (k, row) in rows.iter().enumerate() {
+        out.push_str("    {");
+        for (j, (name, value)) in row.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{name}\": ");
+            value.render(&mut out);
+        }
+        out.push('}');
+        if k + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Match sets per event, for recall comparisons between configurations.
 pub fn match_sets(matcher: &mut SToPSS, events: &[Event]) -> Vec<Vec<SubId>> {
     events
@@ -182,6 +389,55 @@ mod tests {
         assert_eq!(batched.derived_events, sequential.derived_events);
         assert_eq!(batched.truncations, sequential.truncations);
         assert!(batched.ns_per_event > 0.0);
+    }
+
+    #[test]
+    fn replicated_baseline_agrees_with_hoisted_sharded() {
+        let fixture = jobfinder_fixture(60, 30, 3);
+        let config = Config::default().with_provenance(false).with_shards(4);
+        let mut hoisted = sharded_matcher_for(&fixture, config);
+        let mut replicated = ReplicatedSharded::new(&fixture, config);
+        let want = hoisted.publish_batch(&fixture.publications);
+        let got = replicated.publish_batch(&fixture.publications);
+        assert_eq!(got, want, "both sharding designs must produce identical match sets");
+        // The replicated design pays the event-side pass once per shard.
+        assert_eq!(replicated.total_derived_events(), 4 * hoisted.stats().derived_events);
+        let sweep = timed_replicated_batch_sweep(&mut replicated, &fixture.publications, 8, 5);
+        assert!(sweep.ns_per_event > 0.0);
+        assert_eq!(sweep.derived_events, 4 * hoisted.stats().derived_events);
+    }
+
+    #[test]
+    fn bench_json_renders_rows_and_escapes() {
+        let rows = vec![
+            vec![
+                ("engine", JsonValue::Str("counting".into())),
+                ("shards", JsonValue::UInt(2)),
+                ("ns_per_event", JsonValue::Float(1234.56)),
+            ],
+            vec![("engine", JsonValue::Str("a\"b".into()))],
+        ];
+        let json =
+            render_bench_json("sharding", &[("workload", JsonValue::Str("job".into()))], &rows);
+        assert!(json.contains("\"bench\": \"sharding\""));
+        assert!(json.contains("\"workload\": \"job\""));
+        assert!(json.contains("\"shards\": 2"));
+        assert!(json.contains("\"ns_per_event\": 1234.6"));
+        assert!(json.contains("\\\"b"), "quotes must be escaped: {json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn sweep_json_fields_cover_all_counters() {
+        let fixture = jobfinder_fixture(20, 10, 1);
+        let mut matcher = matcher_for(&fixture, Config::default().with_provenance(false));
+        let result = timed_sweep(&mut matcher, &fixture.publications, 0);
+        let fields = sweep_json_fields(&result);
+        let names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec!["matches", "ns_per_event", "events_per_sec", "derived_events", "truncations"]
+        );
     }
 
     #[test]

@@ -9,15 +9,28 @@
 //!
 //! When [`BrokerConfig::matcher`] asks for more than one shard, the broker
 //! runs over [`stopss_core::ShardedSToPSS`] instead of the single-threaded
-//! matcher: publications (and especially [`Broker::publish_batch`]) then
-//! fan out across per-shard engines on a worker pool, with byte-identical
-//! match sets and notifications.
+//! matcher, with byte-identical match sets and notifications.
+//!
+//! [`Broker::publish_batch`] runs the two-stage pipeline: stage 1 — the
+//! event-side semantic pass — needs only the immutable
+//! configuration/ontology/interner, so the broker snapshots a
+//! [`stopss_core::SemanticFrontEnd`] handle and prepares the whole batch
+//! *outside* the matcher mutex (the sharded front-end additionally chunks
+//! large batches across its scoped worker pool). Stage 2 — engine match +
+//! verify on the precomputed artifacts — is the only part that holds the
+//! mutex. A configuration epoch guards the seam: if `set_semantic_mode`
+//! switched stages while the batch was being prepared, the stale
+//! artifacts are discarded and the batch is republished from the raw
+//! events under the lock.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use stopss_core::{Config, Match, MatcherStats, SToPSS, ShardedSToPSS, StageMask, Tolerance};
+use stopss_core::{
+    Config, Match, MatcherStats, PreparedEvent, SToPSS, SemanticFrontEnd, ShardedSToPSS, StageMask,
+    Tolerance,
+};
 use stopss_ontology::SemanticSource;
 use stopss_types::{Event, FxHashMap, Predicate, SharedInterner, SubId, Subscription};
 
@@ -136,6 +149,29 @@ impl MatcherBackend {
         }
     }
 
+    /// The event-side semantic front-end handle (config snapshot + shared
+    /// ontology/interner), detachable so batches can be prepared outside
+    /// the matcher mutex.
+    fn frontend(&self) -> SemanticFrontEnd {
+        match self {
+            MatcherBackend::Single(m) => m.frontend(),
+            MatcherBackend::Sharded(m) => m.frontend(),
+        }
+    }
+
+    /// Publishes precomputed front-end artifacts (the matching stage of
+    /// the pipeline). Artifacts must match the current configuration.
+    fn publish_prepared_batch(&mut self, prepared: &[PreparedEvent]) -> Vec<Vec<Match>> {
+        match self {
+            MatcherBackend::Single(m) => {
+                prepared.iter().map(|p| m.publish_prepared(p).matches).collect()
+            }
+            MatcherBackend::Sharded(m) => {
+                m.publish_prepared_batch(prepared).into_iter().map(|r| r.matches).collect()
+            }
+        }
+    }
+
     fn set_stages(&mut self, stages: StageMask) {
         match self {
             MatcherBackend::Single(m) => m.set_stages(stages),
@@ -155,6 +191,10 @@ pub struct Broker {
     /// Stage mask used in semantic mode (restored by `set_semantic_mode`).
     semantic_stages: StageMask,
     semantic: RwLock<bool>,
+    /// Bumped (under the matcher lock) whenever the matcher's semantic
+    /// configuration changes; lets `publish_batch` detect that artifacts
+    /// prepared outside the lock went stale mid-flight.
+    matcher_epoch: AtomicU64,
     next_client: AtomicU64,
     next_sub: AtomicU64,
 }
@@ -187,6 +227,7 @@ impl Broker {
             interner,
             semantic_stages: config.matcher.stages,
             semantic: RwLock::new(!config.matcher.stages.is_syntactic()),
+            matcher_epoch: AtomicU64::new(0),
             next_client: AtomicU64::new(1),
             next_sub: AtomicU64::new(1),
         }
@@ -262,12 +303,35 @@ impl Broker {
         matches.len()
     }
 
-    /// Publishes a batch of events in one matcher pass (the sharded
-    /// backend fans the whole batch out across its worker pool), enqueuing
-    /// notifications exactly as [`Broker::publish`] would per event.
-    /// Returns the total number of matches across the batch.
+    /// Publishes a batch of events through the two-stage pipeline,
+    /// enqueuing notifications exactly as [`Broker::publish`] would per
+    /// event. Returns the total number of matches across the batch.
+    ///
+    /// Stage 1 (the event-side semantic pass) runs *outside* the matcher
+    /// mutex on a detached [`SemanticFrontEnd`] handle, so concurrent
+    /// subscribes and publishers are blocked only for stage 2 (engine
+    /// match + verify on the precomputed artifacts). If the semantic mode
+    /// switched while the batch was in flight, the stale artifacts are
+    /// discarded and the batch is republished under the lock.
     pub fn publish_batch(&self, events: &[Event]) -> usize {
-        let match_sets = self.matcher.lock().publish_batch(events);
+        if events.is_empty() {
+            return 0;
+        }
+        let (frontend, epoch) = {
+            let matcher = self.matcher.lock();
+            (matcher.frontend(), self.matcher_epoch.load(Ordering::Acquire))
+        };
+        let prepared = frontend.prepare_batch(events);
+        let match_sets = {
+            let mut matcher = self.matcher.lock();
+            if self.matcher_epoch.load(Ordering::Acquire) == epoch {
+                matcher.publish_prepared_batch(&prepared)
+            } else {
+                // The configuration changed between the snapshot and the
+                // match stage: fall back to preparing under the lock.
+                matcher.publish_batch(events)
+            }
+        };
         let mut total = 0;
         for (event, matches) in events.iter().zip(&match_sets) {
             self.notify_matches(event, matches);
@@ -312,7 +376,12 @@ impl Broker {
         }
         *flag = semantic;
         let stages = if semantic { self.semantic_stages } else { StageMask::syntactic() };
-        self.matcher.lock().set_stages(stages);
+        let mut matcher = self.matcher.lock();
+        matcher.set_stages(stages);
+        // Bumped while still holding the matcher lock, so an in-flight
+        // `publish_batch` cannot match stale artifacts against the new
+        // configuration without noticing.
+        self.matcher_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// True if the broker currently matches semantically.

@@ -89,7 +89,10 @@ pub struct Config {
     /// each shard owns an independent engine). Ignored by the
     /// single-threaded [`crate::SToPSS`]. Values below 1 mean 1.
     pub shards: usize,
-    /// Worker threads the sharded matcher fans publications out on.
+    /// Worker threads the sharded matcher's two pipeline stages run on:
+    /// the shared semantic front-end chunks large batches across up to
+    /// this many workers (further capped by the host's available
+    /// parallelism), and shard matching fans out on the same budget.
     /// `0` means auto: one worker per shard for batched publishes, while
     /// single-event publishes stay sequential (a thread spawn costs more
     /// than typical per-event matching). Setting it explicitly forces the

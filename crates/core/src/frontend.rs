@@ -1,0 +1,303 @@
+//! The shared event-side semantic front-end.
+//!
+//! Everything Figure 1 does to a *publication* — synonym canonicalization,
+//! the bounded hierarchy/mapping closure, event materialization — depends
+//! only on the event, the ontology, and the configuration; never on which
+//! subscriptions are registered. The companion paper "I know what you
+//! mean" frames exactly this split: semantic enrichment is a
+//! per-publication transform, matching is the per-subscription fan-out.
+//! This module computes that transform once, into a [`PreparedEvent`]
+//! artifact, so concurrent backends ([`crate::ShardedSToPSS`], the
+//! broker's batched publish path) hand shards only the engine-match +
+//! verify work instead of recomputing the closure per shard.
+//!
+//! [`SemanticFrontEnd`] is the detachable handle: a snapshot of the
+//! configuration plus shared ontology/interner references, cheap to clone
+//! out of a matcher so callers (e.g. the broker) can run the event-side
+//! pass *outside* the matcher lock.
+
+use std::sync::Arc;
+
+use stopss_ontology::SemanticSource;
+use stopss_types::{Event, Interner, SharedInterner};
+
+use crate::closure::{semantic_closure, PairInfo};
+use crate::config::{Config, Strategy};
+use crate::strategy::materialize_closure;
+use crate::tolerance::StageMask;
+
+/// The precomputed event-side semantic pass of one publication: the
+/// artifact shards match against, plus the counters the pass produced.
+///
+/// Equivalent to what [`crate::SToPSS::publish_detailed`] derives
+/// internally — computing it once and matching it on N shards is
+/// byte-identical to letting every shard recompute it (pinned by
+/// `crates/core/tests/frontend_differential.rs`).
+#[derive(Clone, Debug)]
+pub struct PreparedEvent {
+    /// The publication exactly as the publisher wrote it. Tolerance
+    /// verification and provenance classification are defined against the
+    /// raw event, so it travels with the artifact.
+    pub raw: Event,
+    /// The events the syntactic engine sees: one flattened closure for
+    /// [`Strategy::GeneralizedEvent`] / [`Strategy::SubscriptionRewrite`],
+    /// or the materialized derivation lattice (in breadth-first derivation
+    /// order) for [`Strategy::MaterializeEvents`].
+    pub engine_events: Vec<Event>,
+    /// Per-pair derivation provenance of the flattened closure (origin
+    /// distance, mapping/hierarchy flags), aligned with
+    /// `engine_events[0]`. Empty for the materializing strategy.
+    pub info: Vec<PairInfo>,
+    /// Derived events fed to the engine (the `derived_events` stat).
+    pub derived_events: usize,
+    /// Pairs in the closed event (the `closure_pairs` stat; 0 for the
+    /// materializing strategy).
+    pub closure_pairs: usize,
+    /// True if a resource bound clipped the semantic pass.
+    pub truncated: bool,
+}
+
+/// The engine-facing pieces of the event-side pass, without the owned raw
+/// event. The inline single-matcher publish path uses this directly so it
+/// can keep borrowing the caller's event; the detachable
+/// [`prepare_event`] wraps it into a self-contained [`PreparedEvent`].
+pub(crate) struct PreparedParts {
+    /// See [`PreparedEvent::engine_events`].
+    pub engine_events: Vec<Event>,
+    /// See [`PreparedEvent::info`].
+    pub info: Vec<PairInfo>,
+    /// See [`PreparedEvent::derived_events`].
+    pub derived_events: usize,
+    /// See [`PreparedEvent::closure_pairs`].
+    pub closure_pairs: usize,
+    /// See [`PreparedEvent::truncated`].
+    pub truncated: bool,
+}
+
+pub(crate) fn prepare_parts(
+    event: &Event,
+    source: &dyn SemanticSource,
+    config: &Config,
+    interner: &Interner,
+) -> PreparedParts {
+    match config.strategy {
+        Strategy::GeneralizedEvent | Strategy::SubscriptionRewrite => {
+            // The rewrite strategy moved hierarchy work to subscribe time;
+            // its publications run only the synonym and mapping stages.
+            let stages = if config.strategy == Strategy::SubscriptionRewrite {
+                config.stages.without(StageMask::HIERARCHY)
+            } else {
+                config.stages
+            };
+            let closed = semantic_closure(
+                event,
+                source,
+                stages,
+                config.max_distance,
+                config.now_year,
+                interner,
+                &config.limits.closure,
+            );
+            PreparedParts {
+                closure_pairs: closed.event.len(),
+                truncated: closed.truncated,
+                engine_events: vec![closed.event],
+                info: closed.info,
+                derived_events: 1,
+            }
+        }
+        Strategy::MaterializeEvents => {
+            let materialized = materialize_closure(
+                event,
+                source,
+                config.stages,
+                config.max_distance,
+                config.now_year,
+                interner,
+                &config.limits,
+            );
+            PreparedParts {
+                derived_events: materialized.events.len(),
+                truncated: materialized.truncated,
+                engine_events: materialized.events,
+                info: Vec::new(),
+                closure_pairs: 0,
+            }
+        }
+    }
+}
+
+/// Computes the event-side semantic pass for `event` under `config`.
+///
+/// This is the single source of truth for publication-side semantics:
+/// [`crate::SToPSS::publish_detailed`] runs it per publication, and
+/// [`crate::ShardedSToPSS`] runs it once per publication *before* fanning
+/// the matching out to shards.
+pub fn prepare_event(
+    event: &Event,
+    source: &dyn SemanticSource,
+    config: &Config,
+    interner: &Interner,
+) -> PreparedEvent {
+    let parts = prepare_parts(event, source, config, interner);
+    PreparedEvent {
+        raw: event.clone(),
+        engine_events: parts.engine_events,
+        info: parts.info,
+        derived_events: parts.derived_events,
+        closure_pairs: parts.closure_pairs,
+        truncated: parts.truncated,
+    }
+}
+
+/// A detachable handle on the event-side semantic machinery: the
+/// configuration snapshot plus the shared ontology and interner.
+///
+/// Cloned out of a matcher (see [`crate::SToPSS::frontend`] /
+/// [`crate::ShardedSToPSS::frontend`]) so the publication-side pass can
+/// run without holding any matcher lock — the broker uses this to prepare
+/// whole batches outside its matcher mutex.
+#[derive(Clone)]
+pub struct SemanticFrontEnd {
+    config: Config,
+    source: Arc<dyn SemanticSource>,
+    interner: SharedInterner,
+}
+
+/// Minimum publications per front-end worker before another thread is
+/// worth spawning (a scoped spawn costs more than a handful of closures).
+const MIN_EVENTS_PER_WORKER: usize = 16;
+
+impl SemanticFrontEnd {
+    /// Creates a front-end over `source` with `config`'s semantics.
+    pub fn new(config: Config, source: Arc<dyn SemanticSource>, interner: SharedInterner) -> Self {
+        SemanticFrontEnd { config, source, interner }
+    }
+
+    /// The configuration snapshot this front-end prepares under.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Prepares one publication.
+    pub fn prepare(&self, event: &Event) -> PreparedEvent {
+        self.interner.with(|i| prepare_event(event, self.source.as_ref(), &self.config, i))
+    }
+
+    /// Prepares a batch of publications, in order.
+    ///
+    /// The per-event passes are independent pure functions, so the batch
+    /// is chunked across up to [`Config::effective_parallelism`] scoped
+    /// workers (capped by the host's available parallelism and by
+    /// [`MIN_EVENTS_PER_WORKER`]); results are position-stable, so the
+    /// output is identical to the sequential pass regardless of worker
+    /// count.
+    pub fn prepare_batch(&self, events: &[Event]) -> Vec<PreparedEvent> {
+        let workers = self.batch_workers(events.len());
+        if workers <= 1 {
+            return self.interner.with(|i| {
+                events
+                    .iter()
+                    .map(|e| prepare_event(e, self.source.as_ref(), &self.config, i))
+                    .collect()
+            });
+        }
+        let chunk = events.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = events
+                .chunks(chunk)
+                .map(|chunk_events| {
+                    scope.spawn(move |_| {
+                        self.interner.with(|i| {
+                            chunk_events
+                                .iter()
+                                .map(|e| prepare_event(e, self.source.as_ref(), &self.config, i))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                })
+                .collect();
+            // Joined in spawn order, so event order is preserved.
+            handles.into_iter().flat_map(|h| h.join().expect("front-end worker panicked")).collect()
+        })
+        .expect("front-end scope panicked")
+    }
+
+    /// Worker count for a batch of `events` publications: bounded by the
+    /// configured parallelism, the hardware, and the batch size.
+    fn batch_workers(&self, events: usize) -> usize {
+        let configured = self.config.effective_parallelism();
+        let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+        configured.min(hardware).min(events.div_ceil(MIN_EVENTS_PER_WORKER)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stopss_ontology::Ontology;
+    use stopss_types::{EventBuilder, Interner};
+
+    fn world() -> (SharedInterner, Arc<Ontology>, Vec<Event>) {
+        let mut i = Interner::new();
+        let mut o = Ontology::new("t");
+        let degree = i.intern("degree");
+        let grad = i.intern("graduate_degree");
+        let phd = i.intern("phd");
+        o.taxonomy.add_isa(grad, degree, &i).unwrap();
+        o.taxonomy.add_isa(phd, grad, &i).unwrap();
+        let events = vec![
+            EventBuilder::new(&mut i).term("credential", "phd").build(),
+            EventBuilder::new(&mut i).term("credential", "degree").build(),
+            EventBuilder::new(&mut i).term("credential", "other").build(),
+        ];
+        (SharedInterner::from_interner(i), Arc::new(o), events)
+    }
+
+    #[test]
+    fn prepare_flattened_carries_closure_and_provenance() {
+        let (interner, source, events) = world();
+        let frontend = SemanticFrontEnd::new(Config::default(), source, interner);
+        let prepared = frontend.prepare(&events[0]);
+        assert_eq!(prepared.raw, events[0]);
+        assert_eq!(prepared.engine_events.len(), 1);
+        assert_eq!(prepared.derived_events, 1);
+        assert_eq!(prepared.closure_pairs, 3, "phd + graduate_degree + degree");
+        assert_eq!(prepared.info.len(), 3, "pair provenance aligned with the closed event");
+        assert!(!prepared.truncated);
+    }
+
+    #[test]
+    fn prepare_materialize_carries_derivation_lattice() {
+        let (interner, source, events) = world();
+        let config = Config::default().with_strategy(Strategy::MaterializeEvents);
+        let frontend = SemanticFrontEnd::new(config, source, interner);
+        let prepared = frontend.prepare(&events[0]);
+        // root, root+grad, root+degree, root+both.
+        assert_eq!(prepared.derived_events, 4);
+        assert_eq!(prepared.engine_events.len(), 4);
+        assert_eq!(prepared.closure_pairs, 0);
+        assert!(prepared.info.is_empty());
+    }
+
+    #[test]
+    fn prepare_batch_equals_per_event_prepare_for_any_worker_count() {
+        let (interner, source, events) = world();
+        // Repeat the events so the batch is big enough to chunk.
+        let batch: Vec<Event> = events.iter().cycle().take(40).cloned().collect();
+        for parallelism in [1usize, 3] {
+            let config = Config::default().with_shards(4).with_parallelism(parallelism);
+            let frontend = SemanticFrontEnd::new(config, source.clone(), interner.clone());
+            let batched = frontend.prepare_batch(&batch);
+            assert_eq!(batched.len(), batch.len());
+            for (got, event) in batched.iter().zip(&batch) {
+                let want = frontend.prepare(event);
+                assert_eq!(got.raw, want.raw);
+                assert_eq!(got.engine_events, want.engine_events);
+                assert_eq!(got.derived_events, want.derived_events);
+                assert_eq!(got.closure_pairs, want.closure_pairs);
+                assert_eq!(got.truncated, want.truncated);
+            }
+        }
+    }
+}

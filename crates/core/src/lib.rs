@@ -18,8 +18,14 @@
 //!   materialization, flattened closure, subscription rewriting);
 //! * [`Tolerance`] / [`StageMask`] — the information-loss knob (§3.2);
 //! * [`SToPSS`] — the matcher: subscribe / publish / provenance;
+//! * [`frontend`] — the shared event-side semantic pass:
+//!   [`prepare_event`] computes a [`PreparedEvent`] artifact (closure or
+//!   materialized derivation lattice + counters) once per publication,
+//!   and [`SemanticFrontEnd`] is the detachable handle that runs it
+//!   without holding any matcher lock;
 //! * [`ShardedSToPSS`] — the same matcher partitioned across N
-//!   hash-sharded engines with a scoped-thread worker pool and a batched
+//!   hash-sharded engines behind a two-stage pipeline (shared front-end,
+//!   then scoped-thread shard matching) with a batched
 //!   [`ShardedSToPSS::publish_batch`] API; results are byte-identical to
 //!   [`SToPSS`] (see `sharded` module docs for the argument);
 //! * [`oracle`] — the executable definition of semantic matching, used as
@@ -29,6 +35,7 @@
 
 pub mod closure;
 pub mod config;
+pub mod frontend;
 pub mod matcher;
 pub mod oracle;
 pub mod provenance;
@@ -41,9 +48,13 @@ pub use closure::{
     ClosureLimits, PairInfo,
 };
 pub use config::{Config, Limits, Strategy};
+pub use frontend::{prepare_event, PreparedEvent, SemanticFrontEnd};
 pub use matcher::{MatcherStats, PublishResult, SToPSS};
 pub use oracle::{classify_match, semantic_match};
 pub use provenance::{Match, MatchOrigin, OriginCounts};
 pub use sharded::{shard_of, ShardedSToPSS};
-pub use strategy::{expand_subscription, materialize_match, MaterializeOutcome, RewriteExpansion};
+pub use strategy::{
+    expand_subscription, materialize_closure, materialize_match, MaterializeOutcome,
+    MaterializedEvents, RewriteExpansion,
+};
 pub use tolerance::{StageMask, Tolerance};

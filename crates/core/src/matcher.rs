@@ -10,13 +10,14 @@ use std::sync::Arc;
 
 use stopss_matching::MatchingEngine;
 use stopss_ontology::SemanticSource;
-use stopss_types::{Event, FxHashMap, FxHashSet, Interner, SharedInterner, SubId, Subscription};
+use stopss_types::{Event, FxHashMap, Interner, SharedInterner, SubId, Subscription};
 
-use crate::closure::{semantic_closure, synonym_resolve_subscription};
+use crate::closure::synonym_resolve_subscription;
 use crate::config::{Config, Strategy};
+use crate::frontend::{prepare_event, prepare_parts, PreparedEvent, SemanticFrontEnd};
 use crate::oracle::{classify_match, semantic_match};
 use crate::provenance::{Match, MatchOrigin};
-use crate::strategy::{expand_subscription, materialize_match};
+use crate::strategy::expand_subscription;
 use crate::tolerance::Tolerance;
 
 /// Counters accumulated across the matcher's lifetime.
@@ -38,6 +39,23 @@ pub struct MatcherStats {
     /// Subscriptions whose rewrite expansion was clipped by
     /// `max_rewrites`.
     pub rewrite_truncations: u64,
+}
+
+impl MatcherStats {
+    /// Adds every counter of `other` into `self`. The sharded matcher
+    /// aggregates with this: the shared front-end contributes the
+    /// event-side counters exactly once, shards contribute only
+    /// subscription-side counters, so a plain sum reproduces the
+    /// single-threaded numbers.
+    pub fn merge(&mut self, other: &MatcherStats) {
+        self.published += other.published;
+        self.derived_events += other.derived_events;
+        self.closure_pairs += other.closure_pairs;
+        self.truncations += other.truncations;
+        self.verifications += other.verifications;
+        self.verify_rejections += other.verify_rejections;
+        self.rewrite_truncations += other.rewrite_truncations;
+    }
 }
 
 /// Detailed result of one publication.
@@ -243,76 +261,104 @@ impl SToPSS {
         events.iter().map(|e| self.publish(e)).collect()
     }
 
-    fn publish_inner(&mut self, event_raw: &Event, interner: &Interner) -> PublishResult {
-        self.stats.published += 1;
-        let mut result = PublishResult {
-            matches: Vec::new(),
-            derived_events: 0,
-            closure_pairs: 0,
-            truncated: false,
-        };
-        let mut candidate_engine_ids: Vec<SubId> = Vec::new();
+    /// A detachable handle on this matcher's event-side semantic machinery
+    /// (configuration snapshot + shared ontology/interner). Lets callers
+    /// run [`SemanticFrontEnd::prepare`] without borrowing the matcher —
+    /// the broker prepares whole batches outside its matcher mutex.
+    pub fn frontend(&self) -> SemanticFrontEnd {
+        SemanticFrontEnd::new(self.config, self.source.clone(), self.interner.clone())
+    }
 
-        match self.config.strategy {
-            Strategy::GeneralizedEvent => {
-                let closed = semantic_closure(
-                    event_raw,
-                    self.source.as_ref(),
-                    self.config.stages,
-                    self.config.max_distance,
-                    self.config.now_year,
-                    interner,
-                    &self.config.limits.closure,
-                );
-                result.derived_events = 1;
-                result.closure_pairs = closed.event.len();
-                result.truncated = closed.truncated;
-                self.engine.match_event(&closed.event, interner, &mut candidate_engine_ids);
-            }
-            Strategy::SubscriptionRewrite => {
-                // Hierarchy handled at subscribe time; publications only
-                // run the synonym and mapping stages.
-                let stages = self.config.stages.without(crate::tolerance::StageMask::HIERARCHY);
-                let closed = semantic_closure(
-                    event_raw,
-                    self.source.as_ref(),
-                    stages,
-                    self.config.max_distance,
-                    self.config.now_year,
-                    interner,
-                    &self.config.limits.closure,
-                );
-                result.derived_events = 1;
-                result.closure_pairs = closed.event.len();
-                result.truncated = closed.truncated;
-                self.engine.match_event(&closed.event, interner, &mut candidate_engine_ids);
-            }
-            Strategy::MaterializeEvents => {
-                let mut candidates: FxHashSet<SubId> = FxHashSet::default();
-                let outcome = materialize_match(
-                    event_raw,
-                    self.source.as_ref(),
-                    self.config.stages,
-                    self.config.max_distance,
-                    self.config.now_year,
-                    interner,
-                    &self.config.limits,
-                    self.engine.as_mut(),
-                    &mut candidates,
-                );
-                result.derived_events = outcome.derived_events;
-                result.truncated = outcome.truncated;
-                candidate_engine_ids.extend(candidates);
-            }
-        }
-        if result.truncated {
+    /// Runs the event-side semantic pass for one publication (closure or
+    /// event materialization) without touching the engine or any stats.
+    pub fn prepare(&self, event: &Event) -> PreparedEvent {
+        self.interner.with(|i| prepare_event(event, self.source.as_ref(), &self.config, i))
+    }
+
+    /// The subscription-side half of a publication: feeds the prepared
+    /// artifact's engine events to the syntactic engine, verifies
+    /// per-subscription tolerances, and classifies provenance.
+    ///
+    /// Only the subscription-side counters (`verifications`,
+    /// `verify_rejections`) accumulate here; the event-side counters
+    /// belong to whoever ran the front-end pass (see
+    /// [`SToPSS::publish_prepared`] and the sharded matcher). The
+    /// artifact must have been prepared under this matcher's
+    /// configuration.
+    pub fn match_prepared(&mut self, prepared: &PreparedEvent) -> PublishResult {
+        let interner = self.interner.clone();
+        interner.with(|i| self.match_prepared_inner(prepared, i))
+    }
+
+    /// Publishes a precomputed artifact: accounts the event-side counters
+    /// it carries, then matches. Equivalent to
+    /// `publish_detailed(&prepared.raw)` when the artifact came from this
+    /// matcher's [`SToPSS::frontend`].
+    pub fn publish_prepared(&mut self, prepared: &PreparedEvent) -> PublishResult {
+        self.stats.published += 1;
+        if prepared.truncated {
             self.stats.truncations += 1;
         }
-        self.stats.derived_events += result.derived_events as u64;
-        self.stats.closure_pairs += result.closure_pairs as u64;
+        self.stats.derived_events += prepared.derived_events as u64;
+        self.stats.closure_pairs += prepared.closure_pairs as u64;
+        self.match_prepared(prepared)
+    }
 
-        // Engine ids → user ids, deduplicated (rewrite fans out; the
-        // materializing strategy already deduplicated engine ids).
+    fn publish_inner(&mut self, event_raw: &Event, interner: &Interner) -> PublishResult {
+        self.stats.published += 1;
+        // `prepare_parts` (not `prepare_event`) so the inline path keeps
+        // borrowing the caller's event instead of cloning it into a
+        // detached artifact.
+        let parts = prepare_parts(event_raw, self.source.as_ref(), &self.config, interner);
+        if parts.truncated {
+            self.stats.truncations += 1;
+        }
+        self.stats.derived_events += parts.derived_events as u64;
+        self.stats.closure_pairs += parts.closure_pairs as u64;
+        self.match_inner(
+            &parts.engine_events,
+            event_raw,
+            (parts.derived_events, parts.closure_pairs, parts.truncated),
+            interner,
+        )
+    }
+
+    fn match_prepared_inner(
+        &mut self,
+        prepared: &PreparedEvent,
+        interner: &Interner,
+    ) -> PublishResult {
+        self.match_inner(
+            &prepared.engine_events,
+            &prepared.raw,
+            (prepared.derived_events, prepared.closure_pairs, prepared.truncated),
+            interner,
+        )
+    }
+
+    /// The subscription-side half shared by every publish entry point:
+    /// engine matching over the precomputed `engine_events`, tolerance
+    /// verification and provenance against the raw event, with the
+    /// event-side counters passed through into the result.
+    fn match_inner(
+        &mut self,
+        engine_events: &[Event],
+        event_raw: &Event,
+        (derived_events, closure_pairs, truncated): (usize, usize, bool),
+        interner: &Interner,
+    ) -> PublishResult {
+        let mut result =
+            PublishResult { matches: Vec::new(), derived_events, closure_pairs, truncated };
+        let mut candidate_engine_ids: Vec<SubId> = Vec::new();
+        let mut scratch: Vec<SubId> = Vec::new();
+        for event in engine_events {
+            scratch.clear();
+            self.engine.match_event(event, interner, &mut scratch);
+            candidate_engine_ids.extend_from_slice(&scratch);
+        }
+
+        // Engine ids → user ids, deduplicated (rewrite fans out one user
+        // subscription; materialization feeds many derived events).
         let mut user_ids: Vec<SubId> = candidate_engine_ids
             .iter()
             .filter_map(|eid| self.engine_to_user.get(eid).copied())

@@ -1,29 +1,43 @@
-//! Sharded concurrent matching.
+//! Sharded concurrent matching with a shared semantic front-end.
 //!
 //! [`ShardedSToPSS`] partitions subscriptions across N shards by a hash of
-//! their [`SubId`]; each shard owns a complete [`SToPSS`] (semantic stages
-//! plus an independent [`stopss_matching::MatchingEngine`]). A publication
-//! is fanned out to every shard on a crossbeam scoped-thread worker pool
-//! and the per-shard match sets are merged deterministically (sorted by
-//! `SubId`), so the result — matches, provenance, ordering, and aggregated
+//! their [`SubId`]; each shard owns a complete [`SToPSS`] (and therefore an
+//! independent [`stopss_matching::MatchingEngine`]). A publication flows
+//! through a **two-stage pipeline**:
+//!
+//! 1. **Shared semantic front-end** — the event-side pass (synonym
+//!    canonicalization, hierarchy/mapping closure, or event
+//!    materialization) runs *once per publication* via
+//!    [`crate::SemanticFrontEnd`], producing a [`PreparedEvent`] artifact.
+//!    For batches the front-end itself chunks events across the scoped
+//!    worker pool.
+//! 2. **Shard matching** — every shard receives only the engine-match +
+//!    verify work ([`SToPSS::match_prepared`]) on the precomputed
+//!    artifact, fanned out on crossbeam scoped worker threads.
+//!
+//! Per-shard match sets are merged deterministically (sorted by `SubId`),
+//! so the result — matches, provenance, ordering, and aggregated
 //! [`MatcherStats`] — is byte-identical to the single-threaded matcher.
 //! The S-ToPSS paper treats the syntactic engine as a black box precisely
-//! so the semantic layer can scale this way: shards never communicate
-//! during matching, and throughput scales with cores instead of being
-//! serialized behind one monolithic engine.
+//! so the semantic layer can scale this way: semantic enrichment is a
+//! per-publication transform (independent of which subscriptions a shard
+//! holds), matching is the per-subscription fan-out. Earlier revisions
+//! *replicated* the event-side pass in every shard; hoisting it cuts that
+//! overhead from `shards ×` to `1 ×` per publication (the
+//! `sharding_scaling` bench carries the hoisted-vs-replicated comparison
+//! axis).
 //!
 //! # Stats aggregation
 //!
-//! Event-side work (closure computation, event materialization) is
-//! replicated per shard, but its counters are *identical* across shards —
-//! derivation depends only on the ontology and the event, never on which
-//! subscriptions a shard holds. Aggregation therefore takes event-side
-//! counters (`published`, `derived_events`, `closure_pairs`,
-//! `truncations`) from a single shard and sums the subscription-side
-//! counters (`verifications`, `verify_rejections`, `rewrite_truncations`),
-//! reproducing the single-threaded numbers exactly. The differential suite
-//! in `tests/sharded_differential.rs` pins this equivalence across every
-//! engine × strategy × stage-mask combination.
+//! The shared front-end accumulates the event-side counters (`published`,
+//! `derived_events`, `closure_pairs`, `truncations`) exactly once per
+//! publication; shards accumulate only subscription-side counters
+//! (`verifications`, `verify_rejections`, `rewrite_truncations`).
+//! Aggregation is therefore a plain sum ([`MatcherStats::merge`]) with no
+//! cross-shard deduplication, and reproduces the single-threaded numbers
+//! exactly. The differential suite in `tests/sharded_differential.rs`
+//! pins this equivalence across every engine × strategy × stage-mask
+//! combination.
 
 use std::sync::Arc;
 
@@ -31,6 +45,7 @@ use stopss_ontology::SemanticSource;
 use stopss_types::{fx_hash_one, Event, SharedInterner, SubId, Subscription};
 
 use crate::config::Config;
+use crate::frontend::{PreparedEvent, SemanticFrontEnd};
 use crate::matcher::{MatcherStats, PublishResult, SToPSS};
 use crate::provenance::Match;
 use crate::tolerance::Tolerance;
@@ -47,15 +62,20 @@ pub fn shard_of(id: SubId, shards: usize) -> usize {
 /// A sharded, concurrent semantic matcher with the same observable
 /// behaviour as [`SToPSS`].
 ///
-/// Subscriptions are partitioned by [`shard_of`]; publications fan out to
-/// all shards in parallel (scoped worker threads, at most
-/// [`Config::effective_parallelism`] of them) and merge into one ordered
-/// match set. See the module docs for the equivalence argument.
+/// Subscriptions are partitioned by [`shard_of`]; publications run the
+/// shared semantic front-end once, then fan out to all shards in parallel
+/// (scoped worker threads, at most [`Config::effective_parallelism`] of
+/// them) and merge into one ordered match set. See the module docs for
+/// the two-stage pipeline and the equivalence argument.
 pub struct ShardedSToPSS {
     config: Config,
     source: Arc<dyn SemanticSource>,
     interner: SharedInterner,
     shards: Vec<SToPSS>,
+    /// Event-side counters from the shared front-end pass (shards only
+    /// ever see subscription-side work, so these accumulate here, once
+    /// per publication).
+    event_stats: MatcherStats,
     /// Lifetime stats accumulated before the last reshard (shard vectors
     /// are rebuilt from scratch when the shard count changes, but stats
     /// must survive reconfiguration exactly as they do on [`SToPSS`]).
@@ -69,7 +89,14 @@ impl ShardedSToPSS {
         let shards = (0..config.effective_shards())
             .map(|_| SToPSS::new(config, source.clone(), interner.clone()))
             .collect();
-        ShardedSToPSS { config, source, interner, shards, carried: MatcherStats::default() }
+        ShardedSToPSS {
+            config,
+            source,
+            interner,
+            shards,
+            event_stats: MatcherStats::default(),
+            carried: MatcherStats::default(),
+        }
     }
 
     /// The interner shared with publishers/subscribers.
@@ -97,20 +124,20 @@ impl ShardedSToPSS {
         shard_of(id, self.shards.len())
     }
 
+    /// A detachable handle on the shared semantic front-end (see
+    /// [`SemanticFrontEnd`]): the stage every publication passes through
+    /// exactly once before shard matching.
+    pub fn frontend(&self) -> SemanticFrontEnd {
+        SemanticFrontEnd::new(self.config, self.source.clone(), self.interner.clone())
+    }
+
     /// Aggregated lifetime statistics, identical to what a single
     /// [`SToPSS`] over the same inputs would report (see module docs).
     pub fn stats(&self) -> MatcherStats {
-        let event_side = *self.shards[0].stats();
         let mut agg = self.carried;
-        agg.published += event_side.published;
-        agg.derived_events += event_side.derived_events;
-        agg.closure_pairs += event_side.closure_pairs;
-        agg.truncations += event_side.truncations;
+        agg.merge(&self.event_stats);
         for shard in &self.shards {
-            let s = shard.stats();
-            agg.verifications += s.verifications;
-            agg.verify_rejections += s.verify_rejections;
-            agg.rewrite_truncations += s.rewrite_truncations;
+            agg.merge(shard.stats());
         }
         agg
     }
@@ -166,34 +193,63 @@ impl ShardedSToPSS {
             .expect("one event in, one result out")
     }
 
-    /// Publishes a batch of events, fanning each out to every shard on the
-    /// worker pool, and returns the match set of each event in order.
+    /// Publishes a batch of events through the two-stage pipeline and
+    /// returns the match set of each event in order.
     pub fn publish_batch(&mut self, events: &[Event]) -> Vec<Vec<Match>> {
         self.publish_batch_detailed(events).into_iter().map(|r| r.matches).collect()
     }
 
     /// Publishes a batch of events, returning the detailed result of each.
     ///
-    /// The batch is the unit of fan-out: every worker thread walks the
-    /// whole batch against its shards, so one scope (and one round of
-    /// thread spawns) amortizes over `events.len()` publications.
+    /// Stage 1 runs the shared semantic front-end over the batch (chunked
+    /// across the scoped pool when the batch is large enough); stage 2
+    /// fans the precomputed artifacts out to the shards. The batch is the
+    /// unit of fan-out: every worker thread walks the whole artifact list
+    /// against its shards, so one scope (and one round of thread spawns)
+    /// amortizes over `events.len()` publications.
     pub fn publish_batch_detailed(&mut self, events: &[Event]) -> Vec<PublishResult> {
         if events.is_empty() {
             return Vec::new();
         }
+        let prepared = self.frontend().prepare_batch(events);
+        self.publish_prepared_batch(&prepared)
+    }
+
+    /// The matching stage: publishes precomputed front-end artifacts.
+    ///
+    /// Accounts the event-side counters the artifacts carry (once per
+    /// publication), fans the engine-match + verify work out to the
+    /// shards, and merges per-shard results sorted by `SubId`. The
+    /// artifacts must have been prepared under this matcher's
+    /// configuration (see [`ShardedSToPSS::frontend`]); the broker uses
+    /// this entry point to publish batches it prepared outside its
+    /// matcher mutex.
+    pub fn publish_prepared_batch(&mut self, prepared: &[PreparedEvent]) -> Vec<PublishResult> {
+        if prepared.is_empty() {
+            return Vec::new();
+        }
+        self.event_stats.published += prepared.len() as u64;
+        for artifact in prepared {
+            self.event_stats.derived_events += artifact.derived_events as u64;
+            self.event_stats.closure_pairs += artifact.closure_pairs as u64;
+            if artifact.truncated {
+                self.event_stats.truncations += 1;
+            }
+        }
+
         let workers = self.config.effective_parallelism();
         // Scoped workers are real OS threads, so spawning must be
         // amortized: batches always fan out; a single event (the broker's
         // per-publish path) fans out only when the caller asked for a
-        // worker pool explicitly (`parallelism > 0`, e.g. semantics-heavy
-        // ontologies where per-shard closure work dwarfs a thread spawn)
-        // and otherwise matches sequentially.
+        // worker pool explicitly (`parallelism > 0`, e.g. candidate-heavy
+        // shards where per-shard matching dwarfs a thread spawn) and
+        // otherwise matches sequentially.
         let fan_out = workers > 1
             && self.shards.len() > 1
-            && (events.len() > 1 || self.config.parallelism > 0);
-        // per_shard[s][k] = shard s's result for event k.
+            && (prepared.len() > 1 || self.config.parallelism > 0);
+        // per_shard[s][k] = shard s's result for artifact k.
         let per_shard: Vec<Vec<PublishResult>> = if !fan_out {
-            self.shards.iter_mut().map(|shard| run_shard(shard, events)).collect()
+            self.shards.iter_mut().map(|shard| run_shard(shard, prepared)).collect()
         } else {
             let chunk = self.shards.len().div_ceil(workers);
             crossbeam::thread::scope(|scope| {
@@ -204,7 +260,7 @@ impl ShardedSToPSS {
                         scope.spawn(move |_| {
                             chunk_shards
                                 .iter_mut()
-                                .map(|shard| run_shard(shard, events))
+                                .map(|shard| run_shard(shard, prepared))
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -214,7 +270,7 @@ impl ShardedSToPSS {
             })
             .expect("shard scope panicked")
         };
-        merge_results(events.len(), per_shard)
+        merge_results(prepared, per_shard)
     }
 
     /// Switches the enabled stages on every shard and rebuilds their
@@ -251,33 +307,30 @@ impl ShardedSToPSS {
     }
 }
 
-/// Runs the whole batch through one shard sequentially.
-fn run_shard(shard: &mut SToPSS, events: &[Event]) -> Vec<PublishResult> {
-    events.iter().map(|event| shard.publish_detailed(event)).collect()
+/// Runs the whole artifact list through one shard sequentially (the
+/// subscription-side half only — the front-end already ran).
+fn run_shard(shard: &mut SToPSS, prepared: &[PreparedEvent]) -> Vec<PublishResult> {
+    prepared.iter().map(|artifact| shard.match_prepared(artifact)).collect()
 }
 
 /// Merges per-shard results into one result per event: matches are
 /// concatenated and sorted by `SubId` (shards partition ids, so there are
-/// no duplicates); event-side counters come from shard 0, where every
-/// shard reports the same value (derivation is engine-independent).
-fn merge_results(events: usize, per_shard: Vec<Vec<PublishResult>>) -> Vec<PublishResult> {
-    let mut merged: Vec<PublishResult> = Vec::with_capacity(events);
-    for k in 0..events {
-        let first = &per_shard[0][k];
+/// no duplicates); event-side counters come straight from the shared
+/// front-end artifact.
+fn merge_results(
+    prepared: &[PreparedEvent],
+    per_shard: Vec<Vec<PublishResult>>,
+) -> Vec<PublishResult> {
+    let mut merged: Vec<PublishResult> = Vec::with_capacity(prepared.len());
+    for (k, artifact) in prepared.iter().enumerate() {
         let mut result = PublishResult {
             matches: Vec::new(),
-            derived_events: first.derived_events,
-            closure_pairs: first.closure_pairs,
-            truncated: first.truncated,
+            derived_events: artifact.derived_events,
+            closure_pairs: artifact.closure_pairs,
+            truncated: artifact.truncated,
         };
         for shard_results in &per_shard {
-            let r = &shard_results[k];
-            debug_assert_eq!(
-                (r.derived_events, r.closure_pairs, r.truncated),
-                (first.derived_events, first.closure_pairs, first.truncated),
-                "event-side counters must not depend on shard contents"
-            );
-            result.matches.extend_from_slice(&r.matches);
+            result.matches.extend_from_slice(&shard_results[k].matches);
         }
         result.matches.sort_unstable_by_key(|m| m.sub);
         merged.push(result);
@@ -374,6 +427,24 @@ mod tests {
         let sequential: Vec<Vec<Match>> = w.events.iter().map(|e| single.publish(e)).collect();
         assert_eq!(batched, sequential);
         assert_eq!(sharded.publish_batch(&[]), Vec::<Vec<Match>>::new());
+    }
+
+    #[test]
+    fn prepared_batch_equals_publish_batch() {
+        let w = world();
+        let (mut single, mut sharded) = matchers(&w, 4);
+        let prepared = sharded.frontend().prepare_batch(&w.events);
+        let got = sharded.publish_prepared_batch(&prepared);
+        let want: Vec<PublishResult> =
+            w.events.iter().map(|e| single.publish_detailed(e)).collect();
+        for (g, s) in got.iter().zip(&want) {
+            assert_eq!(g.matches, s.matches);
+            assert_eq!(g.derived_events, s.derived_events);
+            assert_eq!(g.closure_pairs, s.closure_pairs);
+            assert_eq!(g.truncated, s.truncated);
+        }
+        assert_eq!(sharded.stats(), *single.stats(), "prepared path must account event-side stats");
+        assert!(sharded.publish_prepared_batch(&[]).is_empty());
     }
 
     #[test]

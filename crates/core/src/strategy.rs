@@ -27,12 +27,24 @@ pub struct MaterializeOutcome {
 /// far smaller; the cap only guards pathological generated workloads.
 const MAX_TRACKED_PAIRS: usize = 64;
 
-/// The paper-faithful strategy: breadth-first materialization of derived
-/// events. Each hierarchy derivation appends one generalized pair ("new
-/// event from concept hierarchy"); each mapping derivation appends the
-/// produced pairs ("new event from mapping function"). Every derived
-/// event is matched by the unmodified engine; `candidates` accumulates
-/// the union.
+/// The derivation lattice of the materializing strategy: every event the
+/// engine will see, in breadth-first derivation order (root first).
+#[derive(Clone, Debug)]
+pub struct MaterializedEvents {
+    /// The derived events, deduplicated by fingerprint.
+    pub events: Vec<Event>,
+    /// True if `max_derived_events` stopped the exploration.
+    pub truncated: bool,
+}
+
+/// The *event-side* half of the paper-faithful strategy: breadth-first
+/// materialization of derived events. Each hierarchy derivation appends
+/// one generalized pair ("new event from concept hierarchy"); each
+/// mapping derivation appends the produced pairs ("new event from mapping
+/// function"). The exploration depends only on the event, the ontology,
+/// and the bounds — never on the engine — which is what lets the shared
+/// front-end compute it once and hand the resulting lattice to every
+/// shard ([`crate::frontend::prepare_event`]).
 ///
 /// Because derivations append (never replace), the set of derived events
 /// forms a lattice whose maximum is exactly the flattened closure of
@@ -41,7 +53,7 @@ const MAX_TRACKED_PAIRS: usize = 64;
 /// the event *count* explored here grows combinatorially. That cost gap,
 /// bounded by `max_derived_events`, is experiment E8.
 #[allow(clippy::too_many_arguments)] // strategy entry point, mirrors semantic_closure
-pub fn materialize_match(
+pub fn materialize_closure(
     event_raw: &Event,
     source: &dyn SemanticSource,
     stages: StageMask,
@@ -49,9 +61,7 @@ pub fn materialize_match(
     now_year: i64,
     interner: &Interner,
     limits: &Limits,
-    engine: &mut dyn MatchingEngine,
-    candidates: &mut FxHashSet<SubId>,
-) -> MaterializeOutcome {
+) -> MaterializedEvents {
     let admits = |d: u32| max_distance.is_none_or(|k| d <= k);
     let root =
         if stages.synonym() { synonym_resolve_event(event_raw, source) } else { event_raw.clone() };
@@ -60,21 +70,23 @@ pub fn materialize_match(
     let mut seen: FxHashSet<u64> = FxHashSet::default();
     seen.insert(root.fingerprint());
     // The u64 marks hierarchy-derived pairs: their ancestors are already
-    // covered transitively, so they are not generalized again.
-    let mut queue: VecDeque<(Event, u64)> = VecDeque::new();
-    queue.push_back((root, 0));
-    let mut scratch: Vec<SubId> = Vec::new();
+    // covered transitively, so they are not generalized again. The lattice
+    // vec doubles as the BFS queue (derivations only append), so every
+    // derived event is built exactly once.
+    let mut queue: VecDeque<(usize, u64)> = VecDeque::new();
+    queue.push_back((0, 0));
+    let mut events: Vec<Event> = vec![root];
 
-    while let Some((event, derived_mask)) = queue.pop_front() {
-        scratch.clear();
-        engine.match_event(&event, interner, &mut scratch);
-        candidates.extend(scratch.iter().copied());
-
+    while let Some((event_idx, derived_mask)) = queue.pop_front() {
+        // Move the current event out so the derivation closures can push
+        // new events without aliasing it; restored below.
+        let event = std::mem::replace(&mut events[event_idx], Event::new());
         let mut push = |base: &Event,
                         extra: &[(Symbol, Value)],
                         mark_derived: bool,
                         outcome: &mut MaterializeOutcome,
-                        queue: &mut VecDeque<(Event, u64)>| {
+                        queue: &mut VecDeque<(usize, u64)>,
+                        events: &mut Vec<Event>| {
             let mut derived = base.clone();
             let mut mask = derived_mask;
             let mut grew = false;
@@ -96,7 +108,8 @@ pub fn materialize_match(
             }
             if seen.insert(derived.fingerprint()) {
                 outcome.derived_events += 1;
-                queue.push_back((derived, mask));
+                queue.push_back((events.len(), mask));
+                events.push(derived);
             }
         };
 
@@ -126,7 +139,7 @@ pub fn materialize_match(
                         if da == 0 && dv == 0 {
                             continue;
                         }
-                        push(&event, &[(a, v)], true, &mut outcome, &mut queue);
+                        push(&event, &[(a, v)], true, &mut outcome, &mut queue, &mut events);
                     }
                 }
             }
@@ -153,11 +166,45 @@ pub fn materialize_match(
                         }
                     })
                     .collect();
-                push(&event, &resolved, false, &mut outcome, &mut queue);
+                push(&event, &resolved, false, &mut outcome, &mut queue, &mut events);
             }
         }
+
+        events[event_idx] = event;
     }
-    outcome
+    MaterializedEvents { events, truncated: outcome.truncated }
+}
+
+/// The full paper-faithful strategy: materialize the derivation lattice
+/// ([`materialize_closure`]) and feed every derived event to the
+/// unmodified engine; `candidates` accumulates the union of the match
+/// sets. Kept as the one-call entry point for single-matcher callers —
+/// the sharded path splits the two halves so the lattice is derived once
+/// and only the engine feeding is replicated per shard.
+#[allow(clippy::too_many_arguments)] // strategy entry point, mirrors semantic_closure
+pub fn materialize_match(
+    event_raw: &Event,
+    source: &dyn SemanticSource,
+    stages: StageMask,
+    max_distance: Option<u32>,
+    now_year: i64,
+    interner: &Interner,
+    limits: &Limits,
+    engine: &mut dyn MatchingEngine,
+    candidates: &mut FxHashSet<SubId>,
+) -> MaterializeOutcome {
+    let materialized =
+        materialize_closure(event_raw, source, stages, max_distance, now_year, interner, limits);
+    let mut scratch: Vec<SubId> = Vec::new();
+    for event in &materialized.events {
+        scratch.clear();
+        engine.match_event(event, interner, &mut scratch);
+        candidates.extend(scratch.iter().copied());
+    }
+    MaterializeOutcome {
+        derived_events: materialized.events.len(),
+        truncated: materialized.truncated,
+    }
 }
 
 /// Result of expanding one user subscription for the rewrite strategy.

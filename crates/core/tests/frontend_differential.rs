@@ -1,0 +1,234 @@
+//! Differential suite for the shared semantic front-end.
+//!
+//! The hoisted design rests on one claim: the event-side semantic pass
+//! ([`stopss_core::prepare_event`]) depends only on the event, the
+//! ontology and the configuration — never on which subscriptions a shard
+//! holds — so computing it once and matching the artifact on N shards is
+//! byte-identical to letting every shard recompute it (the PR-2
+//! replicated design). This suite pins that claim directly in
+//! `stopss-core`, across strategies × stage masks, plus the pipelined
+//! `publish_batch` interleaving regressions under constrained and
+//! unconstrained parallelism.
+
+use std::sync::Arc;
+
+use stopss_core::{
+    shard_of, Config, Match, PublishResult, SToPSS, ShardedSToPSS, StageMask, Strategy,
+};
+use stopss_ontology::{Expr, MappingFunction, Ontology, PatternItem, Production};
+use stopss_types::{
+    Event, EventBuilder, Interner, Operator, SharedInterner, SubId, Subscription,
+    SubscriptionBuilder,
+};
+
+struct World {
+    interner: SharedInterner,
+    source: Arc<Ontology>,
+    subs: Vec<Subscription>,
+    events: Vec<Event>,
+}
+
+/// A taxonomy + mapping world exercising all three semantic stages, with
+/// enough subscriptions that every shard count gets a non-empty
+/// partition.
+fn world() -> World {
+    let mut i = Interner::new();
+    let mut o = Ontology::new("jobs");
+    let university = i.intern("university");
+    let school = i.intern("school");
+    o.synonyms.add_synonym(university, school, &i).unwrap();
+    let degree = i.intern("degree");
+    let grad = i.intern("graduate_degree");
+    let phd = i.intern("phd");
+    o.taxonomy.add_isa(grad, degree, &i).unwrap();
+    o.taxonomy.add_isa(phd, grad, &i).unwrap();
+    let gy = i.intern("graduation_year");
+    let pe = i.intern("professional_experience");
+    o.mappings
+        .register(MappingFunction::new(
+            "experience",
+            vec![PatternItem { attr: gy, guard: None }],
+            vec![Production { attr: pe, expr: Expr::sub(Expr::Now, Expr::Attr(gy)) }],
+        ))
+        .unwrap();
+
+    let mut subs = Vec::new();
+    for k in 0..24u64 {
+        let sub = match k % 4 {
+            0 => SubscriptionBuilder::new(&mut i)
+                .term_eq("credential", ["degree", "graduate_degree", "phd"][(k / 4) as usize % 3])
+                .build(SubId(k + 1)),
+            1 => SubscriptionBuilder::new(&mut i)
+                .term_eq("university", "toronto")
+                .build(SubId(k + 1)),
+            2 => SubscriptionBuilder::new(&mut i)
+                .pred("professional_experience", Operator::Ge, 4i64)
+                .build(SubId(k + 1)),
+            _ => SubscriptionBuilder::new(&mut i)
+                .term_eq("school", "toronto")
+                .term_eq("credential", "degree")
+                .build(SubId(k + 1)),
+        };
+        subs.push(sub);
+    }
+    let events = vec![
+        EventBuilder::new(&mut i).term("credential", "phd").build(),
+        EventBuilder::new(&mut i)
+            .term("school", "toronto")
+            .pair("graduation_year", 1993i64)
+            .build(),
+        EventBuilder::new(&mut i)
+            .term("university", "toronto")
+            .term("credential", "degree")
+            .build(),
+        EventBuilder::new(&mut i).term("credential", "other").build(),
+    ];
+    World { interner: SharedInterner::from_interner(i), source: Arc::new(o), subs, events }
+}
+
+fn representative_masks() -> [StageMask; 5] {
+    [
+        StageMask::syntactic(),
+        StageMask::SYNONYM,
+        StageMask::SYNONYM.with(StageMask::HIERARCHY),
+        StageMask::HIERARCHY.with(StageMask::MAPPING),
+        StageMask::all(),
+    ]
+}
+
+fn single_matcher(w: &World, config: Config) -> SToPSS {
+    let mut m = SToPSS::new(config, w.source.clone(), w.interner.clone());
+    for sub in &w.subs {
+        m.subscribe(sub.clone());
+    }
+    m
+}
+
+/// The PR-2 replicated reference: N full matchers partitioned by
+/// `shard_of`, each recomputing the complete semantic pass per event.
+fn replicated_shards(w: &World, config: Config, shards: usize) -> Vec<SToPSS> {
+    let mut out: Vec<SToPSS> =
+        (0..shards).map(|_| SToPSS::new(config, w.source.clone(), w.interner.clone())).collect();
+    for sub in &w.subs {
+        out[shard_of(sub.id(), shards)].subscribe(sub.clone());
+    }
+    out
+}
+
+fn merge_replicated(per_shard: Vec<PublishResult>) -> Vec<Match> {
+    let mut matches: Vec<Match> = per_shard.into_iter().flat_map(|r| r.matches).collect();
+    matches.sort_unstable_by_key(|m| m.sub);
+    matches
+}
+
+/// The hoisted artifact carries exactly the closure pairs, derived-event
+/// counts and truncation flags that per-shard recomputation produces —
+/// and matching the artifact per shard yields the same merged match set.
+#[test]
+fn hoisted_artifact_equals_per_shard_recomputation_across_stage_masks() {
+    let w = world();
+    for strategy in Strategy::ALL {
+        for stages in representative_masks() {
+            let config = Config::default().with_strategy(strategy).with_stages(stages);
+            for shards in [2usize, 4] {
+                let frontend = SToPSS::new(config, w.source.clone(), w.interner.clone()).frontend();
+                let mut replicated = replicated_shards(&w, config, shards);
+                let label =
+                    format!("strategy={} stages={stages:?} shards={shards}", strategy.name());
+                for event in &w.events {
+                    let prepared = frontend.prepare(event);
+                    // Per-shard full recomputation (the replicated design).
+                    let per_shard: Vec<PublishResult> =
+                        replicated.iter_mut().map(|s| s.publish_detailed(event)).collect();
+                    for r in &per_shard {
+                        assert_eq!(
+                            (r.derived_events, r.closure_pairs, r.truncated),
+                            (prepared.derived_events, prepared.closure_pairs, prepared.truncated),
+                            "{label}: event-side counters must not depend on shard contents"
+                        );
+                    }
+                    // Matching the shared artifact per shard gives the
+                    // same merged match set as full recomputation.
+                    let mut hoisted_shards = replicated_shards(&w, config, shards);
+                    let mut hoisted: Vec<Match> = hoisted_shards
+                        .iter_mut()
+                        .flat_map(|s| s.match_prepared(&prepared).matches)
+                        .collect();
+                    hoisted.sort_unstable_by_key(|m| m.sub);
+                    assert_eq!(hoisted, merge_replicated(per_shard), "{label}: matches diverged");
+                }
+            }
+        }
+    }
+}
+
+/// `publish_prepared` is `publish_detailed` split in two: same matches,
+/// same counters, same lifetime stats.
+#[test]
+fn publish_prepared_equals_publish_detailed() {
+    let w = world();
+    for strategy in Strategy::ALL {
+        let config = Config::default().with_strategy(strategy);
+        let mut direct = single_matcher(&w, config);
+        let mut split = single_matcher(&w, config);
+        for event in &w.events {
+            let want = direct.publish_detailed(event);
+            let prepared = split.prepare(event);
+            let got = split.publish_prepared(&prepared);
+            assert_eq!(got.matches, want.matches, "strategy={}", strategy.name());
+            assert_eq!(got.derived_events, want.derived_events);
+            assert_eq!(got.closure_pairs, want.closure_pairs);
+            assert_eq!(got.truncated, want.truncated);
+        }
+        assert_eq!(split.stats(), direct.stats(), "strategy={}", strategy.name());
+    }
+}
+
+/// The pipelined `publish_batch` interleaving regression: batch feeding
+/// (front-end stage + shard stage) equals per-event publishing, with the
+/// worker pool constrained to one thread and fanned wide.
+#[test]
+fn pipelined_batch_equals_per_event_under_any_parallelism() {
+    let w = world();
+    for parallelism in [1usize, 3] {
+        let config = Config::default().with_shards(4).with_parallelism(parallelism);
+        let mut single = single_matcher(&w, config);
+        let per_event: Vec<Vec<Match>> = w.events.iter().map(|e| single.publish(e)).collect();
+
+        let mut sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+        for sub in &w.subs {
+            sharded.subscribe(sub.clone());
+        }
+        let batched = sharded.publish_batch(&w.events);
+        assert_eq!(batched, per_event, "parallelism={parallelism}");
+        assert_eq!(sharded.stats(), *single.stats(), "parallelism={parallelism} stats");
+
+        // A second pass through the prepared-artifact entry point (the
+        // broker's pipeline) must keep agreeing and keep stats in sync.
+        let prepared = sharded.frontend().prepare_batch(&w.events);
+        let results = sharded.publish_prepared_batch(&prepared);
+        let again: Vec<Vec<Match>> = results.into_iter().map(|r| r.matches).collect();
+        let per_event_again: Vec<Vec<Match>> = w.events.iter().map(|e| single.publish(e)).collect();
+        assert_eq!(again, per_event_again, "parallelism={parallelism} prepared path");
+        assert_eq!(sharded.stats(), *single.stats(), "parallelism={parallelism} prepared stats");
+    }
+}
+
+/// Large enough batch to make the front-end stage itself chunk across
+/// workers: still position-stable and identical to sequential.
+#[test]
+fn parallel_frontend_stage_is_position_stable() {
+    let w = world();
+    let batch: Vec<Event> = w.events.iter().cycle().take(96).cloned().collect();
+    let sequential_config = Config::default().with_shards(4).with_parallelism(1);
+    let wide_config = Config::default().with_shards(4).with_parallelism(4);
+    let mut sequential =
+        ShardedSToPSS::new(sequential_config, w.source.clone(), w.interner.clone());
+    let mut wide = ShardedSToPSS::new(wide_config, w.source.clone(), w.interner.clone());
+    for sub in &w.subs {
+        sequential.subscribe(sub.clone());
+        wide.subscribe(sub.clone());
+    }
+    assert_eq!(wide.publish_batch(&batch), sequential.publish_batch(&batch));
+    assert_eq!(wide.stats(), sequential.stats());
+}

@@ -17,7 +17,10 @@
 //! * [`core`] — the semantic stages, strategies, tolerances and the
 //!   [`core::SToPSS`] matcher, plus the hash-sharded concurrent
 //!   [`core::ShardedSToPSS`] (set [`core::Config::shards`] and use
-//!   `publish_batch` to fan publications across per-shard engines);
+//!   `publish_batch` to fan publications across per-shard engines) and
+//!   the shared event-side [`core::SemanticFrontEnd`] (the semantic pass
+//!   runs once per publication into a [`core::PreparedEvent`] artifact;
+//!   shards receive only engine-match + verify work);
 //! * [`broker`] — the Figure 2 runtime: dispatcher, notification engine,
 //!   simulated transports, wire protocol;
 //! * [`workload`] — deterministic workload generation and experiment
@@ -64,8 +67,8 @@ pub use stopss_workload as workload;
 pub mod prelude {
     pub use stopss_broker::{Broker, BrokerConfig, DemoServer, TransportKind};
     pub use stopss_core::{
-        semantic_match, Config, Match, MatchOrigin, MatcherStats, SToPSS, ShardedSToPSS, StageMask,
-        Strategy, Tolerance,
+        semantic_match, Config, Match, MatchOrigin, MatcherStats, PreparedEvent, SToPSS,
+        SemanticFrontEnd, ShardedSToPSS, StageMask, Strategy, Tolerance,
     };
     pub use stopss_matching::{EngineKind, MatchingEngine};
     pub use stopss_ontology::{

@@ -3,14 +3,17 @@
 //!
 //! `ShardedSToPSS` promises byte-identical results — match sets,
 //! provenance, ordering, and aggregated `MatcherStats` — for every shard
-//! count, because shards partition subscriptions and replicate the
-//! engine-independent event-side work (see `stopss_core::sharded` module
-//! docs). This suite pins that promise on generated workloads (the
-//! realistic job-finder domain and a synthetic taxonomy domain), swept
-//! across every syntactic engine × every strategy × representative stage
-//! masks × shard counts {1, 2, 8}, with per-subscription tolerances in
-//! the mix, plus determinism regressions (repeat publication, batch vs
-//! per-event feeding, and one golden match-set).
+//! count, because shards partition subscriptions while the
+//! engine-independent event-side work runs once in the shared semantic
+//! front-end (see `stopss_core::sharded` and `stopss_core::frontend`
+//! module docs; `crates/core/tests/frontend_differential.rs` pins the
+//! hoisted artifact against per-shard recomputation directly). This suite
+//! pins the end-to-end promise on generated workloads (the realistic
+//! job-finder domain and a synthetic taxonomy domain), swept across every
+//! syntactic engine × every strategy × representative stage masks × shard
+//! counts {1, 2, 8}, with per-subscription tolerances in the mix, plus
+//! determinism regressions (repeat publication, batch vs per-event
+//! feeding, and one golden match-set).
 
 use s_topss::core::{Config, Match, SToPSS, ShardedSToPSS, StageMask, Strategy, Tolerance};
 use s_topss::matching::EngineKind;
