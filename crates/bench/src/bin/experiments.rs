@@ -451,7 +451,9 @@ fn exp_overhead_breakdown(s: &Scale) -> Table {
             .collect();
         let mut engine = stopss_matching::EngineKind::Counting.build();
         for sub in &fixture.subscriptions {
-            engine.insert(stopss_core::synonym_resolve_subscription(sub, source.as_ref()));
+            engine.insert(
+                stopss_core::synonym_resolve_subscription(sub, source.as_ref()).into_owned(),
+            );
         }
         let mut out = Vec::new();
         let mut idx = 0usize;

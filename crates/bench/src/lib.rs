@@ -32,6 +32,22 @@ pub fn matcher_with_tolerance(
     matcher
 }
 
+/// Builds a matcher with per-subscription tolerances cycled from
+/// `cycle` — the mixed-tolerance verify workload of the
+/// `semantic_overhead` bench's cached-vs-oracle axis.
+pub fn matcher_with_cycled_tolerances(
+    fixture: &Fixture,
+    config: Config,
+    cycle: &[stopss_core::Tolerance],
+) -> SToPSS {
+    assert!(!cycle.is_empty(), "need at least one tolerance");
+    let mut matcher = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    for (k, sub) in fixture.subscriptions.iter().enumerate() {
+        matcher.subscribe_with_tolerance(sub.clone(), cycle[k % cycle.len()]);
+    }
+    matcher
+}
+
 /// Result of one timed publication sweep.
 #[derive(Clone, Copy, Debug)]
 pub struct SweepResult {
@@ -375,6 +391,29 @@ mod tests {
         assert!(result.events_per_sec > 0.0);
         assert_eq!(result.derived_events, 50, "generalized strategy: one per event");
         assert_eq!(result.truncations, 0);
+    }
+
+    #[test]
+    fn cycled_tolerances_change_match_sets_and_paths_agree() {
+        use stopss_core::Tolerance;
+        let fixture = jobfinder_fixture(60, 40, 3);
+        let cycle = [Tolerance::full(), Tolerance::bounded(1), Tolerance::syntactic()];
+        let config = Config::default().with_provenance(false);
+        let mut cached = matcher_with_cycled_tolerances(&fixture, config, &cycle);
+        let mut oracle =
+            matcher_with_cycled_tolerances(&fixture, config.with_tier_cache(false), &cycle);
+        let mut uniform = matcher_with_tolerance(&fixture, config, Tolerance::full());
+        let mut cached_total = 0usize;
+        let mut oracle_total = 0usize;
+        let mut uniform_total = 0usize;
+        for event in &fixture.publications {
+            cached_total += cached.publish(event).len();
+            oracle_total += oracle.publish(event).len();
+            uniform_total += uniform.publish(event).len();
+        }
+        assert_eq!(cached_total, oracle_total, "cached and oracle verify paths agree");
+        assert!(cached_total < uniform_total, "stricter tolerances must drop matches");
+        assert!(cached.stats().verifications > 0);
     }
 
     #[test]

@@ -310,9 +310,13 @@ impl Broker {
     /// Stage 1 (the event-side semantic pass) runs *outside* the matcher
     /// mutex on a detached [`SemanticFrontEnd`] handle, so concurrent
     /// subscribes and publishers are blocked only for stage 2 (engine
-    /// match + verify on the precomputed artifacts). If the semantic mode
-    /// switched while the batch was in flight, the stale artifacts are
-    /// discarded and the batch is republished under the lock.
+    /// match + verify on the precomputed artifacts). The artifacts carry
+    /// the per-publication tier cache: with provenance on, the
+    /// classifier's tier closures are warmed in stage 1 too, so the
+    /// under-lock stage pays neither the semantic closure nor the
+    /// per-candidate provenance closures. If the semantic mode switched
+    /// while the batch was in flight, the stale artifacts are discarded
+    /// and the batch is republished under the lock.
     pub fn publish_batch(&self, events: &[Event]) -> usize {
         if events.is_empty() {
             return 0;

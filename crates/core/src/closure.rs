@@ -17,6 +17,8 @@
 //! matches), merely incomplete, and the truncation counters surface in the
 //! experiment reports.
 
+use std::borrow::Cow;
+
 use stopss_ontology::SemanticSource;
 use stopss_types::{Event, Interner, Operator, Subscription, Symbol, Value};
 
@@ -40,9 +42,13 @@ impl Default for ClosureLimits {
 /// Per-pair derivation metadata, aligned with the closed event's pairs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PairInfo {
-    /// Generalization distance from the pair it was derived from
-    /// (component-wise maximum of attribute and value distance; 0 for
-    /// base and mapping-produced pairs).
+    /// Minimal generalization distance over every pair this one is
+    /// derivable from in one hierarchy application (component-wise
+    /// maximum of attribute and value distance per derivation; 0 for base
+    /// and mapping-produced pairs). Recording the *minimum* is what lets
+    /// the provenance classifier read the smallest sufficient tolerance
+    /// straight off the unbounded closure instead of re-closing the event
+    /// once per candidate distance.
     pub distance: u32,
     /// True if a mapping function produced this pair.
     pub via_mapping: bool,
@@ -98,10 +104,24 @@ pub fn synonym_resolve_event(event: &Event, source: &dyn SemanticSource) -> Even
 /// they denote categorical terms. String-operator patterns (`Prefix`,
 /// `Suffix`, `Contains`) are fragments, not terms — rewriting `"teach"`
 /// because some ontology maps `teach → instruct` would corrupt them.
-pub fn synonym_resolve_subscription(
-    sub: &Subscription,
+///
+/// Runs once per subscribe and once per candidate in the verify oracle,
+/// so the common case — no term of the subscription has a synonym
+/// mapping — returns the input borrowed, with no clone or allocation.
+pub fn synonym_resolve_subscription<'a>(
+    sub: &'a Subscription,
     source: &dyn SemanticSource,
-) -> Subscription {
+) -> Cow<'a, Subscription> {
+    let unchanged = sub.predicates().iter().all(|p| {
+        source.resolve_synonym(p.attr) == p.attr
+            && match (p.op, p.value) {
+                (Operator::Eq | Operator::Ne, Value::Sym(s)) => source.resolve_synonym(s) == s,
+                _ => true,
+            }
+    });
+    if unchanged {
+        return Cow::Borrowed(sub);
+    }
     let predicates = sub
         .predicates()
         .iter()
@@ -116,7 +136,7 @@ pub fn synonym_resolve_subscription(
             stopss_types::Predicate::new(attr, p.op, value)
         })
         .collect();
-    Subscription::new(sub.id(), predicates)
+    Cow::Owned(Subscription::new(sub.id(), predicates))
 }
 
 /// Computes the bounded semantic closure of `event`.
@@ -233,12 +253,24 @@ fn expand_hierarchy(
                     closed.truncated = true;
                     return;
                 }
-                if closed.event.push_unique(a, v) {
-                    closed.info.push(PairInfo {
-                        distance: da.max(dv),
-                        via_mapping: closed.info[idx].via_mapping,
-                        hierarchy_derived: true,
-                    });
+                let derived = da.max(dv);
+                match closed.event.pairs().iter().position(|&(pa, pv)| pa == a && pv == v) {
+                    // A pair can be derivable from several source pairs at
+                    // different distances; keep the minimum so the recorded
+                    // distance is exactly "smallest bound that admits it".
+                    Some(existing) => {
+                        if closed.info[existing].distance > derived {
+                            closed.info[existing].distance = derived;
+                        }
+                    }
+                    None => {
+                        closed.event.push(a, v);
+                        closed.info.push(PairInfo {
+                            distance: derived,
+                            via_mapping: closed.info[idx].via_mapping,
+                            hierarchy_derived: true,
+                        });
+                    }
                 }
             }
         }
@@ -493,6 +525,51 @@ mod tests {
     }
 
     #[test]
+    fn pair_distance_is_minimal_over_derivations() {
+        // Both `near` and `far` generalize to `top`, at distances 1 and 2.
+        // The closure visits `far` first, so `top` is initially recorded at
+        // distance 2 — the later distance-1 derivation must win.
+        let mut i = Interner::new();
+        let mut o = Ontology::new("t");
+        let far = i.intern("far");
+        let mid = i.intern("mid");
+        let near = i.intern("near");
+        let top = i.intern("top");
+        o.taxonomy.add_isa(far, mid, &i).unwrap();
+        o.taxonomy.add_isa(mid, top, &i).unwrap();
+        o.taxonomy.add_isa(near, top, &i).unwrap();
+        let e = EventBuilder::new(&mut i).term("x", "far").term("x", "near").build();
+        let closed = semantic_closure(
+            &e,
+            &o,
+            StageMask::SYNONYM.with(StageMask::HIERARCHY),
+            None,
+            0,
+            &i,
+            &ClosureLimits::default(),
+        );
+        let x = i.get("x").unwrap();
+        let idx = closed
+            .event
+            .pairs()
+            .iter()
+            .position(|&(a, v)| a == x && v == Value::Sym(top))
+            .expect("top must be derived");
+        assert_eq!(closed.info[idx].distance, 1, "minimum over both derivation paths");
+        // Consistency: the distance-1 bounded closure must already carry it.
+        let bounded = semantic_closure(
+            &e,
+            &o,
+            StageMask::SYNONYM.with(StageMask::HIERARCHY),
+            Some(1),
+            0,
+            &i,
+            &ClosureLimits::default(),
+        );
+        assert!(bounded.event.values_for(x).any(|v| *v == Value::Sym(top)));
+    }
+
+    #[test]
     fn syntactic_mask_is_identity() {
         let mut i = Interner::new();
         let o = jobs_ontology(&mut i);
@@ -519,11 +596,27 @@ mod tests {
             .term("title", Operator::Contains, "school")
             .build(stopss_types::SubId(1));
         let resolved = synonym_resolve_subscription(&sub, &o);
+        assert!(matches!(resolved, Cow::Owned(_)), "a term resolved, so a rewrite is needed");
         let university = i.get("university").unwrap();
         assert_eq!(resolved.predicates()[0].attr, university, "Eq attr resolved");
         // The Contains pattern "school" must stay untouched even though the
         // term has a synonym root.
         let school = i.get("school").unwrap();
         assert_eq!(resolved.predicates()[1].value, Value::Sym(school));
+    }
+
+    #[test]
+    fn subscription_without_synonyms_resolves_borrowed() {
+        let mut i = Interner::new();
+        let o = jobs_ontology(&mut i);
+        // No attribute or Eq-value of this subscription has a synonym root;
+        // `school` appears only as a Contains fragment, which is exempt.
+        let sub = stopss_types::SubscriptionBuilder::new(&mut i)
+            .term_eq("credential", "phd")
+            .term("title", Operator::Contains, "school")
+            .build(stopss_types::SubId(7));
+        let resolved = synonym_resolve_subscription(&sub, &o);
+        assert!(matches!(resolved, Cow::Borrowed(_)), "no mapping applies: no clone");
+        assert_eq!(*resolved, sub);
     }
 }

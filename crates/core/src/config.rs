@@ -84,6 +84,15 @@ pub struct Config {
     /// Classify each match's [`crate::MatchOrigin`] (costs extra oracle
     /// checks per match; disable for throughput benchmarks).
     pub track_provenance: bool,
+    /// Serve per-candidate tolerance verification and provenance
+    /// classification from the per-publication tier cache carried by
+    /// [`crate::PreparedEvent`] (see [`crate::TierCache`]) instead of
+    /// re-running the oracle closures for every matched candidate.
+    /// Results are byte-identical either way (pinned by
+    /// `tests/tier_cache_differential.rs`); the `false` setting keeps the
+    /// oracle path selectable for differential tests and the
+    /// cached-vs-oracle axis of the `semantic_overhead` bench.
+    pub tier_cache: bool,
     /// Number of subscription shards for [`crate::ShardedSToPSS`]
     /// (subscriptions are partitioned by a hash of their [`stopss_types::SubId`];
     /// each shard owns an independent engine). Ignored by the
@@ -110,6 +119,7 @@ impl Default for Config {
             now_year: 2003,
             limits: Limits::default(),
             track_provenance: true,
+            tier_cache: true,
             shards: 1,
             parallelism: 0,
         }
@@ -160,6 +170,15 @@ impl Config {
         self
     }
 
+    /// Returns a copy with the tier cache toggled (see
+    /// [`Config::tier_cache`]; `false` forces the per-candidate oracle
+    /// path).
+    #[must_use]
+    pub fn with_tier_cache(mut self, on: bool) -> Self {
+        self.tier_cache = on;
+        self
+    }
+
     /// Returns a copy with a different shard count (see [`Config::shards`]).
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
@@ -203,6 +222,8 @@ mod tests {
         assert_eq!(c.strategy, Strategy::GeneralizedEvent);
         assert_eq!(c.now_year, 2003);
         assert!(c.track_provenance);
+        assert!(c.tier_cache, "the cached fast path is the default");
+        assert!(!c.with_tier_cache(false).tier_cache);
     }
 
     #[test]

@@ -15,16 +15,47 @@
 //! configuration plus shared ontology/interner references, cheap to clone
 //! out of a matcher so callers (e.g. the broker) can run the event-side
 //! pass *outside* the matcher lock.
+//!
+//! # The tier cache
+//!
+//! The engine events are not the only event-side work a publication
+//! induces. Two back-end obligations are *also* pure functions of the
+//! event, the ontology and a tolerance — yet they used to be recomputed
+//! per matched candidate:
+//!
+//! * **Tolerance verification**: a subscriber whose effective tolerance
+//!   differs from the system-wide one is re-checked by closing the raw
+//!   event under *their* tolerance and matching — one full closure per
+//!   candidate, even though candidates sharing a tolerance share the
+//!   closure.
+//! * **Provenance classification**: [`crate::classify_match`] re-derives
+//!   the synonym-only and synonym+hierarchy closures per candidate, then
+//!   linearly re-closes the event once per candidate hierarchy distance
+//!   (up to [`CLASSIFY_DISTANCE_CAP`] times).
+//!
+//! [`TierCache`] hoists all of it into the per-publication artifact:
+//! the classifier's tier closures and one closed event per distinct
+//! *verification class* ([`Tolerance::verify_class`]) are computed at
+//! most once per publication — lazily on first use, eagerly for the
+//! classifier tiers when the detached front-end prepares with provenance
+//! on — and shared read-only by every shard through `OnceLock`/`RwLock`
+//! interior mutability. The minimal hierarchy distance is read straight
+//! off the cached closure's [`PairInfo`] ([`classify_with_tiers`])
+//! instead of searched by repeated re-closing. The oracle functions in
+//! [`crate::oracle`] are untouched ground truth; byte-identical behaviour
+//! is pinned by `tests/tier_cache_differential.rs`.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, RwLock};
 
 use stopss_ontology::SemanticSource;
-use stopss_types::{Event, Interner, SharedInterner};
+use stopss_types::{Event, FxHashMap, Interner, SharedInterner, Subscription};
 
-use crate::closure::{semantic_closure, PairInfo};
+use crate::closure::{semantic_closure, ClosedEvent, ClosureLimits, PairInfo};
 use crate::config::{Config, Strategy};
+use crate::oracle::{classify_match, CLASSIFY_DISTANCE_CAP};
+use crate::provenance::MatchOrigin;
 use crate::strategy::materialize_closure;
-use crate::tolerance::StageMask;
+use crate::tolerance::{StageMask, Tolerance};
 
 /// The precomputed event-side semantic pass of one publication: the
 /// artifact shards match against, plus the counters the pass produced.
@@ -55,6 +86,10 @@ pub struct PreparedEvent {
     pub closure_pairs: usize,
     /// True if a resource bound clipped the semantic pass.
     pub truncated: bool,
+    /// Per-publication closures for tolerance verification and provenance
+    /// classification, filled at most once each and shared read-only by
+    /// all shards (see the module docs).
+    pub tiers: TierCache,
 }
 
 /// The engine-facing pieces of the event-side pass, without the owned raw
@@ -127,12 +162,249 @@ pub(crate) fn prepare_parts(
     }
 }
 
+/// The per-publication tier cache: every closure the matching back end
+/// needs beyond the engine events — the provenance classifier's tier
+/// closures and one closed event per distinct verification class — each
+/// computed at most once per publication and shared read-only by all
+/// shards (interior mutability; all methods take `&self` and are safe to
+/// call concurrently). See the module docs for why this is event-side
+/// work and how it replaces the per-candidate oracle closures.
+///
+/// One cache serves exactly one `(publication, configuration)` pair: the
+/// tier slots memoize the first computation, so callers must not reuse a
+/// cache across events or across reconfigurations (the matcher creates
+/// one per publication; `reconfigure` never recycles artifacts).
+#[derive(Debug, Default)]
+pub struct TierCache {
+    /// Classifier tier: the synonym-only closure (never truncated).
+    synonym: OnceLock<ClosedEvent>,
+    /// Classifier tier: the unbounded synonym∩stages+hierarchy closure,
+    /// tagged with the stage mask it was computed under.
+    hierarchy: OnceLock<(StageMask, ClosedEvent)>,
+    /// One closed event per distinct [`Tolerance::verify_class`] among
+    /// the candidates verified so far.
+    classes: RwLock<FxHashMap<Tolerance, Arc<ClosedEvent>>>,
+}
+
+impl Clone for TierCache {
+    fn clone(&self) -> Self {
+        TierCache {
+            synonym: self.synonym.clone(),
+            hierarchy: self.hierarchy.clone(),
+            classes: RwLock::new(self.classes.read().expect("tier cache poisoned").clone()),
+        }
+    }
+}
+
+impl TierCache {
+    /// Creates an empty cache (every tier computed lazily on first use).
+    pub fn new() -> Self {
+        TierCache::default()
+    }
+
+    /// The synonym-only closure of `raw` (classifier tier 2), computed on
+    /// first use.
+    pub fn synonym_tier(
+        &self,
+        raw: &Event,
+        source: &dyn SemanticSource,
+        now_year: i64,
+        interner: &Interner,
+        limits: &ClosureLimits,
+    ) -> &ClosedEvent {
+        self.synonym.get_or_init(|| {
+            semantic_closure(raw, source, StageMask::SYNONYM, None, now_year, interner, limits)
+        })
+    }
+
+    /// The unbounded `hier_stages` closure of `raw` (classifier tier 3),
+    /// computed on first use. `hier_stages` must be the same on every
+    /// call for a given cache (it is a pure function of the
+    /// configuration: `stages ∩ (SYNONYM | HIERARCHY)`).
+    pub fn hierarchy_tier(
+        &self,
+        raw: &Event,
+        source: &dyn SemanticSource,
+        hier_stages: StageMask,
+        now_year: i64,
+        interner: &Interner,
+        limits: &ClosureLimits,
+    ) -> &ClosedEvent {
+        let (mask, closed) = self.hierarchy.get_or_init(|| {
+            (
+                hier_stages,
+                semantic_closure(raw, source, hier_stages, None, now_year, interner, limits),
+            )
+        });
+        debug_assert_eq!(*mask, hier_stages, "one cache serves one configuration");
+        let _ = mask;
+        closed
+    }
+
+    /// The closed event for `tolerance`'s verification class, computed on
+    /// first use. Tolerances with equal [`Tolerance::verify_class`] share
+    /// one entry, so per-candidate verification costs one closure per
+    /// *distinct class* per publication instead of one per candidate.
+    pub fn tolerance_class(
+        &self,
+        tolerance: &Tolerance,
+        raw: &Event,
+        source: &dyn SemanticSource,
+        now_year: i64,
+        interner: &Interner,
+        limits: &ClosureLimits,
+    ) -> Arc<ClosedEvent> {
+        let class = tolerance.verify_class();
+        if let Some(hit) = self.classes.read().expect("tier cache poisoned").get(&class) {
+            return Arc::clone(hit);
+        }
+        // Computed outside the write lock; a concurrent shard racing on
+        // the same class wastes one idempotent closure at worst.
+        let computed = Arc::new(semantic_closure(
+            raw,
+            source,
+            class.stages,
+            class.max_distance,
+            now_year,
+            interner,
+            limits,
+        ));
+        let mut classes = self.classes.write().expect("tier cache poisoned");
+        Arc::clone(classes.entry(class).or_insert(computed))
+    }
+
+    /// Eagerly fills the classifier tiers the configuration will need, so
+    /// the detached front-end pays them in stage 1 (outside any matcher
+    /// lock, chunked across the batch workers) rather than the first
+    /// matching shard paying them in stage 2.
+    pub fn warm_classifier_tiers(
+        &self,
+        raw: &Event,
+        source: &dyn SemanticSource,
+        config: &Config,
+        interner: &Interner,
+    ) {
+        if config.stages.synonym() {
+            self.synonym_tier(raw, source, config.now_year, interner, &config.limits.closure);
+        }
+        if config.stages.hierarchy() {
+            let hier_stages =
+                config.stages.intersect(StageMask::SYNONYM.with(StageMask::HIERARCHY));
+            self.hierarchy_tier(
+                raw,
+                source,
+                hier_stages,
+                config.now_year,
+                interner,
+                &config.limits.closure,
+            );
+        }
+    }
+
+    /// Number of distinct verification classes closed so far.
+    pub fn class_count(&self) -> usize {
+        self.classes.read().expect("tier cache poisoned").len()
+    }
+
+    /// True if the classifier tiers have been computed.
+    pub fn classifier_tiers_ready(&self) -> bool {
+        self.synonym.get().is_some() || self.hierarchy.get().is_some()
+    }
+}
+
+/// Classifies why `sub` matches `raw` (which it must, under `stages` with
+/// unbounded distance) from the publication's tier cache: behaviourally
+/// identical to [`crate::classify_match`] — the pinned oracle — but every
+/// event-side closure is computed at most once per *publication* instead
+/// of per candidate, and the minimal hierarchy distance is read off the
+/// cached closure's per-pair [`PairInfo`] instead of searched by
+/// re-closing the event once per candidate distance.
+///
+/// `canonical` must be `sub` rewritten by
+/// [`crate::synonym_resolve_subscription`] whenever `stages` enables the
+/// synonym stage (and may alias `sub` otherwise); the matcher caches it
+/// at subscribe time.
+#[allow(clippy::too_many_arguments)] // mirrors the oracle's classify_match
+pub fn classify_with_tiers(
+    sub: &Subscription,
+    canonical: &Subscription,
+    raw: &Event,
+    tiers: &TierCache,
+    source: &dyn SemanticSource,
+    stages: StageMask,
+    now_year: i64,
+    interner: &Interner,
+    limits: &ClosureLimits,
+) -> MatchOrigin {
+    // 1. Syntactic: raw against raw.
+    if sub.matches(raw, interner) {
+        return MatchOrigin::Syntactic;
+    }
+    // 2. Synonyms only: the canonical subscription against the cached
+    // synonym tier.
+    if stages.synonym() {
+        let tier = tiers.synonym_tier(raw, source, now_year, interner, limits);
+        if canonical.matches(&tier.event, interner) {
+            return MatchOrigin::Synonym;
+        }
+    }
+    // 3. Hierarchy (plus synonyms): the smallest sufficient distance,
+    // read off the cached unbounded closure.
+    if stages.hierarchy() {
+        let hier_stages = stages.intersect(StageMask::SYNONYM.with(StageMask::HIERARCHY));
+        let tier = tiers.hierarchy_tier(raw, source, hier_stages, now_year, interner, limits);
+        if tier.truncated {
+            // A truncated closure no longer equals "unbounded pairs
+            // filtered by distance": bounded re-closures can reach pairs
+            // the truncated run dropped. Defer to the oracle.
+            return classify_match(sub, raw, source, stages, now_year, interner, limits);
+        }
+        let hier_sub = if hier_stages.synonym() { canonical } else { sub };
+        if let Some(distance) = min_hierarchy_distance(hier_sub, tier, interner) {
+            // Tiers 1–2 not matching guarantees distance ≥ 1; the oracle's
+            // linear search also never reports past the cap.
+            return MatchOrigin::Hierarchy { distance: distance.clamp(1, CLASSIFY_DISTANCE_CAP) };
+        }
+    }
+    // 4. Anything else needed the mapping stage.
+    MatchOrigin::Mapping
+}
+
+/// The smallest per-step generalization bound under which `sub` matches
+/// the closed event, or `None` if it does not match even unbounded. Each
+/// predicate needs only its *closest* satisfying pair (min over pairs);
+/// the conjunction needs its *furthest* predicate (max over predicates).
+/// Exact because a non-truncated bounded-`k` closure contains precisely
+/// the unbounded closure's pairs with minimal derivation distance ≤ `k`.
+fn min_hierarchy_distance(
+    sub: &Subscription,
+    tier: &ClosedEvent,
+    interner: &Interner,
+) -> Option<u32> {
+    let mut overall = 0u32;
+    for pred in sub.predicates() {
+        let mut best: Option<u32> = None;
+        for (idx, (attr, value)) in tier.event.pairs().iter().enumerate() {
+            if *attr == pred.attr && pred.eval(value, interner) {
+                let distance = tier.info[idx].distance;
+                if best.is_none_or(|b| distance < b) {
+                    best = Some(distance);
+                }
+            }
+        }
+        overall = overall.max(best?);
+    }
+    Some(overall)
+}
+
 /// Computes the event-side semantic pass for `event` under `config`.
 ///
 /// This is the single source of truth for publication-side semantics:
 /// [`crate::SToPSS::publish_detailed`] runs it per publication, and
 /// [`crate::ShardedSToPSS`] runs it once per publication *before* fanning
-/// the matching out to shards.
+/// the matching out to shards. When the configuration tracks provenance
+/// through the tier cache, the classifier tiers are warmed here — in the
+/// detached stage-1 pass — so shards never pay them.
 pub fn prepare_event(
     event: &Event,
     source: &dyn SemanticSource,
@@ -140,14 +412,19 @@ pub fn prepare_event(
     interner: &Interner,
 ) -> PreparedEvent {
     let parts = prepare_parts(event, source, config, interner);
-    PreparedEvent {
+    let prepared = PreparedEvent {
         raw: event.clone(),
         engine_events: parts.engine_events,
         info: parts.info,
         derived_events: parts.derived_events,
         closure_pairs: parts.closure_pairs,
         truncated: parts.truncated,
+        tiers: TierCache::new(),
+    };
+    if config.track_provenance && config.tier_cache {
+        prepared.tiers.warm_classifier_tiers(&prepared.raw, source, config, interner);
     }
+    prepared
 }
 
 /// A detachable handle on the event-side semantic machinery: the
@@ -278,6 +555,114 @@ mod tests {
         assert_eq!(prepared.engine_events.len(), 4);
         assert_eq!(prepared.closure_pairs, 0);
         assert!(prepared.info.is_empty());
+    }
+
+    #[test]
+    fn prepare_warms_classifier_tiers_only_with_provenance_on() {
+        let (interner, source, events) = world();
+        let warm = SemanticFrontEnd::new(Config::default(), source.clone(), interner.clone());
+        assert!(warm.prepare(&events[0]).tiers.classifier_tiers_ready());
+        let cold_configs =
+            [Config::default().with_provenance(false), Config::default().with_tier_cache(false)];
+        for config in cold_configs {
+            let frontend = SemanticFrontEnd::new(config, source.clone(), interner.clone());
+            assert!(!frontend.prepare(&events[0]).tiers.classifier_tiers_ready());
+        }
+    }
+
+    #[test]
+    fn tolerance_classes_are_shared_and_lazy() {
+        use crate::tolerance::Tolerance;
+        let (interner, source, events) = world();
+        let frontend = SemanticFrontEnd::new(Config::default(), source.clone(), interner.clone());
+        let prepared = frontend.prepare(&events[0]);
+        assert_eq!(prepared.tiers.class_count(), 0, "classes fill on demand only");
+        interner.with(|i| {
+            let lim = ClosureLimits::default();
+            let a = prepared.tiers.tolerance_class(
+                &Tolerance::bounded(1),
+                &prepared.raw,
+                source.as_ref(),
+                2003,
+                i,
+                &lim,
+            );
+            // Same class again: served from the cache, same artifact.
+            let b = prepared.tiers.tolerance_class(
+                &Tolerance::bounded(1),
+                &prepared.raw,
+                source.as_ref(),
+                2003,
+                i,
+                &lim,
+            );
+            assert!(Arc::ptr_eq(&a, &b), "equal classes share one closure");
+            assert_eq!(prepared.tiers.class_count(), 1);
+            // Equivalent tolerances (hierarchy off ≡ distance 0) collapse.
+            let c = prepared.tiers.tolerance_class(
+                &Tolerance { stages: StageMask::all(), max_distance: Some(0) },
+                &prepared.raw,
+                source.as_ref(),
+                2003,
+                i,
+                &lim,
+            );
+            let d = prepared.tiers.tolerance_class(
+                &Tolerance::stages(StageMask::all().without(StageMask::HIERARCHY)),
+                &prepared.raw,
+                source.as_ref(),
+                2003,
+                i,
+                &lim,
+            );
+            assert!(Arc::ptr_eq(&c, &d), "verify classes collapse equivalent tolerances");
+            assert_eq!(prepared.tiers.class_count(), 2);
+            // The cached closure equals a fresh oracle-side closure.
+            let fresh = semantic_closure(
+                &prepared.raw,
+                source.as_ref(),
+                StageMask::all(),
+                Some(1),
+                2003,
+                i,
+                &lim,
+            );
+            assert_eq!(a.event, fresh.event);
+            assert_eq!(a.truncated, fresh.truncated);
+        });
+        // Cloning an artifact snapshots the cache contents.
+        let cloned = prepared.clone();
+        assert_eq!(cloned.tiers.class_count(), 2);
+        assert!(cloned.tiers.classifier_tiers_ready());
+    }
+
+    #[test]
+    fn classify_with_tiers_matches_oracle_on_the_taxonomy_world() {
+        use crate::oracle::classify_match;
+        use stopss_types::{SubId, SubscriptionBuilder};
+        let mut i = Interner::new();
+        let mut o = Ontology::new("t");
+        let degree = i.intern("degree");
+        let grad = i.intern("graduate_degree");
+        let phd = i.intern("phd");
+        o.taxonomy.add_isa(grad, degree, &i).unwrap();
+        o.taxonomy.add_isa(phd, grad, &i).unwrap();
+        let subs = [
+            SubscriptionBuilder::new(&mut i).term_eq("credential", "degree").build(SubId(1)),
+            SubscriptionBuilder::new(&mut i)
+                .term_eq("credential", "graduate_degree")
+                .build(SubId(2)),
+            SubscriptionBuilder::new(&mut i).term_eq("credential", "phd").build(SubId(3)),
+        ];
+        let event = EventBuilder::new(&mut i).term("credential", "phd").build();
+        let lim = ClosureLimits::default();
+        let tiers = TierCache::new();
+        for sub in &subs {
+            let want = classify_match(sub, &event, &o, StageMask::all(), 2003, &i, &lim);
+            let got =
+                classify_with_tiers(sub, sub, &event, &tiers, &o, StageMask::all(), 2003, &i, &lim);
+            assert_eq!(got, want, "sub {:?}", sub.id());
+        }
     }
 
     #[test]

@@ -20,9 +20,10 @@
 //! * [`SToPSS`] — the matcher: subscribe / publish / provenance;
 //! * [`frontend`] — the shared event-side semantic pass:
 //!   [`prepare_event`] computes a [`PreparedEvent`] artifact (closure or
-//!   materialized derivation lattice + counters) once per publication,
-//!   and [`SemanticFrontEnd`] is the detachable handle that runs it
-//!   without holding any matcher lock;
+//!   materialized derivation lattice + counters + the per-publication
+//!   [`TierCache`] serving tolerance verification and provenance
+//!   classification) once per publication, and [`SemanticFrontEnd`] is
+//!   the detachable handle that runs it without holding any matcher lock;
 //! * [`ShardedSToPSS`] — the same matcher partitioned across N
 //!   hash-sharded engines behind a two-stage pipeline (shared front-end,
 //!   then scoped-thread shard matching) with a batched
@@ -48,9 +49,11 @@ pub use closure::{
     ClosureLimits, PairInfo,
 };
 pub use config::{Config, Limits, Strategy};
-pub use frontend::{prepare_event, PreparedEvent, SemanticFrontEnd};
+pub use frontend::{
+    classify_with_tiers, prepare_event, PreparedEvent, SemanticFrontEnd, TierCache,
+};
 pub use matcher::{MatcherStats, PublishResult, SToPSS};
-pub use oracle::{classify_match, semantic_match};
+pub use oracle::{classify_match, semantic_match, CLASSIFY_DISTANCE_CAP};
 pub use provenance::{Match, MatchOrigin, OriginCounts};
 pub use sharded::{shard_of, ShardedSToPSS};
 pub use strategy::{

@@ -12,9 +12,13 @@ use stopss_matching::MatchingEngine;
 use stopss_ontology::SemanticSource;
 use stopss_types::{Event, FxHashMap, Interner, SharedInterner, SubId, Subscription};
 
+use std::borrow::Cow;
+
 use crate::closure::synonym_resolve_subscription;
 use crate::config::{Config, Strategy};
-use crate::frontend::{prepare_event, prepare_parts, PreparedEvent, SemanticFrontEnd};
+use crate::frontend::{
+    classify_with_tiers, prepare_event, prepare_parts, PreparedEvent, SemanticFrontEnd, TierCache,
+};
 use crate::oracle::{classify_match, semantic_match};
 use crate::provenance::{Match, MatchOrigin};
 use crate::strategy::expand_subscription;
@@ -74,6 +78,11 @@ pub struct PublishResult {
 struct SubEntry {
     /// The subscription exactly as the subscriber registered it.
     original: Subscription,
+    /// The synonym-resolved (canonical root-term) form, cached at
+    /// subscribe time for the verify and provenance fast paths — `None`
+    /// when it would equal `original` (synonym stage off, or no term of
+    /// the subscription has a synonym mapping).
+    canonical: Option<Subscription>,
     /// The tolerance the subscriber asked for (re-clamped on rebuild).
     requested: Tolerance,
     /// `requested` clamped to the current system configuration.
@@ -82,6 +91,36 @@ struct SubEntry {
     engine_ids: Vec<SubId>,
     /// True if candidates must be re-verified against `effective`.
     needs_verify: bool,
+}
+
+impl SubEntry {
+    /// The synonym-resolved form (aliases `original` when resolution is
+    /// the identity).
+    fn canonical(&self) -> &Subscription {
+        self.canonical.as_ref().unwrap_or(&self.original)
+    }
+
+    /// The subscription form the verify oracle would match with under
+    /// this entry's effective tolerance.
+    fn verify_sub(&self) -> &Subscription {
+        if self.effective.stages.synonym() {
+            self.canonical()
+        } else {
+            &self.original
+        }
+    }
+}
+
+/// Per-publication candidate scratch, owned by the matcher so the hot
+/// path allocates once per matcher lifetime rather than once per publish.
+#[derive(Default)]
+struct MatchScratch {
+    /// One engine's matches for one derived event.
+    engine_out: Vec<SubId>,
+    /// Engine subscription ids matched across all derived events.
+    candidates: Vec<SubId>,
+    /// Deduplicated user subscription ids.
+    users: Vec<SubId>,
 }
 
 /// The semantic publish/subscribe matcher.
@@ -94,6 +133,7 @@ pub struct SToPSS {
     engine_to_user: FxHashMap<SubId, SubId>,
     next_engine_id: u64,
     stats: MatcherStats,
+    scratch: MatchScratch,
 }
 
 impl SToPSS {
@@ -108,6 +148,7 @@ impl SToPSS {
             engine_to_user: FxHashMap::default(),
             next_engine_id: 1,
             stats: MatcherStats::default(),
+            scratch: MatchScratch::default(),
         }
     }
 
@@ -187,25 +228,32 @@ impl SToPSS {
         let needs_verify = effective != system;
 
         // Engine subscriptions live in canonical (root-term) space whenever
-        // the system runs the synonym stage.
-        let canonical = if self.config.stages.synonym() {
-            synonym_resolve_subscription(&sub, self.source.as_ref())
+        // the system runs the synonym stage. The resolved form is kept on
+        // the entry so the verify/provenance fast paths never re-resolve
+        // per candidate; `Cow::Borrowed` means resolution was the identity
+        // and `original` can serve both roles.
+        let canonical: Option<Subscription> = if self.config.stages.synonym() {
+            match synonym_resolve_subscription(&sub, self.source.as_ref()) {
+                Cow::Borrowed(_) => None,
+                Cow::Owned(resolved) => Some(resolved),
+            }
         } else {
-            sub.clone()
+            None
         };
+        let engine_sub = canonical.as_ref().unwrap_or(&sub);
 
         let mut engine_ids = Vec::new();
         match self.config.strategy {
             Strategy::MaterializeEvents | Strategy::GeneralizedEvent => {
                 let engine_id = self.alloc_engine_id();
-                self.engine.insert(canonical.with_id(engine_id));
+                self.engine.insert(engine_sub.with_id(engine_id));
                 self.engine_to_user.insert(engine_id, sub.id());
                 engine_ids.push(engine_id);
             }
             Strategy::SubscriptionRewrite => {
                 let use_hierarchy = self.config.stages.hierarchy() && effective.stages.hierarchy();
                 let expansion = expand_subscription(
-                    &canonical,
+                    engine_sub,
                     self.source.as_ref(),
                     use_hierarchy,
                     effective.max_distance,
@@ -222,7 +270,7 @@ impl SToPSS {
                 }
             }
         }
-        SubEntry { original: sub, requested, effective, engine_ids, needs_verify }
+        SubEntry { original: sub, canonical, requested, effective, engine_ids, needs_verify }
     }
 
     fn alloc_engine_id(&mut self) -> SubId {
@@ -308,17 +356,20 @@ impl SToPSS {
         self.stats.published += 1;
         // `prepare_parts` (not `prepare_event`) so the inline path keeps
         // borrowing the caller's event instead of cloning it into a
-        // detached artifact.
+        // detached artifact; the tier cache is a fresh per-publication
+        // local, filled lazily only if candidates need it.
         let parts = prepare_parts(event_raw, self.source.as_ref(), &self.config, interner);
         if parts.truncated {
             self.stats.truncations += 1;
         }
         self.stats.derived_events += parts.derived_events as u64;
         self.stats.closure_pairs += parts.closure_pairs as u64;
+        let tiers = TierCache::new();
         self.match_inner(
             &parts.engine_events,
             event_raw,
             (parts.derived_events, parts.closure_pairs, parts.truncated),
+            &tiers,
             interner,
         )
     }
@@ -332,6 +383,7 @@ impl SToPSS {
             &prepared.engine_events,
             &prepared.raw,
             (prepared.derived_events, prepared.closure_pairs, prepared.truncated),
+            &prepared.tiers,
             interner,
         )
     }
@@ -340,51 +392,84 @@ impl SToPSS {
     /// engine matching over the precomputed `engine_events`, tolerance
     /// verification and provenance against the raw event, with the
     /// event-side counters passed through into the result.
+    ///
+    /// Per-candidate semantic work is served from `tiers` — the
+    /// per-publication closure cache shared by every shard matching this
+    /// artifact — unless [`Config::tier_cache`] selects the per-candidate
+    /// oracle path (byte-identical results either way).
     fn match_inner(
         &mut self,
         engine_events: &[Event],
         event_raw: &Event,
         (derived_events, closure_pairs, truncated): (usize, usize, bool),
+        tiers: &TierCache,
         interner: &Interner,
     ) -> PublishResult {
         let mut result =
             PublishResult { matches: Vec::new(), derived_events, closure_pairs, truncated };
-        let mut candidate_engine_ids: Vec<SubId> = Vec::new();
-        let mut scratch: Vec<SubId> = Vec::new();
+        self.scratch.candidates.clear();
         for event in engine_events {
-            scratch.clear();
-            self.engine.match_event(event, interner, &mut scratch);
-            candidate_engine_ids.extend_from_slice(&scratch);
+            self.scratch.engine_out.clear();
+            self.engine.match_event(event, interner, &mut self.scratch.engine_out);
+            self.scratch.candidates.extend_from_slice(&self.scratch.engine_out);
         }
 
         // Engine ids → user ids, deduplicated (rewrite fans out one user
         // subscription; materialization feeds many derived events).
-        let mut user_ids: Vec<SubId> = candidate_engine_ids
-            .iter()
-            .filter_map(|eid| self.engine_to_user.get(eid).copied())
-            .collect();
-        user_ids.sort_unstable();
-        user_ids.dedup();
+        self.scratch.users.clear();
+        self.scratch.users.extend(
+            self.scratch.candidates.iter().filter_map(|eid| self.engine_to_user.get(eid).copied()),
+        );
+        self.scratch.users.sort_unstable();
+        self.scratch.users.dedup();
 
-        for user_id in user_ids {
+        for &user_id in &self.scratch.users {
             let entry = self.subs.get(&user_id).expect("engine ids map to live subscriptions");
             if entry.needs_verify {
                 self.stats.verifications += 1;
-                let ok = semantic_match(
-                    &entry.original,
-                    event_raw,
-                    self.source.as_ref(),
-                    &entry.effective,
-                    self.config.now_year,
-                    interner,
-                    &self.config.limits.closure,
-                );
+                let ok = if self.config.tier_cache {
+                    // One closure per distinct tolerance class per
+                    // publication, then a plain conjunctive match.
+                    let class = tiers.tolerance_class(
+                        &entry.effective,
+                        event_raw,
+                        self.source.as_ref(),
+                        self.config.now_year,
+                        interner,
+                        &self.config.limits.closure,
+                    );
+                    entry.verify_sub().matches(&class.event, interner)
+                } else {
+                    semantic_match(
+                        &entry.original,
+                        event_raw,
+                        self.source.as_ref(),
+                        &entry.effective,
+                        self.config.now_year,
+                        interner,
+                        &self.config.limits.closure,
+                    )
+                };
                 if !ok {
                     self.stats.verify_rejections += 1;
                     continue;
                 }
             }
-            let origin = if self.config.track_provenance {
+            let origin = if !self.config.track_provenance {
+                MatchOrigin::Unclassified
+            } else if self.config.tier_cache {
+                classify_with_tiers(
+                    &entry.original,
+                    entry.canonical(),
+                    event_raw,
+                    tiers,
+                    self.source.as_ref(),
+                    self.config.stages,
+                    self.config.now_year,
+                    interner,
+                    &self.config.limits.closure,
+                )
+            } else {
                 classify_match(
                     &entry.original,
                     event_raw,
@@ -394,8 +479,6 @@ impl SToPSS {
                     interner,
                     &self.config.limits.closure,
                 )
-            } else {
-                MatchOrigin::Unclassified
             };
             result.matches.push(Match { sub: user_id, origin });
         }

@@ -9,11 +9,17 @@
 //!    canonicalization, hierarchy/mapping closure, or event
 //!    materialization) runs *once per publication* via
 //!    [`crate::SemanticFrontEnd`], producing a [`PreparedEvent`] artifact.
-//!    For batches the front-end itself chunks events across the scoped
-//!    worker pool.
+//!    With provenance on, the provenance classifier's tier closures are
+//!    warmed here too. For batches the front-end itself chunks events
+//!    across the scoped worker pool.
 //! 2. **Shard matching** — every shard receives only the engine-match +
 //!    verify work ([`SToPSS::match_prepared`]) on the precomputed
-//!    artifact, fanned out on crossbeam scoped worker threads.
+//!    artifact, fanned out on crossbeam scoped worker threads. The
+//!    artifact's [`crate::TierCache`] is shared read-only across the
+//!    concurrent shards: per-candidate tolerance verification and
+//!    provenance classification read (or lazily fill, for tolerance
+//!    classes) the same per-publication closures instead of each shard
+//!    re-deriving them per candidate inside its partition.
 //!
 //! Per-shard match sets are merged deterministically (sorted by `SubId`),
 //! so the result — matches, provenance, ordering, and aggregated
@@ -533,6 +539,35 @@ mod tests {
         // Same shard count: reconfigure in place.
         sharded.reconfigure(Config::default().with_shards(7));
         assert_eq!(sharded.len(), w.subs.len());
+    }
+
+    #[test]
+    fn shards_share_one_tier_cache_per_artifact() {
+        let w = world();
+        let config = Config::default().with_shards(4).with_parallelism(4);
+        let mut sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+        for (k, sub) in w.subs.iter().enumerate() {
+            // Mixed tolerances so several shards verify concurrently.
+            let tolerance = match k % 3 {
+                0 => Tolerance::full(),
+                1 => Tolerance::bounded(1),
+                _ => Tolerance::stages(StageMask::SYNONYM),
+            };
+            sharded.subscribe_with_tolerance(sub.clone(), tolerance);
+        }
+        let prepared = sharded.frontend().prepare_batch(&w.events);
+        assert!(prepared[0].tiers.classifier_tiers_ready(), "stage 1 warms classifier tiers");
+        let first = sharded.publish_prepared_batch(&prepared);
+        // Two distinct non-system verification classes across all shards,
+        // computed on the shared per-publication cache (not per shard or
+        // per candidate).
+        assert!(prepared[0].tiers.class_count() <= 2, "classes dedupe across shards");
+        // Re-publishing the same artifacts reuses the filled caches and
+        // stays deterministic.
+        let second = sharded.publish_prepared_batch(&prepared);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.matches, b.matches);
+        }
     }
 
     #[test]

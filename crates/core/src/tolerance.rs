@@ -180,6 +180,27 @@ impl Tolerance {
             },
         }
     }
+
+    /// The canonical representative of this tolerance's *closure
+    /// behaviour*: two tolerances with equal verification classes close
+    /// every event into bit-identical [`crate::ClosedEvent`]s, so the
+    /// per-publication tolerance-class cache ([`crate::TierCache`]) keys
+    /// on it instead of the raw tolerance.
+    ///
+    /// Two redundancies collapse: a distance bound of 0 disables the
+    /// hierarchy stage outright, and without the hierarchy stage the
+    /// distance bound is inert.
+    #[must_use]
+    pub fn verify_class(&self) -> Tolerance {
+        let mut class = *self;
+        if class.max_distance == Some(0) {
+            class.stages = class.stages.without(StageMask::HIERARCHY);
+        }
+        if !class.stages.hierarchy() {
+            class.max_distance = None;
+        }
+        class
+    }
 }
 
 impl Default for Tolerance {
@@ -231,6 +252,28 @@ mod tests {
         assert!(t.admits_distance(0));
         assert!(t.admits_distance(2));
         assert!(!t.admits_distance(3));
+    }
+
+    #[test]
+    fn verify_class_collapses_redundant_tolerances() {
+        // Distance 0 is the same as no hierarchy stage at all.
+        let zero = Tolerance { stages: StageMask::all(), max_distance: Some(0) };
+        let no_hier = Tolerance {
+            stages: StageMask::all().without(StageMask::HIERARCHY),
+            max_distance: None,
+        };
+        assert_eq!(zero.verify_class(), no_hier);
+        // Without the hierarchy stage the distance bound is inert.
+        let bounded_syn = Tolerance { stages: StageMask::SYNONYM, max_distance: Some(5) };
+        assert_eq!(bounded_syn.verify_class().max_distance, None);
+        assert_eq!(bounded_syn.verify_class().stages, StageMask::SYNONYM);
+        // Meaningful bounds survive.
+        assert_eq!(Tolerance::bounded(2).verify_class(), Tolerance::bounded(2));
+        assert_eq!(Tolerance::full().verify_class(), Tolerance::full());
+        // Idempotent.
+        for t in [zero, bounded_syn, Tolerance::bounded(3), Tolerance::syntactic()] {
+            assert_eq!(t.verify_class().verify_class(), t.verify_class());
+        }
     }
 
     #[test]
