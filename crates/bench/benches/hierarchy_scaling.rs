@@ -28,7 +28,7 @@ fn bench_hierarchy(c: &mut Criterion) {
                 SyntheticWorkload { subscriptions: 1_000, publications: 200, ..Default::default() };
             let fixture = synthetic_fixture(&shape, &workload);
             let config = Config { track_provenance: false, ..Config::default() };
-            let mut matcher = matcher_for(&fixture, config);
+            let matcher = matcher_for(&fixture, config);
             let events = &fixture.publications;
             let mut idx = 0usize;
             group.bench_with_input(

@@ -27,7 +27,7 @@ fn bench_engines(c: &mut Criterion) {
                 track_provenance: false,
                 ..Config::default()
             };
-            let mut matcher = matcher_for(&fixture, config);
+            let matcher = matcher_for(&fixture, config);
             let events = &fixture.publications;
             let mut idx = 0usize;
             group.bench_with_input(BenchmarkId::new(engine.name(), subs), &subs, |b, _| {

@@ -84,7 +84,7 @@ fn bench_overhead(c: &mut Criterion) {
         let fixture = jobfinder_fixture(subs, PUBLICATIONS, 7);
         for (label, stages) in stage_sets() {
             let config = Config { stages, track_provenance: false, ..Config::default() };
-            let mut matcher = matcher_for(&fixture, config);
+            let matcher = matcher_for(&fixture, config);
             let events = &fixture.publications;
             let mut idx = 0usize;
             group.bench_with_input(BenchmarkId::new(label, subs), &subs, |b, _| {

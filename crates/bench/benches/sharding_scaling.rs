@@ -2,27 +2,35 @@
 //!
 //! Batched publish latency of the sharded matcher on the job-finder
 //! workload as the shard count grows, for each syntactic engine, along
-//! the hoisted-vs-replicated comparison axis:
+//! two comparison axes:
 //!
-//! * `hoisted` — the production [`stopss_core::ShardedSToPSS`]: the
-//!   semantic front-end (closure / materialization) runs once per
-//!   publication, shards receive only engine-match + verify work;
-//! * `replicated` — the PR-2 baseline ([`stopss_bench::ReplicatedSharded`]):
-//!   every shard recomputes the full semantic pass per publication.
+//! * **pipelined vs barrier** — `pipelined` is the production
+//!   [`stopss_core::ShardedSToPSS::publish_batch`]: the front-end
+//!   prepares pipeline chunk *k+1* on a scoped worker while the shards
+//!   match chunk *k*; `barrier` composes the same two stages without
+//!   overlap (`frontend().prepare_batch()` then
+//!   `publish_prepared_batch()` — the pre-pipelining behaviour);
+//! * **hoisted vs replicated** — the `barrier`/`pipelined` designs both
+//!   hoist the semantic front-end (closure / materialization runs once
+//!   per publication); `replicated` is the PR-2 baseline
+//!   ([`stopss_bench::ReplicatedSharded`]) where every shard recomputes
+//!   the full semantic pass per publication.
 //!
-//! Shard count 1 is the single-engine baseline (same code path, no
-//! fan-out win). Besides the criterion-stub report, the bench emits the
-//! machine-readable perf trajectory `BENCH_sharding.json` at the repo
-//! root; CI regenerates it and the file is committed so `git log` shows
-//! the trajectory PR-over-PR.
+//! Shard count 1 is the single-engine baseline (no fan-out win; the
+//! pipelined mode also degrades to the barrier there, since one worker
+//! has no budget for stage overlap). Besides the criterion-stub report,
+//! the bench emits the machine-readable perf trajectory
+//! `BENCH_sharding.json` at the repo root; CI regenerates it, fails if
+//! the pipelined-vs-barrier axis is missing, and the file is committed
+//! so `git log` shows the trajectory PR-over-PR.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 use stopss_bench::{
-    render_bench_json, sharded_matcher_for, sweep_json_fields, timed_batch_sweep,
-    timed_replicated_batch_sweep, JsonRow, JsonValue, ReplicatedSharded,
+    render_bench_json, sharded_matcher_for, sweep_json_fields, timed_barrier_batch_sweep,
+    timed_batch_sweep, timed_replicated_batch_sweep, JsonRow, JsonValue, ReplicatedSharded,
 };
 use stopss_core::Config;
 use stopss_matching::EngineKind;
@@ -50,18 +58,35 @@ fn bench_sharding(c: &mut Criterion) {
             let config = config_for(engine, shards);
             let events = &fixture.publications;
 
-            let mut hoisted = sharded_matcher_for(&fixture, config);
+            let pipelined = sharded_matcher_for(&fixture, config);
             let mut idx = 0usize;
             group.bench_with_input(
-                BenchmarkId::new(engine.name(), format!("shards={shards}/hoisted")),
+                BenchmarkId::new(engine.name(), format!("shards={shards}/pipelined")),
                 &shards,
                 |b, _| {
                     b.iter(|| {
                         let start = (idx * BATCH) % events.len();
                         let end = (start + BATCH).min(events.len());
                         idx += 1;
-                        let sets = hoisted.publish_batch(&events[start..end]);
+                        let sets = pipelined.publish_batch(&events[start..end]);
                         black_box(sets.iter().map(Vec::len).sum::<usize>())
+                    })
+                },
+            );
+
+            let mut barrier = sharded_matcher_for(&fixture, config);
+            let mut idx = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), format!("shards={shards}/barrier")),
+                &shards,
+                |b, _| {
+                    b.iter(|| {
+                        let start = (idx * BATCH) % events.len();
+                        let end = (start + BATCH).min(events.len());
+                        idx += 1;
+                        let result =
+                            timed_barrier_batch_sweep(&mut barrier, &events[start..end], BATCH, 0);
+                        black_box(result.matches)
                     })
                 },
             );
@@ -88,25 +113,33 @@ fn bench_sharding(c: &mut Criterion) {
 
 /// Sweep passes per configuration; the fastest is reported (best-of-N
 /// suppresses scheduler noise, which on small machines can exceed the
-/// per-shard closure cost being measured). Hoisted and replicated passes
-/// are interleaved in time so frequency/scheduler drift hits both designs
+/// per-shard closure cost being measured). The three designs' passes are
+/// interleaved in time so frequency/scheduler drift hits all of them
 /// equally instead of biasing whichever ran later.
 const PASSES: usize = 5;
 
-/// Full-pass timed sweeps for the committed perf trajectory.
+/// Full-pass timed sweeps for the committed perf trajectory: per engine ×
+/// shard count, the `pipelined` / `barrier` / `replicated` modes.
 fn trajectory_rows(fixture: &Fixture) -> Vec<JsonRow> {
     let mut rows = Vec::new();
     for engine in EngineKind::ALL {
         for shards in SHARD_COUNTS {
             let config = config_for(engine, shards);
-            let mut hoisted = sharded_matcher_for(fixture, config);
+            let mut pipelined = sharded_matcher_for(fixture, config);
+            let mut barrier = sharded_matcher_for(fixture, config);
             let mut replicated = ReplicatedSharded::new(fixture, config);
-            let mut best_hoisted: Option<stopss_bench::SweepResult> = None;
+            let mut best_pipelined: Option<stopss_bench::SweepResult> = None;
+            let mut best_barrier: Option<stopss_bench::SweepResult> = None;
             let mut best_replicated: Option<stopss_bench::SweepResult> = None;
             for _ in 0..PASSES {
-                let h = timed_batch_sweep(&mut hoisted, &fixture.publications, BATCH, WARMUP);
-                if best_hoisted.as_ref().is_none_or(|b| h.ns_per_event < b.ns_per_event) {
-                    best_hoisted = Some(h);
+                let p = timed_batch_sweep(&mut pipelined, &fixture.publications, BATCH, WARMUP);
+                if best_pipelined.as_ref().is_none_or(|b| p.ns_per_event < b.ns_per_event) {
+                    best_pipelined = Some(p);
+                }
+                let h =
+                    timed_barrier_batch_sweep(&mut barrier, &fixture.publications, BATCH, WARMUP);
+                if best_barrier.as_ref().is_none_or(|b| h.ns_per_event < b.ns_per_event) {
+                    best_barrier = Some(h);
                 }
                 let r = timed_replicated_batch_sweep(
                     &mut replicated,
@@ -118,9 +151,11 @@ fn trajectory_rows(fixture: &Fixture) -> Vec<JsonRow> {
                     best_replicated = Some(r);
                 }
             }
-            for (mode, result) in
-                [("hoisted", best_hoisted.unwrap()), ("replicated", best_replicated.unwrap())]
-            {
+            for (mode, result) in [
+                ("pipelined", best_pipelined.unwrap()),
+                ("barrier", best_barrier.unwrap()),
+                ("replicated", best_replicated.unwrap()),
+            ] {
                 let mut row: JsonRow = vec![
                     ("engine", JsonValue::Str(engine.name().to_owned())),
                     ("shards", JsonValue::UInt(shards as u64)),

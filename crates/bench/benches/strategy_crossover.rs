@@ -30,7 +30,7 @@ fn bench_strategies(c: &mut Criterion) {
         let fixture = synthetic_fixture(&shape, &workload);
         for strategy in Strategy::ALL {
             let config = Config { strategy, track_provenance: false, ..Config::default() };
-            let mut matcher = matcher_for(&fixture, config);
+            let matcher = matcher_for(&fixture, config);
             let events = &fixture.publications;
             let mut idx = 0usize;
             group.bench_with_input(BenchmarkId::new(strategy.name(), depth), &depth, |b, _| {

@@ -25,7 +25,7 @@ fn bench_tolerance(c: &mut Criterion) {
     for (label, bound, stages) in settings {
         let config =
             Config { stages, max_distance: bound, track_provenance: false, ..Config::default() };
-        let mut matcher = matcher_for(&fixture, config);
+        let matcher = matcher_for(&fixture, config);
         let events = &fixture.publications;
         let mut idx = 0usize;
         group.bench_with_input(BenchmarkId::new("publish", label), &label, |b, _| {

@@ -279,7 +279,7 @@ fn exp_fig1(s: &Scale) -> Vec<Table> {
         "E1b: match origins under full semantics (provenance on)",
         &["origin", "matches", "share"],
     );
-    let mut matcher = matcher_for(&fixture, Config::default());
+    let matcher = matcher_for(&fixture, Config::default());
     let mut counts = OriginCounts::default();
     for event in fixture.publications.iter().take(s.pubs.min(500)) {
         for m in matcher.publish(event) {

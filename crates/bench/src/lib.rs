@@ -69,14 +69,14 @@ pub fn timed_sweep(matcher: &mut SToPSS, events: &[Event], warmup: usize) -> Swe
     for event in events.iter().take(warmup) {
         let _ = matcher.publish(event);
     }
-    let stats_before = *matcher.stats();
+    let stats_before = matcher.stats();
     let start = Instant::now();
     let mut matches = 0u64;
     for event in events {
         matches += matcher.publish(event).len() as u64;
     }
     let elapsed = start.elapsed();
-    let stats_after = *matcher.stats();
+    let stats_after = matcher.stats();
     let ns_per_event = elapsed.as_nanos() as f64 / events.len().max(1) as f64;
     SweepResult {
         matches,
@@ -112,6 +112,47 @@ pub fn timed_batch_sweep(
     let mut matches = 0u64;
     for batch in events.chunks(batch_size.max(1)) {
         matches += matcher.publish_batch(batch).iter().map(|m| m.len() as u64).sum::<u64>();
+    }
+    let elapsed = start.elapsed();
+    let stats_after = matcher.stats();
+    let ns_per_event = elapsed.as_nanos() as f64 / events.len().max(1) as f64;
+    SweepResult {
+        matches,
+        ns_per_event,
+        events_per_sec: if ns_per_event > 0.0 { 1e9 / ns_per_event } else { 0.0 },
+        derived_events: stats_after.derived_events - stats_before.derived_events,
+        truncations: stats_after.truncations - stats_before.truncations,
+    }
+}
+
+/// Publishes every event through the explicit two-stage **barrier** —
+/// `frontend().prepare_batch()` then `publish_prepared_batch()`, no
+/// stage overlap — in batches of `batch_size`. The comparison
+/// counterpart of [`timed_batch_sweep`] (whose `publish_batch` pipelines
+/// stage 1 of chunk k+1 against stage 2 of chunk k): together they form
+/// the pipelined-vs-barrier axis of the `sharding_scaling` trajectory.
+pub fn timed_barrier_batch_sweep(
+    matcher: &mut ShardedSToPSS,
+    events: &[Event],
+    batch_size: usize,
+    warmup: usize,
+) -> SweepResult {
+    let frontend = matcher.frontend();
+    let warm = &events[..warmup.min(events.len())];
+    if !warm.is_empty() {
+        let prepared = frontend.prepare_batch(warm);
+        let _ = matcher.publish_prepared_batch(&prepared);
+    }
+    let stats_before = matcher.stats();
+    let start = Instant::now();
+    let mut matches = 0u64;
+    for batch in events.chunks(batch_size.max(1)) {
+        let prepared = frontend.prepare_batch(batch);
+        matches += matcher
+            .publish_prepared_batch(&prepared)
+            .iter()
+            .map(|r| r.matches.len() as u64)
+            .sum::<u64>();
     }
     let elapsed = start.elapsed();
     let stats_after = matcher.stats();
@@ -399,10 +440,10 @@ mod tests {
         let fixture = jobfinder_fixture(60, 40, 3);
         let cycle = [Tolerance::full(), Tolerance::bounded(1), Tolerance::syntactic()];
         let config = Config::default().with_provenance(false);
-        let mut cached = matcher_with_cycled_tolerances(&fixture, config, &cycle);
-        let mut oracle =
+        let cached = matcher_with_cycled_tolerances(&fixture, config, &cycle);
+        let oracle =
             matcher_with_cycled_tolerances(&fixture, config.with_tier_cache(false), &cycle);
-        let mut uniform = matcher_with_tolerance(&fixture, config, Tolerance::full());
+        let uniform = matcher_with_tolerance(&fixture, config, Tolerance::full());
         let mut cached_total = 0usize;
         let mut oracle_total = 0usize;
         let mut uniform_total = 0usize;
@@ -431,10 +472,28 @@ mod tests {
     }
 
     #[test]
+    fn barrier_sweep_agrees_with_pipelined_sweep() {
+        let fixture = jobfinder_fixture(50, 80, 3);
+        let config = Config::default().with_provenance(false).with_shards(4);
+        let mut single = matcher_for(&fixture, config);
+        let sequential = timed_sweep(&mut single, &fixture.publications, 5);
+        // Batch size above the pipeline chunk so publish_batch overlaps.
+        let mut pipelined = sharded_matcher_for(&fixture, config);
+        let p = timed_batch_sweep(&mut pipelined, &fixture.publications, 40, 5);
+        let mut barrier = sharded_matcher_for(&fixture, config);
+        let b = timed_barrier_batch_sweep(&mut barrier, &fixture.publications, 40, 5);
+        assert_eq!(p.matches, sequential.matches);
+        assert_eq!(b.matches, sequential.matches);
+        assert_eq!(p.derived_events, b.derived_events);
+        assert_eq!(p.truncations, b.truncations);
+        assert!(b.ns_per_event > 0.0);
+    }
+
+    #[test]
     fn replicated_baseline_agrees_with_hoisted_sharded() {
         let fixture = jobfinder_fixture(60, 30, 3);
         let config = Config::default().with_provenance(false).with_shards(4);
-        let mut hoisted = sharded_matcher_for(&fixture, config);
+        let hoisted = sharded_matcher_for(&fixture, config);
         let mut replicated = ReplicatedSharded::new(&fixture, config);
         let want = hoisted.publish_batch(&fixture.publications);
         let got = replicated.publish_batch(&fixture.publications);

@@ -4,32 +4,37 @@
 //! (from the demo front-end or the workload generator), the semantic
 //! matcher decides who is interested, and the notification engine delivers
 //! over each client's preferred transport. The matcher sits behind a
-//! mutex — matching engines keep interior scratch state — while client and
-//! ownership tables take read-mostly locks.
+//! `RwLock`: the whole publish path is `&self` (per-publication mutable
+//! state lives behind interior mutability inside the matcher), so
+//! publishers share a *read* lock and only subscription mutations —
+//! `subscribe`, `unsubscribe`, `set_semantic_mode` — take the write lock.
+//! Client and ownership tables take their own read-mostly locks.
 //!
 //! When [`BrokerConfig::matcher`] asks for more than one shard, the broker
 //! runs over [`stopss_core::ShardedSToPSS`] instead of the single-threaded
 //! matcher, with byte-identical match sets and notifications.
 //!
-//! [`Broker::publish_batch`] runs the two-stage pipeline: stage 1 — the
-//! event-side semantic pass — needs only the immutable
+//! [`Broker::publish_batch`] runs the two stages as a **pipeline**:
+//! stage 1 — the event-side semantic pass — needs only the immutable
 //! configuration/ontology/interner, so the broker snapshots a
-//! [`stopss_core::SemanticFrontEnd`] handle and prepares the whole batch
-//! *outside* the matcher mutex (the sharded front-end additionally chunks
-//! large batches across its scoped worker pool). Stage 2 — engine match +
-//! verify on the precomputed artifacts — is the only part that holds the
-//! mutex. A configuration epoch guards the seam: if `set_semantic_mode`
-//! switched stages while the batch was being prepared, the stale
-//! artifacts are discarded and the batch is republished from the raw
-//! events under the lock.
+//! [`stopss_core::SemanticFrontEnd`] handle and prepares the batch in
+//! chunks *outside* any matcher lock, on a dedicated scoped worker that
+//! stays one chunk ahead; stage 2 — engine match + verify on the
+//! precomputed artifacts — runs concurrently under a read lock, chunk by
+//! chunk, so preparation of chunk *k+1* overlaps matching of chunk *k*
+//! and subscribers are never blocked for the whole batch. A configuration
+//! epoch guards the seam: if `set_semantic_mode` switched stages while a
+//! chunk was in flight, the stale artifacts are discarded and that chunk
+//! is republished from the raw events under the *same* read lock (the
+//! `&self` match path removed the former second exclusive acquisition).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use stopss_core::{
     Config, Match, MatcherStats, PreparedEvent, SToPSS, SemanticFrontEnd, ShardedSToPSS, StageMask,
-    Tolerance,
+    Tolerance, PIPELINE_CHUNK,
 };
 use stopss_ontology::SemanticSource;
 use stopss_types::{Event, FxHashMap, Predicate, SharedInterner, SubId, Subscription};
@@ -114,7 +119,7 @@ impl MatcherBackend {
 
     fn stats(&self) -> MatcherStats {
         match self {
-            MatcherBackend::Single(m) => *m.stats(),
+            MatcherBackend::Single(m) => m.stats(),
             MatcherBackend::Sharded(m) => m.stats(),
         }
     }
@@ -135,14 +140,14 @@ impl MatcherBackend {
         }
     }
 
-    fn publish(&mut self, event: &Event) -> Vec<Match> {
+    fn publish(&self, event: &Event) -> Vec<Match> {
         match self {
             MatcherBackend::Single(m) => m.publish(event),
             MatcherBackend::Sharded(m) => m.publish(event),
         }
     }
 
-    fn publish_batch(&mut self, events: &[Event]) -> Vec<Vec<Match>> {
+    fn publish_batch(&self, events: &[Event]) -> Vec<Vec<Match>> {
         match self {
             MatcherBackend::Single(m) => m.publish_batch(events),
             MatcherBackend::Sharded(m) => m.publish_batch(events),
@@ -150,8 +155,8 @@ impl MatcherBackend {
     }
 
     /// The event-side semantic front-end handle (config snapshot + shared
-    /// ontology/interner), detachable so batches can be prepared outside
-    /// the matcher mutex.
+    /// ontology/interner + verification classes to warm), detachable so
+    /// batches can be prepared outside any matcher lock.
     fn frontend(&self) -> SemanticFrontEnd {
         match self {
             MatcherBackend::Single(m) => m.frontend(),
@@ -161,7 +166,7 @@ impl MatcherBackend {
 
     /// Publishes precomputed front-end artifacts (the matching stage of
     /// the pipeline). Artifacts must match the current configuration.
-    fn publish_prepared_batch(&mut self, prepared: &[PreparedEvent]) -> Vec<Vec<Match>> {
+    fn publish_prepared_batch(&self, prepared: &[PreparedEvent]) -> Vec<Vec<Match>> {
         match self {
             MatcherBackend::Single(m) => {
                 prepared.iter().map(|p| m.publish_prepared(p).matches).collect()
@@ -182,7 +187,9 @@ impl MatcherBackend {
 
 /// The publish/subscribe broker of the demonstration setup.
 pub struct Broker {
-    matcher: Mutex<MatcherBackend>,
+    /// Read lock for the (interior-mutable, `&self`) publish path; write
+    /// lock for subscription and configuration mutations.
+    matcher: RwLock<MatcherBackend>,
     clients: RwLock<FxHashMap<ClientId, ClientInfo>>,
     sub_owner: RwLock<FxHashMap<SubId, ClientId>>,
     notifier: NotificationEngine,
@@ -191,10 +198,15 @@ pub struct Broker {
     /// Stage mask used in semantic mode (restored by `set_semantic_mode`).
     semantic_stages: StageMask,
     semantic: RwLock<bool>,
-    /// Bumped (under the matcher lock) whenever the matcher's semantic
-    /// configuration changes; lets `publish_batch` detect that artifacts
-    /// prepared outside the lock went stale mid-flight.
+    /// Bumped (under the matcher write lock) whenever the matcher's
+    /// semantic configuration changes; lets `publish_batch` detect that
+    /// artifacts prepared outside the lock went stale mid-flight.
     matcher_epoch: AtomicU64,
+    /// Matches whose owner lookup missed in `notify_matches` — a
+    /// subscription matched by an in-flight publish and unsubscribed
+    /// before its notification was enqueued. Counted (not silently
+    /// dropped) so delivery accounting stays auditable.
+    orphaned_matches: AtomicU64,
     next_client: AtomicU64,
     next_sub: AtomicU64,
 }
@@ -219,7 +231,7 @@ impl Broker {
         inboxes.insert(TransportKind::Sms, sms_inbox);
 
         Broker {
-            matcher: Mutex::new(MatcherBackend::build(config.matcher, source, interner.clone())),
+            matcher: RwLock::new(MatcherBackend::build(config.matcher, source, interner.clone())),
             clients: RwLock::new(FxHashMap::default()),
             sub_owner: RwLock::new(FxHashMap::default()),
             notifier: NotificationEngine::start(transports),
@@ -228,6 +240,7 @@ impl Broker {
             semantic_stages: config.matcher.stages,
             semantic: RwLock::new(!config.matcher.stages.is_syntactic()),
             matcher_epoch: AtomicU64::new(0),
+            orphaned_matches: AtomicU64::new(0),
             next_client: AtomicU64::new(1),
             next_sub: AtomicU64::new(1),
         }
@@ -252,7 +265,7 @@ impl Broker {
 
     /// Number of live subscriptions.
     pub fn subscription_count(&self) -> usize {
-        self.matcher.lock().len()
+        self.matcher.read().len()
     }
 
     /// Registers a subscription for `client` with the system tolerance.
@@ -277,8 +290,10 @@ impl Broker {
         }
         let id = SubId(self.next_sub.fetch_add(1, Ordering::Relaxed));
         let sub = Subscription::new(id, predicates);
-        self.matcher.lock().subscribe_with(sub, tolerance);
+        // Owner first, matcher second: from the instant a publish can
+        // match the subscription, its notifications are routable.
         self.sub_owner.write().insert(id, client);
+        self.matcher.write().subscribe_with(sub, tolerance);
         Ok(id)
     }
 
@@ -291,14 +306,28 @@ impl Broker {
             None => return Ok(false),
             Some(_) => {}
         }
+        // Matcher first, owner table second — the reverse order would let
+        // a concurrent publish match the subscription after its owner
+        // entry vanished, silently dropping the notification. This way a
+        // publish that matched before the matcher removal still finds the
+        // owner; once the matcher removal returns, no new match can
+        // reference `sub`. The remaining window (matched before removal,
+        // notified after both removals) is inherent to concurrent
+        // unsubscription and is *counted* by `notify_matches` instead of
+        // skipped silently (see [`Broker::orphaned_matches`]).
+        let existed = self.matcher.write().unsubscribe(sub);
         self.sub_owner.write().remove(&sub);
-        Ok(self.matcher.lock().unsubscribe(sub))
+        Ok(existed)
     }
 
     /// Publishes an event: matches it and enqueues one notification per
     /// matched subscription. Returns the number of matches.
+    ///
+    /// Publishers hold only a *read* lock — the matcher's publish path is
+    /// `&self` — so concurrent publishers proceed in parallel and only
+    /// subscription/configuration mutations serialize against them.
     pub fn publish(&self, event: &Event) -> usize {
-        let matches = self.matcher.lock().publish(event);
+        let matches = self.matcher.read().publish(event);
         self.notify_matches(event, &matches);
         matches.len()
     }
@@ -307,32 +336,80 @@ impl Broker {
     /// enqueuing notifications exactly as [`Broker::publish`] would per
     /// event. Returns the total number of matches across the batch.
     ///
-    /// Stage 1 (the event-side semantic pass) runs *outside* the matcher
-    /// mutex on a detached [`SemanticFrontEnd`] handle, so concurrent
-    /// subscribes and publishers are blocked only for stage 2 (engine
-    /// match + verify on the precomputed artifacts). The artifacts carry
-    /// the per-publication tier cache: with provenance on, the
-    /// classifier's tier closures are warmed in stage 1 too, so the
-    /// under-lock stage pays neither the semantic closure nor the
-    /// per-candidate provenance closures. If the semantic mode switched
-    /// while the batch was in flight, the stale artifacts are discarded
-    /// and the batch is republished under the lock.
+    /// Stage 1 (the event-side semantic pass) runs *outside* any matcher
+    /// lock on a detached [`SemanticFrontEnd`] handle, one pipeline chunk
+    /// ahead of stage 2 (engine match + verify on the precomputed
+    /// artifacts), which holds only a read lock per chunk — so the
+    /// front-end prepares chunk *k+1* while the shards match chunk *k*,
+    /// and notifications for chunk *k* are enqueued before chunk *k+1*
+    /// matches. The artifacts carry the per-publication tier cache: with
+    /// provenance on, the classifier's tier closures are warmed in
+    /// stage 1, and so are the verification-class closures of every
+    /// registered non-system tolerance, so the under-lock stage pays
+    /// neither the semantic closure nor any first-use class closure. If
+    /// the semantic mode switched while a chunk was in flight, its stale
+    /// artifacts are discarded and that chunk is republished from the raw
+    /// events under the same read lock.
     pub fn publish_batch(&self, events: &[Event]) -> usize {
         if events.is_empty() {
             return 0;
         }
-        let (frontend, epoch) = {
-            let matcher = self.matcher.lock();
-            (matcher.frontend(), self.matcher_epoch.load(Ordering::Acquire))
-        };
-        let prepared = frontend.prepare_batch(events);
+        let (frontend, epoch) = self.frontend_snapshot();
+        // Mirror the sharded matcher's own gate: overlapping the stages
+        // costs a preparer thread, so single-chunk batches — and
+        // configurations without the budget or hardware for overlap —
+        // take the plain barrier instead.
+        if events.len() <= PIPELINE_CHUNK || !frontend.config().pipeline_overlap() {
+            let prepared = frontend.prepare_batch(events);
+            return self.match_and_notify(events, &prepared, epoch);
+        }
+        // Capacity 1: stage 1 stays exactly one chunk ahead of stage 2.
+        let (tx, rx) = mpsc::sync_channel::<Vec<PreparedEvent>>(1);
+        let frontend = &frontend;
+        crossbeam::thread::scope(|scope| {
+            scope.spawn(move |_| {
+                for chunk in events.chunks(PIPELINE_CHUNK) {
+                    // The receiver only drops mid-batch if the match
+                    // stage panicked; stop preparing in that case.
+                    if tx.send(frontend.prepare_batch(chunk)).is_err() {
+                        break;
+                    }
+                }
+            });
+            let mut total = 0;
+            let mut offset = 0;
+            for prepared in rx {
+                let chunk = &events[offset..offset + prepared.len()];
+                offset += prepared.len();
+                total += self.match_and_notify(chunk, &prepared, epoch);
+            }
+            total
+        })
+        .expect("publish pipeline panicked")
+    }
+
+    /// Snapshots the detached front-end handle and the configuration
+    /// epoch it was taken under (the staleness token for
+    /// [`Broker::match_and_notify`]).
+    fn frontend_snapshot(&self) -> (SemanticFrontEnd, u64) {
+        let matcher = self.matcher.read();
+        (matcher.frontend(), self.matcher_epoch.load(Ordering::Acquire))
+    }
+
+    /// Stage 2 for one pipeline chunk: matches the precomputed artifacts
+    /// under a read lock and enqueues notifications. If the configuration
+    /// epoch moved since `epoch` (a concurrent `set_semantic_mode`), the
+    /// artifacts are stale — semantically prepared under the wrong stage
+    /// mask — so the chunk is republished from the raw events instead,
+    /// under the *same* read lock (the `&self` match path needs no second
+    /// exclusive acquisition). The epoch cannot move while the read lock
+    /// is held, because `set_semantic_mode` bumps it under the write lock.
+    fn match_and_notify(&self, events: &[Event], prepared: &[PreparedEvent], epoch: u64) -> usize {
         let match_sets = {
-            let mut matcher = self.matcher.lock();
+            let matcher = self.matcher.read();
             if self.matcher_epoch.load(Ordering::Acquire) == epoch {
-                matcher.publish_prepared_batch(&prepared)
+                matcher.publish_prepared_batch(prepared)
             } else {
-                // The configuration changed between the snapshot and the
-                // match stage: fall back to preparing under the lock.
                 matcher.publish_batch(events)
             }
         };
@@ -353,9 +430,13 @@ impl Broker {
         let rendered = self.interner.with(|i| format!("event {}", event.display(i)));
         for m in matches {
             let Some(owner) = owners.get(&m.sub) else {
+                // The subscription was matched by an in-flight publish and
+                // unsubscribed before this notification was enqueued.
+                self.orphaned_matches.fetch_add(1, Ordering::Relaxed);
                 continue;
             };
             let Some(info) = clients.get(owner) else {
+                self.orphaned_matches.fetch_add(1, Ordering::Relaxed);
                 continue;
             };
             let payload = format!(
@@ -366,9 +447,17 @@ impl Broker {
         }
     }
 
+    /// Matches whose notification was dropped because the owning
+    /// subscription disappeared between matching and notification (a
+    /// publish racing an unsubscribe). Zero in the absence of concurrent
+    /// unsubscription.
+    pub fn orphaned_matches(&self) -> u64 {
+        self.orphaned_matches.load(Ordering::Relaxed)
+    }
+
     /// True if the broker runs over the sharded matcher backend.
     pub fn is_sharded(&self) -> bool {
-        matches!(&*self.matcher.lock(), MatcherBackend::Sharded(_))
+        matches!(&*self.matcher.read(), MatcherBackend::Sharded(_))
     }
 
     /// Switches between semantic and syntactic mode ("the application can
@@ -380,11 +469,11 @@ impl Broker {
         }
         *flag = semantic;
         let stages = if semantic { self.semantic_stages } else { StageMask::syntactic() };
-        let mut matcher = self.matcher.lock();
+        let mut matcher = self.matcher.write();
         matcher.set_stages(stages);
-        // Bumped while still holding the matcher lock, so an in-flight
-        // `publish_batch` cannot match stale artifacts against the new
-        // configuration without noticing.
+        // Bumped while still holding the matcher write lock, so an
+        // in-flight `publish_batch` cannot match stale artifacts against
+        // the new configuration without noticing.
         self.matcher_epoch.fetch_add(1, Ordering::Release);
     }
 
@@ -395,7 +484,7 @@ impl Broker {
 
     /// Matcher counters (aggregated across shards for the sharded backend).
     pub fn matcher_stats(&self) -> MatcherStats {
-        self.matcher.lock().stats()
+        self.matcher.read().stats()
     }
 
     /// Notification counters (live snapshot).
@@ -577,6 +666,109 @@ mod tests {
         assert_eq!(broker.publish(&candidate_event(&interner)), 1);
         assert_eq!(broker.unsubscribe(alice, sub), Ok(true));
         assert_eq!(broker.subscription_count(), 0);
+    }
+
+    /// The `matcher_epoch` stale path, forced deterministically: snapshot
+    /// the front-end, prepare artifacts, flip `set_semantic_mode` (which
+    /// bumps the epoch), then run the match stage with the stale epoch
+    /// token. The guard must discard the semantically-prepared artifacts
+    /// and republish from the raw events — equal to a fresh publish under
+    /// the new configuration — rather than match stale closures.
+    #[test]
+    fn stale_epoch_falls_back_to_fresh_publish() {
+        for shards in [1usize, 4] {
+            let config = BrokerConfig {
+                matcher: Config::default().with_shards(shards),
+                ..BrokerConfig::default()
+            };
+            let (broker, interner) = jobs_broker(config);
+            let company = broker.register_client("acme", TransportKind::Tcp);
+            broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
+            let events = vec![candidate_event(&interner); 3];
+
+            let (frontend, epoch) = broker.frontend_snapshot();
+            let prepared = frontend.prepare_batch(&events);
+            // The artifacts would match semantically (the closure carries
+            // the synonym-resolved pairs and the mapping-produced
+            // experience); a broken guard would report 3 matches.
+            broker.set_semantic_mode(false);
+            let stale = broker.match_and_notify(&events, &prepared, epoch);
+            assert_eq!(
+                stale, 0,
+                "shards={shards}: stale semantic artifacts must be republished \
+                 under the syntactic configuration"
+            );
+            assert_eq!(stale, broker.publish_batch(&events), "fallback equals a fresh publish");
+
+            // Restore semantic mode: a fresh snapshot + matching epoch
+            // takes the prepared-artifact path and finds the matches.
+            broker.set_semantic_mode(true);
+            let (frontend, epoch) = broker.frontend_snapshot();
+            let prepared = frontend.prepare_batch(&events);
+            let fresh = broker.match_and_notify(&events, &prepared, epoch);
+            assert_eq!(fresh, 3, "shards={shards}");
+            assert_eq!(fresh, broker.publish_batch(&events), "prepared path equals fresh publish");
+            let _ = broker.shutdown();
+        }
+    }
+
+    /// A match whose owner entry vanished between matching and
+    /// notification is counted, not silently skipped.
+    #[test]
+    fn orphaned_matches_are_counted_not_skipped() {
+        let (broker, interner) = jobs_broker(BrokerConfig::default());
+        let company = broker.register_client("acme", TransportKind::Tcp);
+        let sub = broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
+        let event = candidate_event(&interner);
+        // Match while the subscription is live (not yet notified)…
+        let matches = broker.matcher.read().publish(&event);
+        assert_eq!(matches.len(), 1);
+        // …then lose the owner entry before notification, as a concurrent
+        // unsubscribe interleaving would.
+        assert_eq!(broker.unsubscribe(company, sub), Ok(true));
+        assert_eq!(broker.orphaned_matches(), 0);
+        broker.notify_matches(&event, &matches);
+        assert_eq!(broker.orphaned_matches(), 1, "the dropped notification is accounted");
+        let stats = broker.shutdown();
+        assert_eq!(stats.get(TransportKind::Tcp).delivered, 0, "nothing was enqueued");
+    }
+
+    /// Unsubscribe removes from the matcher *before* the owner table, so
+    /// no publish serialized after the matcher removal can produce an
+    /// unroutable match.
+    #[test]
+    fn unsubscribe_then_publish_finds_nothing_and_orphans_nothing() {
+        let (broker, interner) = jobs_broker(BrokerConfig::default());
+        let company = broker.register_client("acme", TransportKind::Tcp);
+        let sub = broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
+        assert_eq!(broker.unsubscribe(company, sub), Ok(true));
+        assert_eq!(broker.publish(&candidate_event(&interner)), 0);
+        assert_eq!(broker.orphaned_matches(), 0);
+        let _ = broker.shutdown();
+    }
+
+    /// A batch spanning several pipeline chunks notifies per event exactly
+    /// like per-event publishing.
+    #[test]
+    fn pipelined_batch_notifies_every_chunk() {
+        for shards in [1usize, 4] {
+            // `with_parallelism(shards)` forces the stage overlap on the
+            // sharded config even on single-core hosts; shards = 1 keeps
+            // covering the barrier fallback.
+            let config = BrokerConfig {
+                matcher: Config::default().with_shards(shards).with_parallelism(shards),
+                ..BrokerConfig::default()
+            };
+            let (broker, interner) = jobs_broker(config);
+            let company = broker.register_client("acme", TransportKind::Tcp);
+            broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
+            let n = 2 * PIPELINE_CHUNK + 7;
+            let events = vec![candidate_event(&interner); n];
+            assert_eq!(broker.publish_batch(&events), n, "shards={shards}");
+            assert_eq!(broker.matcher_stats().published, n as u64, "shards={shards}");
+            let stats = broker.shutdown();
+            assert_eq!(stats.get(TransportKind::Tcp).delivered, n as u64, "shards={shards}");
+        }
     }
 
     #[test]

@@ -84,19 +84,37 @@ impl ClosedEvent {
 /// Rewrites an event into canonical root terms: attribute names always,
 /// symbol values too (they are categorical terms). Numeric and boolean
 /// values pass through.
-pub fn synonym_resolve_event(event: &Event, source: &dyn SemanticSource) -> Event {
-    event
-        .pairs()
-        .iter()
-        .map(|(attr, value)| {
-            let attr = source.resolve_synonym(*attr);
-            let value = match value {
-                Value::Sym(s) => Value::Sym(source.resolve_synonym(*s)),
-                other => *other,
-            };
-            (attr, value)
-        })
-        .collect()
+///
+/// Runs once per publication (and once per verification class through the
+/// closure), so the common case — no term of the event has a synonym
+/// mapping — returns the input borrowed: the function itself allocates
+/// nothing, and the closure paths that must own their base event fall
+/// back to a plain buffer clone instead of a pair-by-pair rebuild
+/// through the synonym table; the same fast path
+/// [`synonym_resolve_subscription`] takes at subscribe time. When some
+/// term does resolve, the prefix scanned before it is copied verbatim,
+/// so no pair is pushed through the synonym table twice.
+pub fn synonym_resolve_event<'a>(event: &'a Event, source: &dyn SemanticSource) -> Cow<'a, Event> {
+    let resolve_pair = |(attr, value): &(Symbol, Value)| {
+        let attr = source.resolve_synonym(*attr);
+        let value = match value {
+            Value::Sym(s) => Value::Sym(source.resolve_synonym(*s)),
+            other => *other,
+        };
+        (attr, value)
+    };
+    let pairs = event.pairs();
+    let first_changed = pairs.iter().position(|pair| resolve_pair(pair) != *pair);
+    let Some(first_changed) = first_changed else {
+        return Cow::Borrowed(event);
+    };
+    Cow::Owned(
+        pairs[..first_changed]
+            .iter()
+            .copied()
+            .chain(pairs[first_changed..].iter().map(resolve_pair))
+            .collect(),
+    )
 }
 
 /// Rewrites a subscription into canonical root terms. Attribute names are
@@ -154,7 +172,11 @@ pub fn semantic_closure(
     interner: &Interner,
     limits: &ClosureLimits,
 ) -> ClosedEvent {
-    let base = if stages.synonym() { synonym_resolve_event(event, source) } else { event.clone() };
+    let base = if stages.synonym() {
+        synonym_resolve_event(event, source).into_owned()
+    } else {
+        event.clone()
+    };
     let base_pairs = base.len();
     let mut closed = ClosedEvent {
         info: vec![
@@ -363,6 +385,21 @@ mod tests {
         let university = i.get("university").unwrap();
         assert!(resolved.has_attr(university));
         assert!(!resolved.has_attr(i.get("school").unwrap()));
+    }
+
+    #[test]
+    fn event_without_synonyms_resolves_borrowed() {
+        let mut i = Interner::new();
+        let o = jobs_ontology(&mut i);
+        // Neither `credential` nor `phd` has a synonym root; numeric values
+        // are exempt outright.
+        let e = EventBuilder::new(&mut i)
+            .term("credential", "phd")
+            .pair("graduation_year", 1993i64)
+            .build();
+        let resolved = synonym_resolve_event(&e, &o);
+        assert!(matches!(resolved, Cow::Borrowed(_)), "no mapping applies: no clone");
+        assert_eq!(*resolved, e);
     }
 
     #[test]

@@ -106,6 +106,12 @@ pub struct Config {
     /// single-event publishes stay sequential (a thread spawn costs more
     /// than typical per-event matching). Setting it explicitly forces the
     /// pool even for single events; values above `shards` are clamped.
+    ///
+    /// The budget is **per stage**: when `publish_batch` pipelines a
+    /// multi-chunk batch (budget ≥ 2), stage 1 of chunk k+1 and stage 2
+    /// of chunk k overlap, so up to twice this many workers (plus one
+    /// preparer thread) can be live at once. A budget of 1 disables the
+    /// overlap entirely (barrier behaviour).
     pub parallelism: usize,
 }
 
@@ -208,6 +214,21 @@ impl Config {
         } else {
             self.parallelism.min(shards)
         }
+    }
+
+    /// True if `publish_batch` may overlap its two pipeline stages
+    /// (stage 1 of chunk k+1 concurrent with stage 2 of chunk k). Needs
+    /// a worker budget of at least 2, and — in auto mode — a host that
+    /// can actually run two stages at once: on a single hardware thread
+    /// the overlap is pure handoff overhead, so auto falls back to the
+    /// barrier there. An explicit `parallelism >= 2` forces the overlap
+    /// regardless of the probed hardware (the caller opted in; the
+    /// differential suites use this to exercise the pipeline machinery
+    /// deterministically on any host).
+    pub fn pipeline_overlap(&self) -> bool {
+        self.effective_parallelism() >= 2
+            && (self.parallelism >= 2
+                || std::thread::available_parallelism().map_or(1, |n| n.get()) >= 2)
     }
 }
 

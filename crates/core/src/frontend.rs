@@ -36,9 +36,11 @@
 //! [`TierCache`] hoists all of it into the per-publication artifact:
 //! the classifier's tier closures and one closed event per distinct
 //! *verification class* ([`Tolerance::verify_class`]) are computed at
-//! most once per publication — lazily on first use, eagerly for the
-//! classifier tiers when the detached front-end prepares with provenance
-//! on — and shared read-only by every shard through `OnceLock`/`RwLock`
+//! most once per publication — lazily on first use, eagerly in the
+//! detached stage-1 pass for the classifier tiers (provenance on) *and*
+//! for the verification classes registered at subscribe time (the
+//! matcher snapshots them into the [`SemanticFrontEnd`] handle) — and
+//! shared read-only by every shard through `OnceLock`/`RwLock`
 //! interior mutability. The minimal hierarchy distance is read straight
 //! off the cached closure's [`PairInfo`] ([`classify_with_tiers`])
 //! instead of searched by repeated re-closing. The oracle functions in
@@ -428,17 +430,27 @@ pub fn prepare_event(
 }
 
 /// A detachable handle on the event-side semantic machinery: the
-/// configuration snapshot plus the shared ontology and interner.
+/// configuration snapshot plus the shared ontology and interner, and the
+/// verification classes registered at snapshot time.
 ///
 /// Cloned out of a matcher (see [`crate::SToPSS::frontend`] /
 /// [`crate::ShardedSToPSS::frontend`]) so the publication-side pass can
 /// run without holding any matcher lock — the broker uses this to prepare
-/// whole batches outside its matcher mutex.
+/// whole batches outside its matcher lock, and the sharded matcher's
+/// pipelined `publish_batch` prepares chunk *k+1* on it while the shards
+/// match chunk *k*.
 #[derive(Clone)]
 pub struct SemanticFrontEnd {
     config: Config,
     source: Arc<dyn SemanticSource>,
     interner: SharedInterner,
+    /// Distinct [`Tolerance::verify_class`] values among the matcher's
+    /// registered subscriptions at snapshot time (see
+    /// [`crate::SToPSS::verify_classes`]). Warmed into every artifact's
+    /// tier cache during stage 1, alongside the classifier tiers, so no
+    /// matching shard pays a class closure on first use. Empty by default
+    /// (the cache then fills lazily, exactly as before).
+    verify_classes: Arc<[Tolerance]>,
 }
 
 /// Minimum publications per front-end worker before another thread is
@@ -446,9 +458,20 @@ pub struct SemanticFrontEnd {
 const MIN_EVENTS_PER_WORKER: usize = 16;
 
 impl SemanticFrontEnd {
-    /// Creates a front-end over `source` with `config`'s semantics.
+    /// Creates a front-end over `source` with `config`'s semantics and no
+    /// verification classes to warm.
     pub fn new(config: Config, source: Arc<dyn SemanticSource>, interner: SharedInterner) -> Self {
-        SemanticFrontEnd { config, source, interner }
+        SemanticFrontEnd { config, source, interner, verify_classes: Arc::from([]) }
+    }
+
+    /// Returns a copy that warms `classes` into every prepared artifact's
+    /// tier cache during stage 1 (only meaningful with
+    /// [`Config::tier_cache`] on; lazily-filled behaviour is
+    /// byte-identical either way).
+    #[must_use]
+    pub fn with_verify_classes(mut self, classes: Vec<Tolerance>) -> Self {
+        self.verify_classes = classes.into();
+        self
     }
 
     /// The configuration snapshot this front-end prepares under.
@@ -458,7 +481,27 @@ impl SemanticFrontEnd {
 
     /// Prepares one publication.
     pub fn prepare(&self, event: &Event) -> PreparedEvent {
-        self.interner.with(|i| prepare_event(event, self.source.as_ref(), &self.config, i))
+        self.interner.with(|i| self.prepare_one(event, i))
+    }
+
+    /// The per-event stage-1 pass: [`prepare_event`] plus eager warming of
+    /// the registered verification classes (the classifier tiers are
+    /// warmed inside `prepare_event` itself).
+    fn prepare_one(&self, event: &Event, interner: &Interner) -> PreparedEvent {
+        let prepared = prepare_event(event, self.source.as_ref(), &self.config, interner);
+        if self.config.tier_cache {
+            for tolerance in self.verify_classes.iter() {
+                prepared.tiers.tolerance_class(
+                    tolerance,
+                    &prepared.raw,
+                    self.source.as_ref(),
+                    self.config.now_year,
+                    interner,
+                    &self.config.limits.closure,
+                );
+            }
+        }
+        prepared
     }
 
     /// Prepares a batch of publications, in order.
@@ -472,12 +515,7 @@ impl SemanticFrontEnd {
     pub fn prepare_batch(&self, events: &[Event]) -> Vec<PreparedEvent> {
         let workers = self.batch_workers(events.len());
         if workers <= 1 {
-            return self.interner.with(|i| {
-                events
-                    .iter()
-                    .map(|e| prepare_event(e, self.source.as_ref(), &self.config, i))
-                    .collect()
-            });
+            return self.interner.with(|i| events.iter().map(|e| self.prepare_one(e, i)).collect());
         }
         let chunk = events.len().div_ceil(workers);
         crossbeam::thread::scope(|scope| {
@@ -486,10 +524,7 @@ impl SemanticFrontEnd {
                 .map(|chunk_events| {
                     scope.spawn(move |_| {
                         self.interner.with(|i| {
-                            chunk_events
-                                .iter()
-                                .map(|e| prepare_event(e, self.source.as_ref(), &self.config, i))
-                                .collect::<Vec<_>>()
+                            chunk_events.iter().map(|e| self.prepare_one(e, i)).collect::<Vec<_>>()
                         })
                     })
                 })

@@ -55,7 +55,7 @@ pub use frontend::{
 pub use matcher::{MatcherStats, PublishResult, SToPSS};
 pub use oracle::{classify_match, semantic_match, CLASSIFY_DISTANCE_CAP};
 pub use provenance::{Match, MatchOrigin, OriginCounts};
-pub use sharded::{shard_of, ShardedSToPSS};
+pub use sharded::{shard_of, ShardedSToPSS, PIPELINE_CHUNK};
 pub use strategy::{
     expand_subscription, materialize_closure, materialize_match, MaterializeOutcome,
     MaterializedEvents, RewriteExpansion,

@@ -6,8 +6,10 @@
 //! subscriptions) and the resulting candidates are filtered by each
 //! subscriber's information-loss tolerance and annotated with provenance.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use stopss_matching::MatchingEngine;
 use stopss_ontology::SemanticSource;
 use stopss_types::{Event, FxHashMap, Interner, SharedInterner, SubId, Subscription};
@@ -59,6 +61,39 @@ impl MatcherStats {
         self.verifications += other.verifications;
         self.verify_rejections += other.verify_rejections;
         self.rewrite_truncations += other.rewrite_truncations;
+    }
+}
+
+/// The lifetime counters behind relaxed atomics, so the match path can
+/// accumulate under `&self` — concurrent publishers on one matcher (or
+/// shard workers on the sharded matcher's shared front-end counters) add
+/// without any lock. Relaxed ordering suffices: counters are monotone
+/// sums with no cross-counter invariant read concurrently; snapshots
+/// taken between publications reproduce the single-threaded numbers
+/// exactly (atomic adds commute).
+#[derive(Debug, Default)]
+pub(crate) struct AtomicStats {
+    pub(crate) published: AtomicU64,
+    pub(crate) derived_events: AtomicU64,
+    pub(crate) closure_pairs: AtomicU64,
+    pub(crate) truncations: AtomicU64,
+    pub(crate) verifications: AtomicU64,
+    pub(crate) verify_rejections: AtomicU64,
+    pub(crate) rewrite_truncations: AtomicU64,
+}
+
+impl AtomicStats {
+    /// A plain-value snapshot of every counter.
+    pub(crate) fn snapshot(&self) -> MatcherStats {
+        MatcherStats {
+            published: self.published.load(Ordering::Relaxed),
+            derived_events: self.derived_events.load(Ordering::Relaxed),
+            closure_pairs: self.closure_pairs.load(Ordering::Relaxed),
+            truncations: self.truncations.load(Ordering::Relaxed),
+            verifications: self.verifications.load(Ordering::Relaxed),
+            verify_rejections: self.verify_rejections.load(Ordering::Relaxed),
+            rewrite_truncations: self.rewrite_truncations.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -123,32 +158,58 @@ struct MatchScratch {
     users: Vec<SubId>,
 }
 
+/// The per-publication mutable state of the match path: the syntactic
+/// engine (its trait allows interior scratch, so `match_event` takes
+/// `&mut self`) and the candidate scratch vectors. Bundled behind one
+/// `Mutex` so [`SToPSS::match_prepared`] can run under `&self` — the
+/// matching stage locks once per artifact, and since shards partition
+/// subscriptions the lock is uncontended in the sharded fan-out.
+struct MatchState {
+    engine: Box<dyn MatchingEngine>,
+    scratch: MatchScratch,
+}
+
 /// The semantic publish/subscribe matcher.
+///
+/// The whole publish path ([`SToPSS::publish`], [`SToPSS::match_prepared`],
+/// …) takes `&self`: per-publication mutable state lives behind a `Mutex`
+/// ([`MatchState`]) and the lifetime counters are relaxed atomics, so
+/// concurrent callers (shard workers, the broker's read-locked publish
+/// stage) need no exclusive borrow. Only the subscription-side mutations —
+/// `subscribe`, `unsubscribe`, `set_stages`, `reconfigure` — take
+/// `&mut self`.
 pub struct SToPSS {
     config: Config,
     source: Arc<dyn SemanticSource>,
     interner: SharedInterner,
-    engine: Box<dyn MatchingEngine>,
+    state: Mutex<MatchState>,
     subs: FxHashMap<SubId, SubEntry>,
     engine_to_user: FxHashMap<SubId, SubId>,
     next_engine_id: u64,
-    stats: MatcherStats,
-    scratch: MatchScratch,
+    stats: AtomicStats,
+    /// Distinct [`Tolerance::verify_class`] values among the registered
+    /// subscriptions that need per-candidate verification, refcounted so
+    /// `frontend()` can hand the detached stage-1 pass the exact class set
+    /// to warm (see [`SemanticFrontEnd`]).
+    verify_classes: FxHashMap<Tolerance, usize>,
 }
 
 impl SToPSS {
     /// Creates a matcher over `source` using `interner` for all terms.
     pub fn new(config: Config, source: Arc<dyn SemanticSource>, interner: SharedInterner) -> Self {
         SToPSS {
-            engine: config.engine.build(),
+            state: Mutex::new(MatchState {
+                engine: config.engine.build(),
+                scratch: MatchScratch::default(),
+            }),
             config,
             source,
             interner,
             subs: FxHashMap::default(),
             engine_to_user: FxHashMap::default(),
             next_engine_id: 1,
-            stats: MatcherStats::default(),
-            scratch: MatchScratch::default(),
+            stats: AtomicStats::default(),
+            verify_classes: FxHashMap::default(),
         }
     }
 
@@ -167,9 +228,31 @@ impl SToPSS {
         &self.source
     }
 
-    /// Lifetime statistics.
-    pub fn stats(&self) -> &MatcherStats {
-        &self.stats
+    /// Lifetime statistics (a snapshot of the atomic counters).
+    pub fn stats(&self) -> MatcherStats {
+        self.stats.snapshot()
+    }
+
+    /// The distinct verification classes ([`Tolerance::verify_class`])
+    /// among registered subscriptions whose effective tolerance differs
+    /// from the system-wide one. Snapshot at subscribe time; the detached
+    /// front-end warms exactly these classes in stage 1 so the first
+    /// publication after a subscribe does not pay the class closure under
+    /// the shard fan-out (or the broker's matcher lock).
+    pub fn verify_classes(&self) -> Vec<Tolerance> {
+        self.verify_classes.keys().copied().collect()
+    }
+
+    /// Appends this matcher's verification classes to `out`, skipping
+    /// ones already present — lets the sharded matcher build the
+    /// cross-shard union with a single allocation per snapshot (class
+    /// sets are tiny, so the linear dedup beats hashing).
+    pub(crate) fn verify_classes_into(&self, out: &mut Vec<Tolerance>) {
+        for class in self.verify_classes.keys() {
+            if !out.contains(class) {
+                out.push(*class);
+            }
+        }
     }
 
     /// Number of user subscriptions.
@@ -219,7 +302,16 @@ impl SToPSS {
     pub fn subscribe_with_tolerance(&mut self, sub: Subscription, tolerance: Tolerance) {
         self.unsubscribe(sub.id());
         let entry = self.build_entry(sub, tolerance);
+        self.track_verify_class(&entry);
         self.subs.insert(entry.original.id(), entry);
+    }
+
+    /// Refcounts the entry's verification class (see
+    /// [`SToPSS::verify_classes`]).
+    fn track_verify_class(&mut self, entry: &SubEntry) {
+        if entry.needs_verify {
+            *self.verify_classes.entry(entry.effective.verify_class()).or_insert(0) += 1;
+        }
     }
 
     fn build_entry(&mut self, sub: Subscription, requested: Tolerance) -> SubEntry {
@@ -246,7 +338,7 @@ impl SToPSS {
         match self.config.strategy {
             Strategy::MaterializeEvents | Strategy::GeneralizedEvent => {
                 let engine_id = self.alloc_engine_id();
-                self.engine.insert(engine_sub.with_id(engine_id));
+                self.state.get_mut().engine.insert(engine_sub.with_id(engine_id));
                 self.engine_to_user.insert(engine_id, sub.id());
                 engine_ids.push(engine_id);
             }
@@ -260,11 +352,11 @@ impl SToPSS {
                     self.config.limits.max_rewrites,
                 );
                 if expansion.truncated {
-                    self.stats.rewrite_truncations += 1;
+                    self.stats.rewrite_truncations.fetch_add(1, Ordering::Relaxed);
                 }
                 for combo in expansion.combos {
                     let engine_id = self.alloc_engine_id();
-                    self.engine.insert(Subscription::new(engine_id, combo));
+                    self.state.get_mut().engine.insert(Subscription::new(engine_id, combo));
                     self.engine_to_user.insert(engine_id, sub.id());
                     engine_ids.push(engine_id);
                 }
@@ -284,20 +376,29 @@ impl SToPSS {
         let Some(entry) = self.subs.remove(&id) else {
             return false;
         };
+        if entry.needs_verify {
+            let class = entry.effective.verify_class();
+            if let Some(count) = self.verify_classes.get_mut(&class) {
+                *count -= 1;
+                if *count == 0 {
+                    self.verify_classes.remove(&class);
+                }
+            }
+        }
         for engine_id in entry.engine_ids {
-            self.engine.remove(engine_id);
+            self.state.get_mut().engine.remove(engine_id);
             self.engine_to_user.remove(&engine_id);
         }
         true
     }
 
     /// Publishes an event, returning the matched subscriptions.
-    pub fn publish(&mut self, event: &Event) -> Vec<Match> {
+    pub fn publish(&self, event: &Event) -> Vec<Match> {
         self.publish_detailed(event).matches
     }
 
     /// Publishes an event, returning matches plus processing counters.
-    pub fn publish_detailed(&mut self, event: &Event) -> PublishResult {
+    pub fn publish_detailed(&self, event: &Event) -> PublishResult {
         let interner = self.interner.clone();
         interner.with(|i| self.publish_inner(event, i))
     }
@@ -305,16 +406,18 @@ impl SToPSS {
     /// Publishes a batch of events sequentially, returning the match set
     /// of each. Mirrors [`crate::ShardedSToPSS::publish_batch`] so callers
     /// can swap matchers without changing call sites.
-    pub fn publish_batch(&mut self, events: &[Event]) -> Vec<Vec<Match>> {
+    pub fn publish_batch(&self, events: &[Event]) -> Vec<Vec<Match>> {
         events.iter().map(|e| self.publish(e)).collect()
     }
 
     /// A detachable handle on this matcher's event-side semantic machinery
-    /// (configuration snapshot + shared ontology/interner). Lets callers
-    /// run [`SemanticFrontEnd::prepare`] without borrowing the matcher —
-    /// the broker prepares whole batches outside its matcher mutex.
+    /// (configuration snapshot + shared ontology/interner + the registered
+    /// verification classes to warm). Lets callers run
+    /// [`SemanticFrontEnd::prepare`] without borrowing the matcher — the
+    /// broker prepares whole batches outside its matcher lock.
     pub fn frontend(&self) -> SemanticFrontEnd {
         SemanticFrontEnd::new(self.config, self.source.clone(), self.interner.clone())
+            .with_verify_classes(self.verify_classes())
     }
 
     /// Runs the event-side semantic pass for one publication (closure or
@@ -327,13 +430,16 @@ impl SToPSS {
     /// artifact's engine events to the syntactic engine, verifies
     /// per-subscription tolerances, and classifies provenance.
     ///
-    /// Only the subscription-side counters (`verifications`,
-    /// `verify_rejections`) accumulate here; the event-side counters
-    /// belong to whoever ran the front-end pass (see
+    /// Takes `&self`: the engine + scratch state is locked per artifact
+    /// and the counters are atomics, so concurrent shard workers (or the
+    /// broker's read-locked match stage) can call this without an
+    /// exclusive borrow. Only the subscription-side counters
+    /// (`verifications`, `verify_rejections`) accumulate here; the
+    /// event-side counters belong to whoever ran the front-end pass (see
     /// [`SToPSS::publish_prepared`] and the sharded matcher). The
     /// artifact must have been prepared under this matcher's
     /// configuration.
-    pub fn match_prepared(&mut self, prepared: &PreparedEvent) -> PublishResult {
+    pub fn match_prepared(&self, prepared: &PreparedEvent) -> PublishResult {
         let interner = self.interner.clone();
         interner.with(|i| self.match_prepared_inner(prepared, i))
     }
@@ -342,28 +448,28 @@ impl SToPSS {
     /// it carries, then matches. Equivalent to
     /// `publish_detailed(&prepared.raw)` when the artifact came from this
     /// matcher's [`SToPSS::frontend`].
-    pub fn publish_prepared(&mut self, prepared: &PreparedEvent) -> PublishResult {
-        self.stats.published += 1;
+    pub fn publish_prepared(&self, prepared: &PreparedEvent) -> PublishResult {
+        self.stats.published.fetch_add(1, Ordering::Relaxed);
         if prepared.truncated {
-            self.stats.truncations += 1;
+            self.stats.truncations.fetch_add(1, Ordering::Relaxed);
         }
-        self.stats.derived_events += prepared.derived_events as u64;
-        self.stats.closure_pairs += prepared.closure_pairs as u64;
+        self.stats.derived_events.fetch_add(prepared.derived_events as u64, Ordering::Relaxed);
+        self.stats.closure_pairs.fetch_add(prepared.closure_pairs as u64, Ordering::Relaxed);
         self.match_prepared(prepared)
     }
 
-    fn publish_inner(&mut self, event_raw: &Event, interner: &Interner) -> PublishResult {
-        self.stats.published += 1;
+    fn publish_inner(&self, event_raw: &Event, interner: &Interner) -> PublishResult {
+        self.stats.published.fetch_add(1, Ordering::Relaxed);
         // `prepare_parts` (not `prepare_event`) so the inline path keeps
         // borrowing the caller's event instead of cloning it into a
         // detached artifact; the tier cache is a fresh per-publication
         // local, filled lazily only if candidates need it.
         let parts = prepare_parts(event_raw, self.source.as_ref(), &self.config, interner);
         if parts.truncated {
-            self.stats.truncations += 1;
+            self.stats.truncations.fetch_add(1, Ordering::Relaxed);
         }
-        self.stats.derived_events += parts.derived_events as u64;
-        self.stats.closure_pairs += parts.closure_pairs as u64;
+        self.stats.derived_events.fetch_add(parts.derived_events as u64, Ordering::Relaxed);
+        self.stats.closure_pairs.fetch_add(parts.closure_pairs as u64, Ordering::Relaxed);
         let tiers = TierCache::new();
         self.match_inner(
             &parts.engine_events,
@@ -374,11 +480,7 @@ impl SToPSS {
         )
     }
 
-    fn match_prepared_inner(
-        &mut self,
-        prepared: &PreparedEvent,
-        interner: &Interner,
-    ) -> PublishResult {
+    fn match_prepared_inner(&self, prepared: &PreparedEvent, interner: &Interner) -> PublishResult {
         self.match_inner(
             &prepared.engine_events,
             &prepared.raw,
@@ -398,7 +500,7 @@ impl SToPSS {
     /// artifact — unless [`Config::tier_cache`] selects the per-candidate
     /// oracle path (byte-identical results either way).
     fn match_inner(
-        &mut self,
+        &self,
         engine_events: &[Event],
         event_raw: &Event,
         (derived_events, closure_pairs, truncated): (usize, usize, bool),
@@ -407,26 +509,30 @@ impl SToPSS {
     ) -> PublishResult {
         let mut result =
             PublishResult { matches: Vec::new(), derived_events, closure_pairs, truncated };
-        self.scratch.candidates.clear();
+        // One lock per publication: engine and scratch are used together
+        // for the whole matching pass.
+        let mut state = self.state.lock();
+        let state = &mut *state;
+        state.scratch.candidates.clear();
         for event in engine_events {
-            self.scratch.engine_out.clear();
-            self.engine.match_event(event, interner, &mut self.scratch.engine_out);
-            self.scratch.candidates.extend_from_slice(&self.scratch.engine_out);
+            state.scratch.engine_out.clear();
+            state.engine.match_event(event, interner, &mut state.scratch.engine_out);
+            state.scratch.candidates.extend_from_slice(&state.scratch.engine_out);
         }
 
         // Engine ids → user ids, deduplicated (rewrite fans out one user
         // subscription; materialization feeds many derived events).
-        self.scratch.users.clear();
-        self.scratch.users.extend(
-            self.scratch.candidates.iter().filter_map(|eid| self.engine_to_user.get(eid).copied()),
+        state.scratch.users.clear();
+        state.scratch.users.extend(
+            state.scratch.candidates.iter().filter_map(|eid| self.engine_to_user.get(eid).copied()),
         );
-        self.scratch.users.sort_unstable();
-        self.scratch.users.dedup();
+        state.scratch.users.sort_unstable();
+        state.scratch.users.dedup();
 
-        for &user_id in &self.scratch.users {
+        for &user_id in &state.scratch.users {
             let entry = self.subs.get(&user_id).expect("engine ids map to live subscriptions");
             if entry.needs_verify {
-                self.stats.verifications += 1;
+                self.stats.verifications.fetch_add(1, Ordering::Relaxed);
                 let ok = if self.config.tier_cache {
                     // One closure per distinct tolerance class per
                     // publication, then a plain conjunctive match.
@@ -451,7 +557,7 @@ impl SToPSS {
                     )
                 };
                 if !ok {
-                    self.stats.verify_rejections += 1;
+                    self.stats.verify_rejections.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
             }
@@ -496,13 +602,13 @@ impl SToPSS {
     /// rebuilds all engine state from the stored original subscriptions.
     pub fn reconfigure(&mut self, config: Config) {
         self.config = config;
-        self.engine = self.config.engine.build();
+        self.state.get_mut().engine = self.config.engine.build();
         self.engine_to_user.clear();
         self.rebuild_entries();
     }
 
     fn rebuild(&mut self) {
-        self.engine.clear();
+        self.state.get_mut().engine.clear();
         self.engine_to_user.clear();
         self.rebuild_entries();
     }
@@ -510,8 +616,13 @@ impl SToPSS {
     fn rebuild_entries(&mut self) {
         let old: Vec<(Subscription, Tolerance)> =
             self.subs.drain().map(|(_, e)| (e.original, e.requested)).collect();
+        // Verification classes are recomputed from scratch: effective
+        // tolerances (and therefore `needs_verify`) depend on the new
+        // system configuration.
+        self.verify_classes.clear();
         for (sub, requested) in old {
             let entry = self.build_entry(sub, requested);
+            self.track_verify_class(&entry);
             self.subs.insert(entry.original.id(), entry);
         }
     }

@@ -10,16 +10,29 @@
 //!    materialization) runs *once per publication* via
 //!    [`crate::SemanticFrontEnd`], producing a [`PreparedEvent`] artifact.
 //!    With provenance on, the provenance classifier's tier closures are
-//!    warmed here too. For batches the front-end itself chunks events
-//!    across the scoped worker pool.
+//!    warmed here too, and so are the verification-class closures of every
+//!    registered non-system tolerance. For batches the front-end itself
+//!    chunks events across the scoped worker pool.
 //! 2. **Shard matching** — every shard receives only the engine-match +
 //!    verify work ([`SToPSS::match_prepared`]) on the precomputed
 //!    artifact, fanned out on crossbeam scoped worker threads. The
 //!    artifact's [`crate::TierCache`] is shared read-only across the
 //!    concurrent shards: per-candidate tolerance verification and
-//!    provenance classification read (or lazily fill, for tolerance
-//!    classes) the same per-publication closures instead of each shard
-//!    re-deriving them per candidate inside its partition.
+//!    provenance classification read the same per-publication closures
+//!    instead of each shard re-deriving them per candidate inside its
+//!    partition.
+//!
+//! The whole match path takes `&self`: shards keep their per-publication
+//! mutable state (engine + scratch) behind interior mutability and the
+//! counters are relaxed atomics, so stage 1 and stage 2 can run
+//! concurrently. [`ShardedSToPSS::publish_batch`] exploits that with
+//! **cross-batch pipelining**: the batch is cut into chunks and the
+//! front-end prepares chunk *k+1* on a dedicated scoped worker while the
+//! shards match chunk *k* — a true pipeline instead of the former
+//! prepare-everything-then-match-everything barrier (the barrier remains
+//! reachable as `frontend().prepare_batch()` + `publish_prepared_batch()`,
+//! and the `sharding_scaling` bench carries the pipelined-vs-barrier
+//! comparison axis).
 //!
 //! Per-shard match sets are merged deterministically (sorted by `SubId`),
 //! so the result — matches, provenance, ordering, and aggregated
@@ -30,8 +43,8 @@
 //! holds), matching is the per-subscription fan-out. Earlier revisions
 //! *replicated* the event-side pass in every shard; hoisting it cuts that
 //! overhead from `shards ×` to `1 ×` per publication (the
-//! `sharding_scaling` bench carries the hoisted-vs-replicated comparison
-//! axis).
+//! `sharding_scaling` bench also keeps the hoisted-vs-replicated
+//! comparison axis).
 //!
 //! # Stats aggregation
 //!
@@ -45,16 +58,26 @@
 //! pins this equivalence across every engine × strategy × stage-mask
 //! combination.
 
-use std::sync::Arc;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
 
 use stopss_ontology::SemanticSource;
 use stopss_types::{fx_hash_one, Event, SharedInterner, SubId, Subscription};
 
 use crate::config::Config;
 use crate::frontend::{PreparedEvent, SemanticFrontEnd};
-use crate::matcher::{MatcherStats, PublishResult, SToPSS};
+use crate::matcher::{AtomicStats, MatcherStats, PublishResult, SToPSS};
 use crate::provenance::Match;
 use crate::tolerance::Tolerance;
+
+/// Publications per pipeline chunk of [`ShardedSToPSS::publish_batch`]:
+/// the granularity at which stage 1 (front-end preparation) of chunk
+/// *k+1* overlaps stage 2 (shard matching) of chunk *k*. Large enough
+/// that the front-end's own batch chunking can still engage inside one
+/// chunk; small enough that a typical large batch yields several chunks
+/// to overlap. Exported so the broker's publish pipeline chunks at the
+/// same granularity (one constant, two call sites).
+pub const PIPELINE_CHUNK: usize = 32;
 
 /// The shard a subscription id is routed to, out of `shards`.
 ///
@@ -80,8 +103,9 @@ pub struct ShardedSToPSS {
     shards: Vec<SToPSS>,
     /// Event-side counters from the shared front-end pass (shards only
     /// ever see subscription-side work, so these accumulate here, once
-    /// per publication).
-    event_stats: MatcherStats,
+    /// per publication). Relaxed atomics so the `&self` match path can
+    /// account them while another pipeline chunk is in flight.
+    event_stats: AtomicStats,
     /// Lifetime stats accumulated before the last reshard (shard vectors
     /// are rebuilt from scratch when the shard count changes, but stats
     /// must survive reconfiguration exactly as they do on [`SToPSS`]).
@@ -100,7 +124,7 @@ impl ShardedSToPSS {
             source,
             interner,
             shards,
-            event_stats: MatcherStats::default(),
+            event_stats: AtomicStats::default(),
             carried: MatcherStats::default(),
         }
     }
@@ -132,18 +156,25 @@ impl ShardedSToPSS {
 
     /// A detachable handle on the shared semantic front-end (see
     /// [`SemanticFrontEnd`]): the stage every publication passes through
-    /// exactly once before shard matching.
+    /// exactly once before shard matching. Carries the union of the
+    /// shards' registered verification classes, so stage 1 warms them
+    /// alongside the classifier tiers.
     pub fn frontend(&self) -> SemanticFrontEnd {
+        let mut classes: Vec<Tolerance> = Vec::new();
+        for shard in &self.shards {
+            shard.verify_classes_into(&mut classes);
+        }
         SemanticFrontEnd::new(self.config, self.source.clone(), self.interner.clone())
+            .with_verify_classes(classes)
     }
 
     /// Aggregated lifetime statistics, identical to what a single
     /// [`SToPSS`] over the same inputs would report (see module docs).
     pub fn stats(&self) -> MatcherStats {
         let mut agg = self.carried;
-        agg.merge(&self.event_stats);
+        agg.merge(&self.event_stats.snapshot());
         for shard in &self.shards {
-            agg.merge(shard.stats());
+            agg.merge(&shard.stats());
         }
         agg
     }
@@ -188,12 +219,12 @@ impl ShardedSToPSS {
 
     /// Publishes one event, returning the matched subscriptions ordered by
     /// `SubId` — the same order the single-threaded matcher produces.
-    pub fn publish(&mut self, event: &Event) -> Vec<Match> {
+    pub fn publish(&self, event: &Event) -> Vec<Match> {
         self.publish_detailed(event).matches
     }
 
     /// Publishes one event, returning matches plus processing counters.
-    pub fn publish_detailed(&mut self, event: &Event) -> PublishResult {
+    pub fn publish_detailed(&self, event: &Event) -> PublishResult {
         self.publish_batch_detailed(std::slice::from_ref(event))
             .pop()
             .expect("one event in, one result out")
@@ -201,24 +232,54 @@ impl ShardedSToPSS {
 
     /// Publishes a batch of events through the two-stage pipeline and
     /// returns the match set of each event in order.
-    pub fn publish_batch(&mut self, events: &[Event]) -> Vec<Vec<Match>> {
+    pub fn publish_batch(&self, events: &[Event]) -> Vec<Vec<Match>> {
         self.publish_batch_detailed(events).into_iter().map(|r| r.matches).collect()
     }
 
     /// Publishes a batch of events, returning the detailed result of each.
     ///
-    /// Stage 1 runs the shared semantic front-end over the batch (chunked
-    /// across the scoped pool when the batch is large enough); stage 2
-    /// fans the precomputed artifacts out to the shards. The batch is the
-    /// unit of fan-out: every worker thread walks the whole artifact list
-    /// against its shards, so one scope (and one round of thread spawns)
-    /// amortizes over `events.len()` publications.
-    pub fn publish_batch_detailed(&mut self, events: &[Event]) -> Vec<PublishResult> {
+    /// Batches larger than one pipeline chunk run the two stages as a
+    /// **true pipeline**: a dedicated scoped worker prepares chunk *k+1*
+    /// on the shared front-end (which itself chunks large chunks across
+    /// the pool) while the shards match chunk *k*. A bounded channel
+    /// (capacity 1) keeps the preparer exactly one chunk ahead. Small
+    /// batches — and configurations without the worker budget or the
+    /// hardware for overlap ([`Config::pipeline_overlap`]) — fall back
+    /// to the plain barrier (prepare everything, then match everything),
+    /// which is observably identical: chunking never crosses an event
+    /// boundary, artifacts are position-stable, and the event-side
+    /// counters commute (relaxed atomic sums).
+    pub fn publish_batch_detailed(&self, events: &[Event]) -> Vec<PublishResult> {
         if events.is_empty() {
             return Vec::new();
         }
-        let prepared = self.frontend().prepare_batch(events);
-        self.publish_prepared_batch(&prepared)
+        let frontend = self.frontend();
+        if events.len() <= PIPELINE_CHUNK || !self.config.pipeline_overlap() {
+            let prepared = frontend.prepare_batch(events);
+            return self.publish_prepared_batch(&prepared);
+        }
+        // Capacity 1: the preparer may finish chunk k+1 while chunk k is
+        // being matched, then blocks — stage 1 never runs more than one
+        // chunk ahead of stage 2.
+        let (tx, rx) = mpsc::sync_channel::<Vec<PreparedEvent>>(1);
+        let frontend = &frontend;
+        crossbeam::thread::scope(|scope| {
+            scope.spawn(move |_| {
+                for chunk in events.chunks(PIPELINE_CHUNK) {
+                    // The receiver only drops mid-batch on a match-stage
+                    // panic; stop preparing in that case.
+                    if tx.send(frontend.prepare_batch(chunk)).is_err() {
+                        break;
+                    }
+                }
+            });
+            let mut results = Vec::with_capacity(events.len());
+            for prepared in rx {
+                results.extend(self.publish_prepared_batch(&prepared));
+            }
+            results
+        })
+        .expect("pipeline scope panicked")
     }
 
     /// The matching stage: publishes precomputed front-end artifacts.
@@ -229,17 +290,24 @@ impl ShardedSToPSS {
     /// artifacts must have been prepared under this matcher's
     /// configuration (see [`ShardedSToPSS::frontend`]); the broker uses
     /// this entry point to publish batches it prepared outside its
-    /// matcher mutex.
-    pub fn publish_prepared_batch(&mut self, prepared: &[PreparedEvent]) -> Vec<PublishResult> {
+    /// matcher lock. Combined with `frontend().prepare_batch()` this is
+    /// also the *barrier* composition of the two stages — the reference
+    /// the pipelined `publish_batch` is differentially tested (and
+    /// benchmarked) against.
+    pub fn publish_prepared_batch(&self, prepared: &[PreparedEvent]) -> Vec<PublishResult> {
         if prepared.is_empty() {
             return Vec::new();
         }
-        self.event_stats.published += prepared.len() as u64;
+        self.event_stats.published.fetch_add(prepared.len() as u64, Ordering::Relaxed);
         for artifact in prepared {
-            self.event_stats.derived_events += artifact.derived_events as u64;
-            self.event_stats.closure_pairs += artifact.closure_pairs as u64;
+            self.event_stats
+                .derived_events
+                .fetch_add(artifact.derived_events as u64, Ordering::Relaxed);
+            self.event_stats
+                .closure_pairs
+                .fetch_add(artifact.closure_pairs as u64, Ordering::Relaxed);
             if artifact.truncated {
-                self.event_stats.truncations += 1;
+                self.event_stats.truncations.fetch_add(1, Ordering::Relaxed);
             }
         }
 
@@ -255,17 +323,17 @@ impl ShardedSToPSS {
             && (prepared.len() > 1 || self.config.parallelism > 0);
         // per_shard[s][k] = shard s's result for artifact k.
         let per_shard: Vec<Vec<PublishResult>> = if !fan_out {
-            self.shards.iter_mut().map(|shard| run_shard(shard, prepared)).collect()
+            self.shards.iter().map(|shard| run_shard(shard, prepared)).collect()
         } else {
             let chunk = self.shards.len().div_ceil(workers);
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
-                    .chunks_mut(chunk)
+                    .chunks(chunk)
                     .map(|chunk_shards| {
                         scope.spawn(move |_| {
                             chunk_shards
-                                .iter_mut()
+                                .iter()
                                 .map(|shard| run_shard(shard, prepared))
                                 .collect::<Vec<_>>()
                         })
@@ -314,8 +382,9 @@ impl ShardedSToPSS {
 }
 
 /// Runs the whole artifact list through one shard sequentially (the
-/// subscription-side half only — the front-end already ran).
-fn run_shard(shard: &mut SToPSS, prepared: &[PreparedEvent]) -> Vec<PublishResult> {
+/// subscription-side half only — the front-end already ran). `&SToPSS`
+/// suffices: the shard's match path is interior-mutable.
+fn run_shard(shard: &SToPSS, prepared: &[PreparedEvent]) -> Vec<PublishResult> {
     prepared.iter().map(|artifact| shard.match_prepared(artifact)).collect()
 }
 
@@ -413,7 +482,7 @@ mod tests {
     fn sharded_matches_equal_single_threaded() {
         let w = world();
         for shards in [1usize, 2, 5, 8] {
-            let (mut single, mut sharded) = matchers(&w, shards);
+            let (single, sharded) = matchers(&w, shards);
             assert_eq!(sharded.shard_count(), shards);
             assert_eq!(sharded.len(), single.len());
             for event in &w.events {
@@ -421,14 +490,14 @@ mod tests {
                 let got = sharded.publish(event);
                 assert_eq!(got, want, "shards={shards} diverged");
             }
-            assert_eq!(sharded.stats(), *single.stats(), "shards={shards} stats diverged");
+            assert_eq!(sharded.stats(), single.stats(), "shards={shards} stats diverged");
         }
     }
 
     #[test]
     fn batch_equals_per_event_publish() {
         let w = world();
-        let (mut single, mut sharded) = matchers(&w, 4);
+        let (single, sharded) = matchers(&w, 4);
         let batched = sharded.publish_batch(&w.events);
         let sequential: Vec<Vec<Match>> = w.events.iter().map(|e| single.publish(e)).collect();
         assert_eq!(batched, sequential);
@@ -438,7 +507,7 @@ mod tests {
     #[test]
     fn prepared_batch_equals_publish_batch() {
         let w = world();
-        let (mut single, mut sharded) = matchers(&w, 4);
+        let (single, sharded) = matchers(&w, 4);
         let prepared = sharded.frontend().prepare_batch(&w.events);
         let got = sharded.publish_prepared_batch(&prepared);
         let want: Vec<PublishResult> =
@@ -449,7 +518,7 @@ mod tests {
             assert_eq!(g.closure_pairs, s.closure_pairs);
             assert_eq!(g.truncated, s.truncated);
         }
-        assert_eq!(sharded.stats(), *single.stats(), "prepared path must account event-side stats");
+        assert_eq!(sharded.stats(), single.stats(), "prepared path must account event-side stats");
         assert!(sharded.publish_prepared_batch(&[]).is_empty());
     }
 
@@ -480,17 +549,17 @@ mod tests {
             sharded.publish(event);
         }
         let before = sharded.stats();
-        assert_eq!(before, *single.stats());
+        assert_eq!(before, single.stats());
         assert!(before.published > 0);
         sharded.reconfigure(Config::default().with_shards(5));
         single.reconfigure(Config::default());
         let after = sharded.stats();
         assert_eq!(after.published, before.published, "reshard must not zero lifetime stats");
-        assert_eq!(after, *single.stats(), "stats must track the single-threaded matcher");
+        assert_eq!(after, single.stats(), "stats must track the single-threaded matcher");
         // New publishes keep accumulating on top of the carried baseline.
         sharded.publish(&w.events[0]);
         single.publish(&w.events[0]);
-        assert_eq!(sharded.stats(), *single.stats());
+        assert_eq!(sharded.stats(), single.stats());
     }
 
     #[test]
@@ -522,7 +591,7 @@ mod tests {
     #[test]
     fn reconfigure_can_reshard() {
         let w = world();
-        let (mut single, mut sharded) = matchers(&w, 2);
+        let (single, mut sharded) = matchers(&w, 2);
         let want: Vec<Vec<Match>> = w.events.iter().map(|e| single.publish(e)).collect();
         sharded.reconfigure(
             Config::default()
@@ -586,5 +655,95 @@ mod tests {
         let stats = sharded.stats();
         assert!(stats.verifications >= stats.verify_rejections);
         assert!(stats.verify_rejections > 0);
+    }
+
+    #[test]
+    fn frontend_warms_registered_verify_classes_in_stage_1() {
+        let w = world();
+        let config = Config::default().with_shards(4);
+        let mut sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+        for (k, sub) in w.subs.iter().enumerate() {
+            let tolerance = match k % 3 {
+                0 => Tolerance::full(), // system tolerance: no verify class
+                1 => Tolerance::bounded(1),
+                _ => Tolerance::stages(StageMask::SYNONYM),
+            };
+            sharded.subscribe_with_tolerance(sub.clone(), tolerance);
+        }
+        // The detached handle carries the two distinct non-system classes;
+        // stage 1 closes them eagerly, before any shard matches.
+        let prepared = sharded.frontend().prepare(&w.events[0]);
+        assert_eq!(
+            prepared.tiers.class_count(),
+            2,
+            "both registered verification classes are warmed at prepare time"
+        );
+        // Unsubscribing every bounded-tolerance subscriber drops its class
+        // from the next snapshot.
+        for (k, sub) in w.subs.iter().enumerate() {
+            if k % 3 == 1 {
+                sharded.unsubscribe(sub.id());
+            }
+        }
+        let prepared = sharded.frontend().prepare(&w.events[0]);
+        assert_eq!(prepared.tiers.class_count(), 1, "unsubscribe retires the class");
+        // Warming must not change results: compare against a cold handle.
+        let cold = SemanticFrontEnd::new(config, w.source.clone(), w.interner.clone())
+            .prepare_batch(&w.events);
+        let warm = sharded.frontend().prepare_batch(&w.events);
+        let from_warm = sharded.publish_prepared_batch(&warm);
+        let from_cold = sharded.publish_prepared_batch(&cold);
+        for (a, b) in from_warm.iter().zip(&from_cold) {
+            assert_eq!(a.matches, b.matches, "warming is behaviourally invisible");
+        }
+    }
+
+    #[test]
+    fn pipelined_large_batch_equals_barrier_and_single() {
+        let w = world();
+        // Explicit parallelism forces the stage overlap even on
+        // single-core hosts (see `Config::pipeline_overlap`).
+        let config = Config::default().with_shards(4).with_parallelism(4);
+        // A batch wide enough for several pipeline chunks (> 2 ×
+        // PIPELINE_CHUNK), with mixed tolerances in play.
+        let batch: Vec<Event> =
+            w.events.iter().cycle().take(3 * PIPELINE_CHUNK + 5).cloned().collect();
+        let mut single = SToPSS::new(config, w.source.clone(), w.interner.clone());
+        let mut pipelined = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+        let mut barrier = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+        for (k, sub) in w.subs.iter().enumerate() {
+            let tolerance = tolerance_cycle(k);
+            single.subscribe_with_tolerance(sub.clone(), tolerance);
+            pipelined.subscribe_with_tolerance(sub.clone(), tolerance);
+            barrier.subscribe_with_tolerance(sub.clone(), tolerance);
+        }
+        let want: Vec<PublishResult> = batch.iter().map(|e| single.publish_detailed(e)).collect();
+        // Barrier: prepare the whole batch, then match it.
+        let prepared = barrier.frontend().prepare_batch(&batch);
+        let from_barrier = barrier.publish_prepared_batch(&prepared);
+        // Pipeline: stage 1 of chunk k+1 overlaps stage 2 of chunk k.
+        let from_pipeline = pipelined.publish_batch_detailed(&batch);
+        assert_eq!(from_pipeline.len(), want.len());
+        for (k, (got, reference)) in from_pipeline.iter().zip(&want).enumerate() {
+            assert_eq!(got.matches, reference.matches, "event #{k} diverged from single");
+            assert_eq!(got.derived_events, reference.derived_events, "event #{k}");
+            assert_eq!(got.closure_pairs, reference.closure_pairs, "event #{k}");
+            assert_eq!(got.truncated, reference.truncated, "event #{k}");
+        }
+        for (k, (got, reference)) in from_pipeline.iter().zip(&from_barrier).enumerate() {
+            assert_eq!(got.matches, reference.matches, "event #{k}: pipeline vs barrier");
+        }
+        assert_eq!(pipelined.stats(), single.stats(), "pipelined stats");
+        assert_eq!(barrier.stats(), single.stats(), "barrier stats");
+    }
+
+    /// Mixed tolerances for the pipeline tests: verify-needing and
+    /// default subscribers interleaved.
+    fn tolerance_cycle(k: usize) -> Tolerance {
+        match k % 3 {
+            0 => Tolerance::full(),
+            1 => Tolerance::bounded(1),
+            _ => Tolerance::stages(StageMask::SYNONYM),
+        }
     }
 }

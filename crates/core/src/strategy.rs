@@ -63,8 +63,11 @@ pub fn materialize_closure(
     limits: &Limits,
 ) -> MaterializedEvents {
     let admits = |d: u32| max_distance.is_none_or(|k| d <= k);
-    let root =
-        if stages.synonym() { synonym_resolve_event(event_raw, source) } else { event_raw.clone() };
+    let root = if stages.synonym() {
+        synonym_resolve_event(event_raw, source).into_owned()
+    } else {
+        event_raw.clone()
+    };
 
     let mut outcome = MaterializeOutcome { derived_events: 1, truncated: false };
     let mut seen: FxHashSet<u64> = FxHashSet::default();

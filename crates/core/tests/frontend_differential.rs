@@ -169,8 +169,8 @@ fn publish_prepared_equals_publish_detailed() {
     let w = world();
     for strategy in Strategy::ALL {
         let config = Config::default().with_strategy(strategy);
-        let mut direct = single_matcher(&w, config);
-        let mut split = single_matcher(&w, config);
+        let direct = single_matcher(&w, config);
+        let split = single_matcher(&w, config);
         for event in &w.events {
             let want = direct.publish_detailed(event);
             let prepared = split.prepare(event);
@@ -192,7 +192,7 @@ fn pipelined_batch_equals_per_event_under_any_parallelism() {
     let w = world();
     for parallelism in [1usize, 3] {
         let config = Config::default().with_shards(4).with_parallelism(parallelism);
-        let mut single = single_matcher(&w, config);
+        let single = single_matcher(&w, config);
         let per_event: Vec<Vec<Match>> = w.events.iter().map(|e| single.publish(e)).collect();
 
         let mut sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
@@ -201,7 +201,7 @@ fn pipelined_batch_equals_per_event_under_any_parallelism() {
         }
         let batched = sharded.publish_batch(&w.events);
         assert_eq!(batched, per_event, "parallelism={parallelism}");
-        assert_eq!(sharded.stats(), *single.stats(), "parallelism={parallelism} stats");
+        assert_eq!(sharded.stats(), single.stats(), "parallelism={parallelism} stats");
 
         // A second pass through the prepared-artifact entry point (the
         // broker's pipeline) must keep agreeing and keep stats in sync.
@@ -210,7 +210,7 @@ fn pipelined_batch_equals_per_event_under_any_parallelism() {
         let again: Vec<Vec<Match>> = results.into_iter().map(|r| r.matches).collect();
         let per_event_again: Vec<Vec<Match>> = w.events.iter().map(|e| single.publish(e)).collect();
         assert_eq!(again, per_event_again, "parallelism={parallelism} prepared path");
-        assert_eq!(sharded.stats(), *single.stats(), "parallelism={parallelism} prepared stats");
+        assert_eq!(sharded.stats(), single.stats(), "parallelism={parallelism} prepared stats");
     }
 }
 

@@ -214,7 +214,7 @@ mod tests {
     fn batch_feed_equals_per_event_publish() {
         let f = jobfinder_fixture(80, 40, 13);
         let config = Config::default().with_shards(4);
-        let mut single = f.matcher(config);
+        let single = f.matcher(config);
         let mut sharded = f.sharded_matcher(config);
         let want: Vec<Vec<Match>> = f.publications.iter().map(|e| single.publish(e)).collect();
         let got = f.feed_batches(&mut sharded, 7);

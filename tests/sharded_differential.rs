@@ -74,7 +74,7 @@ fn assert_differential(fixture: &Fixture, config: Config, label: &str) {
         let got = sharded.publish(event);
         assert_eq!(got, want, "{label}: event #{k} diverged");
     }
-    assert_eq!(sharded.stats(), *single.stats(), "{label}: aggregated stats diverged");
+    assert_eq!(sharded.stats(), single.stats(), "{label}: aggregated stats diverged");
 }
 
 /// Sweeps engines × strategies × masks × shard counts. The
@@ -111,7 +111,7 @@ fn sweep(fixture: &Fixture, masks: &[StageMask], shard_counts: &[usize]) {
                     assert_eq!(got, want, "{label}: match sets diverged");
                     assert_eq!(
                         sharded.stats(),
-                        *single.stats(),
+                        single.stats(),
                         "{label}: aggregated stats diverged"
                     );
                 }
@@ -149,6 +149,83 @@ fn constrained_parallelism_is_equivalent_too() {
     }
 }
 
+/// Pipelined-vs-barrier equivalence across engines × strategies × stage
+/// masks: `publish_batch` now overlaps stage 1 of chunk k+1 with stage 2
+/// of chunk k, and must stay byte-identical — matches, provenance,
+/// ordering, aggregated stats — to both the explicit two-stage barrier
+/// (`frontend().prepare_batch()` + `publish_prepared_batch()`) and the
+/// single-threaded matcher. The batch spans several pipeline chunks so
+/// the overlap actually engages.
+#[test]
+fn pipelined_equals_barrier_across_engines_strategies_masks() {
+    let fixture = jobfinder_fixture(100, 72, 42);
+    for engine in EngineKind::ALL {
+        for strategy in Strategy::ALL {
+            for stages in representative_masks() {
+                // Explicit parallelism forces the stage overlap even on
+                // single-core hosts (`Config::pipeline_overlap`).
+                let config = Config::default()
+                    .with_engine(engine)
+                    .with_strategy(strategy)
+                    .with_stages(stages)
+                    .with_shards(4)
+                    .with_parallelism(2);
+                let label = format!(
+                    "engine={} strategy={} stages={stages:?}",
+                    engine.name(),
+                    strategy.name()
+                );
+                let mut single =
+                    SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+                subscribe_single(&fixture, &mut single);
+                let want: Vec<Vec<Match>> =
+                    fixture.publications.iter().map(|e| single.publish(e)).collect();
+
+                let mut barrier =
+                    ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+                subscribe_sharded(&fixture, &mut barrier);
+                let prepared = barrier.frontend().prepare_batch(&fixture.publications);
+                let from_barrier: Vec<Vec<Match>> = barrier
+                    .publish_prepared_batch(&prepared)
+                    .into_iter()
+                    .map(|r| r.matches)
+                    .collect();
+
+                let mut pipelined =
+                    ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+                subscribe_sharded(&fixture, &mut pipelined);
+                let from_pipeline = pipelined.publish_batch(&fixture.publications);
+
+                assert_eq!(from_barrier, want, "{label}: barrier vs single");
+                assert_eq!(from_pipeline, want, "{label}: pipelined vs single");
+                assert_eq!(barrier.stats(), single.stats(), "{label}: barrier stats");
+                assert_eq!(pipelined.stats(), single.stats(), "{label}: pipelined stats");
+            }
+        }
+    }
+}
+
+/// The pipeline under a constrained worker budget (including the
+/// budget-1 case, where `publish_batch` must fall back to the barrier)
+/// stays equivalent too.
+#[test]
+fn pipelined_constrained_parallelism_is_equivalent() {
+    let fixture = jobfinder_fixture(80, 70, 11);
+    let mut single =
+        SToPSS::new(Config::default(), fixture.source.clone(), fixture.interner.clone());
+    subscribe_single(&fixture, &mut single);
+    let want: Vec<Vec<Match>> = fixture.publications.iter().map(|e| single.publish(e)).collect();
+    for parallelism in [1usize, 2, 5] {
+        let config = Config::default().with_shards(8).with_parallelism(parallelism);
+        let mut sharded =
+            ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+        subscribe_sharded(&fixture, &mut sharded);
+        let got = sharded.publish_batch(&fixture.publications);
+        assert_eq!(got, want, "parallelism={parallelism}");
+        assert_eq!(sharded.stats(), single.stats(), "parallelism={parallelism} stats");
+    }
+}
+
 // ---------------------------------------------------------------------
 // Determinism regressions.
 
@@ -157,7 +234,7 @@ fn same_fixture_published_twice_yields_identical_ordered_results() {
     let fixture = jobfinder_fixture(120, 30, 9);
     let config = Config::default().with_shards(8);
     let run = || {
-        let mut matcher = fixture.sharded_matcher(config);
+        let matcher = fixture.sharded_matcher(config);
         let sets: Vec<Vec<Match>> =
             fixture.publications.iter().map(|e| matcher.publish(e)).collect();
         (sets, matcher.stats())
@@ -172,7 +249,7 @@ fn same_fixture_published_twice_yields_identical_ordered_results() {
 fn publish_batch_equals_per_event_publish() {
     let fixture = jobfinder_fixture(120, 30, 9);
     let config = Config::default().with_shards(8);
-    let mut per_event = fixture.sharded_matcher(config);
+    let per_event = fixture.sharded_matcher(config);
     let sequential: Vec<Vec<Match>> =
         fixture.publications.iter().map(|e| per_event.publish(e)).collect();
     for batch_size in [1usize, 7, 30] {
@@ -189,7 +266,7 @@ fn publish_batch_equals_per_event_publish() {
 #[test]
 fn golden_match_set_is_pinned() {
     let fixture = jobfinder_fixture(40, 10, 2003);
-    let mut matcher = fixture.sharded_matcher(Config::default().with_shards(8));
+    let matcher = fixture.sharded_matcher(Config::default().with_shards(8));
     let got: Vec<Vec<u64>> = fixture
         .publications
         .iter()
@@ -211,7 +288,7 @@ fn golden_match_set_is_pinned() {
     ];
     assert_eq!(got, want, "golden match-set drifted");
     // The golden set must also be what the single-threaded matcher says.
-    let mut single = fixture.matcher(Config::default());
+    let single = fixture.matcher(Config::default());
     let single_ids: Vec<Vec<u64>> = fixture
         .publications
         .iter()

@@ -55,8 +55,8 @@ fn matcher_with_mixed_tolerances(fixture: &Fixture, config: Config) -> SToPSS {
 /// matcher under `config` and asserts byte-identical matches (with
 /// provenance) and lifetime stats.
 fn assert_paths_agree(fixture: &Fixture, config: Config, label: &str) {
-    let mut fast = matcher_with_mixed_tolerances(fixture, config.with_tier_cache(true));
-    let mut oracle = matcher_with_mixed_tolerances(fixture, config.with_tier_cache(false));
+    let fast = matcher_with_mixed_tolerances(fixture, config.with_tier_cache(true));
+    let oracle = matcher_with_mixed_tolerances(fixture, config.with_tier_cache(false));
     for (k, event) in fixture.publications.iter().enumerate() {
         let want = oracle.publish_detailed(event);
         let got = fast.publish_detailed(event);
@@ -252,11 +252,11 @@ fn sharded_fast_path_equals_single_threaded_oracle() {
         for (k, sub) in fixture.subscriptions.iter().enumerate() {
             sharded.subscribe_with_tolerance(sub.clone(), cycle[k % cycle.len()]);
         }
-        let mut oracle = matcher_with_mixed_tolerances(&fixture, config.with_tier_cache(false));
+        let oracle = matcher_with_mixed_tolerances(&fixture, config.with_tier_cache(false));
         let batched = sharded.publish_batch(&fixture.publications);
         let want: Vec<Vec<s_topss::core::Match>> =
             fixture.publications.iter().map(|e| oracle.publish(e)).collect();
         assert_eq!(batched, want, "shards={shards}");
-        assert_eq!(sharded.stats(), *oracle.stats(), "shards={shards} stats");
+        assert_eq!(sharded.stats(), oracle.stats(), "shards={shards} stats");
     }
 }
