@@ -8,7 +8,7 @@
 //! Usage:
 //!   experiments [--quick] [--check] [exp ...]
 //! where `exp` ∈ {fig1, fig2, overhead, ontology, engines, tolerance,
-//! multidomain, strategy, hierarchy, all} (default: all).
+//! multidomain, strategy, hierarchy, scenarios, all} (default: all).
 //! Tables are printed and written to `results/<exp>.md` / `.csv`
 //! (`results/quick/<exp>.*` with `--quick`, so the fast sweep has its own
 //! committed goldens at its own scale).
@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use stopss_bench::{match_sets, matcher_for, recall, timed_sweep, total_matches};
-use stopss_broker::{Broker, BrokerConfig, TransportKind};
+use stopss_broker::{run_chaos, Broker, BrokerConfig, ChaosConfig, TransportKind};
 use stopss_core::{Config, OriginCounts, StageMask, Strategy, Tolerance};
 use stopss_matching::EngineKind;
 use stopss_ontology::{
@@ -33,8 +33,9 @@ use stopss_ontology::{
 };
 use stopss_types::{Interner, Predicate, SharedInterner, SubId, Value};
 use stopss_workload::{
-    build_synthetic, fmt_f64, fmt_nanos, jobfinder_fixture, synthetic_fixture, Rng,
-    SyntheticConfig, SyntheticWorkload, Table,
+    build_synthetic, churn_scenario, fmt_f64, fmt_nanos, geo_fixture, iot_fixture,
+    jobfinder_fixture, market_fixture, replay_interleaved, replay_sequential, synthetic_fixture,
+    ChurnMode, ChurnOp, Fixture, Rng, SyntheticConfig, SyntheticWorkload, Table,
 };
 
 struct Scale {
@@ -68,6 +69,7 @@ fn main() {
             "multidomain",
             "strategy",
             "hierarchy",
+            "scenarios",
         ];
     }
     let s = scale(quick);
@@ -89,6 +91,7 @@ fn main() {
             "multidomain" => exp_multidomain(&s),
             "strategy" => exp_strategy(quick),
             "hierarchy" => exp_hierarchy(quick),
+            "scenarios" => exp_scenarios(&s, quick),
             other => {
                 eprintln!("unknown experiment '{other}', skipping");
                 continue;
@@ -854,4 +857,168 @@ fn exp_hierarchy(quick: bool) -> Vec<Table> {
         }
     }
     vec![table]
+}
+
+/// E10 — scenario diversity and the chaos harness: match profiles of the
+/// four workload domains (origin attribution included), the churn
+/// differential (interleaved replay vs the fresh-matcher oracle), and
+/// delivery conservation under injected broker faults. Every column is a
+/// deterministic count or parity verdict, so the freshness gate covers
+/// this experiment unmasked.
+fn exp_scenarios(s: &Scale, quick: bool) -> Vec<Table> {
+    let domains: Vec<(&str, Fixture)> = vec![
+        ("jobfinder", jobfinder_fixture(s.subs, s.pubs, 2003)),
+        ("iot", iot_fixture(s.subs, s.pubs, 2003)),
+        ("market", market_fixture(s.subs, s.pubs, 2003)),
+        ("geo", geo_fixture(s.subs, s.pubs, 2003)),
+    ];
+
+    let mut profile = Table::new(
+        format!("E10: per-domain match profile — {} subs x {} pubs", s.subs, s.pubs),
+        &[
+            "domain",
+            "syntactic matches",
+            "semantic matches",
+            "uplift",
+            "synonym",
+            "hierarchy",
+            "mapping",
+        ],
+    );
+    for (name, fixture) in &domains {
+        let syn_config =
+            Config { stages: StageMask::syntactic(), track_provenance: false, ..Config::default() };
+        let syn_matcher = matcher_for(fixture, syn_config);
+        let syntactic: usize =
+            fixture.publications.iter().map(|e| syn_matcher.publish(e).len()).sum();
+        let matcher = matcher_for(fixture, Config::default());
+        let mut counts = OriginCounts::default();
+        for event in &fixture.publications {
+            for m in matcher.publish(event) {
+                counts.record(m.origin);
+            }
+        }
+        let total = counts.total();
+        profile.push_row(vec![
+            (*name).into(),
+            syntactic.to_string(),
+            total.to_string(),
+            format!("{:.2}x", total as f64 / syntactic.max(1) as f64),
+            counts.synonym.to_string(),
+            counts.hierarchy.to_string(),
+            counts.mapping.to_string(),
+        ]);
+    }
+
+    let mut churn = Table::new(
+        "E10b: churn differential — interleaved replay vs fresh-matcher oracle",
+        &[
+            "domain",
+            "mode",
+            "ops",
+            "subs added",
+            "subs removed",
+            "pubs",
+            "interleaved matches",
+            "sequential parity",
+        ],
+    );
+    let steps = if quick { 120 } else { 240 };
+    let churn_fixtures: Vec<(&str, Fixture)> = vec![
+        ("jobfinder", jobfinder_fixture(150, 100, 7)),
+        ("iot", iot_fixture(150, 100, 7)),
+        ("market", market_fixture(150, 100, 7)),
+        ("geo", geo_fixture(150, 100, 7)),
+    ];
+    for (name, fixture) in &churn_fixtures {
+        for mode in [ChurnMode::UnsubscribeHeavy, ChurnMode::FlashCrowd] {
+            let scenario = churn_scenario(fixture, mode, steps, 42);
+            let (mut added, mut removed) = (0usize, 0usize);
+            for op in &scenario.ops {
+                match op {
+                    ChurnOp::Subscribe(_) => added += 1,
+                    ChurnOp::Unsubscribe(_) => removed += 1,
+                    ChurnOp::Publish(_) => {}
+                }
+            }
+            let config = Config::default();
+            let interleaved = replay_interleaved(fixture, &scenario, config);
+            let sequential = replay_sequential(fixture, &scenario, config);
+            let matches: usize = interleaved.iter().map(Vec::len).sum();
+            churn.push_row(vec![
+                (*name).into(),
+                match mode {
+                    ChurnMode::UnsubscribeHeavy => "unsubscribe-heavy",
+                    ChurnMode::FlashCrowd => "flash-crowd",
+                }
+                .into(),
+                scenario.ops.len().to_string(),
+                added.to_string(),
+                removed.to_string(),
+                scenario.publishes.to_string(),
+                matches.to_string(),
+                if interleaved == sequential { "agree" } else { "DIVERGED" }.into(),
+            ]);
+        }
+    }
+
+    let mut chaos_table = Table::new(
+        "E10c: chaos harness — delivery conservation under injected faults",
+        &[
+            "faults",
+            "pubs",
+            "matches",
+            "delivered",
+            "lost",
+            "rate-dropped",
+            "orphaned",
+            "retried",
+            "restarts",
+            "clients dropped",
+            "conserved",
+            "order",
+        ],
+    );
+    let quiet = ChaosConfig {
+        seed: 2003,
+        drop_client: 0.0,
+        slow_consumer: 0.0,
+        restart_every: 0,
+        udp_loss: 0.0,
+        sms_budget: 1_000_000,
+    };
+    let presets: Vec<(&str, ChaosConfig)> = vec![
+        ("none", quiet),
+        ("connection drops", ChaosConfig { drop_client: 0.15, ..quiet }),
+        ("slow consumers", ChaosConfig { slow_consumer: 0.3, ..quiet }),
+        ("engine restarts", ChaosConfig { restart_every: 25, ..quiet }),
+        ("all faults", ChaosConfig::default()),
+    ];
+    let fixture = jobfinder_fixture(48, if quick { 150 } else { 400 }, 9);
+    for (name, chaos) in presets {
+        let report = run_chaos(
+            BrokerConfig::default(),
+            &chaos,
+            fixture.source.clone(),
+            fixture.interner.clone(),
+            &fixture.subscriptions,
+            &fixture.publications,
+        );
+        chaos_table.push_row(vec![
+            name.into(),
+            report.published.to_string(),
+            report.matches.to_string(),
+            report.delivered.to_string(),
+            report.lost.to_string(),
+            report.rate_dropped.to_string(),
+            report.orphaned.to_string(),
+            report.retried.to_string(),
+            report.restarts.to_string(),
+            report.dropped_clients.to_string(),
+            if report.matches == report.accounted() { "yes" } else { "NO" }.into(),
+            if report.ordering_violations.is_empty() { "intact" } else { "VIOLATED" }.into(),
+        ]);
+    }
+
+    vec![profile, churn, chaos_table]
 }

@@ -1,0 +1,352 @@
+//! Deterministic fault injection for the broker, scored on delivery
+//! invariants.
+//!
+//! A [`ChaosConfig`] seeds three fault families — dropped client
+//! connections, slowed (rate-limited) consumers, and notification-engine
+//! restarts mid-stream — on top of the transports' own loss/rate
+//! behaviours. [`run_chaos`] drives a subscription/event workload through
+//! a faulted [`Broker`] and returns a [`ChaosReport`] whose
+//! [`ChaosReport::assert_invariants`] checks the two properties the
+//! harness exists to pin:
+//!
+//! 1. **No silent loss** — every match is delivered or shows up in an
+//!    explicit failure counter (lost / rate-dropped / orphaned);
+//! 2. **Per-subscriber order** — each client observes its notifications
+//!    in publication order (events carry a monotone `seq` attribute that
+//!    the checker parses back out of delivered payloads).
+//!
+//! Everything is deterministic under a fixed seed: the chaos control
+//! stream, the per-incarnation transport streams, and the single-threaded
+//! publish loop (the engine's worker drains a FIFO channel, so transport
+//! RNG draws happen in enqueue order). Same seed ⇒ same faults ⇒ same
+//! report.
+
+use std::sync::Arc;
+
+use stopss_ontology::SemanticSource;
+use stopss_types::rng::Rng;
+use stopss_types::{Event, FxHashMap, SharedInterner, Subscription, Value};
+
+use crate::client::ClientId;
+use crate::dispatcher::{Broker, BrokerConfig, TransportFactory};
+use crate::transport::{
+    Delivery, Inbox, SmsSim, SmtpSim, TcpSim, Transport, TransportError, TransportKind, UdpSim,
+};
+
+/// Seeded fault-injection knobs. All probabilities are per-opportunity;
+/// zero disables that fault family.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Seed for the chaos control stream (which faults fire when).
+    pub seed: u64,
+    /// Per-publication probability of dropping one connected client.
+    pub drop_client: f64,
+    /// Per-delivery-attempt probability that a consumer is too slow and
+    /// the attempt comes back rate-limited (retried by the engine).
+    pub slow_consumer: f64,
+    /// Restart the notification engine before every `restart_every`-th
+    /// publication (0 = never).
+    pub restart_every: usize,
+    /// UDP loss probability for the simulated datagram transport.
+    pub udp_loss: f64,
+    /// SMS messages allowed per rate window.
+    pub sms_budget: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 2003,
+            drop_client: 0.05,
+            slow_consumer: 0.1,
+            restart_every: 64,
+            udp_loss: 0.1,
+            sms_budget: 16,
+        }
+    }
+}
+
+/// Wraps a transport so each delivery attempt may first come back
+/// rate-limited — a consumer too slow to take the message — with seeded
+/// probability. The engine's retry loop then ticks the window and tries
+/// again, so slowness costs retries, never silent loss.
+pub struct FlakyTransport {
+    inner: Box<dyn Transport>,
+    rng: Rng,
+    stall_probability: f64,
+}
+
+impl FlakyTransport {
+    /// Wraps `inner`; `stall_probability` per attempt, seeded stream.
+    pub fn new(inner: Box<dyn Transport>, stall_probability: f64, seed: u64) -> Self {
+        FlakyTransport { inner, rng: Rng::new(seed), stall_probability }
+    }
+}
+
+impl Transport for FlakyTransport {
+    fn kind(&self) -> TransportKind {
+        self.inner.kind()
+    }
+
+    fn deliver(&mut self, delivery: &Delivery) -> Result<(), TransportError> {
+        if self.rng.chance(self.stall_probability) {
+            return Err(TransportError::RateLimited);
+        }
+        self.inner.deliver(delivery)
+    }
+
+    fn tick(&mut self) {
+        self.inner.tick();
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+    }
+}
+
+/// What happened under fault injection, in conservation-law form.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Events published.
+    pub published: u64,
+    /// Matches produced by the matcher.
+    pub matches: u64,
+    /// Matches whose owner was gone at notification time (dropped
+    /// clients); counted by the broker, never silently skipped.
+    pub orphaned: u64,
+    /// Deliveries that reached an inbox (or batch buffer).
+    pub delivered: u64,
+    /// Deliveries lost in transit (UDP semantics).
+    pub lost: u64,
+    /// Deliveries dropped after exhausting rate-limit retries.
+    pub rate_dropped: u64,
+    /// Retry attempts performed (slow consumers + SMS windows).
+    pub retried: u64,
+    /// Notification-engine restarts injected.
+    pub restarts: u64,
+    /// Client connections dropped.
+    pub dropped_clients: u64,
+    /// Per-subscriber ordering violations (empty = order preserved).
+    pub ordering_violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Every match, accounted: delivered plus each explicit failure
+    /// bucket. [`ChaosReport::assert_invariants`] pins this to
+    /// [`ChaosReport::matches`].
+    pub fn accounted(&self) -> u64 {
+        self.delivered + self.lost + self.rate_dropped + self.orphaned
+    }
+
+    /// Asserts the delivery invariants (panics with the discrepancy
+    /// otherwise): no silent match loss, and per-subscriber notification
+    /// order preserved.
+    pub fn assert_invariants(&self) {
+        assert_eq!(
+            self.matches,
+            self.accounted(),
+            "match conservation violated: {} matches vs {} accounted \
+             ({} delivered + {} lost + {} rate-dropped + {} orphaned)",
+            self.matches,
+            self.accounted(),
+            self.delivered,
+            self.lost,
+            self.rate_dropped,
+            self.orphaned,
+        );
+        assert!(
+            self.ordering_violations.is_empty(),
+            "per-subscriber order violated: {:?}",
+            self.ordering_violations,
+        );
+    }
+}
+
+/// Runs `events` through a broker under fault injection.
+///
+/// One client is registered per subscription, round-robin over
+/// [`TransportKind::ALL`]. Events are re-issued with a leading monotone
+/// `seq` attribute (first pair, so SMS truncation cannot clip it) that
+/// the ordering checker parses back out of delivered payloads.
+/// Deterministic in `broker_config.seed` + `chaos.seed`.
+pub fn run_chaos(
+    broker_config: BrokerConfig,
+    chaos: &ChaosConfig,
+    source: Arc<dyn SemanticSource>,
+    interner: SharedInterner,
+    subscriptions: &[Subscription],
+    events: &[Event],
+) -> ChaosReport {
+    let broker_config =
+        BrokerConfig { udp_loss: chaos.udp_loss, sms_budget: chaos.sms_budget, ..broker_config };
+    let broker = chaos_broker(broker_config, chaos, source, interner.clone());
+
+    // One client per subscription, cycling transports so every failure
+    // family sees traffic.
+    let mut clients = Vec::with_capacity(subscriptions.len());
+    for (k, sub) in subscriptions.iter().enumerate() {
+        let kind = TransportKind::ALL[k % TransportKind::ALL.len()];
+        let client = broker.register_client(format!("chaos-{k}"), kind);
+        broker.subscribe(client, sub.predicates().to_vec()).expect("registered client");
+        clients.push(client);
+    }
+
+    let seq_attr = interner.intern("seq");
+    let mut control = Rng::new(chaos.seed);
+    let mut connected: Vec<ClientId> = clients.clone();
+    let mut report = ChaosReport::default();
+
+    for (k, event) in events.iter().enumerate() {
+        if chaos.restart_every > 0 && k > 0 && k % chaos.restart_every == 0 {
+            broker.restart_notifier();
+        }
+        if !connected.is_empty() && control.chance(chaos.drop_client) {
+            let victim = connected.swap_remove(control.index(connected.len()));
+            if broker.unregister_client(victim) {
+                report.dropped_clients += 1;
+            }
+        }
+        // `seq` leads the event so no downstream truncation can clip it.
+        let mut stamped = Event::with_capacity(event.len() + 1);
+        stamped.push(seq_attr, Value::Int(k as i64));
+        for (attr, value) in event.pairs() {
+            stamped.push(*attr, *value);
+        }
+        report.matches += broker.publish(&stamped) as u64;
+        report.published += 1;
+    }
+
+    report.restarts = broker.notifier_restarts();
+    report.orphaned = broker.orphaned_matches();
+    let inboxes: Vec<(TransportKind, Inbox)> = TransportKind::ALL
+        .iter()
+        .filter_map(|kind| broker.inbox(*kind).map(|inbox| (*kind, inbox)))
+        .collect();
+    let stats = broker.shutdown();
+    report.delivered = stats.total_delivered();
+    report.lost = stats.per_transport.iter().map(|(_, s)| s.lost).sum();
+    report.rate_dropped = stats.per_transport.iter().map(|(_, s)| s.rate_dropped).sum();
+    report.retried = stats.per_transport.iter().map(|(_, s)| s.retried).sum();
+    for (kind, inbox) in inboxes {
+        check_ordering(kind, &inbox, &mut report.ordering_violations);
+    }
+    report
+}
+
+/// Builds a broker whose every transport is wrapped in a seeded
+/// [`FlakyTransport`] (slow-consumer stalls) and rebuilt per restart
+/// epoch over shared inboxes.
+fn chaos_broker(
+    config: BrokerConfig,
+    chaos: &ChaosConfig,
+    source: Arc<dyn SemanticSource>,
+    interner: SharedInterner,
+) -> Broker {
+    let mut inboxes: FxHashMap<TransportKind, Inbox> = FxHashMap::default();
+    for kind in TransportKind::ALL {
+        inboxes.insert(kind, Inbox::default());
+    }
+    let factory_inboxes = inboxes.clone();
+    let chaos = *chaos;
+    let factory: TransportFactory = Box::new(move |epoch| {
+        let bare: Vec<Box<dyn Transport>> = vec![
+            Box::new(TcpSim::with_inbox(factory_inboxes[&TransportKind::Tcp].clone())),
+            Box::new(UdpSim::with_inbox(
+                config.udp_loss,
+                config.seed.wrapping_add(epoch),
+                factory_inboxes[&TransportKind::Udp].clone(),
+            )),
+            Box::new(SmtpSim::with_inbox(factory_inboxes[&TransportKind::Smtp].clone())),
+            Box::new(SmsSim::with_inbox(
+                config.sms_budget,
+                factory_inboxes[&TransportKind::Sms].clone(),
+            )),
+        ];
+        bare.into_iter()
+            .enumerate()
+            .map(|(k, t)| {
+                let seed = chaos.seed ^ (epoch << 8) ^ k as u64;
+                Box::new(FlakyTransport::new(t, chaos.slow_consumer, seed)) as Box<dyn Transport>
+            })
+            .collect()
+    });
+    Broker::with_transport_factory(config, source, interner, inboxes, factory)
+}
+
+/// Checks that each client saw its notifications in nondecreasing `seq`
+/// order (one event matching several of a client's subscriptions yields
+/// equal seqs). SMTP batches several payload lines into one message, so
+/// payloads are split per line before parsing.
+fn check_ordering(kind: TransportKind, inbox: &Inbox, violations: &mut Vec<String>) {
+    let mut last_seq: FxHashMap<ClientId, i64> = FxHashMap::default();
+    for message in inbox.lock().iter() {
+        for line in message.payload.lines() {
+            let Some(seq) = parse_seq(line) else { continue };
+            let last = last_seq.entry(message.client).or_insert(i64::MIN);
+            if seq < *last {
+                violations.push(format!(
+                    "{}: {} saw seq {seq} after {last}",
+                    kind.name(),
+                    message.client,
+                ));
+            }
+            *last = seq;
+        }
+    }
+}
+
+/// Extracts the monotone sequence number from a rendered payload, which
+/// contains `(seq, N)` from the event's leading pair.
+fn parse_seq(payload: &str) -> Option<i64> {
+    let tail = payload.split("(seq, ").nth(1)?;
+    let digits: String = tail.chars().take_while(|c| c.is_ascii_digit() || *c == '-').collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flaky_transport_stalls_then_delegates() {
+        let (tcp, inbox) = TcpSim::new();
+        // Probability 1: every attempt stalls until the engine ticks — but
+        // FlakyTransport itself keeps stalling, so nothing arrives.
+        let mut always = FlakyTransport::new(Box::new(tcp), 1.0, 7);
+        let d = Delivery { client: ClientId(1), payload: "x".into() };
+        assert_eq!(always.deliver(&d), Err(TransportError::RateLimited));
+        assert!(inbox.lock().is_empty());
+
+        let (tcp2, inbox2) = TcpSim::new();
+        let mut never = FlakyTransport::new(Box::new(tcp2), 0.0, 7);
+        assert_eq!(never.deliver(&d), Ok(()));
+        assert_eq!(inbox2.lock().len(), 1);
+        assert_eq!(never.kind(), TransportKind::Tcp);
+    }
+
+    #[test]
+    fn parse_seq_reads_the_leading_pair() {
+        assert_eq!(
+            parse_seq("to a [client#1]: sub#2 matched via x — event (seq, 41), (b, c)"),
+            Some(41)
+        );
+        assert_eq!(parse_seq("no sequence here"), None);
+    }
+
+    #[test]
+    fn ordering_checker_flags_regressions() {
+        let inbox = Inbox::default();
+        let msg = |seq: i64| crate::transport::ReceivedMessage {
+            client: ClientId(1),
+            payload: format!("event (seq, {seq}), (a, b)"),
+        };
+        inbox.lock().extend([msg(1), msg(1), msg(3)]);
+        let mut violations = Vec::new();
+        check_ordering(TransportKind::Tcp, &inbox, &mut violations);
+        assert!(violations.is_empty(), "nondecreasing is fine: {violations:?}");
+        inbox.lock().push(msg(2));
+        check_ordering(TransportKind::Tcp, &inbox, &mut violations);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("seq 2 after 3"), "{violations:?}");
+    }
+}

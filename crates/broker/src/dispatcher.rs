@@ -31,7 +31,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use stopss_core::{
     Config, Match, MatcherStats, PreparedEvent, SToPSS, SemanticFrontEnd, ShardedSToPSS, StageMask,
     Tolerance, PIPELINE_CHUNK,
@@ -90,6 +90,13 @@ impl std::fmt::Display for BrokerError {
 }
 
 impl std::error::Error for BrokerError {}
+
+/// Builds the transport set for one notification-engine incarnation.
+/// Called with the restart epoch (0 for the initial engine, then 1, 2, …)
+/// so seeded transports can derive a fresh-but-deterministic stream per
+/// incarnation. Transports should write into long-lived inboxes (the
+/// `with_inbox` constructors) so receivers survive restarts.
+pub type TransportFactory = Box<dyn Fn(u64) -> Vec<Box<dyn Transport>> + Send + Sync>;
 
 /// The matcher the broker runs over: single-threaded or sharded,
 /// selected by [`Config::shards`]. Both produce identical match sets;
@@ -192,7 +199,15 @@ pub struct Broker {
     matcher: RwLock<MatcherBackend>,
     clients: RwLock<FxHashMap<ClientId, ClientInfo>>,
     sub_owner: RwLock<FxHashMap<SubId, ClientId>>,
-    notifier: NotificationEngine,
+    /// Read lock to enqueue; write lock only to swap the engine on
+    /// [`Broker::restart_notifier`].
+    notifier: RwLock<NotificationEngine>,
+    /// Counters of engines retired by restarts, folded together so
+    /// [`Broker::delivery_stats`] spans every incarnation.
+    retired_delivery: Mutex<DeliveryStats>,
+    /// Rebuilds transports for each engine incarnation.
+    transport_factory: TransportFactory,
+    notifier_restarts: AtomicU64,
     inboxes: FxHashMap<TransportKind, Inbox>,
     interner: SharedInterner,
     /// Stage mask used in semantic mode (restored by `set_semantic_mode`).
@@ -218,23 +233,49 @@ impl Broker {
         source: Arc<dyn SemanticSource>,
         interner: SharedInterner,
     ) -> Broker {
-        let (tcp, tcp_inbox) = TcpSim::new();
-        let (udp, udp_inbox) = UdpSim::new(config.udp_loss, config.seed);
-        let (smtp, smtp_inbox) = SmtpSim::new();
-        let (sms, sms_inbox) = SmsSim::new(config.sms_budget);
-        let transports: Vec<Box<dyn Transport>> =
-            vec![Box::new(tcp), Box::new(udp), Box::new(smtp), Box::new(sms)];
         let mut inboxes = FxHashMap::default();
-        inboxes.insert(TransportKind::Tcp, tcp_inbox);
-        inboxes.insert(TransportKind::Udp, udp_inbox);
-        inboxes.insert(TransportKind::Smtp, smtp_inbox);
-        inboxes.insert(TransportKind::Sms, sms_inbox);
+        for kind in TransportKind::ALL {
+            inboxes.insert(kind, Inbox::default());
+        }
+        let factory_inboxes = inboxes.clone();
+        let factory: TransportFactory = Box::new(move |epoch| {
+            vec![
+                Box::new(TcpSim::with_inbox(factory_inboxes[&TransportKind::Tcp].clone())),
+                Box::new(UdpSim::with_inbox(
+                    config.udp_loss,
+                    // Each incarnation draws a fresh deterministic stream.
+                    config.seed.wrapping_add(epoch),
+                    factory_inboxes[&TransportKind::Udp].clone(),
+                )),
+                Box::new(SmtpSim::with_inbox(factory_inboxes[&TransportKind::Smtp].clone())),
+                Box::new(SmsSim::with_inbox(
+                    config.sms_budget,
+                    factory_inboxes[&TransportKind::Sms].clone(),
+                )),
+            ]
+        });
+        Broker::with_transport_factory(config, source, interner, inboxes, factory)
+    }
 
+    /// Builds a broker over custom transports. `factory` is invoked with
+    /// epoch 0 for the initial notification engine and with 1, 2, … on
+    /// each [`Broker::restart_notifier`]; `inboxes` are the receiving
+    /// ends exposed through [`Broker::inbox`].
+    pub fn with_transport_factory(
+        config: BrokerConfig,
+        source: Arc<dyn SemanticSource>,
+        interner: SharedInterner,
+        inboxes: FxHashMap<TransportKind, Inbox>,
+        factory: TransportFactory,
+    ) -> Broker {
         Broker {
             matcher: RwLock::new(MatcherBackend::build(config.matcher, source, interner.clone())),
             clients: RwLock::new(FxHashMap::default()),
             sub_owner: RwLock::new(FxHashMap::default()),
-            notifier: NotificationEngine::start(transports),
+            notifier: RwLock::new(NotificationEngine::start(factory(0))),
+            retired_delivery: Mutex::new(DeliveryStats::default()),
+            transport_factory: factory,
+            notifier_restarts: AtomicU64::new(0),
             inboxes,
             interner,
             semantic_stages: config.matcher.stages,
@@ -261,6 +302,15 @@ impl Broker {
     /// Number of registered clients.
     pub fn client_count(&self) -> usize {
         self.clients.read().len()
+    }
+
+    /// Drops a client connection. The client's subscriptions stay in the
+    /// matcher (the dropped endpoint may reconnect under a new
+    /// registration), so their subsequent matches become unroutable and
+    /// are counted in [`Broker::orphaned_matches`] — the accounting the
+    /// chaos harness scores. Returns false for unknown ids.
+    pub fn unregister_client(&self, client: ClientId) -> bool {
+        self.clients.write().remove(&client).is_some()
     }
 
     /// Number of live subscriptions.
@@ -443,7 +493,7 @@ impl Broker {
                 "to {} [{}]: {} matched via {} — {}",
                 info.name, owner, m.sub, m.origin, rendered
             );
-            self.notifier.enqueue(info.transport, Delivery { client: *owner, payload });
+            self.notifier.read().enqueue(info.transport, Delivery { client: *owner, payload });
         }
     }
 
@@ -487,9 +537,36 @@ impl Broker {
         self.matcher.read().stats()
     }
 
-    /// Notification counters (live snapshot).
+    /// Notification counters: retired incarnations folded with a live
+    /// snapshot of the current engine.
     pub fn delivery_stats(&self) -> DeliveryStats {
-        self.notifier.stats()
+        let mut stats = self.retired_delivery.lock().clone();
+        stats.merge(&self.notifier.read().stats());
+        stats
+    }
+
+    /// Restarts the notification engine mid-stream: the current engine is
+    /// shut down (draining its queue and flushing batchers), its final
+    /// counters are folded into the retired total, and a fresh engine is
+    /// started from the transport factory. Notifications enqueued before
+    /// the restart are never lost — shutdown drains — and enqueues under
+    /// the swap serialize against it on the notifier lock. Returns the
+    /// retired engine's final stats.
+    pub fn restart_notifier(&self) -> DeliveryStats {
+        let mut notifier = self.notifier.write();
+        let epoch = self.notifier_restarts.fetch_add(1, Ordering::Relaxed) + 1;
+        let old = std::mem::replace(
+            &mut *notifier,
+            NotificationEngine::start((self.transport_factory)(epoch)),
+        );
+        let final_stats = old.shutdown();
+        self.retired_delivery.lock().merge(&final_stats);
+        final_stats
+    }
+
+    /// Number of notification-engine restarts performed.
+    pub fn notifier_restarts(&self) -> u64 {
+        self.notifier_restarts.load(Ordering::Relaxed)
     }
 
     /// Receiving-end inbox of a simulated transport.
@@ -498,9 +575,11 @@ impl Broker {
     }
 
     /// Stops the notification engine (draining the queue) and returns the
-    /// final delivery statistics.
+    /// final delivery statistics across every engine incarnation.
     pub fn shutdown(self) -> DeliveryStats {
-        self.notifier.shutdown()
+        let mut stats = self.retired_delivery.into_inner();
+        stats.merge(&self.notifier.into_inner().shutdown());
+        stats
     }
 }
 
@@ -769,6 +848,41 @@ mod tests {
             let stats = broker.shutdown();
             assert_eq!(stats.get(TransportKind::Tcp).delivered, n as u64, "shards={shards}");
         }
+    }
+
+    /// Counters survive a notification-engine restart: deliveries before
+    /// and after the swap are both visible in `delivery_stats`/`shutdown`,
+    /// and the inbox keeps accumulating across incarnations.
+    #[test]
+    fn restart_notifier_carries_accounting_across_incarnations() {
+        let (broker, interner) = jobs_broker(BrokerConfig::default());
+        let company = broker.register_client("acme", TransportKind::Tcp);
+        broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
+        let event = candidate_event(&interner);
+        assert_eq!(broker.publish(&event), 1);
+        let retired = broker.restart_notifier();
+        assert_eq!(retired.get(TransportKind::Tcp).delivered, 1, "drained before the swap");
+        assert_eq!(broker.notifier_restarts(), 1);
+        assert_eq!(broker.publish(&event), 1);
+        let inbox = broker.inbox(TransportKind::Tcp).unwrap();
+        let stats = broker.shutdown();
+        assert_eq!(stats.get(TransportKind::Tcp).delivered, 2, "both incarnations counted");
+        assert_eq!(inbox.lock().len(), 2, "inbox survives the restart");
+    }
+
+    /// Dropping a client leaves its subscriptions matching, and their
+    /// notifications land in the orphaned accounting instead of vanishing.
+    #[test]
+    fn unregistered_client_matches_become_orphans() {
+        let (broker, interner) = jobs_broker(BrokerConfig::default());
+        let company = broker.register_client("acme", TransportKind::Tcp);
+        broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
+        assert!(broker.unregister_client(company));
+        assert!(!broker.unregister_client(company), "already gone");
+        assert_eq!(broker.publish(&candidate_event(&interner)), 1, "subscription stays live");
+        assert_eq!(broker.orphaned_matches(), 1);
+        let stats = broker.shutdown();
+        assert_eq!(stats.get(TransportKind::Tcp).delivered, 0);
     }
 
     #[test]

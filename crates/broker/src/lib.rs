@@ -9,12 +9,15 @@
 //! * [`NotificationEngine`] — queued delivery over per-client transports;
 //! * [`transport`] — simulated TCP / UDP / SMTP / SMS with their
 //!   characteristic behaviours (loss, batching, rate limits, truncation);
+//! * [`chaos`] — seeded fault injection (dropped connections, slow
+//!   consumers, engine restarts) scored on delivery/ordering invariants;
 //! * [`wire`] — the length-framed binary protocol of the demo front-end;
 //! * [`DemoServer`] — the command surface standing in for the paper's web
 //!   application.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod dispatcher;
 pub mod notify;
@@ -22,8 +25,9 @@ pub mod server;
 pub mod transport;
 pub mod wire;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, FlakyTransport};
 pub use client::{ClientId, ClientInfo};
-pub use dispatcher::{Broker, BrokerConfig, BrokerError};
+pub use dispatcher::{Broker, BrokerConfig, BrokerError, TransportFactory};
 pub use notify::{DeliveryStats, NotificationEngine, TransportStats};
 pub use server::{subscription_to_wire, DemoServer};
 pub use transport::{

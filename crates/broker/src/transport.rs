@@ -109,7 +109,13 @@ impl TcpSim {
     /// Creates the transport and returns it with its inbox.
     pub fn new() -> (Self, Inbox) {
         let inbox: Inbox = Arc::default();
-        (TcpSim { inbox: inbox.clone() }, inbox)
+        (TcpSim::with_inbox(inbox.clone()), inbox)
+    }
+
+    /// Creates the transport over an existing inbox — restarted engines
+    /// keep appending to the same receiving end.
+    pub fn with_inbox(inbox: Inbox) -> Self {
+        TcpSim { inbox }
     }
 }
 
@@ -137,7 +143,12 @@ impl UdpSim {
     /// Creates the transport with the given deterministic loss rate.
     pub fn new(loss_probability: f64, seed: u64) -> (Self, Inbox) {
         let inbox: Inbox = Arc::default();
-        (UdpSim { inbox: inbox.clone(), rng: Rng::new(seed), loss_probability }, inbox)
+        (UdpSim::with_inbox(loss_probability, seed, inbox.clone()), inbox)
+    }
+
+    /// Creates the transport over an existing inbox.
+    pub fn with_inbox(loss_probability: f64, seed: u64, inbox: Inbox) -> Self {
+        UdpSim { inbox, rng: Rng::new(seed), loss_probability }
     }
 }
 
@@ -174,7 +185,12 @@ impl SmsSim {
     /// Creates the transport with `budget` messages per rate window.
     pub fn new(budget: u32) -> (Self, Inbox) {
         let inbox: Inbox = Arc::default();
-        (SmsSim { inbox: inbox.clone(), tokens: budget, budget, truncated: 0 }, inbox)
+        (SmsSim::with_inbox(budget, inbox.clone()), inbox)
+    }
+
+    /// Creates the transport over an existing inbox.
+    pub fn with_inbox(budget: u32, inbox: Inbox) -> Self {
+        SmsSim { inbox, tokens: budget, budget, truncated: 0 }
     }
 
     /// Number of payloads clipped to [`SMS_MAX_CHARS`].
@@ -219,7 +235,12 @@ impl SmtpSim {
     /// Creates the transport.
     pub fn new() -> (Self, Inbox) {
         let inbox: Inbox = Arc::default();
-        (SmtpSim { inbox: inbox.clone(), pending: Vec::new(), batches_sent: 0 }, inbox)
+        (SmtpSim::with_inbox(inbox.clone()), inbox)
+    }
+
+    /// Creates the transport over an existing inbox.
+    pub fn with_inbox(inbox: Inbox) -> Self {
+        SmtpSim { inbox, pending: Vec::new(), batches_sent: 0 }
     }
 
     /// Number of batch emails sent.

@@ -146,6 +146,38 @@ mod tests {
         assert_eq!(got64, [18426880419652318212, 15651267610458985608]);
     }
 
+    /// Golden pins for the derived draw paths (fork, index, range,
+    /// chance) and the SplitMix64 expander. The committed workload
+    /// fixtures and chaos fault schedules are downstream of every one of
+    /// these streams, so a refactor that shifts any of them must fail
+    /// here before it silently rewrites the goldens.
+    #[test]
+    fn golden_values_pin_the_derived_streams() {
+        let mut sm = SplitMix64::new(2003);
+        let got: Vec<u64> = (0..3).map(|_| sm.next_u64()).collect();
+        assert_eq!(got, [333383092983190037, 7734571167853026315, 9197357792466191094]);
+
+        let mut root = Rng::new(2003);
+        let mut f1 = root.fork(1);
+        let mut f2 = root.fork(2);
+        let got1: Vec<u32> = (0..3).map(|_| f1.next_u32()).collect();
+        let got2: Vec<u32> = (0..3).map(|_| f2.next_u32()).collect();
+        assert_eq!(got1, [2289646462, 1757236824, 84307214]);
+        assert_eq!(got2, [3095145738, 1359208396, 16424293]);
+
+        let mut rng = Rng::new(7);
+        let idx: Vec<usize> = (0..6).map(|_| rng.index(10)).collect();
+        assert_eq!(idx, [3, 0, 7, 9, 9, 6]);
+
+        let mut rng = Rng::new(7);
+        let rng_i64: Vec<i64> = (0..6).map(|_| rng.range_i64(-50, 50)).collect();
+        assert_eq!(rng_i64, [-8, -17, -38, 5, 27, 9]);
+
+        let mut rng = Rng::new(7);
+        let flips: Vec<bool> = (0..8).map(|_| rng.chance(0.5)).collect();
+        assert_eq!(flips, [true, false, false, true, true, true, true, false]);
+    }
+
     #[test]
     fn f64_is_in_unit_interval() {
         let mut rng = Rng::new(7);

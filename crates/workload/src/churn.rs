@@ -1,0 +1,244 @@
+//! Subscription-churn scenarios and interleaved-vs-sequential replay.
+//!
+//! The matcher's steady-state semantics are pinned by the oracle suites;
+//! what those suites cannot see is *residue*: state an unsubscribe leaves
+//! behind, or a flash crowd of subscriptions perturbing later matches. A
+//! [`ChurnScenario`] is a deterministic op stream (subscribe /
+//! unsubscribe / publish) generated from any [`Fixture`]; the two replay
+//! functions score it differentially — [`replay_interleaved`] runs the
+//! stream against one live matcher, while [`replay_sequential`] rebuilds
+//! a fresh matcher holding exactly the live subscription set before each
+//! publish. Equal match sets prove churn leaves no trace.
+
+use stopss_core::{Config, Match, SToPSS, ShardedSToPSS};
+use stopss_types::{SubId, Subscription};
+
+use crate::rng::Rng;
+use crate::scenario::Fixture;
+
+/// One step of a churn stream.
+#[derive(Clone, Debug)]
+pub enum ChurnOp {
+    /// Register a new subscription (fresh unique id).
+    Subscribe(Subscription),
+    /// Drop a currently-live subscription.
+    Unsubscribe(SubId),
+    /// Publish the fixture event at this index.
+    Publish(usize),
+}
+
+/// The shape of the churn stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnMode {
+    /// Unsubscribe-dominated: the live set keeps shrinking and refilling,
+    /// so most ops mutate the subscription tables.
+    UnsubscribeHeavy,
+    /// Flash crowd: bursts of subscriptions arrive together, a few events
+    /// land on the swollen set, then most of the crowd leaves at once.
+    FlashCrowd,
+}
+
+/// A deterministic op stream over a fixture's subscription/event pools.
+#[derive(Clone, Debug)]
+pub struct ChurnScenario {
+    /// The ops, in replay order.
+    pub ops: Vec<ChurnOp>,
+    /// How many `Publish` ops the stream contains.
+    pub publishes: usize,
+}
+
+/// Generates a churn stream of `steps` ops. Subscriptions are drawn from
+/// the fixture pool but re-issued under fresh unique ids (so the same
+/// template can live, die, and return); publish ops cycle through the
+/// fixture's events. Deterministic in `seed`.
+pub fn churn_scenario(
+    fixture: &Fixture,
+    mode: ChurnMode,
+    steps: usize,
+    seed: u64,
+) -> ChurnScenario {
+    assert!(!fixture.subscriptions.is_empty() && !fixture.publications.is_empty());
+    let mut rng = Rng::new(seed);
+    let mut ops = Vec::with_capacity(steps);
+    let mut live: Vec<SubId> = Vec::new();
+    let mut next_id = 0u64;
+    let mut next_event = 0usize;
+    let mut publishes = 0usize;
+
+    let mut subscribe = |rng: &mut Rng, live: &mut Vec<SubId>, ops: &mut Vec<ChurnOp>| {
+        let template = rng.pick(&fixture.subscriptions);
+        let id = SubId(1_000_000 + next_id);
+        next_id += 1;
+        live.push(id);
+        ops.push(ChurnOp::Subscribe(Subscription::new(id, template.predicates().to_vec())));
+    };
+    let publish = |next_event: &mut usize, publishes: &mut usize, ops: &mut Vec<ChurnOp>| {
+        ops.push(ChurnOp::Publish(*next_event % fixture.publications.len()));
+        *next_event += 1;
+        *publishes += 1;
+    };
+
+    while ops.len() < steps {
+        match mode {
+            ChurnMode::UnsubscribeHeavy => {
+                let roll = rng.next_f64();
+                if roll < 0.45 && !live.is_empty() {
+                    let idx = rng.index(live.len());
+                    ops.push(ChurnOp::Unsubscribe(live.swap_remove(idx)));
+                } else if roll < 0.75 || live.is_empty() {
+                    subscribe(&mut rng, &mut live, &mut ops);
+                } else {
+                    publish(&mut next_event, &mut publishes, &mut ops);
+                }
+            }
+            ChurnMode::FlashCrowd => {
+                // One crowd cycle: burst in, a few events, mass exodus.
+                let burst = 5 + rng.index(11);
+                for _ in 0..burst {
+                    subscribe(&mut rng, &mut live, &mut ops);
+                }
+                for _ in 0..1 + rng.index(3) {
+                    publish(&mut next_event, &mut publishes, &mut ops);
+                }
+                let leavers = (live.len() * 4) / 5;
+                for _ in 0..leavers {
+                    let idx = rng.index(live.len());
+                    ops.push(ChurnOp::Unsubscribe(live.swap_remove(idx)));
+                }
+                publish(&mut next_event, &mut publishes, &mut ops);
+            }
+        }
+    }
+
+    ChurnScenario { ops, publishes }
+}
+
+/// Sorts a match set by subscription id so replays that differ only in
+/// reporting order compare equal.
+fn canonical(mut matches: Vec<Match>) -> Vec<Match> {
+    matches.sort_by_key(|m| m.sub);
+    matches
+}
+
+/// Replays the stream against one live single-threaded matcher, returning
+/// each publish op's (sub-sorted) match set in stream order.
+pub fn replay_interleaved(
+    fixture: &Fixture,
+    scenario: &ChurnScenario,
+    config: Config,
+) -> Vec<Vec<Match>> {
+    let mut matcher = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    let mut out = Vec::with_capacity(scenario.publishes);
+    for op in &scenario.ops {
+        match op {
+            ChurnOp::Subscribe(sub) => matcher.subscribe(sub.clone()),
+            ChurnOp::Unsubscribe(id) => {
+                assert!(matcher.unsubscribe(*id), "churn streams only drop live ids");
+            }
+            ChurnOp::Publish(idx) => {
+                out.push(canonical(matcher.publish(&fixture.publications[*idx])));
+            }
+        }
+    }
+    out
+}
+
+/// Replays the stream against one live sharded matcher (shard count from
+/// `config.shards`).
+pub fn replay_interleaved_sharded(
+    fixture: &Fixture,
+    scenario: &ChurnScenario,
+    config: Config,
+) -> Vec<Vec<Match>> {
+    let mut matcher = ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    let mut out = Vec::with_capacity(scenario.publishes);
+    for op in &scenario.ops {
+        match op {
+            ChurnOp::Subscribe(sub) => matcher.subscribe(sub.clone()),
+            ChurnOp::Unsubscribe(id) => {
+                assert!(matcher.unsubscribe(*id), "churn streams only drop live ids");
+            }
+            ChurnOp::Publish(idx) => {
+                out.push(canonical(matcher.publish(&fixture.publications[*idx])));
+            }
+        }
+    }
+    out
+}
+
+/// The churn oracle: before every publish op, builds a *fresh* matcher
+/// holding exactly the subscriptions live at that point and publishes
+/// once. A live matcher that retains unsubscribe residue (or loses a
+/// subscription) diverges from this replay.
+pub fn replay_sequential(
+    fixture: &Fixture,
+    scenario: &ChurnScenario,
+    config: Config,
+) -> Vec<Vec<Match>> {
+    let mut live: Vec<Subscription> = Vec::new();
+    let mut out = Vec::with_capacity(scenario.publishes);
+    for op in &scenario.ops {
+        match op {
+            ChurnOp::Subscribe(sub) => live.push(sub.clone()),
+            ChurnOp::Unsubscribe(id) => {
+                let idx = live.iter().position(|s| s.id() == *id).expect("live id");
+                live.swap_remove(idx);
+            }
+            ChurnOp::Publish(idx) => {
+                let mut fresh =
+                    SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+                for sub in &live {
+                    fresh.subscribe(sub.clone());
+                }
+                out.push(canonical(fresh.publish(&fixture.publications[*idx])));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::jobfinder_fixture;
+
+    #[test]
+    fn churn_scenarios_are_deterministic() {
+        let f = jobfinder_fixture(40, 30, 7);
+        for mode in [ChurnMode::UnsubscribeHeavy, ChurnMode::FlashCrowd] {
+            let a = churn_scenario(&f, mode, 120, 99);
+            let b = churn_scenario(&f, mode, 120, 99);
+            assert_eq!(a.ops.len(), b.ops.len());
+            assert_eq!(a.publishes, b.publishes);
+            assert!(a.publishes > 0, "stream must contain publish ops");
+            for (x, y) in a.ops.iter().zip(&b.ops) {
+                match (x, y) {
+                    (ChurnOp::Subscribe(s), ChurnOp::Subscribe(t)) => assert_eq!(s, t),
+                    (ChurnOp::Unsubscribe(s), ChurnOp::Unsubscribe(t)) => assert_eq!(s, t),
+                    (ChurnOp::Publish(s), ChurnOp::Publish(t)) => assert_eq!(s, t),
+                    other => panic!("op kind mismatch: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsubscribe_heavy_is_mutation_dominated() {
+        let f = jobfinder_fixture(40, 30, 7);
+        let s = churn_scenario(&f, ChurnMode::UnsubscribeHeavy, 400, 11);
+        let mutations = s.ops.iter().filter(|op| !matches!(op, ChurnOp::Publish(_))).count();
+        assert!(mutations * 2 > s.ops.len(), "churn ops must dominate publishes");
+    }
+
+    #[test]
+    fn interleaved_equals_sequential_on_jobfinder() {
+        let f = jobfinder_fixture(30, 20, 5);
+        let s = churn_scenario(&f, ChurnMode::FlashCrowd, 80, 3);
+        let config = Config::default();
+        let interleaved = replay_interleaved(&f, &s, config);
+        let sequential = replay_sequential(&f, &s, config);
+        assert_eq!(interleaved, sequential);
+        let sharded = replay_interleaved_sharded(&f, &s, config.with_shards(4));
+        assert_eq!(sharded, sequential);
+    }
+}

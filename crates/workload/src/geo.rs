@@ -1,0 +1,383 @@
+//! Geo/alerting scenario domain.
+//!
+//! The deep-hierarchy, mapping-heavy corner of the workload space: the
+//! place taxonomy runs five levels (world → continent → country →
+//! province → city → district), so a subscription to `canada` only
+//! reaches a district-level publication through a long generalization
+//! walk; and most events report *raw* measurements (magnitude, wind,
+//! rainfall) that a pipeline of six mapping functions must interpret —
+//! including a two-link chain (magnitude ⇒ severity ⇒ red alert) that
+//! only fires transitively.
+
+use stopss_ontology::{parse_ontology, Ontology};
+use stopss_types::{Event, Interner, Operator, Predicate, SubId, Subscription, Symbol, Value};
+
+use crate::rng::Rng;
+
+/// The geo-alerting ontology in `.sto` source form.
+pub const GEO_STO: &str = r#"
+domain geo_alerts
+
+# ------------------------------------------------------------------ synonyms
+synonyms location = place, area
+synonyms magnitude = richter
+synonyms hazard_kind = phenomenon, "event type"
+synonyms severity = "alert level"
+
+# ------------------------------------ places (5 levels below world)
+isa canada -> north_america -> world
+isa usa -> north_america
+isa germany -> europe -> world
+isa france -> europe
+isa ontario -> canada
+isa quebec -> canada
+isa california -> usa
+isa new_york_state -> usa
+isa bavaria -> germany
+isa normandy -> france
+isa toronto_city -> ontario
+isa ottawa_city -> ontario
+isa montreal_city -> quebec
+isa los_angeles -> california
+isa san_francisco -> california
+isa albany -> new_york_state
+isa munich_city -> bavaria
+isa rouen -> normandy
+isa downtown_toronto -> toronto_city
+isa east_york -> toronto_city
+isa old_montreal -> montreal_city
+isa hollywood -> los_angeles
+isa mission_district -> san_francisco
+isa schwabing -> munich_city
+
+# ------------------------------------------------ hazards (3 levels)
+isa hurricane -> storm -> weather
+isa tornado -> storm
+isa blizzard -> storm
+isa flood -> weather
+isa heatwave -> weather
+isa earthquake -> seismic -> hazard
+isa aftershock -> seismic
+isa wildfire -> fire_hazard -> hazard
+isa weather -> hazard
+
+# --------------------------------------------------------- mapping functions
+map quake_critical:
+    when magnitude >= 7
+    emit severity = term(critical)
+end
+
+map quake_watch:
+    when magnitude >= 5
+    when magnitude < 7
+    emit severity = term(elevated)
+end
+
+map hurricane_class:
+    when wind_kph >= 118
+    emit hazard_kind = term(hurricane)
+end
+
+map flood_from_rain:
+    when rainfall_mm >= 100
+    emit hazard_kind = term(flood)
+end
+
+map evacuation_radius:
+    when magnitude exists
+    emit evac_km = magnitude * 10
+end
+
+map red_alert:
+    when severity = critical
+    emit alert = term(red)
+end
+"#;
+
+/// The compiled geo-alerting domain with symbol handles for generators.
+#[derive(Debug, Clone)]
+pub struct GeoDomain {
+    /// The compiled ontology.
+    pub ontology: Ontology,
+    /// Root attribute `location` (aliases: place, area).
+    pub attr_location: Symbol,
+    /// Alias attribute `place`.
+    pub attr_place: Symbol,
+    /// Root attribute `hazard_kind` (aliases: phenomenon, "event type").
+    pub attr_hazard_kind: Symbol,
+    /// Alias attribute `phenomenon`.
+    pub attr_phenomenon: Symbol,
+    /// Root attribute `magnitude` (alias: richter).
+    pub attr_magnitude: Symbol,
+    /// Attribute `wind_kph` (mapping trigger).
+    pub attr_wind_kph: Symbol,
+    /// Attribute `rainfall_mm` (mapping trigger).
+    pub attr_rainfall_mm: Symbol,
+    /// Attribute `severity` (derived; alias: "alert level").
+    pub attr_severity: Symbol,
+    /// Attribute `evac_km` (derived).
+    pub attr_evac_km: Symbol,
+    /// Attribute `alert` (derived by the chained red-alert rule).
+    pub attr_alert: Symbol,
+    /// Term `critical`.
+    pub term_critical: Symbol,
+    /// Term `elevated`.
+    pub term_elevated: Symbol,
+    /// Term `red`.
+    pub term_red: Symbol,
+    /// Leaf places (districts and childless cities).
+    pub place_leaves: Vec<Symbol>,
+    /// Non-leaf places (countries, provinces, cities with districts …).
+    pub place_generals: Vec<Symbol>,
+    /// Leaf hazards.
+    pub hazard_leaves: Vec<Symbol>,
+    /// Non-leaf hazards.
+    pub hazard_generals: Vec<Symbol>,
+}
+
+impl GeoDomain {
+    /// Compiles the domain into `interner`.
+    pub fn build(interner: &mut Interner) -> Self {
+        let ontology = parse_ontology(GEO_STO, interner).expect("embedded ontology must parse");
+        let sym = |i: &Interner, name: &str| {
+            i.get(name).unwrap_or_else(|| panic!("ontology must define '{name}'"))
+        };
+        let subtree = |o: &Ontology, i: &Interner, root: &str| -> (Vec<Symbol>, Vec<Symbol>) {
+            let root = sym(i, root);
+            let mut leaves = Vec::new();
+            let mut generals = vec![root];
+            for (concept, _) in o.taxonomy.descendants(root) {
+                if o.taxonomy.children(concept).is_empty() {
+                    leaves.push(concept);
+                } else {
+                    generals.push(concept);
+                }
+            }
+            leaves.sort_unstable();
+            generals.sort_unstable();
+            (leaves, generals)
+        };
+
+        let (place_leaves, place_generals) = subtree(&ontology, interner, "world");
+        let (hazard_leaves, hazard_generals) = subtree(&ontology, interner, "hazard");
+
+        GeoDomain {
+            attr_location: sym(interner, "location"),
+            attr_place: sym(interner, "place"),
+            attr_hazard_kind: sym(interner, "hazard_kind"),
+            attr_phenomenon: sym(interner, "phenomenon"),
+            attr_magnitude: sym(interner, "magnitude"),
+            attr_wind_kph: sym(interner, "wind_kph"),
+            attr_rainfall_mm: sym(interner, "rainfall_mm"),
+            attr_severity: sym(interner, "severity"),
+            attr_evac_km: sym(interner, "evac_km"),
+            attr_alert: sym(interner, "alert"),
+            term_critical: sym(interner, "critical"),
+            term_elevated: sym(interner, "elevated"),
+            term_red: sym(interner, "red"),
+            place_leaves,
+            place_generals,
+            hazard_leaves,
+            hazard_generals,
+            ontology,
+        }
+    }
+}
+
+/// Knobs for the geo-alerting workload.
+#[derive(Clone, Copy, Debug)]
+pub struct GeoWorkloadConfig {
+    /// Number of standing alert rules (subscriptions).
+    pub subscriptions: usize,
+    /// Number of field reports (publications).
+    pub publications: usize,
+    /// RNG seed; equal seeds give identical workloads.
+    pub seed: u64,
+    /// Probability an alert rule names a *general* (non-leaf) place or
+    /// hazard — the deep-hierarchy walks are the point of this domain.
+    pub general_term_bias: f64,
+    /// Probability a report spells an attribute with a synonym alias
+    /// (`place` for `location`, `phenomenon` for `hazard_kind`).
+    pub alias_bias: f64,
+}
+
+impl Default for GeoWorkloadConfig {
+    fn default() -> Self {
+        GeoWorkloadConfig {
+            subscriptions: 400,
+            publications: 800,
+            seed: 2003,
+            general_term_bias: 0.7,
+            alias_bias: 0.4,
+        }
+    }
+}
+
+/// Generates a geo-alerting workload. Deterministic in `config.seed`.
+pub fn generate_geo(domain: &GeoDomain, config: &GeoWorkloadConfig) -> crate::Workload {
+    let mut rng = Rng::new(config.seed);
+    let mut sub_rng = rng.fork(1);
+    let mut pub_rng = rng.fork(2);
+    let subscriptions = (0..config.subscriptions)
+        .map(|k| geo_subscription(domain, config, &mut sub_rng, SubId(k as u64)))
+        .collect();
+    let publications =
+        (0..config.publications).map(|_| geo_publication(domain, config, &mut pub_rng)).collect();
+    crate::Workload { subscriptions, publications }
+}
+
+/// One alert rule: 1..=3 predicates over place, hazard kind, derived
+/// severity/alert, or the derived evacuation radius.
+fn geo_subscription(
+    domain: &GeoDomain,
+    config: &GeoWorkloadConfig,
+    rng: &mut Rng,
+    id: SubId,
+) -> Subscription {
+    let n_preds = 1 + rng.index(3);
+    let mut templates: Vec<usize> = (0..5).collect();
+    rng.shuffle(&mut templates);
+    let mut preds = Vec::with_capacity(n_preds);
+    for template in templates.into_iter().take(n_preds) {
+        let pred = match template {
+            0 => {
+                let pool = if rng.chance(config.general_term_bias) {
+                    &domain.place_generals
+                } else {
+                    &domain.place_leaves
+                };
+                Predicate::eq(domain.attr_location, *rng.pick(pool))
+            }
+            1 => {
+                let pool = if rng.chance(config.general_term_bias) {
+                    &domain.hazard_generals
+                } else {
+                    &domain.hazard_leaves
+                };
+                Predicate::eq(domain.attr_hazard_kind, *rng.pick(pool))
+            }
+            2 => {
+                let level =
+                    if rng.chance(0.5) { domain.term_critical } else { domain.term_elevated };
+                Predicate::eq(domain.attr_severity, level)
+            }
+            3 => Predicate::eq(domain.attr_alert, domain.term_red),
+            _ => Predicate::new(
+                domain.attr_evac_km,
+                Operator::Ge,
+                Value::Int(rng.range_i64(2, 9) * 10),
+            ),
+        };
+        preds.push(pred);
+    }
+    Subscription::new(id, preds)
+}
+
+/// One field report: a leaf place, a leaf hazard, and one raw measurement
+/// that only the mapping pipeline can relate to alert rules.
+fn geo_publication(domain: &GeoDomain, config: &GeoWorkloadConfig, rng: &mut Rng) -> Event {
+    let mut event = Event::with_capacity(3);
+    let place_attr =
+        if rng.chance(config.alias_bias) { domain.attr_place } else { domain.attr_location };
+    event.push(place_attr, Value::Sym(*rng.pick(&domain.place_leaves)));
+    let hazard_attr = if rng.chance(config.alias_bias) {
+        domain.attr_phenomenon
+    } else {
+        domain.attr_hazard_kind
+    };
+    event.push(hazard_attr, Value::Sym(*rng.pick(&domain.hazard_leaves)));
+    match rng.index(3) {
+        0 => event.push(domain.attr_magnitude, Value::Int(rng.range_i64(3, 10))),
+        1 => event.push(domain.attr_wind_kph, Value::Int(rng.range_i64(40, 240))),
+        _ => event.push(domain.attr_rainfall_mm, Value::Int(rng.range_i64(10, 240))),
+    }
+    event
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stopss_ontology::SemanticSource;
+
+    fn domain() -> (Interner, GeoDomain) {
+        let mut i = Interner::new();
+        let d = GeoDomain::build(&mut i);
+        (i, d)
+    }
+
+    #[test]
+    fn place_hierarchy_is_deep() {
+        let (i, d) = domain();
+        let world = i.get("world").unwrap();
+        let downtown = i.get("downtown_toronto").unwrap();
+        assert_eq!(d.ontology.distance(downtown, world), Some(5));
+        let canada = i.get("canada").unwrap();
+        assert!(d.ontology.is_a(downtown, canada));
+        assert!(d.place_leaves.contains(&downtown));
+        assert!(d.place_generals.contains(&canada));
+    }
+
+    #[test]
+    fn severity_mappings_partition_the_magnitude_scale() {
+        let (i, d) = domain();
+        let severities = |magnitude: i64| -> Vec<Value> {
+            let event = Event::new().with(d.attr_magnitude, Value::Int(magnitude));
+            let mut out = Vec::new();
+            d.ontology.apply_mappings(&event, &i, 2003, &mut |_, pairs| {
+                for (attr, value) in pairs {
+                    if attr == d.attr_severity {
+                        out.push(value);
+                    }
+                }
+            });
+            out
+        };
+        assert!(matches!(severities(8)[..], [Value::Sym(s)] if s == d.term_critical));
+        assert!(matches!(severities(6)[..], [Value::Sym(s)] if s == d.term_elevated));
+        assert!(severities(4).is_empty());
+    }
+
+    #[test]
+    fn red_alert_chains_off_derived_severity() {
+        let (i, d) = domain();
+        // The chain only closes transitively: a raw magnitude report does
+        // not carry `severity`, so `red_alert` needs the derived event.
+        let derived = Event::new().with(d.attr_severity, Value::Sym(d.term_critical));
+        let mut fired = Vec::new();
+        d.ontology.apply_mappings(&derived, &i, 2003, &mut |name, _| fired.push(name.to_owned()));
+        assert_eq!(fired, vec!["red_alert".to_owned()]);
+    }
+
+    #[test]
+    fn evacuation_radius_scales_with_magnitude() {
+        let (i, d) = domain();
+        let event = Event::new().with(d.attr_magnitude, Value::Int(7));
+        let mut radius = None;
+        d.ontology.apply_mappings(&event, &i, 2003, &mut |name, pairs| {
+            if name == "evacuation_radius" {
+                radius = Some(pairs[0].1);
+            }
+        });
+        assert!(matches!(radius, Some(Value::Int(70))));
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_mapping_heavy() {
+        let (_, d) = domain();
+        let config = GeoWorkloadConfig::default();
+        let w1 = generate_geo(&d, &config);
+        let w2 = generate_geo(&d, &config);
+        assert_eq!(w1.subscriptions, w2.subscriptions);
+        assert_eq!(w1.publications, w2.publications);
+        // Every report carries exactly one raw measurement — alert rules
+        // can only reach them through the mapping pipeline.
+        for event in &w1.publications {
+            let raw = [d.attr_magnitude, d.attr_wind_kph, d.attr_rainfall_mm]
+                .iter()
+                .filter(|a| event.has_attr(**a))
+                .count();
+            assert_eq!(raw, 1);
+            assert!(!event.has_attr(d.attr_severity), "severity is never published raw");
+        }
+    }
+}

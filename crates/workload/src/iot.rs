@@ -1,0 +1,327 @@
+//! IoT / building-telemetry scenario domain.
+//!
+//! The opposite corner of the workload space from the job finder: the
+//! taxonomy is *shallow* (sensor kinds and zones sit at most two levels
+//! below their roots) but the event rate is huge relative to the
+//! subscription population — a handful of standing monitoring rules
+//! filtering a firehose of sensor readings. Semantic load comes from
+//! alias spellings (`temp` vs `temperature`, `device` vs `sensor`), from
+//! shallow generalization (subscribe to `environmental`, publish
+//! `thermometer`), and from two mapping functions: Fahrenheit readings
+//! normalized to Celsius, and a low-battery status inferred from the raw
+//! charge level.
+
+use stopss_ontology::{parse_ontology, Ontology};
+use stopss_types::{Event, Interner, Operator, Predicate, SubId, Subscription, Symbol, Value};
+
+use crate::rng::Rng;
+
+/// The telemetry ontology in `.sto` source form.
+pub const IOT_STO: &str = r#"
+domain telemetry
+
+# ------------------------------------------------------------------ synonyms
+synonyms temperature = temp
+synonyms humidity = rh, "relative humidity"
+synonyms sensor = device, node
+synonyms zone = area, room
+
+# -------------------------------------------- sensor kinds (depth <= 2)
+isa thermometer -> environmental -> sensor_kind
+isa hygrometer -> environmental
+isa co2_meter -> environmental
+isa pir -> motion -> sensor_kind
+isa vibration -> motion
+isa voltmeter -> power -> sensor_kind
+isa current_clamp -> power
+
+# ---------------------------------------------------- zones (depth <= 2)
+isa lab_a -> floor_one -> campus
+isa lab_b -> floor_one
+isa office_a -> floor_two -> campus
+isa server_room -> floor_two
+isa loading_dock -> floor_one
+
+# --------------------------------------------------------- mapping functions
+map fahrenheit_to_celsius:
+    when temp_f exists
+    emit temperature = (temp_f - 32) * 5 / 9
+end
+
+map low_battery_alert:
+    when battery <= 20
+    emit status = term(low_battery)
+end
+"#;
+
+/// The compiled telemetry domain with symbol handles for generators.
+#[derive(Debug, Clone)]
+pub struct IotDomain {
+    /// The compiled ontology.
+    pub ontology: Ontology,
+    /// Root attribute `sensor` (aliases: device, node).
+    pub attr_sensor: Symbol,
+    /// Alias attribute `device`.
+    pub attr_device: Symbol,
+    /// Root attribute `zone` (aliases: area, room).
+    pub attr_zone: Symbol,
+    /// Alias attribute `room`.
+    pub attr_room: Symbol,
+    /// Root attribute `temperature` (alias: temp).
+    pub attr_temperature: Symbol,
+    /// Alias attribute `temp`.
+    pub attr_temp: Symbol,
+    /// Attribute `temp_f` (Fahrenheit reading, mapping trigger).
+    pub attr_temp_f: Symbol,
+    /// Attribute `battery` (raw charge percent, mapping trigger).
+    pub attr_battery: Symbol,
+    /// Attribute `status` (produced by the low-battery mapping).
+    pub attr_status: Symbol,
+    /// Term `low_battery` (the inferred status value).
+    pub term_low_battery: Symbol,
+    /// Leaf sensor kinds (what devices report).
+    pub sensor_leaves: Vec<Symbol>,
+    /// Non-leaf sensor kinds (what monitoring rules subscribe with).
+    pub sensor_generals: Vec<Symbol>,
+    /// Leaf zones.
+    pub zone_leaves: Vec<Symbol>,
+    /// Non-leaf zones.
+    pub zone_generals: Vec<Symbol>,
+}
+
+impl IotDomain {
+    /// Compiles the domain into `interner`.
+    pub fn build(interner: &mut Interner) -> Self {
+        let ontology = parse_ontology(IOT_STO, interner).expect("embedded ontology must parse");
+        let sym = |i: &Interner, name: &str| {
+            i.get(name).unwrap_or_else(|| panic!("ontology must define '{name}'"))
+        };
+        let subtree = |o: &Ontology, i: &Interner, root: &str| -> (Vec<Symbol>, Vec<Symbol>) {
+            let root = sym(i, root);
+            let mut leaves = Vec::new();
+            let mut generals = vec![root];
+            for (concept, _) in o.taxonomy.descendants(root) {
+                if o.taxonomy.children(concept).is_empty() {
+                    leaves.push(concept);
+                } else {
+                    generals.push(concept);
+                }
+            }
+            leaves.sort_unstable();
+            generals.sort_unstable();
+            (leaves, generals)
+        };
+
+        let (sensor_leaves, sensor_generals) = subtree(&ontology, interner, "sensor_kind");
+        let (zone_leaves, zone_generals) = subtree(&ontology, interner, "campus");
+
+        IotDomain {
+            attr_sensor: sym(interner, "sensor"),
+            attr_device: sym(interner, "device"),
+            attr_zone: sym(interner, "zone"),
+            attr_room: sym(interner, "room"),
+            attr_temperature: sym(interner, "temperature"),
+            attr_temp: sym(interner, "temp"),
+            attr_temp_f: sym(interner, "temp_f"),
+            attr_battery: sym(interner, "battery"),
+            attr_status: sym(interner, "status"),
+            term_low_battery: sym(interner, "low_battery"),
+            sensor_leaves,
+            sensor_generals,
+            zone_leaves,
+            zone_generals,
+            ontology,
+        }
+    }
+}
+
+/// Knobs for the telemetry workload.
+#[derive(Clone, Copy, Debug)]
+pub struct IotWorkloadConfig {
+    /// Number of standing monitoring rules (subscriptions).
+    pub subscriptions: usize,
+    /// Number of sensor readings (publications). Telemetry is
+    /// publication-dominated: the default ratio is 10 readings per rule.
+    pub publications: usize,
+    /// RNG seed; equal seeds give identical workloads.
+    pub seed: u64,
+    /// Probability a rule uses a *general* (non-leaf) sensor kind or zone.
+    pub general_term_bias: f64,
+    /// Probability a reading spells an attribute with a synonym alias
+    /// (`device` for `sensor`, `room` for `zone`, `temp` for
+    /// `temperature`).
+    pub alias_bias: f64,
+    /// Probability a reading reports `temp_f` instead of `temperature`
+    /// (requiring the Fahrenheit mapping).
+    pub fahrenheit_bias: f64,
+}
+
+impl Default for IotWorkloadConfig {
+    fn default() -> Self {
+        IotWorkloadConfig {
+            subscriptions: 200,
+            publications: 2_000,
+            seed: 2003,
+            general_term_bias: 0.5,
+            alias_bias: 0.4,
+            fahrenheit_bias: 0.35,
+        }
+    }
+}
+
+/// Generates a telemetry workload. Deterministic in `config.seed`.
+pub fn generate_iot(domain: &IotDomain, config: &IotWorkloadConfig) -> crate::Workload {
+    let mut rng = Rng::new(config.seed);
+    let mut sub_rng = rng.fork(1);
+    let mut pub_rng = rng.fork(2);
+    let subscriptions = (0..config.subscriptions)
+        .map(|k| iot_subscription(domain, config, &mut sub_rng, SubId(k as u64)))
+        .collect();
+    let publications =
+        (0..config.publications).map(|_| iot_publication(domain, config, &mut pub_rng)).collect();
+    crate::Workload { subscriptions, publications }
+}
+
+/// One monitoring rule: 1..=3 predicates over sensor kind, zone,
+/// temperature thresholds, battery level, or the inferred status.
+fn iot_subscription(
+    domain: &IotDomain,
+    config: &IotWorkloadConfig,
+    rng: &mut Rng,
+    id: SubId,
+) -> Subscription {
+    let n_preds = 1 + rng.index(3);
+    let mut templates: Vec<usize> = (0..5).collect();
+    rng.shuffle(&mut templates);
+    let mut preds = Vec::with_capacity(n_preds);
+    for template in templates.into_iter().take(n_preds) {
+        let pred = match template {
+            0 => {
+                let pool = if rng.chance(config.general_term_bias) {
+                    &domain.sensor_generals
+                } else {
+                    &domain.sensor_leaves
+                };
+                Predicate::eq(domain.attr_sensor, *rng.pick(pool))
+            }
+            1 => {
+                let pool = if rng.chance(config.general_term_bias) {
+                    &domain.zone_generals
+                } else {
+                    &domain.zone_leaves
+                };
+                Predicate::eq(domain.attr_zone, *rng.pick(pool))
+            }
+            2 => {
+                // Half the threshold rules are written against the alias
+                // `temp`, exercising attribute synonym resolution.
+                let attr = if rng.chance(0.5) { domain.attr_temp } else { domain.attr_temperature };
+                let op = if rng.chance(0.5) { Operator::Ge } else { Operator::Le };
+                Predicate::new(attr, op, Value::Int(rng.range_i64(10, 35)))
+            }
+            3 => {
+                Predicate::new(domain.attr_battery, Operator::Le, Value::Int(rng.range_i64(5, 40)))
+            }
+            _ => Predicate::eq(domain.attr_status, domain.term_low_battery),
+        };
+        preds.push(pred);
+    }
+    Subscription::new(id, preds)
+}
+
+/// One sensor reading: a leaf kind, a leaf zone, a temperature (sometimes
+/// in Fahrenheit), and a battery level.
+fn iot_publication(domain: &IotDomain, config: &IotWorkloadConfig, rng: &mut Rng) -> Event {
+    let mut event = Event::with_capacity(4);
+    let sensor_attr =
+        if rng.chance(config.alias_bias) { domain.attr_device } else { domain.attr_sensor };
+    event.push(sensor_attr, Value::Sym(*rng.pick(&domain.sensor_leaves)));
+    let zone_attr = if rng.chance(config.alias_bias) { domain.attr_room } else { domain.attr_zone };
+    event.push(zone_attr, Value::Sym(*rng.pick(&domain.zone_leaves)));
+    if rng.chance(config.fahrenheit_bias) {
+        event.push(domain.attr_temp_f, Value::Int(rng.range_i64(32, 110)));
+    } else {
+        event.push(domain.attr_temperature, Value::Int(rng.range_i64(0, 45)));
+    }
+    event.push(domain.attr_battery, Value::Int(rng.range_i64(0, 101)));
+    event
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stopss_ontology::SemanticSource;
+
+    fn domain() -> (Interner, IotDomain) {
+        let mut i = Interner::new();
+        let d = IotDomain::build(&mut i);
+        (i, d)
+    }
+
+    #[test]
+    fn taxonomy_is_shallow() {
+        let (i, d) = domain();
+        let sensor_kind = i.get("sensor_kind").unwrap();
+        for leaf in &d.sensor_leaves {
+            let dist = d.ontology.distance(*leaf, sensor_kind).unwrap();
+            assert!(dist <= 2, "telemetry taxonomy must stay shallow, got {dist}");
+        }
+        assert_eq!(d.sensor_leaves.len(), 7);
+        assert_eq!(d.zone_leaves.len(), 5);
+    }
+
+    #[test]
+    fn fahrenheit_mapping_converts() {
+        let (i, d) = domain();
+        let event = Event::new().with(d.attr_temp_f, Value::Int(86));
+        let mut produced = Vec::new();
+        d.ontology.apply_mappings(&event, &i, 2003, &mut |name, pairs| {
+            produced.push((name.to_owned(), pairs));
+        });
+        assert_eq!(produced.len(), 1);
+        assert_eq!(produced[0].1, vec![(d.attr_temperature, Value::Int(30))]);
+    }
+
+    #[test]
+    fn low_battery_mapping_fires_only_below_threshold() {
+        let (i, d) = domain();
+        for (battery, fires) in [(5, true), (20, true), (21, false), (90, false)] {
+            let event = Event::new().with(d.attr_battery, Value::Int(battery));
+            let mut fired = false;
+            d.ontology.apply_mappings(&event, &i, 2003, &mut |_, pairs| {
+                fired = pairs.contains(&(d.attr_status, Value::Sym(d.term_low_battery)));
+            });
+            assert_eq!(fired, fires, "battery {battery}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_pub_dominated() {
+        let (_, d) = domain();
+        let config = IotWorkloadConfig::default();
+        let w1 = generate_iot(&d, &config);
+        let w2 = generate_iot(&d, &config);
+        assert_eq!(w1.subscriptions, w2.subscriptions);
+        assert_eq!(w1.publications, w2.publications);
+        assert!(w1.publications.len() >= 10 * w1.subscriptions.len());
+        for event in &w1.publications {
+            assert!(event.has_attr(d.attr_battery));
+            assert!(event.has_attr(d.attr_sensor) || event.has_attr(d.attr_device));
+        }
+    }
+
+    #[test]
+    fn biases_shift_the_mix() {
+        let (_, d) = domain();
+        let config = IotWorkloadConfig {
+            subscriptions: 0,
+            publications: 100,
+            alias_bias: 1.0,
+            fahrenheit_bias: 1.0,
+            ..Default::default()
+        };
+        let w = generate_iot(&d, &config);
+        assert!(w.publications.iter().all(|e| e.has_attr(d.attr_device)));
+        assert!(w.publications.iter().all(|e| e.has_attr(d.attr_temp_f)));
+    }
+}

@@ -1,0 +1,372 @@
+//! Market-data scenario domain.
+//!
+//! A numeric-heavy corner of the workload space: most predicates are
+//! range constraints over prices, volumes and basis-point moves, and
+//! interest concentrates on a few hot ticker symbols — drawn Zipf-skewed
+//! on both the subscription and the publication side, so the same heads
+//! dominate both populations (the classic hot-key profile of market
+//! feeds). The sector taxonomy is modest; the semantic load sits in the
+//! synonym layer (`ticker`/`symbol`, `last`/`price`, `vol`/`volume`) and
+//! in a *chained* mapping pipeline: price × volume derives the notional,
+//! and the notional in turn classifies block trades.
+
+use stopss_ontology::{parse_ontology, Ontology};
+use stopss_types::{Event, Interner, Operator, Predicate, SubId, Subscription, Symbol, Value};
+
+use crate::rng::Rng;
+use crate::zipf::Zipf;
+
+/// The market ontology in `.sto` source form.
+pub const MARKET_STO: &str = r#"
+domain market
+
+# ------------------------------------------------------------------ synonyms
+synonyms symbol = ticker
+synonyms price = last, quote
+synonyms volume = vol
+synonyms sector = industry
+
+# -------------------------------------------------- sector taxonomy
+isa software -> technology -> sector_any
+isa semiconductors -> technology
+isa internet -> technology
+isa banks -> financials -> sector_any
+isa insurance -> financials
+isa oil_gas -> energy -> sector_any
+isa renewables -> energy
+
+# --------------------------------------------------------- mapping functions
+map notional_value:
+    when price exists
+    when volume exists
+    emit notional = price * volume
+end
+
+map block_trade_flag:
+    when notional >= 1000000
+    emit trade_class = term(block_trade)
+end
+
+map swing_alert:
+    when move_bps >= 500
+    emit trade_class = term(volatile)
+end
+"#;
+
+/// The compiled market domain with symbol handles for generators.
+#[derive(Debug, Clone)]
+pub struct MarketDomain {
+    /// The compiled ontology.
+    pub ontology: Ontology,
+    /// Root attribute `symbol` (alias: ticker).
+    pub attr_symbol: Symbol,
+    /// Alias attribute `ticker`.
+    pub attr_ticker: Symbol,
+    /// Root attribute `price` (aliases: last, quote).
+    pub attr_price: Symbol,
+    /// Alias attribute `last`.
+    pub attr_last: Symbol,
+    /// Root attribute `volume` (alias: vol).
+    pub attr_volume: Symbol,
+    /// Root attribute `sector` (alias: industry).
+    pub attr_sector: Symbol,
+    /// Attribute `move_bps` (signed basis-point move, mapping trigger).
+    pub attr_move_bps: Symbol,
+    /// Attribute `notional` (derived by the first mapping link).
+    pub attr_notional: Symbol,
+    /// Attribute `trade_class` (derived by the second mapping link).
+    pub attr_trade_class: Symbol,
+    /// Term `block_trade`.
+    pub term_block_trade: Symbol,
+    /// Term `volatile`.
+    pub term_volatile: Symbol,
+    /// Flat ticker pool, hot-key skewed by the generators.
+    pub tickers: Vec<Symbol>,
+    /// Leaf sector terms.
+    pub sector_leaves: Vec<Symbol>,
+    /// Non-leaf sector terms.
+    pub sector_generals: Vec<Symbol>,
+}
+
+impl MarketDomain {
+    /// Compiles the domain into `interner`.
+    pub fn build(interner: &mut Interner) -> Self {
+        let ontology = parse_ontology(MARKET_STO, interner).expect("embedded ontology must parse");
+        let tickers = [
+            "acme",
+            "globex",
+            "initech",
+            "umbrella",
+            "stark",
+            "wayne",
+            "tyrell",
+            "cyberdyne",
+            "wonka",
+            "oceanic",
+            "hooli",
+            "piedpiper",
+        ]
+        .iter()
+        .map(|t| interner.intern(t))
+        .collect();
+
+        let sym = |i: &Interner, name: &str| {
+            i.get(name).unwrap_or_else(|| panic!("ontology must define '{name}'"))
+        };
+        let root = sym(interner, "sector_any");
+        let mut sector_leaves = Vec::new();
+        let mut sector_generals = vec![root];
+        for (concept, _) in ontology.taxonomy.descendants(root) {
+            if ontology.taxonomy.children(concept).is_empty() {
+                sector_leaves.push(concept);
+            } else {
+                sector_generals.push(concept);
+            }
+        }
+        sector_leaves.sort_unstable();
+        sector_generals.sort_unstable();
+
+        MarketDomain {
+            attr_symbol: sym(interner, "symbol"),
+            attr_ticker: sym(interner, "ticker"),
+            attr_price: sym(interner, "price"),
+            attr_last: sym(interner, "last"),
+            attr_volume: sym(interner, "volume"),
+            attr_sector: sym(interner, "sector"),
+            attr_move_bps: sym(interner, "move_bps"),
+            attr_notional: sym(interner, "notional"),
+            attr_trade_class: sym(interner, "trade_class"),
+            term_block_trade: sym(interner, "block_trade"),
+            term_volatile: sym(interner, "volatile"),
+            tickers,
+            sector_leaves,
+            sector_generals,
+            ontology,
+        }
+    }
+}
+
+/// Knobs for the market workload.
+#[derive(Clone, Copy, Debug)]
+pub struct MarketWorkloadConfig {
+    /// Number of standing orders/alerts (subscriptions).
+    pub subscriptions: usize,
+    /// Number of quote/trade events (publications).
+    pub publications: usize,
+    /// RNG seed; equal seeds give identical workloads.
+    pub seed: u64,
+    /// Zipf exponent over the ticker pool (both sides of the workload).
+    pub zipf_skew: f64,
+    /// Probability a subscription uses a *general* sector term.
+    pub general_term_bias: f64,
+    /// Probability a publication spells an attribute with a synonym alias
+    /// (`ticker` for `symbol`, `last` for `price`).
+    pub alias_bias: f64,
+}
+
+impl Default for MarketWorkloadConfig {
+    fn default() -> Self {
+        MarketWorkloadConfig {
+            subscriptions: 500,
+            publications: 1_000,
+            seed: 2003,
+            zipf_skew: 1.1,
+            general_term_bias: 0.5,
+            alias_bias: 0.4,
+        }
+    }
+}
+
+/// Generates a market workload. Deterministic in `config.seed`.
+pub fn generate_market(domain: &MarketDomain, config: &MarketWorkloadConfig) -> crate::Workload {
+    let mut rng = Rng::new(config.seed);
+    let mut sub_rng = rng.fork(1);
+    let mut pub_rng = rng.fork(2);
+    let subscriptions = (0..config.subscriptions)
+        .map(|k| market_subscription(domain, config, &mut sub_rng, SubId(k as u64)))
+        .collect();
+    let publications = (0..config.publications)
+        .map(|_| market_publication(domain, config, &mut pub_rng))
+        .collect();
+    crate::Workload { subscriptions, publications }
+}
+
+/// One standing order: 1..=3 predicates, numeric-heavy (only three of
+/// the seven templates are categorical, the rest range constraints).
+fn market_subscription(
+    domain: &MarketDomain,
+    config: &MarketWorkloadConfig,
+    rng: &mut Rng,
+    id: SubId,
+) -> Subscription {
+    let zipf = Zipf::new(domain.tickers.len(), config.zipf_skew);
+    let n_preds = 1 + rng.index(3);
+    let mut templates: Vec<usize> = (0..7).collect();
+    rng.shuffle(&mut templates);
+    let mut preds = Vec::with_capacity(n_preds);
+    for template in templates.into_iter().take(n_preds) {
+        let pred = match template {
+            0 => Predicate::eq(domain.attr_symbol, domain.tickers[zipf.sample(rng)]),
+            1 => {
+                let pool = if rng.chance(config.general_term_bias) {
+                    &domain.sector_generals
+                } else {
+                    &domain.sector_leaves
+                };
+                Predicate::eq(domain.attr_sector, *rng.pick(pool))
+            }
+            2 => {
+                let op = if rng.chance(0.5) { Operator::Ge } else { Operator::Le };
+                Predicate::new(domain.attr_price, op, Value::Int(rng.range_i64(1, 40) * 25))
+            }
+            3 => Predicate::new(
+                domain.attr_volume,
+                Operator::Ge,
+                Value::Int(rng.range_i64(1, 20) * 500),
+            ),
+            4 => Predicate::new(
+                domain.attr_move_bps,
+                if rng.chance(0.5) { Operator::Ge } else { Operator::Le },
+                Value::Int(rng.range_i64(-6, 7) * 100),
+            ),
+            5 => Predicate::new(
+                // Derived by the notional_value mapping — numeric over a
+                // synthesized attribute.
+                domain.attr_notional,
+                Operator::Ge,
+                Value::Int(rng.range_i64(1, 20) * 100_000),
+            ),
+            _ => {
+                let class =
+                    if rng.chance(0.5) { domain.term_block_trade } else { domain.term_volatile };
+                Predicate::eq(domain.attr_trade_class, class)
+            }
+        };
+        preds.push(pred);
+    }
+    Subscription::new(id, preds)
+}
+
+/// One quote/trade: a hot-key ticker, sector, price, volume and move.
+fn market_publication(
+    domain: &MarketDomain,
+    config: &MarketWorkloadConfig,
+    rng: &mut Rng,
+) -> Event {
+    let zipf = Zipf::new(domain.tickers.len(), config.zipf_skew);
+    let mut event = Event::with_capacity(5);
+    let symbol_attr =
+        if rng.chance(config.alias_bias) { domain.attr_ticker } else { domain.attr_symbol };
+    event.push(symbol_attr, Value::Sym(domain.tickers[zipf.sample(rng)]));
+    event.push(domain.attr_sector, Value::Sym(*rng.pick(&domain.sector_leaves)));
+    let price_attr =
+        if rng.chance(config.alias_bias) { domain.attr_last } else { domain.attr_price };
+    event.push(price_attr, Value::Int(rng.range_i64(1, 1_000)));
+    event.push(domain.attr_volume, Value::Int(rng.range_i64(1, 40) * 250));
+    event.push(domain.attr_move_bps, Value::Int(rng.range_i64(-800, 801)));
+    event
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stopss_ontology::SemanticSource;
+
+    fn domain() -> (Interner, MarketDomain) {
+        let mut i = Interner::new();
+        let d = MarketDomain::build(&mut i);
+        (i, d)
+    }
+
+    #[test]
+    fn chained_mappings_classify_block_trades() {
+        let (i, d) = domain();
+        // price 2000 x volume 600 = notional 1_200_000 >= 1_000_000.
+        let event =
+            Event::new().with(d.attr_price, Value::Int(2_000)).with(d.attr_volume, Value::Int(600));
+        let mut produced = Vec::new();
+        d.ontology.apply_mappings(&event, &i, 2003, &mut |name, pairs| {
+            produced.push((name.to_owned(), pairs));
+        });
+        // Only the first link fires directly on the raw event; the chain
+        // to `block_trade` is closed by the matcher's derivation loop.
+        assert_eq!(produced.len(), 1);
+        assert_eq!(produced[0].0, "notional_value");
+        assert_eq!(produced[0].1, vec![(d.attr_notional, Value::Int(1_200_000))]);
+        // The second link fires on the derived notional.
+        let derived = Event::new().with(d.attr_notional, Value::Int(1_200_000));
+        let mut fired = Vec::new();
+        d.ontology.apply_mappings(&derived, &i, 2003, &mut |name, _| fired.push(name.to_owned()));
+        assert_eq!(fired, vec!["block_trade_flag".to_owned()]);
+    }
+
+    #[test]
+    fn synonyms_resolve_to_roots() {
+        let (_, d) = domain();
+        assert_eq!(d.ontology.resolve_synonym(d.attr_ticker), d.attr_symbol);
+        assert_eq!(d.ontology.resolve_synonym(d.attr_last), d.attr_price);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_numeric_heavy() {
+        let (_, d) = domain();
+        let config = MarketWorkloadConfig { subscriptions: 300, ..Default::default() };
+        let w1 = generate_market(&d, &config);
+        let w2 = generate_market(&d, &config);
+        assert_eq!(w1.subscriptions, w2.subscriptions);
+        assert_eq!(w1.publications, w2.publications);
+        let numeric_preds: usize = w1
+            .subscriptions
+            .iter()
+            .flat_map(|s| s.predicates())
+            .filter(|p| matches!(p.value, Value::Int(_)))
+            .count();
+        let total_preds: usize = w1.subscriptions.iter().map(|s| s.len()).sum();
+        assert!(
+            numeric_preds * 2 > total_preds,
+            "market subscriptions are numeric-heavy: {numeric_preds}/{total_preds}"
+        );
+    }
+
+    #[test]
+    fn zipf_concentrates_hot_tickers_on_both_sides() {
+        let (_, d) = domain();
+        let config = MarketWorkloadConfig {
+            subscriptions: 1_000,
+            publications: 1_000,
+            zipf_skew: 1.2,
+            alias_bias: 0.0,
+            ..Default::default()
+        };
+        let w = generate_market(&d, &config);
+        let count_hot = |sym_attr: Symbol, events: bool| -> (usize, usize) {
+            let mut counts = vec![0usize; d.tickers.len()];
+            if events {
+                for e in &w.publications {
+                    if let Some(Value::Sym(t)) = e.get(sym_attr) {
+                        if let Some(pos) = d.tickers.iter().position(|x| x == t) {
+                            counts[pos] += 1;
+                        }
+                    }
+                }
+            } else {
+                for s in &w.subscriptions {
+                    for p in s.predicates() {
+                        if p.attr == sym_attr {
+                            if let Value::Sym(t) = p.value {
+                                if let Some(pos) = d.tickers.iter().position(|x| *x == t) {
+                                    counts[pos] += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            (*counts.iter().max().unwrap(), counts.iter().sum())
+        };
+        let (max_pub, total_pub) = count_hot(d.attr_symbol, true);
+        assert!(max_pub * 4 > total_pub, "hot key dominates publications: {max_pub}/{total_pub}");
+        let (max_sub, total_sub) = count_hot(d.attr_symbol, false);
+        assert!(max_sub * 4 > total_sub, "hot key dominates subscriptions: {max_sub}/{total_sub}");
+    }
+}

@@ -14,7 +14,10 @@ use stopss_types::{
 };
 
 use crate::generator::{generate_jobfinder, WorkloadConfig};
+use crate::geo::{generate_geo, GeoDomain, GeoWorkloadConfig};
+use crate::iot::{generate_iot, IotDomain, IotWorkloadConfig};
 use crate::jobfinder::JobFinderDomain;
+use crate::market::{generate_market, MarketDomain, MarketWorkloadConfig};
 use crate::rng::Rng;
 use crate::taxonomy_gen::{build_synthetic, SyntheticConfig, SyntheticDomain};
 
@@ -90,6 +93,48 @@ pub fn jobfinder_fixture_with(config: &WorkloadConfig) -> Fixture {
     let mut interner = Interner::new();
     let domain = JobFinderDomain::build(&mut interner);
     let workload = generate_jobfinder(&domain, config);
+    Fixture {
+        interner: SharedInterner::from_interner(interner),
+        source: Arc::new(domain.ontology),
+        subscriptions: workload.subscriptions,
+        publications: workload.publications,
+    }
+}
+
+/// Builds the IoT/telemetry fixture (shallow taxonomy, event-heavy).
+pub fn iot_fixture(subscriptions: usize, publications: usize, seed: u64) -> Fixture {
+    let mut interner = Interner::new();
+    let domain = IotDomain::build(&mut interner);
+    let config = IotWorkloadConfig { subscriptions, publications, seed, ..Default::default() };
+    let workload = generate_iot(&domain, &config);
+    Fixture {
+        interner: SharedInterner::from_interner(interner),
+        source: Arc::new(domain.ontology),
+        subscriptions: workload.subscriptions,
+        publications: workload.publications,
+    }
+}
+
+/// Builds the market-data fixture (numeric-heavy, Zipf hot-key skew).
+pub fn market_fixture(subscriptions: usize, publications: usize, seed: u64) -> Fixture {
+    let mut interner = Interner::new();
+    let domain = MarketDomain::build(&mut interner);
+    let config = MarketWorkloadConfig { subscriptions, publications, seed, ..Default::default() };
+    let workload = generate_market(&domain, &config);
+    Fixture {
+        interner: SharedInterner::from_interner(interner),
+        source: Arc::new(domain.ontology),
+        subscriptions: workload.subscriptions,
+        publications: workload.publications,
+    }
+}
+
+/// Builds the geo/alerting fixture (deep hierarchy, mapping-heavy).
+pub fn geo_fixture(subscriptions: usize, publications: usize, seed: u64) -> Fixture {
+    let mut interner = Interner::new();
+    let domain = GeoDomain::build(&mut interner);
+    let config = GeoWorkloadConfig { subscriptions, publications, seed, ..Default::default() };
+    let workload = generate_geo(&domain, &config);
     Fixture {
         interner: SharedInterner::from_interner(interner),
         source: Arc::new(domain.ontology),

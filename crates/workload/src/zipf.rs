@@ -111,4 +111,20 @@ mod tests {
     fn zero_ranks_panic() {
         let _ = Zipf::new(0, 1.0);
     }
+
+    /// Golden pin of exact sample sequences: the market workload's
+    /// hot-key skew (and its committed oracle counts) depend on this
+    /// table + binary-search draw path bit-for-bit.
+    #[test]
+    fn golden_sample_sequences_pin_the_sampler() {
+        let zipf = Zipf::new(12, 1.1);
+        let mut rng = Rng::new(2003);
+        let got: Vec<usize> = (0..16).map(|_| zipf.sample(&mut rng)).collect();
+        assert_eq!(got, [0, 1, 1, 2, 2, 0, 0, 2, 6, 0, 1, 2, 0, 0, 1, 8]);
+
+        let uniform = Zipf::new(5, 0.0);
+        let mut rng = Rng::new(42);
+        let got: Vec<usize> = (0..10).map(|_| uniform.sample(&mut rng)).collect();
+        assert_eq!(got, [4, 4, 0, 3, 3, 1, 1, 0, 3, 0]);
+    }
 }

@@ -1,0 +1,81 @@
+//! Churn differential: a live matcher fed an interleaved
+//! subscribe/unsubscribe/publish stream must produce, at every publish,
+//! exactly the match set of a fresh matcher built from the then-live
+//! subscription set — across all four domains, both churn modes, and the
+//! single-threaded and sharded backends. Divergence means unsubscribe
+//! residue or lost subscriptions.
+
+use s_topss::prelude::*;
+use s_topss::workload::{
+    churn_scenario, geo_fixture, iot_fixture, jobfinder_fixture, market_fixture,
+    replay_interleaved, replay_interleaved_sharded, replay_sequential, ChurnMode, ChurnOp, Fixture,
+};
+
+fn domains() -> Vec<(&'static str, Fixture)> {
+    vec![
+        ("jobfinder", jobfinder_fixture(30, 20, 11)),
+        ("iot", iot_fixture(30, 20, 11)),
+        ("market", market_fixture(30, 20, 11)),
+        ("geo", geo_fixture(30, 20, 11)),
+    ]
+}
+
+/// The tentpole differential: interleaved ≡ sequential, every domain ×
+/// every churn mode, single-threaded backend.
+#[test]
+fn interleaved_replay_equals_sequential_everywhere() {
+    for (name, fixture) in domains() {
+        for mode in [ChurnMode::UnsubscribeHeavy, ChurnMode::FlashCrowd] {
+            let scenario = churn_scenario(&fixture, mode, 150, 42);
+            assert!(scenario.publishes > 0, "{name}/{mode:?}: stream has publishes");
+            let config = Config::default();
+            let interleaved = replay_interleaved(&fixture, &scenario, config);
+            let sequential = replay_sequential(&fixture, &scenario, config);
+            assert_eq!(
+                interleaved, sequential,
+                "{name}/{mode:?}: live matcher diverged from the rebuilt oracle"
+            );
+        }
+    }
+}
+
+/// The same differential over the sharded backend (4 shards): churn must
+/// not interact with shard-local subscription tables.
+#[test]
+fn sharded_interleaved_replay_equals_sequential() {
+    for (name, fixture) in domains() {
+        for mode in [ChurnMode::UnsubscribeHeavy, ChurnMode::FlashCrowd] {
+            let scenario = churn_scenario(&fixture, mode, 150, 42);
+            let sequential = replay_sequential(&fixture, &scenario, Config::default());
+            let sharded =
+                replay_interleaved_sharded(&fixture, &scenario, Config::default().with_shards(4));
+            assert_eq!(sharded, sequential, "{name}/{mode:?}: sharded backend diverged");
+        }
+    }
+}
+
+/// Flash-crowd streams really do spike: the live subscription count
+/// during the stream reaches several times the post-exodus level, and
+/// unsubscribe-heavy streams are dominated by table mutations.
+#[test]
+fn churn_modes_have_their_advertised_shape() {
+    let fixture = jobfinder_fixture(30, 20, 11);
+    let crowd = churn_scenario(&fixture, ChurnMode::FlashCrowd, 200, 7);
+    let mut live = 0i64;
+    let mut peak = 0i64;
+    for op in &crowd.ops {
+        match op {
+            ChurnOp::Subscribe(_) => live += 1,
+            ChurnOp::Unsubscribe(_) => live -= 1,
+            ChurnOp::Publish(_) => {}
+        }
+        peak = peak.max(live);
+    }
+    assert!(live >= 0, "never unsubscribes a dead id");
+    assert!(peak >= live * 2 && peak >= 5, "flash crowd spikes: peak {peak}, final {live}");
+
+    let heavy = churn_scenario(&fixture, ChurnMode::UnsubscribeHeavy, 200, 7);
+    let unsubs = heavy.ops.iter().filter(|op| matches!(op, ChurnOp::Unsubscribe(_))).count();
+    let publishes = heavy.ops.iter().filter(|op| matches!(op, ChurnOp::Publish(_))).count();
+    assert!(unsubs > publishes, "unsubscribes ({unsubs}) dominate publishes ({publishes})");
+}

@@ -1,0 +1,157 @@
+//! Oracle suite for the geo/alerting domain: hand-derived expectations
+//! over the five-level place hierarchy and the two-link mapping chain,
+//! distance-bounded tolerance behaviour, engine-vs-reference agreement,
+//! and pinned deterministic aggregate counts.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use s_topss::core::{semantic_match, ClosureLimits};
+use s_topss::prelude::*;
+use s_topss::workload::geo::{generate_geo, GeoDomain, GeoWorkloadConfig};
+use s_topss::workload::geo_fixture;
+
+fn fixture(
+    seed: u64,
+    subs: usize,
+    pubs: usize,
+) -> (Interner, GeoDomain, Vec<Subscription>, Vec<Event>) {
+    let mut interner = Interner::new();
+    let domain = GeoDomain::build(&mut interner);
+    let w = generate_geo(
+        &domain,
+        &GeoWorkloadConfig { subscriptions: subs, publications: pubs, seed, ..Default::default() },
+    );
+    (interner, domain, w.subscriptions, w.publications)
+}
+
+fn matcher_for(config: Config, domain: &GeoDomain, interner: &Interner) -> SToPSS {
+    SToPSS::new(
+        config,
+        Arc::new(domain.ontology.clone()),
+        SharedInterner::from_interner(interner.clone()),
+    )
+}
+
+/// A report from the district `downtown_toronto` (spelled with the alias
+/// `place`) reaches a country-level subscription on `canada` — a
+/// 3-level generalization walk on top of synonym resolution.
+#[test]
+fn deep_hierarchy_walk_derived_by_hand() {
+    let mut interner = Interner::new();
+    let domain = GeoDomain::build(&mut interner);
+    let canada = interner.get("canada").unwrap();
+    let downtown = interner.get("downtown_toronto").unwrap();
+    let sub = Subscription::new(SubId(1), vec![Predicate::eq(domain.attr_location, canada)]);
+    let event = Event::new().with(domain.attr_place, Value::Sym(downtown));
+
+    let mut m = matcher_for(Config::default(), &domain, &interner);
+    m.subscribe(sub.clone());
+    let matches = m.publish(&event);
+    assert_eq!(matches.len(), 1);
+    assert_eq!(
+        matches[0].origin,
+        MatchOrigin::Hierarchy { distance: 3 },
+        "district → city → province → country"
+    );
+
+    // Distance-bounded subscriber tolerance: the walk is 3 levels
+    // (district → city → province → country), so a bound of 2 rejects it
+    // and a bound of 3 admits it.
+    let mut bounded = matcher_for(Config::default(), &domain, &interner);
+    bounded.subscribe_with_tolerance(sub.clone(), Tolerance::bounded(2));
+    assert_eq!(bounded.publish(&event).len(), 0, "3 levels exceed a bound of 2");
+    let mut wider = matcher_for(Config::default(), &domain, &interner);
+    wider.subscribe_with_tolerance(sub, Tolerance::bounded(3));
+    assert_eq!(wider.publish(&event).len(), 1, "a bound of 3 admits the walk");
+}
+
+/// Magnitude 8 fires quake_critical (severity = critical), whose derived
+/// event fires red_alert (alert = red): a subscription on `alert` is only
+/// reachable through the two-link chain.
+#[test]
+fn red_alert_chain_derived_by_hand() {
+    let mut interner = Interner::new();
+    let domain = GeoDomain::build(&mut interner);
+    let sub = Subscription::new(SubId(1), vec![Predicate::eq(domain.attr_alert, domain.term_red)]);
+    let mut m = matcher_for(Config::default(), &domain, &interner);
+    m.subscribe(sub);
+    let quake = |mag: i64| Event::new().with(domain.attr_magnitude, Value::Int(mag));
+    assert_eq!(m.publish(&quake(8)).len(), 1, "critical quake ⇒ red alert, transitively");
+    assert_eq!(m.publish(&quake(6)).len(), 0, "elevated severity does not chain to red");
+    assert_eq!(m.publish(&quake(3)).len(), 0, "below both severity thresholds");
+}
+
+/// The evacuation-radius mapping synthesizes a numeric attribute
+/// (magnitude × 10) that range subscriptions match.
+#[test]
+fn evacuation_radius_derived_by_hand() {
+    let mut interner = Interner::new();
+    let domain = GeoDomain::build(&mut interner);
+    let sub = Subscription::new(
+        SubId(1),
+        vec![Predicate::new(domain.attr_evac_km, Operator::Ge, Value::Int(50))],
+    );
+    let mut m = matcher_for(Config::default(), &domain, &interner);
+    m.subscribe(sub);
+    let quake = |mag: i64| Event::new().with(domain.attr_magnitude, Value::Int(mag));
+    assert_eq!(m.publish(&quake(6)).len(), 1, "60 km radius meets the 50 km bound");
+    assert_eq!(m.publish(&quake(4)).len(), 0, "40 km does not");
+}
+
+/// Pinned aggregate counts for the default geo fixture. Syntactic
+/// matching finds almost nothing here (subscriptions lean on generals
+/// and derived attributes), which is the point of the domain.
+#[test]
+fn default_fixture_counts_are_pinned() {
+    let f = geo_fixture(400, 800, 2003);
+    let count = |config: Config| {
+        let m = f.matcher(config.with_provenance(false));
+        f.publications.iter().map(|e| m.publish(e).len()).sum::<usize>()
+    };
+    let semantic = count(Config::default());
+    let syntactic = count(Config::syntactic());
+    assert_eq!(semantic, 34_961);
+    assert_eq!(syntactic, 1_313);
+    assert!(semantic > syntactic * 5, "the deep hierarchy + mapping pipeline carry this domain");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Generated geo workloads: matcher == reference oracle for every
+    /// engine kind.
+    #[test]
+    fn geo_matcher_agrees_with_oracle(seed in 0u64..1_000) {
+        let (interner, domain, subs, events) = fixture(seed, 30, 25);
+        let source = Arc::new(domain.ontology);
+        let limits = ClosureLimits::default();
+        let tolerance = Tolerance::full();
+
+        for engine in EngineKind::ALL {
+            let config = Config { engine, track_provenance: false, ..Config::default() };
+            let mut matcher = SToPSS::new(
+                config,
+                source.clone(),
+                SharedInterner::from_interner(interner.clone()),
+            );
+            for sub in &subs {
+                matcher.subscribe(sub.clone());
+            }
+            for event in &events {
+                let mut got: Vec<SubId> = matcher.publish(event).iter().map(|m| m.sub).collect();
+                got.sort_unstable();
+                let mut want: Vec<SubId> = subs
+                    .iter()
+                    .filter(|s| {
+                        semantic_match(s, event, source.as_ref(), &tolerance, 2003, &interner, &limits)
+                    })
+                    .map(|s| s.id())
+                    .collect();
+                want.sort_unstable();
+                prop_assert_eq!(&got, &want, "engine {} diverged on seed {}", engine.name(), seed);
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Oracle suite for the IoT/telemetry domain: hand-derived single-event
+//! expectations, matcher-vs-reference agreement for every engine on
+//! generated workloads, and pinned deterministic aggregate counts.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use s_topss::core::{semantic_match, ClosureLimits};
+use s_topss::prelude::*;
+use s_topss::workload::iot::{generate_iot, IotDomain, IotWorkloadConfig};
+use s_topss::workload::iot_fixture;
+
+fn fixture(
+    seed: u64,
+    subs: usize,
+    pubs: usize,
+) -> (Interner, IotDomain, Vec<Subscription>, Vec<Event>) {
+    let mut interner = Interner::new();
+    let domain = IotDomain::build(&mut interner);
+    let w = generate_iot(
+        &domain,
+        &IotWorkloadConfig { subscriptions: subs, publications: pubs, seed, ..Default::default() },
+    );
+    (interner, domain, w.subscriptions, w.publications)
+}
+
+fn matcher_for(config: Config, domain: &IotDomain, interner: &Interner) -> SToPSS {
+    SToPSS::new(
+        config,
+        Arc::new(domain.ontology.clone()),
+        SharedInterner::from_interner(interner.clone()),
+    )
+}
+
+/// `(device, thermometer)` vs a subscription on the *general* term
+/// `(sensor, environmental)`: the match needs synonym resolution (device
+/// is an alias of sensor) AND a hierarchy walk (thermometer is-a
+/// environmental) — each stage alone is not enough.
+#[test]
+fn alias_plus_shallow_hierarchy_match_derived_by_hand() {
+    let mut interner = Interner::new();
+    let domain = IotDomain::build(&mut interner);
+    let environmental = interner.get("environmental").unwrap();
+    let thermometer = interner.get("thermometer").unwrap();
+    let sub = Subscription::new(SubId(1), vec![Predicate::eq(domain.attr_sensor, environmental)]);
+    let event = Event::new().with(domain.attr_device, Value::Sym(thermometer));
+
+    let count = |stages: StageMask| {
+        let mut m = matcher_for(
+            Config::default().with_stages(stages).with_provenance(false),
+            &domain,
+            &interner,
+        );
+        m.subscribe(sub.clone());
+        m.publish(&event).len()
+    };
+    assert_eq!(count(StageMask::syntactic()), 0, "different attribute spelling + general term");
+    assert_eq!(count(StageMask::SYNONYM), 0, "alias resolves but thermometer != environmental");
+    assert_eq!(count(StageMask::HIERARCHY), 0, "hierarchy alone cannot bridge the alias");
+    assert_eq!(count(StageMask::SYNONYM.with(StageMask::HIERARCHY)), 1, "both stages together");
+}
+
+/// `(temp_f, 86)` satisfies `(temperature, >=, 30)` only through the
+/// Fahrenheit→Celsius mapping: (86 − 32) × 5 / 9 = 30, integer math.
+#[test]
+fn fahrenheit_mapping_match_derived_by_hand() {
+    let mut interner = Interner::new();
+    let domain = IotDomain::build(&mut interner);
+    let sub = Subscription::new(
+        SubId(1),
+        vec![Predicate::new(domain.attr_temperature, Operator::Ge, Value::Int(30))],
+    );
+    let mut m = matcher_for(Config::default(), &domain, &interner);
+    m.subscribe(sub);
+
+    let at = |f: i64| m.publish(&Event::new().with(domain.attr_temp_f, Value::Int(f))).len();
+    assert_eq!(at(86), 1, "30 °C exactly meets the bound");
+    assert_eq!(at(85), 0, "29 °C (integer division) misses it");
+    let matches = m.publish(&Event::new().with(domain.attr_temp_f, Value::Int(104)));
+    assert_eq!(matches.len(), 1, "40 °C");
+    assert_eq!(matches[0].origin, MatchOrigin::Mapping, "provenance names the mapping stage");
+}
+
+/// The low-battery mapping turns a numeric reading into a status term a
+/// subscription can equality-match.
+#[test]
+fn low_battery_alert_derived_by_hand() {
+    let mut interner = Interner::new();
+    let domain = IotDomain::build(&mut interner);
+    let sub = Subscription::new(
+        SubId(1),
+        vec![Predicate::eq(domain.attr_status, domain.term_low_battery)],
+    );
+    let mut m = matcher_for(Config::default(), &domain, &interner);
+    m.subscribe(sub);
+    let at = |pct: i64| m.publish(&Event::new().with(domain.attr_battery, Value::Int(pct))).len();
+    assert_eq!(at(20), 1, "boundary fires");
+    assert_eq!(at(21), 0, "just above does not");
+}
+
+/// Pinned aggregate counts for the default IoT fixture. These are the
+/// domain's goldens: any change to the generator, the `.sto` source, or
+/// the matcher semantics shows up here first.
+#[test]
+fn default_fixture_counts_are_pinned() {
+    let f = iot_fixture(200, 2_000, 2003);
+    let count = |config: Config| {
+        let m = f.matcher(config.with_provenance(false));
+        f.publications.iter().map(|e| m.publish(e).len()).sum::<usize>()
+    };
+    let semantic = count(Config::default());
+    let syntactic = count(Config::syntactic());
+    assert_eq!(semantic, 76_360);
+    assert_eq!(syntactic, 13_295);
+    assert!(semantic > syntactic * 3, "IoT aliasing/mappings dominate raw matches");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Generated IoT workloads: matcher == reference oracle for every
+    /// engine kind.
+    #[test]
+    fn iot_matcher_agrees_with_oracle(seed in 0u64..1_000) {
+        let (interner, domain, subs, events) = fixture(seed, 30, 25);
+        let source = Arc::new(domain.ontology);
+        let limits = ClosureLimits::default();
+        let tolerance = Tolerance::full();
+
+        for engine in EngineKind::ALL {
+            let config = Config { engine, track_provenance: false, ..Config::default() };
+            let mut matcher = SToPSS::new(
+                config,
+                source.clone(),
+                SharedInterner::from_interner(interner.clone()),
+            );
+            for sub in &subs {
+                matcher.subscribe(sub.clone());
+            }
+            for event in &events {
+                let mut got: Vec<SubId> = matcher.publish(event).iter().map(|m| m.sub).collect();
+                got.sort_unstable();
+                let mut want: Vec<SubId> = subs
+                    .iter()
+                    .filter(|s| {
+                        semantic_match(s, event, source.as_ref(), &tolerance, 2003, &interner, &limits)
+                    })
+                    .map(|s| s.id())
+                    .collect();
+                want.sort_unstable();
+                prop_assert_eq!(&got, &want, "engine {} diverged on seed {}", engine.name(), seed);
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Oracle suite for the market-data domain: hand-derived single-event
+//! expectations (including the chained block-trade classifier),
+//! per-subscriber tolerance behaviour, engine-vs-reference agreement on
+//! generated workloads, and pinned deterministic aggregate counts.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use s_topss::core::{semantic_match, ClosureLimits};
+use s_topss::prelude::*;
+use s_topss::workload::market::{generate_market, MarketDomain, MarketWorkloadConfig};
+use s_topss::workload::market_fixture;
+
+fn fixture(
+    seed: u64,
+    subs: usize,
+    pubs: usize,
+) -> (Interner, MarketDomain, Vec<Subscription>, Vec<Event>) {
+    let mut interner = Interner::new();
+    let domain = MarketDomain::build(&mut interner);
+    let w = generate_market(
+        &domain,
+        &MarketWorkloadConfig {
+            subscriptions: subs,
+            publications: pubs,
+            seed,
+            ..Default::default()
+        },
+    );
+    (interner, domain, w.subscriptions, w.publications)
+}
+
+fn matcher_for(config: Config, domain: &MarketDomain, interner: &Interner) -> SToPSS {
+    SToPSS::new(
+        config,
+        Arc::new(domain.ontology.clone()),
+        SharedInterner::from_interner(interner.clone()),
+    )
+}
+
+/// A trade of price 2 000 × volume 600 has notional 1 200 000, so the
+/// two-link chain notional_value → block_trade_flag classifies it as a
+/// block trade — derivable only transitively (the raw event carries
+/// neither `notional` nor `trade_class`).
+#[test]
+fn chained_block_trade_classification_derived_by_hand() {
+    let mut interner = Interner::new();
+    let domain = MarketDomain::build(&mut interner);
+    let sub = Subscription::new(
+        SubId(1),
+        vec![Predicate::eq(domain.attr_trade_class, domain.term_block_trade)],
+    );
+    let mut m = matcher_for(Config::default(), &domain, &interner);
+    m.subscribe(sub);
+
+    let trade = |price: i64, volume: i64| {
+        Event::new()
+            .with(domain.attr_price, Value::Int(price))
+            .with(domain.attr_volume, Value::Int(volume))
+    };
+    let matches = m.publish(&trade(2_000, 600));
+    assert_eq!(matches.len(), 1, "1.2M notional is a block trade");
+    assert_eq!(matches[0].origin, MatchOrigin::Mapping);
+    assert_eq!(m.publish(&trade(2_000, 400)).len(), 0, "0.8M notional is not");
+    assert_eq!(m.publish(&trade(1_000, 1_000)).len(), 1, "exactly 1.0M is (>= bound)");
+}
+
+/// `(last, 750)` satisfies `(price, >=, 500)` through synonym
+/// resolution of the alias attribute; a sector subscription on the
+/// general `technology` matches the leaf `software` via the hierarchy.
+#[test]
+fn alias_and_sector_hierarchy_derived_by_hand() {
+    let mut interner = Interner::new();
+    let domain = MarketDomain::build(&mut interner);
+    let technology = interner.get("technology").unwrap();
+    let software = interner.get("software").unwrap();
+    let price_sub = Subscription::new(
+        SubId(1),
+        vec![Predicate::new(domain.attr_price, Operator::Ge, Value::Int(500))],
+    );
+    let sector_sub =
+        Subscription::new(SubId(2), vec![Predicate::eq(domain.attr_sector, technology)]);
+    let mut m = matcher_for(Config::default(), &domain, &interner);
+    m.subscribe(price_sub);
+    m.subscribe(sector_sub);
+
+    let event = Event::new()
+        .with(domain.attr_last, Value::Int(750))
+        .with(domain.attr_sector, Value::Sym(software));
+    let mut subs: Vec<SubId> = m.publish(&event).iter().map(|m| m.sub).collect();
+    subs.sort_unstable();
+    assert_eq!(subs, vec![SubId(1), SubId(2)]);
+
+    let cheap = Event::new().with(domain.attr_last, Value::Int(400));
+    assert_eq!(m.publish(&cheap).len(), 0, "alias resolves but the bound still applies");
+}
+
+/// Per-subscriber tolerance: a syntactic-tolerance subscriber never sees
+/// alias or derived matches even while a full-tolerance subscriber on
+/// the same predicates does.
+#[test]
+fn subscriber_tolerance_gates_semantic_matches() {
+    let mut interner = Interner::new();
+    let domain = MarketDomain::build(&mut interner);
+    let preds = vec![Predicate::new(domain.attr_price, Operator::Ge, Value::Int(500))];
+    let mut m = matcher_for(Config::default(), &domain, &interner);
+    m.subscribe_with_tolerance(Subscription::new(SubId(1), preds.clone()), Tolerance::syntactic());
+    m.subscribe_with_tolerance(Subscription::new(SubId(2), preds.clone()), Tolerance::full());
+
+    let aliased = Event::new().with(domain.attr_last, Value::Int(750));
+    let got: Vec<SubId> = m.publish(&aliased).iter().map(|m| m.sub).collect();
+    assert_eq!(got, vec![SubId(2)], "only the tolerant subscriber sees the alias");
+
+    let direct = Event::new().with(domain.attr_price, Value::Int(750));
+    let mut got: Vec<SubId> = m.publish(&direct).iter().map(|m| m.sub).collect();
+    got.sort_unstable();
+    assert_eq!(got, vec![SubId(1), SubId(2)], "syntactic spelling reaches both");
+}
+
+/// Pinned aggregate counts for the default market fixture, plus the Zipf
+/// hot-key property: the hottest ticker draws an outsized match share.
+#[test]
+fn default_fixture_counts_are_pinned() {
+    let f = market_fixture(500, 1_000, 2003);
+    let count = |config: Config| {
+        let m = f.matcher(config.with_provenance(false));
+        f.publications.iter().map(|e| m.publish(e).len()).sum::<usize>()
+    };
+    let semantic = count(Config::default());
+    let syntactic = count(Config::syntactic());
+    assert_eq!(semantic, 128_994);
+    assert_eq!(syntactic, 40_341);
+    assert!(semantic > syntactic, "aliases + derived attributes add matches");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Generated market workloads: matcher == reference oracle for every
+    /// engine kind.
+    #[test]
+    fn market_matcher_agrees_with_oracle(seed in 0u64..1_000) {
+        let (interner, domain, subs, events) = fixture(seed, 30, 25);
+        let source = Arc::new(domain.ontology);
+        let limits = ClosureLimits::default();
+        let tolerance = Tolerance::full();
+
+        for engine in EngineKind::ALL {
+            let config = Config { engine, track_provenance: false, ..Config::default() };
+            let mut matcher = SToPSS::new(
+                config,
+                source.clone(),
+                SharedInterner::from_interner(interner.clone()),
+            );
+            for sub in &subs {
+                matcher.subscribe(sub.clone());
+            }
+            for event in &events {
+                let mut got: Vec<SubId> = matcher.publish(event).iter().map(|m| m.sub).collect();
+                got.sort_unstable();
+                let mut want: Vec<SubId> = subs
+                    .iter()
+                    .filter(|s| {
+                        semantic_match(s, event, source.as_ref(), &tolerance, 2003, &interner, &limits)
+                    })
+                    .map(|s| s.id())
+                    .collect();
+                want.sort_unstable();
+                prop_assert_eq!(&got, &want, "engine {} diverged on seed {}", engine.name(), seed);
+            }
+        }
+    }
+}
