@@ -106,8 +106,8 @@ fn trajectory_rows() -> Vec<JsonRow> {
         let fixture = jobfinder_fixture(subs, PUBLICATIONS, 7);
         for (label, stages) in stage_sets() {
             let config = Config { stages, track_provenance: false, ..Config::default() };
-            let mut matcher = matcher_for(&fixture, config);
-            let result = timed_sweep(&mut matcher, &fixture.publications, WARMUP);
+            let matcher = matcher_for(&fixture, config);
+            let result = timed_sweep(&matcher, &fixture.publications, WARMUP);
             let mut row: JsonRow = vec![
                 ("workload", JsonValue::Str("jobfinder".to_owned())),
                 ("axis", JsonValue::Str("stages".to_owned())),
@@ -144,15 +144,15 @@ fn tier_cache_rows() -> (Vec<JsonRow>, f64) {
     // Provenance axis: off / on-cached / on-oracle, uniform tolerance.
     let base = Config { stages, ..Config::default() };
     let off = timed_sweep(
-        &mut matcher_for(&fixture, base.with_provenance(false)),
+        &matcher_for(&fixture, base.with_provenance(false)),
         &fixture.publications,
         warmup,
     );
     rows.push(tier_row("provenance-off", "-", &off));
-    let cached = timed_sweep(&mut matcher_for(&fixture, base), &fixture.publications, warmup);
+    let cached = timed_sweep(&matcher_for(&fixture, base), &fixture.publications, warmup);
     rows.push(tier_row("provenance-on", "cached", &cached));
     let oracle = timed_sweep(
-        &mut matcher_for(&fixture, base.with_tier_cache(false)),
+        &matcher_for(&fixture, base.with_tier_cache(false)),
         &fixture.publications,
         warmup,
     );
@@ -165,13 +165,13 @@ fn tier_cache_rows() -> (Vec<JsonRow>, f64) {
     let verify_base = base.with_provenance(false);
     let cycle = verify_cycle();
     let v_cached = timed_sweep(
-        &mut matcher_with_cycled_tolerances(&fixture, verify_base, &cycle),
+        &matcher_with_cycled_tolerances(&fixture, verify_base, &cycle),
         &fixture.publications,
         warmup,
     );
     rows.push(tier_row("verify-mixed", "cached", &v_cached));
     let v_oracle = timed_sweep(
-        &mut matcher_with_cycled_tolerances(&fixture, verify_base.with_tier_cache(false), &cycle),
+        &matcher_with_cycled_tolerances(&fixture, verify_base.with_tier_cache(false), &cycle),
         &fixture.publications,
         warmup,
     );

@@ -63,8 +63,7 @@ fn bench_strategies(c: &mut Criterion) {
         let config = Config { strategy, track_provenance: false, ..Config::default() };
         group.bench_with_input(BenchmarkId::new(strategy.name(), "200subs"), &strategy, |b, _| {
             b.iter(|| {
-                let mut matcher =
-                    SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+                let matcher = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
                 for sub in &fixture.subscriptions {
                     matcher.subscribe(sub.clone());
                 }

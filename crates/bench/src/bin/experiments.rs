@@ -258,8 +258,8 @@ fn exp_fig1(s: &Scale) -> Vec<Table> {
     let mut syntactic_matches = 0u64;
     for stages in StageMask::all_combinations() {
         let config = Config { stages, track_provenance: false, ..Config::default() };
-        let mut matcher = matcher_for(&fixture, config);
-        let result = timed_sweep(&mut matcher, &fixture.publications, 50);
+        let matcher = matcher_for(&fixture, config);
+        let result = timed_sweep(&matcher, &fixture.publications, 50);
         if stages.is_syntactic() {
             syntactic_matches = result.matches;
         }
@@ -392,8 +392,8 @@ fn exp_overhead(s: &Scale) -> Vec<Table> {
             StageMask::all(),
         ] {
             let config = Config { stages, track_provenance: false, ..Config::default() };
-            let mut matcher = matcher_for(&fixture, config);
-            let result = timed_sweep(&mut matcher, &fixture.publications, 50);
+            let matcher = matcher_for(&fixture, config);
+            let result = timed_sweep(&matcher, &fixture.publications, 50);
             if stages.is_syntactic() {
                 baseline = result.ns_per_event;
             }
@@ -558,8 +558,8 @@ fn exp_engines(s: &Scale) -> Vec<Table> {
                 track_provenance: false,
                 ..Config::default()
             };
-            let mut matcher = matcher_for(&fixture, config);
-            let result = timed_sweep(&mut matcher, &fixture.publications, 20);
+            let matcher = matcher_for(&fixture, config);
+            let result = timed_sweep(&matcher, &fixture.publications, 20);
             if engine == EngineKind::Naive {
                 naive_ns = result.ns_per_event;
             }
@@ -580,9 +580,9 @@ fn exp_engines(s: &Scale) -> Vec<Table> {
 fn exp_tolerance(s: &Scale) -> Vec<Table> {
     let fixture = jobfinder_fixture(s.subs, s.pubs.min(1_000), 13);
     // Reference: full semantics.
-    let mut reference_matcher =
+    let reference_matcher =
         matcher_for(&fixture, Config { track_provenance: false, ..Config::default() });
-    let reference = match_sets(&mut reference_matcher, &fixture.publications);
+    let reference = match_sets(&reference_matcher, &fixture.publications);
     let reference_total = total_matches(&reference);
 
     let mut table = Table::new(
@@ -614,9 +614,9 @@ fn exp_tolerance(s: &Scale) -> Vec<Table> {
             track_provenance: false,
             ..Config::default()
         };
-        let mut matcher = matcher_for(&fixture, config);
+        let matcher = matcher_for(&fixture, config);
         let start = Instant::now();
-        let sets = match_sets(&mut matcher, &fixture.publications);
+        let sets = match_sets(&matcher, &fixture.publications);
         let elapsed = start.elapsed();
         table.push_row(vec![
             label,
@@ -702,7 +702,7 @@ fn exp_multidomain(s: &Scale) -> Vec<Table> {
             })
             .collect();
 
-        let mut matcher = stopss_core::SToPSS::new(
+        let matcher = stopss_core::SToPSS::new(
             Config { track_provenance: false, ..Config::default() },
             Arc::new(registry),
             SharedInterner::from_interner(interner),
@@ -767,21 +767,21 @@ fn exp_strategy(quick: bool) -> Vec<Table> {
         let fixture = synthetic_fixture(&shape, &workload);
 
         // Reference match sets from the exact flattened strategy.
-        let mut reference_matcher =
+        let reference_matcher =
             matcher_for(&fixture, Config { track_provenance: false, ..Config::default() });
-        let reference = match_sets(&mut reference_matcher, &fixture.publications);
+        let reference = match_sets(&reference_matcher, &fixture.publications);
 
         for strategy in Strategy::ALL {
             let config = Config { strategy, track_provenance: false, ..Config::default() };
             let sub_start = Instant::now();
-            let mut matcher = matcher_for(&fixture, config);
+            let matcher = matcher_for(&fixture, config);
             let subscribe_time = sub_start.elapsed();
             let engine_subs = match strategy {
                 Strategy::SubscriptionRewrite => count_engine_subs(&fixture, config).to_string(),
                 _ => fixture.subscriptions.len().to_string(),
             };
             let start = Instant::now();
-            let sets = match_sets(&mut matcher, &fixture.publications);
+            let sets = match_sets(&matcher, &fixture.publications);
             let elapsed = start.elapsed();
             let stats = matcher.stats();
             table.push_row(vec![
@@ -843,8 +843,8 @@ fn exp_hierarchy(quick: bool) -> Vec<Table> {
                 build_synthetic(&mut interner, &shape).concept_count()
             };
             let config = Config { track_provenance: false, ..Config::default() };
-            let mut matcher = matcher_for(&fixture, config);
-            let result = timed_sweep(&mut matcher, &fixture.publications, 50);
+            let matcher = matcher_for(&fixture, config);
+            let result = timed_sweep(&matcher, &fixture.publications, 50);
             let stats = matcher.stats();
             table.push_row(vec![
                 depth.to_string(),
@@ -918,6 +918,7 @@ fn exp_scenarios(s: &Scale, quick: bool) -> Vec<Table> {
             "ops",
             "subs added",
             "subs removed",
+            "onto swaps",
             "pubs",
             "interleaved matches",
             "sequential parity",
@@ -933,11 +934,12 @@ fn exp_scenarios(s: &Scale, quick: bool) -> Vec<Table> {
     for (name, fixture) in &churn_fixtures {
         for mode in [ChurnMode::UnsubscribeHeavy, ChurnMode::FlashCrowd] {
             let scenario = churn_scenario(fixture, mode, steps, 42);
-            let (mut added, mut removed) = (0usize, 0usize);
+            let (mut added, mut removed, mut swaps) = (0usize, 0usize, 0usize);
             for op in &scenario.ops {
                 match op {
                     ChurnOp::Subscribe(_) => added += 1,
                     ChurnOp::Unsubscribe(_) => removed += 1,
+                    ChurnOp::SetOntology(_) => swaps += 1,
                     ChurnOp::Publish(_) => {}
                 }
             }
@@ -955,6 +957,7 @@ fn exp_scenarios(s: &Scale, quick: bool) -> Vec<Table> {
                 scenario.ops.len().to_string(),
                 added.to_string(),
                 removed.to_string(),
+                swaps.to_string(),
                 scenario.publishes.to_string(),
                 matches.to_string(),
                 if interleaved == sequential { "agree" } else { "DIVERGED" }.into(),

@@ -25,7 +25,7 @@ pub fn matcher_with_tolerance(
     config: Config,
     tolerance: stopss_core::Tolerance,
 ) -> SToPSS {
-    let mut matcher = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    let matcher = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
     for sub in &fixture.subscriptions {
         matcher.subscribe_with_tolerance(sub.clone(), tolerance);
     }
@@ -41,7 +41,7 @@ pub fn matcher_with_cycled_tolerances(
     cycle: &[stopss_core::Tolerance],
 ) -> SToPSS {
     assert!(!cycle.is_empty(), "need at least one tolerance");
-    let mut matcher = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    let matcher = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
     for (k, sub) in fixture.subscriptions.iter().enumerate() {
         matcher.subscribe_with_tolerance(sub.clone(), cycle[k % cycle.len()]);
     }
@@ -65,7 +65,7 @@ pub struct SweepResult {
 
 /// Publishes every event once (after one untimed warm-up pass over the
 /// first `warmup` events) and reports matches and mean latency.
-pub fn timed_sweep(matcher: &mut SToPSS, events: &[Event], warmup: usize) -> SweepResult {
+pub fn timed_sweep(matcher: &SToPSS, events: &[Event], warmup: usize) -> SweepResult {
     for event in events.iter().take(warmup) {
         let _ = matcher.publish(event);
     }
@@ -98,7 +98,7 @@ pub fn sharded_matcher_for(fixture: &Fixture, config: Config) -> ShardedSToPSS {
 /// events) and reports matches and mean per-event latency — the sharded
 /// counterpart of [`timed_sweep`].
 pub fn timed_batch_sweep(
-    matcher: &mut ShardedSToPSS,
+    matcher: &ShardedSToPSS,
     events: &[Event],
     batch_size: usize,
     warmup: usize,
@@ -132,7 +132,7 @@ pub fn timed_batch_sweep(
 /// stage 1 of chunk k+1 against stage 2 of chunk k): together they form
 /// the pipelined-vs-barrier axis of the `sharding_scaling` trajectory.
 pub fn timed_barrier_batch_sweep(
-    matcher: &mut ShardedSToPSS,
+    matcher: &ShardedSToPSS,
     events: &[Event],
     batch_size: usize,
     warmup: usize,
@@ -186,7 +186,7 @@ impl ReplicatedSharded {
     /// partitioned across `config.effective_shards()` full matchers.
     pub fn new(fixture: &Fixture, config: Config) -> Self {
         let shards_n = config.effective_shards();
-        let mut shards: Vec<SToPSS> = (0..shards_n)
+        let shards: Vec<SToPSS> = (0..shards_n)
             .map(|_| SToPSS::new(config, fixture.source.clone(), fixture.interner.clone()))
             .collect();
         for sub in &fixture.subscriptions {
@@ -373,7 +373,7 @@ pub fn render_bench_json(bench: &str, context: &[(&str, JsonValue)], rows: &[Jso
 }
 
 /// Match sets per event, for recall comparisons between configurations.
-pub fn match_sets(matcher: &mut SToPSS, events: &[Event]) -> Vec<Vec<SubId>> {
+pub fn match_sets(matcher: &SToPSS, events: &[Event]) -> Vec<Vec<SubId>> {
     events
         .iter()
         .map(|event| {
@@ -426,8 +426,8 @@ mod tests {
     #[test]
     fn timed_sweep_counts_matches() {
         let fixture = jobfinder_fixture(50, 50, 3);
-        let mut matcher = matcher_for(&fixture, Config::default().with_provenance(false));
-        let result = timed_sweep(&mut matcher, &fixture.publications, 5);
+        let matcher = matcher_for(&fixture, Config::default().with_provenance(false));
+        let result = timed_sweep(&matcher, &fixture.publications, 5);
         assert!(result.ns_per_event > 0.0);
         assert!(result.events_per_sec > 0.0);
         assert_eq!(result.derived_events, 50, "generalized strategy: one per event");
@@ -461,10 +461,10 @@ mod tests {
     fn timed_batch_sweep_agrees_with_sequential_sweep() {
         let fixture = jobfinder_fixture(50, 50, 3);
         let config = Config::default().with_provenance(false).with_shards(4);
-        let mut single = matcher_for(&fixture, config);
-        let sequential = timed_sweep(&mut single, &fixture.publications, 5);
-        let mut sharded = sharded_matcher_for(&fixture, config);
-        let batched = timed_batch_sweep(&mut sharded, &fixture.publications, 8, 5);
+        let single = matcher_for(&fixture, config);
+        let sequential = timed_sweep(&single, &fixture.publications, 5);
+        let sharded = sharded_matcher_for(&fixture, config);
+        let batched = timed_batch_sweep(&sharded, &fixture.publications, 8, 5);
         assert_eq!(batched.matches, sequential.matches);
         assert_eq!(batched.derived_events, sequential.derived_events);
         assert_eq!(batched.truncations, sequential.truncations);
@@ -475,13 +475,13 @@ mod tests {
     fn barrier_sweep_agrees_with_pipelined_sweep() {
         let fixture = jobfinder_fixture(50, 80, 3);
         let config = Config::default().with_provenance(false).with_shards(4);
-        let mut single = matcher_for(&fixture, config);
-        let sequential = timed_sweep(&mut single, &fixture.publications, 5);
+        let single = matcher_for(&fixture, config);
+        let sequential = timed_sweep(&single, &fixture.publications, 5);
         // Batch size above the pipeline chunk so publish_batch overlaps.
-        let mut pipelined = sharded_matcher_for(&fixture, config);
-        let p = timed_batch_sweep(&mut pipelined, &fixture.publications, 40, 5);
-        let mut barrier = sharded_matcher_for(&fixture, config);
-        let b = timed_barrier_batch_sweep(&mut barrier, &fixture.publications, 40, 5);
+        let pipelined = sharded_matcher_for(&fixture, config);
+        let p = timed_batch_sweep(&pipelined, &fixture.publications, 40, 5);
+        let barrier = sharded_matcher_for(&fixture, config);
+        let b = timed_barrier_batch_sweep(&barrier, &fixture.publications, 40, 5);
         assert_eq!(p.matches, sequential.matches);
         assert_eq!(b.matches, sequential.matches);
         assert_eq!(p.derived_events, b.derived_events);
@@ -528,8 +528,8 @@ mod tests {
     #[test]
     fn sweep_json_fields_cover_all_counters() {
         let fixture = jobfinder_fixture(20, 10, 1);
-        let mut matcher = matcher_for(&fixture, Config::default().with_provenance(false));
-        let result = timed_sweep(&mut matcher, &fixture.publications, 0);
+        let matcher = matcher_for(&fixture, Config::default().with_provenance(false));
+        let result = timed_sweep(&matcher, &fixture.publications, 0);
         let fields = sweep_json_fields(&result);
         let names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
         assert_eq!(
@@ -552,8 +552,8 @@ mod tests {
     #[test]
     fn match_sets_are_sorted() {
         let fixture = jobfinder_fixture(30, 20, 5);
-        let mut matcher = matcher_for(&fixture, Config::default().with_provenance(false));
-        for set in match_sets(&mut matcher, &fixture.publications) {
+        let matcher = matcher_for(&fixture, Config::default().with_provenance(false));
+        for set in match_sets(&matcher, &fixture.publications) {
             assert!(set.windows(2).all(|w| w[0] < w[1]));
         }
     }

@@ -3,30 +3,44 @@
 //! This is the runtime of Figure 2: subscriptions and publications arrive
 //! (from the demo front-end or the workload generator), the semantic
 //! matcher decides who is interested, and the notification engine delivers
-//! over each client's preferred transport. The matcher sits behind a
-//! `RwLock`: the whole publish path is `&self` (per-publication mutable
-//! state lives behind interior mutability inside the matcher), so
-//! publishers share a *read* lock and only subscription mutations —
-//! `subscribe`, `unsubscribe`, `set_semantic_mode` — take the write lock.
-//! Client and ownership tables take their own read-mostly locks.
+//! over each client's preferred transport.
 //!
-//! When [`BrokerConfig::matcher`] asks for more than one shard, the broker
-//! runs over [`stopss_core::ShardedSToPSS`] instead of the single-threaded
-//! matcher, with byte-identical match sets and notifications.
+//! # Epoch-snapshot control plane
+//!
+//! The matcher is a **plain field** — no broker-side lock at all. Both
+//! backends ([`SToPSS`] and [`ShardedSToPSS`]) keep their ontology,
+//! configuration and subscription index behind epoch-swapped immutable
+//! snapshots: every control-plane operation (`subscribe`, `unsubscribe`,
+//! `set_stages`, `reconfigure`, ontology replacement) forks the current
+//! snapshot aside, mutates the fork, and publishes it with one atomic
+//! pointer swap. Publishers resolve a snapshot, match against it, and are
+//! **never blocked** by control traffic; an in-flight publication simply
+//! finishes against the snapshot it started under. The former
+//! `RwLock<MatcherBackend>` + `matcher_epoch: AtomicU64` pair is gone —
+//! the epoch now lives *inside* the snapshot, so it is bumped by every
+//! front-end-invalidating mutation (not just `set_semantic_mode`, the
+//! old bug) and cannot drift from the state it guards.
 //!
 //! [`Broker::publish_batch`] runs the two stages as a **pipeline**:
 //! stage 1 — the event-side semantic pass — needs only the immutable
-//! configuration/ontology/interner, so the broker snapshots a
-//! [`stopss_core::SemanticFrontEnd`] handle and prepares the batch in
-//! chunks *outside* any matcher lock, on a dedicated scoped worker that
-//! stays one chunk ahead; stage 2 — engine match + verify on the
-//! precomputed artifacts — runs concurrently under a read lock, chunk by
-//! chunk, so preparation of chunk *k+1* overlaps matching of chunk *k*
-//! and subscribers are never blocked for the whole batch. A configuration
-//! epoch guards the seam: if `set_semantic_mode` switched stages while a
-//! chunk was in flight, the stale artifacts are discarded and that chunk
-//! is republished from the raw events under the *same* read lock (the
-//! `&self` match path removed the former second exclusive acquisition).
+//! configuration/ontology/interner, so the broker detaches a
+//! [`stopss_core::SemanticFrontEnd`] handle (tagged with the snapshot's
+//! front-end epoch) and prepares the batch in chunks on a dedicated
+//! scoped worker that stays one chunk ahead; stage 2 — engine match +
+//! verify on the precomputed artifacts — runs against whatever snapshot
+//! is current, chunk by chunk. **"Stale"** now means: the front-end
+//! epoch tagged on the artifacts no longer equals the epoch of the
+//! snapshot the match stage resolved. The check and the match are atomic
+//! (`try_publish_prepared_batch` resolves *one* snapshot for both), so a
+//! concurrent reconfiguration either lands entirely before a chunk
+//! (stale artifacts are discarded and the chunk is republished from the
+//! raw events) or entirely after it — never mid-chunk.
+//!
+//! When [`BrokerConfig::matcher`] asks for more than one shard, the broker
+//! runs over [`stopss_core::ShardedSToPSS`] instead of the single-threaded
+//! matcher, with byte-identical match sets and notifications. The backend
+//! kind is fixed at construction; [`Broker::reconfigure_matcher`] can
+//! reshard a sharded backend live but does not cross the enum boundary.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -99,8 +113,10 @@ impl std::error::Error for BrokerError {}
 pub type TransportFactory = Box<dyn Fn(u64) -> Vec<Box<dyn Transport>> + Send + Sync>;
 
 /// The matcher the broker runs over: single-threaded or sharded,
-/// selected by [`Config::shards`]. Both produce identical match sets;
-/// the enum keeps the broker's lock-around-the-matcher structure intact.
+/// selected by [`Config::shards`]. Both produce identical match sets and
+/// both run their own epoch-snapshot control plane, so every method —
+/// control ops included — takes `&self` and the broker needs no lock
+/// around the enum.
 enum MatcherBackend {
     /// One monolithic engine (the seed architecture).
     Single(SToPSS),
@@ -131,19 +147,27 @@ impl MatcherBackend {
         }
     }
 
-    fn subscribe_with(&mut self, sub: Subscription, tolerance: Option<Tolerance>) {
+    fn subscribe_with(&self, sub: Subscription, tolerance: Option<Tolerance>) {
         match (self, tolerance) {
-            (MatcherBackend::Single(m), Some(t)) => m.subscribe_with_tolerance(sub, t),
-            (MatcherBackend::Single(m), None) => m.subscribe(sub),
-            (MatcherBackend::Sharded(m), Some(t)) => m.subscribe_with_tolerance(sub, t),
-            (MatcherBackend::Sharded(m), None) => m.subscribe(sub),
+            (MatcherBackend::Single(m), Some(t)) => {
+                m.subscribe_with_tolerance(sub, t);
+            }
+            (MatcherBackend::Single(m), None) => {
+                m.subscribe(sub);
+            }
+            (MatcherBackend::Sharded(m), Some(t)) => {
+                m.subscribe_with_tolerance(sub, t);
+            }
+            (MatcherBackend::Sharded(m), None) => {
+                m.subscribe(sub);
+            }
         }
     }
 
-    fn unsubscribe(&mut self, id: SubId) -> bool {
+    fn unsubscribe(&self, id: SubId) -> bool {
         match self {
-            MatcherBackend::Single(m) => m.unsubscribe(id),
-            MatcherBackend::Sharded(m) => m.unsubscribe(id),
+            MatcherBackend::Single(m) => m.unsubscribe(id).is_some(),
+            MatcherBackend::Sharded(m) => m.unsubscribe(id).is_some(),
         }
     }
 
@@ -163,7 +187,9 @@ impl MatcherBackend {
 
     /// The event-side semantic front-end handle (config snapshot + shared
     /// ontology/interner + verification classes to warm), detachable so
-    /// batches can be prepared outside any matcher lock.
+    /// batches can be prepared outside the matcher. Tagged with the
+    /// snapshot's front-end epoch — the staleness token checked by
+    /// [`MatcherBackend::try_publish_prepared_batch`].
     fn frontend(&self) -> SemanticFrontEnd {
         match self {
             MatcherBackend::Single(m) => m.frontend(),
@@ -171,52 +197,92 @@ impl MatcherBackend {
         }
     }
 
-    /// Publishes precomputed front-end artifacts (the matching stage of
-    /// the pipeline). Artifacts must match the current configuration.
-    fn publish_prepared_batch(&self, prepared: &[PreparedEvent]) -> Vec<Vec<Match>> {
+    /// Publishes precomputed front-end artifacts if — and only if — the
+    /// front-end epoch they were prepared under still matches the current
+    /// snapshot's. The check and the match resolve the *same* snapshot,
+    /// so a racing control op can never slip between them. `None` means
+    /// the artifacts went stale and the caller must republish from the
+    /// raw events.
+    fn try_publish_prepared_batch(
+        &self,
+        prepared: &[PreparedEvent],
+        frontend_epoch: u64,
+    ) -> Option<Vec<Vec<Match>>> {
+        match self {
+            MatcherBackend::Single(m) => m
+                .try_publish_prepared_batch(prepared, frontend_epoch)
+                .map(|rs| rs.into_iter().map(|r| r.matches).collect()),
+            MatcherBackend::Sharded(m) => m
+                .try_publish_prepared_batch(prepared, frontend_epoch)
+                .map(|rs| rs.into_iter().map(|r| r.matches).collect()),
+        }
+    }
+
+    fn set_stages(&self, stages: StageMask) {
         match self {
             MatcherBackend::Single(m) => {
-                prepared.iter().map(|p| m.publish_prepared(p).matches).collect()
+                m.set_stages(stages);
             }
             MatcherBackend::Sharded(m) => {
-                m.publish_prepared_batch(prepared).into_iter().map(|r| r.matches).collect()
+                m.set_stages(stages);
             }
         }
     }
 
-    fn set_stages(&mut self, stages: StageMask) {
+    fn reconfigure(&self, config: Config) {
         match self {
-            MatcherBackend::Single(m) => m.set_stages(stages),
-            MatcherBackend::Sharded(m) => m.set_stages(stages),
+            MatcherBackend::Single(m) => {
+                m.reconfigure(config);
+            }
+            MatcherBackend::Sharded(m) => {
+                m.reconfigure(config);
+            }
+        }
+    }
+
+    fn set_source(&self, source: Arc<dyn SemanticSource>) {
+        match self {
+            MatcherBackend::Single(m) => {
+                m.set_source(source);
+            }
+            MatcherBackend::Sharded(m) => {
+                m.set_source(source);
+            }
         }
     }
 }
 
 /// The publish/subscribe broker of the demonstration setup.
 pub struct Broker {
-    /// Read lock for the (interior-mutable, `&self`) publish path; write
-    /// lock for subscription and configuration mutations.
-    matcher: RwLock<MatcherBackend>,
+    /// No lock: both backends swap immutable snapshots internally, so the
+    /// publish path and every control op are `&self` and publishers never
+    /// wait on subscription or configuration mutations.
+    matcher: MatcherBackend,
     clients: RwLock<FxHashMap<ClientId, ClientInfo>>,
     sub_owner: RwLock<FxHashMap<SubId, ClientId>>,
-    /// Read lock to enqueue; write lock only to swap the engine on
-    /// [`Broker::restart_notifier`].
+    /// Read lock to enqueue; write lock only for the brief engine swap in
+    /// [`Broker::restart_notifier`] (the drain runs outside it).
     notifier: RwLock<NotificationEngine>,
     /// Counters of engines retired by restarts, folded together so
     /// [`Broker::delivery_stats`] spans every incarnation.
     retired_delivery: Mutex<DeliveryStats>,
+    /// Serializes notification-engine restarts and snapshots of the
+    /// delivery accounting. A restart moves counters from the live engine
+    /// into the retired total; holding this lock across the move (and
+    /// across [`Broker::delivery_stats`]' two reads) keeps the sum
+    /// conserved — no interleaving can observe, or lose, a retired
+    /// engine's counters mid-transfer.
+    restart: Mutex<()>,
     /// Rebuilds transports for each engine incarnation.
     transport_factory: TransportFactory,
     notifier_restarts: AtomicU64,
     inboxes: FxHashMap<TransportKind, Inbox>,
     interner: SharedInterner,
-    /// Stage mask used in semantic mode (restored by `set_semantic_mode`).
-    semantic_stages: StageMask,
+    /// Stage mask used in semantic mode (restored by `set_semantic_mode`,
+    /// updated when [`Broker::reconfigure_matcher`] installs a semantic
+    /// configuration).
+    semantic_stages: RwLock<StageMask>,
     semantic: RwLock<bool>,
-    /// Bumped (under the matcher write lock) whenever the matcher's
-    /// semantic configuration changes; lets `publish_batch` detect that
-    /// artifacts prepared outside the lock went stale mid-flight.
-    matcher_epoch: AtomicU64,
     /// Matches whose owner lookup missed in `notify_matches` — a
     /// subscription matched by an in-flight publish and unsubscribed
     /// before its notification was enqueued. Counted (not silently
@@ -269,18 +335,18 @@ impl Broker {
         factory: TransportFactory,
     ) -> Broker {
         Broker {
-            matcher: RwLock::new(MatcherBackend::build(config.matcher, source, interner.clone())),
+            matcher: MatcherBackend::build(config.matcher, source, interner.clone()),
             clients: RwLock::new(FxHashMap::default()),
             sub_owner: RwLock::new(FxHashMap::default()),
             notifier: RwLock::new(NotificationEngine::start(factory(0))),
             retired_delivery: Mutex::new(DeliveryStats::default()),
+            restart: Mutex::new(()),
             transport_factory: factory,
             notifier_restarts: AtomicU64::new(0),
             inboxes,
             interner,
-            semantic_stages: config.matcher.stages,
+            semantic_stages: RwLock::new(config.matcher.stages),
             semantic: RwLock::new(!config.matcher.stages.is_syntactic()),
-            matcher_epoch: AtomicU64::new(0),
             orphaned_matches: AtomicU64::new(0),
             next_client: AtomicU64::new(1),
             next_sub: AtomicU64::new(1),
@@ -315,7 +381,7 @@ impl Broker {
 
     /// Number of live subscriptions.
     pub fn subscription_count(&self) -> usize {
-        self.matcher.read().len()
+        self.matcher.len()
     }
 
     /// Registers a subscription for `client` with the system tolerance.
@@ -328,7 +394,9 @@ impl Broker {
     }
 
     /// Registers a subscription with an optional subscriber tolerance
-    /// (the information-loss knob of §3.2).
+    /// (the information-loss knob of §3.2). The matcher mutation is a
+    /// snapshot swap: concurrent publishers keep matching against the
+    /// pre-subscribe snapshot until the swap lands.
     pub fn subscribe_with_tolerance(
         &self,
         client: ClientId,
@@ -343,7 +411,7 @@ impl Broker {
         // Owner first, matcher second: from the instant a publish can
         // match the subscription, its notifications are routable.
         self.sub_owner.write().insert(id, client);
-        self.matcher.write().subscribe_with(sub, tolerance);
+        self.matcher.subscribe_with(sub, tolerance);
         Ok(id)
     }
 
@@ -360,12 +428,13 @@ impl Broker {
         // a concurrent publish match the subscription after its owner
         // entry vanished, silently dropping the notification. This way a
         // publish that matched before the matcher removal still finds the
-        // owner; once the matcher removal returns, no new match can
-        // reference `sub`. The remaining window (matched before removal,
-        // notified after both removals) is inherent to concurrent
-        // unsubscription and is *counted* by `notify_matches` instead of
-        // skipped silently (see [`Broker::orphaned_matches`]).
-        let existed = self.matcher.write().unsubscribe(sub);
+        // owner; once the snapshot without `sub` is published, no new
+        // match can reference it. The remaining window (matched against a
+        // pre-removal snapshot, notified after both removals) is inherent
+        // to concurrent unsubscription and is *counted* by
+        // `notify_matches` instead of skipped silently (see
+        // [`Broker::orphaned_matches`]).
+        let existed = self.matcher.unsubscribe(sub);
         self.sub_owner.write().remove(&sub);
         Ok(existed)
     }
@@ -373,11 +442,12 @@ impl Broker {
     /// Publishes an event: matches it and enqueues one notification per
     /// matched subscription. Returns the number of matches.
     ///
-    /// Publishers hold only a *read* lock — the matcher's publish path is
-    /// `&self` — so concurrent publishers proceed in parallel and only
-    /// subscription/configuration mutations serialize against them.
+    /// Publishers take no broker-side lock at all — they resolve the
+    /// matcher's current snapshot and run against it, so concurrent
+    /// publishers proceed in parallel and control-plane mutations never
+    /// stall them.
     pub fn publish(&self, event: &Event) -> usize {
-        let matches = self.matcher.read().publish(event);
+        let matches = self.matcher.publish(event);
         self.notify_matches(event, &matches);
         matches.len()
     }
@@ -386,20 +456,20 @@ impl Broker {
     /// enqueuing notifications exactly as [`Broker::publish`] would per
     /// event. Returns the total number of matches across the batch.
     ///
-    /// Stage 1 (the event-side semantic pass) runs *outside* any matcher
-    /// lock on a detached [`SemanticFrontEnd`] handle, one pipeline chunk
-    /// ahead of stage 2 (engine match + verify on the precomputed
-    /// artifacts), which holds only a read lock per chunk — so the
+    /// Stage 1 (the event-side semantic pass) runs on a detached
+    /// [`SemanticFrontEnd`] handle, one pipeline chunk ahead of stage 2
+    /// (engine match + verify on the precomputed artifacts) — so the
     /// front-end prepares chunk *k+1* while the shards match chunk *k*,
     /// and notifications for chunk *k* are enqueued before chunk *k+1*
     /// matches. The artifacts carry the per-publication tier cache: with
     /// provenance on, the classifier's tier closures are warmed in
     /// stage 1, and so are the verification-class closures of every
-    /// registered non-system tolerance, so the under-lock stage pays
-    /// neither the semantic closure nor any first-use class closure. If
-    /// the semantic mode switched while a chunk was in flight, its stale
-    /// artifacts are discarded and that chunk is republished from the raw
-    /// events under the same read lock.
+    /// registered non-system tolerance, so the match stage pays neither
+    /// the semantic closure nor any first-use class closure. If a control
+    /// op invalidated the front end while a chunk was in flight (the
+    /// handle's epoch tag no longer matches the live snapshot's), the
+    /// stale artifacts are discarded and that chunk is republished from
+    /// the raw events against the fresh snapshot.
     pub fn publish_batch(&self, events: &[Event]) -> usize {
         if events.is_empty() {
             return 0;
@@ -438,30 +508,29 @@ impl Broker {
         .expect("publish pipeline panicked")
     }
 
-    /// Snapshots the detached front-end handle and the configuration
-    /// epoch it was taken under (the staleness token for
-    /// [`Broker::match_and_notify`]).
+    /// Snapshots the detached front-end handle and the front-end epoch it
+    /// was taken under (the staleness token for
+    /// [`Broker::match_and_notify`]). The epoch is read off the handle
+    /// itself — it is part of the matcher snapshot, so it can never
+    /// disagree with the configuration the handle carries.
     fn frontend_snapshot(&self) -> (SemanticFrontEnd, u64) {
-        let matcher = self.matcher.read();
-        (matcher.frontend(), self.matcher_epoch.load(Ordering::Acquire))
+        let frontend = self.matcher.frontend();
+        let epoch = frontend.epoch();
+        (frontend, epoch)
     }
 
     /// Stage 2 for one pipeline chunk: matches the precomputed artifacts
-    /// under a read lock and enqueues notifications. If the configuration
-    /// epoch moved since `epoch` (a concurrent `set_semantic_mode`), the
-    /// artifacts are stale — semantically prepared under the wrong stage
-    /// mask — so the chunk is republished from the raw events instead,
-    /// under the *same* read lock (the `&self` match path needs no second
-    /// exclusive acquisition). The epoch cannot move while the read lock
-    /// is held, because `set_semantic_mode` bumps it under the write lock.
+    /// and enqueues notifications. The backend resolves one snapshot for
+    /// both the staleness check and the match: if the snapshot's
+    /// front-end epoch still equals `epoch`, the artifacts are valid for
+    /// it by construction; otherwise a control op (mode switch,
+    /// reconfiguration, ontology edit) invalidated them, and the chunk is
+    /// republished from the raw events against the fresh snapshot
+    /// instead.
     fn match_and_notify(&self, events: &[Event], prepared: &[PreparedEvent], epoch: u64) -> usize {
-        let match_sets = {
-            let matcher = self.matcher.read();
-            if self.matcher_epoch.load(Ordering::Acquire) == epoch {
-                matcher.publish_prepared_batch(prepared)
-            } else {
-                matcher.publish_batch(events)
-            }
+        let match_sets = match self.matcher.try_publish_prepared_batch(prepared, epoch) {
+            Some(sets) => sets,
+            None => self.matcher.publish_batch(events),
         };
         let mut total = 0;
         for (event, matches) in events.iter().zip(&match_sets) {
@@ -507,24 +576,22 @@ impl Broker {
 
     /// True if the broker runs over the sharded matcher backend.
     pub fn is_sharded(&self) -> bool {
-        matches!(&*self.matcher.read(), MatcherBackend::Sharded(_))
+        matches!(&self.matcher, MatcherBackend::Sharded(_))
     }
 
     /// Switches between semantic and syntactic mode ("the application can
-    /// run in two different modes", §4).
+    /// run in two different modes", §4). The stage switch is a snapshot
+    /// swap inside the matcher, which bumps the front-end epoch — any
+    /// batch chunk prepared under the old mode is refused at match time
+    /// and republished fresh.
     pub fn set_semantic_mode(&self, semantic: bool) {
         let mut flag = self.semantic.write();
         if *flag == semantic {
             return;
         }
         *flag = semantic;
-        let stages = if semantic { self.semantic_stages } else { StageMask::syntactic() };
-        let mut matcher = self.matcher.write();
-        matcher.set_stages(stages);
-        // Bumped while still holding the matcher write lock, so an
-        // in-flight `publish_batch` cannot match stale artifacts against
-        // the new configuration without noticing.
-        self.matcher_epoch.fetch_add(1, Ordering::Release);
+        let stages = if semantic { *self.semantic_stages.read() } else { StageMask::syntactic() };
+        self.matcher.set_stages(stages);
     }
 
     /// True if the broker currently matches semantically.
@@ -532,14 +599,46 @@ impl Broker {
         *self.semantic.read()
     }
 
+    /// Reconfigures the live matcher (engine, strategy, stages, shard
+    /// count, …) between publications — subscriptions survive and are
+    /// re-indexed (and re-routed across shards on the sharded backend)
+    /// inside one snapshot swap. The broker's semantic flag and restore
+    /// mask track the new configuration, and the front-end epoch bump
+    /// makes every in-flight prepared chunk fall back to a fresh publish.
+    /// The backend kind (single vs. sharded) stays as constructed;
+    /// `config.shards` is honored live only by the sharded backend.
+    pub fn reconfigure_matcher(&self, config: Config) {
+        let mut flag = self.semantic.write();
+        let semantic = !config.stages.is_syntactic();
+        if semantic {
+            *self.semantic_stages.write() = config.stages;
+        }
+        *flag = semantic;
+        self.matcher.reconfigure(config);
+    }
+
+    /// Replaces the semantic source (ontology) live — the evolution
+    /// scenario the paper defers: new synonyms, taxonomy growth, or
+    /// changed mapping functions take effect for the next resolved
+    /// snapshot, while in-flight publications finish against the ontology
+    /// they started under. Invalidates detached front ends (epoch bump),
+    /// exactly like a reconfiguration.
+    pub fn set_ontology(&self, source: Arc<dyn SemanticSource>) {
+        self.matcher.set_source(source);
+    }
+
     /// Matcher counters (aggregated across shards for the sharded backend).
     pub fn matcher_stats(&self) -> MatcherStats {
-        self.matcher.read().stats()
+        self.matcher.stats()
     }
 
     /// Notification counters: retired incarnations folded with a live
-    /// snapshot of the current engine.
+    /// snapshot of the current engine. Serialized against
+    /// [`Broker::restart_notifier`] so the two reads (retired total +
+    /// live engine) form a consistent cut — a concurrent restart can
+    /// never move counters between them and make the sum dip.
     pub fn delivery_stats(&self) -> DeliveryStats {
+        let _restart = self.restart.lock();
         let mut stats = self.retired_delivery.lock().clone();
         stats.merge(&self.notifier.read().stats());
         stats
@@ -548,17 +647,23 @@ impl Broker {
     /// Restarts the notification engine mid-stream: the current engine is
     /// shut down (draining its queue and flushing batchers), its final
     /// counters are folded into the retired total, and a fresh engine is
-    /// started from the transport factory. Notifications enqueued before
-    /// the restart are never lost — shutdown drains — and enqueues under
-    /// the swap serialize against it on the notifier lock. Returns the
-    /// retired engine's final stats.
+    /// started from the transport factory. Restarts are serialized on a
+    /// dedicated lock — the epoch draw, the engine swap, and the
+    /// retired-counter merge happen atomically with respect to other
+    /// restarts, so racing restarts can neither reuse an epoch nor lose a
+    /// retired engine's `DeliveryStats` from the merge. Publishers only
+    /// contend with the brief pointer swap (the drain runs outside the
+    /// notifier lock); notifications enqueued before the restart are
+    /// never lost — shutdown drains. Returns the retired engine's final
+    /// stats.
     pub fn restart_notifier(&self) -> DeliveryStats {
-        let mut notifier = self.notifier.write();
-        let epoch = self.notifier_restarts.fetch_add(1, Ordering::Relaxed) + 1;
-        let old = std::mem::replace(
-            &mut *notifier,
-            NotificationEngine::start((self.transport_factory)(epoch)),
-        );
+        let _restart = self.restart.lock();
+        let epoch = self.notifier_restarts.load(Ordering::Relaxed) + 1;
+        let fresh = NotificationEngine::start((self.transport_factory)(epoch));
+        // The notifier write lock covers only the swap; enqueues stall
+        // for a pointer exchange, not the drain.
+        let old = std::mem::replace(&mut *self.notifier.write(), fresh);
+        self.notifier_restarts.store(epoch, Ordering::Relaxed);
         let final_stats = old.shutdown();
         self.retired_delivery.lock().merge(&final_stats);
         final_stats
@@ -747,12 +852,13 @@ mod tests {
         assert_eq!(broker.subscription_count(), 0);
     }
 
-    /// The `matcher_epoch` stale path, forced deterministically: snapshot
-    /// the front-end, prepare artifacts, flip `set_semantic_mode` (which
-    /// bumps the epoch), then run the match stage with the stale epoch
-    /// token. The guard must discard the semantically-prepared artifacts
-    /// and republish from the raw events — equal to a fresh publish under
-    /// the new configuration — rather than match stale closures.
+    /// The stale path, forced deterministically: snapshot the front-end,
+    /// prepare artifacts, flip `set_semantic_mode` (which swaps in a new
+    /// matcher snapshot with a bumped front-end epoch), then run the match
+    /// stage with the stale handle's token. The guard must discard the
+    /// semantically-prepared artifacts and republish from the raw events —
+    /// equal to a fresh publish under the new configuration — rather than
+    /// match stale closures.
     #[test]
     fn stale_epoch_falls_back_to_fresh_publish() {
         for shards in [1usize, 4] {
@@ -791,6 +897,115 @@ mod tests {
         }
     }
 
+    /// The reconfigure-path regression for the old `matcher_epoch` bug:
+    /// only `set_semantic_mode` bumped the broker-side epoch, so a
+    /// reconfiguration (or ontology swap) reaching the matcher left
+    /// detached front ends stale without tripping the guard — prepared
+    /// semantic artifacts would match against the new configuration. With
+    /// the epoch inside the matcher snapshot, *every* invalidating
+    /// mutation bumps it; the stale chunk must fall back to a fresh
+    /// publish (0 matches under the syntactic config), not report 3.
+    #[test]
+    fn stale_reconfigure_falls_back_to_fresh_publish() {
+        for shards in [1usize, 4] {
+            let config = BrokerConfig {
+                matcher: Config::default().with_shards(shards),
+                ..BrokerConfig::default()
+            };
+            let (broker, interner) = jobs_broker(config);
+            let company = broker.register_client("acme", TransportKind::Tcp);
+            broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
+            let events = vec![candidate_event(&interner); 3];
+
+            let (frontend, epoch) = broker.frontend_snapshot();
+            let prepared = frontend.prepare_batch(&events);
+            // Reconfigure — not set_semantic_mode — to the syntactic
+            // stage mask. Pre-fix, this path never bumped the epoch.
+            broker.reconfigure_matcher(
+                Config::default().with_shards(shards).with_stages(StageMask::syntactic()),
+            );
+            assert!(!broker.is_semantic(), "shards={shards}: flag tracks the new config");
+            let stale = broker.match_and_notify(&events, &prepared, epoch);
+            assert_eq!(
+                stale, 0,
+                "shards={shards}: artifacts prepared before the reconfiguration \
+                 must be refused and republished under the new configuration"
+            );
+
+            // Reconfigure back to semantic: the restore mask follows, and
+            // a fresh handle takes the prepared path again.
+            broker.reconfigure_matcher(Config::default().with_shards(shards));
+            assert!(broker.is_semantic(), "shards={shards}");
+            let (frontend, epoch) = broker.frontend_snapshot();
+            let prepared = frontend.prepare_batch(&events);
+            assert_eq!(broker.match_and_notify(&events, &prepared, epoch), 3, "shards={shards}");
+            let _ = broker.shutdown();
+        }
+    }
+
+    /// A live ontology edit between publications — the evolution scenario
+    /// the paper defers. A new synonym installed via `set_ontology` must
+    /// (a) change matching for the next publication and (b) invalidate
+    /// any front-end handle detached before the edit.
+    #[test]
+    fn live_ontology_edit_changes_matching_between_publications() {
+        let mut interner = Interner::new();
+        let domain = JobFinderDomain::build(&mut interner);
+        let academy = interner.intern("academy");
+        let university = interner.intern("university");
+        let shared = SharedInterner::from_interner(interner);
+        let base = domain.ontology;
+        let broker = Broker::new(BrokerConfig::default(), Arc::new(base.clone()), shared.clone());
+        let company = broker.register_client("acme", TransportKind::Tcp);
+        broker.subscribe(company, recruiter_predicates(&shared)).unwrap();
+
+        let mut snapshot = shared.snapshot();
+        let event = stopss_types::EventBuilder::new(&mut snapshot)
+            .term("academy", "uoft")
+            .pair("graduation year", 1993i64)
+            .build();
+        for (_, s) in snapshot.iter() {
+            shared.intern(s);
+        }
+        assert_eq!(broker.publish(&event), 0, "'academy' is not a known synonym yet");
+
+        let (frontend, epoch) = broker.frontend_snapshot();
+        let prepared = frontend.prepare_batch(std::slice::from_ref(&event));
+
+        let mut evolved = base;
+        shared.with(|i| evolved.synonyms.add_synonym(university, academy, i)).unwrap();
+        broker.set_ontology(Arc::new(evolved));
+
+        assert_eq!(broker.publish(&event), 1, "the live edit matches the next publication");
+        // The pre-edit handle is stale: its artifacts (no closure through
+        // 'academy') must be discarded, and the fallback republish under
+        // the evolved ontology finds the match.
+        assert_eq!(
+            broker.match_and_notify(std::slice::from_ref(&event), &prepared, epoch),
+            1,
+            "stale pre-edit artifacts fall back to the evolved ontology"
+        );
+        let _ = broker.shutdown();
+    }
+
+    /// Sharded backend: a live reshard through the broker preserves the
+    /// subscription set and keeps matching.
+    #[test]
+    fn reconfigure_matcher_reshards_and_preserves_subscriptions() {
+        let config =
+            BrokerConfig { matcher: Config::default().with_shards(4), ..BrokerConfig::default() };
+        let (broker, interner) = jobs_broker(config);
+        let company = broker.register_client("acme", TransportKind::Tcp);
+        broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
+        assert_eq!(broker.publish(&candidate_event(&interner)), 1);
+        broker.reconfigure_matcher(Config::default().with_shards(2));
+        assert!(broker.is_sharded(), "backend kind is fixed at construction");
+        assert_eq!(broker.subscription_count(), 1, "subscriptions survive the reshard");
+        assert_eq!(broker.publish(&candidate_event(&interner)), 1, "and still match");
+        let stats = broker.shutdown();
+        assert_eq!(stats.get(TransportKind::Tcp).delivered, 2);
+    }
+
     /// A match whose owner entry vanished between matching and
     /// notification is counted, not silently skipped.
     #[test]
@@ -800,7 +1015,7 @@ mod tests {
         let sub = broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
         let event = candidate_event(&interner);
         // Match while the subscription is live (not yet notified)…
-        let matches = broker.matcher.read().publish(&event);
+        let matches = broker.matcher.publish(&event);
         assert_eq!(matches.len(), 1);
         // …then lose the owner entry before notification, as a concurrent
         // unsubscribe interleaving would.
@@ -870,6 +1085,75 @@ mod tests {
         assert_eq!(inbox.lock().len(), 2, "inbox survives the restart");
     }
 
+    /// The racing-restart regression: pre-fix, `restart_notifier` held
+    /// the notifier write lock across the drain and took the retired lock
+    /// inside it, while `delivery_stats` took the two locks in the
+    /// opposite order — racing them could deadlock, and a stats snapshot
+    /// taken between the engine swap and the retired-counter merge
+    /// dropped the retired engine's deliveries (a transient undercount).
+    /// Post-fix both serialize on the restart lock: totals observed by a
+    /// concurrent poller are monotone, and the final accounting conserves
+    /// `matches == delivered + lost + rate-dropped + orphaned`.
+    #[test]
+    fn racing_restarts_conserve_delivery_accounting() {
+        let (broker, interner) = jobs_broker(BrokerConfig { udp_loss: 0.0, ..Default::default() });
+        let company = broker.register_client("acme", TransportKind::Tcp);
+        broker.subscribe(company, recruiter_predicates(&interner)).unwrap();
+        let broker = Arc::new(broker);
+        let event = candidate_event(&interner);
+
+        let publishers: Vec<_> = (0..2)
+            .map(|_| {
+                let broker = broker.clone();
+                let event = event.clone();
+                std::thread::spawn(move || (0..50).map(|_| broker.publish(&event)).sum::<usize>())
+            })
+            .collect();
+        let restarters: Vec<_> = (0..2)
+            .map(|_| {
+                let broker = broker.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        broker.restart_notifier();
+                    }
+                })
+            })
+            .collect();
+        let poller = {
+            let broker = broker.clone();
+            std::thread::spawn(move || {
+                let mut prev = 0u64;
+                for _ in 0..200 {
+                    let seen = broker.delivery_stats().total_attempted();
+                    assert!(
+                        seen >= prev,
+                        "attempted deliveries went backwards ({prev} -> {seen}): \
+                         a restart lost a retired engine's counters"
+                    );
+                    prev = seen;
+                }
+            })
+        };
+
+        let matches: usize = publishers.into_iter().map(|h| h.join().unwrap()).sum();
+        for h in restarters {
+            h.join().unwrap();
+        }
+        poller.join().unwrap();
+        assert_eq!(matches, 100);
+        assert_eq!(broker.notifier_restarts(), 20, "every racing restart got its own epoch");
+
+        let orphaned = broker.orphaned_matches();
+        let broker = Arc::try_unwrap(broker).ok().expect("sole owner");
+        let stats = broker.shutdown();
+        assert_eq!(
+            stats.total_delivered() + stats.total_failures() + orphaned,
+            matches as u64,
+            "every match is delivered, failed, or orphaned — none lost to a restart race"
+        );
+        assert_eq!(stats.get(TransportKind::Tcp).delivered, 100, "TCP is lossless here");
+    }
+
     /// Dropping a client leaves its subscriptions matching, and their
     /// notifications land in the orphaned accounting instead of vanishing.
     #[test]
@@ -905,5 +1189,58 @@ mod tests {
         let broker = Arc::try_unwrap(broker).ok().expect("sole owner");
         let stats = broker.shutdown();
         assert_eq!(stats.get(TransportKind::Tcp).delivered, 100);
+    }
+
+    /// Control ops run concurrently with publishers — no broker-side
+    /// matcher lock exists to stall them. Publishers race a
+    /// subscribe/unsubscribe churn thread; every match produced must be
+    /// either delivered or orphaned — never silently lost.
+    #[test]
+    fn control_ops_run_concurrently_with_publishers() {
+        for shards in [1usize, 4] {
+            let config = BrokerConfig {
+                matcher: Config::default().with_shards(shards),
+                udp_loss: 0.0,
+                ..BrokerConfig::default()
+            };
+            let (broker, interner) = jobs_broker(config);
+            let anchor_client = broker.register_client("anchor", TransportKind::Tcp);
+            broker.subscribe(anchor_client, recruiter_predicates(&interner)).unwrap();
+            let broker = Arc::new(broker);
+            let event = candidate_event(&interner);
+
+            let publishers: Vec<_> = (0..2)
+                .map(|_| {
+                    let broker = broker.clone();
+                    let event = event.clone();
+                    std::thread::spawn(move || {
+                        (0..40).map(|_| broker.publish(&event)).sum::<usize>()
+                    })
+                })
+                .collect();
+            let churner = {
+                let broker = broker.clone();
+                let preds = recruiter_predicates(&interner);
+                std::thread::spawn(move || {
+                    let client = broker.register_client("churn", TransportKind::Tcp);
+                    for _ in 0..20 {
+                        let sub = broker.subscribe(client, preds.clone()).unwrap();
+                        assert_eq!(broker.unsubscribe(client, sub), Ok(true));
+                    }
+                })
+            };
+
+            let matches: usize = publishers.into_iter().map(|h| h.join().unwrap()).sum();
+            churner.join().unwrap();
+            assert!(matches >= 80, "shards={shards}: the anchor matches every publish");
+            let orphaned = broker.orphaned_matches();
+            let broker = Arc::try_unwrap(broker).ok().expect("sole owner");
+            let stats = broker.shutdown();
+            assert_eq!(
+                stats.total_delivered() + stats.total_failures() + orphaned,
+                matches as u64,
+                "shards={shards}: zero orphaned-match undercount"
+            );
+        }
     }
 }

@@ -451,6 +451,12 @@ pub struct SemanticFrontEnd {
     /// matching shard pays a class closure on first use. Empty by default
     /// (the cache then fills lazily, exactly as before).
     verify_classes: Arc<[Tolerance]>,
+    /// The `frontend_epoch` of the matcher snapshot this front-end was
+    /// detached from. Artifacts prepared here are valid exactly while the
+    /// matcher's front-end epoch still equals this tag (see
+    /// [`crate::SToPSS::try_publish_prepared_batch`]); 0 for a front-end
+    /// built directly rather than detached from a matcher.
+    epoch: u64,
 }
 
 /// Minimum publications per front-end worker before another thread is
@@ -461,7 +467,23 @@ impl SemanticFrontEnd {
     /// Creates a front-end over `source` with `config`'s semantics and no
     /// verification classes to warm.
     pub fn new(config: Config, source: Arc<dyn SemanticSource>, interner: SharedInterner) -> Self {
-        SemanticFrontEnd { config, source, interner, verify_classes: Arc::from([]) }
+        SemanticFrontEnd { config, source, interner, verify_classes: Arc::from([]), epoch: 0 }
+    }
+
+    /// Returns a copy tagged with the matcher snapshot's front-end epoch
+    /// (see [`SemanticFrontEnd::epoch`]).
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The front-end epoch of the matcher snapshot this handle was
+    /// detached from — the staleness tag to pass back to
+    /// [`crate::SToPSS::try_publish_prepared_batch`] (or its sharded
+    /// counterpart).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Returns a copy that warms `classes` into every prepared artifact's

@@ -5,11 +5,34 @@
 //! strategy (flattened closure, event materialization, or pre-expanded
 //! subscriptions) and the resulting candidates are filtered by each
 //! subscriber's information-loss tolerance and annotated with provenance.
-
+//!
+//! # Epoch-snapshot control plane
+//!
+//! The matcher is split into an immutable snapshot ([`MatcherCore`]: the
+//! configuration, ontology handle, subscription table, and syntactic
+//! engine) behind an atomically swapped `Arc`, plus shared lifetime
+//! counters. The publish path resolves one snapshot `Arc` per publication
+//! and never takes a write lock; control-plane mutations (`subscribe`,
+//! `unsubscribe`, `set_stages`, `reconfigure`, `set_source`) serialize on
+//! a control mutex, *fork* the current snapshot off to the side, mutate
+//! the fork, and publish it with one pointer swap. In-flight publications
+//! finish against the epoch they started under.
+//!
+//! Two epochs live inside every snapshot, so a reader resolves state and
+//! version in a single `Arc`:
+//!
+//! * `control_epoch` — bumped by **every** control mutation. It is the
+//!   linearization token: each mutation returns the epoch it created, and
+//!   every [`PublishResult`] carries the epoch it matched under, so an
+//!   interleaved run can be replayed as a sequential stream.
+//! * `frontend_epoch` — bumped only by mutations that invalidate detached
+//!   [`SemanticFrontEnd`] artifacts (`set_stages`, `reconfigure`,
+//!   `set_source`). Subscribing does not bump it: the stage-1 warm set is
+//!   an optimization and tolerance classes fill lazily during matching.
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use stopss_matching::MatchingEngine;
 use stopss_ontology::SemanticSource;
 use stopss_types::{Event, FxHashMap, Interner, SharedInterner, SubId, Subscription};
@@ -71,6 +94,10 @@ impl MatcherStats {
 /// sums with no cross-counter invariant read concurrently; snapshots
 /// taken between publications reproduce the single-threaded numbers
 /// exactly (atomic adds commute).
+///
+/// The counters live *outside* the swapped snapshots, shared by every
+/// [`MatcherCore`] incarnation via `Arc`, so statistics survive
+/// control-plane swaps (and reshards) without a carry step.
 #[derive(Debug, Default)]
 pub(crate) struct AtomicStats {
     pub(crate) published: AtomicU64,
@@ -108,6 +135,10 @@ pub struct PublishResult {
     pub closure_pairs: usize,
     /// True if a resource bound clipped semantic processing.
     pub truncated: bool,
+    /// The control epoch of the snapshot this publication matched
+    /// against — the linearization token: the publication observed every
+    /// control op that returned an epoch `<= epoch` and none after.
+    pub epoch: u64,
 }
 
 struct SubEntry {
@@ -161,43 +192,49 @@ struct MatchScratch {
 /// The per-publication mutable state of the match path: the syntactic
 /// engine (its trait allows interior scratch, so `match_event` takes
 /// `&mut self`) and the candidate scratch vectors. Bundled behind one
-/// `Mutex` so [`SToPSS::match_prepared`] can run under `&self` — the
-/// matching stage locks once per artifact, and since shards partition
-/// subscriptions the lock is uncontended in the sharded fan-out.
+/// `Mutex` so [`MatcherCore::match_prepared_inner`] can run under `&self`
+/// — the matching stage locks once per artifact, and since shards
+/// partition subscriptions the lock is uncontended in the sharded
+/// fan-out. This is the *data-plane* mutex; control-plane mutations never
+/// touch it except to fork the engine.
 struct MatchState {
     engine: Box<dyn MatchingEngine>,
     scratch: MatchScratch,
 }
 
-/// The semantic publish/subscribe matcher.
-///
-/// The whole publish path ([`SToPSS::publish`], [`SToPSS::match_prepared`],
-/// …) takes `&self`: per-publication mutable state lives behind a `Mutex`
-/// ([`MatchState`]) and the lifetime counters are relaxed atomics, so
-/// concurrent callers (shard workers, the broker's read-locked publish
-/// stage) need no exclusive borrow. Only the subscription-side mutations —
-/// `subscribe`, `unsubscribe`, `set_stages`, `reconfigure` — take
-/// `&mut self`.
-pub struct SToPSS {
-    config: Config,
-    source: Arc<dyn SemanticSource>,
+/// One immutable incarnation of the matcher: configuration, ontology
+/// handle, subscription table, engine, and the two epochs. Snapshots are
+/// never mutated after publication — control ops [`MatcherCore::fork`] a
+/// copy, mutate it exclusively, and swap it in. Readers that hold an
+/// `Arc<MatcherCore>` observe a frozen, internally consistent matcher.
+pub(crate) struct MatcherCore {
+    pub(crate) config: Config,
+    pub(crate) source: Arc<dyn SemanticSource>,
     interner: SharedInterner,
     state: Mutex<MatchState>,
-    subs: FxHashMap<SubId, SubEntry>,
+    subs: FxHashMap<SubId, Arc<SubEntry>>,
     engine_to_user: FxHashMap<SubId, SubId>,
     next_engine_id: u64,
-    stats: AtomicStats,
+    stats: Arc<AtomicStats>,
     /// Distinct [`Tolerance::verify_class`] values among the registered
     /// subscriptions that need per-candidate verification, refcounted so
     /// `frontend()` can hand the detached stage-1 pass the exact class set
     /// to warm (see [`SemanticFrontEnd`]).
     verify_classes: FxHashMap<Tolerance, usize>,
+    /// Bumped by every control mutation (linearization token).
+    pub(crate) control_epoch: u64,
+    /// Bumped by mutations that invalidate detached front-end artifacts.
+    pub(crate) frontend_epoch: u64,
 }
 
-impl SToPSS {
-    /// Creates a matcher over `source` using `interner` for all terms.
-    pub fn new(config: Config, source: Arc<dyn SemanticSource>, interner: SharedInterner) -> Self {
-        SToPSS {
+impl MatcherCore {
+    pub(crate) fn new(
+        config: Config,
+        source: Arc<dyn SemanticSource>,
+        interner: SharedInterner,
+        stats: Arc<AtomicStats>,
+    ) -> Self {
+        MatcherCore {
             state: Mutex::new(MatchState {
                 engine: config.engine.build(),
                 scratch: MatchScratch::default(),
@@ -208,45 +245,72 @@ impl SToPSS {
             subs: FxHashMap::default(),
             engine_to_user: FxHashMap::default(),
             next_engine_id: 1,
-            stats: AtomicStats::default(),
+            stats,
             verify_classes: FxHashMap::default(),
+            control_epoch: 0,
+            frontend_epoch: 0,
         }
     }
 
-    /// The interner shared with publishers/subscribers.
-    pub fn interner(&self) -> &SharedInterner {
-        &self.interner
+    /// Copy-on-write step of a control mutation: clone every index (the
+    /// engine via [`MatchingEngine::boxed_clone`], subscription entries by
+    /// `Arc`) into a free-standing core the caller may mutate exclusively
+    /// before swapping it in. The fork shares the lifetime counters with
+    /// its parent, and starts with `control_epoch` already bumped.
+    pub(crate) fn fork(&self) -> MatcherCore {
+        MatcherCore {
+            state: Mutex::new(MatchState {
+                engine: self.state.lock().engine.boxed_clone(),
+                scratch: MatchScratch::default(),
+            }),
+            config: self.config,
+            source: self.source.clone(),
+            interner: self.interner.clone(),
+            subs: self.subs.clone(),
+            engine_to_user: self.engine_to_user.clone(),
+            next_engine_id: self.next_engine_id,
+            stats: self.stats.clone(),
+            verify_classes: self.verify_classes.clone(),
+            control_epoch: self.control_epoch + 1,
+            frontend_epoch: self.frontend_epoch,
+        }
     }
 
-    /// The active configuration.
-    pub fn config(&self) -> &Config {
-        &self.config
+    pub(crate) fn len(&self) -> usize {
+        self.subs.len()
     }
 
-    /// The semantic knowledge source.
-    pub fn source(&self) -> &Arc<dyn SemanticSource> {
-        &self.source
+    pub(crate) fn contains(&self, id: SubId) -> bool {
+        self.subs.contains_key(&id)
     }
 
-    /// Lifetime statistics (a snapshot of the atomic counters).
-    pub fn stats(&self) -> MatcherStats {
-        self.stats.snapshot()
+    pub(crate) fn subscription(&self, id: SubId) -> Option<&Subscription> {
+        self.subs.get(&id).map(|e| &e.original)
     }
 
-    /// The distinct verification classes ([`Tolerance::verify_class`])
-    /// among registered subscriptions whose effective tolerance differs
-    /// from the system-wide one. Snapshot at subscribe time; the detached
-    /// front-end warms exactly these classes in stage 1 so the first
-    /// publication after a subscribe does not pay the class closure under
-    /// the shard fan-out (or the broker's matcher lock).
-    pub fn verify_classes(&self) -> Vec<Tolerance> {
+    pub(crate) fn tolerance(&self, id: SubId) -> Option<Tolerance> {
+        self.subs.get(&id).map(|e| e.effective)
+    }
+
+    pub(crate) fn requested_tolerance(&self, id: SubId) -> Option<Tolerance> {
+        self.subs.get(&id).map(|e| e.requested)
+    }
+
+    pub(crate) fn subscriptions_with_tolerances(&self) -> Vec<(Subscription, Tolerance)> {
+        let mut out: Vec<(Subscription, Tolerance)> =
+            self.subs.values().map(|e| (e.original.clone(), e.requested)).collect();
+        out.sort_unstable_by_key(|(sub, _)| sub.id());
+        out
+    }
+
+    pub(crate) fn verify_classes(&self) -> Vec<Tolerance> {
         self.verify_classes.keys().copied().collect()
     }
 
-    /// Appends this matcher's verification classes to `out`, skipping
-    /// ones already present — lets the sharded matcher build the
-    /// cross-shard union with a single allocation per snapshot (class
-    /// sets are tiny, so the linear dedup beats hashing).
+    /// Appends this core's verification classes to `out`, skipping ones
+    /// already present — lets the sharded matcher build the cross-shard
+    /// union with a single allocation per snapshot (class sets are tiny,
+    /// so the linear dedup beats hashing).
     pub(crate) fn verify_classes_into(&self, out: &mut Vec<Tolerance>) {
         for class in self.verify_classes.keys() {
             if !out.contains(class) {
@@ -255,55 +319,15 @@ impl SToPSS {
         }
     }
 
-    /// Number of user subscriptions.
-    pub fn len(&self) -> usize {
-        self.subs.len()
-    }
-
-    /// True if no subscriptions are registered.
-    pub fn is_empty(&self) -> bool {
-        self.subs.is_empty()
-    }
-
-    /// The original subscription registered under `id`.
-    pub fn subscription(&self, id: SubId) -> Option<&Subscription> {
-        self.subs.get(&id).map(|e| &e.original)
-    }
-
-    /// The effective (clamped) tolerance of subscription `id`.
-    pub fn tolerance(&self, id: SubId) -> Option<Tolerance> {
-        self.subs.get(&id).map(|e| e.effective)
-    }
-
-    /// The tolerance subscription `id` originally asked for (before
-    /// clamping to the system configuration).
-    pub fn requested_tolerance(&self, id: SubId) -> Option<Tolerance> {
-        self.subs.get(&id).map(|e| e.requested)
-    }
-
-    /// Clones out every registered subscription with its *requested*
-    /// tolerance, sorted by id. Used by the sharded matcher to
-    /// redistribute subscriptions when the shard count changes.
-    pub fn subscriptions_with_tolerances(&self) -> Vec<(Subscription, Tolerance)> {
-        let mut out: Vec<(Subscription, Tolerance)> =
-            self.subs.values().map(|e| (e.original.clone(), e.requested)).collect();
-        out.sort_unstable_by_key(|(sub, _)| sub.id());
-        out
-    }
-
-    /// Registers a subscription with the system-wide tolerance.
-    pub fn subscribe(&mut self, sub: Subscription) {
+    pub(crate) fn subscribe(&mut self, sub: Subscription) {
         self.subscribe_with_tolerance(sub, self.config.system_tolerance());
     }
 
-    /// Registers a subscription with a subscriber-specific tolerance
-    /// (clamped to the system configuration — a subscriber can opt out of
-    /// semantics, never into more than the system allows).
-    pub fn subscribe_with_tolerance(&mut self, sub: Subscription, tolerance: Tolerance) {
-        self.unsubscribe(sub.id());
+    pub(crate) fn subscribe_with_tolerance(&mut self, sub: Subscription, tolerance: Tolerance) {
+        self.remove_entry(sub.id());
         let entry = self.build_entry(sub, tolerance);
         self.track_verify_class(&entry);
-        self.subs.insert(entry.original.id(), entry);
+        self.subs.insert(entry.original.id(), Arc::new(entry));
     }
 
     /// Refcounts the entry's verification class (see
@@ -372,7 +396,7 @@ impl SToPSS {
     }
 
     /// Removes a subscription; returns whether it existed.
-    pub fn unsubscribe(&mut self, id: SubId) -> bool {
+    pub(crate) fn remove_entry(&mut self, id: SubId) -> bool {
         let Some(entry) = self.subs.remove(&id) else {
             return false;
         };
@@ -385,80 +409,66 @@ impl SToPSS {
                 }
             }
         }
-        for engine_id in entry.engine_ids {
-            self.state.get_mut().engine.remove(engine_id);
-            self.engine_to_user.remove(&engine_id);
+        for engine_id in &entry.engine_ids {
+            self.state.get_mut().engine.remove(*engine_id);
+            self.engine_to_user.remove(engine_id);
         }
         true
     }
 
-    /// Publishes an event, returning the matched subscriptions.
-    pub fn publish(&self, event: &Event) -> Vec<Match> {
-        self.publish_detailed(event).matches
+    pub(crate) fn set_stages(&mut self, stages: crate::tolerance::StageMask) {
+        self.config.stages = stages;
+        self.frontend_epoch += 1;
+        self.rebuild();
     }
 
-    /// Publishes an event, returning matches plus processing counters.
-    pub fn publish_detailed(&self, event: &Event) -> PublishResult {
-        let interner = self.interner.clone();
-        interner.with(|i| self.publish_inner(event, i))
+    pub(crate) fn reconfigure(&mut self, config: Config) {
+        self.config = config;
+        self.frontend_epoch += 1;
+        self.state.get_mut().engine = self.config.engine.build();
+        self.engine_to_user.clear();
+        self.rebuild_entries();
     }
 
-    /// Publishes a batch of events sequentially, returning the match set
-    /// of each. Mirrors [`crate::ShardedSToPSS::publish_batch`] so callers
-    /// can swap matchers without changing call sites.
-    pub fn publish_batch(&self, events: &[Event]) -> Vec<Vec<Match>> {
-        events.iter().map(|e| self.publish(e)).collect()
+    /// Swaps the semantic knowledge source (live ontology evolution) and
+    /// rebuilds every engine subscription: canonical forms and rewrite
+    /// expansions depend on the ontology.
+    pub(crate) fn set_source(&mut self, source: Arc<dyn SemanticSource>) {
+        self.source = source;
+        self.frontend_epoch += 1;
+        self.rebuild();
     }
 
-    /// A detachable handle on this matcher's event-side semantic machinery
-    /// (configuration snapshot + shared ontology/interner + the registered
-    /// verification classes to warm). Lets callers run
-    /// [`SemanticFrontEnd::prepare`] without borrowing the matcher — the
-    /// broker prepares whole batches outside its matcher lock.
-    pub fn frontend(&self) -> SemanticFrontEnd {
+    fn rebuild(&mut self) {
+        self.state.get_mut().engine.clear();
+        self.engine_to_user.clear();
+        self.rebuild_entries();
+    }
+
+    fn rebuild_entries(&mut self) {
+        let old: Vec<(Subscription, Tolerance)> =
+            self.subs.drain().map(|(_, e)| (e.original.clone(), e.requested)).collect();
+        // Verification classes are recomputed from scratch: effective
+        // tolerances (and therefore `needs_verify`) depend on the new
+        // system configuration.
+        self.verify_classes.clear();
+        for (sub, requested) in old {
+            let entry = self.build_entry(sub, requested);
+            self.track_verify_class(&entry);
+            self.subs.insert(entry.original.id(), Arc::new(entry));
+        }
+    }
+
+    /// A detachable front-end handle for this snapshot, tagged with its
+    /// `frontend_epoch` so artifacts it prepares can later be checked for
+    /// staleness.
+    pub(crate) fn frontend(&self) -> SemanticFrontEnd {
         SemanticFrontEnd::new(self.config, self.source.clone(), self.interner.clone())
             .with_verify_classes(self.verify_classes())
+            .with_epoch(self.frontend_epoch)
     }
 
-    /// Runs the event-side semantic pass for one publication (closure or
-    /// event materialization) without touching the engine or any stats.
-    pub fn prepare(&self, event: &Event) -> PreparedEvent {
-        self.interner.with(|i| prepare_event(event, self.source.as_ref(), &self.config, i))
-    }
-
-    /// The subscription-side half of a publication: feeds the prepared
-    /// artifact's engine events to the syntactic engine, verifies
-    /// per-subscription tolerances, and classifies provenance.
-    ///
-    /// Takes `&self`: the engine + scratch state is locked per artifact
-    /// and the counters are atomics, so concurrent shard workers (or the
-    /// broker's read-locked match stage) can call this without an
-    /// exclusive borrow. Only the subscription-side counters
-    /// (`verifications`, `verify_rejections`) accumulate here; the
-    /// event-side counters belong to whoever ran the front-end pass (see
-    /// [`SToPSS::publish_prepared`] and the sharded matcher). The
-    /// artifact must have been prepared under this matcher's
-    /// configuration.
-    pub fn match_prepared(&self, prepared: &PreparedEvent) -> PublishResult {
-        let interner = self.interner.clone();
-        interner.with(|i| self.match_prepared_inner(prepared, i))
-    }
-
-    /// Publishes a precomputed artifact: accounts the event-side counters
-    /// it carries, then matches. Equivalent to
-    /// `publish_detailed(&prepared.raw)` when the artifact came from this
-    /// matcher's [`SToPSS::frontend`].
-    pub fn publish_prepared(&self, prepared: &PreparedEvent) -> PublishResult {
-        self.stats.published.fetch_add(1, Ordering::Relaxed);
-        if prepared.truncated {
-            self.stats.truncations.fetch_add(1, Ordering::Relaxed);
-        }
-        self.stats.derived_events.fetch_add(prepared.derived_events as u64, Ordering::Relaxed);
-        self.stats.closure_pairs.fetch_add(prepared.closure_pairs as u64, Ordering::Relaxed);
-        self.match_prepared(prepared)
-    }
-
-    fn publish_inner(&self, event_raw: &Event, interner: &Interner) -> PublishResult {
+    pub(crate) fn publish_inner(&self, event_raw: &Event, interner: &Interner) -> PublishResult {
         self.stats.published.fetch_add(1, Ordering::Relaxed);
         // `prepare_parts` (not `prepare_event`) so the inline path keeps
         // borrowing the caller's event instead of cloning it into a
@@ -478,6 +488,23 @@ impl SToPSS {
             &tiers,
             interner,
         )
+    }
+
+    /// Accounts the event-side counters a prepared artifact carries, then
+    /// matches it.
+    pub(crate) fn publish_prepared(&self, prepared: &PreparedEvent) -> PublishResult {
+        self.stats.published.fetch_add(1, Ordering::Relaxed);
+        if prepared.truncated {
+            self.stats.truncations.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats.derived_events.fetch_add(prepared.derived_events as u64, Ordering::Relaxed);
+        self.stats.closure_pairs.fetch_add(prepared.closure_pairs as u64, Ordering::Relaxed);
+        self.match_prepared(prepared)
+    }
+
+    pub(crate) fn match_prepared(&self, prepared: &PreparedEvent) -> PublishResult {
+        let interner = self.interner.clone();
+        interner.with(|i| self.match_prepared_inner(prepared, i))
     }
 
     fn match_prepared_inner(&self, prepared: &PreparedEvent, interner: &Interner) -> PublishResult {
@@ -507,8 +534,13 @@ impl SToPSS {
         tiers: &TierCache,
         interner: &Interner,
     ) -> PublishResult {
-        let mut result =
-            PublishResult { matches: Vec::new(), derived_events, closure_pairs, truncated };
+        let mut result = PublishResult {
+            matches: Vec::new(),
+            derived_events,
+            closure_pairs,
+            truncated,
+            epoch: self.control_epoch,
+        };
         // One lock per publication: engine and scratch are used together
         // for the whole matching pass.
         let mut state = self.state.lock();
@@ -590,41 +622,270 @@ impl SToPSS {
         }
         result
     }
+}
+
+/// The semantic publish/subscribe matcher.
+///
+/// The whole publish path ([`SToPSS::publish`], [`SToPSS::match_prepared`],
+/// …) takes `&self` and never blocks on control-plane mutations: each
+/// publication resolves one immutable snapshot ([`MatcherCore`]) and
+/// matches against it. Control ops (`subscribe`, `unsubscribe`,
+/// `set_stages`, `reconfigure`, `set_source`) also take `&self`: they
+/// serialize among themselves on a control mutex, build the next snapshot
+/// off to the side, and swap it in atomically — publishers racing a
+/// mutation finish against whichever epoch they resolved. Every control
+/// op returns the `control_epoch` it created (see [`PublishResult::epoch`]
+/// for the read side of the linearization token).
+pub struct SToPSS {
+    interner: SharedInterner,
+    stats: Arc<AtomicStats>,
+    /// The current snapshot. The lock is held only long enough to clone
+    /// (readers) or store (the control plane) the `Arc` — never across
+    /// matching or snapshot construction.
+    snapshot: RwLock<Arc<MatcherCore>>,
+    /// Serializes control-plane mutations; the publish path never touches
+    /// it.
+    control: Mutex<()>,
+}
+
+impl SToPSS {
+    /// Creates a matcher over `source` using `interner` for all terms.
+    pub fn new(config: Config, source: Arc<dyn SemanticSource>, interner: SharedInterner) -> Self {
+        let stats = Arc::new(AtomicStats::default());
+        let core = MatcherCore::new(config, source, interner.clone(), stats.clone());
+        SToPSS { interner, stats, snapshot: RwLock::new(Arc::new(core)), control: Mutex::new(()) }
+    }
+
+    /// Resolves the current snapshot (one brief read lock, one `Arc`
+    /// clone). The returned core is immutable and internally consistent.
+    fn resolve(&self) -> Arc<MatcherCore> {
+        self.snapshot.read().clone()
+    }
+
+    /// Runs one control mutation: serialize, fork the current snapshot,
+    /// mutate the fork, swap. Returns the new control epoch.
+    fn mutate(&self, f: impl FnOnce(&mut MatcherCore)) -> u64 {
+        let _control = self.control.lock();
+        let mut next = self.resolve().fork();
+        f(&mut next);
+        let epoch = next.control_epoch;
+        *self.snapshot.write() = Arc::new(next);
+        epoch
+    }
+
+    /// The interner shared with publishers/subscribers.
+    pub fn interner(&self) -> &SharedInterner {
+        &self.interner
+    }
+
+    /// The active configuration (of the current snapshot).
+    pub fn config(&self) -> Config {
+        self.resolve().config
+    }
+
+    /// The semantic knowledge source (of the current snapshot).
+    pub fn source(&self) -> Arc<dyn SemanticSource> {
+        self.resolve().source.clone()
+    }
+
+    /// Lifetime statistics (a snapshot of the atomic counters).
+    pub fn stats(&self) -> MatcherStats {
+        self.stats.snapshot()
+    }
+
+    /// The control epoch of the current snapshot (bumped by every control
+    /// mutation).
+    pub fn control_epoch(&self) -> u64 {
+        self.resolve().control_epoch
+    }
+
+    /// The front-end epoch of the current snapshot (bumped by mutations
+    /// that invalidate detached [`SemanticFrontEnd`] artifacts:
+    /// `set_stages`, `reconfigure`, `set_source`).
+    pub fn frontend_epoch(&self) -> u64 {
+        self.resolve().frontend_epoch
+    }
+
+    /// The distinct verification classes ([`Tolerance::verify_class`])
+    /// among registered subscriptions whose effective tolerance differs
+    /// from the system-wide one. Snapshot at subscribe time; the detached
+    /// front-end warms exactly these classes in stage 1 so the first
+    /// publication after a subscribe does not pay the class closure under
+    /// the shard fan-out (or the broker's matcher lock).
+    pub fn verify_classes(&self) -> Vec<Tolerance> {
+        self.resolve().verify_classes()
+    }
+
+    /// Number of user subscriptions.
+    pub fn len(&self) -> usize {
+        self.resolve().len()
+    }
+
+    /// True if no subscriptions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The original subscription registered under `id`.
+    pub fn subscription(&self, id: SubId) -> Option<Subscription> {
+        self.resolve().subscription(id).cloned()
+    }
+
+    /// The effective (clamped) tolerance of subscription `id`.
+    pub fn tolerance(&self, id: SubId) -> Option<Tolerance> {
+        self.resolve().tolerance(id)
+    }
+
+    /// The tolerance subscription `id` originally asked for (before
+    /// clamping to the system configuration).
+    pub fn requested_tolerance(&self, id: SubId) -> Option<Tolerance> {
+        self.resolve().requested_tolerance(id)
+    }
+
+    /// Clones out every registered subscription with its *requested*
+    /// tolerance, sorted by id. Used by the sharded matcher to
+    /// redistribute subscriptions when the shard count changes.
+    pub fn subscriptions_with_tolerances(&self) -> Vec<(Subscription, Tolerance)> {
+        self.resolve().subscriptions_with_tolerances()
+    }
+
+    /// Registers a subscription with the system-wide tolerance. Returns
+    /// the control epoch the registration created.
+    pub fn subscribe(&self, sub: Subscription) -> u64 {
+        self.mutate(|core| core.subscribe(sub))
+    }
+
+    /// Registers a subscription with a subscriber-specific tolerance
+    /// (clamped to the system configuration — a subscriber can opt out of
+    /// semantics, never into more than the system allows). Returns the
+    /// control epoch the registration created.
+    pub fn subscribe_with_tolerance(&self, sub: Subscription, tolerance: Tolerance) -> u64 {
+        self.mutate(|core| core.subscribe_with_tolerance(sub, tolerance))
+    }
+
+    /// Removes a subscription; returns the control epoch of the removal,
+    /// or `None` if no such subscription existed (no snapshot is
+    /// published in that case).
+    pub fn unsubscribe(&self, id: SubId) -> Option<u64> {
+        let _control = self.control.lock();
+        let cur = self.resolve();
+        if !cur.contains(id) {
+            return None;
+        }
+        let mut next = cur.fork();
+        next.remove_entry(id);
+        let epoch = next.control_epoch;
+        *self.snapshot.write() = Arc::new(next);
+        Some(epoch)
+    }
 
     /// Switches the enabled stages (the demo's semantic/syntactic mode
     /// switch) and rebuilds every engine subscription accordingly.
-    pub fn set_stages(&mut self, stages: crate::tolerance::StageMask) {
-        self.config.stages = stages;
-        self.rebuild();
+    /// Returns the control epoch of the switch.
+    pub fn set_stages(&self, stages: crate::tolerance::StageMask) -> u64 {
+        self.mutate(|core| core.set_stages(stages))
     }
 
     /// Replaces the configuration (engine, strategy, stages, …) and
     /// rebuilds all engine state from the stored original subscriptions.
-    pub fn reconfigure(&mut self, config: Config) {
-        self.config = config;
-        self.state.get_mut().engine = self.config.engine.build();
-        self.engine_to_user.clear();
-        self.rebuild_entries();
+    /// Returns the control epoch of the swap.
+    pub fn reconfigure(&self, config: Config) -> u64 {
+        self.mutate(|core| core.reconfigure(config))
     }
 
-    fn rebuild(&mut self) {
-        self.state.get_mut().engine.clear();
-        self.engine_to_user.clear();
-        self.rebuild_entries();
+    /// Swaps the semantic knowledge source — live ontology evolution: new
+    /// synonyms, taxonomy growth, or mapping changes take effect for every
+    /// publication that starts after the swap, while in-flight
+    /// publications finish against the ontology they resolved. Returns
+    /// the control epoch of the swap.
+    pub fn set_source(&self, source: Arc<dyn SemanticSource>) -> u64 {
+        self.mutate(|core| core.set_source(source))
     }
 
-    fn rebuild_entries(&mut self) {
-        let old: Vec<(Subscription, Tolerance)> =
-            self.subs.drain().map(|(_, e)| (e.original, e.requested)).collect();
-        // Verification classes are recomputed from scratch: effective
-        // tolerances (and therefore `needs_verify`) depend on the new
-        // system configuration.
-        self.verify_classes.clear();
-        for (sub, requested) in old {
-            let entry = self.build_entry(sub, requested);
-            self.track_verify_class(&entry);
-            self.subs.insert(entry.original.id(), entry);
+    /// Publishes an event, returning the matched subscriptions.
+    pub fn publish(&self, event: &Event) -> Vec<Match> {
+        self.publish_detailed(event).matches
+    }
+
+    /// Publishes an event, returning matches plus processing counters.
+    /// The result's `epoch` names the snapshot the publication matched
+    /// against.
+    pub fn publish_detailed(&self, event: &Event) -> PublishResult {
+        let core = self.resolve();
+        let interner = self.interner.clone();
+        interner.with(|i| core.publish_inner(event, i))
+    }
+
+    /// Publishes a batch of events sequentially, returning the match set
+    /// of each. Mirrors [`crate::ShardedSToPSS::publish_batch`] so callers
+    /// can swap matchers without changing call sites. Each event resolves
+    /// its own snapshot, so control ops interleave at event granularity.
+    pub fn publish_batch(&self, events: &[Event]) -> Vec<Vec<Match>> {
+        events.iter().map(|e| self.publish(e)).collect()
+    }
+
+    /// A detachable handle on this matcher's event-side semantic machinery
+    /// (configuration snapshot + shared ontology/interner + the registered
+    /// verification classes to warm), tagged with the snapshot's
+    /// `frontend_epoch`. Lets callers run [`SemanticFrontEnd::prepare`]
+    /// without borrowing the matcher — the broker prepares whole batches
+    /// concurrently with control-plane traffic and checks the tag at match
+    /// time (see [`SToPSS::try_publish_prepared_batch`]).
+    pub fn frontend(&self) -> SemanticFrontEnd {
+        self.resolve().frontend()
+    }
+
+    /// Runs the event-side semantic pass for one publication (closure or
+    /// event materialization) without touching the engine or any stats.
+    pub fn prepare(&self, event: &Event) -> PreparedEvent {
+        let core = self.resolve();
+        self.interner.with(|i| prepare_event(event, core.source.as_ref(), &core.config, i))
+    }
+
+    /// The subscription-side half of a publication: feeds the prepared
+    /// artifact's engine events to the syntactic engine, verifies
+    /// per-subscription tolerances, and classifies provenance.
+    ///
+    /// Takes `&self`: the engine + scratch state is locked per artifact
+    /// and the counters are atomics, so concurrent shard workers (or the
+    /// broker's match stage) can call this without an exclusive borrow.
+    /// Only the subscription-side counters (`verifications`,
+    /// `verify_rejections`) accumulate here; the event-side counters
+    /// belong to whoever ran the front-end pass (see
+    /// [`SToPSS::publish_prepared`] and the sharded matcher). The
+    /// artifact must have been prepared under this matcher's current
+    /// configuration.
+    pub fn match_prepared(&self, prepared: &PreparedEvent) -> PublishResult {
+        self.resolve().match_prepared(prepared)
+    }
+
+    /// Publishes a precomputed artifact: accounts the event-side counters
+    /// it carries, then matches. Equivalent to
+    /// `publish_detailed(&prepared.raw)` when the artifact came from this
+    /// matcher's [`SToPSS::frontend`].
+    pub fn publish_prepared(&self, prepared: &PreparedEvent) -> PublishResult {
+        self.resolve().publish_prepared(prepared)
+    }
+
+    /// Atomic staleness check + match: resolves one snapshot and, if its
+    /// `frontend_epoch` still equals `frontend_epoch` (the tag of the
+    /// [`SemanticFrontEnd`] that prepared `prepared`), publishes every
+    /// artifact against that snapshot. Returns `None` when the front end
+    /// is stale — the caller re-prepares from a fresh
+    /// [`SToPSS::frontend`]. The check and the match use the *same*
+    /// snapshot, so a control op racing this call either happens entirely
+    /// before (stale ⇒ `None`) or entirely after (the batch matches the
+    /// pre-op snapshot) — never mid-batch.
+    pub fn try_publish_prepared_batch(
+        &self,
+        prepared: &[PreparedEvent],
+        frontend_epoch: u64,
+    ) -> Option<Vec<PublishResult>> {
+        let core = self.resolve();
+        if core.frontend_epoch != frontend_epoch {
+            return None;
         }
+        Some(prepared.iter().map(|p| core.publish_prepared(p)).collect())
     }
 }
 
@@ -695,7 +956,7 @@ mod tests {
             for engine in EngineKind::ALL {
                 let w = world();
                 let config = Config::default().with_strategy(strategy).with_engine(engine);
-                let mut matcher = SToPSS::new(config, w.source, w.interner);
+                let matcher = SToPSS::new(config, w.source, w.interner);
                 matcher.subscribe(w.sub);
                 let matches = matcher.publish(&w.event);
                 assert_eq!(
@@ -714,7 +975,7 @@ mod tests {
     #[test]
     fn syntactic_mode_finds_nothing_for_the_paper_flow() {
         let w = world();
-        let mut matcher = SToPSS::new(Config::syntactic(), w.source, w.interner);
+        let matcher = SToPSS::new(Config::syntactic(), w.source, w.interner);
         matcher.subscribe(w.sub);
         assert!(matcher.publish(&w.event).is_empty());
     }
@@ -722,7 +983,7 @@ mod tests {
     #[test]
     fn per_subscription_tolerance_filters_matches() {
         let w = world();
-        let mut matcher = SToPSS::new(Config::default(), w.source, w.interner);
+        let matcher = SToPSS::new(Config::default(), w.source, w.interner);
         // Same predicates, different tolerances.
         let strict = w.sub.with_id(SubId(200));
         matcher.subscribe(w.sub);
@@ -737,7 +998,7 @@ mod tests {
     #[test]
     fn distance_bounded_tolerance() {
         let w = world();
-        let mut matcher = SToPSS::new(Config::default(), w.source, w.interner);
+        let matcher = SToPSS::new(Config::default(), w.source, w.interner);
         matcher.subscribe_with_tolerance(w.degree_sub.clone(), Tolerance::bounded(1));
         // phd is 2 levels below degree: outside a distance-1 tolerance.
         assert!(matcher.publish(&w.phd_event).is_empty());
@@ -751,11 +1012,11 @@ mod tests {
     fn unsubscribe_removes_all_engine_state() {
         let w = world();
         let config = Config::default().with_strategy(Strategy::SubscriptionRewrite);
-        let mut matcher = SToPSS::new(config, w.source, w.interner);
+        let matcher = SToPSS::new(config, w.source, w.interner);
         matcher.subscribe(w.degree_sub);
         assert_eq!(matcher.len(), 1);
-        assert!(matcher.unsubscribe(SubId(1)));
-        assert!(!matcher.unsubscribe(SubId(1)));
+        assert!(matcher.unsubscribe(SubId(1)).is_some());
+        assert!(matcher.unsubscribe(SubId(1)).is_none());
         assert!(matcher.publish(&w.phd_event).is_empty());
         assert!(matcher.is_empty());
     }
@@ -763,7 +1024,7 @@ mod tests {
     #[test]
     fn mode_switch_rebuilds_subscriptions() {
         let w = world();
-        let mut matcher = SToPSS::new(Config::default(), w.source, w.interner);
+        let matcher = SToPSS::new(Config::default(), w.source, w.interner);
         matcher.subscribe(w.sub);
         assert_eq!(matcher.publish(&w.event).len(), 1);
         matcher.set_stages(StageMask::syntactic());
@@ -775,7 +1036,7 @@ mod tests {
     #[test]
     fn reconfigure_switches_engine_and_strategy() {
         let w = world();
-        let mut matcher = SToPSS::new(Config::default(), w.source, w.interner);
+        let matcher = SToPSS::new(Config::default(), w.source, w.interner);
         matcher.subscribe(w.sub);
         assert_eq!(matcher.publish(&w.event).len(), 1);
         matcher.reconfigure(
@@ -790,8 +1051,7 @@ mod tests {
     #[test]
     fn provenance_can_be_disabled() {
         let w = world();
-        let mut matcher =
-            SToPSS::new(Config::default().with_provenance(false), w.source, w.interner);
+        let matcher = SToPSS::new(Config::default().with_provenance(false), w.source, w.interner);
         matcher.subscribe(w.sub);
         let matches = matcher.publish(&w.event);
         assert_eq!(matches[0].origin, MatchOrigin::Unclassified);
@@ -800,7 +1060,7 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let w = world();
-        let mut matcher = SToPSS::new(Config::default(), w.source, w.interner);
+        let matcher = SToPSS::new(Config::default(), w.source, w.interner);
         matcher.subscribe(w.sub);
         for _ in 0..5 {
             matcher.publish(&w.event);
@@ -808,5 +1068,103 @@ mod tests {
         assert_eq!(matcher.stats().published, 5);
         assert_eq!(matcher.stats().derived_events, 5);
         assert!(matcher.stats().closure_pairs >= 5);
+    }
+
+    /// Every control op bumps `control_epoch` by exactly one and returns
+    /// the epoch it created; publications report the epoch they resolved.
+    #[test]
+    fn control_ops_return_consecutive_epochs() {
+        let w = world();
+        let matcher = SToPSS::new(Config::default(), w.source, w.interner);
+        assert_eq!(matcher.control_epoch(), 0);
+        let e1 = matcher.subscribe(w.sub.clone());
+        assert_eq!(e1, 1);
+        let e2 = matcher.subscribe_with_tolerance(w.degree_sub, Tolerance::syntactic());
+        assert_eq!(e2, 2);
+        let e3 = matcher.unsubscribe(SubId(1)).expect("live id");
+        assert_eq!(e3, 3);
+        assert!(matcher.unsubscribe(SubId(1)).is_none(), "dead id publishes no epoch");
+        assert_eq!(matcher.control_epoch(), 3, "failed unsubscribe leaves the snapshot alone");
+        let result = matcher.publish_detailed(&w.event);
+        assert_eq!(result.epoch, 3);
+        let e4 = matcher.set_stages(StageMask::syntactic());
+        assert_eq!(e4, 4);
+    }
+
+    /// `frontend_epoch` moves only on front-end-invalidating mutations;
+    /// subscribe/unsubscribe leave detached artifacts valid.
+    #[test]
+    fn frontend_epoch_tracks_invalidating_mutations_only() {
+        let w = world();
+        let matcher = SToPSS::new(Config::default(), w.source.clone(), w.interner);
+        assert_eq!(matcher.frontend_epoch(), 0);
+        matcher.subscribe(w.sub.clone());
+        matcher.unsubscribe(w.sub.id());
+        assert_eq!(matcher.frontend_epoch(), 0, "subscription churn keeps artifacts valid");
+        matcher.set_stages(StageMask::syntactic());
+        assert_eq!(matcher.frontend_epoch(), 1);
+        matcher.reconfigure(Config::default());
+        assert_eq!(matcher.frontend_epoch(), 2);
+        matcher.set_source(w.source);
+        assert_eq!(matcher.frontend_epoch(), 3);
+        assert_eq!(matcher.frontend().epoch(), 3, "frontend carries the snapshot's tag");
+    }
+
+    /// A stale frontend artifact is refused atomically; a fresh one is
+    /// matched.
+    #[test]
+    fn try_publish_prepared_batch_checks_staleness() {
+        let w = world();
+        let matcher = SToPSS::new(Config::default(), w.source, w.interner);
+        matcher.subscribe(w.sub);
+        let frontend = matcher.frontend();
+        let prepared = vec![frontend.prepare(&w.event)];
+        let results = matcher
+            .try_publish_prepared_batch(&prepared, frontend.epoch())
+            .expect("fresh artifact matches");
+        assert_eq!(results[0].matches.len(), 1);
+        matcher.set_stages(StageMask::syntactic());
+        assert!(
+            matcher.try_publish_prepared_batch(&prepared, frontend.epoch()).is_none(),
+            "stale artifact is refused"
+        );
+    }
+
+    /// Live ontology evolution: a synonym added after subscribe takes
+    /// effect via `set_source` without re-registering subscriptions.
+    #[test]
+    fn set_source_applies_live_ontology_edits() {
+        let mut i = Interner::new();
+        let o = Ontology::new("jobs");
+        let college = i.intern("college");
+        let university = i.intern("university");
+        let sub = SubscriptionBuilder::new(&mut i).term_eq("university", "toronto").build(SubId(7));
+        let event = EventBuilder::new(&mut i).term("college", "toronto").build();
+        let interner = SharedInterner::from_interner(i);
+        let matcher = SToPSS::new(Config::default(), Arc::new(o.clone()), interner.clone());
+        matcher.subscribe(sub);
+        assert!(matcher.publish(&event).is_empty(), "no synonym yet");
+        let mut evolved = o;
+        interner.with(|i| evolved.synonyms.add_synonym(university, college, i)).unwrap();
+        matcher.set_source(Arc::new(evolved));
+        assert_eq!(matcher.publish(&event).len(), 1, "new synonym is live");
+    }
+
+    /// A publisher that resolved its snapshot before a control op finishes
+    /// against that snapshot: the op's swap does not block or corrupt the
+    /// in-flight match.
+    #[test]
+    fn in_flight_publication_finishes_against_its_epoch() {
+        let w = world();
+        let matcher = SToPSS::new(Config::default(), w.source, w.interner);
+        matcher.subscribe(w.sub.clone());
+        let before = matcher.resolve();
+        matcher.set_stages(StageMask::syntactic());
+        // The retired snapshot still matches semantically.
+        let result = matcher.interner.with(|i| before.publish_inner(&w.event, i));
+        assert_eq!(result.matches.len(), 1);
+        assert_eq!(result.epoch, 1);
+        // The current snapshot is syntactic.
+        assert!(matcher.publish(&w.event).is_empty());
     }
 }

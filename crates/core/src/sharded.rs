@@ -1,9 +1,9 @@
 //! Sharded concurrent matching with a shared semantic front-end.
 //!
 //! [`ShardedSToPSS`] partitions subscriptions across N shards by a hash of
-//! their [`SubId`]; each shard owns a complete [`SToPSS`] (and therefore an
-//! independent [`stopss_matching::MatchingEngine`]). A publication flows
-//! through a **two-stage pipeline**:
+//! their [`SubId`]; each shard owns a complete matcher core (and therefore
+//! an independent [`stopss_matching::MatchingEngine`]). A publication
+//! flows through a **two-stage pipeline**:
 //!
 //! 1. **Shared semantic front-end** — the event-side pass (synonym
 //!    canonicalization, hierarchy/mapping closure, or event
@@ -14,13 +14,37 @@
 //!    registered non-system tolerance. For batches the front-end itself
 //!    chunks events across the scoped worker pool.
 //! 2. **Shard matching** — every shard receives only the engine-match +
-//!    verify work ([`SToPSS::match_prepared`]) on the precomputed
-//!    artifact, fanned out on crossbeam scoped worker threads. The
-//!    artifact's [`crate::TierCache`] is shared read-only across the
-//!    concurrent shards: per-candidate tolerance verification and
-//!    provenance classification read the same per-publication closures
-//!    instead of each shard re-deriving them per candidate inside its
-//!    partition.
+//!    verify work on the precomputed artifact, fanned out on crossbeam
+//!    scoped worker threads. The artifact's [`crate::TierCache`] is shared
+//!    read-only across the concurrent shards: per-candidate tolerance
+//!    verification and provenance classification read the same
+//!    per-publication closures instead of each shard re-deriving them per
+//!    candidate inside its partition.
+//!
+//! # Epoch-snapshot control plane
+//!
+//! The shard vector lives inside one immutable [`ShardSet`] snapshot
+//! behind an atomically swapped `Arc` — a *consistent cut* across all
+//! shards. Control ops (`subscribe`, `unsubscribe`, `set_stages`,
+//! `reconfigure`, `set_source`) serialize on a control mutex, fork only
+//! the shard(s) they touch (copy-on-write via
+//! [`stopss_matching::MatchingEngine::boxed_clone`]), and publish a whole
+//! new set with one pointer swap. Publishers resolve one set per
+//! publication (per pipeline chunk for batches) and never block on the
+//! control plane; swapping the *set* rather than individual shards is what
+//! makes interleaved runs linearizable — a publication can never observe
+//! shard A after a mutation but shard B before it.
+//!
+//! Like the single matcher, the set carries two epochs: `control_epoch`
+//! (bumped by every mutation; returned by control ops and stamped on every
+//! [`PublishResult`] as the linearization token) and `frontend_epoch`
+//! (bumped only by `set_stages`/`reconfigure`/`set_source`, the mutations
+//! that invalidate detached front-end artifacts). "Stale" therefore means
+//! exactly: the artifact's front-end tag no longer equals the resolved
+//! set's `frontend_epoch`. The pipelined `publish_batch` self-heals mid
+//! batch — a chunk whose artifacts went stale is re-prepared against the
+//! set it is about to match — and the broker's barrier path gets the same
+//! atomicity via [`ShardedSToPSS::try_publish_prepared_batch`].
 //!
 //! The whole match path takes `&self`: shards keep their per-publication
 //! mutable state (engine + scratch) behind interior mutability and the
@@ -40,33 +64,30 @@
 //! The S-ToPSS paper treats the syntactic engine as a black box precisely
 //! so the semantic layer can scale this way: semantic enrichment is a
 //! per-publication transform (independent of which subscriptions a shard
-//! holds), matching is the per-subscription fan-out. Earlier revisions
-//! *replicated* the event-side pass in every shard; hoisting it cuts that
-//! overhead from `shards ×` to `1 ×` per publication (the
-//! `sharding_scaling` bench also keeps the hoisted-vs-replicated
-//! comparison axis).
+//! holds), matching is the per-subscription fan-out.
 //!
 //! # Stats aggregation
 //!
 //! The shared front-end accumulates the event-side counters (`published`,
 //! `derived_events`, `closure_pairs`, `truncations`) exactly once per
-//! publication; shards accumulate only subscription-side counters
-//! (`verifications`, `verify_rejections`, `rewrite_truncations`).
-//! Aggregation is therefore a plain sum ([`MatcherStats::merge`]) with no
-//! cross-shard deduplication, and reproduces the single-threaded numbers
-//! exactly. The differential suite in `tests/sharded_differential.rs`
-//! pins this equivalence across every engine × strategy × stage-mask
-//! combination.
+//! publication; shard cores accumulate only subscription-side counters
+//! (`verifications`, `verify_rejections`, `rewrite_truncations`) into one
+//! shared atomic block. Both blocks live *outside* the swapped snapshots,
+//! so statistics survive control-plane swaps and reshards without a carry
+//! step, and a plain sum reproduces the single-threaded numbers exactly.
+//! The differential suite in `tests/sharded_differential.rs` pins this
+//! equivalence across every engine × strategy × stage-mask combination.
 
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 
+use parking_lot::{Mutex, RwLock};
 use stopss_ontology::SemanticSource;
 use stopss_types::{fx_hash_one, Event, SharedInterner, SubId, Subscription};
 
 use crate::config::Config;
 use crate::frontend::{PreparedEvent, SemanticFrontEnd};
-use crate::matcher::{AtomicStats, MatcherStats, PublishResult, SToPSS};
+use crate::matcher::{AtomicStats, MatcherCore, MatcherStats, PublishResult};
 use crate::provenance::Match;
 use crate::tolerance::Tolerance;
 
@@ -88,45 +109,96 @@ pub fn shard_of(id: SubId, shards: usize) -> usize {
     (fx_hash_one(&id.0) % shards as u64) as usize
 }
 
+/// One immutable incarnation of the sharded matcher: the configuration,
+/// ontology handle, every shard core, and the two epochs — the consistent
+/// cut a publication matches against.
+struct ShardSet {
+    config: Config,
+    source: Arc<dyn SemanticSource>,
+    shards: Vec<Arc<MatcherCore>>,
+    /// Bumped by every control mutation (linearization token).
+    control_epoch: u64,
+    /// Bumped by mutations that invalidate detached front-end artifacts.
+    frontend_epoch: u64,
+}
+
+impl ShardSet {
+    /// A detachable front-end for this set, carrying the union of the
+    /// shards' registered verification classes and the set's front-end
+    /// epoch tag.
+    fn frontend(&self, interner: &SharedInterner) -> SemanticFrontEnd {
+        let mut classes: Vec<Tolerance> = Vec::new();
+        for shard in &self.shards {
+            shard.verify_classes_into(&mut classes);
+        }
+        SemanticFrontEnd::new(self.config, self.source.clone(), interner.clone())
+            .with_verify_classes(classes)
+            .with_epoch(self.frontend_epoch)
+    }
+}
+
 /// A sharded, concurrent semantic matcher with the same observable
-/// behaviour as [`SToPSS`].
+/// behaviour as [`crate::SToPSS`].
 ///
 /// Subscriptions are partitioned by [`shard_of`]; publications run the
 /// shared semantic front-end once, then fan out to all shards in parallel
 /// (scoped worker threads, at most [`Config::effective_parallelism`] of
-/// them) and merge into one ordered match set. See the module docs for
-/// the two-stage pipeline and the equivalence argument.
+/// them) and merge into one ordered match set. Control ops take `&self`
+/// and swap immutable [`ShardSet`] snapshots; publishers never block on
+/// them. See the module docs for the two-stage pipeline, the epoch-swap
+/// semantics, and the equivalence argument.
 pub struct ShardedSToPSS {
-    config: Config,
-    source: Arc<dyn SemanticSource>,
     interner: SharedInterner,
-    shards: Vec<SToPSS>,
+    /// The current consistent cut. Held only long enough to clone
+    /// (readers) or store (the control plane) the `Arc`.
+    snapshot: RwLock<Arc<ShardSet>>,
+    /// Serializes control-plane mutations; the publish path never touches
+    /// it.
+    control: Mutex<()>,
     /// Event-side counters from the shared front-end pass (shards only
     /// ever see subscription-side work, so these accumulate here, once
     /// per publication). Relaxed atomics so the `&self` match path can
     /// account them while another pipeline chunk is in flight.
-    event_stats: AtomicStats,
-    /// Lifetime stats accumulated before the last reshard (shard vectors
-    /// are rebuilt from scratch when the shard count changes, but stats
-    /// must survive reconfiguration exactly as they do on [`SToPSS`]).
-    carried: MatcherStats,
+    event_stats: Arc<AtomicStats>,
+    /// Subscription-side counters, shared by every shard core across
+    /// every snapshot incarnation (so reshards need no carry step).
+    sub_stats: Arc<AtomicStats>,
 }
 
 impl ShardedSToPSS {
     /// Creates a matcher with `config.effective_shards()` shards over
     /// `source`, using `interner` for all terms.
     pub fn new(config: Config, source: Arc<dyn SemanticSource>, interner: SharedInterner) -> Self {
+        let sub_stats = Arc::new(AtomicStats::default());
         let shards = (0..config.effective_shards())
-            .map(|_| SToPSS::new(config, source.clone(), interner.clone()))
+            .map(|_| {
+                Arc::new(MatcherCore::new(
+                    config,
+                    source.clone(),
+                    interner.clone(),
+                    sub_stats.clone(),
+                ))
+            })
             .collect();
         ShardedSToPSS {
-            config,
-            source,
             interner,
-            shards,
-            event_stats: AtomicStats::default(),
-            carried: MatcherStats::default(),
+            snapshot: RwLock::new(Arc::new(ShardSet {
+                config,
+                source,
+                shards,
+                control_epoch: 0,
+                frontend_epoch: 0,
+            })),
+            control: Mutex::new(()),
+            event_stats: Arc::new(AtomicStats::default()),
+            sub_stats,
         }
+    }
+
+    /// Resolves the current consistent cut (one brief read lock, one
+    /// `Arc` clone).
+    fn resolve(&self) -> Arc<ShardSet> {
+        self.snapshot.read().clone()
     }
 
     /// The interner shared with publishers/subscribers.
@@ -134,87 +206,140 @@ impl ShardedSToPSS {
         &self.interner
     }
 
-    /// The active configuration.
-    pub fn config(&self) -> &Config {
-        &self.config
+    /// The active configuration (of the current snapshot).
+    pub fn config(&self) -> Config {
+        self.resolve().config
     }
 
-    /// The semantic knowledge source.
-    pub fn source(&self) -> &Arc<dyn SemanticSource> {
-        &self.source
+    /// The semantic knowledge source (of the current snapshot).
+    pub fn source(&self) -> Arc<dyn SemanticSource> {
+        self.resolve().source.clone()
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.resolve().shards.len()
     }
 
     /// The shard subscription `id` is (or would be) routed to.
     pub fn shard_for(&self, id: SubId) -> usize {
-        shard_of(id, self.shards.len())
+        shard_of(id, self.shard_count())
+    }
+
+    /// The control epoch of the current snapshot (bumped by every control
+    /// mutation).
+    pub fn control_epoch(&self) -> u64 {
+        self.resolve().control_epoch
+    }
+
+    /// The front-end epoch of the current snapshot (bumped by mutations
+    /// that invalidate detached front-end artifacts).
+    pub fn frontend_epoch(&self) -> u64 {
+        self.resolve().frontend_epoch
     }
 
     /// A detachable handle on the shared semantic front-end (see
     /// [`SemanticFrontEnd`]): the stage every publication passes through
     /// exactly once before shard matching. Carries the union of the
-    /// shards' registered verification classes, so stage 1 warms them
-    /// alongside the classifier tiers.
+    /// shards' registered verification classes (so stage 1 warms them
+    /// alongside the classifier tiers) and the snapshot's front-end epoch
+    /// tag for staleness checks.
     pub fn frontend(&self) -> SemanticFrontEnd {
-        let mut classes: Vec<Tolerance> = Vec::new();
-        for shard in &self.shards {
-            shard.verify_classes_into(&mut classes);
-        }
-        SemanticFrontEnd::new(self.config, self.source.clone(), self.interner.clone())
-            .with_verify_classes(classes)
+        self.resolve().frontend(&self.interner)
     }
 
     /// Aggregated lifetime statistics, identical to what a single
-    /// [`SToPSS`] over the same inputs would report (see module docs).
+    /// [`crate::SToPSS`] over the same inputs would report (see module
+    /// docs).
     pub fn stats(&self) -> MatcherStats {
-        let mut agg = self.carried;
-        agg.merge(&self.event_stats.snapshot());
-        for shard in &self.shards {
-            agg.merge(&shard.stats());
-        }
+        let mut agg = self.event_stats.snapshot();
+        agg.merge(&self.sub_stats.snapshot());
         agg
     }
 
     /// Number of user subscriptions across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(SToPSS::len).sum()
+        self.resolve().shards.iter().map(|s| s.len()).sum()
     }
 
     /// True if no subscriptions are registered.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(SToPSS::is_empty)
+        self.len() == 0
     }
 
     /// The original subscription registered under `id`.
-    pub fn subscription(&self, id: SubId) -> Option<&Subscription> {
-        self.shards[self.shard_for(id)].subscription(id)
+    pub fn subscription(&self, id: SubId) -> Option<Subscription> {
+        let set = self.resolve();
+        set.shards[shard_of(id, set.shards.len())].subscription(id).cloned()
     }
 
     /// The effective (clamped) tolerance of subscription `id`.
     pub fn tolerance(&self, id: SubId) -> Option<Tolerance> {
-        self.shards[self.shard_for(id)].tolerance(id)
+        let set = self.resolve();
+        set.shards[shard_of(id, set.shards.len())].tolerance(id)
     }
 
-    /// Registers a subscription with the system-wide tolerance.
-    pub fn subscribe(&mut self, sub: Subscription) {
-        let shard = self.shard_for(sub.id());
-        self.shards[shard].subscribe(sub);
+    /// Registers a subscription with the system-wide tolerance. Returns
+    /// the control epoch the registration created.
+    pub fn subscribe(&self, sub: Subscription) -> u64 {
+        let _control = self.control.lock();
+        let cur = self.resolve();
+        let tolerance = cur.config.system_tolerance();
+        self.swap_subscribed(&cur, sub, tolerance)
     }
 
     /// Registers a subscription with a subscriber-specific tolerance.
-    pub fn subscribe_with_tolerance(&mut self, sub: Subscription, tolerance: Tolerance) {
-        let shard = self.shard_for(sub.id());
-        self.shards[shard].subscribe_with_tolerance(sub, tolerance);
+    /// Returns the control epoch the registration created.
+    pub fn subscribe_with_tolerance(&self, sub: Subscription, tolerance: Tolerance) -> u64 {
+        let _control = self.control.lock();
+        let cur = self.resolve();
+        self.swap_subscribed(&cur, sub, tolerance)
     }
 
-    /// Removes a subscription; returns whether it existed.
-    pub fn unsubscribe(&mut self, id: SubId) -> bool {
-        let shard = self.shard_for(id);
-        self.shards[shard].unsubscribe(id)
+    /// Forks the one shard `sub` routes to, registers it there, and swaps
+    /// in the new set. Caller holds the control lock.
+    fn swap_subscribed(&self, cur: &ShardSet, sub: Subscription, tolerance: Tolerance) -> u64 {
+        let idx = shard_of(sub.id(), cur.shards.len());
+        let mut shards = cur.shards.clone();
+        let mut core = shards[idx].fork();
+        core.subscribe_with_tolerance(sub, tolerance);
+        shards[idx] = Arc::new(core);
+        self.swap(ShardSet {
+            config: cur.config,
+            source: cur.source.clone(),
+            shards,
+            control_epoch: cur.control_epoch + 1,
+            frontend_epoch: cur.frontend_epoch,
+        })
+    }
+
+    /// Stores the next snapshot; returns its control epoch.
+    fn swap(&self, next: ShardSet) -> u64 {
+        let epoch = next.control_epoch;
+        *self.snapshot.write() = Arc::new(next);
+        epoch
+    }
+
+    /// Removes a subscription; returns the control epoch of the removal,
+    /// or `None` if no such subscription existed.
+    pub fn unsubscribe(&self, id: SubId) -> Option<u64> {
+        let _control = self.control.lock();
+        let cur = self.resolve();
+        let idx = shard_of(id, cur.shards.len());
+        if !cur.shards[idx].contains(id) {
+            return None;
+        }
+        let mut shards = cur.shards.clone();
+        let mut core = shards[idx].fork();
+        core.remove_entry(id);
+        shards[idx] = Arc::new(core);
+        Some(self.swap(ShardSet {
+            config: cur.config,
+            source: cur.source.clone(),
+            shards,
+            control_epoch: cur.control_epoch + 1,
+            frontend_epoch: cur.frontend_epoch,
+        }))
     }
 
     /// Publishes one event, returning the matched subscriptions ordered by
@@ -249,14 +374,22 @@ impl ShardedSToPSS {
     /// which is observably identical: chunking never crosses an event
     /// boundary, artifacts are position-stable, and the event-side
     /// counters commute (relaxed atomic sums).
+    ///
+    /// Each chunk resolves its own [`ShardSet`] at match time, so control
+    /// ops racing a long batch interleave at chunk granularity; a chunk
+    /// whose artifacts were prepared under a now-stale front end (a
+    /// concurrent `set_stages`/`reconfigure`/`set_source`) is re-prepared
+    /// against the set it is about to match — publishers self-heal
+    /// instead of blocking.
     pub fn publish_batch_detailed(&self, events: &[Event]) -> Vec<PublishResult> {
         if events.is_empty() {
             return Vec::new();
         }
-        let frontend = self.frontend();
-        if events.len() <= PIPELINE_CHUNK || !self.config.pipeline_overlap() {
+        let start = self.resolve();
+        let frontend = start.frontend(&self.interner);
+        if events.len() <= PIPELINE_CHUNK || !start.config.pipeline_overlap() {
             let prepared = frontend.prepare_batch(events);
-            return self.publish_prepared_batch(&prepared);
+            return self.match_chunk(events, prepared, frontend.epoch());
         }
         // Capacity 1: the preparer may finish chunk k+1 while chunk k is
         // being matched, then blocks — stage 1 never runs more than one
@@ -274,12 +407,35 @@ impl ShardedSToPSS {
                 }
             });
             let mut results = Vec::with_capacity(events.len());
+            let mut offset = 0usize;
             for prepared in rx {
-                results.extend(self.publish_prepared_batch(&prepared));
+                let chunk = &events[offset..offset + prepared.len()];
+                offset += prepared.len();
+                results.extend(self.match_chunk(chunk, prepared, frontend.epoch()));
             }
             results
         })
         .expect("pipeline scope panicked")
+    }
+
+    /// Matches one chunk against a freshly resolved set, re-preparing the
+    /// artifacts first if the front end they came from has gone stale.
+    /// The staleness check and the match read the *same* snapshot, so a
+    /// racing control op lands entirely before or entirely after the
+    /// chunk — never inside it.
+    fn match_chunk(
+        &self,
+        events: &[Event],
+        prepared: Vec<PreparedEvent>,
+        prepared_epoch: u64,
+    ) -> Vec<PublishResult> {
+        let set = self.resolve();
+        let prepared = if set.frontend_epoch == prepared_epoch {
+            prepared
+        } else {
+            set.frontend(&self.interner).prepare_batch(events)
+        };
+        self.match_prepared_on(&set, &prepared)
     }
 
     /// The matching stage: publishes precomputed front-end artifacts.
@@ -287,14 +443,38 @@ impl ShardedSToPSS {
     /// Accounts the event-side counters the artifacts carry (once per
     /// publication), fans the engine-match + verify work out to the
     /// shards, and merges per-shard results sorted by `SubId`. The
-    /// artifacts must have been prepared under this matcher's
-    /// configuration (see [`ShardedSToPSS::frontend`]); the broker uses
-    /// this entry point to publish batches it prepared outside its
-    /// matcher lock. Combined with `frontend().prepare_batch()` this is
-    /// also the *barrier* composition of the two stages — the reference
-    /// the pipelined `publish_batch` is differentially tested (and
-    /// benchmarked) against.
+    /// artifacts must have been prepared under this matcher's current
+    /// configuration (see [`ShardedSToPSS::frontend`]) — callers racing
+    /// the control plane should use
+    /// [`ShardedSToPSS::try_publish_prepared_batch`] instead. Combined
+    /// with `frontend().prepare_batch()` this is also the *barrier*
+    /// composition of the two stages — the reference the pipelined
+    /// `publish_batch` is differentially tested (and benchmarked)
+    /// against.
     pub fn publish_prepared_batch(&self, prepared: &[PreparedEvent]) -> Vec<PublishResult> {
+        let set = self.resolve();
+        self.match_prepared_on(&set, prepared)
+    }
+
+    /// Atomic staleness check + match: resolves one set and, if its
+    /// `frontend_epoch` still equals `frontend_epoch` (the tag of the
+    /// [`SemanticFrontEnd`] that prepared `prepared`), matches every
+    /// artifact against that set. Returns `None` when the front end is
+    /// stale — the caller re-prepares from a fresh
+    /// [`ShardedSToPSS::frontend`].
+    pub fn try_publish_prepared_batch(
+        &self,
+        prepared: &[PreparedEvent],
+        frontend_epoch: u64,
+    ) -> Option<Vec<PublishResult>> {
+        let set = self.resolve();
+        if set.frontend_epoch != frontend_epoch {
+            return None;
+        }
+        Some(self.match_prepared_on(&set, prepared))
+    }
+
+    fn match_prepared_on(&self, set: &ShardSet, prepared: &[PreparedEvent]) -> Vec<PublishResult> {
         if prepared.is_empty() {
             return Vec::new();
         }
@@ -311,7 +491,7 @@ impl ShardedSToPSS {
             }
         }
 
-        let workers = self.config.effective_parallelism();
+        let workers = set.config.effective_parallelism();
         // Scoped workers are real OS threads, so spawning must be
         // amortized: batches always fan out; a single event (the broker's
         // per-publish path) fans out only when the caller asked for a
@@ -319,15 +499,15 @@ impl ShardedSToPSS {
         // shards where per-shard matching dwarfs a thread spawn) and
         // otherwise matches sequentially.
         let fan_out = workers > 1
-            && self.shards.len() > 1
-            && (prepared.len() > 1 || self.config.parallelism > 0);
+            && set.shards.len() > 1
+            && (prepared.len() > 1 || set.config.parallelism > 0);
         // per_shard[s][k] = shard s's result for artifact k.
         let per_shard: Vec<Vec<PublishResult>> = if !fan_out {
-            self.shards.iter().map(|shard| run_shard(shard, prepared)).collect()
+            set.shards.iter().map(|shard| run_shard(shard, prepared)).collect()
         } else {
-            let chunk = self.shards.len().div_ceil(workers);
+            let chunk = set.shards.len().div_ceil(workers);
             crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = self
+                let handles: Vec<_> = set
                     .shards
                     .chunks(chunk)
                     .map(|chunk_shards| {
@@ -344,57 +524,125 @@ impl ShardedSToPSS {
             })
             .expect("shard scope panicked")
         };
-        merge_results(prepared, per_shard)
+        merge_results(prepared, per_shard, set.control_epoch)
     }
 
     /// Switches the enabled stages on every shard and rebuilds their
-    /// engine subscriptions.
-    pub fn set_stages(&mut self, stages: crate::tolerance::StageMask) {
-        self.config.stages = stages;
-        for shard in &mut self.shards {
-            shard.set_stages(stages);
-        }
+    /// engine subscriptions. Returns the control epoch of the switch.
+    pub fn set_stages(&self, stages: crate::tolerance::StageMask) -> u64 {
+        let _control = self.control.lock();
+        let cur = self.resolve();
+        let mut config = cur.config;
+        config.stages = stages;
+        let shards = cur
+            .shards
+            .iter()
+            .map(|shard| {
+                let mut core = shard.fork();
+                core.set_stages(stages);
+                Arc::new(core)
+            })
+            .collect();
+        self.swap(ShardSet {
+            config,
+            source: cur.source.clone(),
+            shards,
+            control_epoch: cur.control_epoch + 1,
+            frontend_epoch: cur.frontend_epoch + 1,
+        })
     }
 
     /// Replaces the configuration (engine, strategy, shard count, …). If
-    /// the shard count changes, subscriptions are redistributed; either
-    /// way every shard rebuilds its engine state.
-    pub fn reconfigure(&mut self, config: Config) {
-        if config.effective_shards() == self.shards.len() {
-            self.config = config;
-            for shard in &mut self.shards {
-                shard.reconfigure(config);
+    /// the shard count changes, subscriptions are redistributed into
+    /// fresh shard cores — verification-class refcounts (and therefore
+    /// the stage-1 warm set) are rebuilt per shard from the re-routed
+    /// subscriptions' requested tolerances, and lifetime statistics
+    /// survive because the counters live outside the snapshots. Either
+    /// way every shard rebuilds its engine state. Returns the control
+    /// epoch of the swap.
+    pub fn reconfigure(&self, config: Config) -> u64 {
+        let _control = self.control.lock();
+        let cur = self.resolve();
+        let shards = if config.effective_shards() == cur.shards.len() {
+            cur.shards
+                .iter()
+                .map(|shard| {
+                    let mut core = shard.fork();
+                    core.reconfigure(config);
+                    Arc::new(core)
+                })
+                .collect()
+        } else {
+            let mut all: Vec<(Subscription, Tolerance)> = Vec::new();
+            for shard in &cur.shards {
+                all.extend(shard.subscriptions_with_tolerances());
             }
-            return;
-        }
-        let mut all: Vec<(Subscription, Tolerance)> = Vec::with_capacity(self.len());
-        for shard in &self.shards {
-            all.extend(shard.subscriptions_with_tolerances());
-        }
-        all.sort_unstable_by_key(|(sub, _)| sub.id());
-        let carried = self.stats();
-        *self = ShardedSToPSS::new(config, self.source.clone(), self.interner.clone());
-        self.carried = carried;
-        for (sub, tolerance) in all {
-            self.subscribe_with_tolerance(sub, tolerance);
-        }
+            all.sort_unstable_by_key(|(sub, _)| sub.id());
+            let mut cores: Vec<MatcherCore> = (0..config.effective_shards())
+                .map(|_| {
+                    MatcherCore::new(
+                        config,
+                        cur.source.clone(),
+                        self.interner.clone(),
+                        self.sub_stats.clone(),
+                    )
+                })
+                .collect();
+            for (sub, tolerance) in all {
+                let idx = shard_of(sub.id(), cores.len());
+                cores[idx].subscribe_with_tolerance(sub, tolerance);
+            }
+            cores.into_iter().map(Arc::new).collect()
+        };
+        self.swap(ShardSet {
+            config,
+            source: cur.source.clone(),
+            shards,
+            control_epoch: cur.control_epoch + 1,
+            frontend_epoch: cur.frontend_epoch + 1,
+        })
+    }
+
+    /// Swaps the semantic knowledge source on every shard — live ontology
+    /// evolution, see [`crate::SToPSS::set_source`]. Returns the control
+    /// epoch of the swap.
+    pub fn set_source(&self, source: Arc<dyn SemanticSource>) -> u64 {
+        let _control = self.control.lock();
+        let cur = self.resolve();
+        let shards = cur
+            .shards
+            .iter()
+            .map(|shard| {
+                let mut core = shard.fork();
+                core.set_source(source.clone());
+                Arc::new(core)
+            })
+            .collect();
+        self.swap(ShardSet {
+            config: cur.config,
+            source,
+            shards,
+            control_epoch: cur.control_epoch + 1,
+            frontend_epoch: cur.frontend_epoch + 1,
+        })
     }
 }
 
 /// Runs the whole artifact list through one shard sequentially (the
-/// subscription-side half only — the front-end already ran). `&SToPSS`
+/// subscription-side half only — the front-end already ran). `&MatcherCore`
 /// suffices: the shard's match path is interior-mutable.
-fn run_shard(shard: &SToPSS, prepared: &[PreparedEvent]) -> Vec<PublishResult> {
+fn run_shard(shard: &MatcherCore, prepared: &[PreparedEvent]) -> Vec<PublishResult> {
     prepared.iter().map(|artifact| shard.match_prepared(artifact)).collect()
 }
 
 /// Merges per-shard results into one result per event: matches are
 /// concatenated and sorted by `SubId` (shards partition ids, so there are
 /// no duplicates); event-side counters come straight from the shared
-/// front-end artifact.
+/// front-end artifact, the epoch from the set the chunk matched against.
 fn merge_results(
     prepared: &[PreparedEvent],
     per_shard: Vec<Vec<PublishResult>>,
+    epoch: u64,
 ) -> Vec<PublishResult> {
     let mut merged: Vec<PublishResult> = Vec::with_capacity(prepared.len());
     for (k, artifact) in prepared.iter().enumerate() {
@@ -403,6 +651,7 @@ fn merge_results(
             derived_events: artifact.derived_events,
             closure_pairs: artifact.closure_pairs,
             truncated: artifact.truncated,
+            epoch,
         };
         for shard_results in &per_shard {
             result.matches.extend_from_slice(&shard_results[k].matches);
@@ -417,6 +666,7 @@ fn merge_results(
 mod tests {
     use super::*;
     use crate::config::Strategy;
+    use crate::matcher::SToPSS;
     use crate::provenance::MatchOrigin;
     use crate::tolerance::StageMask;
     use stopss_matching::EngineKind;
@@ -458,8 +708,8 @@ mod tests {
 
     fn matchers(w: &World, shards: usize) -> (SToPSS, ShardedSToPSS) {
         let config = Config::default().with_shards(shards);
-        let mut single = SToPSS::new(config, w.source.clone(), w.interner.clone());
-        let mut sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+        let single = SToPSS::new(config, w.source.clone(), w.interner.clone());
+        let sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
         for sub in &w.subs {
             single.subscribe(sub.clone());
             sharded.subscribe(sub.clone());
@@ -527,8 +777,8 @@ mod tests {
         let w = world();
         for parallelism in [1usize, 2, 3] {
             let config = Config::default().with_shards(8).with_parallelism(parallelism);
-            let mut sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
-            let mut single = SToPSS::new(config, w.source.clone(), w.interner.clone());
+            let sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+            let single = SToPSS::new(config, w.source.clone(), w.interner.clone());
             for sub in &w.subs {
                 sharded.subscribe(sub.clone());
                 single.subscribe(sub.clone());
@@ -543,7 +793,7 @@ mod tests {
     #[test]
     fn stats_survive_resharding() {
         let w = world();
-        let (mut single, mut sharded) = matchers(&w, 2);
+        let (single, sharded) = matchers(&w, 2);
         for event in &w.events {
             single.publish(event);
             sharded.publish(event);
@@ -565,12 +815,12 @@ mod tests {
     #[test]
     fn subscription_lookup_and_unsubscribe_route_by_hash() {
         let w = world();
-        let (_, mut sharded) = matchers(&w, 8);
+        let (_, sharded) = matchers(&w, 8);
         let id = w.subs[0].id();
-        assert_eq!(sharded.subscription(id), Some(&w.subs[0]));
+        assert_eq!(sharded.subscription(id), Some(w.subs[0].clone()));
         assert!(sharded.tolerance(id).is_some());
-        assert!(sharded.unsubscribe(id));
-        assert!(!sharded.unsubscribe(id));
+        assert!(sharded.unsubscribe(id).is_some());
+        assert!(sharded.unsubscribe(id).is_none());
         assert_eq!(sharded.subscription(id), None);
         assert_eq!(sharded.len(), w.subs.len() - 1);
         assert!(!sharded.is_empty());
@@ -579,7 +829,7 @@ mod tests {
     #[test]
     fn set_stages_switches_all_shards() {
         let w = world();
-        let (_, mut sharded) = matchers(&w, 4);
+        let (_, sharded) = matchers(&w, 4);
         let semantic = sharded.publish(&w.events[0]).len();
         sharded.set_stages(StageMask::syntactic());
         let syntactic = sharded.publish(&w.events[0]).len();
@@ -591,7 +841,7 @@ mod tests {
     #[test]
     fn reconfigure_can_reshard() {
         let w = world();
-        let (single, mut sharded) = matchers(&w, 2);
+        let (single, sharded) = matchers(&w, 2);
         let want: Vec<Vec<Match>> = w.events.iter().map(|e| single.publish(e)).collect();
         sharded.reconfigure(
             Config::default()
@@ -614,7 +864,7 @@ mod tests {
     fn shards_share_one_tier_cache_per_artifact() {
         let w = world();
         let config = Config::default().with_shards(4).with_parallelism(4);
-        let mut sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+        let sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
         for (k, sub) in w.subs.iter().enumerate() {
             // Mixed tolerances so several shards verify concurrently.
             let tolerance = match k % 3 {
@@ -643,7 +893,7 @@ mod tests {
     fn per_subscription_tolerance_respected_across_shards() {
         let w = world();
         let config = Config::default().with_shards(8);
-        let mut sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+        let sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
         for sub in &w.subs {
             sharded.subscribe_with_tolerance(sub.clone(), Tolerance::syntactic());
         }
@@ -661,7 +911,7 @@ mod tests {
     fn frontend_warms_registered_verify_classes_in_stage_1() {
         let w = world();
         let config = Config::default().with_shards(4);
-        let mut sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+        let sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
         for (k, sub) in w.subs.iter().enumerate() {
             let tolerance = match k % 3 {
                 0 => Tolerance::full(), // system tolerance: no verify class
@@ -698,6 +948,46 @@ mod tests {
         }
     }
 
+    /// Regression (control-plane bugfix pass): verification classes and
+    /// the stage-1 warm set must survive a reshard exactly — no leaked
+    /// class from the old shard vector, no double-retire when members
+    /// unsubscribe afterwards.
+    #[test]
+    fn verify_classes_survive_resharding() {
+        let w = world();
+        let sharded = ShardedSToPSS::new(
+            Config::default().with_shards(2),
+            w.source.clone(),
+            w.interner.clone(),
+        );
+        for (k, sub) in w.subs.iter().enumerate() {
+            let tolerance = match k % 3 {
+                0 => Tolerance::full(),
+                1 => Tolerance::bounded(1),
+                _ => Tolerance::stages(StageMask::SYNONYM),
+            };
+            sharded.subscribe_with_tolerance(sub.clone(), tolerance);
+        }
+        let warm_before = sharded.frontend().prepare(&w.events[0]).tiers.class_count();
+        assert_eq!(warm_before, 2, "two non-system classes registered");
+        sharded.reconfigure(Config::default().with_shards(5));
+        let warm_after = sharded.frontend().prepare(&w.events[0]).tiers.class_count();
+        assert_eq!(warm_after, 2, "classes re-routed with their subscriptions");
+        // Retiring every member of one class removes exactly that class —
+        // a leaked refcount would keep it warm, a double-retire would
+        // have already dropped it.
+        for (k, sub) in w.subs.iter().enumerate() {
+            if k % 3 == 1 {
+                assert!(sharded.unsubscribe(sub.id()).is_some());
+            }
+        }
+        let warm_retired = sharded.frontend().prepare(&w.events[0]).tiers.class_count();
+        assert_eq!(warm_retired, 1, "the bounded class retires with its last member");
+        // The surviving class still verifies correctly after the reshard.
+        let matches = sharded.publish(&w.events[0]);
+        assert!(!matches.is_empty());
+    }
+
     #[test]
     fn pipelined_large_batch_equals_barrier_and_single() {
         let w = world();
@@ -708,9 +998,9 @@ mod tests {
         // PIPELINE_CHUNK), with mixed tolerances in play.
         let batch: Vec<Event> =
             w.events.iter().cycle().take(3 * PIPELINE_CHUNK + 5).cloned().collect();
-        let mut single = SToPSS::new(config, w.source.clone(), w.interner.clone());
-        let mut pipelined = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
-        let mut barrier = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+        let single = SToPSS::new(config, w.source.clone(), w.interner.clone());
+        let pipelined = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+        let barrier = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
         for (k, sub) in w.subs.iter().enumerate() {
             let tolerance = tolerance_cycle(k);
             single.subscribe_with_tolerance(sub.clone(), tolerance);
@@ -735,6 +1025,37 @@ mod tests {
         }
         assert_eq!(pipelined.stats(), single.stats(), "pipelined stats");
         assert_eq!(barrier.stats(), single.stats(), "barrier stats");
+    }
+
+    /// Control ops bump the set's control epoch consecutively and stamp
+    /// publish results with the epoch they matched under; the sharded
+    /// front end carries the set's staleness tag.
+    #[test]
+    fn epochs_are_consecutive_and_stamped() {
+        let w = world();
+        let sharded = ShardedSToPSS::new(
+            Config::default().with_shards(4),
+            w.source.clone(),
+            w.interner.clone(),
+        );
+        assert_eq!(sharded.control_epoch(), 0);
+        assert_eq!(sharded.subscribe(w.subs[0].clone()), 1);
+        assert_eq!(sharded.subscribe(w.subs[1].clone()), 2);
+        assert_eq!(sharded.unsubscribe(w.subs[1].id()), Some(3));
+        assert_eq!(sharded.unsubscribe(w.subs[1].id()), None);
+        assert_eq!(sharded.control_epoch(), 3);
+        assert_eq!(sharded.frontend_epoch(), 0, "subscription churn keeps artifacts valid");
+        let result = sharded.publish_detailed(&w.events[0]);
+        assert_eq!(result.epoch, 3);
+        assert_eq!(sharded.set_stages(StageMask::syntactic()), 4);
+        assert_eq!(sharded.frontend_epoch(), 1);
+        assert_eq!(sharded.frontend().epoch(), 1);
+        // A stale artifact is refused atomically.
+        let frontend = sharded.frontend();
+        let prepared = frontend.prepare_batch(&w.events);
+        assert!(sharded.try_publish_prepared_batch(&prepared, frontend.epoch()).is_some());
+        sharded.reconfigure(Config::default().with_shards(4));
+        assert!(sharded.try_publish_prepared_batch(&prepared, frontend.epoch()).is_none());
     }
 
     /// Mixed tolerances for the pipeline tests: verify-needing and

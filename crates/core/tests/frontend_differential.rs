@@ -97,7 +97,7 @@ fn representative_masks() -> [StageMask; 5] {
 }
 
 fn single_matcher(w: &World, config: Config) -> SToPSS {
-    let mut m = SToPSS::new(config, w.source.clone(), w.interner.clone());
+    let m = SToPSS::new(config, w.source.clone(), w.interner.clone());
     for sub in &w.subs {
         m.subscribe(sub.clone());
     }
@@ -107,7 +107,7 @@ fn single_matcher(w: &World, config: Config) -> SToPSS {
 /// The PR-2 replicated reference: N full matchers partitioned by
 /// `shard_of`, each recomputing the complete semantic pass per event.
 fn replicated_shards(w: &World, config: Config, shards: usize) -> Vec<SToPSS> {
-    let mut out: Vec<SToPSS> =
+    let out: Vec<SToPSS> =
         (0..shards).map(|_| SToPSS::new(config, w.source.clone(), w.interner.clone())).collect();
     for sub in &w.subs {
         out[shard_of(sub.id(), shards)].subscribe(sub.clone());
@@ -195,7 +195,7 @@ fn pipelined_batch_equals_per_event_under_any_parallelism() {
         let single = single_matcher(&w, config);
         let per_event: Vec<Vec<Match>> = w.events.iter().map(|e| single.publish(e)).collect();
 
-        let mut sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+        let sharded = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
         for sub in &w.subs {
             sharded.subscribe(sub.clone());
         }
@@ -222,9 +222,8 @@ fn parallel_frontend_stage_is_position_stable() {
     let batch: Vec<Event> = w.events.iter().cycle().take(96).cloned().collect();
     let sequential_config = Config::default().with_shards(4).with_parallelism(1);
     let wide_config = Config::default().with_shards(4).with_parallelism(4);
-    let mut sequential =
-        ShardedSToPSS::new(sequential_config, w.source.clone(), w.interner.clone());
-    let mut wide = ShardedSToPSS::new(wide_config, w.source.clone(), w.interner.clone());
+    let sequential = ShardedSToPSS::new(sequential_config, w.source.clone(), w.interner.clone());
+    let wide = ShardedSToPSS::new(wide_config, w.source.clone(), w.interner.clone());
     for sub in &w.subs {
         sequential.subscribe(sub.clone());
         wide.subscribe(sub.clone());

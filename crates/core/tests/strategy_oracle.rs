@@ -278,7 +278,7 @@ proptest! {
                 track_provenance: false,
                 ..Config::default()
             };
-            let mut matcher = SToPSS::new(
+            let matcher = SToPSS::new(
                 config,
                 source.clone(),
                 SharedInterner::from_interner(interner.clone()),
@@ -331,7 +331,7 @@ proptest! {
                 track_provenance: false,
                 ..Config::default()
             };
-            let mut matcher = SToPSS::new(
+            let matcher = SToPSS::new(
                 config,
                 source.clone(),
                 SharedInterner::from_interner(interner.clone()),
@@ -381,7 +381,7 @@ proptest! {
             track_provenance: false,
             ..Config::default()
         };
-        let mut matcher = SToPSS::new(
+        let matcher = SToPSS::new(
             config,
             source.clone(),
             SharedInterner::from_interner(interner.clone()),

@@ -20,7 +20,7 @@ use crate::engine::MatchingEngine;
 type ClusterKey = (Symbol, Value);
 
 /// Clustered matching engine.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct ClusterEngine {
     clusters: FxHashMap<ClusterKey, Vec<Subscription>>,
     /// Subscriptions with no equality predicate (including universal ones).
@@ -138,6 +138,10 @@ impl MatchingEngine for ClusterEngine {
         self.residual.clear();
         self.by_id.clear();
         self.probed.clear();
+    }
+
+    fn boxed_clone(&self) -> Box<dyn MatchingEngine> {
+        Box::new(self.clone())
     }
 }
 

@@ -16,7 +16,7 @@ use crate::index::{AttrIndex, PredIdx};
 
 type SlotIdx = u32;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct PredEntry {
     pred: Predicate,
     /// How many live subscriptions reference this predicate.
@@ -27,7 +27,7 @@ struct PredEntry {
     subscribers: Vec<SlotIdx>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct SubSlot {
     id: SubId,
     /// Distinct predicates required (0 = universal subscription).
@@ -39,7 +39,7 @@ struct SubSlot {
 }
 
 /// Counting-algorithm matching engine.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct CountingEngine {
     preds: Vec<PredEntry>,
     free_preds: Vec<PredIdx>,
@@ -227,6 +227,10 @@ impl MatchingEngine for CountingEngine {
         self.by_id.clear();
         self.universal.clear();
         self.live = 0;
+    }
+
+    fn boxed_clone(&self) -> Box<dyn MatchingEngine> {
+        Box::new(self.clone())
     }
 }
 

@@ -41,6 +41,11 @@ pub trait MatchingEngine: Send {
 
     /// Removes all subscriptions.
     fn clear(&mut self);
+
+    /// Clones the engine (index, live subscriptions, scratch) into a new
+    /// boxed instance. The copy-on-write step of the snapshot control
+    /// plane: control ops fork the engine aside and publish the fork.
+    fn boxed_clone(&self) -> Box<dyn MatchingEngine>;
 }
 
 /// Convenience wrapper: collect matches into a fresh, sorted `Vec`.

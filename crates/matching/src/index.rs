@@ -15,7 +15,7 @@ use stopss_types::{FxHashMap, Interner, Operator, Predicate, Value};
 pub(crate) type PredIdx = u32;
 
 /// Index over all predicates that test a single attribute.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub(crate) struct AttrIndex {
     /// `attr = c`: value → predicate indexes.
     eq: FxHashMap<Value, Vec<PredIdx>>,
@@ -34,7 +34,7 @@ pub(crate) struct AttrIndex {
     inert: Vec<PredIdx>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct RangeEntry {
     threshold: Value,
     op: Operator,

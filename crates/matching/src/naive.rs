@@ -11,7 +11,7 @@ use stopss_types::{Event, FxHashMap, Interner, SubId, Subscription};
 use crate::engine::MatchingEngine;
 
 /// Linear-scan matching engine.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct NaiveEngine {
     subs: Vec<Subscription>,
     by_id: FxHashMap<SubId, usize>,
@@ -64,6 +64,10 @@ impl MatchingEngine for NaiveEngine {
     fn clear(&mut self) {
         self.subs.clear();
         self.by_id.clear();
+    }
+
+    fn boxed_clone(&self) -> Box<dyn MatchingEngine> {
+        Box::new(self.clone())
     }
 }
 

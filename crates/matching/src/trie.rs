@@ -27,7 +27,7 @@ fn canonical_cmp(a: &Predicate, b: &Predicate) -> Ordering {
     a.attr.cmp(&b.attr).then_with(|| a.op.cmp(&b.op)).then_with(|| a.value.index_cmp(&b.value))
 }
 
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 struct EdgeGroup {
     /// Equality edges: value → child.
     eq: FxHashMap<Value, NodeId>,
@@ -41,7 +41,7 @@ impl EdgeGroup {
     }
 }
 
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 struct Node {
     /// Outgoing edges grouped by the attribute their predicate tests.
     groups: FxHashMap<Symbol, EdgeGroup>,
@@ -52,7 +52,7 @@ struct Node {
 }
 
 /// Trie-based matching engine.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct TrieEngine {
     nodes: Vec<Node>,
     free: Vec<NodeId>,
@@ -233,6 +233,10 @@ impl MatchingEngine for TrieEngine {
         self.nodes.push(Node::default());
         self.free.clear();
         self.by_id.clear();
+    }
+
+    fn boxed_clone(&self) -> Box<dyn MatchingEngine> {
+        Box::new(self.clone())
     }
 }
 

@@ -1,17 +1,38 @@
-//! Subscription-churn scenarios and interleaved-vs-sequential replay.
+//! Subscription/ontology-churn scenarios and interleaved-vs-sequential
+//! replay — the differential harness for the epoch-snapshot control plane.
 //!
 //! The matcher's steady-state semantics are pinned by the oracle suites;
 //! what those suites cannot see is *residue*: state an unsubscribe leaves
-//! behind, or a flash crowd of subscriptions perturbing later matches. A
+//! behind, a flash crowd of subscriptions perturbing later matches, or a
+//! live ontology edit leaking into publications that started before it. A
 //! [`ChurnScenario`] is a deterministic op stream (subscribe /
-//! unsubscribe / publish) generated from any [`Fixture`]; the two replay
-//! functions score it differentially — [`replay_interleaved`] runs the
-//! stream against one live matcher, while [`replay_sequential`] rebuilds
-//! a fresh matcher holding exactly the live subscription set before each
-//! publish. Equal match sets prove churn leaves no trace.
+//! unsubscribe / ontology-swap / publish) generated from any [`Fixture`];
+//! the replay functions score it differentially:
+//!
+//! * [`replay_interleaved`] / [`replay_interleaved_sharded`] run the
+//!   stream against one live matcher, single-threaded — the residue
+//!   check. [`replay_sequential`] is their oracle: a fresh matcher built
+//!   from the then-live subscription set (and then-current ontology)
+//!   before each publish. Equal match sets prove churn leaves no trace.
+//! * [`replay_concurrent`] / [`replay_concurrent_sharded`] run the
+//!   control ops on one thread *racing* publisher threads against the
+//!   same live matcher — the snapshot-control-plane check. Every control
+//!   op returns the control epoch of the snapshot it published, every
+//!   publication carries the epoch it matched against, and epochs from a
+//!   single control thread are consecutive — so the racy execution
+//!   linearizes: a publication stamped with epoch *e* must produce
+//!   byte-identical matches (provenance included) to a fresh oracle
+//!   holding exactly the state after the first `e` control ops, and a
+//!   sequential replay of the linearized stream must reproduce the live
+//!   matcher's final statistics exactly. Any torn snapshot — a publish
+//!   observing half a control op, or stats drifting under concurrency —
+//!   breaks one of the two comparisons.
 
-use stopss_core::{Config, Match, SToPSS, ShardedSToPSS};
-use stopss_types::{SubId, Subscription};
+use std::sync::Arc;
+
+use stopss_core::{Config, Match, MatcherStats, PublishResult, SToPSS, ShardedSToPSS};
+use stopss_ontology::Ontology;
+use stopss_types::{Event, SubId, Subscription, Symbol};
 
 use crate::rng::Rng;
 use crate::scenario::Fixture;
@@ -25,6 +46,9 @@ pub enum ChurnOp {
     Unsubscribe(SubId),
     /// Publish the fixture event at this index.
     Publish(usize),
+    /// Swap the live ontology to [`ChurnScenario::ontologies`] at this
+    /// index — semantic evolution between publications.
+    SetOntology(usize),
 }
 
 /// The shape of the churn stream.
@@ -45,12 +69,71 @@ pub struct ChurnScenario {
     pub ops: Vec<ChurnOp>,
     /// How many `Publish` ops the stream contains.
     pub publishes: usize,
+    /// The ontology variants `SetOntology` ops index into. Entry 0 is the
+    /// fixture's base ontology; later entries grow it with deterministic
+    /// synonym/is-a edits over the fixture's own terms.
+    pub ontologies: Vec<Arc<Ontology>>,
+}
+
+/// Derives `extra` evolved ontology variants from the fixture's base by
+/// adding seeded synonym and is-a edges between terms the fixture
+/// actually uses (attribute names and symbolic values), skipping edits
+/// the ontology rejects (conflicts, cycles). Each variant extends the
+/// previous one, modelling monotone knowledge growth.
+fn ontology_variants(fixture: &Fixture, extra: usize, rng: &mut Rng) -> Vec<Arc<Ontology>> {
+    let mut terms: Vec<Symbol> = Vec::new();
+    for sub in &fixture.subscriptions {
+        for p in sub.predicates() {
+            terms.push(p.attr);
+            if let stopss_types::Value::Sym(s) = p.value {
+                terms.push(s);
+            }
+        }
+    }
+    for event in &fixture.publications {
+        for (attr, value) in event.pairs() {
+            terms.push(*attr);
+            if let stopss_types::Value::Sym(s) = value {
+                terms.push(*s);
+            }
+        }
+    }
+    terms.sort_unstable();
+    terms.dedup();
+
+    let mut variants = vec![fixture.source.clone()];
+    let mut current = (*fixture.source).clone();
+    for _ in 0..extra {
+        let mut applied = 0;
+        let mut attempts = 0;
+        while applied < 2 && attempts < 16 && terms.len() >= 2 {
+            attempts += 1;
+            let a = terms[rng.index(terms.len())];
+            let b = terms[rng.index(terms.len())];
+            if a == b {
+                continue;
+            }
+            let ok = fixture.interner.with(|i| {
+                if rng.chance(0.5) {
+                    current.synonyms.add_synonym(a, b, i).is_ok()
+                } else {
+                    current.taxonomy.add_isa(b, a, i).is_ok()
+                }
+            });
+            if ok {
+                applied += 1;
+            }
+        }
+        variants.push(Arc::new(current.clone()));
+    }
+    variants
 }
 
 /// Generates a churn stream of `steps` ops. Subscriptions are drawn from
 /// the fixture pool but re-issued under fresh unique ids (so the same
 /// template can live, die, and return); publish ops cycle through the
-/// fixture's events. Deterministic in `seed`.
+/// fixture's events; ontology-swap ops cycle through deterministic
+/// evolved variants of the fixture ontology. Deterministic in `seed`.
 pub fn churn_scenario(
     fixture: &Fixture,
     mode: ChurnMode,
@@ -59,10 +142,13 @@ pub fn churn_scenario(
 ) -> ChurnScenario {
     assert!(!fixture.subscriptions.is_empty() && !fixture.publications.is_empty());
     let mut rng = Rng::new(seed);
+    let mut onto_rng = rng.fork(7);
+    let ontologies = ontology_variants(fixture, 1 + steps / 50, &mut onto_rng);
     let mut ops = Vec::with_capacity(steps);
     let mut live: Vec<SubId> = Vec::new();
     let mut next_id = 0u64;
     let mut next_event = 0usize;
+    let mut next_variant = 1usize;
     let mut publishes = 0usize;
 
     let mut subscribe = |rng: &mut Rng, live: &mut Vec<SubId>, ops: &mut Vec<ChurnOp>| {
@@ -77,6 +163,13 @@ pub fn churn_scenario(
         *next_event += 1;
         *publishes += 1;
     };
+    let evolve = |next_variant: &mut usize, ops: &mut Vec<ChurnOp>| {
+        if ontologies.len() < 2 {
+            return;
+        }
+        ops.push(ChurnOp::SetOntology(*next_variant));
+        *next_variant = (*next_variant + 1) % ontologies.len();
+    };
 
     while ops.len() < steps {
         match mode {
@@ -85,20 +178,26 @@ pub fn churn_scenario(
                 if roll < 0.45 && !live.is_empty() {
                     let idx = rng.index(live.len());
                     ops.push(ChurnOp::Unsubscribe(live.swap_remove(idx)));
-                } else if roll < 0.75 || live.is_empty() {
+                } else if roll < 0.72 || live.is_empty() {
                     subscribe(&mut rng, &mut live, &mut ops);
+                } else if roll < 0.78 {
+                    evolve(&mut next_variant, &mut ops);
                 } else {
                     publish(&mut next_event, &mut publishes, &mut ops);
                 }
             }
             ChurnMode::FlashCrowd => {
-                // One crowd cycle: burst in, a few events, mass exodus.
+                // One crowd cycle: burst in, a few events, mass exodus —
+                // with the knowledge base occasionally evolving underneath.
                 let burst = 5 + rng.index(11);
                 for _ in 0..burst {
                     subscribe(&mut rng, &mut live, &mut ops);
                 }
                 for _ in 0..1 + rng.index(3) {
                     publish(&mut next_event, &mut publishes, &mut ops);
+                }
+                if rng.chance(0.35) {
+                    evolve(&mut next_variant, &mut ops);
                 }
                 let leavers = (live.len() * 4) / 5;
                 for _ in 0..leavers {
@@ -110,7 +209,7 @@ pub fn churn_scenario(
         }
     }
 
-    ChurnScenario { ops, publishes }
+    ChurnScenario { ops, publishes, ontologies }
 }
 
 /// Sorts a match set by subscription id so replays that differ only in
@@ -127,13 +226,18 @@ pub fn replay_interleaved(
     scenario: &ChurnScenario,
     config: Config,
 ) -> Vec<Vec<Match>> {
-    let mut matcher = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    let matcher = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
     let mut out = Vec::with_capacity(scenario.publishes);
     for op in &scenario.ops {
         match op {
-            ChurnOp::Subscribe(sub) => matcher.subscribe(sub.clone()),
+            ChurnOp::Subscribe(sub) => {
+                matcher.subscribe(sub.clone());
+            }
             ChurnOp::Unsubscribe(id) => {
-                assert!(matcher.unsubscribe(*id), "churn streams only drop live ids");
+                assert!(matcher.unsubscribe(*id).is_some(), "churn streams only drop live ids");
+            }
+            ChurnOp::SetOntology(idx) => {
+                matcher.set_source(scenario.ontologies[*idx].clone());
             }
             ChurnOp::Publish(idx) => {
                 out.push(canonical(matcher.publish(&fixture.publications[*idx])));
@@ -150,13 +254,18 @@ pub fn replay_interleaved_sharded(
     scenario: &ChurnScenario,
     config: Config,
 ) -> Vec<Vec<Match>> {
-    let mut matcher = ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    let matcher = ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
     let mut out = Vec::with_capacity(scenario.publishes);
     for op in &scenario.ops {
         match op {
-            ChurnOp::Subscribe(sub) => matcher.subscribe(sub.clone()),
+            ChurnOp::Subscribe(sub) => {
+                matcher.subscribe(sub.clone());
+            }
             ChurnOp::Unsubscribe(id) => {
-                assert!(matcher.unsubscribe(*id), "churn streams only drop live ids");
+                assert!(matcher.unsubscribe(*id).is_some(), "churn streams only drop live ids");
+            }
+            ChurnOp::SetOntology(idx) => {
+                matcher.set_source(scenario.ontologies[*idx].clone());
             }
             ChurnOp::Publish(idx) => {
                 out.push(canonical(matcher.publish(&fixture.publications[*idx])));
@@ -167,15 +276,17 @@ pub fn replay_interleaved_sharded(
 }
 
 /// The churn oracle: before every publish op, builds a *fresh* matcher
-/// holding exactly the subscriptions live at that point and publishes
-/// once. A live matcher that retains unsubscribe residue (or loses a
-/// subscription) diverges from this replay.
+/// holding exactly the subscriptions live at that point — under the
+/// then-current ontology — and publishes once. A live matcher that
+/// retains unsubscribe residue (or loses a subscription, or matches
+/// through a stale ontology) diverges from this replay.
 pub fn replay_sequential(
     fixture: &Fixture,
     scenario: &ChurnScenario,
     config: Config,
 ) -> Vec<Vec<Match>> {
     let mut live: Vec<Subscription> = Vec::new();
+    let mut source = fixture.source.clone();
     let mut out = Vec::with_capacity(scenario.publishes);
     for op in &scenario.ops {
         match op {
@@ -184,9 +295,9 @@ pub fn replay_sequential(
                 let idx = live.iter().position(|s| s.id() == *id).expect("live id");
                 live.swap_remove(idx);
             }
+            ChurnOp::SetOntology(idx) => source = scenario.ontologies[*idx].clone(),
             ChurnOp::Publish(idx) => {
-                let mut fresh =
-                    SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+                let fresh = SToPSS::new(config, source.clone(), fixture.interner.clone());
                 for sub in &live {
                     fresh.subscribe(sub.clone());
                 }
@@ -195,6 +306,286 @@ pub fn replay_sequential(
         }
     }
     out
+}
+
+/// The live-matcher surface the concurrent harness drives: both backends
+/// expose `&self` control ops returning the published snapshot's control
+/// epoch, and epoch-stamped publish results.
+trait LiveMatcher: Sync {
+    fn subscribe(&self, sub: Subscription) -> u64;
+    fn unsubscribe(&self, id: SubId) -> Option<u64>;
+    fn set_source(&self, source: Arc<Ontology>) -> u64;
+    fn control_epoch(&self) -> u64;
+    fn publish_all(&self, events: &[Event]) -> Vec<PublishResult>;
+    fn stats(&self) -> MatcherStats;
+}
+
+impl LiveMatcher for SToPSS {
+    fn subscribe(&self, sub: Subscription) -> u64 {
+        SToPSS::subscribe(self, sub)
+    }
+    fn unsubscribe(&self, id: SubId) -> Option<u64> {
+        SToPSS::unsubscribe(self, id)
+    }
+    fn set_source(&self, source: Arc<Ontology>) -> u64 {
+        SToPSS::set_source(self, source)
+    }
+    fn control_epoch(&self) -> u64 {
+        SToPSS::control_epoch(self)
+    }
+    fn publish_all(&self, events: &[Event]) -> Vec<PublishResult> {
+        events.iter().map(|e| self.publish_detailed(e)).collect()
+    }
+    fn stats(&self) -> MatcherStats {
+        SToPSS::stats(self)
+    }
+}
+
+impl LiveMatcher for ShardedSToPSS {
+    fn subscribe(&self, sub: Subscription) -> u64 {
+        ShardedSToPSS::subscribe(self, sub)
+    }
+    fn unsubscribe(&self, id: SubId) -> Option<u64> {
+        ShardedSToPSS::unsubscribe(self, id)
+    }
+    fn set_source(&self, source: Arc<Ontology>) -> u64 {
+        ShardedSToPSS::set_source(self, source)
+    }
+    fn control_epoch(&self) -> u64 {
+        ShardedSToPSS::control_epoch(self)
+    }
+    fn publish_all(&self, events: &[Event]) -> Vec<PublishResult> {
+        // The broker-shaped path: batches flow through the (possibly
+        // pipelined) two-stage publish, chunk-resolving snapshots.
+        self.publish_batch_detailed(events)
+    }
+    fn stats(&self) -> MatcherStats {
+        ShardedSToPSS::stats(self)
+    }
+}
+
+/// What a concurrent replay proved, for the caller's sanity asserts.
+#[derive(Clone, Copy, Debug)]
+pub struct ConcurrentChurnSummary {
+    /// Events published by the racing publisher threads.
+    pub publishes: usize,
+    /// Control ops (subscribe/unsubscribe/ontology-swap) applied
+    /// concurrently with them.
+    pub control_ops: usize,
+    /// Publications whose epoch fell strictly inside the control stream —
+    /// evidence the run really interleaved rather than degenerating into
+    /// publish-everything-then-mutate (or the reverse).
+    pub mid_stream_publishes: usize,
+}
+
+/// Publisher batch size for the concurrent harness: larger than the
+/// matcher's pipeline chunk so sharded configs with overlap enabled
+/// exercise the chunk-granular snapshot resolution mid-batch.
+const CONCURRENT_BATCH: usize = 48;
+
+fn run_concurrent<M: LiveMatcher>(
+    live: &M,
+    make: impl Fn() -> M,
+    fixture: &Fixture,
+    scenario: &ChurnScenario,
+    publishers: usize,
+) -> ConcurrentChurnSummary {
+    let control_ops: Vec<ChurnOp> =
+        scenario.ops.iter().filter(|op| !matches!(op, ChurnOp::Publish(_))).cloned().collect();
+    let publish_events: Vec<Event> = scenario
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            ChurnOp::Publish(idx) => Some(fixture.publications[*idx].clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(publishers > 0 && !publish_events.is_empty());
+    let share = publish_events.len().div_ceil(publishers);
+    let initial = live.control_epoch();
+
+    // Race: one control thread linearizes the mutations while publisher
+    // threads hammer the same live matcher.
+    let (control_epochs, records) = std::thread::scope(|scope| {
+        let control = scope.spawn(|| {
+            let mut epochs = Vec::with_capacity(control_ops.len());
+            for op in &control_ops {
+                let epoch = match op {
+                    ChurnOp::Subscribe(sub) => live.subscribe(sub.clone()),
+                    ChurnOp::Unsubscribe(id) => {
+                        live.unsubscribe(*id).expect("churn streams only drop live ids")
+                    }
+                    ChurnOp::SetOntology(idx) => live.set_source(scenario.ontologies[*idx].clone()),
+                    ChurnOp::Publish(_) => unreachable!("filtered above"),
+                };
+                epochs.push(epoch);
+                // Widen the interleaving window between mutations.
+                std::thread::yield_now();
+            }
+            epochs
+        });
+        let handles: Vec<_> = publish_events
+            .chunks(share)
+            .map(|events| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(events.len());
+                    for batch in events.chunks(CONCURRENT_BATCH) {
+                        out.extend(live.publish_all(batch));
+                    }
+                    out
+                })
+            })
+            .collect();
+        let epochs = control.join().expect("control thread");
+        // Flatten thread-by-thread: (thread, local index) gives the
+        // deterministic within-epoch order used by the linearized replay.
+        let mut records: Vec<(usize, PublishResult)> = Vec::new();
+        for (t, handle) in handles.into_iter().enumerate() {
+            for (i, result) in handle.join().expect("publisher thread").into_iter().enumerate() {
+                records.push((t * share + i, result));
+            }
+        }
+        (epochs, records)
+    });
+
+    // Epochs from a single control thread over an otherwise-quiescent
+    // control plane must be consecutive — the linearization backbone.
+    for (i, epoch) in control_epochs.iter().enumerate() {
+        assert_eq!(*epoch, initial + i as u64 + 1, "control op {i} skipped or reused an epoch");
+    }
+
+    // State after the first `k` control ops, for k = 0..=n.
+    struct ChurnState {
+        live: Vec<Subscription>,
+        source: Arc<Ontology>,
+    }
+    let mut states = Vec::with_capacity(control_ops.len() + 1);
+    let mut live_subs: Vec<Subscription> = Vec::new();
+    let mut source = fixture.source.clone();
+    states.push(ChurnState { live: live_subs.clone(), source: source.clone() });
+    for op in &control_ops {
+        match op {
+            ChurnOp::Subscribe(sub) => live_subs.push(sub.clone()),
+            ChurnOp::Unsubscribe(id) => {
+                let idx = live_subs.iter().position(|s| s.id() == *id).expect("live id");
+                live_subs.swap_remove(idx);
+            }
+            ChurnOp::SetOntology(idx) => source = scenario.ontologies[*idx].clone(),
+            ChurnOp::Publish(_) => unreachable!("filtered above"),
+        }
+        states.push(ChurnState { live: live_subs.clone(), source: source.clone() });
+    }
+
+    // Differential 1 — per-publication oracle: a publication stamped with
+    // epoch `e` must match exactly what a fresh matcher holding the state
+    // after `e - initial` control ops produces, provenance included.
+    let mut mid_stream = 0usize;
+    let mut by_prefix: Vec<Vec<&(usize, PublishResult)>> = Vec::new();
+    by_prefix.resize_with(states.len(), Vec::new);
+    for record in &records {
+        let (pos, result) = record;
+        let prefix = (result.epoch - initial) as usize;
+        assert!(prefix < states.len(), "publish at {pos} stamped with an unknown epoch");
+        if prefix > 0 && prefix < control_ops.len() {
+            mid_stream += 1;
+        }
+        by_prefix[prefix].push(record);
+        let state = &states[prefix];
+        let oracle = make();
+        oracle.set_source(state.source.clone());
+        for sub in &state.live {
+            oracle.subscribe(sub.clone());
+        }
+        let expected = oracle
+            .publish_all(std::slice::from_ref(&publish_events[*pos]))
+            .pop()
+            .expect("one result");
+        assert_eq!(
+            canonical(result.matches.clone()),
+            canonical(expected.matches),
+            "publish at {pos} (epoch {}) diverged from the sequential oracle",
+            result.epoch
+        );
+    }
+
+    // Differential 2 — linearized stream replay: feeding the control ops
+    // and the epoch-placed publications to a fresh live matcher, in
+    // linearization order, reproduces every match set and the live
+    // matcher's final statistics byte-for-byte.
+    let replay = make();
+    let replay_publish = |prefix: usize| {
+        for (pos, recorded) in &by_prefix[prefix] {
+            let got = replay
+                .publish_all(std::slice::from_ref(&publish_events[*pos]))
+                .pop()
+                .expect("one result");
+            assert_eq!(
+                canonical(got.matches),
+                canonical(recorded.matches.clone()),
+                "linearized replay diverged at publish {pos}"
+            );
+        }
+    };
+    replay_publish(0);
+    for (k, op) in control_ops.iter().enumerate() {
+        let epoch = match op {
+            ChurnOp::Subscribe(sub) => replay.subscribe(sub.clone()),
+            ChurnOp::Unsubscribe(id) => replay.unsubscribe(*id).expect("live id"),
+            ChurnOp::SetOntology(idx) => replay.set_source(scenario.ontologies[*idx].clone()),
+            ChurnOp::Publish(_) => unreachable!("filtered above"),
+        };
+        assert_eq!(epoch, control_epochs[k], "replayed control op re-derives the same epoch");
+        replay_publish(k + 1);
+    }
+    assert_eq!(
+        replay.stats(),
+        live.stats(),
+        "linearized replay must reproduce the live matcher's statistics exactly"
+    );
+
+    ConcurrentChurnSummary {
+        publishes: records.len(),
+        control_ops: control_ops.len(),
+        mid_stream_publishes: mid_stream,
+    }
+}
+
+/// Runs the scenario's control ops on one thread racing `publishers`
+/// publisher threads against a live single-threaded matcher, then proves
+/// the execution linearizable (see the module docs). Panics on any
+/// divergence; returns a summary for sanity asserts.
+pub fn replay_concurrent(
+    fixture: &Fixture,
+    scenario: &ChurnScenario,
+    config: Config,
+    publishers: usize,
+) -> ConcurrentChurnSummary {
+    let live = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    run_concurrent(
+        &live,
+        || SToPSS::new(config, fixture.source.clone(), fixture.interner.clone()),
+        fixture,
+        scenario,
+        publishers,
+    )
+}
+
+/// [`replay_concurrent`] over the sharded backend (shard count — and the
+/// pipelined/barrier batch path, via `parallelism` — from `config`).
+pub fn replay_concurrent_sharded(
+    fixture: &Fixture,
+    scenario: &ChurnScenario,
+    config: Config,
+    publishers: usize,
+) -> ConcurrentChurnSummary {
+    let live = ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    run_concurrent(
+        &live,
+        || ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone()),
+        fixture,
+        scenario,
+        publishers,
+    )
 }
 
 #[cfg(test)]
@@ -210,12 +601,14 @@ mod tests {
             let b = churn_scenario(&f, mode, 120, 99);
             assert_eq!(a.ops.len(), b.ops.len());
             assert_eq!(a.publishes, b.publishes);
+            assert_eq!(a.ontologies.len(), b.ontologies.len());
             assert!(a.publishes > 0, "stream must contain publish ops");
             for (x, y) in a.ops.iter().zip(&b.ops) {
                 match (x, y) {
                     (ChurnOp::Subscribe(s), ChurnOp::Subscribe(t)) => assert_eq!(s, t),
                     (ChurnOp::Unsubscribe(s), ChurnOp::Unsubscribe(t)) => assert_eq!(s, t),
                     (ChurnOp::Publish(s), ChurnOp::Publish(t)) => assert_eq!(s, t),
+                    (ChurnOp::SetOntology(s), ChurnOp::SetOntology(t)) => assert_eq!(s, t),
                     other => panic!("op kind mismatch: {other:?}"),
                 }
             }
@@ -231,6 +624,15 @@ mod tests {
     }
 
     #[test]
+    fn scenarios_carry_ontology_evolution() {
+        let f = jobfinder_fixture(40, 30, 7);
+        let s = churn_scenario(&f, ChurnMode::UnsubscribeHeavy, 400, 11);
+        assert!(s.ontologies.len() > 1, "evolved variants are generated");
+        let swaps = s.ops.iter().filter(|op| matches!(op, ChurnOp::SetOntology(_))).count();
+        assert!(swaps > 0, "the stream exercises live ontology swaps");
+    }
+
+    #[test]
     fn interleaved_equals_sequential_on_jobfinder() {
         let f = jobfinder_fixture(30, 20, 5);
         let s = churn_scenario(&f, ChurnMode::FlashCrowd, 80, 3);
@@ -240,5 +642,13 @@ mod tests {
         assert_eq!(interleaved, sequential);
         let sharded = replay_interleaved_sharded(&f, &s, config.with_shards(4));
         assert_eq!(sharded, sequential);
+    }
+
+    #[test]
+    fn concurrent_replay_smoke() {
+        let f = jobfinder_fixture(25, 40, 5);
+        let s = churn_scenario(&f, ChurnMode::UnsubscribeHeavy, 120, 9);
+        let summary = replay_concurrent(&f, &s, Config::default(), 2);
+        assert!(summary.publishes > 0 && summary.control_ops > 0);
     }
 }

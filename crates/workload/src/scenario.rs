@@ -44,7 +44,7 @@ impl Fixture {
     /// Builds a single-threaded matcher over this fixture's ontology with
     /// every subscription registered.
     pub fn matcher(&self, config: Config) -> SToPSS {
-        let mut matcher = SToPSS::new(config, self.source.clone(), self.interner.clone());
+        let matcher = SToPSS::new(config, self.source.clone(), self.interner.clone());
         for sub in &self.subscriptions {
             matcher.subscribe(sub.clone());
         }
@@ -54,7 +54,7 @@ impl Fixture {
     /// Builds a sharded matcher (shard count from `config.shards`) over
     /// this fixture's ontology with every subscription registered.
     pub fn sharded_matcher(&self, config: Config) -> ShardedSToPSS {
-        let mut matcher = ShardedSToPSS::new(config, self.source.clone(), self.interner.clone());
+        let matcher = ShardedSToPSS::new(config, self.source.clone(), self.interner.clone());
         for sub in &self.subscriptions {
             matcher.subscribe(sub.clone());
         }
@@ -65,7 +65,7 @@ impl Fixture {
     /// of `batch_size`, returning the match set of each publication in
     /// publication order — the batch-feed entry point for benches and the
     /// differential suites.
-    pub fn feed_batches(&self, matcher: &mut ShardedSToPSS, batch_size: usize) -> Vec<Vec<Match>> {
+    pub fn feed_batches(&self, matcher: &ShardedSToPSS, batch_size: usize) -> Vec<Vec<Match>> {
         let mut out = Vec::with_capacity(self.publications.len());
         for batch in self.publication_batches(batch_size) {
             out.extend(matcher.publish_batch(batch));
@@ -260,9 +260,9 @@ mod tests {
         let f = jobfinder_fixture(80, 40, 13);
         let config = Config::default().with_shards(4);
         let single = f.matcher(config);
-        let mut sharded = f.sharded_matcher(config);
+        let sharded = f.sharded_matcher(config);
         let want: Vec<Vec<Match>> = f.publications.iter().map(|e| single.publish(e)).collect();
-        let got = f.feed_batches(&mut sharded, 7);
+        let got = f.feed_batches(&sharded, 7);
         assert_eq!(got, want);
         assert_eq!(f.publication_batches(7).count(), 40usize.div_ceil(7));
         assert_eq!(f.publication_batches(0).count(), 40, "batch size 0 clamps to 1");
@@ -312,7 +312,7 @@ mod tests {
         let f = synthetic_fixture(&shape, &workload);
 
         let count = |config: Config| {
-            let mut matcher = SToPSS::new(config, f.source.clone(), f.interner.clone());
+            let matcher = SToPSS::new(config, f.source.clone(), f.interner.clone());
             for s in &f.subscriptions {
                 matcher.subscribe(s.clone());
             }
@@ -339,7 +339,7 @@ mod tests {
         let sub = chain_subscription(&domain, SubId(1)).unwrap();
         let start = domain.chain_start.unwrap();
         let source = Arc::new(domain.ontology.clone());
-        let mut matcher =
+        let matcher =
             SToPSS::new(Config::default(), source, SharedInterner::from_interner(interner));
         matcher.subscribe(sub);
         let event = Event::new().with(start, Value::Int(5));

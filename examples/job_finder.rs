@@ -74,7 +74,7 @@ fn main() {
 
         // Re-run matching once (without delivery) to attribute origins.
         if semantic {
-            let mut matcher =
+            let matcher =
                 SToPSS::new(Config::default(), Arc::new(domain.ontology.clone()), shared.clone());
             for sub in &workload.subscriptions {
                 matcher.subscribe(sub.clone());

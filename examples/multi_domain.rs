@@ -93,7 +93,7 @@ isa luxury_sedan -> sedan
     let resume_text = format!("{}", resume.display(&interner));
     let listing_text = format!("{}", listing.display(&interner));
 
-    let mut matcher =
+    let matcher =
         SToPSS::new(Config::default(), Arc::new(registry), SharedInterner::from_interner(interner));
     matcher.subscribe(recruiter);
     matcher.subscribe(dealer);

@@ -60,7 +60,7 @@ end
     // ---------------------------------------------------------------- 4.
     // Semantic matching with S-ToPSS.
     let shared = SharedInterner::from_interner(interner);
-    let mut matcher = SToPSS::new(Config::default(), Arc::new(ontology), shared.clone());
+    let matcher = SToPSS::new(Config::default(), Arc::new(ontology), shared.clone());
     matcher.subscribe(subscription);
 
     let matches = matcher.publish(&resume);

@@ -51,7 +51,7 @@ fn main() {
     for (label, event) in &candidates {
         let mut row = format!("{label:<28}");
         for bound in [Some(0u32), Some(1), Some(2), None] {
-            let mut matcher = SToPSS::new(Config::default(), source.clone(), shared.clone());
+            let matcher = SToPSS::new(Config::default(), source.clone(), shared.clone());
             matcher.subscribe_with_tolerance(
                 programming_sub.clone(),
                 Tolerance { stages: StageMask::all(), max_distance: bound },
@@ -67,7 +67,7 @@ fn main() {
     let shared2 = shared.clone();
     for bound in [Some(0u32), Some(1), Some(2), None] {
         let config = Config { max_distance: bound, ..Config::default() };
-        let mut matcher = SToPSS::new(config, source.clone(), shared2.clone());
+        let matcher = SToPSS::new(config, source.clone(), shared2.clone());
         matcher.subscribe(programming_sub.clone());
         let result = matcher.publish_detailed(&candidates[2].1);
         println!(
@@ -82,7 +82,7 @@ fn main() {
 
     println!("\nStage opt-out: the same subscription with hierarchy disabled sees");
     println!("only the exact term:");
-    let mut matcher = SToPSS::new(Config::default(), source.clone(), shared.clone());
+    let matcher = SToPSS::new(Config::default(), source.clone(), shared.clone());
     matcher.subscribe_with_tolerance(
         programming_sub.clone(),
         Tolerance { stages: StageMask::SYNONYM, max_distance: None },

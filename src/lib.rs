@@ -45,7 +45,7 @@
 //!     .build(SubId(1));
 //! let event = EventBuilder::new(&mut interner).term("school", "toronto").build();
 //!
-//! let mut matcher = SToPSS::new(
+//! let matcher = SToPSS::new(
 //!     Config::default(),
 //!     Arc::new(ontology),
 //!     SharedInterner::from_interner(interner),

@@ -46,7 +46,7 @@ fn deep_hierarchy_walk_derived_by_hand() {
     let sub = Subscription::new(SubId(1), vec![Predicate::eq(domain.attr_location, canada)]);
     let event = Event::new().with(domain.attr_place, Value::Sym(downtown));
 
-    let mut m = matcher_for(Config::default(), &domain, &interner);
+    let m = matcher_for(Config::default(), &domain, &interner);
     m.subscribe(sub.clone());
     let matches = m.publish(&event);
     assert_eq!(matches.len(), 1);
@@ -59,10 +59,10 @@ fn deep_hierarchy_walk_derived_by_hand() {
     // Distance-bounded subscriber tolerance: the walk is 3 levels
     // (district → city → province → country), so a bound of 2 rejects it
     // and a bound of 3 admits it.
-    let mut bounded = matcher_for(Config::default(), &domain, &interner);
+    let bounded = matcher_for(Config::default(), &domain, &interner);
     bounded.subscribe_with_tolerance(sub.clone(), Tolerance::bounded(2));
     assert_eq!(bounded.publish(&event).len(), 0, "3 levels exceed a bound of 2");
-    let mut wider = matcher_for(Config::default(), &domain, &interner);
+    let wider = matcher_for(Config::default(), &domain, &interner);
     wider.subscribe_with_tolerance(sub, Tolerance::bounded(3));
     assert_eq!(wider.publish(&event).len(), 1, "a bound of 3 admits the walk");
 }
@@ -75,7 +75,7 @@ fn red_alert_chain_derived_by_hand() {
     let mut interner = Interner::new();
     let domain = GeoDomain::build(&mut interner);
     let sub = Subscription::new(SubId(1), vec![Predicate::eq(domain.attr_alert, domain.term_red)]);
-    let mut m = matcher_for(Config::default(), &domain, &interner);
+    let m = matcher_for(Config::default(), &domain, &interner);
     m.subscribe(sub);
     let quake = |mag: i64| Event::new().with(domain.attr_magnitude, Value::Int(mag));
     assert_eq!(m.publish(&quake(8)).len(), 1, "critical quake ⇒ red alert, transitively");
@@ -93,7 +93,7 @@ fn evacuation_radius_derived_by_hand() {
         SubId(1),
         vec![Predicate::new(domain.attr_evac_km, Operator::Ge, Value::Int(50))],
     );
-    let mut m = matcher_for(Config::default(), &domain, &interner);
+    let m = matcher_for(Config::default(), &domain, &interner);
     m.subscribe(sub);
     let quake = |mag: i64| Event::new().with(domain.attr_magnitude, Value::Int(mag));
     assert_eq!(m.publish(&quake(6)).len(), 1, "60 km radius meets the 50 km bound");
@@ -131,7 +131,7 @@ proptest! {
 
         for engine in EngineKind::ALL {
             let config = Config { engine, track_provenance: false, ..Config::default() };
-            let mut matcher = SToPSS::new(
+            let matcher = SToPSS::new(
                 config,
                 source.clone(),
                 SharedInterner::from_interner(interner.clone()),

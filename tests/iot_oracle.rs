@@ -47,7 +47,7 @@ fn alias_plus_shallow_hierarchy_match_derived_by_hand() {
     let event = Event::new().with(domain.attr_device, Value::Sym(thermometer));
 
     let count = |stages: StageMask| {
-        let mut m = matcher_for(
+        let m = matcher_for(
             Config::default().with_stages(stages).with_provenance(false),
             &domain,
             &interner,
@@ -71,7 +71,7 @@ fn fahrenheit_mapping_match_derived_by_hand() {
         SubId(1),
         vec![Predicate::new(domain.attr_temperature, Operator::Ge, Value::Int(30))],
     );
-    let mut m = matcher_for(Config::default(), &domain, &interner);
+    let m = matcher_for(Config::default(), &domain, &interner);
     m.subscribe(sub);
 
     let at = |f: i64| m.publish(&Event::new().with(domain.attr_temp_f, Value::Int(f))).len();
@@ -92,7 +92,7 @@ fn low_battery_alert_derived_by_hand() {
         SubId(1),
         vec![Predicate::eq(domain.attr_status, domain.term_low_battery)],
     );
-    let mut m = matcher_for(Config::default(), &domain, &interner);
+    let m = matcher_for(Config::default(), &domain, &interner);
     m.subscribe(sub);
     let at = |pct: i64| m.publish(&Event::new().with(domain.attr_battery, Value::Int(pct))).len();
     assert_eq!(at(20), 1, "boundary fires");
@@ -130,7 +130,7 @@ proptest! {
 
         for engine in EngineKind::ALL {
             let config = Config { engine, track_provenance: false, ..Config::default() };
-            let mut matcher = SToPSS::new(
+            let matcher = SToPSS::new(
                 config,
                 source.clone(),
                 SharedInterner::from_interner(interner.clone()),

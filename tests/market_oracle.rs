@@ -51,7 +51,7 @@ fn chained_block_trade_classification_derived_by_hand() {
         SubId(1),
         vec![Predicate::eq(domain.attr_trade_class, domain.term_block_trade)],
     );
-    let mut m = matcher_for(Config::default(), &domain, &interner);
+    let m = matcher_for(Config::default(), &domain, &interner);
     m.subscribe(sub);
 
     let trade = |price: i64, volume: i64| {
@@ -81,7 +81,7 @@ fn alias_and_sector_hierarchy_derived_by_hand() {
     );
     let sector_sub =
         Subscription::new(SubId(2), vec![Predicate::eq(domain.attr_sector, technology)]);
-    let mut m = matcher_for(Config::default(), &domain, &interner);
+    let m = matcher_for(Config::default(), &domain, &interner);
     m.subscribe(price_sub);
     m.subscribe(sector_sub);
 
@@ -104,7 +104,7 @@ fn subscriber_tolerance_gates_semantic_matches() {
     let mut interner = Interner::new();
     let domain = MarketDomain::build(&mut interner);
     let preds = vec![Predicate::new(domain.attr_price, Operator::Ge, Value::Int(500))];
-    let mut m = matcher_for(Config::default(), &domain, &interner);
+    let m = matcher_for(Config::default(), &domain, &interner);
     m.subscribe_with_tolerance(Subscription::new(SubId(1), preds.clone()), Tolerance::syntactic());
     m.subscribe_with_tolerance(Subscription::new(SubId(2), preds.clone()), Tolerance::full());
 
@@ -148,7 +148,7 @@ proptest! {
 
         for engine in EngineKind::ALL {
             let config = Config { engine, track_provenance: false, ..Config::default() };
-            let mut matcher = SToPSS::new(
+            let matcher = SToPSS::new(
                 config,
                 source.clone(),
                 SharedInterner::from_interner(interner.clone()),

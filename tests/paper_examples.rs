@@ -34,7 +34,7 @@ fn section_1_job_finder_example() {
 
     assert!(!sub.matches(&event, &interner), "no current pub/sub system matches this");
 
-    let mut matcher =
+    let matcher =
         SToPSS::new(Config::default(), Arc::new(ontology), SharedInterner::from_interner(interner));
     matcher.subscribe(sub);
     let matches = matcher.publish(&event);
@@ -64,7 +64,7 @@ fn section_1_car_vehicle_automobile() {
     let vehicle_event = EventBuilder::new(&mut interner).term("item", "vehicle").build();
     let car_event = EventBuilder::new(&mut interner).term("item", "car").build();
 
-    let mut matcher =
+    let matcher =
         SToPSS::new(Config::default(), Arc::new(ontology), SharedInterner::from_interner(interner));
     matcher.subscribe(sub);
     matcher.subscribe(sub_general);
@@ -109,7 +109,7 @@ fn section_1_mainframe_developer_inference() {
         .pair("first programming year", 1999i64)
         .build();
 
-    let mut matcher =
+    let matcher =
         SToPSS::new(Config::default(), Arc::new(ontology), SharedInterner::from_interner(interner));
     matcher.subscribe(sub);
 
@@ -137,7 +137,7 @@ fn section_3_1_synonym_stage() {
         .pair("professional experience", 5i64)
         .build();
 
-    let mut matcher =
+    let matcher =
         SToPSS::new(Config::default(), Arc::new(ontology), SharedInterner::from_interner(interner));
     matcher.subscribe(sub);
     let matches = matcher.publish(&event);
@@ -166,8 +166,7 @@ fn section_3_1_mapping_stage() {
     // The paper evaluates "present date − graduation year" at demo time
     // (2003): 10 years of experience.
     let config = Config { now_year: 2003, ..Config::default() };
-    let mut matcher =
-        SToPSS::new(config, Arc::new(ontology), SharedInterner::from_interner(interner));
+    let matcher = SToPSS::new(config, Arc::new(ontology), SharedInterner::from_interner(interner));
     matcher.subscribe(sub);
     let matches = matcher.publish(&event);
     assert_eq!(matches.len(), 1);
@@ -188,7 +187,7 @@ fn section_3_2_bounded_generality() {
     let top_sub = SubscriptionBuilder::new(&mut interner).term_eq("skill", "skill").build(SubId(2));
     let java_resume = EventBuilder::new(&mut interner).term("skill", "java").build();
 
-    let mut matcher =
+    let matcher =
         SToPSS::new(Config::default(), Arc::new(ontology), SharedInterner::from_interner(interner));
     matcher.subscribe_with_tolerance(jvm_sub, Tolerance::bounded(1));
     matcher.subscribe_with_tolerance(top_sub, Tolerance::bounded(1));
@@ -222,7 +221,7 @@ fn section_3_2_stages_are_independent() {
     let source = Arc::new(ontology);
     let run = |stages: StageMask| -> Vec<(u64, bool)> {
         let config = Config { stages, ..Config::default() };
-        let mut matcher = SToPSS::new(config, source.clone(), shared.clone());
+        let matcher = SToPSS::new(config, source.clone(), shared.clone());
         matcher.subscribe(synonym_sub.clone());
         matcher.subscribe(hierarchy_sub.clone());
         matcher.subscribe(mapping_sub.clone());

@@ -23,7 +23,7 @@ fn quickstart_flow_matches_via_synonym() {
         SubscriptionBuilder::new(&mut interner).term_eq("university", "toronto").build(SubId(1));
     let event = EventBuilder::new(&mut interner).term("school", "toronto").build();
 
-    let mut matcher =
+    let matcher =
         SToPSS::new(Config::default(), Arc::new(ontology), SharedInterner::from_interner(interner));
     matcher.subscribe(sub);
     let matches = matcher.publish(&event);
@@ -48,7 +48,7 @@ fn quickstart_flow_across_engines_and_stage_masks() {
             .build(SubId(1));
         let event = EventBuilder::new(&mut interner).term("school", "toronto").build();
 
-        let mut semantic = SToPSS::new(
+        let semantic = SToPSS::new(
             Config { engine, ..Config::default() },
             source.clone(),
             SharedInterner::from_interner(interner.clone()),
@@ -61,7 +61,7 @@ fn quickstart_flow_across_engines_and_stage_masks() {
             engine.name()
         );
 
-        let mut syntactic = SToPSS::new(
+        let syntactic = SToPSS::new(
             Config { engine, stages: StageMask::syntactic(), ..Config::default() },
             source,
             SharedInterner::from_interner(interner),

@@ -43,31 +43,31 @@ fn tolerance_for(k: usize) -> Option<Tolerance> {
     }
 }
 
-fn subscribe_single(fixture: &Fixture, matcher: &mut SToPSS) {
+fn subscribe_single(fixture: &Fixture, matcher: &SToPSS) {
     for (k, sub) in fixture.subscriptions.iter().enumerate() {
         match tolerance_for(k) {
             Some(t) => matcher.subscribe_with_tolerance(sub.clone(), t),
             None => matcher.subscribe(sub.clone()),
-        }
+        };
     }
 }
 
-fn subscribe_sharded(fixture: &Fixture, matcher: &mut ShardedSToPSS) {
+fn subscribe_sharded(fixture: &Fixture, matcher: &ShardedSToPSS) {
     for (k, sub) in fixture.subscriptions.iter().enumerate() {
         match tolerance_for(k) {
             Some(t) => matcher.subscribe_with_tolerance(sub.clone(), t),
             None => matcher.subscribe(sub.clone()),
-        }
+        };
     }
 }
 
 /// Publishes the whole fixture through both matchers and asserts exact
 /// agreement on matches + provenance per event and on aggregated stats.
 fn assert_differential(fixture: &Fixture, config: Config, label: &str) {
-    let mut single = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
-    let mut sharded = ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
-    subscribe_single(fixture, &mut single);
-    subscribe_sharded(fixture, &mut sharded);
+    let single = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    let sharded = ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    subscribe_single(fixture, &single);
+    subscribe_sharded(fixture, &sharded);
     assert_eq!(single.len(), sharded.len(), "{label}: subscription counts");
     for (k, event) in fixture.publications.iter().enumerate() {
         let want = single.publish(event);
@@ -88,9 +88,8 @@ fn sweep(fixture: &Fixture, masks: &[StageMask], shard_counts: &[usize]) {
                     .with_engine(engine)
                     .with_strategy(strategy)
                     .with_stages(stages);
-                let mut single =
-                    SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
-                subscribe_single(fixture, &mut single);
+                let single = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+                subscribe_single(fixture, &single);
                 let want: Vec<Vec<Match>> =
                     fixture.publications.iter().map(|e| single.publish(e)).collect();
                 for &shards in shard_counts {
@@ -101,12 +100,12 @@ fn sweep(fixture: &Fixture, masks: &[StageMask], shard_counts: &[usize]) {
                         stages,
                         shards
                     );
-                    let mut sharded = ShardedSToPSS::new(
+                    let sharded = ShardedSToPSS::new(
                         config.with_shards(shards),
                         fixture.source.clone(),
                         fixture.interner.clone(),
                     );
-                    subscribe_sharded(fixture, &mut sharded);
+                    subscribe_sharded(fixture, &sharded);
                     let got = sharded.publish_batch(&fixture.publications);
                     assert_eq!(got, want, "{label}: match sets diverged");
                     assert_eq!(
@@ -175,15 +174,14 @@ fn pipelined_equals_barrier_across_engines_strategies_masks() {
                     engine.name(),
                     strategy.name()
                 );
-                let mut single =
-                    SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
-                subscribe_single(&fixture, &mut single);
+                let single = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+                subscribe_single(&fixture, &single);
                 let want: Vec<Vec<Match>> =
                     fixture.publications.iter().map(|e| single.publish(e)).collect();
 
-                let mut barrier =
+                let barrier =
                     ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
-                subscribe_sharded(&fixture, &mut barrier);
+                subscribe_sharded(&fixture, &barrier);
                 let prepared = barrier.frontend().prepare_batch(&fixture.publications);
                 let from_barrier: Vec<Vec<Match>> = barrier
                     .publish_prepared_batch(&prepared)
@@ -191,9 +189,9 @@ fn pipelined_equals_barrier_across_engines_strategies_masks() {
                     .map(|r| r.matches)
                     .collect();
 
-                let mut pipelined =
+                let pipelined =
                     ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
-                subscribe_sharded(&fixture, &mut pipelined);
+                subscribe_sharded(&fixture, &pipelined);
                 let from_pipeline = pipelined.publish_batch(&fixture.publications);
 
                 assert_eq!(from_barrier, want, "{label}: barrier vs single");
@@ -211,15 +209,13 @@ fn pipelined_equals_barrier_across_engines_strategies_masks() {
 #[test]
 fn pipelined_constrained_parallelism_is_equivalent() {
     let fixture = jobfinder_fixture(80, 70, 11);
-    let mut single =
-        SToPSS::new(Config::default(), fixture.source.clone(), fixture.interner.clone());
-    subscribe_single(&fixture, &mut single);
+    let single = SToPSS::new(Config::default(), fixture.source.clone(), fixture.interner.clone());
+    subscribe_single(&fixture, &single);
     let want: Vec<Vec<Match>> = fixture.publications.iter().map(|e| single.publish(e)).collect();
     for parallelism in [1usize, 2, 5] {
         let config = Config::default().with_shards(8).with_parallelism(parallelism);
-        let mut sharded =
-            ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
-        subscribe_sharded(&fixture, &mut sharded);
+        let sharded = ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+        subscribe_sharded(&fixture, &sharded);
         let got = sharded.publish_batch(&fixture.publications);
         assert_eq!(got, want, "parallelism={parallelism}");
         assert_eq!(sharded.stats(), single.stats(), "parallelism={parallelism} stats");
@@ -253,8 +249,8 @@ fn publish_batch_equals_per_event_publish() {
     let sequential: Vec<Vec<Match>> =
         fixture.publications.iter().map(|e| per_event.publish(e)).collect();
     for batch_size in [1usize, 7, 30] {
-        let mut batched = fixture.sharded_matcher(config);
-        let got = fixture.feed_batches(&mut batched, batch_size);
+        let batched = fixture.sharded_matcher(config);
+        let got = fixture.feed_batches(&batched, batch_size);
         assert_eq!(got, sequential, "batch_size={batch_size}");
         assert_eq!(batched.stats(), per_event.stats(), "batch_size={batch_size} stats");
     }

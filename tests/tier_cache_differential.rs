@@ -43,7 +43,7 @@ fn tolerance_cycle() -> [Tolerance; 6] {
 }
 
 fn matcher_with_mixed_tolerances(fixture: &Fixture, config: Config) -> SToPSS {
-    let mut matcher = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+    let matcher = SToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
     let cycle = tolerance_cycle();
     for (k, sub) in fixture.subscriptions.iter().enumerate() {
         matcher.subscribe_with_tolerance(sub.clone(), cycle[k % cycle.len()]);
@@ -178,7 +178,7 @@ fn distance_cap_is_reported_identically_past_the_search_horizon() {
     let (interner, source, sub, event) = chain_world(70);
     for tier_cache in [true, false] {
         let config = Config::default().with_tier_cache(tier_cache);
-        let mut matcher = SToPSS::new(config, source.clone(), interner.clone());
+        let matcher = SToPSS::new(config, source.clone(), interner.clone());
         matcher.subscribe(sub.clone());
         let matches = matcher.publish(&event);
         assert_eq!(matches.len(), 1, "tier_cache={tier_cache}");
@@ -192,7 +192,7 @@ fn distance_cap_is_reported_identically_past_the_search_horizon() {
     let (interner, source, sub, event) = chain_world(9);
     for tier_cache in [true, false] {
         let config = Config::default().with_tier_cache(tier_cache);
-        let mut matcher = SToPSS::new(config, source.clone(), interner.clone());
+        let matcher = SToPSS::new(config, source.clone(), interner.clone());
         matcher.subscribe(sub.clone());
         let matches = matcher.publish(&event);
         assert_eq!(matches[0].origin, MatchOrigin::Hierarchy { distance: 9 });
@@ -231,7 +231,7 @@ fn multi_path_derivations_report_the_minimal_distance() {
     });
     for tier_cache in [true, false] {
         let config = Config::default().with_tier_cache(tier_cache);
-        let mut matcher = SToPSS::new(config, source.clone(), interner.clone());
+        let matcher = SToPSS::new(config, source.clone(), interner.clone());
         matcher.subscribe(sub.clone());
         let matches = matcher.publish(&event);
         assert_eq!(matches[0].origin, MatchOrigin::Hierarchy { distance: 1 });
@@ -247,8 +247,7 @@ fn sharded_fast_path_equals_single_threaded_oracle() {
     let cycle = tolerance_cycle();
     for shards in [2usize, 8] {
         let config = Config::default().with_shards(shards).with_parallelism(shards.min(4));
-        let mut sharded =
-            ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
+        let sharded = ShardedSToPSS::new(config, fixture.source.clone(), fixture.interner.clone());
         for (k, sub) in fixture.subscriptions.iter().enumerate() {
             sharded.subscribe_with_tolerance(sub.clone(), cycle[k % cycle.len()]);
         }

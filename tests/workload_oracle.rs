@@ -42,7 +42,7 @@ proptest! {
                 track_provenance: false,
                 ..Config::default()
             };
-            let mut matcher =
+            let matcher =
                 SToPSS::new(config, source.clone(), SharedInterner::from_interner(interner.clone()));
             for sub in &subs {
                 matcher.subscribe(sub.clone());
@@ -73,7 +73,7 @@ proptest! {
         let reparsed = s_topss::ontology::parse_ontology(&text, &mut interner).unwrap();
 
         let run = |ontology: Ontology| -> Vec<Vec<SubId>> {
-            let mut matcher = SToPSS::new(
+            let matcher = SToPSS::new(
                 Config::default().with_provenance(false),
                 Arc::new(ontology),
                 SharedInterner::from_interner(interner.clone()),
@@ -112,7 +112,7 @@ proptest! {
         let mut previous: Option<Vec<usize>> = None;
         for mask in masks {
             let config = Config { stages: mask, track_provenance: false, ..Config::default() };
-            let mut matcher =
+            let matcher =
                 SToPSS::new(config, source.clone(), SharedInterner::from_interner(interner.clone()));
             for sub in &subs {
                 matcher.subscribe(sub.clone());
@@ -134,7 +134,7 @@ proptest! {
                 track_provenance: false,
                 ..Config::default()
             };
-            let mut matcher =
+            let matcher =
                 SToPSS::new(config, source.clone(), SharedInterner::from_interner(interner.clone()));
             for sub in &subs {
                 matcher.subscribe(sub.clone());
