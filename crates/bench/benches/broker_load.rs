@@ -1,0 +1,310 @@
+//! E11 — networked broker under load: connections × publish rate.
+//!
+//! Drives the [`stopss_broker::NetBroker`] event loop end to end over
+//! in-memory framed connections: N subscriber connections whose
+//! subscriptions are drawn from a fixed template pool with **Zipf
+//! popularity skew** ([`stopss_workload::Zipf`] — a few hot topics carry
+//! most of the fan-out, per Fabret et al.), one publisher connection
+//! streaming seq-stamped publications in rate-sized bursts. Each
+//! notification's latency is measured from the moment the publish frame
+//! is flushed into the wire to the moment the subscriber's client drains
+//! the Notification frame — so the number covers the whole serving path:
+//! frame decode, batched subscribe/publish dispatch, match, async notify
+//! engine, outbound queue, flush, client-side reassembly.
+//!
+//! Besides the criterion-stub smoke run, the bench emits the
+//! machine-readable perf trajectory `BENCH_broker.json` at the repo root
+//! (connections × publish rate → events/sec + p50/p99 notify latency).
+//! CI regenerates it, fails if either axis is missing, and the file is
+//! committed so `git log` shows the trajectory PR-over-PR.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stopss_bench::{render_bench_json, JsonRow, JsonValue};
+use stopss_broker::{
+    subscription_to_wire, ClientId, ClientMessage, NetBroker, NetBrokerConfig, NetClient,
+    ServerMessage, TransportKind, WireValue,
+};
+use stopss_types::{Interner, SharedInterner};
+use stopss_workload::{generate_jobfinder, JobFinderDomain, Rng, WorkloadConfig, Zipf};
+
+/// Distinct subscription shapes; connections pick one Zipf-skewed, so the
+/// hot template is shared by ~20% of all connections at s = 1.0.
+const SUB_TEMPLATES: usize = 64;
+/// Zipf exponent for both template popularity and publication choice.
+const ZIPF_SKEW: f64 = 1.0;
+/// Publications streamed per (connections, rate) cell.
+const PUBLICATIONS: usize = 192;
+/// The committed trajectory's two axes.
+const CONNECTIONS: [usize; 3] = [128, 1024, 4096];
+const PUBLISH_RATES: [usize; 2] = [4, 32];
+/// Hard cap on event-loop turns per pump; hitting it means lost frames.
+const TURN_BUDGET: usize = 200_000;
+
+struct LoadResult {
+    events: u64,
+    matches: u64,
+    notifications: u64,
+    events_per_sec: f64,
+    notifications_per_sec: f64,
+    p50_notify_ns: u64,
+    p99_notify_ns: u64,
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[rank]
+}
+
+/// Everything the publish loop needs after setup.
+struct Rig {
+    server: NetBroker,
+    interner: Interner,
+    subscribers: Vec<NetClient>,
+    publisher: NetClient,
+    publisher_id: ClientId,
+    publications: Vec<stopss_types::Event>,
+}
+
+/// Connects `connections` subscribers (Zipf-skewed over the template
+/// pool) plus one publisher, and settles the subscribe storm.
+fn build_rig(connections: usize, seed: u64) -> Rig {
+    let mut interner = Interner::new();
+    let domain = JobFinderDomain::build(&mut interner);
+    let workload = generate_jobfinder(
+        &domain,
+        &WorkloadConfig {
+            subscriptions: SUB_TEMPLATES,
+            publications: PUBLICATIONS,
+            seed,
+            ..Default::default()
+        },
+    );
+    let mut server = NetBroker::new(
+        NetBrokerConfig::default(),
+        Arc::new(domain.ontology.clone()),
+        SharedInterner::from_interner(interner.clone()),
+    )
+    .expect("in-memory event loop always builds");
+
+    let mut subscribers = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        subscribers.push(NetClient::connect(&server.connector()).expect("connect"));
+    }
+    for (k, client) in subscribers.iter_mut().enumerate() {
+        client
+            .send(&ClientMessage::Register {
+                name: format!("sub-{k}"),
+                transport: TransportKind::Tcp,
+            })
+            .expect("register");
+    }
+    let mut ids: Vec<Option<ClientId>> = vec![None; connections];
+    let mut remaining = connections;
+    let mut turns = 0usize;
+    while remaining > 0 {
+        server.turn(Some(Duration::from_millis(1))).expect("turn");
+        turns += 1;
+        assert!(turns < TURN_BUDGET, "registration never settled");
+        for (k, client) in subscribers.iter_mut().enumerate() {
+            if ids[k].is_some() {
+                continue;
+            }
+            for msg in client.poll_recv().expect("recv") {
+                if let ServerMessage::Registered { client: id } = msg {
+                    ids[k] = Some(id);
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+
+    // The subscribe storm: every connection queues its Subscribe before
+    // the loop turns again, so the server coalesces them into a few
+    // batched control mutations.
+    let zipf = Zipf::new(SUB_TEMPLATES, ZIPF_SKEW);
+    let mut rng = Rng::new(seed ^ 0x5eed_701c);
+    for (k, client) in subscribers.iter_mut().enumerate() {
+        let template = &workload.subscriptions[zipf.sample(&mut rng)];
+        client
+            .send(&ClientMessage::Subscribe {
+                client: ids[k].expect("registered"),
+                predicates: subscription_to_wire(template, &interner),
+            })
+            .expect("subscribe");
+    }
+    let mut publisher = NetClient::connect(&server.connector()).expect("connect");
+    publisher
+        .send(&ClientMessage::Register { name: "publisher".into(), transport: TransportKind::Tcp })
+        .expect("register");
+    assert!(server.run_until_quiescent(TURN_BUDGET).expect("turn"), "setup never quiesced");
+    let mut publisher_id = None;
+    for msg in publisher.poll_recv().expect("recv") {
+        if let ServerMessage::Registered { client } = msg {
+            publisher_id = Some(client);
+        }
+    }
+    for client in &mut subscribers {
+        let _ = client.poll_recv().expect("recv"); // drain Subscribed replies
+    }
+    assert_eq!(server.broker().subscription_count(), connections);
+    Rig {
+        server,
+        interner,
+        subscribers,
+        publisher,
+        publisher_id: publisher_id.expect("publisher registered"),
+        publications: workload.publications,
+    }
+}
+
+/// Streams `publications` seq-stamped events in `rate`-sized bursts and
+/// pumps each burst until every Published reply and every resulting
+/// Notification has been drained — losses would hang, so a clean return
+/// is itself a conservation check (plus the explicit stats assert).
+fn run_load(rig: &mut Rig, rate: usize, publications: usize, seed: u64) -> LoadResult {
+    let zipf = Zipf::new(rig.publications.len(), ZIPF_SKEW);
+    let mut rng = Rng::new(seed ^ 0x10ad_9e97);
+    let mut stamps: Vec<Instant> = Vec::with_capacity(publications);
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut matches = 0u64;
+    let base_sent = rig.server.stats().notifications_sent;
+
+    let start = Instant::now();
+    let mut seq = 0usize;
+    while seq < publications {
+        let burst = rate.min(publications - seq);
+        for _ in 0..burst {
+            let event = &rig.publications[zipf.sample(&mut rng)];
+            let interner = &rig.interner;
+            let pairs: Vec<(String, WireValue)> =
+                std::iter::once(("seq".to_owned(), WireValue::Int(seq as i64)))
+                    .chain(event.pairs().iter().map(|(attr, value)| {
+                        (interner.resolve(*attr).to_owned(), WireValue::from_value(value, interner))
+                    }))
+                    .collect();
+            rig.publisher
+                .send(&ClientMessage::Publish { client: rig.publisher_id, pairs })
+                .expect("publish");
+            rig.publisher.flush().expect("flush");
+            stamps.push(Instant::now());
+            seq += 1;
+        }
+        // Pump until the burst's replies and notifications all arrive.
+        let mut published_seen = 0usize;
+        let mut burst_matches = 0u64;
+        let mut burst_notified = 0u64;
+        let mut turns = 0usize;
+        while published_seen < burst || burst_notified < burst_matches {
+            rig.server.turn(Some(Duration::from_millis(1))).expect("turn");
+            turns += 1;
+            assert!(turns < TURN_BUDGET, "burst never drained — a notification was lost");
+            for client in &mut rig.subscribers {
+                for msg in client.poll_recv().expect("recv") {
+                    if let ServerMessage::Notification { payload } = msg {
+                        let n = parse_seq(&payload).expect("seq-stamped payload") as usize;
+                        latencies.push(stamps[n].elapsed().as_nanos() as u64);
+                        burst_notified += 1;
+                    }
+                }
+            }
+            for msg in rig.publisher.poll_recv().expect("recv") {
+                if let ServerMessage::Published { matches } = msg {
+                    burst_matches += u64::from(matches);
+                    published_seen += 1;
+                }
+            }
+        }
+        matches += burst_matches;
+    }
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+
+    let stats = rig.server.stats();
+    assert_eq!(stats.notifications_dropped, 0, "drained consumers never hit backpressure");
+    assert_eq!(stats.notifications_disconnected, 0);
+    assert_eq!(stats.notifications_sent - base_sent, latencies.len() as u64);
+    latencies.sort_unstable();
+    LoadResult {
+        events: publications as u64,
+        matches,
+        notifications: latencies.len() as u64,
+        events_per_sec: publications as f64 / wall,
+        notifications_per_sec: latencies.len() as f64 / wall,
+        p50_notify_ns: percentile(&latencies, 0.50),
+        p99_notify_ns: percentile(&latencies, 0.99),
+    }
+}
+
+/// Pulls the leading `(seq, N)` pair back out of a notification payload.
+fn parse_seq(payload: &str) -> Option<i64> {
+    let tail = payload.split("(seq, ").nth(1)?;
+    let digits: String = tail.chars().take_while(|c| c.is_ascii_digit() || *c == '-').collect();
+    digits.parse().ok()
+}
+
+fn bench_broker_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker_load");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    // Criterion smoke: a modest loop, one rate — the full axis sweep is
+    // the BENCH_TRAJECTORY-gated JSON below.
+    let mut rig = build_rig(64, 17);
+    group.bench_with_input(BenchmarkId::new("burst", "conns=64/rate=4"), &4usize, |b, &rate| {
+        b.iter(|| {
+            let result = run_load(&mut rig, rate, 16, 17);
+            black_box(result.matches)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_broker_load);
+
+fn main() {
+    benches();
+    // The full sweep is opt-in so a plain `cargo bench` stays a fast smoke
+    // run; CI's trajectory step (and anyone refreshing the committed JSON)
+    // sets BENCH_TRAJECTORY=1.
+    if std::env::var_os("BENCH_TRAJECTORY").is_none() {
+        return;
+    }
+    let mut rows: Vec<JsonRow> = Vec::new();
+    for connections in CONNECTIONS {
+        for rate in PUBLISH_RATES {
+            let mut rig = build_rig(connections, 17);
+            let result = run_load(&mut rig, rate, PUBLICATIONS, 17);
+            rows.push(vec![
+                ("connections", JsonValue::UInt(connections as u64)),
+                ("publish_rate", JsonValue::UInt(rate as u64)),
+                ("events", JsonValue::UInt(result.events)),
+                ("matches", JsonValue::UInt(result.matches)),
+                ("notifications", JsonValue::UInt(result.notifications)),
+                ("events_per_sec", JsonValue::Float(result.events_per_sec)),
+                ("notifications_per_sec", JsonValue::Float(result.notifications_per_sec)),
+                ("p50_notify_ns", JsonValue::UInt(result.p50_notify_ns)),
+                ("p99_notify_ns", JsonValue::UInt(result.p99_notify_ns)),
+            ]);
+        }
+    }
+    let json = render_bench_json(
+        "broker_load",
+        &[
+            ("workload", JsonValue::Str("jobfinder".to_owned())),
+            ("sub_templates", JsonValue::UInt(SUB_TEMPLATES as u64)),
+            ("zipf_skew", JsonValue::Float(ZIPF_SKEW)),
+            ("publications", JsonValue::UInt(PUBLICATIONS as u64)),
+        ],
+        &rows,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_broker.json");
+    std::fs::write(path, json).expect("write BENCH_broker.json");
+    println!("wrote {path}");
+}

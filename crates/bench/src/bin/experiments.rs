@@ -542,7 +542,7 @@ fn exp_ontology(quick: bool) -> Vec<Table> {
 }
 
 /// E5 — the syntactic substrate baseline: engine comparison (references
-/// [1] and [4] of the paper).
+/// \[1\] and \[4\] of the paper).
 fn exp_engines(s: &Scale) -> Vec<Table> {
     let mut table = Table::new(
         "E5: syntactic engine comparison (semantic stages off)",

@@ -29,9 +29,11 @@ use stopss_types::{Event, FxHashMap, SharedInterner, Subscription, Value};
 
 use crate::client::ClientId;
 use crate::dispatcher::{Broker, BrokerConfig, TransportFactory};
+use crate::eventloop::{BackpressurePolicy, NetBroker, NetBrokerConfig, NetClient};
 use crate::transport::{
     Delivery, Inbox, SmsSim, SmtpSim, TcpSim, Transport, TransportError, TransportKind, UdpSim,
 };
+use crate::wire::{ClientMessage, ServerMessage, WireValue};
 
 /// Seeded fault-injection knobs. All probabilities are per-opportunity;
 /// zero disables that fault family.
@@ -271,6 +273,253 @@ fn chaos_broker(
             .collect()
     });
     Broker::with_transport_factory(config, source, interner, inboxes, factory)
+}
+
+// ---------------------------------------------------------------------------
+// Networked chaos
+// ---------------------------------------------------------------------------
+
+/// Knobs of the networked fault mode: seeded **mid-frame disconnects**
+/// against the event-loop serving path ([`NetBroker`]).
+#[derive(Clone, Copy, Debug)]
+pub struct NetChaosConfig {
+    /// Seed for the chaos control stream (which subscriber dies when).
+    pub seed: u64,
+    /// Per-publication probability that one connected subscriber writes a
+    /// deliberately incomplete frame and disconnects.
+    pub mid_frame_disconnect: f64,
+    /// Backpressure policy of the event loop under test.
+    pub backpressure: BackpressurePolicy,
+}
+
+impl Default for NetChaosConfig {
+    fn default() -> Self {
+        NetChaosConfig {
+            seed: 2003,
+            mid_frame_disconnect: 0.15,
+            backpressure: BackpressurePolicy::Disconnect,
+        }
+    }
+}
+
+/// What happened under networked fault injection, in conservation-law
+/// form. All counters are deterministic per seed: every publication is
+/// fenced by [`NetBroker::run_until_quiescent`], so thread timing of the
+/// notification engine's worker cannot shift a delivery between buckets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetChaosReport {
+    /// Events published.
+    pub published: u64,
+    /// Matches reported by `Published` replies.
+    pub matches: u64,
+    /// Matches whose owner was gone at notification time (the event loop
+    /// unregisters a connection's clients when it observes the
+    /// disconnect).
+    pub orphaned: u64,
+    /// Deliveries the engine handed to the
+    /// [`NetTransport`](crate::eventloop::NetTransport)s.
+    pub delivered: u64,
+    /// Notification frames fully written to a live connection.
+    pub sent: u64,
+    /// Notifications dropped by [`BackpressurePolicy::DropNewest`].
+    pub dropped: u64,
+    /// Notifications accounted against dead connections.
+    pub disconnected: u64,
+    /// Mid-frame disconnects injected.
+    pub mid_frame_disconnects: u64,
+    /// Partial frames the server observed at connection teardown — must
+    /// equal the injected count: a truncated frame is *detected*, never
+    /// silently absorbed.
+    pub truncated_frames: u64,
+    /// Whether the loop reached quiescence inside the turn budget.
+    pub quiescent: bool,
+    /// Per-subscriber ordering violations among received notifications.
+    pub ordering_violations: Vec<String>,
+}
+
+impl NetChaosReport {
+    /// Asserts the networked no-silent-loss invariants (panics with the
+    /// discrepancy otherwise): every match is delivered-or-orphaned,
+    /// every delivery terminates in exactly one accounted bucket, every
+    /// injected truncation is detected, and per-subscriber notification
+    /// order is preserved.
+    pub fn assert_invariants(&self) {
+        assert!(self.quiescent, "event loop failed to quiesce");
+        assert_eq!(
+            self.matches,
+            self.delivered + self.orphaned,
+            "match conservation violated: {} matches vs {} delivered + {} orphaned",
+            self.matches,
+            self.delivered,
+            self.orphaned,
+        );
+        assert_eq!(
+            self.delivered,
+            self.sent + self.dropped + self.disconnected,
+            "delivery conservation violated: {} delivered vs {} sent + {} dropped + {} disconnected",
+            self.delivered,
+            self.sent,
+            self.dropped,
+            self.disconnected,
+        );
+        assert_eq!(
+            self.truncated_frames, self.mid_frame_disconnects,
+            "every injected mid-frame disconnect must be detected as a truncated frame",
+        );
+        assert!(
+            self.ordering_violations.is_empty(),
+            "per-subscriber order violated: {:?}",
+            self.ordering_violations,
+        );
+    }
+}
+
+/// Runs `events` through a [`NetBroker`] with one framed connection per
+/// subscription, injecting seeded mid-frame disconnects between
+/// publications.
+///
+/// Each faulted subscriber writes the first half of a valid `Subscribe`
+/// frame and closes — the wire-level fault the in-process harness cannot
+/// express. Events carry the same leading `(seq, N)` stamp as
+/// [`run_chaos`] so per-subscriber order is checked on what actually
+/// arrived over the wire. Every publication is fenced by
+/// [`NetBroker::run_until_quiescent`], making the full report
+/// deterministic in `net.seed`.
+pub fn run_net_chaos(
+    config: NetBrokerConfig,
+    net: &NetChaosConfig,
+    source: Arc<dyn SemanticSource>,
+    interner: SharedInterner,
+    subscriptions: &[Subscription],
+    events: &[Event],
+) -> NetChaosReport {
+    let config = NetBrokerConfig { backpressure: net.backpressure, ..config };
+    let mut server = NetBroker::new(config, source, interner.clone())
+        .expect("in-memory event loop cannot fail to build");
+    let connector = server.connector();
+    let turn_budget = 2_000 + 10 * (subscriptions.len() + events.len());
+
+    // One connection + client per subscription, cycling transport kinds;
+    // the declared kind only labels the client — delivery always rides
+    // the connection.
+    let mut conns: Vec<Option<(NetClient, ClientId)>> = Vec::with_capacity(subscriptions.len());
+    for (k, sub) in subscriptions.iter().enumerate() {
+        let mut client = NetClient::connect(&connector).expect("listener is alive");
+        let kind = TransportKind::ALL[k % TransportKind::ALL.len()];
+        client
+            .send(&ClientMessage::Register { name: format!("net-chaos-{k}"), transport: kind })
+            .expect("fresh pipe accepts a frame");
+        let id = loop {
+            server.turn(Some(std::time::Duration::from_millis(1))).expect("turn");
+            match client.poll_recv().expect("well-formed replies").pop() {
+                Some(ServerMessage::Registered { client }) => break client,
+                Some(other) => panic!("unexpected reply: {other:?}"),
+                None => {}
+            }
+        };
+        let predicates = interner.with(|i| crate::server::subscription_to_wire(sub, i));
+        client
+            .send(&ClientMessage::Subscribe { client: id, predicates })
+            .expect("fresh pipe accepts a frame");
+        conns.push(Some((client, id)));
+    }
+    let mut publisher = NetClient::connect(&connector).expect("listener is alive");
+    publisher
+        .send(&ClientMessage::Register {
+            name: "net-chaos-pub".into(),
+            transport: TransportKind::Tcp,
+        })
+        .expect("fresh pipe accepts a frame");
+    let publisher_id = loop {
+        server.turn(Some(std::time::Duration::from_millis(1))).expect("turn");
+        match publisher.poll_recv().expect("well-formed replies").pop() {
+            Some(ServerMessage::Registered { client }) => break client,
+            Some(other) => panic!("unexpected reply: {other:?}"),
+            None => {}
+        }
+    };
+    assert!(server.run_until_quiescent(turn_budget).expect("turn"), "setup must quiesce");
+
+    let mut control = Rng::new(net.seed);
+    let mut report = NetChaosReport::default();
+    let mut last_seq: FxHashMap<usize, i64> = FxHashMap::default();
+
+    for (k, event) in events.iter().enumerate() {
+        // Maybe kill one connected subscriber mid-frame: half a valid
+        // Subscribe frame, then a hard close.
+        let live: Vec<usize> = (0..conns.len()).filter(|idx| conns[*idx].is_some()).collect();
+        if !live.is_empty() && control.chance(net.mid_frame_disconnect) {
+            let victim = live[control.index(live.len())];
+            let (mut client, id) = conns[victim].take().expect("picked from live set");
+            let mut payload = bytes::BytesMut::new();
+            crate::wire::encode_client(
+                &ClientMessage::Subscribe {
+                    client: id,
+                    predicates: interner
+                        .with(|i| crate::server::subscription_to_wire(&subscriptions[victim], i)),
+                },
+                &mut payload,
+            );
+            let mut framed = bytes::BytesMut::new();
+            crate::wire::write_frame(&mut framed, &payload);
+            client.send_raw(&framed[..framed.len() / 2]).expect("pipe has space");
+            client.close();
+            report.mid_frame_disconnects += 1;
+            // Let the loop observe the disconnect before publishing, so
+            // the victim's subsequent matches orphan deterministically.
+            assert!(server.run_until_quiescent(turn_budget).expect("turn"), "disconnect fence");
+        }
+
+        let pairs: Vec<(String, WireValue)> =
+            std::iter::once(("seq".to_string(), WireValue::Int(k as i64)))
+                .chain(event.pairs().iter().map(|(attr, value)| {
+                    (interner.resolve(*attr), interner.with(|i| WireValue::from_value(value, i)))
+                }))
+                .collect();
+        publisher
+            .send(&ClientMessage::Publish { client: publisher_id, pairs })
+            .expect("publisher pipe has space");
+        report.published += 1;
+        assert!(server.run_until_quiescent(turn_budget).expect("turn"), "publish fence");
+
+        // Drain every live subscriber so pipes never fill and order is
+        // checked on the wire-delivered frames.
+        for (idx, slot) in conns.iter_mut().enumerate() {
+            let Some((client, _)) = slot else { continue };
+            for msg in client.poll_recv().expect("well-formed frames") {
+                match msg {
+                    ServerMessage::Notification { payload } => {
+                        let Some(seq) = parse_seq(&payload) else { continue };
+                        let last = last_seq.entry(idx).or_insert(i64::MIN);
+                        if seq < *last {
+                            report
+                                .ordering_violations
+                                .push(format!("conn {idx} saw seq {seq} after {last}"));
+                        }
+                        *last = seq;
+                    }
+                    ServerMessage::Subscribed { .. } => {}
+                    other => panic!("unexpected push to a subscriber: {other:?}"),
+                }
+            }
+        }
+        for msg in publisher.poll_recv().expect("well-formed frames") {
+            if let ServerMessage::Published { matches } = msg {
+                report.matches += u64::from(matches);
+            }
+        }
+    }
+
+    report.quiescent = server.run_until_quiescent(turn_budget).expect("turn");
+    report.orphaned = server.broker().orphaned_matches();
+    let net_stats = server.stats();
+    report.sent = net_stats.notifications_sent;
+    report.dropped = net_stats.notifications_dropped;
+    report.disconnected = net_stats.notifications_disconnected;
+    report.truncated_frames = net_stats.truncated_frames;
+    let (_, delivery) = server.shutdown();
+    report.delivered = delivery.total_delivered();
+    report
 }
 
 /// Checks that each client saw its notifications in nondecreasing `seq`

@@ -164,6 +164,24 @@ impl MatcherBackend {
         }
     }
 
+    fn control_epoch(&self) -> u64 {
+        match self {
+            MatcherBackend::Single(m) => m.control_epoch(),
+            MatcherBackend::Sharded(m) => m.control_epoch(),
+        }
+    }
+
+    fn subscribe_batch(&self, subs: Vec<(Subscription, Option<Tolerance>)>) {
+        match self {
+            MatcherBackend::Single(m) => {
+                m.subscribe_batch(subs);
+            }
+            MatcherBackend::Sharded(m) => {
+                m.subscribe_batch(subs);
+            }
+        }
+    }
+
     fn unsubscribe(&self, id: SubId) -> bool {
         match self {
             MatcherBackend::Single(m) => m.unsubscribe(id).is_some(),
@@ -384,6 +402,14 @@ impl Broker {
         self.matcher.len()
     }
 
+    /// The matcher's control epoch: bumped once per control mutation
+    /// (including once per whole [`Broker::subscribe_batch`]), so the
+    /// delta across a window counts snapshot forks — the coalescing
+    /// metric the networked event loop's subscribe-storm tests pin.
+    pub fn matcher_control_epoch(&self) -> u64 {
+        self.matcher.control_epoch()
+    }
+
     /// Registers a subscription for `client` with the system tolerance.
     pub fn subscribe(
         &self,
@@ -413,6 +439,47 @@ impl Broker {
         self.sub_owner.write().insert(id, client);
         self.matcher.subscribe_with(sub, tolerance);
         Ok(id)
+    }
+
+    /// Registers a batch of subscriptions as **one** matcher control
+    /// mutation: ownership is recorded per request, then every accepted
+    /// subscription lands in the matcher through a single fork-and-swap
+    /// ([`SToPSS::subscribe_batch`] /
+    /// [`stopss_core::ShardedSToPSS::subscribe_batch`]) instead of one
+    /// copy-on-write fork per subscription. Results are positional: the
+    /// `k`-th entry answers the `k`-th request, and rejected requests
+    /// (unknown client) consume neither a [`SubId`] nor matcher work. The
+    /// networked event loop coalesces Subscribe frames per poll turn into
+    /// this call, which is what keeps connection-scale subscription storms
+    /// linear instead of quadratic.
+    pub fn subscribe_batch(
+        &self,
+        requests: Vec<(ClientId, Vec<Predicate>, Option<Tolerance>)>,
+    ) -> Vec<Result<SubId, BrokerError>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let mut results = Vec::with_capacity(requests.len());
+        let mut accepted = Vec::with_capacity(requests.len());
+        {
+            // Owner entries first, matcher second — the same routability
+            // order as the single-subscription path, batched under one
+            // owner-table write lock.
+            let clients = self.clients.read();
+            let mut owners = self.sub_owner.write();
+            for (client, predicates, tolerance) in requests {
+                if !clients.contains_key(&client) {
+                    results.push(Err(BrokerError::UnknownClient(client)));
+                    continue;
+                }
+                let id = SubId(self.next_sub.fetch_add(1, Ordering::Relaxed));
+                owners.insert(id, client);
+                accepted.push((Subscription::new(id, predicates), tolerance));
+                results.push(Ok(id));
+            }
+        }
+        self.matcher.subscribe_batch(accepted);
+        results
     }
 
     /// Removes a subscription; only its owner may do so.

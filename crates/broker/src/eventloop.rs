@@ -1,0 +1,782 @@
+//! The networked serving path: one event loop multiplexing many framed
+//! client connections onto the broker core.
+//!
+//! [`NetBroker`] owns a `mio-lite` [`Poll`] and three kinds of sources:
+//! the accept listener (token 0), a [`Waker`] the notification engine's
+//! worker thread rings when a delivery lands (token 1), and one
+//! [`SimStream`] per client connection (tokens 2+). Each call to
+//! [`NetBroker::turn`] runs one readiness cycle:
+//!
+//! 1. **Accept** every pending connection.
+//! 2. **Read** each readable connection to `WouldBlock`, splitting the
+//!    byte stream into frames ([`try_read_frame`]) and decoding
+//!    [`ClientMessage`]s.
+//! 3. **Serve** the whole turn's messages through
+//!    [`DemoServer::handle_batch`] — consecutive `Subscribe` frames (from
+//!    any mix of connections) coalesce into one
+//!    [`Broker::subscribe_batch`] control mutation, so a connection storm
+//!    of N subscriptions costs one matcher fork, not N.
+//! 4. **Route** replies back to their connections, and drain the shared
+//!    delivery queue the [`NetTransport`]s fill, turning each delivery
+//!    into a [`ServerMessage::Notification`] frame on its subscriber's
+//!    connection.
+//! 5. **Flush** outbound queues until each connection's pipe pushes back.
+//!
+//! # Backpressure
+//!
+//! Every connection has a bounded outbound frame queue
+//! ([`NetBrokerConfig::max_outbound_frames`]) on top of the bounded byte
+//! pipe. Replies always enqueue (they are request-bounded); notification
+//! frames beyond the bound hit the configured [`BackpressurePolicy`]:
+//! either the slow consumer is **disconnected** (its queued notifications
+//! are counted, its clients unregistered so later matches surface as
+//! [`Broker::orphaned_matches`]) or the newest notification is **dropped
+//! with accounting**. Nothing is ever silently lost: every delivery the
+//! engine hands to a [`NetTransport`] ends in exactly one of
+//! [`NetStats::notifications_sent`], [`NetStats::notifications_dropped`]
+//! or [`NetStats::notifications_disconnected`], which is the conservation
+//! identity the networked test- and chaos-suites score (see
+//! `tests/netbroker_end_to_end.rs` and `docs/ARCHITECTURE.md`).
+//!
+//! # Determinism
+//!
+//! `mio-lite` reports readiness in ascending token order and the listener
+//! accepts in connect order, so a single-threaded driver observing the
+//! same client actions produces the same frame order, the same
+//! [`ClientId`]/[`stopss_types::SubId`] assignments and the same reply
+//! sequence on every run. The only asynchrony is the notification
+//! engine's worker thread, whose deliveries are fenced by
+//! [`NetBroker::run_until_quiescent`].
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use mio_lite::{
+    Events, Interest, Poll, Registry, SimConnector, SimListener, SimStream, Token, Waker,
+    DEFAULT_PIPE_CAPACITY,
+};
+use parking_lot::Mutex;
+use stopss_ontology::SemanticSource;
+use stopss_types::{FxHashMap, SharedInterner};
+
+use crate::client::ClientId;
+use crate::dispatcher::{Broker, BrokerConfig, TransportFactory};
+use crate::notify::DeliveryStats;
+use crate::server::DemoServer;
+use crate::transport::{Delivery, Transport, TransportError, TransportKind};
+use crate::wire::{
+    decode_client, encode_server, try_read_frame, write_frame, ClientMessage, ServerMessage,
+    WireError,
+};
+
+/// Token of the accept listener.
+const LISTENER: Token = Token(0);
+/// Token of the notification waker.
+const WAKER: Token = Token(1);
+/// First token handed to a client connection.
+const FIRST_CONN: usize = 2;
+
+/// What to do with a notification for a connection whose outbound queue
+/// is already at [`NetBrokerConfig::max_outbound_frames`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Disconnect the slow consumer: its queued and in-flight
+    /// notifications are counted in
+    /// [`NetStats::notifications_disconnected`], its clients are
+    /// unregistered from the broker (so later matches are accounted as
+    /// [`Broker::orphaned_matches`]), and its connection is closed.
+    Disconnect,
+    /// Keep the connection and drop the *newest* notification, counting
+    /// it in [`NetStats::notifications_dropped`]. Replies are never
+    /// dropped.
+    DropNewest,
+}
+
+/// Configuration of the networked broker.
+pub struct NetBrokerConfig {
+    /// Configuration of the underlying [`Broker`] core.
+    pub broker: BrokerConfig,
+    /// Policy for notifications to connections at the outbound bound.
+    pub backpressure: BackpressurePolicy,
+    /// Maximum queued outbound frames per connection before
+    /// [`NetBrokerConfig::backpressure`] applies to new notifications.
+    pub max_outbound_frames: usize,
+    /// Per-direction byte capacity of each connection's simulated pipe.
+    pub pipe_capacity: usize,
+    /// Readiness events drained per poll; overflow stays pending for the
+    /// next turn, so this bounds per-turn work, not total throughput.
+    pub events_per_poll: usize,
+}
+
+impl Default for NetBrokerConfig {
+    fn default() -> Self {
+        NetBrokerConfig {
+            broker: BrokerConfig::default(),
+            backpressure: BackpressurePolicy::Disconnect,
+            max_outbound_frames: 256,
+            pipe_capacity: DEFAULT_PIPE_CAPACITY,
+            events_per_poll: 1024,
+        }
+    }
+}
+
+/// Counters of the event loop. Every notification the engine delivers to
+/// a [`NetTransport`] terminates in exactly one of `notifications_sent`,
+/// `notifications_dropped` or `notifications_disconnected` once the loop
+/// is quiescent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub connections_accepted: u64,
+    /// Connections closed (EOF, error, protocol violation, or
+    /// backpressure disconnect).
+    pub connections_closed: u64,
+    /// Complete frames read off connections.
+    pub frames_read: u64,
+    /// Connections killed for unrecoverable framing errors (a corrupt
+    /// length prefix). Malformed *payloads* inside a well-framed message
+    /// get an `Error` reply instead and are not counted here.
+    pub protocol_errors: u64,
+    /// Connections that closed with a partial frame still buffered —
+    /// the mid-frame-disconnect signature the chaos harness injects.
+    pub truncated_frames: u64,
+    /// Total matches reported by `Published` replies this loop served.
+    pub matches_seen: u64,
+    /// Notification frames fully written to a connection's pipe.
+    pub notifications_sent: u64,
+    /// Notifications dropped by [`BackpressurePolicy::DropNewest`].
+    pub notifications_dropped: u64,
+    /// Notifications for connections that no longer exist: queued frames
+    /// of a disconnected consumer, the notification that triggered a
+    /// [`BackpressurePolicy::Disconnect`], and late deliveries for
+    /// clients whose connection already went away.
+    pub notifications_disconnected: u64,
+}
+
+/// The queue [`NetTransport`]s push into and the event loop drains.
+type SharedQueue = Arc<Mutex<VecDeque<Delivery>>>;
+
+/// A [`Transport`] that hands deliveries to the event loop instead of a
+/// simulated medium: it pushes onto the shared queue and rings the
+/// loop's [`Waker`]. It never fails — loss, if any, happens *visibly* at
+/// the connection under the [`BackpressurePolicy`] — so the notification
+/// engine's `attempted == delivered` for every kind. The networked
+/// broker installs one per [`TransportKind`] (all sharing the queue)
+/// because the engine silently rejects deliveries for unconfigured
+/// kinds, which would violate the no-silent-loss invariant.
+pub struct NetTransport {
+    kind: TransportKind,
+    queue: SharedQueue,
+    waker: Arc<Waker>,
+}
+
+impl Transport for NetTransport {
+    fn kind(&self) -> TransportKind {
+        self.kind
+    }
+
+    fn deliver(&mut self, delivery: &Delivery) -> Result<(), TransportError> {
+        self.queue.lock().push_back(delivery.clone());
+        let _ = self.waker.wake();
+        Ok(())
+    }
+}
+
+/// One queued outbound frame: the framed bytes (length prefix included)
+/// plus the write offset reached so far.
+struct OutFrame {
+    bytes: Bytes,
+    written: usize,
+    notification: bool,
+}
+
+impl OutFrame {
+    fn new(msg: &ServerMessage, notification: bool) -> OutFrame {
+        let mut payload = BytesMut::new();
+        encode_server(msg, &mut payload);
+        let mut framed = BytesMut::new();
+        write_frame(&mut framed, &payload);
+        OutFrame { bytes: framed.freeze(), written: 0, notification }
+    }
+}
+
+/// Per-connection state.
+struct Conn {
+    stream: SimStream,
+    /// Reassembly buffer for inbound bytes.
+    rx: BytesMut,
+    /// Outbound frames not yet fully written to the pipe.
+    out: VecDeque<OutFrame>,
+    /// Clients registered over this connection.
+    clients: Vec<ClientId>,
+    /// Notification frames currently in `out`.
+    notifications_queued: u64,
+}
+
+impl Conn {
+    fn new(stream: SimStream) -> Conn {
+        Conn {
+            stream,
+            rx: BytesMut::new(),
+            out: VecDeque::new(),
+            clients: Vec::new(),
+            notifications_queued: 0,
+        }
+    }
+}
+
+/// The networked broker: a readiness event loop serving the framed wire
+/// protocol over many multiplexed connections (see the module docs for
+/// the turn structure and the backpressure/conservation contract).
+pub struct NetBroker {
+    poll: Poll,
+    registry: Registry,
+    events: Events,
+    listener: SimListener,
+    server: DemoServer,
+    conns: BTreeMap<Token, Conn>,
+    client_conn: FxHashMap<ClientId, Token>,
+    queue: SharedQueue,
+    next_token: usize,
+    policy: BackpressurePolicy,
+    max_outbound_frames: usize,
+    stats: NetStats,
+}
+
+impl NetBroker {
+    /// Builds the event loop: broker core with one [`NetTransport`] per
+    /// transport kind, the accept listener, and the delivery waker.
+    pub fn new(
+        config: NetBrokerConfig,
+        source: Arc<dyn SemanticSource>,
+        interner: SharedInterner,
+    ) -> io::Result<NetBroker> {
+        let poll = Poll::new()?;
+        let registry = poll.registry();
+        let waker = Arc::new(Waker::new(&registry, WAKER)?);
+        let queue: SharedQueue = SharedQueue::default();
+        let factory_queue = queue.clone();
+        let factory: TransportFactory = Box::new(move |_epoch| {
+            TransportKind::ALL
+                .into_iter()
+                .map(|kind| {
+                    Box::new(NetTransport {
+                        kind,
+                        queue: factory_queue.clone(),
+                        waker: waker.clone(),
+                    }) as Box<dyn Transport>
+                })
+                .collect()
+        });
+        let broker = Broker::with_transport_factory(
+            config.broker,
+            source,
+            interner,
+            FxHashMap::default(),
+            factory,
+        );
+        let mut listener = SimListener::with_pipe_capacity(config.pipe_capacity);
+        registry.register(&mut listener, LISTENER, Interest::READABLE)?;
+        Ok(NetBroker {
+            poll,
+            registry,
+            events: Events::with_capacity(config.events_per_poll),
+            listener,
+            server: DemoServer::new(broker),
+            conns: BTreeMap::new(),
+            client_conn: FxHashMap::default(),
+            queue,
+            next_token: FIRST_CONN,
+            policy: config.backpressure,
+            max_outbound_frames: config.max_outbound_frames.max(1),
+            stats: NetStats::default(),
+        })
+    }
+
+    /// A handle clients use to connect (cloneable, sendable).
+    pub fn connector(&self) -> SimConnector {
+        self.listener.connector()
+    }
+
+    /// The broker core behind the loop.
+    pub fn broker(&self) -> &Broker {
+        self.server.broker()
+    }
+
+    /// Event-loop counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Number of live connections.
+    pub fn connection_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Runs one event-loop turn: poll (bounded by `timeout`), accept,
+    /// read, serve, notify, flush. See the module docs.
+    pub fn turn(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.poll.poll(&mut self.events, timeout)?;
+        let mut accept = false;
+        let mut readable: Vec<Token> = Vec::new();
+        let mut flushable: BTreeSet<Token> = BTreeSet::new();
+        for event in self.events.iter() {
+            let token = event.token();
+            if token == LISTENER {
+                accept = true;
+                continue;
+            }
+            if token == WAKER {
+                continue; // the queue drain below covers it
+            }
+            if event.is_readable() {
+                readable.push(token);
+            }
+            if event.is_writable() {
+                flushable.insert(token);
+            }
+        }
+        if accept {
+            self.accept_all()?;
+        }
+
+        // Read phase: one entry per complete frame, in token order then
+        // arrival order — the turn's canonical serving order.
+        let mut entries: Vec<(Token, Result<ClientMessage, WireError>)> = Vec::new();
+        for token in readable {
+            self.read_conn(token, &mut entries);
+        }
+
+        // Serve phase: the whole turn through the batched command path.
+        let msgs: Vec<ClientMessage> =
+            entries.iter().filter_map(|(_, decoded)| decoded.as_ref().ok().cloned()).collect();
+        let mut replies = self.server.handle_batch(msgs).into_iter();
+        for (token, decoded) in entries {
+            let reply = match decoded {
+                Ok(_) => replies.next().expect("one reply per decoded message"),
+                Err(e) => ServerMessage::Error { message: format!("bad request: {e}") },
+            };
+            match &reply {
+                ServerMessage::Registered { client } => {
+                    if self.conns.contains_key(&token) {
+                        self.client_conn.insert(*client, token);
+                        self.conns.get_mut(&token).expect("checked").clients.push(*client);
+                    } else {
+                        // Registered over a connection that died this
+                        // turn: retract the registration so its matches
+                        // cannot dangle unaccounted.
+                        self.server.broker().unregister_client(*client);
+                    }
+                }
+                ServerMessage::Published { matches } => {
+                    self.stats.matches_seen += u64::from(*matches);
+                }
+                _ => {}
+            }
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.out.push_back(OutFrame::new(&reply, false));
+                flushable.insert(token);
+            }
+        }
+
+        // Notification phase: drain what the engine delivered since the
+        // last turn and route each onto its subscriber's connection.
+        let deliveries: Vec<Delivery> = {
+            let mut queue = self.queue.lock();
+            queue.drain(..).collect()
+        };
+        for delivery in deliveries {
+            let Some(&token) = self.client_conn.get(&delivery.client) else {
+                self.stats.notifications_disconnected += 1;
+                continue;
+            };
+            let over = {
+                let conn = self.conns.get(&token).expect("client_conn tracks live conns");
+                conn.out.len() >= self.max_outbound_frames
+            };
+            if over {
+                match self.policy {
+                    BackpressurePolicy::DropNewest => {
+                        self.stats.notifications_dropped += 1;
+                    }
+                    BackpressurePolicy::Disconnect => {
+                        self.stats.notifications_disconnected += 1;
+                        self.close_conn(token);
+                        flushable.remove(&token);
+                    }
+                }
+                continue;
+            }
+            let conn = self.conns.get_mut(&token).expect("checked");
+            conn.out.push_back(OutFrame::new(
+                &ServerMessage::Notification { payload: delivery.payload },
+                true,
+            ));
+            conn.notifications_queued += 1;
+            flushable.insert(token);
+        }
+
+        // Flush phase: write until each touched pipe pushes back.
+        for token in flushable {
+            self.flush_conn(token);
+        }
+        Ok(())
+    }
+
+    /// Turns the loop until the served workload has fully settled or
+    /// `max_turns` elapsed; returns whether quiescence was reached.
+    ///
+    /// Quiescent means: two consecutive turns saw no readiness at all,
+    /// the delivery queue is empty, no connection has outbound frames
+    /// pending, and the conservation identity
+    /// `matches_seen == orphaned_matches + engine deliveries` holds —
+    /// i.e. every match this loop produced has reached a terminal,
+    /// accounted state.
+    pub fn run_until_quiescent(&mut self, max_turns: usize) -> io::Result<bool> {
+        let mut idle_turns = 0;
+        for _ in 0..max_turns {
+            self.turn(Some(Duration::from_millis(1)))?;
+            if self.events.is_empty() && self.settled() {
+                idle_turns += 1;
+                if idle_turns >= 2 {
+                    return Ok(true);
+                }
+            } else {
+                idle_turns = 0;
+            }
+        }
+        Ok(false)
+    }
+
+    /// True if every produced match is terminally accounted and nothing
+    /// is queued anywhere in the loop.
+    fn settled(&self) -> bool {
+        if !self.queue.lock().is_empty() {
+            return false;
+        }
+        if self.conns.values().any(|c| !c.out.is_empty()) {
+            return false;
+        }
+        let broker = self.server.broker();
+        let delivered = broker.delivery_stats().total_delivered();
+        self.stats.matches_seen == broker.orphaned_matches() + delivered
+    }
+
+    /// Shuts the loop down: drops every connection (closing the pipes)
+    /// and stops the broker, returning the loop's counters and the final
+    /// engine delivery statistics.
+    pub fn shutdown(mut self) -> (NetStats, DeliveryStats) {
+        let tokens: Vec<Token> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close_conn(token);
+        }
+        let stats = self.stats;
+        (stats, self.server.shutdown())
+    }
+
+    fn accept_all(&mut self) -> io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok(mut stream) => {
+                    let token = Token(self.next_token);
+                    self.next_token += 1;
+                    self.registry.register(
+                        &mut stream,
+                        token,
+                        Interest::READABLE | Interest::WRITABLE,
+                    )?;
+                    self.conns.insert(token, Conn::new(stream));
+                    self.stats.connections_accepted += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads `token` to `WouldBlock`/EOF, appending one entry per
+    /// complete frame. EOF or a corrupt length prefix closes the
+    /// connection — frames already complete are still served, a partial
+    /// trailing frame is discarded and counted
+    /// ([`NetStats::truncated_frames`]).
+    fn read_conn(
+        &mut self,
+        token: Token,
+        entries: &mut Vec<(Token, Result<ClientMessage, WireError>)>,
+    ) {
+        let mut close = false;
+        let mut fatal = false;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            let mut buf = [0u8; 4096];
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        close = true;
+                        break;
+                    }
+                    Ok(n) => conn.rx.put_slice(&buf[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                }
+            }
+            loop {
+                match try_read_frame(&mut conn.rx) {
+                    Ok(Some(mut frame)) => {
+                        self.stats.frames_read += 1;
+                        entries.push((token, decode_client(&mut frame)));
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        fatal = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if fatal {
+            self.stats.protocol_errors += 1;
+            close = true;
+        }
+        if close {
+            self.close_conn(token);
+        }
+    }
+
+    /// Writes `token`'s queued frames until its pipe pushes back.
+    fn flush_conn(&mut self, token: Token) {
+        let mut close = false;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            while let Some(front) = conn.out.front_mut() {
+                match conn.stream.write(&front.bytes[front.written..]) {
+                    Ok(n) => {
+                        front.written += n;
+                        if front.written == front.bytes.len() {
+                            if front.notification {
+                                self.stats.notifications_sent += 1;
+                                conn.notifications_queued -= 1;
+                            }
+                            conn.out.pop_front();
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if close {
+            self.close_conn(token);
+        }
+    }
+
+    /// Tears a connection down: its clients are unregistered from the
+    /// broker (future matches become orphans, which the conservation
+    /// identity counts), queued notifications are accounted as
+    /// disconnected, and the stream is dropped — closing both pipes and
+    /// waking the peer.
+    fn close_conn(&mut self, token: Token) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.registry.deregister(&mut conn.stream);
+        for client in &conn.clients {
+            self.client_conn.remove(client);
+            self.server.broker().unregister_client(*client);
+        }
+        self.stats.notifications_disconnected += conn.notifications_queued;
+        if !conn.rx.is_empty() {
+            self.stats.truncated_frames += 1;
+        }
+        self.stats.connections_closed += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+/// A test/load-generator client over one [`SimStream`]: frames outbound
+/// messages (buffering what the bounded pipe refuses), reassembles and
+/// decodes inbound frames. Drive it by alternating `send`/[`NetClient::flush`]
+/// with broker turns and draining [`NetClient::poll_recv`].
+pub struct NetClient {
+    stream: SimStream,
+    rx: BytesMut,
+    tx: BytesMut,
+}
+
+impl NetClient {
+    /// Connects to the broker behind `connector`.
+    pub fn connect(connector: &SimConnector) -> io::Result<NetClient> {
+        Ok(NetClient { stream: connector.connect()?, rx: BytesMut::new(), tx: BytesMut::new() })
+    }
+
+    /// Frames and queues `msg`, then writes as much as the pipe accepts.
+    pub fn send(&mut self, msg: &ClientMessage) -> io::Result<()> {
+        let mut payload = BytesMut::new();
+        crate::wire::encode_client(msg, &mut payload);
+        write_frame(&mut self.tx, &payload);
+        self.flush().map(|_| ())
+    }
+
+    /// Queues raw bytes verbatim — the chaos harness uses this to leave a
+    /// deliberately incomplete frame on the wire before disconnecting.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.tx.put_slice(bytes);
+        self.flush().map(|_| ())
+    }
+
+    /// Writes buffered outbound bytes; `Ok(true)` once fully flushed,
+    /// `Ok(false)` if the pipe pushed back.
+    pub fn flush(&mut self) -> io::Result<bool> {
+        while !self.tx.is_empty() {
+            match self.stream.write(&self.tx) {
+                Ok(n) => self.tx.advance(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Bytes queued but not yet accepted by the pipe.
+    pub fn pending_to_send(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Reads everything available and decodes the complete frames.
+    /// Returns the decoded messages (possibly none); a closed peer just
+    /// ends the read — check [`NetClient::peer_closed`].
+    pub fn poll_recv(&mut self) -> Result<Vec<ServerMessage>, WireError> {
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => self.rx.put_slice(&buf[..n]),
+                Err(_) => break, // WouldBlock: nothing more right now
+            }
+        }
+        let mut msgs = Vec::new();
+        while let Some(mut frame) = try_read_frame(&mut self.rx)? {
+            msgs.push(crate::wire::decode_server(&mut frame)?);
+        }
+        Ok(msgs)
+    }
+
+    /// True once the broker side closed this connection.
+    pub fn peer_closed(&self) -> bool {
+        self.stream.peer_closed()
+    }
+
+    /// Closes the connection now (both directions). Bytes already in the
+    /// pipe remain readable by the broker; anything queued locally but
+    /// not yet written is gone — which is exactly how a mid-frame
+    /// disconnect manifests.
+    pub fn close(&mut self) {
+        self.stream.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireValue;
+    use stopss_types::Interner;
+    use stopss_workload::JobFinderDomain;
+
+    fn net_broker(config: NetBrokerConfig) -> NetBroker {
+        let mut interner = Interner::new();
+        let domain = JobFinderDomain::build(&mut interner);
+        NetBroker::new(config, Arc::new(domain.ontology), SharedInterner::from_interner(interner))
+            .unwrap()
+    }
+
+    fn register(client: &mut NetClient, broker: &mut NetBroker, name: &str) -> ClientId {
+        client
+            .send(&ClientMessage::Register { name: name.into(), transport: TransportKind::Tcp })
+            .unwrap();
+        for _ in 0..50 {
+            broker.turn(Some(Duration::from_millis(1))).unwrap();
+            if let Some(msg) = client.poll_recv().unwrap().pop() {
+                match msg {
+                    ServerMessage::Registered { client } => return client,
+                    other => panic!("unexpected reply: {other:?}"),
+                }
+            }
+        }
+        panic!("no Registered reply");
+    }
+
+    #[test]
+    fn single_connection_full_flow() {
+        let mut broker = net_broker(NetBrokerConfig::default());
+        let mut client = NetClient::connect(&broker.connector()).unwrap();
+        let id = register(&mut client, &mut broker, "acme");
+
+        client
+            .send(&ClientMessage::Subscribe {
+                client: id,
+                predicates: vec![crate::wire::WirePredicate {
+                    attr: "university".into(),
+                    op: stopss_types::Operator::Eq,
+                    value: WireValue::Term("uoft".into()),
+                }],
+            })
+            .unwrap();
+        client
+            .send(&ClientMessage::Publish {
+                client: id,
+                pairs: vec![("school".into(), WireValue::Term("uoft".into()))],
+            })
+            .unwrap();
+        assert!(broker.run_until_quiescent(200).unwrap());
+        let replies = client.poll_recv().unwrap();
+        assert!(replies.iter().any(|r| matches!(r, ServerMessage::Subscribed { .. })));
+        assert!(replies.iter().any(|r| matches!(r, ServerMessage::Published { matches: 1 })));
+        assert!(
+            replies.iter().any(|r| matches!(r, ServerMessage::Notification { .. })),
+            "the subscriber must receive its own match over the wire: {replies:?}"
+        );
+        let stats = broker.stats();
+        assert_eq!(stats.matches_seen, 1);
+        assert_eq!(stats.notifications_sent, 1);
+        assert_eq!(stats.notifications_dropped + stats.notifications_disconnected, 0);
+    }
+
+    #[test]
+    fn malformed_payload_gets_error_reply_and_keeps_connection() {
+        let mut broker = net_broker(NetBrokerConfig::default());
+        let mut client = NetClient::connect(&broker.connector()).unwrap();
+        let _ = register(&mut client, &mut broker, "acme");
+        // A well-framed but undecodable payload.
+        let mut framed = BytesMut::new();
+        write_frame(&mut framed, &[0xDE, 0xAD]);
+        client.send_raw(&framed).unwrap();
+        assert!(broker.run_until_quiescent(200).unwrap());
+        let replies = client.poll_recv().unwrap();
+        assert!(matches!(&replies[..], [ServerMessage::Error { .. }]), "{replies:?}");
+        assert!(!client.peer_closed(), "payload errors must not kill the connection");
+        assert_eq!(broker.connection_count(), 1);
+    }
+
+    #[test]
+    fn corrupt_frame_length_disconnects() {
+        let mut broker = net_broker(NetBrokerConfig::default());
+        let mut client = NetClient::connect(&broker.connector()).unwrap();
+        let _ = register(&mut client, &mut broker, "acme");
+        client.send_raw(&u32::MAX.to_le_bytes()).unwrap();
+        assert!(broker.run_until_quiescent(200).unwrap());
+        assert!(client.peer_closed(), "a corrupt length prefix is unrecoverable");
+        assert_eq!(broker.stats().protocol_errors, 1);
+        assert_eq!(broker.connection_count(), 0);
+        assert_eq!(broker.broker().client_count(), 0, "its client must be unregistered");
+    }
+}

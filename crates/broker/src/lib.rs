@@ -11,23 +11,39 @@
 //!   characteristic behaviours (loss, batching, rate limits, truncation);
 //! * [`chaos`] — seeded fault injection (dropped connections, slow
 //!   consumers, engine restarts) scored on delivery/ordering invariants;
-//! * [`wire`] — the length-framed binary protocol of the demo front-end;
+//! * [`wire`] — the length-framed binary protocol of the demo front-end
+//!   (normative spec: `docs/WIRE_PROTOCOL.md` at the repository root);
 //! * [`DemoServer`] — the command surface standing in for the paper's web
-//!   application.
+//!   application;
+//! * [`eventloop`] — the networked serving path: a readiness event loop
+//!   ([`NetBroker`]) multiplexing many framed connections onto the broker
+//!   core, with bounded outbound queues and an explicit
+//!   [`BackpressurePolicy`].
+//!
+//! The repository-level guides `docs/ARCHITECTURE.md` (system shape),
+//! `docs/WIRE_PROTOCOL.md` (frame/message spec) and `docs/OPERATIONS.md`
+//! (knob and benchmark reference) cover how these pieces fit together.
 
 #![warn(missing_docs)]
 
 pub mod chaos;
 pub mod client;
 pub mod dispatcher;
+pub mod eventloop;
 pub mod notify;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
-pub use chaos::{run_chaos, ChaosConfig, ChaosReport, FlakyTransport};
+pub use chaos::{
+    run_chaos, run_net_chaos, ChaosConfig, ChaosReport, FlakyTransport, NetChaosConfig,
+    NetChaosReport,
+};
 pub use client::{ClientId, ClientInfo};
 pub use dispatcher::{Broker, BrokerConfig, BrokerError, TransportFactory};
+pub use eventloop::{
+    BackpressurePolicy, NetBroker, NetBrokerConfig, NetClient, NetStats, NetTransport,
+};
 pub use notify::{DeliveryStats, NotificationEngine, TransportStats};
 pub use server::{subscription_to_wire, DemoServer};
 pub use transport::{

@@ -64,6 +64,54 @@ impl DemoServer {
         }
     }
 
+    /// Handles a batch of decoded commands in arrival order, coalescing
+    /// every **run of consecutive `Subscribe` messages** into one
+    /// [`Broker::subscribe_batch`] call (one matcher fork-and-swap for the
+    /// whole run). Any other message acts as a barrier: the pending run is
+    /// flushed first, so a `Publish` after a `Subscribe` observes the
+    /// subscription exactly as it would under one-at-a-time handling.
+    /// Replies are positional — the `k`-th reply answers the `k`-th
+    /// message — and identical to what [`DemoServer::handle`] would
+    /// produce for each message in sequence. This is the serving path the
+    /// networked event loop uses for each poll turn's decoded frames.
+    pub fn handle_batch(&self, msgs: Vec<ClientMessage>) -> Vec<ServerMessage> {
+        let mut replies: Vec<ServerMessage> = Vec::with_capacity(msgs.len());
+        // Pending run of Subscribe requests: broker-level request plus the
+        // reply slot (pre-filled with a placeholder, overwritten at flush).
+        let mut pending: Vec<(crate::client::ClientId, Vec<Predicate>, usize)> = Vec::new();
+        let flush = |pending: &mut Vec<(crate::client::ClientId, Vec<Predicate>, usize)>,
+                     replies: &mut Vec<ServerMessage>| {
+            if pending.is_empty() {
+                return;
+            }
+            let run = std::mem::take(pending);
+            let slots: Vec<usize> = run.iter().map(|(_, _, slot)| *slot).collect();
+            let requests = run.into_iter().map(|(c, p, _)| (c, p, None)).collect();
+            for (slot, result) in slots.into_iter().zip(self.broker.subscribe_batch(requests)) {
+                replies[slot] = match result {
+                    Ok(sub) => ServerMessage::Subscribed { sub },
+                    Err(e) => ServerMessage::Error { message: e.to_string() },
+                };
+            }
+        };
+        for msg in msgs {
+            match msg {
+                ClientMessage::Subscribe { client, predicates } => {
+                    let typed = self.intern_predicates(predicates);
+                    let slot = replies.len();
+                    replies.push(ServerMessage::Error { message: "pending".into() });
+                    pending.push((client, typed, slot));
+                }
+                other => {
+                    flush(&mut pending, &mut replies);
+                    replies.push(self.handle(other));
+                }
+            }
+        }
+        flush(&mut pending, &mut replies);
+        replies
+    }
+
     /// Handles one encoded frame payload; malformed input becomes an
     /// `Error` reply rather than a failure.
     pub fn handle_frame(&self, mut frame: Bytes) -> ServerMessage {
@@ -252,6 +300,50 @@ mod tests {
             predicates: vec![],
         });
         assert!(matches!(reply, ServerMessage::Error { .. }));
+    }
+
+    #[test]
+    fn handle_batch_equals_sequential_handling() {
+        let batch_server = server();
+        let seq_server = server();
+        let uni = |who: &str| WirePredicate {
+            attr: "university".into(),
+            op: Operator::Eq,
+            value: WireValue::Term(who.into()),
+        };
+        let script = |client: crate::client::ClientId| {
+            vec![
+                ClientMessage::Subscribe { client, predicates: vec![uni("uoft")] },
+                ClientMessage::Subscribe { client, predicates: vec![uni("uoft")] },
+                // Barrier: the publish must observe both subscriptions.
+                ClientMessage::Publish {
+                    client,
+                    pairs: vec![("school".into(), WireValue::Term("uoft".into()))],
+                },
+                ClientMessage::Subscribe { client, predicates: vec![uni("mit")] },
+                // Unknown client inside a run must reject positionally
+                // without consuming a SubId for the good ones around it.
+                ClientMessage::Subscribe {
+                    client: crate::client::ClientId(404),
+                    predicates: vec![uni("uoft")],
+                },
+                ClientMessage::Subscribe { client, predicates: vec![uni("uoft")] },
+                ClientMessage::Publish {
+                    client,
+                    pairs: vec![("school".into(), WireValue::Term("uoft".into()))],
+                },
+            ]
+        };
+        let batch_client = register(&batch_server, "acme");
+        let seq_client = register(&seq_server, "acme");
+        let batched = batch_server.handle_batch(script(batch_client));
+        let sequential: Vec<ServerMessage> =
+            script(seq_client).into_iter().map(|m| seq_server.handle(m)).collect();
+        assert_eq!(batched, sequential);
+        assert_eq!(batched[2], ServerMessage::Published { matches: 2 });
+        assert_eq!(batched[6], ServerMessage::Published { matches: 3 });
+        assert!(matches!(batched[4], ServerMessage::Error { .. }));
+        assert!(batch_server.handle_batch(Vec::new()).is_empty());
     }
 
     #[test]

@@ -162,6 +162,15 @@ pub enum ServerMessage {
         /// Human-readable reason.
         message: String,
     },
+    /// An asynchronous match notification pushed to a subscriber. Unlike
+    /// the request/reply variants above, this one is server-initiated: the
+    /// networked broker interleaves it with replies on the same framed
+    /// stream whenever one of the connection's subscriptions matches.
+    Notification {
+        /// Rendered notification payload (same text the simulated
+        /// transports deliver).
+        payload: String,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -388,6 +397,10 @@ pub fn encode_server(msg: &ServerMessage, buf: &mut BytesMut) {
             buf.put_u8(5);
             put_string(buf, message);
         }
+        ServerMessage::Notification { payload } => {
+            buf.put_u8(6);
+            put_string(buf, payload);
+        }
     }
 }
 
@@ -400,6 +413,7 @@ pub fn decode_server(buf: &mut Bytes) -> Result<ServerMessage, WireError> {
         3 => Ok(ServerMessage::Published { matches: get_u32(buf)? }),
         4 => Ok(ServerMessage::ModeSet { semantic: get_u8(buf)? != 0 }),
         5 => Ok(ServerMessage::Error { message: get_string(buf)? }),
+        6 => Ok(ServerMessage::Notification { payload: get_string(buf)? }),
         tag => Err(WireError::BadTag(tag)),
     }
 }
@@ -495,6 +509,9 @@ mod tests {
         roundtrip_server(ServerMessage::Published { matches: 42 });
         roundtrip_server(ServerMessage::ModeSet { semantic: true });
         roundtrip_server(ServerMessage::Error { message: "no such client".into() });
+        roundtrip_server(ServerMessage::Notification {
+            payload: "to acme [client 1]: sub 9 matched via synonym".into(),
+        });
     }
 
     #[test]

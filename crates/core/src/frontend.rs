@@ -14,7 +14,10 @@
 //! [`SemanticFrontEnd`] is the detachable handle: a snapshot of the
 //! configuration plus shared ontology/interner references, cheap to clone
 //! out of a matcher so callers (e.g. the broker) can run the event-side
-//! pass *outside* the matcher lock.
+//! pass detached from the matcher entirely — against one consistent
+//! config/ontology snapshot, while control ops swap new snapshots in
+//! underneath (the epoch-snapshot control plane; staleness is caught by
+//! the `frontend_epoch` check at publish time).
 //!
 //! # The tier cache
 //!
@@ -435,10 +438,12 @@ pub fn prepare_event(
 ///
 /// Cloned out of a matcher (see [`crate::SToPSS::frontend`] /
 /// [`crate::ShardedSToPSS::frontend`]) so the publication-side pass can
-/// run without holding any matcher lock — the broker uses this to prepare
-/// whole batches outside its matcher lock, and the sharded matcher's
-/// pipelined `publish_batch` prepares chunk *k+1* on it while the shards
-/// match chunk *k*.
+/// run detached from the matcher — the broker uses this to prepare whole
+/// batches ahead of dispatch, and the sharded matcher's pipelined
+/// `publish_batch` prepares chunk *k+1* on it while the shards match
+/// chunk *k*. It is a point-in-time snapshot: a control op that changes
+/// stages/config/ontology bumps `frontend_epoch`, and artifacts prepared
+/// on a stale handle are rejected at publish time and re-prepared.
 #[derive(Clone)]
 pub struct SemanticFrontEnd {
     config: Config,
@@ -531,7 +536,7 @@ impl SemanticFrontEnd {
     /// The per-event passes are independent pure functions, so the batch
     /// is chunked across up to [`Config::effective_parallelism`] scoped
     /// workers (capped by the host's available parallelism and by
-    /// [`MIN_EVENTS_PER_WORKER`]); results are position-stable, so the
+    /// `MIN_EVENTS_PER_WORKER`); results are position-stable, so the
     /// output is identical to the sequential pass regardless of worker
     /// count.
     pub fn prepare_batch(&self, events: &[Event]) -> Vec<PreparedEvent> {

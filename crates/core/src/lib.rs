@@ -23,7 +23,8 @@
 //!   materialized derivation lattice + counters + the per-publication
 //!   [`TierCache`] serving tolerance verification and provenance
 //!   classification) once per publication, and [`SemanticFrontEnd`] is
-//!   the detachable handle that runs it without holding any matcher lock;
+//!   the detachable, epoch-stamped handle that runs it against one
+//!   consistent snapshot, fully decoupled from the matcher;
 //! * [`ShardedSToPSS`] — the same matcher partitioned across N
 //!   hash-sharded engines behind a two-stage pipeline (shared front-end,
 //!   then scoped-thread shard matching) with a batched

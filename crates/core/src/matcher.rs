@@ -8,7 +8,7 @@
 //!
 //! # Epoch-snapshot control plane
 //!
-//! The matcher is split into an immutable snapshot ([`MatcherCore`]: the
+//! The matcher is split into an immutable snapshot (`MatcherCore`: the
 //! configuration, ontology handle, subscription table, and syntactic
 //! engine) behind an atomically swapped `Arc`, plus shared lifetime
 //! counters. The publish path resolves one snapshot `Arc` per publication
@@ -628,7 +628,7 @@ impl MatcherCore {
 ///
 /// The whole publish path ([`SToPSS::publish`], [`SToPSS::match_prepared`],
 /// …) takes `&self` and never blocks on control-plane mutations: each
-/// publication resolves one immutable snapshot ([`MatcherCore`]) and
+/// publication resolves one immutable snapshot (`MatcherCore`) and
 /// matches against it. Control ops (`subscribe`, `unsubscribe`,
 /// `set_stages`, `reconfigure`, `set_source`) also take `&self`: they
 /// serialize among themselves on a control mutex, build the next snapshot
@@ -761,6 +761,29 @@ impl SToPSS {
     /// control epoch the registration created.
     pub fn subscribe_with_tolerance(&self, sub: Subscription, tolerance: Tolerance) -> u64 {
         self.mutate(|core| core.subscribe_with_tolerance(sub, tolerance))
+    }
+
+    /// Registers a whole batch of subscriptions (each with an optional
+    /// subscriber tolerance) as **one** control mutation: one fork, one
+    /// snapshot swap, one epoch bump — the per-subscription cost of the
+    /// copy-on-write control plane is paid once per batch instead of once
+    /// per subscription. Connection-scale subscribers (the networked
+    /// broker's event loop coalesces Subscribe frames per poll turn) would
+    /// otherwise pay a full engine clone per subscription, making N
+    /// subscriptions O(N²). An empty batch publishes nothing and returns
+    /// the current control epoch.
+    pub fn subscribe_batch(&self, subs: Vec<(Subscription, Option<Tolerance>)>) -> u64 {
+        if subs.is_empty() {
+            return self.control_epoch();
+        }
+        self.mutate(|core| {
+            for (sub, tolerance) in subs {
+                match tolerance {
+                    Some(t) => core.subscribe_with_tolerance(sub, t),
+                    None => core.subscribe(sub),
+                }
+            }
+        })
     }
 
     /// Removes a subscription; returns the control epoch of the removal,
@@ -993,6 +1016,28 @@ mod tests {
         assert_eq!(matches[0].sub, SubId(100));
         assert!(matcher.stats().verifications >= 1);
         assert!(matcher.stats().verify_rejections >= 1);
+    }
+
+    #[test]
+    fn subscribe_batch_equals_sequential_subscribes() {
+        let w = world();
+        let batched = SToPSS::new(Config::default(), w.source.clone(), w.interner.clone());
+        let sequential = SToPSS::new(Config::default(), w.source, w.interner);
+        let strict = w.sub.with_id(SubId(200));
+        sequential.subscribe(w.sub.clone());
+        sequential.subscribe_with_tolerance(strict.clone(), Tolerance::syntactic());
+        sequential.subscribe(w.degree_sub.clone());
+        let before = batched.control_epoch();
+        assert_eq!(batched.subscribe_batch(Vec::new()), before, "empty batch must not publish");
+        let epoch = batched.subscribe_batch(vec![
+            (w.sub, None),
+            (strict, Some(Tolerance::syntactic())),
+            (w.degree_sub, None),
+        ]);
+        assert_eq!(epoch, before + 1, "one batch, one control-epoch bump");
+        assert_eq!(batched.len(), sequential.len());
+        assert_eq!(batched.publish(&w.event), sequential.publish(&w.event));
+        assert_eq!(batched.publish(&w.phd_event), sequential.publish(&w.phd_event));
     }
 
     #[test]

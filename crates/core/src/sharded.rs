@@ -23,7 +23,7 @@
 //!
 //! # Epoch-snapshot control plane
 //!
-//! The shard vector lives inside one immutable [`ShardSet`] snapshot
+//! The shard vector lives inside one immutable `ShardSet` snapshot
 //! behind an atomically swapped `Arc` — a *consistent cut* across all
 //! shards. Control ops (`subscribe`, `unsubscribe`, `set_stages`,
 //! `reconfigure`, `set_source`) serialize on a control mutex, fork only
@@ -144,7 +144,7 @@ impl ShardSet {
 /// shared semantic front-end once, then fan out to all shards in parallel
 /// (scoped worker threads, at most [`Config::effective_parallelism`] of
 /// them) and merge into one ordered match set. Control ops take `&self`
-/// and swap immutable [`ShardSet`] snapshots; publishers never block on
+/// and swap immutable `ShardSet` snapshots; publishers never block on
 /// them. See the module docs for the two-stage pipeline, the epoch-swap
 /// semantics, and the equivalence argument.
 pub struct ShardedSToPSS {
@@ -313,6 +313,44 @@ impl ShardedSToPSS {
         })
     }
 
+    /// Registers a whole batch of subscriptions (each with an optional
+    /// subscriber tolerance) as **one** control mutation: each touched
+    /// shard is forked exactly once, all subscriptions land on their
+    /// forks, and a single snapshot swap publishes the batch under one
+    /// control-epoch bump. Untouched shards keep their existing `Arc`s.
+    /// Connection-scale subscribers would otherwise pay one fork+swap per
+    /// subscription (O(N²) across N subscriptions); the networked broker's
+    /// event loop relies on this to coalesce Subscribe frames per poll
+    /// turn. An empty batch publishes nothing and returns the current
+    /// control epoch.
+    pub fn subscribe_batch(&self, subs: Vec<(Subscription, Option<Tolerance>)>) -> u64 {
+        if subs.is_empty() {
+            return self.control_epoch();
+        }
+        let _control = self.control.lock();
+        let cur = self.resolve();
+        let mut shards = cur.shards.clone();
+        let mut forked: Vec<Option<MatcherCore>> = (0..shards.len()).map(|_| None).collect();
+        for (sub, tolerance) in subs {
+            let idx = shard_of(sub.id(), shards.len());
+            let core = forked[idx].get_or_insert_with(|| shards[idx].fork());
+            let tolerance = tolerance.unwrap_or_else(|| cur.config.system_tolerance());
+            core.subscribe_with_tolerance(sub, tolerance);
+        }
+        for (idx, core) in forked.into_iter().enumerate() {
+            if let Some(core) = core {
+                shards[idx] = Arc::new(core);
+            }
+        }
+        self.swap(ShardSet {
+            config: cur.config,
+            source: cur.source.clone(),
+            shards,
+            control_epoch: cur.control_epoch + 1,
+            frontend_epoch: cur.frontend_epoch,
+        })
+    }
+
     /// Stores the next snapshot; returns its control epoch.
     fn swap(&self, next: ShardSet) -> u64 {
         let epoch = next.control_epoch;
@@ -375,7 +413,7 @@ impl ShardedSToPSS {
     /// boundary, artifacts are position-stable, and the event-side
     /// counters commute (relaxed atomic sums).
     ///
-    /// Each chunk resolves its own [`ShardSet`] at match time, so control
+    /// Each chunk resolves its own `ShardSet` at match time, so control
     /// ops racing a long batch interleave at chunk granularity; a chunk
     /// whose artifacts were prepared under a now-stale front end (a
     /// concurrent `set_stages`/`reconfigure`/`set_source`) is re-prepared
@@ -770,6 +808,37 @@ mod tests {
         }
         assert_eq!(sharded.stats(), single.stats(), "prepared path must account event-side stats");
         assert!(sharded.publish_prepared_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn subscribe_batch_equals_sequential_subscribes() {
+        let w = world();
+        for shards in [1usize, 4, 8] {
+            let config = Config::default().with_shards(shards);
+            let batched = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+            let sequential = ShardedSToPSS::new(config, w.source.clone(), w.interner.clone());
+            let mut batch = Vec::new();
+            for (k, sub) in w.subs.iter().enumerate() {
+                if k % 2 == 0 {
+                    sequential.subscribe(sub.clone());
+                    batch.push((sub.clone(), None));
+                } else {
+                    sequential.subscribe_with_tolerance(sub.clone(), Tolerance::bounded(1));
+                    batch.push((sub.clone(), Some(Tolerance::bounded(1))));
+                }
+            }
+            let before = batched.control_epoch();
+            assert_eq!(batched.subscribe_batch(Vec::new()), before, "empty batch must not publish");
+            let epoch = batched.subscribe_batch(batch);
+            assert_eq!(epoch, before + 1, "one batch, one control-epoch bump");
+            assert_eq!(batched.len(), sequential.len());
+            for sub in &w.subs {
+                assert_eq!(batched.tolerance(sub.id()), sequential.tolerance(sub.id()));
+            }
+            for event in &w.events {
+                assert_eq!(batched.publish(event), sequential.publish(event), "shards={shards}");
+            }
+        }
     }
 
     #[test]

@@ -48,8 +48,9 @@ pub struct MaterializedEvents {
 ///
 /// Because derivations append (never replace), the set of derived events
 /// forms a lattice whose maximum is exactly the flattened closure of
-/// `closure.rs` — at fixpoint this strategy and [`GeneralizedEvent`]
-/// (crate::Strategy::GeneralizedEvent) produce the same match set, while
+/// `closure.rs` — at fixpoint this strategy and
+/// [`GeneralizedEvent`](crate::Strategy::GeneralizedEvent) produce the
+/// same match set, while
 /// the event *count* explored here grows combinatorially. That cost gap,
 /// bounded by `max_derived_events`, is experiment E8.
 #[allow(clippy::too_many_arguments)] // strategy entry point, mirrors semantic_closure

@@ -1,8 +1,8 @@
 //! The counting algorithm (Aguilera et al. PODC'99, Fabret et al.
-//! SIGMOD'01) — reference [1] and [4] of the S-ToPSS paper.
+//! SIGMOD'01) — reference \[1\] and \[4\] of the S-ToPSS paper.
 //!
 //! Identical predicates across subscriptions are stored once in a global
-//! predicate table. Per attribute, an [`AttrIndex`] finds the predicates an
+//! predicate table. Per attribute, an `AttrIndex` finds the predicates an
 //! event value satisfies; each satisfied predicate bumps a counter on every
 //! subscription that contains it, and a subscription matches when its
 //! counter reaches its predicate count. Counters are *epoch-stamped*

@@ -22,9 +22,17 @@
 //!   runs once per publication into a [`core::PreparedEvent`] artifact;
 //!   shards receive only engine-match + verify work);
 //! * [`broker`] — the Figure 2 runtime: dispatcher, notification engine,
-//!   simulated transports, wire protocol;
+//!   simulated transports, wire protocol, and the networked
+//!   [`broker::NetBroker`] event loop (connection multiplexing with
+//!   explicit backpressure);
 //! * [`workload`] — deterministic workload generation and experiment
 //!   fixtures.
+//!
+//! The repository-level guides cover how the pieces fit together:
+//! `docs/ARCHITECTURE.md` (system shape, with the differential-proof
+//! map), `docs/WIRE_PROTOCOL.md` (the framed wire format, normative) and
+//! `docs/OPERATIONS.md` (every knob, plus how to read the committed
+//! `BENCH_*.json` perf trajectories).
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,369 @@
+//! The networked serving path end to end: many framed connections
+//! multiplexed by the `NetBroker` event loop, checked differentially
+//! against the in-process `Broker` and scored on the no-silent-loss
+//! conservation identities under backpressure and mid-frame disconnects.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use s_topss::broker::{
+    run_net_chaos, subscription_to_wire, BackpressurePolicy, Broker, BrokerConfig, ClientMessage,
+    NetBroker, NetBrokerConfig, NetChaosConfig, NetClient, ServerMessage, TransportKind, WireValue,
+};
+use s_topss::prelude::*;
+use s_topss::workload::{generate_jobfinder, JobFinderDomain, WorkloadConfig};
+
+fn net_broker(config: NetBrokerConfig) -> (NetBroker, Interner, JobFinderDomain) {
+    let mut interner = Interner::new();
+    let domain = JobFinderDomain::build(&mut interner);
+    let broker = NetBroker::new(
+        config,
+        Arc::new(domain.ontology.clone()),
+        SharedInterner::from_interner(interner.clone()),
+    )
+    .expect("in-memory event loop always builds");
+    (broker, interner, domain)
+}
+
+fn register(
+    server: &mut NetBroker,
+    client: &mut NetClient,
+    name: &str,
+) -> s_topss::broker::ClientId {
+    client
+        .send(&ClientMessage::Register { name: name.into(), transport: TransportKind::Tcp })
+        .unwrap();
+    for _ in 0..100 {
+        server.turn(Some(Duration::from_millis(1))).unwrap();
+        if let Some(ServerMessage::Registered { client }) = client.poll_recv().unwrap().pop() {
+            return client;
+        }
+    }
+    panic!("no Registered reply for {name}");
+}
+
+fn wire_pairs(event: &Event, interner: &Interner) -> Vec<(String, WireValue)> {
+    event
+        .pairs()
+        .iter()
+        .map(|(attr, value)| {
+            (interner.resolve(*attr).to_owned(), WireValue::from_value(value, interner))
+        })
+        .collect()
+}
+
+/// Many connections subscribe, one publishes, and the notifications each
+/// networked subscriber receives are exactly — as multisets per client —
+/// what the in-process broker delivers to the same clients on the same
+/// workload. The wire transport must be a transparent layer over the
+/// core, not a second implementation of its semantics.
+#[test]
+fn networked_delivery_equals_in_process_broker() {
+    let (mut server, interner, domain) = net_broker(NetBrokerConfig::default());
+    let workload = generate_jobfinder(
+        &domain,
+        &WorkloadConfig { subscriptions: 60, publications: 80, seed: 11, ..Default::default() },
+    );
+
+    // Networked side: one connection per subscriber.
+    let mut subscribers = Vec::new();
+    for (k, sub) in workload.subscriptions.iter().enumerate() {
+        let mut client = NetClient::connect(&server.connector()).unwrap();
+        let id = register(&mut server, &mut client, &format!("sub-{k}"));
+        client
+            .send(&ClientMessage::Subscribe {
+                client: id,
+                predicates: subscription_to_wire(sub, &interner),
+            })
+            .unwrap();
+        subscribers.push((client, id));
+    }
+    let mut publisher = NetClient::connect(&server.connector()).unwrap();
+    let publisher_id = register(&mut server, &mut publisher, "candidates");
+    assert!(server.run_until_quiescent(2_000).unwrap(), "setup must quiesce");
+    assert_eq!(server.broker().subscription_count(), workload.subscriptions.len());
+
+    let mut net_matches = 0u64;
+    let mut net_deliveries: BTreeMap<s_topss::broker::ClientId, Vec<String>> = BTreeMap::new();
+    for event in &workload.publications {
+        publisher
+            .send(&ClientMessage::Publish {
+                client: publisher_id,
+                pairs: wire_pairs(event, &interner),
+            })
+            .unwrap();
+        assert!(server.run_until_quiescent(2_000).unwrap(), "publish must settle");
+        // Drain subscribers so their pipes never fill mid-run.
+        for (client, id) in &mut subscribers {
+            for msg in client.poll_recv().unwrap() {
+                match msg {
+                    ServerMessage::Notification { payload } => {
+                        net_deliveries.entry(*id).or_default().push(payload)
+                    }
+                    ServerMessage::Subscribed { .. } => {}
+                    other => panic!("unexpected push: {other:?}"),
+                }
+            }
+        }
+        for msg in publisher.poll_recv().unwrap() {
+            if let ServerMessage::Published { matches } = msg {
+                net_matches += u64::from(matches);
+            }
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.matches_seen, net_matches);
+    assert_eq!(stats.notifications_sent, net_matches, "all consumers drained: no losses");
+    assert_eq!(stats.notifications_dropped + stats.notifications_disconnected, 0);
+
+    // In-process side: same names, same registration order — therefore
+    // the same ClientIds and SubIds, and byte-identical payloads.
+    let in_process = Broker::new(
+        BrokerConfig::default(),
+        Arc::new(domain.ontology.clone()),
+        SharedInterner::from_interner(interner.clone()),
+    );
+    let mut expected_ids = Vec::new();
+    for (k, sub) in workload.subscriptions.iter().enumerate() {
+        let id = in_process.register_client(format!("sub-{k}"), TransportKind::Tcp);
+        in_process.subscribe(id, sub.predicates().to_vec()).unwrap();
+        expected_ids.push(id);
+    }
+    let _ = in_process.register_client("candidates", TransportKind::Tcp);
+    let mut expected_matches = 0u64;
+    for event in &workload.publications {
+        expected_matches += in_process.publish(event) as u64;
+    }
+    assert_eq!(net_matches, expected_matches, "matcher behavior must be identical over the wire");
+    let inbox = in_process.inbox(TransportKind::Tcp).unwrap();
+    in_process.shutdown();
+    let mut expected_deliveries: BTreeMap<s_topss::broker::ClientId, Vec<String>> = BTreeMap::new();
+    for message in inbox.lock().iter() {
+        expected_deliveries.entry(message.client).or_default().push(message.payload.clone());
+    }
+    for deliveries in net_deliveries.values_mut() {
+        deliveries.sort();
+    }
+    for deliveries in expected_deliveries.values_mut() {
+        deliveries.sort();
+    }
+    assert_eq!(
+        net_deliveries, expected_deliveries,
+        "per-client delivered payloads must match the in-process broker exactly"
+    );
+}
+
+/// A storm of Subscribe frames arriving together coalesces into a few
+/// batched control mutations instead of one snapshot fork per
+/// subscription — the control-plane cost model the event loop exists to
+/// fix. The (barriered) publish right after still observes every
+/// subscription.
+#[test]
+fn subscribe_storm_coalesces_control_mutations() {
+    let (mut server, interner, domain) = net_broker(NetBrokerConfig::default());
+    let workload = generate_jobfinder(
+        &domain,
+        &WorkloadConfig { subscriptions: 200, publications: 1, seed: 3, ..Default::default() },
+    );
+    let mut client = NetClient::connect(&server.connector()).unwrap();
+    let id = register(&mut server, &mut client, "storm");
+    let epoch_before = server.broker().matcher_control_epoch();
+
+    // Queue the whole storm before the loop gets to run a single turn.
+    for sub in &workload.subscriptions {
+        client
+            .send(&ClientMessage::Subscribe {
+                client: id,
+                predicates: subscription_to_wire(sub, &interner),
+            })
+            .unwrap();
+        client.flush().unwrap();
+    }
+    assert!(server.run_until_quiescent(2_000).unwrap());
+    let epoch_after = server.broker().matcher_control_epoch();
+    let forks = epoch_after - epoch_before;
+    assert_eq!(
+        server.broker().subscription_count(),
+        workload.subscriptions.len(),
+        "every subscription of the storm must land"
+    );
+    assert!(
+        (forks as usize) < workload.subscriptions.len() / 4,
+        "200 subscriptions must coalesce into far fewer control mutations, got {forks}"
+    );
+    let replies = client.poll_recv().unwrap();
+    assert_eq!(replies.len(), workload.subscriptions.len(), "one positional reply per subscribe");
+    assert!(replies.iter().all(|r| matches!(r, ServerMessage::Subscribed { .. })));
+}
+
+/// Builds a loop with one never-draining subscriber matching everything
+/// the publisher sends, publishes `events` matching events, and returns
+/// (server, publisher handle, publisher id).
+fn slow_consumer_setup(
+    policy: BackpressurePolicy,
+) -> (NetBroker, NetClient, NetClient, s_topss::broker::ClientId) {
+    let config = NetBrokerConfig {
+        backpressure: policy,
+        max_outbound_frames: 4,
+        pipe_capacity: 256, // tiny pipe: flushing stalls, queues back up
+        ..Default::default()
+    };
+    let (mut server, _interner, _domain) = net_broker(config);
+    let mut slow = NetClient::connect(&server.connector()).unwrap();
+    let slow_id = register(&mut server, &mut slow, "slow");
+    slow.send(&ClientMessage::Subscribe {
+        client: slow_id,
+        predicates: vec![s_topss::broker::WirePredicate {
+            attr: "skill".into(),
+            op: Operator::Eq,
+            value: WireValue::Term("programming".into()),
+        }],
+    })
+    .unwrap();
+    let mut publisher = NetClient::connect(&server.connector()).unwrap();
+    let publisher_id = register(&mut server, &mut publisher, "pub");
+    assert!(server.run_until_quiescent(2_000).unwrap());
+    (server, slow, publisher, publisher_id)
+}
+
+fn publish_matching(
+    server: &mut NetBroker,
+    publisher: &mut NetClient,
+    id: s_topss::broker::ClientId,
+    n: usize,
+) {
+    for k in 0..n {
+        publisher
+            .send(&ClientMessage::Publish {
+                client: id,
+                pairs: vec![
+                    ("seq".into(), WireValue::Int(k as i64)),
+                    ("skill".into(), WireValue::Term("programming".into())),
+                ],
+            })
+            .unwrap();
+        publisher.flush().unwrap();
+        for _ in 0..20 {
+            server.turn(Some(Duration::from_millis(1))).unwrap();
+        }
+        let _ = publisher.poll_recv().unwrap();
+    }
+}
+
+/// DropNewest: a slow consumer loses the newest notifications — visibly,
+/// in `notifications_dropped` — and the connection stays up. Once the
+/// consumer finally drains, everything still queued arrives and the
+/// delivery conservation identity closes exactly.
+#[test]
+fn backpressure_drop_newest_accounts_every_drop() {
+    let (mut server, mut slow, mut publisher, publisher_id) =
+        slow_consumer_setup(BackpressurePolicy::DropNewest);
+    publish_matching(&mut server, &mut publisher, publisher_id, 40);
+
+    let mid_run = server.stats();
+    assert!(mid_run.notifications_dropped > 0, "a stalled consumer must shed load visibly");
+    assert_eq!(server.connection_count(), 2, "DropNewest never disconnects");
+
+    // The consumer wakes up and drains; the loop settles.
+    let mut received = 0u64;
+    for _ in 0..500 {
+        server.turn(Some(Duration::from_millis(1))).unwrap();
+        received += slow
+            .poll_recv()
+            .unwrap()
+            .iter()
+            .filter(|m| matches!(m, ServerMessage::Notification { .. }))
+            .count() as u64;
+        if server.run_until_quiescent(10).unwrap() {
+            break;
+        }
+    }
+    received += slow
+        .poll_recv()
+        .unwrap()
+        .iter()
+        .filter(|m| matches!(m, ServerMessage::Notification { .. }))
+        .count() as u64;
+
+    let stats = server.stats();
+    assert_eq!(stats.matches_seen, 40);
+    assert_eq!(stats.notifications_sent, received, "sent-to-pipe equals received-from-pipe");
+    let (net_stats, delivery) = server.shutdown();
+    assert_eq!(
+        delivery.total_delivered(),
+        net_stats.notifications_sent
+            + net_stats.notifications_dropped
+            + net_stats.notifications_disconnected,
+        "every delivery must reach exactly one terminal bucket"
+    );
+    assert_eq!(delivery.total_delivered(), 40, "NetTransport itself never fails");
+}
+
+/// Disconnect: the slow consumer is cut off, its queued notifications are
+/// accounted as disconnected, its client is unregistered so later matches
+/// orphan — and the conservation identity still closes exactly.
+#[test]
+fn backpressure_disconnect_conserves_accounting() {
+    let (mut server, slow, mut publisher, publisher_id) =
+        slow_consumer_setup(BackpressurePolicy::Disconnect);
+    publish_matching(&mut server, &mut publisher, publisher_id, 40);
+    assert!(server.run_until_quiescent(2_000).unwrap());
+
+    assert!(slow.peer_closed(), "the slow consumer must be disconnected");
+    assert_eq!(server.connection_count(), 1, "only the publisher remains");
+    let stats = server.stats();
+    assert!(stats.notifications_disconnected > 0);
+    assert_eq!(stats.notifications_dropped, 0, "Disconnect never silently drops");
+    let orphaned = server.broker().orphaned_matches();
+    assert!(orphaned > 0, "post-disconnect matches must orphan");
+    let (net_stats, delivery) = server.shutdown();
+    assert_eq!(stats.matches_seen, 40);
+    assert_eq!(
+        stats.matches_seen,
+        orphaned + delivery.total_delivered(),
+        "match conservation across the disconnect"
+    );
+    assert_eq!(
+        delivery.total_delivered(),
+        net_stats.notifications_sent
+            + net_stats.notifications_dropped
+            + net_stats.notifications_disconnected,
+    );
+    drop(slow);
+}
+
+/// The networked chaos mode: seeded mid-frame disconnects over a real
+/// workload, conservation + truncation-detection + per-subscriber order
+/// invariants, and bit-identical reports per seed.
+#[test]
+fn mid_frame_disconnects_conserve_and_are_deterministic() {
+    let mut interner = Interner::new();
+    let domain = JobFinderDomain::build(&mut interner);
+    let shared = SharedInterner::from_interner(interner);
+    let workload = generate_jobfinder(
+        &domain,
+        &WorkloadConfig { subscriptions: 24, publications: 40, seed: 17, ..Default::default() },
+    );
+    let run = |seed: u64, policy: BackpressurePolicy| {
+        run_net_chaos(
+            NetBrokerConfig::default(),
+            &NetChaosConfig { seed, mid_frame_disconnect: 0.2, backpressure: policy },
+            Arc::new(domain.ontology.clone()),
+            shared.clone(),
+            &workload.subscriptions,
+            &workload.publications,
+        )
+    };
+    let report = run(2003, BackpressurePolicy::Disconnect);
+    report.assert_invariants();
+    assert!(report.mid_frame_disconnects > 0, "0.2 over 40 events must fire: {report:?}");
+    assert!(report.matches > 0);
+    assert!(report.orphaned > 0, "disconnected subscribers' matches must orphan");
+
+    let again = run(2003, BackpressurePolicy::Disconnect);
+    assert_eq!(report, again, "same seed, same report — bit for bit");
+
+    let dropping = run(7, BackpressurePolicy::DropNewest);
+    dropping.assert_invariants();
+}

@@ -1,0 +1,761 @@
+//! Offline readiness/event-loop stub in the style of `mio`.
+//!
+//! The build environment has no network access, so instead of vendoring an
+//! OS-selector binding this crate provides the *shape* of mio's API —
+//! [`Poll`] / [`Registry`] / [`Token`] / [`Interest`] / [`Events`] /
+//! [`Waker`] and an `event::Source`-like [`Source`] trait — over fully
+//! in-memory simulated connections ([`SimStream`], [`SimListener`]). It is
+//! **not** an API subset of upstream mio: readiness comes from the peer
+//! endpoints pushing wakeups, not from an OS selector, which is exactly
+//! what makes runs deterministic and lets a single process multiplex
+//! hundreds of thousands of "connections" without file descriptors.
+//!
+//! # Semantics
+//!
+//! * **Edge-style readiness.** A source becomes ready when its peer makes
+//!   progress (writes bytes, frees buffer space, connects, closes) and the
+//!   flag is consumed by the next [`Poll::poll`]. Consumers must therefore
+//!   read/write **until `WouldBlock`** after seeing an event, as with any
+//!   edge-triggered selector. Registration pushes the source's *current*
+//!   readiness once, so registering an already-readable stream does not
+//!   lose the edge.
+//! * **Bounded pipes.** Each direction of a [`SimStream`] is a bounded
+//!   byte pipe: writes past capacity return `WouldBlock` (genuine wire
+//!   backpressure), reads on an empty open pipe return `WouldBlock`,
+//!   reads on an empty *closed* pipe return `Ok(0)` (EOF), and writes to a
+//!   closed pipe return `BrokenPipe`.
+//! * **Deterministic drain order.** Pending readiness is kept per token in
+//!   a `BTreeMap`, so [`Poll::poll`] always reports ready tokens in
+//!   ascending token order regardless of wakeup arrival order.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Identifies a registered source in [`Events`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+const READABLE: u8 = 0b01;
+const WRITABLE: u8 = 0b10;
+
+/// Which readiness kinds a registration subscribes to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in readability (data buffered, new connection, EOF).
+    pub const READABLE: Interest = Interest(READABLE);
+    /// Interest in writability (buffer space freed, peer closed).
+    pub const WRITABLE: Interest = Interest(WRITABLE);
+
+    /// Union of two interests. Named after real mio's `Interest::add`
+    /// (not the `std::ops::Add` trait) so callers port over unchanged.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// True if this interest includes readability.
+    pub fn is_readable(self) -> bool {
+        self.0 & READABLE != 0
+    }
+
+    /// True if this interest includes writability.
+    pub fn is_writable(self) -> bool {
+        self.0 & WRITABLE != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness event returned by [`Poll::poll`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    flags: u8,
+}
+
+impl Event {
+    /// The token the source was registered under.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// True if the source may be readable (includes EOF and new
+    /// connections on a listener).
+    pub fn is_readable(&self) -> bool {
+        self.flags & READABLE != 0
+    }
+
+    /// True if the source may be writable.
+    pub fn is_writable(&self) -> bool {
+        self.flags & WRITABLE != 0
+    }
+}
+
+/// A bounded batch of events filled by [`Poll::poll`].
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// Creates a batch that holds at most `capacity` events per poll; the
+    /// overflow stays pending and is returned by the next poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { inner: Vec::with_capacity(capacity.max(1)), capacity: capacity.max(1) }
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// True if the last poll returned no events.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Number of events from the last poll.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Drops all events.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// The shared readiness state behind a [`Poll`]: pending flags per token
+/// plus the condvar poll waits on. `BTreeMap` so drains are in token order.
+struct ReadyState {
+    pending: Mutex<BTreeMap<Token, u8>>,
+    cond: Condvar,
+}
+
+/// Cloneable handle pushing readiness into a [`Poll`].
+#[derive(Clone)]
+struct Readiness(Arc<ReadyState>);
+
+impl Readiness {
+    fn push(&self, token: Token, flags: u8) {
+        if flags == 0 {
+            return;
+        }
+        let mut pending = self.0.pending.lock().unwrap();
+        *pending.entry(token).or_insert(0) |= flags;
+        self.0.cond.notify_one();
+    }
+}
+
+/// A registration handle held by a source: where (and as what) to report
+/// readiness. Cloneable because a [`SimStream`] stores one copy per pipe
+/// direction.
+#[derive(Clone)]
+pub struct Notifier {
+    readiness: Readiness,
+    token: Token,
+    interest: Interest,
+}
+
+impl Notifier {
+    /// Reports the source readable (if registered with read interest).
+    pub fn notify_readable(&self) {
+        if self.interest.is_readable() {
+            self.readiness.push(self.token, READABLE);
+        }
+    }
+
+    /// Reports the source writable (if registered with write interest).
+    pub fn notify_writable(&self) {
+        if self.interest.is_writable() {
+            self.readiness.push(self.token, WRITABLE);
+        }
+    }
+}
+
+/// Something that can be registered with a [`Registry`].
+///
+/// Unlike upstream mio the source receives a [`Notifier`] to store; its
+/// peer endpoints call back through it when they make progress.
+pub trait Source {
+    /// Installs the notifier and pushes the source's current readiness.
+    fn register(&mut self, notifier: Notifier) -> io::Result<()>;
+
+    /// Removes the notifier; the source stops reporting readiness.
+    fn deregister(&mut self) -> io::Result<()>;
+}
+
+/// Registers sources with a [`Poll`]'s readiness state.
+#[derive(Clone)]
+pub struct Registry {
+    readiness: Readiness,
+}
+
+impl Registry {
+    /// Registers `source` under `token` with the given interests.
+    pub fn register<S: Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        source.register(Notifier { readiness: self.readiness.clone(), token, interest })
+    }
+
+    /// Deregisters `source`; pending readiness for its token may still be
+    /// reported once and should be ignored by the caller.
+    pub fn deregister<S: Source + ?Sized>(&self, source: &mut S) -> io::Result<()> {
+        source.deregister()
+    }
+}
+
+/// The selector: collects readiness pushed by registered sources and
+/// hands it out in deterministic token order.
+pub struct Poll {
+    state: Arc<ReadyState>,
+}
+
+impl Poll {
+    /// Creates an empty poll instance.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            state: Arc::new(ReadyState {
+                pending: Mutex::new(BTreeMap::new()),
+                cond: Condvar::new(),
+            }),
+        })
+    }
+
+    /// A handle for registering sources (cloneable, sendable).
+    pub fn registry(&self) -> Registry {
+        Registry { readiness: Readiness(self.state.clone()) }
+    }
+
+    /// Blocks until at least one source is ready or `timeout` expires
+    /// (`None` = wait indefinitely), then fills `events` with up to its
+    /// capacity of pending readiness in ascending token order. Readiness
+    /// not drained this call stays pending for the next one.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let mut pending = self.state.pending.lock().unwrap();
+        if pending.is_empty() {
+            match timeout {
+                Some(t) => {
+                    let (guard, _timed_out) = self.state.cond.wait_timeout(pending, t).unwrap();
+                    pending = guard;
+                }
+                None => {
+                    while pending.is_empty() {
+                        pending = self.state.cond.wait(pending).unwrap();
+                    }
+                }
+            }
+        }
+        let drained: Vec<Token> =
+            pending.iter().take(events.capacity).map(|(token, _)| *token).collect();
+        for token in drained {
+            let flags = pending.remove(&token).unwrap_or(0);
+            events.inner.push(Event { token, flags });
+        }
+        Ok(())
+    }
+}
+
+/// Wakes a [`Poll`] from any thread by making its token readable.
+pub struct Waker {
+    notifier: Notifier,
+}
+
+impl Waker {
+    /// Creates a waker reporting readiness on `token`.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        Ok(Waker {
+            notifier: Notifier {
+                readiness: registry.readiness.clone(),
+                token,
+                interest: Interest::READABLE,
+            },
+        })
+    }
+
+    /// Makes the waker's token readable, waking a blocked poll.
+    pub fn wake(&self) -> io::Result<()> {
+        self.notifier.notify_readable();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated streams
+// ---------------------------------------------------------------------------
+
+/// Default per-direction pipe capacity of simulated connections.
+pub const DEFAULT_PIPE_CAPACITY: usize = 64 * 1024;
+
+/// One direction of a connection: a bounded byte pipe with the notifiers
+/// of the endpoint that reads it and the endpoint that writes it.
+struct Pipe {
+    buf: VecDeque<u8>,
+    capacity: usize,
+    closed: bool,
+    /// Notifier of the endpoint that reads this pipe (poked on write/close).
+    reader: Option<Notifier>,
+    /// Notifier of the endpoint that writes this pipe (poked when space
+    /// frees up or the reader goes away).
+    writer: Option<Notifier>,
+}
+
+impl Pipe {
+    fn new(capacity: usize) -> SharedPipe {
+        Arc::new(Mutex::new(Pipe {
+            buf: VecDeque::new(),
+            capacity,
+            closed: false,
+            reader: None,
+            writer: None,
+        }))
+    }
+}
+
+type SharedPipe = Arc<Mutex<Pipe>>;
+
+/// One endpoint of an in-memory, bounded, bidirectional byte stream.
+///
+/// Dropping (or [`SimStream::close`]-ing) an endpoint closes the
+/// connection: the peer drains whatever was buffered and then reads EOF;
+/// peer writes fail with `BrokenPipe`.
+pub struct SimStream {
+    /// Peer writes, we read.
+    rx: SharedPipe,
+    /// We write, peer reads.
+    tx: SharedPipe,
+    /// Close-on-drop, disabled by [`SimStream::close`] (which already
+    /// closed both pipes).
+    open: bool,
+}
+
+impl SimStream {
+    /// A connected pair of endpoints with the given per-direction pipe
+    /// capacity.
+    pub fn pair_with_capacity(capacity: usize) -> (SimStream, SimStream) {
+        let a_to_b = Pipe::new(capacity);
+        let b_to_a = Pipe::new(capacity);
+        let a = SimStream { rx: b_to_a.clone(), tx: a_to_b.clone(), open: true };
+        let b = SimStream { rx: a_to_b, tx: b_to_a, open: true };
+        (a, b)
+    }
+
+    /// A connected pair with [`DEFAULT_PIPE_CAPACITY`].
+    pub fn pair() -> (SimStream, SimStream) {
+        SimStream::pair_with_capacity(DEFAULT_PIPE_CAPACITY)
+    }
+
+    /// Closes the connection now (both directions). Buffered bytes stay
+    /// readable by the peer; after draining them the peer reads EOF.
+    pub fn close(&mut self) {
+        if !self.open {
+            return;
+        }
+        self.open = false;
+        close_pipe(&self.rx);
+        close_pipe(&self.tx);
+    }
+
+    /// True if the peer endpoint closed the connection.
+    pub fn peer_closed(&self) -> bool {
+        self.rx.lock().unwrap().closed
+    }
+}
+
+fn close_pipe(pipe: &SharedPipe) {
+    let mut p = pipe.lock().unwrap();
+    p.closed = true;
+    // Wake both endpoints: the reader to observe the EOF, the writer to
+    // observe the broken pipe instead of waiting for space forever.
+    if let Some(reader) = &p.reader {
+        reader.notify_readable();
+    }
+    if let Some(writer) = &p.writer {
+        writer.notify_writable();
+    }
+}
+
+impl Drop for SimStream {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl Read for SimStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut pipe = self.rx.lock().unwrap();
+        if pipe.buf.is_empty() {
+            if pipe.closed {
+                return Ok(0); // EOF
+            }
+            return Err(io::Error::from(io::ErrorKind::WouldBlock));
+        }
+        let n = buf.len().min(pipe.buf.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = pipe.buf.pop_front().expect("checked non-empty");
+        }
+        // Space freed: the writing endpoint may proceed.
+        if let Some(writer) = &pipe.writer {
+            writer.notify_writable();
+        }
+        Ok(n)
+    }
+}
+
+impl Write for SimStream {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let mut pipe = self.tx.lock().unwrap();
+        if pipe.closed {
+            return Err(io::Error::from(io::ErrorKind::BrokenPipe));
+        }
+        let space = pipe.capacity.saturating_sub(pipe.buf.len());
+        if space == 0 {
+            return Err(io::Error::from(io::ErrorKind::WouldBlock));
+        }
+        let n = data.len().min(space);
+        pipe.buf.extend(&data[..n]);
+        if let Some(reader) = &pipe.reader {
+            reader.notify_readable();
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Source for SimStream {
+    fn register(&mut self, notifier: Notifier) -> io::Result<()> {
+        {
+            let mut rx = self.rx.lock().unwrap();
+            rx.reader = Some(notifier.clone());
+            // Initial edge: already-buffered bytes (or a peer that closed
+            // before registration) must not be lost.
+            if !rx.buf.is_empty() || rx.closed {
+                notifier.notify_readable();
+            }
+        }
+        {
+            let mut tx = self.tx.lock().unwrap();
+            tx.writer = Some(notifier.clone());
+            if tx.buf.len() < tx.capacity || tx.closed {
+                notifier.notify_writable();
+            }
+        }
+        Ok(())
+    }
+
+    fn deregister(&mut self) -> io::Result<()> {
+        self.rx.lock().unwrap().reader = None;
+        self.tx.lock().unwrap().writer = None;
+        Ok(())
+    }
+}
+
+/// Accept queue state shared between a [`SimListener`] and its
+/// [`SimConnector`] handles.
+struct ListenerShared {
+    pending: VecDeque<SimStream>,
+    notifier: Option<Notifier>,
+    pipe_capacity: usize,
+    closed: bool,
+}
+
+/// The accepting end of simulated connections.
+pub struct SimListener {
+    shared: Arc<Mutex<ListenerShared>>,
+}
+
+impl SimListener {
+    /// A listener whose accepted connections use [`DEFAULT_PIPE_CAPACITY`].
+    pub fn new() -> SimListener {
+        SimListener::with_pipe_capacity(DEFAULT_PIPE_CAPACITY)
+    }
+
+    /// A listener whose accepted connections use the given per-direction
+    /// pipe capacity.
+    pub fn with_pipe_capacity(pipe_capacity: usize) -> SimListener {
+        SimListener {
+            shared: Arc::new(Mutex::new(ListenerShared {
+                pending: VecDeque::new(),
+                notifier: None,
+                pipe_capacity: pipe_capacity.max(1),
+                closed: false,
+            })),
+        }
+    }
+
+    /// A cloneable handle clients use to connect.
+    pub fn connector(&self) -> SimConnector {
+        SimConnector { shared: self.shared.clone() }
+    }
+
+    /// Accepts one pending connection, or `WouldBlock` if none is queued.
+    pub fn accept(&mut self) -> io::Result<SimStream> {
+        let mut shared = self.shared.lock().unwrap();
+        match shared.pending.pop_front() {
+            Some(stream) => Ok(stream),
+            None => Err(io::Error::from(io::ErrorKind::WouldBlock)),
+        }
+    }
+}
+
+impl Default for SimListener {
+    fn default() -> Self {
+        SimListener::new()
+    }
+}
+
+impl Drop for SimListener {
+    fn drop(&mut self) {
+        self.shared.lock().unwrap().closed = true;
+    }
+}
+
+impl Source for SimListener {
+    fn register(&mut self, notifier: Notifier) -> io::Result<()> {
+        let mut shared = self.shared.lock().unwrap();
+        if !shared.pending.is_empty() {
+            notifier.notify_readable();
+        }
+        shared.notifier = Some(notifier);
+        Ok(())
+    }
+
+    fn deregister(&mut self) -> io::Result<()> {
+        self.shared.lock().unwrap().notifier = None;
+        Ok(())
+    }
+}
+
+/// Client-side connect handle of a [`SimListener`]; cloneable and
+/// sendable so load generators can connect from any thread.
+#[derive(Clone)]
+pub struct SimConnector {
+    shared: Arc<Mutex<ListenerShared>>,
+}
+
+impl SimConnector {
+    /// Opens a connection: the returned endpoint is the client's, the
+    /// peer endpoint lands in the listener's accept queue (waking its
+    /// poll). Fails with `ConnectionRefused` once the listener is gone.
+    pub fn connect(&self) -> io::Result<SimStream> {
+        let mut shared = self.shared.lock().unwrap();
+        if shared.closed {
+            return Err(io::Error::from(io::ErrorKind::ConnectionRefused));
+        }
+        let (client, server) = SimStream::pair_with_capacity(shared.pipe_capacity);
+        shared.pending.push_back(server);
+        if let Some(notifier) = &shared.notifier {
+            notifier.notify_readable();
+        }
+        Ok(client)
+    }
+}
+
+#[cfg(test)]
+// The tests intentionally issue single short read/write calls to probe
+// partial-progress and WouldBlock edges, asserting the returned counts
+// where they matter.
+#[allow(clippy::unused_io_amount)]
+mod tests {
+    use super::*;
+
+    fn poll_ready(poll: &mut Poll) -> Vec<(Token, bool, bool)> {
+        let mut events = Events::with_capacity(64);
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        events.iter().map(|e| (e.token(), e.is_readable(), e.is_writable())).collect()
+    }
+
+    #[test]
+    fn pair_reads_writes_and_eofs() {
+        let (mut a, mut b) = SimStream::pair();
+        assert!(matches!(
+            a.read(&mut [0u8; 4]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock
+        ));
+        assert_eq!(b.write(b"hello").unwrap(), 5);
+        let mut buf = [0u8; 8];
+        assert_eq!(a.read(&mut buf).unwrap(), 5);
+        assert_eq!(&buf[..5], b"hello");
+        b.write(b"tail").unwrap();
+        drop(b);
+        // Buffered bytes drain before EOF.
+        assert_eq!(a.read(&mut buf).unwrap(), 4);
+        assert_eq!(a.read(&mut buf).unwrap(), 0, "EOF after drain");
+        assert!(matches!(
+            a.write(b"x"),
+            Err(e) if e.kind() == io::ErrorKind::BrokenPipe
+        ));
+    }
+
+    #[test]
+    fn bounded_pipe_applies_backpressure() {
+        let (mut a, mut b) = SimStream::pair_with_capacity(4);
+        assert_eq!(a.write(b"123456").unwrap(), 4, "partial write up to capacity");
+        assert!(matches!(
+            a.write(b"x"),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock
+        ));
+        let mut buf = [0u8; 2];
+        b.read(&mut buf).unwrap();
+        assert_eq!(a.write(b"xy").unwrap(), 2, "space freed by the reader");
+    }
+
+    #[test]
+    fn poll_reports_readiness_edges_in_token_order() {
+        let mut poll = Poll::new().unwrap();
+        let registry = poll.registry();
+        let (mut a1, mut b1) = SimStream::pair();
+        let (mut a2, mut b2) = SimStream::pair();
+        registry.register(&mut a2, Token(9), Interest::READABLE).unwrap();
+        registry.register(&mut a1, Token(3), Interest::READABLE).unwrap();
+        // Wakeups arrive out of token order; the poll drains in order.
+        b2.write(b"x").unwrap();
+        b1.write(b"y").unwrap();
+        let got = poll_ready(&mut poll);
+        let tokens: Vec<Token> = got.iter().map(|(t, ..)| *t).collect();
+        assert_eq!(tokens, vec![Token(3), Token(9)]);
+        // Edge consumed: nothing new, nothing reported.
+        assert!(poll_ready(&mut poll).is_empty());
+        // Reading to WouldBlock and writing again produces a fresh edge.
+        let mut buf = [0u8; 8];
+        let _ = a1.read(&mut buf);
+        let _ = a2.read(&mut buf);
+        b1.write(b"z").unwrap();
+        assert_eq!(poll_ready(&mut poll), vec![(Token(3), true, false)]);
+    }
+
+    #[test]
+    fn registration_pushes_current_readiness() {
+        let mut poll = Poll::new().unwrap();
+        let registry = poll.registry();
+        let (mut a, mut b) = SimStream::pair();
+        b.write(b"early").unwrap();
+        registry.register(&mut a, Token(1), Interest::READABLE | Interest::WRITABLE).unwrap();
+        let got = poll_ready(&mut poll);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].1, "pre-registration bytes are not lost");
+        assert!(got[0].2, "an open pipe with space is writable");
+    }
+
+    #[test]
+    fn close_wakes_registered_peer() {
+        let mut poll = Poll::new().unwrap();
+        let registry = poll.registry();
+        let (mut a, b) = SimStream::pair();
+        registry.register(&mut a, Token(5), Interest::READABLE).unwrap();
+        assert!(!poll_ready(&mut poll).iter().any(|(t, ..)| *t == Token(5)));
+        drop(b);
+        let got = poll_ready(&mut poll);
+        assert_eq!(got.len(), 1, "close is a readable edge (EOF observable)");
+        assert!(a.peer_closed());
+        assert_eq!(a.read(&mut [0u8; 4]).unwrap(), 0);
+    }
+
+    #[test]
+    fn listener_accepts_in_connect_order() {
+        let mut poll = Poll::new().unwrap();
+        let registry = poll.registry();
+        let mut listener = SimListener::new();
+        registry.register(&mut listener, Token(0), Interest::READABLE).unwrap();
+        let connector = listener.connector();
+        let mut c1 = connector.connect().unwrap();
+        let _c2 = connector.connect().unwrap();
+        let got = poll_ready(&mut poll);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, Token(0));
+        let mut s1 = listener.accept().unwrap();
+        let _s2 = listener.accept().unwrap();
+        assert!(matches!(
+            listener.accept(),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock
+        ));
+        c1.write(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        s1.read(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+    }
+
+    #[test]
+    fn connect_after_listener_drop_is_refused() {
+        let listener = SimListener::new();
+        let connector = listener.connector();
+        drop(listener);
+        assert!(matches!(
+            connector.connect(),
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused
+        ));
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll_from_another_thread() {
+        let mut poll = Poll::new().unwrap();
+        let waker = Waker::new(&poll.registry(), Token(99)).unwrap();
+        let handle = std::thread::spawn(move || {
+            waker.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, None).unwrap();
+        handle.join().unwrap();
+        assert_eq!(events.iter().next().unwrap().token(), Token(99));
+    }
+
+    #[test]
+    fn events_capacity_spills_to_next_poll() {
+        let mut poll = Poll::new().unwrap();
+        let registry = poll.registry();
+        let mut streams = Vec::new();
+        for k in 0..5usize {
+            let (mut a, mut b) = SimStream::pair();
+            registry.register(&mut a, Token(k), Interest::READABLE).unwrap();
+            b.write(b"x").unwrap();
+            streams.push((a, b));
+        }
+        let mut events = Events::with_capacity(2);
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert_eq!(events.len(), 2);
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert_eq!(events.len(), 2);
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert_eq!(events.len(), 1, "all five edges delivered across polls");
+    }
+
+    #[test]
+    fn deregistered_source_stops_reporting() {
+        let mut poll = Poll::new().unwrap();
+        let registry = poll.registry();
+        let (mut a, mut b) = SimStream::pair();
+        registry.register(&mut a, Token(7), Interest::READABLE).unwrap();
+        let _ = poll_ready(&mut poll); // drain the registration edge
+        registry.deregister(&mut a).unwrap();
+        b.write(b"x").unwrap();
+        assert!(poll_ready(&mut poll).is_empty());
+    }
+}
