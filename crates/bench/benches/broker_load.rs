@@ -25,10 +25,11 @@ use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 use stopss_bench::{render_bench_json, JsonRow, JsonValue};
 use stopss_broker::{
-    subscription_to_wire, ClientId, ClientMessage, NetBroker, NetBrokerConfig, NetClient,
-    ServerMessage, TransportKind, WireValue,
+    run_session_chaos, subscription_to_wire, BackpressurePolicy, ClientId, ClientMessage,
+    NetBroker, NetBrokerConfig, NetClient, ServerMessage, SessionChaosConfig, SessionClient,
+    SessionClientConfig, SessionConfig, TransportKind, WirePredicate, WireValue,
 };
-use stopss_types::{Interner, SharedInterner};
+use stopss_types::{Interner, Operator, SharedInterner};
 use stopss_workload::{generate_jobfinder, JobFinderDomain, Rng, WorkloadConfig, Zipf};
 
 /// Distinct subscription shapes; connections pick one Zipf-skewed, so the
@@ -43,6 +44,14 @@ const CONNECTIONS: [usize; 3] = [128, 1024, 4096];
 const PUBLISH_RATES: [usize; 2] = [4, 32];
 /// Hard cap on event-loop turns per pump; hitting it means lost frames.
 const TURN_BUDGET: usize = 200_000;
+/// The recovery axis: per-publication kill probabilities swept by the
+/// session-chaos volume rows.
+const KILL_RATES: [f64; 3] = [0.1, 0.3, 0.5];
+/// Kill/resume cycles timed per recovery row.
+const RESUME_CYCLES: usize = 12;
+/// Unacknowledged notifications retained while the subscriber is down —
+/// each timed resume must replay this backlog before it counts as done.
+const RESUME_BACKLOG: usize = 16;
 
 struct LoadResult {
     events: u64,
@@ -207,7 +216,7 @@ fn run_load(rig: &mut Rig, rate: usize, publications: usize, seed: u64) -> LoadR
             assert!(turns < TURN_BUDGET, "burst never drained — a notification was lost");
             for client in &mut rig.subscribers {
                 for msg in client.poll_recv().expect("recv") {
-                    if let ServerMessage::Notification { payload } = msg {
+                    if let ServerMessage::Notification { payload, .. } = msg {
                         let n = parse_seq(&payload).expect("seq-stamped payload") as usize;
                         latencies.push(stamps[n].elapsed().as_nanos() as u64);
                         burst_notified += 1;
@@ -239,6 +248,171 @@ fn run_load(rig: &mut Rig, rate: usize, publications: usize, seed: u64) -> LoadR
         p50_notify_ns: percentile(&latencies, 0.50),
         p99_notify_ns: percentile(&latencies, 0.99),
     }
+}
+
+/// Times `cycles` full recoveries: the sessioned subscriber is killed, a
+/// `backlog` of matching notifications accumulates in its replay buffer
+/// while it is down, and the timer runs from the first reconnect tick
+/// until the client is re-established *and* has drained the whole
+/// replayed backlog. Returns the sorted per-cycle times in nanoseconds.
+fn measure_resume(cycles: usize, backlog: usize, seed: u64) -> Vec<u64> {
+    let mut interner = Interner::new();
+    let domain = JobFinderDomain::build(&mut interner);
+    let mut server = NetBroker::new(
+        NetBrokerConfig::default(),
+        Arc::new(domain.ontology.clone()),
+        SharedInterner::from_interner(interner.clone()),
+    )
+    .expect("in-memory event loop always builds");
+    let mut sub = SessionClient::new(
+        server.connector(),
+        SessionClientConfig { seed, backoff_base: 1, backoff_cap: 1, jitter: 0.0, ping_every: 0 },
+    );
+
+    // Establish the session and its subscription.
+    let mut id = None;
+    let mut subscribed = false;
+    let mut requested = false;
+    let mut turns = 0usize;
+    while !subscribed {
+        turns += 1;
+        assert!(turns < TURN_BUDGET, "session setup never settled");
+        server.run_turns(2).expect("turn");
+        for msg in sub.tick().expect("well-formed frames") {
+            match msg {
+                ServerMessage::Registered { client } => {
+                    id = Some(client);
+                    requested = false;
+                }
+                ServerMessage::Subscribed { .. } => subscribed = true,
+                _ => {}
+            }
+        }
+        if sub.established() && !requested {
+            if let Some(client) = id {
+                let subscribe = ClientMessage::Subscribe {
+                    client,
+                    predicates: vec![WirePredicate {
+                        attr: "skill".into(),
+                        op: Operator::Eq,
+                        value: WireValue::Term("programming".into()),
+                    }],
+                };
+                requested = sub.request(&subscribe).expect("send");
+            } else {
+                let register = ClientMessage::Register {
+                    name: "resume-bench".into(),
+                    transport: TransportKind::Tcp,
+                };
+                requested = sub.request(&register).expect("send");
+            }
+        }
+    }
+    let mut publisher = NetClient::connect(&server.connector()).expect("connect");
+    publisher
+        .send(&ClientMessage::Register { name: "resume-pub".into(), transport: TransportKind::Tcp })
+        .expect("register");
+    let mut publisher_id = None;
+    while publisher_id.is_none() {
+        server.run_turns(1).expect("turn");
+        for msg in publisher.poll_recv().expect("recv") {
+            if let ServerMessage::Registered { client } = msg {
+                publisher_id = Some(client);
+            }
+        }
+    }
+    let publisher_id = publisher_id.expect("registered");
+
+    let mut times: Vec<u64> = Vec::with_capacity(cycles);
+    for cycle in 0..cycles {
+        sub.kill_connection();
+        server.run_turns(2).expect("turn"); // observe the EOF; detach
+        for k in 0..backlog {
+            publisher
+                .send(&ClientMessage::Publish {
+                    client: publisher_id,
+                    pairs: vec![
+                        ("seq".into(), WireValue::Int((cycle * backlog + k) as i64)),
+                        ("skill".into(), WireValue::Term("programming".into())),
+                    ],
+                })
+                .expect("publish");
+            publisher.flush().expect("flush");
+        }
+        // Route the backlog into the replay buffer with broker-only
+        // turns, so the timed section measures recovery, not matching.
+        let mut turns = 0usize;
+        loop {
+            server.run_turns(1).expect("turn");
+            turns += 1;
+            assert!(turns < TURN_BUDGET, "backlog never drained");
+            if server.deliveries_drained() {
+                break;
+            }
+        }
+        let _ = publisher.poll_recv().expect("recv");
+
+        let start = Instant::now();
+        let mut received = 0usize;
+        let mut turns = 0usize;
+        while !(sub.established() && received >= backlog) {
+            turns += 1;
+            assert!(turns < TURN_BUDGET, "resume never completed");
+            server.run_turns(2).expect("turn");
+            received += sub
+                .tick()
+                .expect("well-formed frames")
+                .iter()
+                .filter(|m| matches!(m, ServerMessage::Notification { .. }))
+                .count();
+        }
+        times.push(start.elapsed().as_nanos() as u64);
+        // Let the auto-ack land so the next cycle starts clean.
+        server.run_turns(2).expect("turn");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.sessions_resumed, cycles as u64);
+    assert_eq!(stats.replay_frames_sent, (cycles * backlog) as u64);
+    times.sort_unstable();
+    times
+}
+
+/// One recovery-axis volume row: the session chaos tier at `kill` over a
+/// fixed workload, returning the report for its resume/replay counters.
+fn run_recovery_volume(kill: f64) -> stopss_broker::SessionChaosReport {
+    let mut interner = Interner::new();
+    let domain = JobFinderDomain::build(&mut interner);
+    let workload = generate_jobfinder(
+        &domain,
+        &WorkloadConfig { subscriptions: 12, publications: 48, seed: 31, ..Default::default() },
+    );
+    let chaos = SessionChaosConfig {
+        seed: 31,
+        kill,
+        partition: 0.0,
+        partition_ticks: 0,
+        restart_every: 0,
+        churn: 0.0,
+        ontology_edit_every: 0,
+        ticks_per_event: 1,
+        backpressure: BackpressurePolicy::DropNewest,
+        session: SessionConfig {
+            replay_buffer_frames: 4096,
+            session_ttl: 1_000_000,
+            heartbeat_timeout: 0,
+        },
+    };
+    let report = run_session_chaos(
+        NetBrokerConfig::default(),
+        &chaos,
+        Arc::new(domain.ontology.clone()),
+        SharedInterner::from_interner(interner.clone()),
+        &workload.subscriptions,
+        &workload.publications,
+        &[],
+    );
+    report.assert_invariants();
+    report
 }
 
 /// Pulls the leading `(seq, N)` pair back out of a notification payload.
@@ -293,6 +467,26 @@ fn main() {
                 ("p99_notify_ns", JsonValue::UInt(result.p99_notify_ns)),
             ]);
         }
+    }
+    // The recovery axis: time-to-resume (kill → re-established with the
+    // retained backlog fully replayed) and replayed-frame volume as the
+    // kill rate rises.
+    for (n, kill) in KILL_RATES.into_iter().enumerate() {
+        let resume_ns = measure_resume(RESUME_CYCLES, RESUME_BACKLOG, 41 + n as u64);
+        let report = run_recovery_volume(kill);
+        rows.push(vec![
+            ("axis", JsonValue::Str("recovery".to_owned())),
+            ("kill_rate", JsonValue::Float(kill)),
+            ("kills", JsonValue::UInt(report.kills)),
+            ("sessions_resumed", JsonValue::UInt(report.sessions_resumed)),
+            ("replay_frames", JsonValue::UInt(report.replay_frames_sent)),
+            ("delivered", JsonValue::UInt(report.delivered)),
+            ("acked", JsonValue::UInt(report.acked)),
+            ("replayed", JsonValue::UInt(report.replayed)),
+            ("resume_backlog", JsonValue::UInt(RESUME_BACKLOG as u64)),
+            ("p50_resume_ns", JsonValue::UInt(percentile(&resume_ns, 0.50))),
+            ("p99_resume_ns", JsonValue::UInt(percentile(&resume_ns, 0.99))),
+        ]);
     }
     let json = render_bench_json(
         "broker_load",

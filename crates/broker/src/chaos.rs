@@ -30,6 +30,7 @@ use stopss_types::{Event, FxHashMap, SharedInterner, Subscription, Value};
 use crate::client::ClientId;
 use crate::dispatcher::{Broker, BrokerConfig, TransportFactory};
 use crate::eventloop::{BackpressurePolicy, NetBroker, NetBrokerConfig, NetClient};
+use crate::session::{SessionClient, SessionClientConfig};
 use crate::transport::{
     Delivery, Inbox, SmsSim, SmtpSim, TcpSim, Transport, TransportError, TransportKind, UdpSim,
 };
@@ -488,7 +489,7 @@ pub fn run_net_chaos(
             let Some((client, _)) = slot else { continue };
             for msg in client.poll_recv().expect("well-formed frames") {
                 match msg {
-                    ServerMessage::Notification { payload } => {
+                    ServerMessage::Notification { payload, .. } => {
                         let Some(seq) = parse_seq(&payload) else { continue };
                         let last = last_seq.entry(idx).or_insert(i64::MIN);
                         if seq < *last {
@@ -517,6 +518,531 @@ pub fn run_net_chaos(
     report.dropped = net_stats.notifications_dropped;
     report.disconnected = net_stats.notifications_disconnected;
     report.truncated_frames = net_stats.truncated_frames;
+    let (_, delivery) = server.shutdown();
+    report.delivered = delivery.total_delivered();
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Session chaos: kills, partitions, restarts, churn — scored on the
+// extended conservation identity and per-session seq contiguity.
+// ---------------------------------------------------------------------------
+
+/// Knobs of the session-resilience fault mode: seeded connection kills,
+/// network partitions, broker front-end restarts, subscription churn and
+/// live ontology edits, all against sessioned clients that reconnect and
+/// resume (see [`crate::session`]).
+#[derive(Clone, Copy, Debug)]
+pub struct SessionChaosConfig {
+    /// Seed for the chaos control stream (which faults fire when).
+    pub seed: u64,
+    /// Per-publication probability of hard-killing one established
+    /// subscriber connection (the client notices and resumes).
+    pub kill: f64,
+    /// Per-publication probability of partitioning one established
+    /// subscriber's link.
+    pub partition: f64,
+    /// Logical ticks a partition lasts before the harness heals it.
+    pub partition_ticks: u64,
+    /// Bounce the whole serving front end (every connection killed, the
+    /// notification engine restarted) before every `restart_every`-th
+    /// publication (0 = never). Sessions survive in memory; clients
+    /// reconnect-with-resume.
+    pub restart_every: usize,
+    /// Per-publication probability that one subscriber unsubscribes and
+    /// immediately resubscribes over the wire (control-plane churn).
+    pub churn: f64,
+    /// Publisher sends a live `SetOntology` delta before every
+    /// `ontology_edit_every`-th publication (0 = never); the edits
+    /// themselves are the `ontology_edits` argument of
+    /// [`run_session_chaos`], applied cyclically.
+    pub ontology_edit_every: usize,
+    /// Logical clock ticks advanced per publication (drives heartbeat
+    /// and TTL policies; fences never advance the clock, so expiry
+    /// scheduling is deterministic).
+    pub ticks_per_event: u64,
+    /// Backpressure policy at the replay-buffer bound.
+    pub backpressure: BackpressurePolicy,
+    /// Session-layer knobs of the broker under test.
+    pub session: crate::session::SessionConfig,
+}
+
+impl Default for SessionChaosConfig {
+    fn default() -> Self {
+        SessionChaosConfig {
+            seed: 2003,
+            kill: 0.15,
+            partition: 0.1,
+            partition_ticks: 8,
+            restart_every: 16,
+            churn: 0.0,
+            ontology_edit_every: 0,
+            ticks_per_event: 1,
+            backpressure: BackpressurePolicy::DropNewest,
+            session: crate::session::SessionConfig::default(),
+        }
+    }
+}
+
+/// What happened under session-layer fault injection, in
+/// conservation-law form. Deterministic per seed: every fault is
+/// injected at a fenced point (deliveries drained, outbound queues
+/// idle, every reachable client caught up), so worker-thread timing can
+/// never shift a notification between terminal buckets, and the whole
+/// report — payloads included — is bit-identical across runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionChaosReport {
+    /// Events published.
+    pub published: u64,
+    /// Matches reported by `Published` replies.
+    pub matches: u64,
+    /// Matches whose owner was gone at notification time.
+    pub orphaned: u64,
+    /// Deliveries the engine handed to the event loop.
+    pub delivered: u64,
+    /// Terminal: acknowledged without retransmission.
+    pub acked: u64,
+    /// Terminal: acknowledged after a resume retransmission.
+    pub replayed: u64,
+    /// Terminal: dropped at the replay bound (`DropNewest`, pre-seq).
+    pub dropped: u64,
+    /// Terminal: retained by a session that expired.
+    pub expired: u64,
+    /// Terminal: accounted against dead session-less connections (late
+    /// deliveries racing an expiry; zero under fenced injection).
+    pub disconnected: u64,
+    /// Retained unacknowledged at scoring time (zero once all clients
+    /// caught up).
+    pub in_flight: u64,
+    /// First-transmission notification frames written (telemetry).
+    pub sent: u64,
+    /// Retransmitted frames written on resumes (telemetry: what
+    /// recovery cost on the wire).
+    pub replay_frames_sent: u64,
+    /// Sessions opened fresh.
+    pub sessions_created: u64,
+    /// Successful resumes.
+    pub sessions_resumed: u64,
+    /// Sessions expired (TTL or replay-bound termination).
+    pub sessions_expired: u64,
+    /// Connections closed for heartbeat silence.
+    pub heartbeat_timeouts: u64,
+    /// Connection kills injected.
+    pub kills: u64,
+    /// Partitions injected.
+    pub partitions: u64,
+    /// Front-end restarts injected.
+    pub restarts: u64,
+    /// Unsubscribe/resubscribe churn cycles completed.
+    pub churned: u64,
+    /// Live ontology deltas acknowledged (`OntologyUpdated` replies).
+    pub ontology_edits: u64,
+    /// Whether the loop reached quiescence at the end.
+    pub quiescent: bool,
+    /// Per-subscriber seq-contiguity violations (empty = every session
+    /// incarnation delivered exactly 1, 2, 3, … with no gap or reorder,
+    /// across however many resumes it took).
+    pub contiguity_violations: Vec<String>,
+    /// Per-subscriber payloads, in arrival order after duplicate
+    /// suppression — the differential tier compares these against a
+    /// fault-free in-process run.
+    pub payloads: Vec<Vec<String>>,
+}
+
+impl SessionChaosReport {
+    /// Asserts the session-layer no-silent-loss invariants (panics with
+    /// the discrepancy otherwise): every match delivered-or-orphaned,
+    /// every delivery in exactly one terminal-or-in-flight bucket, and
+    /// per-session seq contiguity across resumes.
+    pub fn assert_invariants(&self) {
+        assert!(self.quiescent, "event loop failed to quiesce");
+        assert_eq!(
+            self.matches,
+            self.delivered + self.orphaned,
+            "match conservation violated: {} matches vs {} delivered + {} orphaned",
+            self.matches,
+            self.delivered,
+            self.orphaned,
+        );
+        assert_eq!(
+            self.delivered,
+            self.acked
+                + self.replayed
+                + self.dropped
+                + self.expired
+                + self.in_flight
+                + self.disconnected,
+            "session conservation violated: {} delivered vs {} acked + {} replayed + {} dropped \
+             + {} expired + {} in-flight + {} disconnected",
+            self.delivered,
+            self.acked,
+            self.replayed,
+            self.dropped,
+            self.expired,
+            self.in_flight,
+            self.disconnected,
+        );
+        assert!(
+            self.contiguity_violations.is_empty(),
+            "per-session seq contiguity violated: {:?}",
+            self.contiguity_violations,
+        );
+    }
+}
+
+/// One sessioned subscriber under the harness: the resilient client plus
+/// the application-level state the session layer deliberately does not
+/// manage (identity, subscription, expected next seq).
+struct SubSlot {
+    client: SessionClient,
+    id: Option<ClientId>,
+    sub: Option<stopss_types::SubId>,
+    awaiting_register: bool,
+    awaiting_subscribe: bool,
+    /// Next seq this subscriber's current session incarnation must
+    /// deliver (contiguity check).
+    expect_seq: u64,
+    /// Broker-clock tick at which the harness heals this link (None =
+    /// not partitioned).
+    heal_at: Option<u64>,
+}
+
+impl SubSlot {
+    fn ready(&self) -> bool {
+        self.client.established()
+            && self.id.is_some()
+            && self.sub.is_some()
+            && !self.awaiting_subscribe
+    }
+}
+
+/// Runs `events` through a [`NetBroker`] whose subscribers are
+/// [`SessionClient`]s, injecting seeded connection kills, partitions,
+/// front-end restarts, subscription churn and live ontology edits —
+/// each at a fenced point so the returned [`SessionChaosReport`] is
+/// bit-identical per seed.
+///
+/// Events carry the same leading `(seq, N)` stamp as [`run_chaos`];
+/// `ontology_edits` are `(canonical, alias)` synonym pairs applied
+/// cyclically over the wire when [`SessionChaosConfig::ontology_edit_every`]
+/// fires. Faults target subscribers only; the publisher is itself
+/// sessioned so it survives front-end restarts by resuming.
+pub fn run_session_chaos(
+    config: NetBrokerConfig,
+    chaos: &SessionChaosConfig,
+    source: Arc<dyn SemanticSource>,
+    interner: SharedInterner,
+    subscriptions: &[Subscription],
+    events: &[Event],
+    ontology_edits: &[(String, String)],
+) -> SessionChaosReport {
+    let config =
+        NetBrokerConfig { backpressure: chaos.backpressure, session: chaos.session, ..config };
+    let mut server = NetBroker::new(config, source, interner.clone())
+        .expect("in-memory event loop cannot fail to build");
+    let connector = server.connector();
+    let ping_every = u64::from(chaos.session.heartbeat_timeout > 0);
+    let client_config = |seed: u64| SessionClientConfig {
+        seed,
+        backoff_base: 1,
+        backoff_cap: 4,
+        jitter: 0.5,
+        ping_every,
+    };
+
+    let mut subs: Vec<SubSlot> = (0..subscriptions.len())
+        .map(|k| SubSlot {
+            client: SessionClient::new(
+                connector.clone(),
+                client_config(chaos.seed ^ (k as u64 + 1)),
+            ),
+            id: None,
+            sub: None,
+            awaiting_register: false,
+            awaiting_subscribe: false,
+            expect_seq: 1,
+            heal_at: None,
+        })
+        .collect();
+    let mut publisher = SessionClient::new(connector, client_config(chaos.seed ^ 0x5e55));
+    let mut publisher_id: Option<ClientId> = None;
+    let mut publisher_registering = false;
+
+    let mut report = SessionChaosReport {
+        payloads: vec![Vec::new(); subscriptions.len()],
+        ..Default::default()
+    };
+    let mut control = Rng::new(chaos.seed);
+    let fence_budget = 400 + 4 * (subscriptions.len() + events.len());
+
+    // One pump round: broker turns, then every client ticks (processing
+    // what surfaced), then broker turns again so requests sent during the
+    // ticks are served promptly. The broker *clock* never moves here.
+    macro_rules! pump {
+        () => {{
+            server.run_turns(2).expect("turn");
+            for k in 0..subs.len() {
+                let msgs = subs[k].client.tick().expect("well-formed frames");
+                for msg in msgs {
+                    match msg {
+                        ServerMessage::Welcome { resumed, .. } => {
+                            subs[k].awaiting_register = false;
+                            subs[k].awaiting_subscribe = false;
+                            if !resumed {
+                                // Fresh session: any previous identity and
+                                // subscription died with the old one.
+                                subs[k].id = None;
+                                subs[k].sub = None;
+                                subs[k].expect_seq = 1;
+                            }
+                        }
+                        ServerMessage::Registered { client } => {
+                            subs[k].id = Some(client);
+                            subs[k].awaiting_register = false;
+                        }
+                        ServerMessage::Subscribed { sub } => {
+                            subs[k].sub = Some(sub);
+                            subs[k].awaiting_subscribe = false;
+                        }
+                        ServerMessage::Unsubscribed { .. } | ServerMessage::Pong { .. } => {}
+                        ServerMessage::Notification { seq, payload } => {
+                            if seq != subs[k].expect_seq {
+                                report.contiguity_violations.push(format!(
+                                    "subscriber {k} saw seq {seq}, expected {}",
+                                    subs[k].expect_seq,
+                                ));
+                            }
+                            subs[k].expect_seq = seq + 1;
+                            report.payloads[k].push(payload);
+                        }
+                        other => panic!("unexpected push to subscriber {k}: {other:?}"),
+                    }
+                }
+                // (Re)build application state top-down once established.
+                if subs[k].client.established() {
+                    if subs[k].id.is_none() && !subs[k].awaiting_register {
+                        let register = ClientMessage::Register {
+                            name: format!("session-chaos-{k}"),
+                            transport: TransportKind::Tcp,
+                        };
+                        if subs[k].client.request(&register).expect("send") {
+                            subs[k].awaiting_register = true;
+                        }
+                    } else if subs[k].id.is_some()
+                        && subs[k].sub.is_none()
+                        && !subs[k].awaiting_subscribe
+                    {
+                        let subscribe = ClientMessage::Subscribe {
+                            client: subs[k].id.expect("checked"),
+                            predicates: interner.with(|i| {
+                                crate::server::subscription_to_wire(&subscriptions[k], i)
+                            }),
+                        };
+                        if subs[k].client.request(&subscribe).expect("send") {
+                            subs[k].awaiting_subscribe = true;
+                        }
+                    }
+                }
+            }
+            for msg in publisher.tick().expect("well-formed frames") {
+                match msg {
+                    ServerMessage::Welcome { resumed, .. } => {
+                        publisher_registering = false;
+                        if !resumed {
+                            publisher_id = None;
+                        }
+                    }
+                    ServerMessage::Registered { client } => {
+                        publisher_id = Some(client);
+                        publisher_registering = false;
+                    }
+                    ServerMessage::Published { matches } => {
+                        report.matches += u64::from(matches);
+                    }
+                    ServerMessage::OntologyUpdated { .. } => report.ontology_edits += 1,
+                    ServerMessage::Pong { .. } => {}
+                    other => panic!("unexpected push to the publisher: {other:?}"),
+                }
+            }
+            if publisher.established() && publisher_id.is_none() && !publisher_registering {
+                let register = ClientMessage::Register {
+                    name: "session-chaos-pub".into(),
+                    transport: TransportKind::Tcp,
+                };
+                if publisher.request(&register).expect("send") {
+                    publisher_registering = true;
+                }
+            }
+            server.run_turns(1).expect("turn");
+        }};
+    }
+
+    // Fence: pump until every reachable client is fully caught up —
+    // deliveries drained, outbound queues idle, publisher and every
+    // non-partitioned subscriber established/subscribed with an empty
+    // replay buffer. Partitioned subscribers are exempt by design: their
+    // frames accumulate until the heal. The broker clock is frozen, so
+    // however many rounds this takes, the post-fence state is the same.
+    macro_rules! fence {
+        ($what:expr) => {{
+            let mut settled = 0;
+            for _ in 0..fence_budget {
+                pump!();
+                let caught_up = server.deliveries_drained()
+                    && server.outbound_idle()
+                    && publisher.established()
+                    && publisher_id.is_some()
+                    && subs.iter().all(|s| {
+                        s.heal_at.is_some()
+                            || (s.ready() && server.session_retained(s.client.session()) == Some(0))
+                    });
+                settled = if caught_up { settled + 1 } else { 0 };
+                if settled >= 2 {
+                    break;
+                }
+            }
+            assert!(settled >= 2, "fence failed to settle: {}", $what);
+        }};
+    }
+
+    fence!("setup");
+    let seq_attr = interner.intern("seq");
+
+    for (k, event) in events.iter().enumerate() {
+        // Advance logical time and heal partitions that are due — the
+        // only two places the session clock interacts with the run.
+        server.advance_clock(chaos.ticks_per_event);
+        let now = server.clock();
+        for slot in subs.iter_mut() {
+            if slot.heal_at.is_some_and(|at| now >= at) {
+                slot.client.set_partitioned(false);
+                slot.heal_at = None;
+            }
+        }
+
+        // Front-end restart: everything dies at once, then a full fence
+        // lets every client resume before the next publication — so the
+        // restart exercises reconnect-with-resume at scale without
+        // leaving nondeterministic half-resumed states behind.
+        if chaos.restart_every > 0 && k > 0 && k % chaos.restart_every == 0 {
+            server.kill_all_connections();
+            server.broker().restart_notifier();
+            report.restarts += 1;
+            fence!("restart recovery");
+        }
+
+        // Targeted faults. Victims stay unreachable through the publish
+        // below (the delivery drain runs broker-only turns, so a killed
+        // client cannot resume early): their notifications are retained
+        // while detached and replayed on the resume inside the fence.
+        let targets: Vec<usize> = subs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.ready() && s.heal_at.is_none())
+            .map(|(idx, _)| idx)
+            .collect();
+        if !targets.is_empty() && control.chance(chaos.kill) {
+            let victim = targets[control.index(targets.len())];
+            subs[victim].client.kill_connection();
+            report.kills += 1;
+        }
+        let targets: Vec<usize> = subs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.ready() && s.heal_at.is_none())
+            .map(|(idx, _)| idx)
+            .collect();
+        if !targets.is_empty() && control.chance(chaos.partition) {
+            let victim = targets[control.index(targets.len())];
+            subs[victim].client.set_partitioned(true);
+            subs[victim].heal_at = Some(now + chaos.partition_ticks);
+            report.partitions += 1;
+        }
+        if !targets.is_empty() && control.chance(chaos.churn) {
+            let victim = targets[control.index(targets.len())];
+            if subs[victim].heal_at.is_none() && subs[victim].ready() {
+                // The Unsubscribe is served before this iteration's
+                // publish (lower token, same turn); the resubscribe goes
+                // out on the next client tick, after it — so a churned
+                // subscriber deterministically misses this event.
+                let unsubscribe = ClientMessage::Unsubscribe {
+                    client: subs[victim].id.expect("ready"),
+                    sub: subs[victim].sub.expect("ready"),
+                };
+                if subs[victim].client.request(&unsubscribe).expect("send") {
+                    subs[victim].sub = None;
+                    report.churned += 1;
+                }
+            }
+        }
+        if chaos.ontology_edit_every > 0
+            && !ontology_edits.is_empty()
+            && k > 0
+            && k % chaos.ontology_edit_every == 0
+        {
+            let edit = &ontology_edits[(k / chaos.ontology_edit_every - 1) % ontology_edits.len()];
+            let delta = ClientMessage::SetOntology { synonyms: vec![edit.clone()] };
+            assert!(publisher.request(&delta).expect("send"), "publisher is fenced established");
+            // Served strictly before the publish below: per-connection
+            // frame order is arrival order.
+        }
+
+        let mut pairs: Vec<(String, WireValue)> =
+            vec![(interner.resolve(seq_attr), WireValue::Int(k as i64))];
+        pairs.extend(event.pairs().iter().map(|(attr, value)| {
+            (interner.resolve(*attr), interner.with(|i| WireValue::from_value(value, i)))
+        }));
+        // The publisher survived every fault so far (or resumed during
+        // the restart fence); fenced state guarantees it is established.
+        assert!(
+            publisher
+                .request(&ClientMessage::Publish { client: publisher_id.expect("fenced"), pairs })
+                .expect("send"),
+            "publisher must be established at a fenced point",
+        );
+        report.published += 1;
+
+        // Route this event's deliveries with broker-only turns: no
+        // client ticks, so no client can reconnect, acknowledge or read
+        // until every delivery sits in a terminal counter or a replay
+        // buffer. This is what pins bucket assignment (acked vs replayed
+        // vs retained) regardless of worker-thread timing.
+        server.run_turns(1).expect("turn");
+        let mut drained = false;
+        for _ in 0..fence_budget {
+            if server.deliveries_drained() {
+                drained = true;
+                break;
+            }
+            server.run_turns(1).expect("turn");
+        }
+        assert!(drained, "delivery drain failed to settle at event {k}");
+        fence!(format!("event {k}"));
+    }
+
+    // Heal every outstanding partition and let the system fully recover.
+    for slot in subs.iter_mut() {
+        if slot.heal_at.take().is_some() {
+            slot.client.set_partitioned(false);
+        }
+    }
+    fence!("final recovery");
+
+    report.quiescent = server.run_until_quiescent(fence_budget).expect("turn");
+    report.in_flight = server.session_in_flight();
+    report.orphaned = server.broker().orphaned_matches();
+    let net_stats = server.stats();
+    report.acked = net_stats.notifications_acked;
+    report.replayed = net_stats.notifications_replayed;
+    report.dropped = net_stats.notifications_dropped;
+    report.expired = net_stats.notifications_expired;
+    report.disconnected = net_stats.notifications_disconnected;
+    report.sent = net_stats.notifications_sent;
+    report.replay_frames_sent = net_stats.replay_frames_sent;
+    report.sessions_created = net_stats.sessions_created;
+    report.sessions_resumed = net_stats.sessions_resumed;
+    report.sessions_expired = net_stats.sessions_expired;
+    report.heartbeat_timeouts = net_stats.heartbeat_timeouts;
     let (_, delivery) = server.shutdown();
     report.delivered = delivery.total_delivered();
     report

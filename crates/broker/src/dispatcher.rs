@@ -268,6 +268,13 @@ impl MatcherBackend {
             }
         }
     }
+
+    fn source(&self) -> Arc<dyn SemanticSource> {
+        match self {
+            MatcherBackend::Single(m) => m.source(),
+            MatcherBackend::Sharded(m) => m.source(),
+        }
+    }
 }
 
 /// The publish/subscribe broker of the demonstration setup.
@@ -506,6 +513,29 @@ impl Broker {
         Ok(existed)
     }
 
+    /// Removes every subscription owned by `client`, returning how many
+    /// were dropped. Same matcher-first ordering (and the same inherent
+    /// already-matched window, counted by [`Broker::orphaned_matches`])
+    /// as [`Broker::unsubscribe`]. This is the session-expiry path of the
+    /// networked broker: a session past its TTL surrenders its
+    /// subscriptions instead of orphaning every future match.
+    pub fn unsubscribe_all(&self, client: ClientId) -> usize {
+        let owned: Vec<SubId> = self
+            .sub_owner
+            .read()
+            .iter()
+            .filter_map(|(sub, owner)| (*owner == client).then_some(*sub))
+            .collect();
+        for sub in &owned {
+            self.matcher.unsubscribe(*sub);
+        }
+        let mut owners = self.sub_owner.write();
+        for sub in &owned {
+            owners.remove(sub);
+        }
+        owned.len()
+    }
+
     /// Publishes an event: matches it and enqueues one notification per
     /// matched subscription. Returns the number of matches.
     ///
@@ -692,6 +722,14 @@ impl Broker {
     /// exactly like a reconfiguration.
     pub fn set_ontology(&self, source: Arc<dyn SemanticSource>) {
         self.matcher.set_source(source);
+    }
+
+    /// The semantic source the matcher is currently resolving against.
+    /// Combined with [`SemanticSource::as_ontology`] this is the read
+    /// side of live evolution: clone the running ontology, apply a
+    /// delta, hand the fork back to [`Broker::set_ontology`].
+    pub fn semantic_source(&self) -> Arc<dyn SemanticSource> {
+        self.matcher.source()
     }
 
     /// Matcher counters (aggregated across shards for the sharded backend).

@@ -38,6 +38,39 @@
 //! identity the networked test- and chaos-suites score (see
 //! `tests/netbroker_end_to_end.rs` and `docs/ARCHITECTURE.md`).
 //!
+//! # Sessions
+//!
+//! A connection whose *first* frame is [`ClientMessage::Hello`] opts into
+//! the session layer (see [`crate::session`]): the broker answers
+//! [`ServerMessage::Welcome`] and from then on the connection's clients,
+//! subscriptions and unacknowledged notifications belong to a *session*
+//! that survives the connection. Sessioned notifications carry a
+//! per-session monotone `seq` and are retained in a bounded replay buffer
+//! until the client acknowledges them ([`ClientMessage::Ack`]); a
+//! reconnecting client quotes its token and last seen `seq` in `Hello`
+//! and receives exactly the retained frames above that mark, in order.
+//! Connections that never send `Hello` speak the PR 8 protocol unchanged
+//! (their notifications carry `seq == 0`).
+//!
+//! For sessioned connections the conservation identity grows — every
+//! notification the engine delivers for a sessioned client terminates in
+//! exactly one of [`NetStats::notifications_acked`] (acked, never
+//! retransmitted), [`NetStats::notifications_replayed`] (acked after a
+//! retransmission), [`NetStats::notifications_dropped`] (replay buffer
+//! full under [`BackpressurePolicy::DropNewest`], dropped *before* a seq
+//! is assigned — so received seqs stay contiguous) or
+//! [`NetStats::notifications_expired`] (retained by a session that
+//! expired) — or it is still *in flight*, i.e. retained unacknowledged in
+//! a live session ([`NetBroker::session_in_flight`]):
+//!
+//! ```text
+//! delivered == acked + replayed + dropped + expired + in_flight
+//! ```
+//!
+//! Session TTLs and heartbeat timeouts run on an explicit logical clock
+//! the driver advances with [`NetBroker::advance_clock`] — never on turn
+//! counts, whose relation to deliveries depends on worker-thread timing.
+//!
 //! # Determinism
 //!
 //! `mio-lite` reports readiness in ascending token order and the listener
@@ -66,10 +99,11 @@ use crate::client::ClientId;
 use crate::dispatcher::{Broker, BrokerConfig, TransportFactory};
 use crate::notify::DeliveryStats;
 use crate::server::DemoServer;
+use crate::session::{RetainedFrame, SessionConfig, SessionTable};
 use crate::transport::{Delivery, Transport, TransportError, TransportKind};
 use crate::wire::{
-    decode_client, encode_server, try_read_frame, write_frame, ClientMessage, ServerMessage,
-    WireError,
+    decode_client, encode_server, try_read_frame, try_read_frame_bounded, write_frame,
+    ClientMessage, ServerMessage, WireError, MAX_FRAME_LEN,
 };
 
 /// Token of the accept listener.
@@ -109,6 +143,14 @@ pub struct NetBrokerConfig {
     /// Readiness events drained per poll; overflow stays pending for the
     /// next turn, so this bounds per-turn work, not total throughput.
     pub events_per_poll: usize,
+    /// Largest inbound frame the loop will buffer; a length prefix past
+    /// this bound is an unrecoverable protocol error (the connection is
+    /// closed before any allocation happens).
+    pub max_frame_len: usize,
+    /// Session-layer knobs (replay-buffer bound, TTL, heartbeat). Only
+    /// connections that opt in with [`ClientMessage::Hello`] are
+    /// affected.
+    pub session: SessionConfig,
 }
 
 impl Default for NetBrokerConfig {
@@ -119,14 +161,26 @@ impl Default for NetBrokerConfig {
             max_outbound_frames: 256,
             pipe_capacity: DEFAULT_PIPE_CAPACITY,
             events_per_poll: 1024,
+            max_frame_len: MAX_FRAME_LEN,
+            session: SessionConfig::default(),
         }
     }
 }
 
-/// Counters of the event loop. Every notification the engine delivers to
-/// a [`NetTransport`] terminates in exactly one of `notifications_sent`,
-/// `notifications_dropped` or `notifications_disconnected` once the loop
-/// is quiescent.
+/// Counters of the event loop.
+///
+/// For *legacy* (session-less) connections, every notification the
+/// engine delivers to a [`NetTransport`] terminates in exactly one of
+/// `notifications_sent`, `notifications_dropped` or
+/// `notifications_disconnected` once the loop is quiescent.
+///
+/// For *sessioned* connections the terminal buckets are
+/// `notifications_acked`, `notifications_replayed`,
+/// `notifications_dropped` and `notifications_expired`, with
+/// [`NetBroker::session_in_flight`] covering the retained remainder (see
+/// the module docs for the full identity); `notifications_sent` then
+/// counts first transmissions as pure telemetry — a sent frame is not
+/// terminal until it is acknowledged.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Connections accepted.
@@ -154,6 +208,29 @@ pub struct NetStats {
     /// [`BackpressurePolicy::Disconnect`], and late deliveries for
     /// clients whose connection already went away.
     pub notifications_disconnected: u64,
+    /// Sessions opened by a fresh [`ClientMessage::Hello`] handshake.
+    pub sessions_created: u64,
+    /// Successful resumes (`Welcome { resumed: true }`).
+    pub sessions_resumed: u64,
+    /// Sessions expired: detached past the TTL, or terminated whole at a
+    /// full replay buffer under [`BackpressurePolicy::Disconnect`].
+    pub sessions_expired: u64,
+    /// Attached sessioned connections closed for inbound silence past
+    /// [`SessionConfig::heartbeat_timeout`] logical ticks.
+    pub heartbeat_timeouts: u64,
+    /// Sessioned notifications acknowledged without ever being
+    /// retransmitted — the happy-path terminal bucket.
+    pub notifications_acked: u64,
+    /// Sessioned notifications acknowledged after at least one
+    /// retransmission on a resume.
+    pub notifications_replayed: u64,
+    /// Sessioned notifications retained by a session when it expired —
+    /// delivered by the engine, never acknowledged, now terminally lost
+    /// *with accounting*.
+    pub notifications_expired: u64,
+    /// Retransmitted notification frames fully written on a resume
+    /// (telemetry: how much replay traffic recovery cost).
+    pub replay_frames_sent: u64,
 }
 
 /// The queue [`NetTransport`]s push into and the event loop drains.
@@ -185,21 +262,33 @@ impl Transport for NetTransport {
     }
 }
 
+/// What a queued outbound frame carries — flush accounting differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FrameKind {
+    /// A request reply (or handshake frame); never counted as a
+    /// notification.
+    Reply,
+    /// A first-transmission notification.
+    Notification,
+    /// A retransmitted notification on a resume.
+    Replay,
+}
+
 /// One queued outbound frame: the framed bytes (length prefix included)
 /// plus the write offset reached so far.
 struct OutFrame {
     bytes: Bytes,
     written: usize,
-    notification: bool,
+    kind: FrameKind,
 }
 
 impl OutFrame {
-    fn new(msg: &ServerMessage, notification: bool) -> OutFrame {
+    fn new(msg: &ServerMessage, kind: FrameKind) -> OutFrame {
         let mut payload = BytesMut::new();
         encode_server(msg, &mut payload);
         let mut framed = BytesMut::new();
         write_frame(&mut framed, &payload);
-        OutFrame { bytes: framed.freeze(), written: 0, notification }
+        OutFrame { bytes: framed.freeze(), written: 0, kind }
     }
 }
 
@@ -210,22 +299,44 @@ struct Conn {
     rx: BytesMut,
     /// Outbound frames not yet fully written to the pipe.
     out: VecDeque<OutFrame>,
-    /// Clients registered over this connection.
+    /// Clients registered over this connection (legacy protocol only —
+    /// a sessioned connection's clients belong to its session).
     clients: Vec<ClientId>,
     /// Notification frames currently in `out`.
     notifications_queued: u64,
+    /// The session this connection is attached to, once it has opted in
+    /// with a `Hello`.
+    session: Option<u64>,
+    /// Logical tick of the last inbound bytes (heartbeat bookkeeping).
+    last_inbound: u64,
 }
 
 impl Conn {
-    fn new(stream: SimStream) -> Conn {
+    fn new(stream: SimStream, now: u64) -> Conn {
         Conn {
             stream,
             rx: BytesMut::new(),
             out: VecDeque::new(),
             clients: Vec::new(),
             notifications_queued: 0,
+            session: None,
+            last_inbound: now,
         }
     }
+}
+
+/// How one decoded inbound frame will be answered: session-protocol
+/// frames are consumed before the serve phase with their reply frames
+/// precomputed, so the per-connection reply order still matches arrival
+/// order.
+enum Planned {
+    /// Flows through [`DemoServer::handle_batch`]; one reply each.
+    Command(ClientMessage),
+    /// Handled by the session layer; zero or more reply frames, already
+    /// rendered.
+    Direct(Vec<(ServerMessage, FrameKind)>),
+    /// Undecodable payload; answered with an `Error` reply.
+    Malformed(WireError),
 }
 
 /// The networked broker: a readiness event loop serving the framed wire
@@ -243,6 +354,10 @@ pub struct NetBroker {
     next_token: usize,
     policy: BackpressurePolicy,
     max_outbound_frames: usize,
+    max_frame_len: usize,
+    session_cfg: SessionConfig,
+    sessions: SessionTable,
+    clock: u64,
     stats: NetStats,
 }
 
@@ -292,6 +407,10 @@ impl NetBroker {
             next_token: FIRST_CONN,
             policy: config.backpressure,
             max_outbound_frames: config.max_outbound_frames.max(1),
+            max_frame_len: config.max_frame_len.max(16),
+            session_cfg: config.session,
+            sessions: SessionTable::default(),
+            clock: 0,
             stats: NetStats::default(),
         })
     }
@@ -350,34 +469,80 @@ impl NetBroker {
             self.read_conn(token, &mut entries);
         }
 
-        // Serve phase: the whole turn through the batched command path.
-        let msgs: Vec<ClientMessage> =
-            entries.iter().filter_map(|(_, decoded)| decoded.as_ref().ok().cloned()).collect();
-        let mut replies = self.server.handle_batch(msgs).into_iter();
+        // Session phase: Hello/Ack/Ping are consumed by the session layer
+        // here, before the serve phase; their reply frames are
+        // precomputed in arrival order so each connection's reply
+        // sequence still matches the order it sent its requests in.
+        let mut planned: Vec<(Token, Planned)> = Vec::with_capacity(entries.len());
         for (token, decoded) in entries {
-            let reply = match decoded {
-                Ok(_) => replies.next().expect("one reply per decoded message"),
-                Err(e) => ServerMessage::Error { message: format!("bad request: {e}") },
+            let item = match decoded {
+                Ok(ClientMessage::Hello { session, last_seen_seq }) => {
+                    Planned::Direct(self.handle_hello(token, session, last_seen_seq))
+                }
+                Ok(ClientMessage::Ack { seq }) => Planned::Direct(self.handle_ack(token, seq)),
+                Ok(ClientMessage::Ping { nonce }) => {
+                    Planned::Direct(vec![(ServerMessage::Pong { nonce }, FrameKind::Reply)])
+                }
+                Ok(msg) => Planned::Command(msg),
+                Err(e) => Planned::Malformed(e),
             };
-            match &reply {
-                ServerMessage::Registered { client } => {
-                    if self.conns.contains_key(&token) {
-                        self.client_conn.insert(*client, token);
-                        self.conns.get_mut(&token).expect("checked").clients.push(*client);
-                    } else {
-                        // Registered over a connection that died this
-                        // turn: retract the registration so its matches
-                        // cannot dangle unaccounted.
-                        self.server.broker().unregister_client(*client);
+            planned.push((token, item));
+        }
+
+        // Serve phase: the turn's command frames through the batched path.
+        let msgs: Vec<ClientMessage> = planned
+            .iter()
+            .filter_map(|(_, item)| match item {
+                Planned::Command(msg) => Some(msg.clone()),
+                _ => None,
+            })
+            .collect();
+        let mut replies = self.server.handle_batch(msgs).into_iter();
+        for (token, item) in planned {
+            let frames: Vec<(ServerMessage, FrameKind)> = match item {
+                Planned::Command(_) => {
+                    let reply = replies.next().expect("one reply per served message");
+                    match &reply {
+                        ServerMessage::Registered { client } => {
+                            match self.conns.get(&token).and_then(|c| c.session) {
+                                Some(stoken) => self.sessions.bind_client(stoken, *client),
+                                None if self.conns.contains_key(&token) => {
+                                    self.client_conn.insert(*client, token);
+                                    self.conns
+                                        .get_mut(&token)
+                                        .expect("checked")
+                                        .clients
+                                        .push(*client);
+                                }
+                                None => {
+                                    // Registered over a connection that
+                                    // died this turn: retract the
+                                    // registration so its matches cannot
+                                    // dangle unaccounted.
+                                    self.server.broker().unregister_client(*client);
+                                }
+                            }
+                        }
+                        ServerMessage::Published { matches } => {
+                            self.stats.matches_seen += u64::from(*matches);
+                        }
+                        _ => {}
                     }
+                    vec![(reply, FrameKind::Reply)]
                 }
-                ServerMessage::Published { matches } => {
-                    self.stats.matches_seen += u64::from(*matches);
-                }
-                _ => {}
-            }
+                Planned::Direct(frames) => frames,
+                Planned::Malformed(e) => vec![(
+                    ServerMessage::Error { message: format!("bad request: {e}") },
+                    FrameKind::Reply,
+                )],
+            };
             if let Some(conn) = self.conns.get_mut(&token) {
-                conn.out.push_back(OutFrame::new(&reply, false));
+                for (msg, kind) in frames {
+                    if kind != FrameKind::Reply {
+                        conn.notifications_queued += 1;
+                    }
+                    conn.out.push_back(OutFrame::new(&msg, kind));
+                }
                 flushable.insert(token);
             }
         }
@@ -389,6 +554,10 @@ impl NetBroker {
             queue.drain(..).collect()
         };
         for delivery in deliveries {
+            if let Some(stoken) = self.sessions.session_of(delivery.client) {
+                self.route_session_notification(stoken, delivery, &mut flushable);
+                continue;
+            }
             let Some(&token) = self.client_conn.get(&delivery.client) else {
                 self.stats.notifications_disconnected += 1;
                 continue;
@@ -412,8 +581,8 @@ impl NetBroker {
             }
             let conn = self.conns.get_mut(&token).expect("checked");
             conn.out.push_back(OutFrame::new(
-                &ServerMessage::Notification { payload: delivery.payload },
-                true,
+                &ServerMessage::Notification { seq: 0, payload: delivery.payload },
+                FrameKind::Notification,
             ));
             conn.notifications_queued += 1;
             flushable.insert(token);
@@ -449,6 +618,267 @@ impl NetBroker {
             }
         }
         Ok(false)
+    }
+
+    /// Advances the logical session clock by `ticks`, then enforces the
+    /// two time-based policies: attached sessioned connections silent for
+    /// [`SessionConfig::heartbeat_timeout`] ticks are closed (their
+    /// sessions detach and start the TTL countdown), and detached
+    /// sessions past [`SessionConfig::session_ttl`] are expired — their
+    /// subscriptions unsubscribed, their clients unregistered, and every
+    /// retained frame counted in [`NetStats::notifications_expired`].
+    ///
+    /// The clock only moves here: drivers that never call this get
+    /// sessions that never time out, and the same drive sequence expires
+    /// the same sessions on every run.
+    pub fn advance_clock(&mut self, ticks: u64) {
+        self.clock += ticks;
+        if self.session_cfg.heartbeat_timeout > 0 {
+            let silent: Vec<Token> = self
+                .conns
+                .iter()
+                .filter(|(_, conn)| {
+                    conn.session.is_some()
+                        && self.clock.saturating_sub(conn.last_inbound)
+                            >= self.session_cfg.heartbeat_timeout
+                })
+                .map(|(token, _)| *token)
+                .collect();
+            for token in silent {
+                self.stats.heartbeat_timeouts += 1;
+                self.close_conn(token);
+            }
+        }
+        for stoken in self.sessions.expired(self.clock, self.session_cfg.session_ttl) {
+            self.expire_session(stoken);
+        }
+    }
+
+    /// The current logical session clock.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// True once every match served so far has been delivered by the
+    /// engine (or orphaned) *and* the loop has routed the resulting
+    /// deliveries out of the shared queue — i.e. each one now sits in a
+    /// terminal counter, a connection's outbound queue, or a replay
+    /// buffer. The chaos harness fences fault injection on this so
+    /// worker-thread timing can never shift a delivery between buckets.
+    pub fn deliveries_drained(&self) -> bool {
+        if !self.queue.lock().is_empty() {
+            return false;
+        }
+        let broker = self.server.broker();
+        self.stats.matches_seen
+            == broker.orphaned_matches() + broker.delivery_stats().total_delivered()
+    }
+
+    /// True when every connection that *can* make write progress has an
+    /// empty outbound queue (partitioned links are excluded — their
+    /// frames are blocked by design).
+    pub fn outbound_idle(&self) -> bool {
+        self.conns.values().all(|conn| conn.out.is_empty() || conn.stream.partitioned())
+    }
+
+    /// Retained (unacknowledged) frame count of session `token`, if it
+    /// is live.
+    pub fn session_retained(&self, token: u64) -> Option<u64> {
+        self.sessions.retained(token)
+    }
+
+    /// Retained unacknowledged notifications across live sessions — the
+    /// `in_flight` term of the session conservation identity.
+    pub fn session_in_flight(&self) -> u64 {
+        self.sessions.in_flight()
+    }
+
+    /// Number of live sessions (attached or detached).
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Closes every live connection at once — the chaos harness's
+    /// broker-front-end bounce. Sessions detach (their state survives in
+    /// memory and their TTL countdown starts); legacy connections lose
+    /// their clients as usual. Pair with
+    /// [`Broker::restart_notifier`](crate::dispatcher::Broker::restart_notifier)
+    /// to model a full restart of the serving tier.
+    pub fn kill_all_connections(&mut self) {
+        let tokens: Vec<Token> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close_conn(token);
+        }
+    }
+
+    /// Runs exactly `n` turns with a short poll timeout — the driver's
+    /// tool for interleaving broker progress with client ticks without
+    /// requiring quiescence.
+    pub fn run_turns(&mut self, n: usize) -> io::Result<()> {
+        for _ in 0..n {
+            self.turn(Some(Duration::from_millis(1)))?;
+        }
+        Ok(())
+    }
+
+    /// Handles a `Hello`: opens a fresh session, or — when `requested`
+    /// names a live one — resumes it: the session is stolen from any
+    /// zombie connection still attached, `last_seen_seq` acts as a
+    /// cumulative ack, and every still-retained frame is queued for
+    /// retransmission (in seq order, right after the `Welcome`).
+    fn handle_hello(
+        &mut self,
+        token: Token,
+        requested: u64,
+        last_seen_seq: u64,
+    ) -> Vec<(ServerMessage, FrameKind)> {
+        let Some(conn) = self.conns.get(&token) else {
+            return Vec::new(); // the connection died earlier this turn
+        };
+        if conn.session.is_some() {
+            let message = "duplicate Hello on an established session".into();
+            return vec![(ServerMessage::Error { message }, FrameKind::Reply)];
+        }
+        if !conn.clients.is_empty() {
+            let message = "Hello must be the first frame of a connection".into();
+            return vec![(ServerMessage::Error { message }, FrameKind::Reply)];
+        }
+        if requested != 0 && self.sessions.contains(requested) {
+            let old = self.sessions.get_mut(requested).expect("checked").conn.take();
+            if let Some(old_token) = old {
+                if old_token != token {
+                    self.close_conn(old_token);
+                }
+            }
+            let session = self.sessions.get_mut(requested).expect("checked");
+            session.conn = Some(token);
+            session.detached_at = None;
+            let (fresh, replayed) = session.ack(last_seen_seq);
+            let mut frames = vec![(
+                ServerMessage::Welcome { session: requested, resumed: true },
+                FrameKind::Reply,
+            )];
+            for frame in session.replay.iter_mut() {
+                frame.retransmitted = true;
+                frames.push((
+                    ServerMessage::Notification { seq: frame.seq, payload: frame.payload.clone() },
+                    FrameKind::Replay,
+                ));
+            }
+            self.stats.notifications_acked += fresh;
+            self.stats.notifications_replayed += replayed;
+            self.stats.sessions_resumed += 1;
+            self.conns.get_mut(&token).expect("checked live").session = Some(requested);
+            frames
+        } else {
+            // Unknown (or zero) token: grant a fresh session. A client
+            // whose old session expired learns it here — `resumed: false`
+            // tells it to re-register and re-subscribe from scratch.
+            let stoken = self.sessions.create(token);
+            self.conns.get_mut(&token).expect("checked live").session = Some(stoken);
+            self.stats.sessions_created += 1;
+            vec![(ServerMessage::Welcome { session: stoken, resumed: false }, FrameKind::Reply)]
+        }
+    }
+
+    /// Handles an `Ack`: trims the session's replay buffer up to `seq`,
+    /// crediting each trimmed frame to its terminal bucket. Acks elicit
+    /// no reply — the one documented exception to one-reply-per-request.
+    fn handle_ack(&mut self, token: Token, seq: u64) -> Vec<(ServerMessage, FrameKind)> {
+        let Some(stoken) = self.conns.get(&token).and_then(|c| c.session) else {
+            let message = "Ack outside a session".into();
+            return vec![(ServerMessage::Error { message }, FrameKind::Reply)];
+        };
+        if let Some(session) = self.sessions.get_mut(stoken) {
+            let (fresh, replayed) = session.ack(seq);
+            self.stats.notifications_acked += fresh;
+            self.stats.notifications_replayed += replayed;
+        }
+        Vec::new()
+    }
+
+    /// Routes one engine delivery to a sessioned client: assign the next
+    /// seq, retain the frame in the replay buffer, and — if the session
+    /// is attached — queue the frame on its connection. The replay bound
+    /// supersedes `max_outbound_frames` for sessioned traffic: at the
+    /// bound, `DropNewest` drops the delivery *before* a seq is assigned
+    /// (so received seqs stay contiguous) and `Disconnect` expires the
+    /// session whole — it can no longer keep its no-loss promise, and
+    /// the triggering delivery joins its retained frames in
+    /// [`NetStats::notifications_expired`].
+    fn route_session_notification(
+        &mut self,
+        stoken: u64,
+        delivery: Delivery,
+        flushable: &mut BTreeSet<Token>,
+    ) {
+        let Some(session) = self.sessions.get_mut(stoken) else {
+            self.stats.notifications_disconnected += 1;
+            return;
+        };
+        if session.replay.len() >= self.session_cfg.replay_buffer_frames {
+            match self.policy {
+                BackpressurePolicy::DropNewest => {
+                    self.stats.notifications_dropped += 1;
+                }
+                BackpressurePolicy::Disconnect => {
+                    self.stats.notifications_expired += 1;
+                    let conn = session.conn;
+                    self.expire_session(stoken);
+                    if let Some(token) = conn {
+                        flushable.remove(&token);
+                    }
+                }
+            }
+            return;
+        }
+        let seq = session.next_seq;
+        session.next_seq += 1;
+        session.replay.push_back(RetainedFrame {
+            seq,
+            payload: delivery.payload.clone(),
+            retransmitted: false,
+        });
+        if let Some(token) = session.conn {
+            let conn = self.conns.get_mut(&token).expect("session.conn tracks live conns");
+            conn.out.push_back(OutFrame::new(
+                &ServerMessage::Notification { seq, payload: delivery.payload },
+                FrameKind::Notification,
+            ));
+            conn.notifications_queued += 1;
+            flushable.insert(token);
+        }
+        // Detached: the frame is retained only, to be replayed on resume.
+    }
+
+    /// Expires a session terminally: closes its attached connection (if
+    /// any), unsubscribes and unregisters its clients (so later matches
+    /// surface as [`Broker::orphaned_matches`] rather than dangling), and
+    /// counts every retained frame in
+    /// [`NetStats::notifications_expired`].
+    fn expire_session(&mut self, stoken: u64) {
+        let Some(session) = self.sessions.remove(stoken) else {
+            return;
+        };
+        if let Some(token) = session.conn {
+            if let Some(mut conn) = self.conns.remove(&token) {
+                let _ = self.registry.deregister(&mut conn.stream);
+                if !conn.rx.is_empty() {
+                    self.stats.truncated_frames += 1;
+                }
+                self.stats.connections_closed += 1;
+                // Queued-but-unwritten notification frames on this
+                // connection are exactly the retained frames counted
+                // below — no `disconnected` accounting, or they would be
+                // counted twice.
+            }
+        }
+        for client in &session.clients {
+            self.server.broker().unsubscribe_all(*client);
+            self.server.broker().unregister_client(*client);
+        }
+        self.stats.notifications_expired += session.replay.len() as u64;
+        self.stats.sessions_expired += 1;
     }
 
     /// True if every produced match is terminally accounted and nothing
@@ -488,7 +918,7 @@ impl NetBroker {
                         token,
                         Interest::READABLE | Interest::WRITABLE,
                     )?;
-                    self.conns.insert(token, Conn::new(stream));
+                    self.conns.insert(token, Conn::new(stream, self.clock));
                     self.stats.connections_accepted += 1;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
@@ -509,6 +939,7 @@ impl NetBroker {
     ) {
         let mut close = false;
         let mut fatal = false;
+        let now = self.clock;
         if let Some(conn) = self.conns.get_mut(&token) {
             let mut buf = [0u8; 4096];
             loop {
@@ -517,7 +948,10 @@ impl NetBroker {
                         close = true;
                         break;
                     }
-                    Ok(n) => conn.rx.put_slice(&buf[..n]),
+                    Ok(n) => {
+                        conn.rx.put_slice(&buf[..n]);
+                        conn.last_inbound = now;
+                    }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                     Err(_) => {
                         close = true;
@@ -526,7 +960,7 @@ impl NetBroker {
                 }
             }
             loop {
-                match try_read_frame(&mut conn.rx) {
+                match try_read_frame_bounded(&mut conn.rx, self.max_frame_len) {
                     Ok(Some(mut frame)) => {
                         self.stats.frames_read += 1;
                         entries.push((token, decode_client(&mut frame)));
@@ -557,9 +991,16 @@ impl NetBroker {
                     Ok(n) => {
                         front.written += n;
                         if front.written == front.bytes.len() {
-                            if front.notification {
-                                self.stats.notifications_sent += 1;
-                                conn.notifications_queued -= 1;
+                            match front.kind {
+                                FrameKind::Reply => {}
+                                FrameKind::Notification => {
+                                    self.stats.notifications_sent += 1;
+                                    conn.notifications_queued -= 1;
+                                }
+                                FrameKind::Replay => {
+                                    self.stats.replay_frames_sent += 1;
+                                    conn.notifications_queued -= 1;
+                                }
                             }
                             conn.out.pop_front();
                         }
@@ -577,25 +1018,38 @@ impl NetBroker {
         }
     }
 
-    /// Tears a connection down: its clients are unregistered from the
-    /// broker (future matches become orphans, which the conservation
-    /// identity counts), queued notifications are accounted as
-    /// disconnected, and the stream is dropped — closing both pipes and
-    /// waking the peer.
+    /// Tears a connection down. A *legacy* connection loses its clients
+    /// (unregistered from the broker, so future matches become orphans,
+    /// which the conservation identity counts) and its queued
+    /// notifications are accounted as disconnected. A *sessioned*
+    /// connection merely detaches: its session keeps its clients,
+    /// subscriptions and retained frames, and the TTL countdown starts —
+    /// queued-but-unwritten notification frames are not lost, every one
+    /// of them is still in the replay buffer. Either way the stream is
+    /// dropped — closing both pipes and waking the peer.
     fn close_conn(&mut self, token: Token) {
         let Some(mut conn) = self.conns.remove(&token) else {
             return;
         };
         let _ = self.registry.deregister(&mut conn.stream);
-        for client in &conn.clients {
-            self.client_conn.remove(client);
-            self.server.broker().unregister_client(*client);
-        }
-        self.stats.notifications_disconnected += conn.notifications_queued;
         if !conn.rx.is_empty() {
             self.stats.truncated_frames += 1;
         }
         self.stats.connections_closed += 1;
+        match conn.session {
+            Some(stoken) if self.sessions.contains(stoken) => {
+                let session = self.sessions.get_mut(stoken).expect("checked");
+                session.conn = None;
+                session.detached_at = Some(self.clock);
+            }
+            _ => {
+                for client in &conn.clients {
+                    self.client_conn.remove(client);
+                    self.server.broker().unregister_client(*client);
+                }
+                self.stats.notifications_disconnected += conn.notifications_queued;
+            }
+        }
     }
 }
 
@@ -674,6 +1128,19 @@ impl NetClient {
     /// True once the broker side closed this connection.
     pub fn peer_closed(&self) -> bool {
         self.stream.peer_closed()
+    }
+
+    /// Partitions (or heals) this connection's link: while partitioned,
+    /// nothing flows in either direction and a close of either end stays
+    /// invisible — exactly what a network partition looks like from an
+    /// endpoint.
+    pub fn set_partitioned(&self, partitioned: bool) {
+        self.stream.set_partitioned(partitioned);
+    }
+
+    /// Whether the link is currently partitioned.
+    pub fn partitioned(&self) -> bool {
+        self.stream.partitioned()
     }
 
     /// Closes the connection now (both directions). Bytes already in the

@@ -18,7 +18,11 @@
 //! * [`eventloop`] — the networked serving path: a readiness event loop
 //!   ([`NetBroker`]) multiplexing many framed connections onto the broker
 //!   core, with bounded outbound queues and an explicit
-//!   [`BackpressurePolicy`].
+//!   [`BackpressurePolicy`];
+//! * [`session`] — the resilience layer on top of it: sessions that
+//!   survive the connection, bounded replay buffers, reconnect-with-
+//!   resume ([`SessionClient`]), heartbeats, and TTL expiry with full
+//!   accounting.
 //!
 //! The repository-level guides `docs/ARCHITECTURE.md` (system shape),
 //! `docs/WIRE_PROTOCOL.md` (frame/message spec) and `docs/OPERATIONS.md`
@@ -32,12 +36,13 @@ pub mod dispatcher;
 pub mod eventloop;
 pub mod notify;
 pub mod server;
+pub mod session;
 pub mod transport;
 pub mod wire;
 
 pub use chaos::{
-    run_chaos, run_net_chaos, ChaosConfig, ChaosReport, FlakyTransport, NetChaosConfig,
-    NetChaosReport,
+    run_chaos, run_net_chaos, run_session_chaos, ChaosConfig, ChaosReport, FlakyTransport,
+    NetChaosConfig, NetChaosReport, SessionChaosConfig, SessionChaosReport,
 };
 pub use client::{ClientId, ClientInfo};
 pub use dispatcher::{Broker, BrokerConfig, BrokerError, TransportFactory};
@@ -46,11 +51,13 @@ pub use eventloop::{
 };
 pub use notify::{DeliveryStats, NotificationEngine, TransportStats};
 pub use server::{subscription_to_wire, DemoServer};
+pub use session::{SessionClient, SessionClientConfig, SessionClientStats, SessionConfig};
 pub use transport::{
     Delivery, Inbox, ReceivedMessage, SmsSim, SmtpSim, TcpSim, Transport, TransportError,
     TransportKind, UdpSim, SMS_MAX_CHARS,
 };
 pub use wire::{
-    decode_client, decode_server, encode_client, encode_server, try_read_frame, write_frame,
-    ClientMessage, ServerMessage, WireError, WirePredicate, WireValue,
+    decode_client, decode_server, encode_client, encode_server, try_read_frame,
+    try_read_frame_bounded, write_frame, ClientMessage, ServerMessage, WireError, WirePredicate,
+    WireValue, MAX_FRAME_LEN,
 };

@@ -61,7 +61,40 @@ impl DemoServer {
                 self.broker.set_semantic_mode(semantic);
                 ServerMessage::ModeSet { semantic }
             }
+            ClientMessage::SetOntology { synonyms } => self.apply_ontology_delta(synonyms),
+            // Session frames are consumed by the networked event loop
+            // before its serve phase; reaching the command handler means
+            // the transport in use has no session layer.
+            ClientMessage::Hello { .. }
+            | ClientMessage::Ack { .. }
+            | ClientMessage::Ping { .. } => ServerMessage::Error {
+                message: "session frame on a transport without a session layer".into(),
+            },
         }
+    }
+
+    /// Applies a live synonym delta: clones the running ontology, adds
+    /// the pairs, swaps the fork in via [`Broker::set_ontology`]. Fails
+    /// as an `Error` reply when the active source is not a single plain
+    /// ontology (nothing is mutated in that case).
+    fn apply_ontology_delta(&self, synonyms: Vec<(String, String)>) -> ServerMessage {
+        let source = self.broker.semantic_source();
+        let Some(base) = source.as_ontology() else {
+            return ServerMessage::Error {
+                message: "live ontology delta requires a single-domain ontology source".into(),
+            };
+        };
+        let mut forked = base.clone();
+        let interner = self.broker.interner().clone();
+        for (canonical, alias) in synonyms {
+            let root = interner.intern(&canonical);
+            let alias = interner.intern(&alias);
+            if let Err(e) = interner.with(|i| forked.synonyms.add_synonym(root, alias, i)) {
+                return ServerMessage::Error { message: format!("bad synonym pair: {e}") };
+            }
+        }
+        self.broker.set_ontology(std::sync::Arc::new(forked));
+        ServerMessage::OntologyUpdated { epoch: self.broker.matcher_control_epoch() }
     }
 
     /// Handles a batch of decoded commands in arrival order, coalescing

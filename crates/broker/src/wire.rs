@@ -23,6 +23,15 @@ pub enum WireError {
     BadUtf8,
     /// A length field exceeded sane bounds.
     BadLength(u64),
+    /// A frame's length prefix exceeded the configured
+    /// [`MAX_FRAME_LEN`] bound — a corrupt or hostile prefix that would
+    /// otherwise commit the reader to an unbounded allocation.
+    FrameTooLarge {
+        /// The length the prefix claimed.
+        len: u64,
+        /// The bound in force.
+        max: u64,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -32,6 +41,9 @@ impl std::fmt::Display for WireError {
             WireError::BadTag(t) => write!(f, "unknown tag byte {t:#x}"),
             WireError::BadUtf8 => f.write_str("invalid utf-8 in string field"),
             WireError::BadLength(n) => write!(f, "length field out of bounds: {n}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte bound")
+            }
         }
     }
 }
@@ -41,6 +53,12 @@ impl std::error::Error for WireError {}
 /// Upper bound on any length field; keeps a corrupted frame from
 /// requesting gigabytes.
 const MAX_LEN: u64 = 1 << 20;
+
+/// Default upper bound on a frame's length prefix (see
+/// [`try_read_frame_bounded`]): no legitimate message in this protocol
+/// approaches it, so anything larger is treated as corruption rather
+/// than honored with an allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
 
 /// A value as it travels on the wire (terms as strings).
 #[derive(Clone, Debug, PartialEq)]
@@ -127,6 +145,37 @@ pub enum ClientMessage {
         /// True = semantic, false = syntactic.
         semantic: bool,
     },
+    /// Open (or resume) a session. Must be the first frame of a
+    /// connection that wants session semantics; connections that never
+    /// send it speak the legacy (session-less) protocol unchanged.
+    Hello {
+        /// Token of the session to resume, or 0 to open a fresh one.
+        session: u64,
+        /// Highest notification `seq` this client has observed — an
+        /// implicit [`ClientMessage::Ack`] folded into resumption, so
+        /// the broker replays only what was actually lost.
+        last_seen_seq: u64,
+    },
+    /// Acknowledge every notification up to and including `seq`. The
+    /// broker drops the acknowledged frames from the session's replay
+    /// buffer; this message elicits no reply.
+    Ack {
+        /// Highest contiguous notification `seq` received.
+        seq: u64,
+    },
+    /// Heartbeat probe; the broker answers [`ServerMessage::Pong`] and
+    /// refreshes the connection's liveness clock.
+    Ping {
+        /// Opaque value echoed back in the pong.
+        nonce: u64,
+    },
+    /// Live ontology delta: add synonym pairs to the broker's current
+    /// ontology without interrupting publishers (forwarded to
+    /// `Broker::set_ontology` as a fork of the running source).
+    SetOntology {
+        /// `(canonical, alias)` pairs to install in the synonym table.
+        synonyms: Vec<(String, String)>,
+    },
 }
 
 /// Server → client messages.
@@ -167,9 +216,36 @@ pub enum ServerMessage {
     /// networked broker interleaves it with replies on the same framed
     /// stream whenever one of the connection's subscriptions matches.
     Notification {
+        /// Per-session monotone sequence number (1, 2, 3, …) assigned
+        /// when the notification enters the session's replay buffer;
+        /// 0 on legacy (session-less) connections. Clients use it for
+        /// acknowledgement and duplicate suppression across resumes.
+        seq: u64,
         /// Rendered notification payload (same text the simulated
         /// transports deliver).
         payload: String,
+    },
+    /// Answer to [`ClientMessage::Hello`]: the session is open.
+    Welcome {
+        /// Token identifying the session (quote it in the next `Hello`).
+        session: u64,
+        /// True if an existing session was resumed (its subscriptions
+        /// are still registered and unacked notifications follow,
+        /// replayed in `seq` order); false if a fresh session was
+        /// opened — including when the requested token was unknown or
+        /// already expired.
+        resumed: bool,
+    },
+    /// Answer to [`ClientMessage::Ping`].
+    Pong {
+        /// The nonce of the ping being answered.
+        nonce: u64,
+    },
+    /// Answer to [`ClientMessage::SetOntology`]: the delta is live.
+    OntologyUpdated {
+        /// Matcher control epoch after the swap (monotone; lets clients
+        /// fence "my edit is visible to publishes after this point").
+        epoch: u64,
     },
 }
 
@@ -330,6 +406,27 @@ pub fn encode_client(msg: &ClientMessage, buf: &mut BytesMut) {
             buf.put_u8(4);
             buf.put_u8(*semantic as u8);
         }
+        ClientMessage::Hello { session, last_seen_seq } => {
+            buf.put_u8(5);
+            buf.put_u64_le(*session);
+            buf.put_u64_le(*last_seen_seq);
+        }
+        ClientMessage::Ack { seq } => {
+            buf.put_u8(6);
+            buf.put_u64_le(*seq);
+        }
+        ClientMessage::Ping { nonce } => {
+            buf.put_u8(7);
+            buf.put_u64_le(*nonce);
+        }
+        ClientMessage::SetOntology { synonyms } => {
+            buf.put_u8(8);
+            buf.put_u32_le(synonyms.len() as u32);
+            for (canonical, alias) in synonyms {
+                put_string(buf, canonical);
+                put_string(buf, alias);
+            }
+        }
     }
 }
 
@@ -366,6 +463,19 @@ pub fn decode_client(buf: &mut Bytes) -> Result<ClientMessage, WireError> {
             Ok(ClientMessage::Publish { client, pairs })
         }
         4 => Ok(ClientMessage::SetMode { semantic: get_u8(buf)? != 0 }),
+        5 => Ok(ClientMessage::Hello { session: get_u64(buf)?, last_seen_seq: get_u64(buf)? }),
+        6 => Ok(ClientMessage::Ack { seq: get_u64(buf)? }),
+        7 => Ok(ClientMessage::Ping { nonce: get_u64(buf)? }),
+        8 => {
+            let n = get_count(buf)?;
+            let mut synonyms = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                let canonical = get_string(buf)?;
+                let alias = get_string(buf)?;
+                synonyms.push((canonical, alias));
+            }
+            Ok(ClientMessage::SetOntology { synonyms })
+        }
         tag => Err(WireError::BadTag(tag)),
     }
 }
@@ -397,9 +507,23 @@ pub fn encode_server(msg: &ServerMessage, buf: &mut BytesMut) {
             buf.put_u8(5);
             put_string(buf, message);
         }
-        ServerMessage::Notification { payload } => {
+        ServerMessage::Notification { seq, payload } => {
             buf.put_u8(6);
+            buf.put_u64_le(*seq);
             put_string(buf, payload);
+        }
+        ServerMessage::Welcome { session, resumed } => {
+            buf.put_u8(7);
+            buf.put_u64_le(*session);
+            buf.put_u8(*resumed as u8);
+        }
+        ServerMessage::Pong { nonce } => {
+            buf.put_u8(8);
+            buf.put_u64_le(*nonce);
+        }
+        ServerMessage::OntologyUpdated { epoch } => {
+            buf.put_u8(9);
+            buf.put_u64_le(*epoch);
         }
     }
 }
@@ -413,7 +537,10 @@ pub fn decode_server(buf: &mut Bytes) -> Result<ServerMessage, WireError> {
         3 => Ok(ServerMessage::Published { matches: get_u32(buf)? }),
         4 => Ok(ServerMessage::ModeSet { semantic: get_u8(buf)? != 0 }),
         5 => Ok(ServerMessage::Error { message: get_string(buf)? }),
-        6 => Ok(ServerMessage::Notification { payload: get_string(buf)? }),
+        6 => Ok(ServerMessage::Notification { seq: get_u64(buf)?, payload: get_string(buf)? }),
+        7 => Ok(ServerMessage::Welcome { session: get_u64(buf)?, resumed: get_u8(buf)? != 0 }),
+        8 => Ok(ServerMessage::Pong { nonce: get_u64(buf)? }),
+        9 => Ok(ServerMessage::OntologyUpdated { epoch: get_u64(buf)? }),
         tag => Err(WireError::BadTag(tag)),
     }
 }
@@ -429,14 +556,28 @@ pub fn write_frame(stream: &mut BytesMut, payload: &[u8]) {
 }
 
 /// Pops one complete frame off `stream`, or returns `None` if more bytes
-/// are needed. Corrupted length fields are reported as errors.
+/// are needed. Corrupted length fields are reported as errors. Uses the
+/// default [`MAX_FRAME_LEN`] bound — see [`try_read_frame_bounded`].
 pub fn try_read_frame(stream: &mut BytesMut) -> Result<Option<Bytes>, WireError> {
+    try_read_frame_bounded(stream, MAX_FRAME_LEN)
+}
+
+/// [`try_read_frame`] with an explicit frame-length bound. The length
+/// prefix is validated *before* any buffering decision is made on it, so
+/// a corrupt or hostile prefix is rejected as
+/// [`WireError::FrameTooLarge`] instead of committing the reader to an
+/// up-to-4GiB allocation-and-wait. Frame-layer errors are unrecoverable
+/// (the stream offset is lost); callers close the connection.
+pub fn try_read_frame_bounded(
+    stream: &mut BytesMut,
+    max_frame_len: usize,
+) -> Result<Option<Bytes>, WireError> {
     if stream.len() < 4 {
         return Ok(None);
     }
     let len = u32::from_le_bytes([stream[0], stream[1], stream[2], stream[3]]) as u64;
-    if len > MAX_LEN {
-        return Err(WireError::BadLength(len));
+    if len > max_frame_len as u64 {
+        return Err(WireError::FrameTooLarge { len, max: max_frame_len as u64 });
     }
     let len = len as usize;
     if stream.len() < 4 + len {
@@ -499,6 +640,17 @@ mod tests {
             ],
         });
         roundtrip_client(ClientMessage::SetMode { semantic: false });
+        roundtrip_client(ClientMessage::Hello { session: 0, last_seen_seq: 0 });
+        roundtrip_client(ClientMessage::Hello { session: u64::MAX, last_seen_seq: 917 });
+        roundtrip_client(ClientMessage::Ack { seq: 41 });
+        roundtrip_client(ClientMessage::Ping { nonce: 0xDEAD_BEEF });
+        roundtrip_client(ClientMessage::SetOntology {
+            synonyms: vec![
+                ("university".into(), "school".into()),
+                ("phd".into(), "doctorate".into()),
+            ],
+        });
+        roundtrip_client(ClientMessage::SetOntology { synonyms: vec![] });
     }
 
     #[test]
@@ -510,8 +662,14 @@ mod tests {
         roundtrip_server(ServerMessage::ModeSet { semantic: true });
         roundtrip_server(ServerMessage::Error { message: "no such client".into() });
         roundtrip_server(ServerMessage::Notification {
+            seq: 0,
             payload: "to acme [client 1]: sub 9 matched via synonym".into(),
         });
+        roundtrip_server(ServerMessage::Notification { seq: 7, payload: "replayed".into() });
+        roundtrip_server(ServerMessage::Welcome { session: 3, resumed: true });
+        roundtrip_server(ServerMessage::Welcome { session: 4, resumed: false });
+        roundtrip_server(ServerMessage::Pong { nonce: 99 });
+        roundtrip_server(ServerMessage::OntologyUpdated { epoch: 12 });
     }
 
     #[test]
@@ -534,6 +692,34 @@ mod tests {
         assert_eq!(decode_client(&mut bytes), Err(WireError::BadTag(99)));
         let mut bytes = Bytes::from_static(&[99]);
         assert_eq!(decode_server(&mut bytes), Err(WireError::BadTag(99)));
+    }
+
+    #[test]
+    fn oversized_frame_prefix_is_rejected_without_allocating() {
+        // A hostile length prefix one past the bound: rejected as
+        // FrameTooLarge before the reader waits for (or allocates) the
+        // claimed bytes — even though the rest of the stream is absent.
+        let mut rx = BytesMut::new();
+        rx.put_u32_le((MAX_FRAME_LEN + 1) as u32);
+        assert_eq!(
+            try_read_frame(&mut rx),
+            Err(WireError::FrameTooLarge {
+                len: (MAX_FRAME_LEN + 1) as u64,
+                max: MAX_FRAME_LEN as u64
+            }),
+        );
+        // A stricter explicit bound applies verbatim; at the bound is fine.
+        let mut rx = BytesMut::new();
+        rx.put_u32_le(8);
+        rx.put_slice(&[0u8; 8]);
+        assert!(matches!(
+            try_read_frame_bounded(&mut rx, 7),
+            Err(WireError::FrameTooLarge { len: 8, max: 7 }),
+        ));
+        let mut rx = BytesMut::new();
+        rx.put_u32_le(8);
+        rx.put_slice(&[0u8; 8]);
+        assert!(try_read_frame_bounded(&mut rx, 8).unwrap().is_some());
     }
 
     #[test]
@@ -587,7 +773,7 @@ mod tests {
         let mut rx = BytesMut::new();
         rx.put_u32_le(u32::MAX);
         rx.put_slice(&[0; 16]);
-        assert!(matches!(try_read_frame(&mut rx), Err(WireError::BadLength(_))));
+        assert!(matches!(try_read_frame(&mut rx), Err(WireError::FrameTooLarge { .. })));
     }
 
     #[test]

@@ -7,8 +7,9 @@ use proptest::prelude::*;
 
 use stopss_broker::ClientId;
 use stopss_broker::{
-    decode_client, decode_server, encode_client, encode_server, try_read_frame, write_frame,
-    ClientMessage, ServerMessage, TransportKind, WirePredicate, WireValue,
+    decode_client, decode_server, encode_client, encode_server, try_read_frame,
+    try_read_frame_bounded, write_frame, ClientMessage, ServerMessage, TransportKind,
+    WirePredicate, WireValue,
 };
 use stopss_types::{Operator, SubId};
 
@@ -49,6 +50,12 @@ fn arb_client_message() -> impl Strategy<Value = ClientMessage> {
         (any::<u64>(), proptest::collection::vec(("[a-z ]{1,10}", arb_wire_value()), 0..8))
             .prop_map(|(c, pairs)| ClientMessage::Publish { client: ClientId(c), pairs }),
         any::<bool>().prop_map(|semantic| ClientMessage::SetMode { semantic }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(session, last_seen_seq)| ClientMessage::Hello { session, last_seen_seq }),
+        any::<u64>().prop_map(|seq| ClientMessage::Ack { seq }),
+        any::<u64>().prop_map(|nonce| ClientMessage::Ping { nonce }),
+        proptest::collection::vec(("[a-z]{1,10}", "[a-z ]{1,12}"), 0..5)
+            .prop_map(|synonyms| ClientMessage::SetOntology { synonyms }),
     ]
 }
 
@@ -60,6 +67,12 @@ fn arb_server_message() -> impl Strategy<Value = ServerMessage> {
         any::<u32>().prop_map(|matches| ServerMessage::Published { matches }),
         any::<bool>().prop_map(|semantic| ServerMessage::ModeSet { semantic }),
         "[ -~]{0,40}".prop_map(|message| ServerMessage::Error { message }),
+        (any::<u64>(), "[ -~]{0,48}")
+            .prop_map(|(seq, payload)| ServerMessage::Notification { seq, payload }),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(session, resumed)| ServerMessage::Welcome { session, resumed }),
+        any::<u64>().prop_map(|nonce| ServerMessage::Pong { nonce }),
+        any::<u64>().prop_map(|epoch| ServerMessage::OntologyUpdated { epoch }),
     ]
 }
 
@@ -172,6 +185,68 @@ proptest! {
         prop_assert_eq!(frames.len(), msgs.len());
         for (mut frame, msg) in frames.into_iter().zip(msgs) {
             prop_assert_eq!(decode_server(&mut frame).unwrap(), msg);
+        }
+    }
+
+    /// The bounded reader agrees with the unbounded one on every valid
+    /// stream whose frames fit the bound, regardless of chunking — the
+    /// hardening must never change what legitimate traffic decodes to.
+    #[test]
+    fn bounded_reader_equals_unbounded_on_valid_streams(
+        msgs in proptest::collection::vec(arb_client_message(), 1..6),
+        chunk_sizes in proptest::collection::vec(1usize..9, 1..32),
+    ) {
+        let mut stream = BytesMut::new();
+        for msg in &msgs {
+            let mut payload = BytesMut::new();
+            encode_client(msg, &mut payload);
+            write_frame(&mut stream, &payload);
+        }
+        let full = stream.freeze();
+
+        let mut rx = BytesMut::new();
+        let mut frames = Vec::new();
+        let mut cursor = 0usize;
+        let mut chunk_iter = chunk_sizes.iter().cycle();
+        while cursor < full.len() {
+            let n = (*chunk_iter.next().unwrap()).min(full.len() - cursor);
+            rx.put_slice(&full[cursor..cursor + n]);
+            cursor += n;
+            while let Some(frame) = try_read_frame_bounded(&mut rx, full.len()).unwrap() {
+                frames.push(frame);
+            }
+        }
+        prop_assert_eq!(frames.len(), msgs.len());
+        for (mut frame, msg) in frames.into_iter().zip(msgs) {
+            let decoded = decode_client(&mut frame).unwrap();
+            prop_assert!(messages_equal(&decoded, &msg), "{decoded:?} != {msg:?}");
+        }
+    }
+
+    /// Fuzz the bounded frame reader with arbitrary byte soup fed in
+    /// arbitrary chunks and a small bound: it must return frames or a
+    /// typed error — never panic, and never hand back a frame longer
+    /// than the bound (the allocation-bomb defence).
+    #[test]
+    fn bounded_reader_is_total_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        chunk_sizes in proptest::collection::vec(1usize..9, 1..32),
+        max in 1usize..64,
+    ) {
+        let mut rx = BytesMut::new();
+        let mut cursor = 0usize;
+        let mut chunk_iter = chunk_sizes.iter().cycle();
+        while cursor < bytes.len() {
+            let n = (*chunk_iter.next().unwrap()).min(bytes.len() - cursor);
+            rx.put_slice(&bytes[cursor..cursor + n]);
+            cursor += n;
+            loop {
+                match try_read_frame_bounded(&mut rx, max) {
+                    Ok(Some(frame)) => prop_assert!(frame.len() <= max),
+                    Ok(None) => break,
+                    Err(_) => return Ok(()), // poisoned stream: reader bails out
+                }
+            }
         }
     }
 }

@@ -50,6 +50,16 @@ pub trait SemanticSource: Send + Sync {
         now_year: i64,
         sink: &mut NamedMappingSink<'_>,
     );
+
+    /// Downcast hook for live ontology evolution: sources that are a
+    /// plain single-domain [`Ontology`] return themselves, so a caller
+    /// holding only `dyn SemanticSource` can clone the running ontology,
+    /// apply a delta, and swap the fork in (the wire protocol's
+    /// `SetOntology` path). Composite sources keep the default `None` —
+    /// a delta against them has no single table to land in.
+    fn as_ontology(&self) -> Option<&Ontology> {
+        None
+    }
 }
 
 /// A single domain's knowledge: synonyms + taxonomy + mapping functions.
@@ -90,6 +100,10 @@ impl Ontology {
 impl SemanticSource for Ontology {
     fn resolve_synonym(&self, term: Symbol) -> Symbol {
         self.synonyms.resolve(term)
+    }
+
+    fn as_ontology(&self) -> Option<&Ontology> {
+        Some(self)
     }
 
     fn for_each_ancestor(&self, term: Symbol, f: &mut dyn FnMut(Symbol, u32)) {

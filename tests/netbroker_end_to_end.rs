@@ -98,7 +98,7 @@ fn networked_delivery_equals_in_process_broker() {
         for (client, id) in &mut subscribers {
             for msg in client.poll_recv().unwrap() {
                 match msg {
-                    ServerMessage::Notification { payload } => {
+                    ServerMessage::Notification { payload, .. } => {
                         net_deliveries.entry(*id).or_default().push(payload)
                     }
                     ServerMessage::Subscribed { .. } => {}

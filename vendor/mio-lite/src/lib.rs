@@ -318,6 +318,12 @@ struct Pipe {
     buf: VecDeque<u8>,
     capacity: usize,
     closed: bool,
+    /// Network-partition simulation: while set, the pipe carries nothing —
+    /// reads and writes return `WouldBlock` regardless of buffered bytes,
+    /// and a close on the far side stays invisible (no FIN crosses a
+    /// partition). Healing restores normal semantics and re-pushes the
+    /// current readiness edges.
+    paused: bool,
     /// Notifier of the endpoint that reads this pipe (poked on write/close).
     reader: Option<Notifier>,
     /// Notifier of the endpoint that writes this pipe (poked when space
@@ -331,6 +337,7 @@ impl Pipe {
             buf: VecDeque::new(),
             capacity,
             closed: false,
+            paused: false,
             reader: None,
             writer: None,
         }))
@@ -381,9 +388,49 @@ impl SimStream {
         close_pipe(&self.tx);
     }
 
-    /// True if the peer endpoint closed the connection.
+    /// True if the peer endpoint closed the connection. A partition masks
+    /// the close — no FIN crosses it — so this reports `false` while
+    /// [`SimStream::set_partitioned`] is in force.
     pub fn peer_closed(&self) -> bool {
-        self.rx.lock().unwrap().closed
+        let rx = self.rx.lock().unwrap();
+        rx.closed && !rx.paused
+    }
+
+    /// Simulates a network partition on this connection (both
+    /// directions): while partitioned, reads and writes on *either*
+    /// endpoint return `WouldBlock` — buffered bytes are neither
+    /// deliverable nor droppable, and a close stays invisible until the
+    /// partition heals. Healing (`false`) re-pushes the current readiness
+    /// edges so registered endpoints pick up where the wire left off.
+    /// Idempotent in both directions.
+    pub fn set_partitioned(&self, partitioned: bool) {
+        for pipe in [&self.rx, &self.tx] {
+            let mut p = pipe.lock().unwrap();
+            if p.paused == partitioned {
+                continue;
+            }
+            p.paused = partitioned;
+            if !partitioned {
+                // Healed: surface whatever became true behind the
+                // partition. Spurious edges are fine — consumers are
+                // edge-triggered and read/write to WouldBlock.
+                if let Some(reader) = &p.reader {
+                    if !p.buf.is_empty() || p.closed {
+                        reader.notify_readable();
+                    }
+                }
+                if let Some(writer) = &p.writer {
+                    if p.buf.len() < p.capacity || p.closed {
+                        writer.notify_writable();
+                    }
+                }
+            }
+        }
+    }
+
+    /// True while [`SimStream::set_partitioned`] is in force.
+    pub fn partitioned(&self) -> bool {
+        self.rx.lock().unwrap().paused
     }
 }
 
@@ -409,6 +456,9 @@ impl Drop for SimStream {
 impl Read for SimStream {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         let mut pipe = self.rx.lock().unwrap();
+        if pipe.paused {
+            return Err(io::Error::from(io::ErrorKind::WouldBlock));
+        }
         if pipe.buf.is_empty() {
             if pipe.closed {
                 return Ok(0); // EOF
@@ -430,6 +480,9 @@ impl Read for SimStream {
 impl Write for SimStream {
     fn write(&mut self, data: &[u8]) -> io::Result<usize> {
         let mut pipe = self.tx.lock().unwrap();
+        if pipe.paused {
+            return Err(io::Error::from(io::ErrorKind::WouldBlock));
+        }
         if pipe.closed {
             return Err(io::Error::from(io::ErrorKind::BrokenPipe));
         }
@@ -745,6 +798,34 @@ mod tests {
         assert_eq!(events.len(), 2);
         poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
         assert_eq!(events.len(), 1, "all five edges delivered across polls");
+    }
+
+    #[test]
+    fn partition_pauses_both_directions_and_masks_close() {
+        let mut poll = Poll::new().unwrap();
+        let registry = poll.registry();
+        let (mut a, mut b) = SimStream::pair();
+        assert_eq!(b.write(b"pre").unwrap(), 3);
+        a.set_partitioned(true);
+        assert!(b.partitioned(), "partition is a property of the link, not one endpoint");
+        // Neither buffered bytes nor fresh writes cross the partition.
+        assert!(matches!(a.read(&mut [0u8; 4]), Err(e) if e.kind() == io::ErrorKind::WouldBlock));
+        assert!(matches!(a.write(b"x"), Err(e) if e.kind() == io::ErrorKind::WouldBlock));
+        assert!(matches!(b.write(b"x"), Err(e) if e.kind() == io::ErrorKind::WouldBlock));
+        // A close behind the partition stays invisible (no FIN crosses).
+        b.close();
+        assert!(!a.peer_closed(), "partition masks the peer's close");
+        assert!(matches!(a.read(&mut [0u8; 4]), Err(e) if e.kind() == io::ErrorKind::WouldBlock));
+        // Healing re-pushes readiness and surfaces bytes, then EOF.
+        registry.register(&mut a, Token(2), Interest::READABLE).unwrap();
+        let _ = poll_ready(&mut poll);
+        a.set_partitioned(false);
+        assert!(poll_ready(&mut poll).iter().any(|(t, r, _)| *t == Token(2) && *r));
+        let mut buf = [0u8; 8];
+        assert_eq!(a.read(&mut buf).unwrap(), 3, "buffered bytes survive the partition");
+        assert_eq!(&buf[..3], b"pre");
+        assert_eq!(a.read(&mut buf).unwrap(), 0, "then the masked close surfaces as EOF");
+        assert!(a.peer_closed());
     }
 
     #[test]
