@@ -21,8 +21,9 @@
 //! against silent decay.
 
 use std::fmt::Write as _;
-use std::sync::Arc;
 use std::time::Instant;
+
+use stopss_types::sync::Arc;
 
 use stopss_bench::{match_sets, matcher_for, recall, timed_sweep, total_matches};
 use stopss_broker::{run_chaos, Broker, BrokerConfig, ChaosConfig, TransportKind};

@@ -21,7 +21,7 @@
 //! RNG draws happen in enqueue order). Same seed ⇒ same faults ⇒ same
 //! report.
 
-use std::sync::Arc;
+use stopss_types::sync::Arc;
 
 use stopss_ontology::SemanticSource;
 use stopss_types::rng::Rng;

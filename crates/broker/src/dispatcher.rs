@@ -42,10 +42,9 @@
 //! kind is fixed at construction; [`Broker::reconfigure_matcher`] can
 //! reshard a sharded backend live but does not cross the enum boundary.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use stopss_types::sync::atomic::{AtomicU64, Ordering};
+use stopss_types::sync::{mpsc, Arc, Mutex, RwLock};
 
-use parking_lot::{Mutex, RwLock};
 use stopss_core::{
     Config, Match, MatcherStats, PreparedEvent, SToPSS, SemanticFrontEnd, ShardedSToPSS, StageMask,
     Tolerance, PIPELINE_CHUNK,
@@ -385,6 +384,8 @@ impl Broker {
 
     /// Registers a client.
     pub fn register_client(&self, name: impl Into<String>, transport: TransportKind) -> ClientId {
+        // ordering: id allocation needs only the atomicity of the add
+        // (unique ids); nothing is published through this counter.
         let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
         self.clients.write().insert(id, ClientInfo { name: name.into(), transport });
         id
@@ -439,6 +440,8 @@ impl Broker {
         if !self.clients.read().contains_key(&client) {
             return Err(BrokerError::UnknownClient(client));
         }
+        // ordering: id allocation needs only the atomicity of the add
+        // (unique ids); nothing is published through this counter.
         let id = SubId(self.next_sub.fetch_add(1, Ordering::Relaxed));
         let sub = Subscription::new(id, predicates);
         // Owner first, matcher second: from the instant a publish can
@@ -479,6 +482,7 @@ impl Broker {
                     results.push(Err(BrokerError::UnknownClient(client)));
                     continue;
                 }
+                // ordering: id allocation, atomicity only (as above).
                 let id = SubId(self.next_sub.fetch_add(1, Ordering::Relaxed));
                 owners.insert(id, client);
                 accepted.push((Subscription::new(id, predicates), tolerance));
@@ -602,7 +606,7 @@ impl Broker {
             }
             total
         })
-        .expect("publish pipeline panicked")
+        .expect("invariant: publish pipeline threads do not panic")
     }
 
     /// Snapshots the detached front-end handle and the front-end epoch it
@@ -648,10 +652,13 @@ impl Broker {
             let Some(owner) = owners.get(&m.sub) else {
                 // The subscription was matched by an in-flight publish and
                 // unsubscribed before this notification was enqueued.
+                // ordering: monotone conservation counter (matches_seen ==
+                // orphaned + delivered); adds commute, no paired state.
                 self.orphaned_matches.fetch_add(1, Ordering::Relaxed);
                 continue;
             };
             let Some(info) = clients.get(owner) else {
+                // ordering: monotone conservation counter, as above.
                 self.orphaned_matches.fetch_add(1, Ordering::Relaxed);
                 continue;
             };
@@ -668,6 +675,7 @@ impl Broker {
     /// publish racing an unsubscribe). Zero in the absence of concurrent
     /// unsubscription.
     pub fn orphaned_matches(&self) -> u64 {
+        // ordering: monotone counter snapshot; no paired state.
         self.orphaned_matches.load(Ordering::Relaxed)
     }
 
@@ -763,11 +771,15 @@ impl Broker {
     /// stats.
     pub fn restart_notifier(&self) -> DeliveryStats {
         let _restart = self.restart.lock();
+        // ordering: read and write of the epoch are serialized by the
+        // restart mutex; the atomic only lets `notifier_restarts()`
+        // observe it without the lock.
         let epoch = self.notifier_restarts.load(Ordering::Relaxed) + 1;
         let fresh = NotificationEngine::start((self.transport_factory)(epoch));
         // The notifier write lock covers only the swap; enqueues stall
         // for a pointer exchange, not the drain.
         let old = std::mem::replace(&mut *self.notifier.write(), fresh);
+        // ordering: serialized by the restart mutex, as above.
         self.notifier_restarts.store(epoch, Ordering::Relaxed);
         let final_stats = old.shutdown();
         self.retired_delivery.lock().merge(&final_stats);
@@ -776,6 +788,8 @@ impl Broker {
 
     /// Number of notification-engine restarts performed.
     pub fn notifier_restarts(&self) -> u64 {
+        // ordering: monotone epoch snapshot; writers are serialized by
+        // the restart mutex.
         self.notifier_restarts.load(Ordering::Relaxed)
     }
 

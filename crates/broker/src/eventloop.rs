@@ -83,7 +83,6 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{self, Read, Write};
-use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::{BufMut, Bytes, BytesMut};
@@ -91,15 +90,15 @@ use mio_lite::{
     Events, Interest, Poll, Registry, SimConnector, SimListener, SimStream, Token, Waker,
     DEFAULT_PIPE_CAPACITY,
 };
-use parking_lot::Mutex;
 use stopss_ontology::SemanticSource;
+use stopss_types::sync::{Arc, Mutex};
 use stopss_types::{FxHashMap, SharedInterner};
 
 use crate::client::ClientId;
 use crate::dispatcher::{Broker, BrokerConfig, TransportFactory};
 use crate::notify::DeliveryStats;
 use crate::server::DemoServer;
-use crate::session::{RetainedFrame, SessionConfig, SessionTable};
+use crate::session::{SessionConfig, SessionTable};
 use crate::transport::{Delivery, Transport, TransportError, TransportKind};
 use crate::wire::{
     decode_client, encode_server, try_read_frame, try_read_frame_bounded, write_frame,
@@ -501,7 +500,9 @@ impl NetBroker {
         for (token, item) in planned {
             let frames: Vec<(ServerMessage, FrameKind)> = match item {
                 Planned::Command(_) => {
-                    let reply = replies.next().expect("one reply per served message");
+                    let reply = replies
+                        .next()
+                        .expect("invariant: the server returns one reply per served message");
                     match &reply {
                         ServerMessage::Registered { client } => {
                             match self.conns.get(&token).and_then(|c| c.session) {
@@ -510,7 +511,7 @@ impl NetBroker {
                                     self.client_conn.insert(*client, token);
                                     self.conns
                                         .get_mut(&token)
-                                        .expect("checked")
+                                        .expect("invariant: conn checked live in this arm")
                                         .clients
                                         .push(*client);
                                 }
@@ -563,10 +564,14 @@ impl NetBroker {
                 continue;
             };
             let over = {
-                let conn = self.conns.get(&token).expect("client_conn tracks live conns");
+                let conn = self
+                    .conns
+                    .get(&token)
+                    .expect("invariant: client_conn only maps to live connections");
                 conn.out.len() >= self.max_outbound_frames
             };
             if over {
+                // conservation: delivered == notifications_sent + notifications_dropped + notifications_disconnected
                 match self.policy {
                     BackpressurePolicy::DropNewest => {
                         self.stats.notifications_dropped += 1;
@@ -579,7 +584,10 @@ impl NetBroker {
                 }
                 continue;
             }
-            let conn = self.conns.get_mut(&token).expect("checked");
+            let conn = self
+                .conns
+                .get_mut(&token)
+                .expect("invariant: conn was live at the backpressure check");
             conn.out.push_back(OutFrame::new(
                 &ServerMessage::Notification { seq: 0, payload: delivery.payload },
                 FrameKind::Notification,
@@ -744,13 +752,19 @@ impl NetBroker {
             return vec![(ServerMessage::Error { message }, FrameKind::Reply)];
         }
         if requested != 0 && self.sessions.contains(requested) {
-            let old = self.sessions.get_mut(requested).expect("checked").conn.take();
+            let old = self
+                .sessions
+                .get_mut(requested)
+                .expect("invariant: contains(requested) checked")
+                .conn
+                .take();
             if let Some(old_token) = old {
                 if old_token != token {
                     self.close_conn(old_token);
                 }
             }
-            let session = self.sessions.get_mut(requested).expect("checked");
+            let session =
+                self.sessions.get_mut(requested).expect("invariant: contains(requested) checked");
             session.conn = Some(token);
             session.detached_at = None;
             let (fresh, replayed) = session.ack(last_seen_seq);
@@ -765,17 +779,20 @@ impl NetBroker {
                     FrameKind::Replay,
                 ));
             }
+            // conservation: delivered == notifications_acked + notifications_replayed + notifications_dropped + notifications_expired
             self.stats.notifications_acked += fresh;
             self.stats.notifications_replayed += replayed;
             self.stats.sessions_resumed += 1;
-            self.conns.get_mut(&token).expect("checked live").session = Some(requested);
+            self.conns.get_mut(&token).expect("invariant: hello arrives on a live conn").session =
+                Some(requested);
             frames
         } else {
             // Unknown (or zero) token: grant a fresh session. A client
             // whose old session expired learns it here — `resumed: false`
             // tells it to re-register and re-subscribe from scratch.
             let stoken = self.sessions.create(token);
-            self.conns.get_mut(&token).expect("checked live").session = Some(stoken);
+            self.conns.get_mut(&token).expect("invariant: hello arrives on a live conn").session =
+                Some(stoken);
             self.stats.sessions_created += 1;
             vec![(ServerMessage::Welcome { session: stoken, resumed: false }, FrameKind::Reply)]
         }
@@ -816,7 +833,9 @@ impl NetBroker {
             self.stats.notifications_disconnected += 1;
             return;
         };
-        if session.replay.len() >= self.session_cfg.replay_buffer_frames {
+        let Some(seq) =
+            session.try_retain(delivery.payload.clone(), self.session_cfg.replay_buffer_frames)
+        else {
             match self.policy {
                 BackpressurePolicy::DropNewest => {
                     self.stats.notifications_dropped += 1;
@@ -831,16 +850,12 @@ impl NetBroker {
                 }
             }
             return;
-        }
-        let seq = session.next_seq;
-        session.next_seq += 1;
-        session.replay.push_back(RetainedFrame {
-            seq,
-            payload: delivery.payload.clone(),
-            retransmitted: false,
-        });
+        };
         if let Some(token) = session.conn {
-            let conn = self.conns.get_mut(&token).expect("session.conn tracks live conns");
+            let conn = self
+                .conns
+                .get_mut(&token)
+                .expect("invariant: session.conn only points at live connections");
             conn.out.push_back(OutFrame::new(
                 &ServerMessage::Notification { seq, payload: delivery.payload },
                 FrameKind::Notification,
@@ -892,6 +907,7 @@ impl NetBroker {
         }
         let broker = self.server.broker();
         let delivered = broker.delivery_stats().total_delivered();
+        // conservation: matches_seen == orphaned_matches + delivered
         self.stats.matches_seen == broker.orphaned_matches() + delivered
     }
 
@@ -1038,7 +1054,8 @@ impl NetBroker {
         self.stats.connections_closed += 1;
         match conn.session {
             Some(stoken) if self.sessions.contains(stoken) => {
-                let session = self.sessions.get_mut(stoken).expect("checked");
+                let session =
+                    self.sessions.get_mut(stoken).expect("invariant: contains(stoken) checked");
                 session.conn = None;
                 session.detached_at = Some(self.clock);
             }

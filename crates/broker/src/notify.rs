@@ -10,9 +10,10 @@
 //! (fire-and-forget semantics). Batching transports are flushed whenever
 //! the queue drains and at shutdown.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use stopss_types::sync::atomic::{AtomicU64, Ordering};
+use stopss_types::sync::Arc;
 
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 use stopss_types::FxHashMap;
@@ -120,7 +121,7 @@ impl NotificationEngine {
         let worker = std::thread::Builder::new()
             .name("stopss-notify".into())
             .spawn(move || worker_loop(receiver, transports, worker_counters))
-            .expect("spawning the notification worker");
+            .expect("invariant: spawning the notification worker cannot fail");
         NotificationEngine { sender: Some(sender), worker: Some(worker), counters }
     }
 
@@ -143,6 +144,10 @@ impl NotificationEngine {
             .counters
             .iter()
             .map(|(kind, c)| {
+                // ordering: monotone delivery counters (delivered ==
+                // sent + dropped + disconnected is checked on final,
+                // quiesced stats); a live snapshot needs no
+                // cross-counter consistency.
                 (
                     *kind,
                     TransportStats {
@@ -223,6 +228,9 @@ fn process_one(
         return;
     };
     let c = &counters[&kind];
+    // ordering: monotone delivery counters (here and below); only the
+    // single worker thread increments, readers take snapshots.
+    // conservation: attempted == delivered + lost + rate_dropped
     c.attempted.fetch_add(1, Ordering::Relaxed);
     let mut attempt = 0;
     loop {

@@ -93,7 +93,7 @@ impl DemoServer {
                 return ServerMessage::Error { message: format!("bad synonym pair: {e}") };
             }
         }
-        self.broker.set_ontology(std::sync::Arc::new(forked));
+        self.broker.set_ontology(stopss_types::sync::Arc::new(forked));
         ServerMessage::OntologyUpdated { epoch: self.broker.matcher_control_epoch() }
     }
 

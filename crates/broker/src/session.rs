@@ -79,7 +79,7 @@ impl Default for SessionConfig {
 
 /// One retained (delivered-but-unacknowledged) notification.
 #[derive(Clone, Debug)]
-pub(crate) struct RetainedFrame {
+pub struct RetainedFrame {
     /// Per-session monotone sequence number.
     pub seq: u64,
     /// Rendered payload.
@@ -91,7 +91,7 @@ pub(crate) struct RetainedFrame {
 
 /// Broker-side state of one session (see the module docs).
 #[derive(Debug)]
-pub(crate) struct Session {
+pub struct Session {
     /// The attached connection, if any.
     pub conn: Option<Token>,
     /// Clients registered under this session.
@@ -107,7 +107,8 @@ pub(crate) struct Session {
 }
 
 impl Session {
-    fn new(conn: Token) -> Session {
+    /// Opens a fresh session attached to `conn`.
+    pub fn new(conn: Token) -> Session {
         Session {
             conn: Some(conn),
             clients: Vec::new(),
@@ -116,6 +117,23 @@ impl Session {
             replay: VecDeque::new(),
             detached_at: None,
         }
+    }
+
+    /// Retains `payload` for replay if the buffer has room: assigns the
+    /// next sequence number, appends the frame, and returns the seq.
+    /// Returns `None` when the replay buffer already holds `max_frames`
+    /// frames — the caller picks the backpressure outcome (drop the
+    /// delivery or expire the session); the buffer is never overrun and
+    /// a seq is never burned on a shed delivery, so received seqs stay
+    /// contiguous.
+    pub fn try_retain(&mut self, payload: String, max_frames: usize) -> Option<u64> {
+        if self.replay.len() >= max_frames {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.replay.push_back(RetainedFrame { seq, payload, retransmitted: false });
+        Some(seq)
     }
 
     /// Drops every retained frame with `seq <= upto` (a cumulative ack).
@@ -128,7 +146,8 @@ impl Session {
             if front.seq > upto {
                 break;
             }
-            let frame = self.replay.pop_front().expect("front checked");
+            let frame =
+                self.replay.pop_front().expect("invariant: loop condition verified a front frame");
             if frame.retransmitted {
                 replayed += 1;
             } else {
@@ -143,7 +162,7 @@ impl Session {
 /// The broker-side table of live sessions; owned and driven by the
 /// networked event loop.
 #[derive(Debug, Default)]
-pub(crate) struct SessionTable {
+pub struct SessionTable {
     sessions: FxHashMap<u64, Session>,
     client_session: FxHashMap<ClientId, u64>,
     next_token: u64,
@@ -194,6 +213,11 @@ impl SessionTable {
     /// Number of live sessions.
     pub fn len(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// True when no session is live (attached or detached).
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
     }
 
     /// Total retained unacknowledged frames across live sessions — the
@@ -386,7 +410,7 @@ impl SessionClient {
         // Cumulative ack — only when the mark advanced this tick.
         if self.state == ClientState::Established && self.last_seen_seq > self.ack_sent {
             let ack = ClientMessage::Ack { seq: self.last_seen_seq };
-            let inner = self.inner.as_mut().expect("checked above");
+            let inner = self.inner.as_mut().expect("invariant: self.inner is Some on this path");
             if inner.send(&ack).is_err() {
                 self.on_disconnect();
                 return Ok(out);
@@ -399,13 +423,13 @@ impl SessionClient {
         {
             self.last_ping = self.clock;
             let ping = ClientMessage::Ping { nonce: self.clock };
-            let inner = self.inner.as_mut().expect("checked above");
+            let inner = self.inner.as_mut().expect("invariant: self.inner is Some on this path");
             if inner.send(&ping).is_err() {
                 self.on_disconnect();
                 return Ok(out);
             }
         }
-        let inner = self.inner.as_mut().expect("checked above");
+        let inner = self.inner.as_mut().expect("invariant: self.inner is Some on this path");
         let _ = inner.flush();
         if inner.peer_closed() {
             self.on_disconnect();

@@ -15,9 +15,7 @@
 //! Everything downstream (queueing, retries, per-transport accounting)
 //! exercises the same code paths a networked deployment would.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use stopss_types::sync::{Arc, Mutex};
 
 use crate::client::ClientId;
 // The broker sits below the workload crate in the experiment stack, so it

@@ -250,6 +250,113 @@ pub enum ServerMessage {
 }
 
 // ---------------------------------------------------------------------------
+// Tag tables
+// ---------------------------------------------------------------------------
+
+/// Tag bytes of [`ClientMessage`] variants.
+///
+/// **Append-only**: a tag, once assigned, is never renumbered or reused —
+/// new variants take the next free byte. The table below, the match arms
+/// in [`encode_client`]/[`decode_client`], and the tag table in
+/// `docs/WIRE_PROTOCOL.md` must stay in sync; `stopss-lint`'s
+/// `wire-tags-sync` rule and `tests/wire_doc_drift.rs` enforce it.
+pub mod client_tag {
+    /// [`super::ClientMessage::Register`].
+    pub const REGISTER: u8 = 0;
+    /// [`super::ClientMessage::Subscribe`].
+    pub const SUBSCRIBE: u8 = 1;
+    /// [`super::ClientMessage::Unsubscribe`].
+    pub const UNSUBSCRIBE: u8 = 2;
+    /// [`super::ClientMessage::Publish`].
+    pub const PUBLISH: u8 = 3;
+    /// [`super::ClientMessage::SetMode`].
+    pub const SET_MODE: u8 = 4;
+    /// [`super::ClientMessage::Hello`].
+    pub const HELLO: u8 = 5;
+    /// [`super::ClientMessage::Ack`].
+    pub const ACK: u8 = 6;
+    /// [`super::ClientMessage::Ping`].
+    pub const PING: u8 = 7;
+    /// [`super::ClientMessage::SetOntology`].
+    pub const SET_ONTOLOGY: u8 = 8;
+}
+
+/// Tag bytes of [`ServerMessage`] variants (append-only; see
+/// [`client_tag`]).
+pub mod server_tag {
+    /// [`super::ServerMessage::Registered`].
+    pub const REGISTERED: u8 = 0;
+    /// [`super::ServerMessage::Subscribed`].
+    pub const SUBSCRIBED: u8 = 1;
+    /// [`super::ServerMessage::Unsubscribed`].
+    pub const UNSUBSCRIBED: u8 = 2;
+    /// [`super::ServerMessage::Published`].
+    pub const PUBLISHED: u8 = 3;
+    /// [`super::ServerMessage::ModeSet`].
+    pub const MODE_SET: u8 = 4;
+    /// [`super::ServerMessage::Error`].
+    pub const ERROR: u8 = 5;
+    /// [`super::ServerMessage::Notification`].
+    pub const NOTIFICATION: u8 = 6;
+    /// [`super::ServerMessage::Welcome`].
+    pub const WELCOME: u8 = 7;
+    /// [`super::ServerMessage::Pong`].
+    pub const PONG: u8 = 8;
+    /// [`super::ServerMessage::OntologyUpdated`].
+    pub const ONTOLOGY_UPDATED: u8 = 9;
+}
+
+/// Tag bytes of [`WireValue`] variants (append-only; see [`client_tag`]).
+pub mod value_tag {
+    /// [`super::WireValue::Int`].
+    pub const INT: u8 = 0;
+    /// [`super::WireValue::Float`].
+    pub const FLOAT: u8 = 1;
+    /// [`super::WireValue::Term`].
+    pub const TERM: u8 = 2;
+    /// [`super::WireValue::Bool`].
+    pub const BOOL: u8 = 3;
+}
+
+/// `(tag, variant name)` for every [`WireValue`], in tag order.
+pub const VALUE_TAG_TABLE: &[(u8, &str)] = &[
+    (value_tag::INT, "Int"),
+    (value_tag::FLOAT, "Float"),
+    (value_tag::TERM, "Term"),
+    (value_tag::BOOL, "Bool"),
+];
+
+/// `(tag, variant name)` for every client message, in tag order. The
+/// doc-drift test compares this against the table in
+/// `docs/WIRE_PROTOCOL.md`, and `stopss-lint` pins it append-only.
+pub const CLIENT_TAG_TABLE: &[(u8, &str)] = &[
+    (client_tag::REGISTER, "Register"),
+    (client_tag::SUBSCRIBE, "Subscribe"),
+    (client_tag::UNSUBSCRIBE, "Unsubscribe"),
+    (client_tag::PUBLISH, "Publish"),
+    (client_tag::SET_MODE, "SetMode"),
+    (client_tag::HELLO, "Hello"),
+    (client_tag::ACK, "Ack"),
+    (client_tag::PING, "Ping"),
+    (client_tag::SET_ONTOLOGY, "SetOntology"),
+];
+
+/// `(tag, variant name)` for every server message, in tag order (see
+/// [`CLIENT_TAG_TABLE`]).
+pub const SERVER_TAG_TABLE: &[(u8, &str)] = &[
+    (server_tag::REGISTERED, "Registered"),
+    (server_tag::SUBSCRIBED, "Subscribed"),
+    (server_tag::UNSUBSCRIBED, "Unsubscribed"),
+    (server_tag::PUBLISHED, "Published"),
+    (server_tag::MODE_SET, "ModeSet"),
+    (server_tag::ERROR, "Error"),
+    (server_tag::NOTIFICATION, "Notification"),
+    (server_tag::WELCOME, "Welcome"),
+    (server_tag::PONG, "Pong"),
+    (server_tag::ONTOLOGY_UPDATED, "OntologyUpdated"),
+];
+
+// ---------------------------------------------------------------------------
 // Primitives
 // ---------------------------------------------------------------------------
 
@@ -298,19 +405,19 @@ fn get_u64(buf: &mut Bytes) -> Result<u64, WireError> {
 fn put_value(buf: &mut BytesMut, value: &WireValue) {
     match value {
         WireValue::Int(i) => {
-            buf.put_u8(0);
+            buf.put_u8(value_tag::INT);
             buf.put_i64_le(*i);
         }
         WireValue::Float(f) => {
-            buf.put_u8(1);
+            buf.put_u8(value_tag::FLOAT);
             buf.put_u64_le(f.to_bits());
         }
         WireValue::Term(t) => {
-            buf.put_u8(2);
+            buf.put_u8(value_tag::TERM);
             put_string(buf, t);
         }
         WireValue::Bool(b) => {
-            buf.put_u8(3);
+            buf.put_u8(value_tag::BOOL);
             buf.put_u8(*b as u8);
         }
     }
@@ -318,21 +425,24 @@ fn put_value(buf: &mut BytesMut, value: &WireValue) {
 
 fn get_value(buf: &mut Bytes) -> Result<WireValue, WireError> {
     match get_u8(buf)? {
-        0 => {
+        value_tag::INT => {
             if buf.remaining() < 8 {
                 return Err(WireError::UnexpectedEof);
             }
             Ok(WireValue::Int(buf.get_i64_le()))
         }
-        1 => Ok(WireValue::Float(f64::from_bits(get_u64(buf)?))),
-        2 => Ok(WireValue::Term(get_string(buf)?)),
-        3 => Ok(WireValue::Bool(get_u8(buf)? != 0)),
+        value_tag::FLOAT => Ok(WireValue::Float(f64::from_bits(get_u64(buf)?))),
+        value_tag::TERM => Ok(WireValue::Term(get_string(buf)?)),
+        value_tag::BOOL => Ok(WireValue::Bool(get_u8(buf)? != 0)),
         tag => Err(WireError::BadTag(tag)),
     }
 }
 
 fn operator_tag(op: Operator) -> u8 {
-    Operator::ALL.iter().position(|o| *o == op).unwrap() as u8
+    Operator::ALL
+        .iter()
+        .position(|o| *o == op)
+        .expect("invariant: Operator::ALL enumerates every operator") as u8
 }
 
 fn operator_from_tag(tag: u8) -> Result<Operator, WireError> {
@@ -340,7 +450,10 @@ fn operator_from_tag(tag: u8) -> Result<Operator, WireError> {
 }
 
 fn transport_tag(kind: TransportKind) -> u8 {
-    TransportKind::ALL.iter().position(|k| *k == kind).unwrap() as u8
+    TransportKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("invariant: TransportKind::ALL enumerates every transport") as u8
 }
 
 fn transport_from_tag(tag: u8) -> Result<TransportKind, WireError> {
@@ -376,12 +489,12 @@ fn get_count(buf: &mut Bytes) -> Result<usize, WireError> {
 pub fn encode_client(msg: &ClientMessage, buf: &mut BytesMut) {
     match msg {
         ClientMessage::Register { name, transport } => {
-            buf.put_u8(0);
+            buf.put_u8(client_tag::REGISTER);
             put_string(buf, name);
             buf.put_u8(transport_tag(*transport));
         }
         ClientMessage::Subscribe { client, predicates } => {
-            buf.put_u8(1);
+            buf.put_u8(client_tag::SUBSCRIBE);
             buf.put_u64_le(client.0);
             buf.put_u32_le(predicates.len() as u32);
             for p in predicates {
@@ -389,12 +502,12 @@ pub fn encode_client(msg: &ClientMessage, buf: &mut BytesMut) {
             }
         }
         ClientMessage::Unsubscribe { client, sub } => {
-            buf.put_u8(2);
+            buf.put_u8(client_tag::UNSUBSCRIBE);
             buf.put_u64_le(client.0);
             buf.put_u64_le(sub.0);
         }
         ClientMessage::Publish { client, pairs } => {
-            buf.put_u8(3);
+            buf.put_u8(client_tag::PUBLISH);
             buf.put_u64_le(client.0);
             buf.put_u32_le(pairs.len() as u32);
             for (attr, value) in pairs {
@@ -403,24 +516,24 @@ pub fn encode_client(msg: &ClientMessage, buf: &mut BytesMut) {
             }
         }
         ClientMessage::SetMode { semantic } => {
-            buf.put_u8(4);
+            buf.put_u8(client_tag::SET_MODE);
             buf.put_u8(*semantic as u8);
         }
         ClientMessage::Hello { session, last_seen_seq } => {
-            buf.put_u8(5);
+            buf.put_u8(client_tag::HELLO);
             buf.put_u64_le(*session);
             buf.put_u64_le(*last_seen_seq);
         }
         ClientMessage::Ack { seq } => {
-            buf.put_u8(6);
+            buf.put_u8(client_tag::ACK);
             buf.put_u64_le(*seq);
         }
         ClientMessage::Ping { nonce } => {
-            buf.put_u8(7);
+            buf.put_u8(client_tag::PING);
             buf.put_u64_le(*nonce);
         }
         ClientMessage::SetOntology { synonyms } => {
-            buf.put_u8(8);
+            buf.put_u8(client_tag::SET_ONTOLOGY);
             buf.put_u32_le(synonyms.len() as u32);
             for (canonical, alias) in synonyms {
                 put_string(buf, canonical);
@@ -433,12 +546,12 @@ pub fn encode_client(msg: &ClientMessage, buf: &mut BytesMut) {
 /// Decodes a client message.
 pub fn decode_client(buf: &mut Bytes) -> Result<ClientMessage, WireError> {
     match get_u8(buf)? {
-        0 => {
+        client_tag::REGISTER => {
             let name = get_string(buf)?;
             let transport = transport_from_tag(get_u8(buf)?)?;
             Ok(ClientMessage::Register { name, transport })
         }
-        1 => {
+        client_tag::SUBSCRIBE => {
             let client = ClientId(get_u64(buf)?);
             let n = get_count(buf)?;
             let mut predicates = Vec::with_capacity(n.min(64));
@@ -447,11 +560,11 @@ pub fn decode_client(buf: &mut Bytes) -> Result<ClientMessage, WireError> {
             }
             Ok(ClientMessage::Subscribe { client, predicates })
         }
-        2 => Ok(ClientMessage::Unsubscribe {
+        client_tag::UNSUBSCRIBE => Ok(ClientMessage::Unsubscribe {
             client: ClientId(get_u64(buf)?),
             sub: SubId(get_u64(buf)?),
         }),
-        3 => {
+        client_tag::PUBLISH => {
             let client = ClientId(get_u64(buf)?);
             let n = get_count(buf)?;
             let mut pairs = Vec::with_capacity(n.min(64));
@@ -462,11 +575,13 @@ pub fn decode_client(buf: &mut Bytes) -> Result<ClientMessage, WireError> {
             }
             Ok(ClientMessage::Publish { client, pairs })
         }
-        4 => Ok(ClientMessage::SetMode { semantic: get_u8(buf)? != 0 }),
-        5 => Ok(ClientMessage::Hello { session: get_u64(buf)?, last_seen_seq: get_u64(buf)? }),
-        6 => Ok(ClientMessage::Ack { seq: get_u64(buf)? }),
-        7 => Ok(ClientMessage::Ping { nonce: get_u64(buf)? }),
-        8 => {
+        client_tag::SET_MODE => Ok(ClientMessage::SetMode { semantic: get_u8(buf)? != 0 }),
+        client_tag::HELLO => {
+            Ok(ClientMessage::Hello { session: get_u64(buf)?, last_seen_seq: get_u64(buf)? })
+        }
+        client_tag::ACK => Ok(ClientMessage::Ack { seq: get_u64(buf)? }),
+        client_tag::PING => Ok(ClientMessage::Ping { nonce: get_u64(buf)? }),
+        client_tag::SET_ONTOLOGY => {
             let n = get_count(buf)?;
             let mut synonyms = Vec::with_capacity(n.min(64));
             for _ in 0..n {
@@ -484,45 +599,45 @@ pub fn decode_client(buf: &mut Bytes) -> Result<ClientMessage, WireError> {
 pub fn encode_server(msg: &ServerMessage, buf: &mut BytesMut) {
     match msg {
         ServerMessage::Registered { client } => {
-            buf.put_u8(0);
+            buf.put_u8(server_tag::REGISTERED);
             buf.put_u64_le(client.0);
         }
         ServerMessage::Subscribed { sub } => {
-            buf.put_u8(1);
+            buf.put_u8(server_tag::SUBSCRIBED);
             buf.put_u64_le(sub.0);
         }
         ServerMessage::Unsubscribed { ok } => {
-            buf.put_u8(2);
+            buf.put_u8(server_tag::UNSUBSCRIBED);
             buf.put_u8(*ok as u8);
         }
         ServerMessage::Published { matches } => {
-            buf.put_u8(3);
+            buf.put_u8(server_tag::PUBLISHED);
             buf.put_u32_le(*matches);
         }
         ServerMessage::ModeSet { semantic } => {
-            buf.put_u8(4);
+            buf.put_u8(server_tag::MODE_SET);
             buf.put_u8(*semantic as u8);
         }
         ServerMessage::Error { message } => {
-            buf.put_u8(5);
+            buf.put_u8(server_tag::ERROR);
             put_string(buf, message);
         }
         ServerMessage::Notification { seq, payload } => {
-            buf.put_u8(6);
+            buf.put_u8(server_tag::NOTIFICATION);
             buf.put_u64_le(*seq);
             put_string(buf, payload);
         }
         ServerMessage::Welcome { session, resumed } => {
-            buf.put_u8(7);
+            buf.put_u8(server_tag::WELCOME);
             buf.put_u64_le(*session);
             buf.put_u8(*resumed as u8);
         }
         ServerMessage::Pong { nonce } => {
-            buf.put_u8(8);
+            buf.put_u8(server_tag::PONG);
             buf.put_u64_le(*nonce);
         }
         ServerMessage::OntologyUpdated { epoch } => {
-            buf.put_u8(9);
+            buf.put_u8(server_tag::ONTOLOGY_UPDATED);
             buf.put_u64_le(*epoch);
         }
     }
@@ -531,16 +646,20 @@ pub fn encode_server(msg: &ServerMessage, buf: &mut BytesMut) {
 /// Decodes a server message.
 pub fn decode_server(buf: &mut Bytes) -> Result<ServerMessage, WireError> {
     match get_u8(buf)? {
-        0 => Ok(ServerMessage::Registered { client: ClientId(get_u64(buf)?) }),
-        1 => Ok(ServerMessage::Subscribed { sub: SubId(get_u64(buf)?) }),
-        2 => Ok(ServerMessage::Unsubscribed { ok: get_u8(buf)? != 0 }),
-        3 => Ok(ServerMessage::Published { matches: get_u32(buf)? }),
-        4 => Ok(ServerMessage::ModeSet { semantic: get_u8(buf)? != 0 }),
-        5 => Ok(ServerMessage::Error { message: get_string(buf)? }),
-        6 => Ok(ServerMessage::Notification { seq: get_u64(buf)?, payload: get_string(buf)? }),
-        7 => Ok(ServerMessage::Welcome { session: get_u64(buf)?, resumed: get_u8(buf)? != 0 }),
-        8 => Ok(ServerMessage::Pong { nonce: get_u64(buf)? }),
-        9 => Ok(ServerMessage::OntologyUpdated { epoch: get_u64(buf)? }),
+        server_tag::REGISTERED => Ok(ServerMessage::Registered { client: ClientId(get_u64(buf)?) }),
+        server_tag::SUBSCRIBED => Ok(ServerMessage::Subscribed { sub: SubId(get_u64(buf)?) }),
+        server_tag::UNSUBSCRIBED => Ok(ServerMessage::Unsubscribed { ok: get_u8(buf)? != 0 }),
+        server_tag::PUBLISHED => Ok(ServerMessage::Published { matches: get_u32(buf)? }),
+        server_tag::MODE_SET => Ok(ServerMessage::ModeSet { semantic: get_u8(buf)? != 0 }),
+        server_tag::ERROR => Ok(ServerMessage::Error { message: get_string(buf)? }),
+        server_tag::NOTIFICATION => {
+            Ok(ServerMessage::Notification { seq: get_u64(buf)?, payload: get_string(buf)? })
+        }
+        server_tag::WELCOME => {
+            Ok(ServerMessage::Welcome { session: get_u64(buf)?, resumed: get_u8(buf)? != 0 })
+        }
+        server_tag::PONG => Ok(ServerMessage::Pong { nonce: get_u64(buf)? }),
+        server_tag::ONTOLOGY_UPDATED => Ok(ServerMessage::OntologyUpdated { epoch: get_u64(buf)? }),
         tag => Err(WireError::BadTag(tag)),
     }
 }
@@ -786,5 +905,88 @@ mod tests {
         let back = wire.into_value(&mut interner);
         assert_eq!(back, v);
         assert_eq!(WireValue::from_value(&Value::Float(1.5), &interner), WireValue::Float(1.5));
+    }
+
+    /// The tag tables are append-only: tags are dense from zero, in
+    /// order, and the historical prefix (everything shipped before the
+    /// resilience PR added `Hello`..`SetOntology` / `Welcome`..
+    /// `OntologyUpdated`) is frozen byte-for-byte. Renumbering any of
+    /// these breaks decode for every peer on the old protocol.
+    #[test]
+    fn tag_tables_are_append_only() {
+        for (table, name) in
+            [(CLIENT_TAG_TABLE, "client"), (SERVER_TAG_TABLE, "server"), (VALUE_TAG_TABLE, "value")]
+        {
+            for (i, (tag, variant)) in table.iter().enumerate() {
+                assert_eq!(
+                    *tag, i as u8,
+                    "{name} table: `{variant}` out of order (tags must be dense from 0)"
+                );
+            }
+        }
+        // Frozen v0 prefix — these exact assignments are on the wire in
+        // deployed captures and MUST never change.
+        let client_v0 = ["Register", "Subscribe", "Unsubscribe", "Publish", "SetMode"];
+        let server_v0 = ["Registered", "Subscribed", "Unsubscribed", "Published", "ModeSet"];
+        for (i, want) in client_v0.iter().enumerate() {
+            assert_eq!(CLIENT_TAG_TABLE[i].1, *want, "client v0 prefix renumbered");
+        }
+        for (i, want) in server_v0.iter().enumerate() {
+            assert_eq!(SERVER_TAG_TABLE[i].1, *want, "server v0 prefix renumbered");
+        }
+        assert_eq!(VALUE_TAG_TABLE.len(), 4, "value tags are frozen at Int/Float/Term/Bool");
+    }
+
+    /// Every table entry's tag byte is exactly what the encoder emits
+    /// for the corresponding variant, so the tables can't drift from
+    /// the real wire format.
+    #[test]
+    fn tag_tables_match_encoder_output() {
+        let clients: Vec<ClientMessage> = vec![
+            ClientMessage::Register { name: "n".into(), transport: TransportKind::Tcp },
+            ClientMessage::Subscribe { client: ClientId(1), predicates: vec![] },
+            ClientMessage::Unsubscribe { client: ClientId(1), sub: SubId(2) },
+            ClientMessage::Publish { client: ClientId(1), pairs: vec![] },
+            ClientMessage::SetMode { semantic: true },
+            ClientMessage::Hello { session: 1, last_seen_seq: 0 },
+            ClientMessage::Ack { seq: 1 },
+            ClientMessage::Ping { nonce: 1 },
+            ClientMessage::SetOntology { synonyms: vec![] },
+        ];
+        assert_eq!(clients.len(), CLIENT_TAG_TABLE.len(), "new client variant missing here");
+        for (msg, (tag, variant)) in clients.iter().zip(CLIENT_TAG_TABLE) {
+            let mut buf = BytesMut::new();
+            encode_client(msg, &mut buf);
+            assert_eq!(buf[0], *tag, "encoder emits a different tag for `{variant}`");
+        }
+        let servers: Vec<ServerMessage> = vec![
+            ServerMessage::Registered { client: ClientId(1) },
+            ServerMessage::Subscribed { sub: SubId(1) },
+            ServerMessage::Unsubscribed { ok: true },
+            ServerMessage::Published { matches: 0 },
+            ServerMessage::ModeSet { semantic: true },
+            ServerMessage::Error { message: "e".into() },
+            ServerMessage::Notification { seq: 1, payload: "p".into() },
+            ServerMessage::Welcome { session: 1, resumed: false },
+            ServerMessage::Pong { nonce: 1 },
+            ServerMessage::OntologyUpdated { epoch: 1 },
+        ];
+        assert_eq!(servers.len(), SERVER_TAG_TABLE.len(), "new server variant missing here");
+        for (msg, (tag, variant)) in servers.iter().zip(SERVER_TAG_TABLE) {
+            let mut buf = BytesMut::new();
+            encode_server(msg, &mut buf);
+            assert_eq!(buf[0], *tag, "encoder emits a different tag for `{variant}`");
+        }
+        let values = [
+            WireValue::Int(1),
+            WireValue::Float(1.5),
+            WireValue::Term("t".into()),
+            WireValue::Bool(true),
+        ];
+        for (value, (tag, variant)) in values.iter().zip(VALUE_TAG_TABLE) {
+            let mut buf = BytesMut::new();
+            put_value(&mut buf, value);
+            assert_eq!(buf[0], *tag, "encoder emits a different tag for `{variant}`");
+        }
     }
 }

@@ -1,0 +1,109 @@
+//! Keeps `docs/WIRE_PROTOCOL.md` and `crates/broker/src/wire.rs` in
+//! lock-step.
+//!
+//! The doc's tag tables are normative for external implementors, so a
+//! tag added (or, worse, renumbered) in code without a matching doc
+//! edit is a release blocker. This test parses the markdown tables out
+//! of the doc and compares them entry-for-entry against the
+//! `CLIENT_TAG_TABLE` / `SERVER_TAG_TABLE` / `VALUE_TAG_TABLE`
+//! constants the encoder is tested against.
+
+use std::path::PathBuf;
+
+use stopss_broker::wire::{CLIENT_TAG_TABLE, SERVER_TAG_TABLE, VALUE_TAG_TABLE};
+
+fn wire_doc() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs/WIRE_PROTOCOL.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Extracts `(tag, variant)` rows from the first markdown table whose
+/// header row is `| Tag | Variant | ... |` after `heading`.
+fn parse_tag_table(doc: &str, heading: &str) -> Vec<(u8, String)> {
+    let section = doc
+        .split_once(heading)
+        .unwrap_or_else(|| panic!("heading `{heading}` missing from WIRE_PROTOCOL.md"))
+        .1;
+    let mut rows = Vec::new();
+    let mut in_table = false;
+    for line in section.lines() {
+        let line = line.trim();
+        if !in_table {
+            if line.starts_with("| Tag | Variant |") {
+                in_table = true;
+            }
+            continue;
+        }
+        if !line.starts_with('|') {
+            break; // table ended
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 2 || cells[0].starts_with("---") {
+            continue; // separator row
+        }
+        let tag: u8 = cells[0]
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric tag `{}` under `{heading}`", cells[0]));
+        let variant = cells[1].trim_matches('`').to_string();
+        rows.push((tag, variant));
+    }
+    assert!(!rows.is_empty(), "no tag table found under `{heading}`");
+    rows
+}
+
+/// Extracts `tag → Variant` lines from the fenced `value := ...` block.
+fn parse_value_block(doc: &str) -> Vec<(u8, String)> {
+    let section = doc
+        .split_once("value := tag: u8")
+        .expect("`value := tag: u8` block missing from WIRE_PROTOCOL.md")
+        .1;
+    let mut rows = Vec::new();
+    for line in section.lines() {
+        let line = line.trim();
+        if line.starts_with("```") {
+            break;
+        }
+        // Lines look like: `0 → Int    body = i64 LE`
+        let Some((tag_part, rest)) = line.split_once('→') else { continue };
+        let Ok(tag) = tag_part.trim().parse::<u8>() else { continue };
+        let variant = rest.split_whitespace().next().unwrap_or("").to_string();
+        rows.push((tag, variant));
+    }
+    assert!(!rows.is_empty(), "no value tag lines parsed from WIRE_PROTOCOL.md");
+    rows
+}
+
+fn assert_tables_match(doc_rows: &[(u8, String)], code: &[(u8, &str)], what: &str) {
+    assert_eq!(
+        doc_rows.len(),
+        code.len(),
+        "{what}: doc lists {} tags, code lists {} — update docs/WIRE_PROTOCOL.md",
+        doc_rows.len(),
+        code.len()
+    );
+    for ((doc_tag, doc_variant), (code_tag, code_variant)) in doc_rows.iter().zip(code) {
+        assert_eq!(doc_tag, code_tag, "{what}: tag mismatch for `{doc_variant}`");
+        assert_eq!(doc_variant, code_variant, "{what}: variant name mismatch at tag {doc_tag}");
+    }
+}
+
+#[test]
+fn client_tag_table_matches_doc() {
+    let doc = wire_doc();
+    let rows = parse_tag_table(&doc, "## Client → server messages");
+    assert_tables_match(&rows, CLIENT_TAG_TABLE, "client tags");
+}
+
+#[test]
+fn server_tag_table_matches_doc() {
+    let doc = wire_doc();
+    let rows = parse_tag_table(&doc, "## Server → client messages");
+    assert_tables_match(&rows, SERVER_TAG_TABLE, "server tags");
+}
+
+#[test]
+fn value_tag_table_matches_doc() {
+    let doc = wire_doc();
+    let rows = parse_value_block(&doc);
+    assert_tables_match(&rows, VALUE_TAG_TABLE, "value tags");
+}

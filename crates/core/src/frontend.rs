@@ -50,7 +50,7 @@
 //! [`crate::oracle`] are untouched ground truth; byte-identical behaviour
 //! is pinned by `tests/tier_cache_differential.rs`.
 
-use std::sync::{Arc, OnceLock, RwLock};
+use stopss_types::sync::{Arc, OnceLock, RwLock};
 
 use stopss_ontology::SemanticSource;
 use stopss_types::{Event, FxHashMap, Interner, SharedInterner, Subscription};
@@ -196,7 +196,7 @@ impl Clone for TierCache {
         TierCache {
             synonym: self.synonym.clone(),
             hierarchy: self.hierarchy.clone(),
-            classes: RwLock::new(self.classes.read().expect("tier cache poisoned").clone()),
+            classes: RwLock::new(self.classes.read().clone()),
         }
     }
 }
@@ -260,7 +260,7 @@ impl TierCache {
         limits: &ClosureLimits,
     ) -> Arc<ClosedEvent> {
         let class = tolerance.verify_class();
-        if let Some(hit) = self.classes.read().expect("tier cache poisoned").get(&class) {
+        if let Some(hit) = self.classes.read().get(&class) {
             return Arc::clone(hit);
         }
         // Computed outside the write lock; a concurrent shard racing on
@@ -274,7 +274,7 @@ impl TierCache {
             interner,
             limits,
         ));
-        let mut classes = self.classes.write().expect("tier cache poisoned");
+        let mut classes = self.classes.write();
         Arc::clone(classes.entry(class).or_insert(computed))
     }
 
@@ -308,7 +308,7 @@ impl TierCache {
 
     /// Number of distinct verification classes closed so far.
     pub fn class_count(&self) -> usize {
-        self.classes.read().expect("tier cache poisoned").len()
+        self.classes.read().len()
     }
 
     /// True if the classifier tiers have been computed.
@@ -557,9 +557,12 @@ impl SemanticFrontEnd {
                 })
                 .collect();
             // Joined in spawn order, so event order is preserved.
-            handles.into_iter().flat_map(|h| h.join().expect("front-end worker panicked")).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("invariant: front-end workers do not panic"))
+                .collect()
         })
-        .expect("front-end scope panicked")
+        .expect("invariant: front-end scope threads do not panic")
     }
 
     /// Worker count for a batch of `events` publications: bounded by the

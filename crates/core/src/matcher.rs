@@ -29,12 +29,10 @@
 //!   [`SemanticFrontEnd`] artifacts (`set_stages`, `reconfigure`,
 //!   `set_source`). Subscribing does not bump it: the stage-1 warm set is
 //!   an optimization and tolerance classes fill lazily during matching.
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-use parking_lot::{Mutex, RwLock};
 use stopss_matching::MatchingEngine;
 use stopss_ontology::SemanticSource;
+use stopss_types::sync::atomic::{AtomicU64, Ordering};
+use stopss_types::sync::{Arc, Mutex, RwLock};
 use stopss_types::{Event, FxHashMap, Interner, SharedInterner, SubId, Subscription};
 
 use std::borrow::Cow;
@@ -112,6 +110,9 @@ pub(crate) struct AtomicStats {
 impl AtomicStats {
     /// A plain-value snapshot of every counter.
     pub(crate) fn snapshot(&self) -> MatcherStats {
+        // ordering: monotone lifetime counters with no cross-counter
+        // invariant read concurrently; a snapshot between publications
+        // reproduces the single-threaded numbers exactly.
         MatcherStats {
             published: self.published.load(Ordering::Relaxed),
             derived_events: self.derived_events.load(Ordering::Relaxed),
@@ -376,6 +377,8 @@ impl MatcherCore {
                     self.config.limits.max_rewrites,
                 );
                 if expansion.truncated {
+                    // ordering: monotone counter; no reader pairs it
+                    // with other state.
                     self.stats.rewrite_truncations.fetch_add(1, Ordering::Relaxed);
                 }
                 for combo in expansion.combos {
@@ -469,6 +472,8 @@ impl MatcherCore {
     }
 
     pub(crate) fn publish_inner(&self, event_raw: &Event, interner: &Interner) -> PublishResult {
+        // ordering: monotone stats counters (here and below); atomic adds
+        // commute and no reader couples them to other memory.
         self.stats.published.fetch_add(1, Ordering::Relaxed);
         // `prepare_parts` (not `prepare_event`) so the inline path keeps
         // borrowing the caller's event instead of cloning it into a
@@ -476,8 +481,10 @@ impl MatcherCore {
         // local, filled lazily only if candidates need it.
         let parts = prepare_parts(event_raw, self.source.as_ref(), &self.config, interner);
         if parts.truncated {
+            // ordering: monotone stats counters, as above.
             self.stats.truncations.fetch_add(1, Ordering::Relaxed);
         }
+        // ordering: monotone stats counters, as above.
         self.stats.derived_events.fetch_add(parts.derived_events as u64, Ordering::Relaxed);
         self.stats.closure_pairs.fetch_add(parts.closure_pairs as u64, Ordering::Relaxed);
         let tiers = TierCache::new();
@@ -493,10 +500,14 @@ impl MatcherCore {
     /// Accounts the event-side counters a prepared artifact carries, then
     /// matches it.
     pub(crate) fn publish_prepared(&self, prepared: &PreparedEvent) -> PublishResult {
+        // ordering: monotone stats counters; atomic adds commute and no
+        // reader couples them to other memory.
         self.stats.published.fetch_add(1, Ordering::Relaxed);
         if prepared.truncated {
+            // ordering: monotone stats counters, as above.
             self.stats.truncations.fetch_add(1, Ordering::Relaxed);
         }
+        // ordering: monotone stats counters, as above.
         self.stats.derived_events.fetch_add(prepared.derived_events as u64, Ordering::Relaxed);
         self.stats.closure_pairs.fetch_add(prepared.closure_pairs as u64, Ordering::Relaxed);
         self.match_prepared(prepared)
@@ -562,8 +573,11 @@ impl MatcherCore {
         state.scratch.users.dedup();
 
         for &user_id in &state.scratch.users {
-            let entry = self.subs.get(&user_id).expect("engine ids map to live subscriptions");
+            let entry =
+                self.subs.get(&user_id).expect("invariant: engine ids map to live subscriptions");
             if entry.needs_verify {
+                // ordering: monotone stats counter; no reader pairs it
+                // with other state.
                 self.stats.verifications.fetch_add(1, Ordering::Relaxed);
                 let ok = if self.config.tier_cache {
                     // One closure per distinct tolerance class per
@@ -589,6 +603,8 @@ impl MatcherCore {
                     )
                 };
                 if !ok {
+                    // ordering: monotone stats counter; no reader pairs
+                    // it with other state.
                     self.stats.verify_rejections.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }

@@ -78,11 +78,9 @@
 //! The differential suite in `tests/sharded_differential.rs` pins this
 //! equivalence across every engine × strategy × stage-mask combination.
 
-use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc};
-
-use parking_lot::{Mutex, RwLock};
 use stopss_ontology::SemanticSource;
+use stopss_types::sync::atomic::Ordering;
+use stopss_types::sync::{mpsc, Arc, Mutex, RwLock};
 use stopss_types::{fx_hash_one, Event, SharedInterner, SubId, Subscription};
 
 use crate::config::Config;
@@ -390,7 +388,7 @@ impl ShardedSToPSS {
     pub fn publish_detailed(&self, event: &Event) -> PublishResult {
         self.publish_batch_detailed(std::slice::from_ref(event))
             .pop()
-            .expect("one event in, one result out")
+            .expect("invariant: one event in, one result out")
     }
 
     /// Publishes a batch of events through the two-stage pipeline and
@@ -453,7 +451,7 @@ impl ShardedSToPSS {
             }
             results
         })
-        .expect("pipeline scope panicked")
+        .expect("invariant: pipeline scope threads do not panic")
     }
 
     /// Matches one chunk against a freshly resolved set, re-preparing the
@@ -516,6 +514,8 @@ impl ShardedSToPSS {
         if prepared.is_empty() {
             return Vec::new();
         }
+        // ordering: monotone event-side stats counters; atomic adds
+        // commute and no reader couples them to other memory.
         self.event_stats.published.fetch_add(prepared.len() as u64, Ordering::Relaxed);
         for artifact in prepared {
             self.event_stats
@@ -558,9 +558,12 @@ impl ShardedSToPSS {
                     })
                     .collect();
                 // Handles joined in spawn order, so shard order is preserved.
-                handles.into_iter().flat_map(|h| h.join().expect("shard worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("invariant: shard workers do not panic"))
+                    .collect()
             })
-            .expect("shard scope panicked")
+            .expect("invariant: shard scope threads do not panic")
         };
         merge_results(prepared, per_shard, set.control_epoch)
     }

@@ -1,0 +1,71 @@
+//! CLI for the project-invariant checker. See `stopss_lint` for the
+//! rule engine; `docs/STATIC_ANALYSIS.md` for the rule catalogue.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut check = false;
+    let mut list_rules = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match iter.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--root requires a path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in stopss_lint::rules() {
+            println!("{:<24} {}", rule.name, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !check {
+        print_usage();
+        return ExitCode::from(2);
+    }
+
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    match stopss_lint::check_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("stopss-lint: all rules clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("stopss-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("stopss-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "usage: stopss-lint [--root <workspace-dir>] --check\n       stopss-lint --list-rules"
+    );
+}

@@ -12,7 +12,7 @@
 //! hot path while `is_a` becomes a binary search and `ancestors` a slice
 //! walk.
 
-use parking_lot::RwLock;
+use stopss_types::sync::RwLock;
 use stopss_types::{FxHashMap, Interner, Symbol};
 
 use crate::error::OntologyError;

@@ -7,9 +7,8 @@
 //! invalidated, which lets long-lived indexes store raw `Symbol`s.
 
 use std::fmt;
-use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crate::sync::{Arc, RwLock};
 
 use crate::hash::FxHashMap;
 

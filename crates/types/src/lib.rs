@@ -30,6 +30,7 @@ pub mod intern;
 pub mod predicate;
 pub mod rng;
 pub mod subscription;
+pub mod sync;
 pub mod value;
 
 pub use event::{Event, EventBuilder};

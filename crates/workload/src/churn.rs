@@ -28,7 +28,7 @@
 //!   observing half a control op, or stats drifting under concurrency —
 //!   breaks one of the two comparisons.
 
-use std::sync::Arc;
+use stopss_types::sync::Arc;
 
 use stopss_core::{Config, Match, MatcherStats, PublishResult, SToPSS, ShardedSToPSS};
 use stopss_ontology::Ontology;

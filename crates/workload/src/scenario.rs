@@ -5,7 +5,7 @@
 //! workload. Construction helpers cover the two experiment families —
 //! the realistic job-finder domain and parameterized synthetic domains.
 
-use std::sync::Arc;
+use stopss_types::sync::Arc;
 
 use stopss_core::{Config, Match, SToPSS, ShardedSToPSS};
 use stopss_ontology::Ontology;

@@ -1,0 +1,200 @@
+//! The exploration driver: run a closure under every (bounded)
+//! interleaving of its instrumented operations.
+//!
+//! [`model`] is the loom-shaped entry point: it panics on the first
+//! schedule that fails (with the schedule itself, so it can be
+//! [`replay`]ed). [`Builder`] exposes the bounds, and
+//! [`Builder::check_outcome`] returns the failing schedule instead of
+//! panicking — the shape the test suites use to *assert* that a buggy
+//! discipline is caught.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::scheduler::{self, Abort, Failure, Scheduler};
+use crate::thread::panic_message;
+
+/// Exploration bounds and entry points.
+///
+/// Exploration is depth-first over scheduling decisions, bounded three
+/// ways: at most `preemption_bound` involuntary context switches per
+/// schedule (exhaustive within that bound — the classic result is that
+/// small preemption counts find almost all real bugs), at most
+/// `max_schedules` schedules, and at most `max_steps` instrumented
+/// operations per schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct Builder {
+    /// Maximum preemptions (involuntary switches) per schedule.
+    pub preemption_bound: usize,
+    /// Maximum schedules explored before reporting `complete: false`.
+    pub max_schedules: usize,
+    /// Maximum instrumented steps in one schedule (runaway guard).
+    pub max_steps: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder { preemption_bound: 2, max_schedules: 20_000, max_steps: 20_000 }
+    }
+}
+
+/// What an exploration did.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// True if the bounded space was exhausted (no schedule left
+    /// unexplored within the preemption bound).
+    pub complete: bool,
+}
+
+/// Outcome of an exploration that tolerates failures (see
+/// [`Builder::check_outcome`]).
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Schedules executed (including the failing one, if any).
+    pub schedules: usize,
+    /// True if the bounded space was exhausted without failure.
+    pub complete: bool,
+    /// The first failure: human-readable message plus the schedule
+    /// (chosen-alternative index per decision) that reproduces it.
+    pub failure: Option<(String, Vec<usize>)>,
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Explores `f` and panics on the first failing schedule, printing
+    /// the schedule so it can be replayed. Returns the report when every
+    /// explored schedule passes.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let outcome = self.check_outcome(f);
+        if let Some((message, schedule)) = outcome.failure {
+            panic!(
+                "loom-lite: schedule {}/{} failed: {message}\n  failing schedule: {schedule:?}\n  \
+                 replay with loom_lite::replay(&{schedule:?}, ...)",
+                outcome.schedules, outcome.schedules
+            );
+        }
+        Report { schedules: outcome.schedules, complete: outcome.complete }
+    }
+
+    /// Explores `f`, returning the first failure (message + schedule)
+    /// instead of panicking. The suites use this to assert that a buggy
+    /// concurrency discipline *is* caught, and to document the caught
+    /// schedule.
+    pub fn check_outcome<F>(&self, f: F) -> Outcome
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            schedules += 1;
+            let (trace, failure) = run_one(f.clone(), prefix.clone(), self);
+            if let Some(failure) = failure {
+                return Outcome {
+                    schedules,
+                    complete: false,
+                    failure: Some((failure.message, failure.schedule)),
+                };
+            }
+            // Depth-first backtracking: find the deepest decision with an
+            // unexplored alternative and advance it.
+            let mut trace = trace;
+            let next = loop {
+                let Some(last) = trace.pop() else { break None };
+                if last.chosen + 1 < last.alternatives.len() {
+                    let mut p: Vec<usize> = trace.iter().map(|c| c.chosen).collect();
+                    p.push(last.chosen + 1);
+                    break Some(p);
+                }
+            };
+            match next {
+                Some(p) => prefix = p,
+                None => return Outcome { schedules, complete: true, failure: None },
+            }
+            if schedules >= self.max_schedules {
+                return Outcome { schedules, complete: false, failure: None };
+            }
+        }
+    }
+
+    /// Runs `f` once under the given schedule (chosen-alternative index
+    /// per decision; decisions past the end take the default). Returns
+    /// the failure message if that schedule fails.
+    pub fn replay<F>(&self, schedule: &[usize], f: F) -> Option<String>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let (_, failure) = run_one(Arc::new(f), schedule.to_vec(), self);
+        failure.map(|f| f.message)
+    }
+}
+
+/// One execution under one schedule prefix.
+fn run_one<F>(
+    f: Arc<F>,
+    prefix: Vec<usize>,
+    builder: &Builder,
+) -> (Vec<scheduler::Choice>, Option<Failure>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let sched = Arc::new(Scheduler::new(prefix, builder.preemption_bound, builder.max_steps));
+    let tid = sched.register_thread();
+    debug_assert_eq!(tid, 0, "model closure runs as thread 0");
+    let sched_for_thread = sched.clone();
+    let main = std::thread::Builder::new()
+        .name("loom-lite-0".into())
+        .spawn(move || {
+            scheduler::set_context(Some((sched_for_thread.clone(), 0)));
+            let out = catch_unwind(AssertUnwindSafe(|| f()));
+            scheduler::set_context(None);
+            if let Err(payload) = out {
+                if payload.downcast_ref::<Abort>().is_none() {
+                    let msg = panic_message(&*payload);
+                    sched_for_thread.record_failure(format!("thread 0 panicked: {msg}"));
+                }
+            }
+            sched_for_thread.finish_thread(0);
+        })
+        .expect("spawn model main thread");
+    let (trace, failure) = sched.wait_done();
+    // Join every OS thread of this execution so explorations never
+    // accumulate leaked threads.
+    let handles: Vec<_> =
+        std::mem::take(&mut *sched.os_handles.lock().unwrap_or_else(|e| e.into_inner()));
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let _ = main.join();
+    (trace, failure)
+}
+
+/// Explores every (preemption-bounded) interleaving of `f` with the
+/// default bounds, panicking on the first failing schedule. The
+/// loom-shaped entry point.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}
+
+/// Replays one recorded schedule with the default bounds; returns the
+/// failure message if it fails. Used to pin historical-bug schedules in
+/// the suites.
+pub fn replay<F>(schedule: &[usize], f: F) -> Option<String>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().replay(schedule, f)
+}

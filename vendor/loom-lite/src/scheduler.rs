@@ -1,0 +1,359 @@
+//! The strict-handoff scheduler behind every model execution.
+//!
+//! Model threads are real OS threads, but exactly one is ever *active*:
+//! every instrumented operation ([`Scheduler::yield_point`]) hands
+//! control back to the scheduler, which picks the next thread to run —
+//! either replaying a recorded decision prefix or extending it with the
+//! default choice (keep running the current thread). Each decision
+//! records the full set of runnable alternatives, so the exploration
+//! driver in [`crate::model`] can backtrack depth-first over the whole
+//! (preemption-bounded) schedule tree.
+//!
+//! Blocking primitives never block for real inside a model: a thread
+//! that fails a `try_lock` parks itself as *blocked on the resource* and
+//! the unlocking thread wakes every waiter, which then retries under the
+//! scheduler. A state where no thread is runnable while some are
+//! unfinished is reported as a deadlock, with the schedule that reached
+//! it.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Model-thread id; `0` is the thread running the model closure.
+pub(crate) type Tid = usize;
+
+/// Instrumented resources (locks, join targets) get process-unique ids
+/// so blocked threads can be matched to the wake that frees them.
+static NEXT_RESOURCE: AtomicUsize = AtomicUsize::new(1);
+
+/// Allocates a fresh resource id (called from `Mutex::new` etc.; cheap
+/// and safe outside models too).
+pub(crate) fn alloc_resource_id() -> usize {
+    NEXT_RESOURCE.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The scheduler + tid of the current model thread, if any. `None`
+    /// means the thread is outside any model run and instrumented types
+    /// behave like their `std` counterparts.
+    static CONTEXT: RefCell<Option<(Arc<Scheduler>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// Returns the scheduler context of the current thread, if it is a
+/// model thread.
+pub(crate) fn context() -> Option<(Arc<Scheduler>, Tid)> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_context(ctx: Option<(Arc<Scheduler>, Tid)>) {
+    CONTEXT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// One scheduling decision: which runnable thread ran, out of which
+/// alternatives. `chosen` indexes `alternatives`.
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    pub chosen: usize,
+    pub alternatives: Vec<Tid>,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    runnable: bool,
+    finished: bool,
+    /// The resource this thread is parked on, if any.
+    blocked_on: Option<usize>,
+}
+
+/// Why an execution ended abnormally.
+#[derive(Clone, Debug)]
+pub(crate) struct Failure {
+    pub message: String,
+    /// The chosen-alternative index at every decision point — feed back
+    /// through [`crate::model::Builder::replay`] to reproduce.
+    pub schedule: Vec<usize>,
+}
+
+struct ExecState {
+    threads: Vec<ThreadState>,
+    active: Tid,
+    trace: Vec<Choice>,
+    /// Decisions to replay (chosen-alternative indexes).
+    prefix: Vec<usize>,
+    preemptions: usize,
+    steps: usize,
+    failure: Option<Failure>,
+    /// Deterministic per-execution aliases for process-global resource
+    /// ids, so failure messages and traces are stable across runs.
+    resource_alias: HashMap<usize, usize>,
+}
+
+impl ExecState {
+    fn runnable(&self) -> Vec<Tid> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.runnable && !t.finished)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.finished)
+    }
+
+    fn schedule_so_far(&self) -> Vec<usize> {
+        self.trace.iter().map(|c| c.chosen).collect()
+    }
+}
+
+/// The shared scheduler of one model execution.
+pub(crate) struct Scheduler {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    pub(crate) preemption_bound: usize,
+    pub(crate) max_steps: usize,
+    /// OS-thread handles of every model thread, joined by the driver
+    /// after each execution so explorations never leak threads.
+    pub(crate) os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Panic payload used to unwind model threads when the execution is
+/// aborted (deadlock elsewhere, failure in a sibling, budget exhausted).
+/// The thread wrapper downgrades it to a quiet exit.
+pub(crate) struct Abort;
+
+impl Scheduler {
+    pub(crate) fn new(prefix: Vec<usize>, preemption_bound: usize, max_steps: usize) -> Scheduler {
+        Scheduler {
+            state: Mutex::new(ExecState {
+                threads: Vec::new(),
+                active: 0,
+                trace: Vec::new(),
+                prefix,
+                preemptions: 0,
+                steps: 0,
+                failure: None,
+                resource_alias: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+            preemption_bound,
+            max_steps,
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a new model thread; returns its tid. New threads start
+    /// runnable but not active — they first run when scheduled.
+    pub(crate) fn register_thread(&self) -> Tid {
+        let mut state = self.state.lock().unwrap();
+        state.threads.push(ThreadState { runnable: true, finished: false, blocked_on: None });
+        state.threads.len() - 1
+    }
+
+    /// A deterministic (per-execution) alias for a resource id.
+    fn alias(state: &mut ExecState, resource: usize) -> usize {
+        let next = state.resource_alias.len() + 1;
+        *state.resource_alias.entry(resource).or_insert(next)
+    }
+
+    /// The central decision point. Called by the active thread `me`;
+    /// `runnable` says whether `me` may be chosen to continue. Picks the
+    /// next thread (replaying the prefix when one is set), then parks
+    /// `me` until it is scheduled again. Panics with [`Abort`] when the
+    /// execution has failed — the thread wrapper catches it.
+    pub(crate) fn yield_point(&self, me: Tid, runnable: bool) {
+        let mut state = self.state.lock().unwrap();
+        if state.failure.is_some() {
+            drop(state);
+            std::panic::panic_any(Abort);
+        }
+        state.steps += 1;
+        if state.steps > self.max_steps {
+            let schedule = state.schedule_so_far();
+            self.fail(
+                &mut state,
+                Failure {
+                    message: format!("step budget exceeded ({} steps)", self.max_steps),
+                    schedule,
+                },
+            );
+            drop(state);
+            std::panic::panic_any(Abort);
+        }
+        state.threads[me].runnable = runnable;
+
+        // Alternatives, `me` first so the default (index 0) extends the
+        // current thread's run — the first schedule explored is the
+        // sequential one, and every later index is a context switch.
+        let mut alternatives = Vec::new();
+        if runnable {
+            alternatives.push(me);
+        }
+        for tid in state.runnable() {
+            if tid != me {
+                alternatives.push(tid);
+            }
+        }
+        // Preemption bounding: once the budget is spent, a runnable
+        // thread is never switched away from. Forced switches (blocking,
+        // finishing) don't count against the budget.
+        if runnable && state.preemptions >= self.preemption_bound {
+            alternatives.truncate(1);
+        }
+
+        if alternatives.is_empty() {
+            let blocked: Vec<String> = state
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.finished)
+                .map(|(i, t)| match t.blocked_on {
+                    Some(rid) => {
+                        format!("thread {i} blocked on resource r{}", Self::alias_ro(&state, rid))
+                    }
+                    None => format!("thread {i} parked"),
+                })
+                .collect();
+            let schedule = state.schedule_so_far();
+            self.fail(
+                &mut state,
+                Failure { message: format!("deadlock: {}", blocked.join(", ")), schedule },
+            );
+            drop(state);
+            std::panic::panic_any(Abort);
+        }
+
+        let index = state.trace.len();
+        let chosen_idx = if index < state.prefix.len() {
+            state.prefix[index].min(alternatives.len() - 1)
+        } else {
+            0
+        };
+        let chosen = alternatives[chosen_idx];
+        if runnable && chosen != me {
+            state.preemptions += 1;
+        }
+        state.trace.push(Choice { chosen: chosen_idx, alternatives });
+        state.active = chosen;
+        self.cv.notify_all();
+        while state.active != me {
+            if state.failure.is_some() {
+                drop(state);
+                std::panic::panic_any(Abort);
+            }
+            state = self.cv.wait(state).unwrap();
+        }
+    }
+
+    fn alias_ro(state: &ExecState, resource: usize) -> usize {
+        state.resource_alias.get(&resource).copied().unwrap_or(0)
+    }
+
+    /// Parks `me` as blocked on `resource` and schedules someone else.
+    /// Returns when `me` is scheduled again (after a wake).
+    pub(crate) fn block_on(&self, me: Tid, resource: usize) {
+        {
+            let mut state = self.state.lock().unwrap();
+            Self::alias(&mut state, resource);
+            state.threads[me].blocked_on = Some(resource);
+        }
+        self.yield_point(me, false);
+        let mut state = self.state.lock().unwrap();
+        state.threads[me].blocked_on = None;
+    }
+
+    /// Marks every thread blocked on `resource` runnable again (they
+    /// retry their acquisition when next scheduled).
+    pub(crate) fn wake_waiters(&self, resource: usize) {
+        let mut state = self.state.lock().unwrap();
+        for thread in state.threads.iter_mut() {
+            if thread.blocked_on == Some(resource) {
+                thread.runnable = true;
+            }
+        }
+    }
+
+    /// Marks `me` finished, wakes its joiners, and hands control to the
+    /// next runnable thread (or completes the execution).
+    pub(crate) fn finish_thread(&self, me: Tid) {
+        let mut state = self.state.lock().unwrap();
+        state.threads[me].finished = true;
+        state.threads[me].runnable = false;
+        for thread in state.threads.iter_mut() {
+            if thread.blocked_on == Some(join_resource(me)) {
+                thread.runnable = true;
+            }
+        }
+        if state.all_finished() || state.failure.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        let runnable = state.runnable();
+        let Some(&chosen) = runnable.first() else {
+            let schedule = state.schedule_so_far();
+            self.fail(
+                &mut state,
+                Failure { message: "deadlock: all unfinished threads blocked".into(), schedule },
+            );
+            return;
+        };
+        // A forced handoff, not a decision: `me` cannot continue, and
+        // recording a one-alternative choice would only deepen traces.
+        // When several threads are runnable here the next yield point
+        // records the real decision among them.
+        state.active = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Records a failure (first one wins) and wakes everyone so model
+    /// threads can unwind.
+    pub(crate) fn record_failure(&self, message: String) {
+        let mut state = self.state.lock().unwrap();
+        let schedule = state.schedule_so_far();
+        self.fail(&mut state, Failure { message, schedule });
+    }
+
+    fn fail(&self, state: &mut ExecState, failure: Failure) {
+        if state.failure.is_none() {
+            state.failure = Some(failure);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks the *driver* (non-model) thread until the execution is
+    /// over, then returns the trace and failure, if any.
+    pub(crate) fn wait_done(&self) -> (Vec<Choice>, Option<Failure>) {
+        let mut state = self.state.lock().unwrap();
+        while !state.all_finished() && state.failure.is_none() {
+            state = self.cv.wait(state).unwrap();
+        }
+        (state.trace.clone(), state.failure.clone())
+    }
+
+    /// Parks a freshly spawned model thread until it is first scheduled.
+    pub(crate) fn wait_first_schedule(&self, me: Tid) {
+        let mut state = self.state.lock().unwrap();
+        while state.active != me {
+            if state.failure.is_some() {
+                drop(state);
+                std::panic::panic_any(Abort);
+            }
+            state = self.cv.wait(state).unwrap();
+        }
+    }
+
+    /// Whether the execution already failed (used by join loops).
+    pub(crate) fn failed(&self) -> bool {
+        self.state.lock().unwrap().failure.is_some()
+    }
+}
+
+/// The synthetic resource a joiner of thread `tid` blocks on. Thread
+/// ids and lock resource ids share a space; joins use the high half so
+/// they can never collide with [`alloc_resource_id`] allocations.
+pub(crate) fn join_resource(tid: Tid) -> usize {
+    usize::MAX - tid
+}

@@ -1,0 +1,398 @@
+//! Instrumented synchronization primitives (loom-shaped API).
+//!
+//! Inside a model run every acquisition, release, and atomic operation
+//! is a scheduling point of the exploration; outside one (the *lenient*
+//! mode loom itself does not have) every type behaves exactly like its
+//! `std`/`parking_lot` counterpart, so the same facade can back
+//! ordinary builds and tests.
+//!
+//! # Fidelity bounds
+//!
+//! The checker explores interleavings at **sequential-consistency**
+//! granularity: every instrumented operation is one indivisible step,
+//! and weak-memory reorderings (`Relaxed`/`Acquire`/`Release` effects)
+//! are *not* modeled. That is exactly the right tool for this
+//! workspace, whose project rule (`stopss-lint`'s `ordering-justified`)
+//! requires every non-`SeqCst` ordering to be justified as a monotone
+//! counter or mutex-serialized access — properties that hold under any
+//! ordering iff they hold under SC. `Arc` is re-exported from `std`
+//! un-instrumented: reference-count races are not in scope.
+
+use std::sync::{self, TryLockError};
+
+pub use std::sync::Arc;
+/// Uninstrumented passthroughs: channels and one-shot cells are used by
+/// the facade's consumers, but model scenarios are written to avoid
+/// concurrent use of them (see the crate docs).
+pub use std::sync::{mpsc, OnceLock, Weak};
+
+use crate::scheduler::{self, alloc_resource_id};
+
+/// Release-side scheduling step shared by the guard destructors. Wakes
+/// the resource's waiters, then yields — except while unwinding:
+/// `yield_point` aborts failed executions by panicking, and a panic
+/// inside a destructor that runs during unwind is a process abort.
+fn release_step(resource: usize) {
+    if resource == 0 {
+        return;
+    }
+    if let Some((sched, me)) = scheduler::context() {
+        sched.wake_waiters(resource);
+        if !std::thread::panicking() {
+            sched.yield_point(me, true);
+        }
+    }
+}
+
+/// Mutual exclusion with a model-visible acquire/release.
+///
+/// API-compatible with the vendored `parking_lot::Mutex` subset
+/// (non-poisoning `lock`/`try_lock`/`get_mut`/`into_inner`).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    resource: usize,
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releases (and yields to the scheduler) on
+/// drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+    resource: usize,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex { resource: alloc_resource_id(), inner: sync::Mutex::new(value) }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex. Inside a model this is a scheduling point and
+    /// contention parks the thread under the scheduler (a cycle is
+    /// reported as a deadlock with its schedule).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match scheduler::context() {
+            None => {
+                let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                MutexGuard { inner: Some(guard), resource: 0 }
+            }
+            Some((sched, me)) => {
+                sched.yield_point(me, true);
+                loop {
+                    match self.inner.try_lock() {
+                        Ok(guard) => {
+                            return MutexGuard { inner: Some(guard), resource: self.resource }
+                        }
+                        Err(TryLockError::Poisoned(e)) => {
+                            return MutexGuard {
+                                inner: Some(e.into_inner()),
+                                resource: self.resource,
+                            }
+                        }
+                        Err(TryLockError::WouldBlock) => sched.block_on(me, self.resource),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking (still a
+    /// scheduling point inside a model).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let resource = match scheduler::context() {
+            None => 0,
+            Some((sched, me)) => {
+                sched.yield_point(me, true);
+                self.resource
+            }
+        };
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { inner: Some(guard), resource }),
+            Err(TryLockError::Poisoned(e)) => {
+                Some(MutexGuard { inner: Some(e.into_inner()), resource })
+            }
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std lock *before* waking waiters so the next
+        // scheduled waiter's try_lock succeeds.
+        self.inner = None;
+        release_step(self.resource);
+    }
+}
+
+/// Reader-writer lock with model-visible acquire/release (see
+/// [`Mutex`]).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    resource: usize,
+    inner: sync::RwLock<T>,
+}
+
+/// RAII read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<sync::RwLockReadGuard<'a, T>>,
+    resource: usize,
+}
+
+/// RAII write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<sync::RwLockWriteGuard<'a, T>>,
+    resource: usize,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub fn new(value: T) -> Self {
+        RwLock { resource: alloc_resource_id(), inner: sync::RwLock::new(value) }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access (a scheduling point inside a model).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match scheduler::context() {
+            None => {
+                let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+                RwLockReadGuard { inner: Some(guard), resource: 0 }
+            }
+            Some((sched, me)) => {
+                sched.yield_point(me, true);
+                loop {
+                    match self.inner.try_read() {
+                        Ok(guard) => {
+                            return RwLockReadGuard { inner: Some(guard), resource: self.resource }
+                        }
+                        Err(TryLockError::Poisoned(e)) => {
+                            return RwLockReadGuard {
+                                inner: Some(e.into_inner()),
+                                resource: self.resource,
+                            }
+                        }
+                        Err(TryLockError::WouldBlock) => sched.block_on(me, self.resource),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Acquires exclusive write access (a scheduling point inside a
+    /// model).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match scheduler::context() {
+            None => {
+                let guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+                RwLockWriteGuard { inner: Some(guard), resource: 0 }
+            }
+            Some((sched, me)) => {
+                sched.yield_point(me, true);
+                loop {
+                    match self.inner.try_write() {
+                        Ok(guard) => {
+                            return RwLockWriteGuard { inner: Some(guard), resource: self.resource }
+                        }
+                        Err(TryLockError::Poisoned(e)) => {
+                            return RwLockWriteGuard {
+                                inner: Some(e.into_inner()),
+                                resource: self.resource,
+                            }
+                        }
+                        Err(TryLockError::WouldBlock) => sched.block_on(me, self.resource),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        release_step(self.resource);
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        release_step(self.resource);
+    }
+}
+
+/// Instrumented atomics: every operation is one sequentially-consistent
+/// step of the exploration (the `Ordering` argument is accepted for API
+/// compatibility and checked no further — see the module docs).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::scheduler;
+
+    /// Yields to the scheduler when inside a model run.
+    fn step() {
+        if let Some((sched, me)) = scheduler::context() {
+            sched.yield_point(me, true);
+        }
+    }
+
+    macro_rules! instrumented_atomic {
+        ($name:ident, $std:ident, $value:ty) => {
+            /// Instrumented atomic (each operation is one scheduling
+            /// step; see the module docs for the memory-model bounds).
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$std);
+
+            impl $name {
+                /// Creates a new atomic.
+                pub const fn new(value: $value) -> Self {
+                    $name(std::sync::atomic::$std::new(value))
+                }
+
+                /// Loads the value.
+                pub fn load(&self, order: Ordering) -> $value {
+                    step();
+                    self.0.load(order)
+                }
+
+                /// Stores a value.
+                pub fn store(&self, value: $value, order: Ordering) {
+                    step();
+                    self.0.store(value, order)
+                }
+
+                /// Swaps the value, returning the previous one.
+                pub fn swap(&self, value: $value, order: Ordering) -> $value {
+                    step();
+                    self.0.swap(value, order)
+                }
+
+                /// Compare-and-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $value,
+                    new: $value,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$value, $value> {
+                    step();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                /// Returns a mutable reference to the value.
+                pub fn get_mut(&mut self) -> &mut $value {
+                    self.0.get_mut()
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $value {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! instrumented_atomic_arith {
+        ($name:ident, $value:ty) => {
+            impl $name {
+                /// Adds to the value, returning the previous one.
+                pub fn fetch_add(&self, value: $value, order: Ordering) -> $value {
+                    step();
+                    self.0.fetch_add(value, order)
+                }
+
+                /// Subtracts from the value, returning the previous one.
+                pub fn fetch_sub(&self, value: $value, order: Ordering) -> $value {
+                    step();
+                    self.0.fetch_sub(value, order)
+                }
+
+                /// Computes the maximum, returning the previous value.
+                pub fn fetch_max(&self, value: $value, order: Ordering) -> $value {
+                    step();
+                    self.0.fetch_max(value, order)
+                }
+            }
+        };
+    }
+
+    instrumented_atomic!(AtomicUsize, AtomicUsize, usize);
+    instrumented_atomic!(AtomicU64, AtomicU64, u64);
+    instrumented_atomic!(AtomicU32, AtomicU32, u32);
+    instrumented_atomic!(AtomicBool, AtomicBool, bool);
+
+    instrumented_atomic_arith!(AtomicUsize, usize);
+    instrumented_atomic_arith!(AtomicU64, u64);
+    instrumented_atomic_arith!(AtomicU32, u32);
+
+    impl AtomicBool {
+        /// Logical-or with the value, returning the previous one.
+        pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
+            step();
+            self.0.fetch_or(value, order)
+        }
+
+        /// Logical-and with the value, returning the previous one.
+        pub fn fetch_and(&self, value: bool, order: Ordering) -> bool {
+            step();
+            self.0.fetch_and(value, order)
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Model-aware threads (loom-shaped subset of `std::thread`).
+//!
+//! [`spawn`] inside a model run creates a *model thread*: a real OS
+//! thread whose every instrumented operation is a scheduling point of
+//! the exploration. Outside a model run it falls through to
+//! `std::thread::spawn` so code under the facade keeps working in
+//! ordinary builds and tests.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::scheduler::{self, join_resource, Abort, Scheduler, Tid};
+
+/// Handle to a spawned model (or plain) thread.
+pub struct JoinHandle<T> {
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    model: Option<(Arc<Scheduler>, Tid)>,
+    plain: Option<std::thread::JoinHandle<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Inside a
+    /// model the wait is a scheduling point (and may block on the
+    /// joined thread as a resource); a panic in the thread propagates
+    /// as `Err`, exactly like `std::thread::JoinHandle::join`.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(handle) = self.plain {
+            return handle.join();
+        }
+        let (sched, target) = self.model.expect("model join handle has a scheduler");
+        let (_, me) = scheduler::context().expect("joined a model thread from outside the model");
+        loop {
+            if let Some(result) = self.result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                // One more scheduling point so a join is never invisible
+                // to the exploration.
+                sched.yield_point(me, true);
+                return result;
+            }
+            if sched.failed() {
+                std::panic::panic_any(Abort);
+            }
+            sched.block_on(me, join_resource(target));
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model run the thread participates in the
+/// deterministic exploration; outside one this is `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match scheduler::context() {
+        None => {
+            let result = Arc::new(Mutex::new(None));
+            let handle = std::thread::spawn(f);
+            JoinHandle { result, model: None, plain: Some(handle) }
+        }
+        Some((sched, me)) => {
+            let tid = sched.register_thread();
+            let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+            let slot = result.clone();
+            let sched_for_thread = sched.clone();
+            let os = std::thread::Builder::new()
+                .name(format!("loom-lite-{tid}"))
+                .spawn(move || {
+                    sched_for_thread.wait_first_schedule(tid);
+                    scheduler::set_context(Some((sched_for_thread.clone(), tid)));
+                    let out = catch_unwind(AssertUnwindSafe(f));
+                    scheduler::set_context(None);
+                    match out {
+                        Ok(value) => {
+                            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(value));
+                        }
+                        Err(payload) => {
+                            if payload.downcast_ref::<Abort>().is_none() {
+                                // `&*`: pass the payload itself, not the
+                                // `Box` unsized into `dyn Any`.
+                                let msg = panic_message(&*payload);
+                                sched_for_thread
+                                    .record_failure(format!("thread {tid} panicked: {msg}"));
+                            }
+                            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(Err(payload));
+                        }
+                    }
+                    sched_for_thread.finish_thread(tid);
+                })
+                .expect("spawn model thread");
+            sched.os_handles.lock().unwrap_or_else(|e| e.into_inner()).push(os);
+            // The spawn itself is a visible step: the child may run
+            // before the parent's next operation.
+            sched.yield_point(me, true);
+            JoinHandle { result, model: Some((sched, tid)), plain: None }
+        }
+    }
+}
+
+/// Renders a panic payload for failure reports.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Yields to the scheduler (a pure scheduling point). No-op outside a
+/// model run.
+pub fn yield_now() {
+    if let Some((sched, me)) = scheduler::context() {
+        sched.yield_point(me, true);
+    }
+}
